@@ -1,0 +1,320 @@
+//! The slot-sequenced SMR shell shared by both baselines.
+//!
+//! A [`SlotProtocol`] decides one value per slot; [`SmrNode`] runs an
+//! unbounded (here: capped) sequence of such instances and outputs the
+//! decisions **in slot order with no gaps**, which is the SMR discipline
+//! the paper's time-complexity comparison assumes (§1: "processes must
+//! output the slot decisions in a sequential order (no gaps)").
+
+use std::collections::{BTreeMap, VecDeque};
+
+use bytes::Bytes;
+use dagrider_crypto::CoinKeys;
+use dagrider_simnet::{Actor, Context, Time};
+use dagrider_types::{Committee, Decode, DecodeError, Encode, ProcessId};
+use rand::rngs::StdRng;
+
+/// An effect emitted by a slot instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SlotAction<M> {
+    /// Put a protocol message on the wire.
+    Send(ProcessId, M),
+    /// This slot decided `value`.
+    Decide(Vec<u8>),
+}
+
+/// A single-shot agreement instance deciding one value for one slot.
+pub trait SlotProtocol {
+    /// The instance's wire message type.
+    type Message: Encode + Decode + Clone + std::fmt::Debug;
+
+    /// Creates the instance for `slot` at process `me`.
+    fn new(committee: Committee, me: ProcessId, slot: u64, coin_keys: CoinKeys) -> Self;
+
+    /// Proposes this process's value.
+    fn propose(&mut self, value: Vec<u8>, rng: &mut StdRng) -> Vec<SlotAction<Self::Message>>;
+
+    /// Handles a peer message.
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        message: Self::Message,
+        rng: &mut StdRng,
+    ) -> Vec<SlotAction<Self::Message>>;
+
+    /// Views consumed so far (≥ 1 once started) — the per-slot latency
+    /// statistic Table 1's expected-time column builds on.
+    fn views_used(&self) -> u64;
+
+    /// Short name for reports.
+    fn name() -> &'static str;
+}
+
+/// Wire envelope tagging each message with its slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotEnvelope<M> {
+    /// The slot the inner message belongs to.
+    pub slot: u64,
+    /// The slot protocol's message.
+    pub message: M,
+}
+
+impl<M: Encode> Encode for SlotEnvelope<M> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.slot.encode(buf);
+        self.message.encode(buf);
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.slot.encoded_len() + self.message.encoded_len()
+    }
+}
+
+impl<M: Decode> Decode for SlotEnvelope<M> {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(Self { slot: u64::decode(buf)?, message: M::decode(buf)? })
+    }
+}
+
+/// Workload configuration for an SMR run.
+#[derive(Debug, Clone, Copy)]
+pub struct SmrConfig {
+    /// Slots to decide before quiescing.
+    pub max_slots: u64,
+    /// Size in bytes of each proposed value (the batched block).
+    pub value_bytes: usize,
+}
+
+impl Default for SmrConfig {
+    fn default() -> Self {
+        Self { max_slots: 4, value_bytes: 256 }
+    }
+}
+
+/// One ordered output of the SMR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmrOutput {
+    /// The slot number.
+    pub slot: u64,
+    /// The decided value.
+    pub value: Vec<u8>,
+    /// When this process output it (in slot order).
+    pub at: Time,
+}
+
+/// The SMR actor: runs `max_slots` consecutive [`SlotProtocol`] instances
+/// and outputs decisions in order.
+#[derive(Debug)]
+pub struct SmrNode<P: SlotProtocol> {
+    committee: Committee,
+    me: ProcessId,
+    coin_keys: CoinKeys,
+    config: SmrConfig,
+    slots: BTreeMap<u64, P>,
+    decided: BTreeMap<u64, Vec<u8>>,
+    output: Vec<SmrOutput>,
+    next_output: u64,
+    decode_failures: usize,
+}
+
+impl<P: SlotProtocol> SmrNode<P> {
+    /// Creates the node.
+    pub fn new(
+        committee: Committee,
+        me: ProcessId,
+        coin_keys: CoinKeys,
+        config: SmrConfig,
+    ) -> Self {
+        Self {
+            committee,
+            me,
+            coin_keys,
+            config,
+            slots: BTreeMap::new(),
+            decided: BTreeMap::new(),
+            output: Vec::new(),
+            next_output: 0,
+            decode_failures: 0,
+        }
+    }
+
+    /// The in-order output log.
+    pub fn output(&self) -> &[SmrOutput] {
+        &self.output
+    }
+
+    /// Total views consumed across started slots (latency statistic).
+    pub fn total_views(&self) -> u64 {
+        self.slots.values().map(P::views_used).sum()
+    }
+
+    /// Slots this node has decided (possibly not yet output, if gapped).
+    pub fn decided_slots(&self) -> usize {
+        self.decided.len()
+    }
+
+    /// Messages that failed to decode.
+    pub fn decode_failures(&self) -> usize {
+        self.decode_failures
+    }
+
+    /// This process's proposal for `slot`: a synthetic block whose bytes
+    /// are deterministic in (process, slot).
+    fn value_for(&self, slot: u64) -> Vec<u8> {
+        let tag = u64::from(self.me.index()) << 32 | slot;
+        let mut bytes = Vec::with_capacity(self.config.value_bytes);
+        let mut state = tag.wrapping_mul(0x2545_f491_4f6c_dd1d).wrapping_add(7);
+        for _ in 0..self.config.value_bytes {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            bytes.push((state & 0xff) as u8);
+        }
+        bytes
+    }
+
+    /// Ensures `slot`'s instance exists, proposing our value on creation.
+    fn ensure_slot(&mut self, slot: u64, ctx: &mut Context<'_>) {
+        if slot >= self.config.max_slots || self.slots.contains_key(&slot) {
+            return;
+        }
+        let mut instance = P::new(self.committee, self.me, slot, self.coin_keys.clone());
+        let value = self.value_for(slot);
+        let actions = instance.propose(value, ctx.rng());
+        self.slots.insert(slot, instance);
+        self.apply(slot, actions, ctx);
+    }
+
+    fn apply(&mut self, slot: u64, actions: Vec<SlotAction<P::Message>>, ctx: &mut Context<'_>) {
+        let mut work: VecDeque<(u64, SlotAction<P::Message>)> =
+            actions.into_iter().map(|a| (slot, a)).collect();
+        while let Some((s, action)) = work.pop_front() {
+            match action {
+                SlotAction::Send(to, message) => {
+                    let envelope = SlotEnvelope { slot: s, message };
+                    ctx.send(to, Bytes::from(envelope.to_bytes()));
+                }
+                SlotAction::Decide(value) => {
+                    if self.decided.insert(s, value).is_none() {
+                        // Output in order, no gaps.
+                        while let Some(v) = self.decided.get(&self.next_output) {
+                            self.output.push(SmrOutput {
+                                slot: self.next_output,
+                                value: v.clone(),
+                                at: ctx.now(),
+                            });
+                            self.next_output += 1;
+                        }
+                        // Move on to the next slot.
+                        self.ensure_slot(s + 1, ctx);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use dagrider_crypto::deal_coin_keys;
+    use dagrider_simnet::{Simulation, UniformScheduler};
+    use rand::SeedableRng;
+
+    use super::*;
+    use crate::vaba::VabaSlot;
+
+    #[test]
+    fn proposals_are_deterministic_per_process_and_slot() {
+        let committee = Committee::new(4).unwrap();
+        let keys = deal_coin_keys(&committee, &mut StdRng::seed_from_u64(1));
+        let config = SmrConfig { max_slots: 2, value_bytes: 32 };
+        let node_a = SmrNode::<VabaSlot>::new(committee, ProcessId::new(0), keys[0].clone(), config);
+        let node_b = SmrNode::<VabaSlot>::new(committee, ProcessId::new(0), keys[0].clone(), config);
+        assert_eq!(node_a.value_for(0), node_b.value_for(0));
+        assert_ne!(node_a.value_for(0), node_a.value_for(1), "slots get distinct values");
+        let other = SmrNode::<VabaSlot>::new(committee, ProcessId::new(1), keys[1].clone(), config);
+        assert_ne!(node_a.value_for(0), other.value_for(0), "processes get distinct values");
+        assert_eq!(node_a.value_for(0).len(), 32);
+    }
+
+    #[test]
+    fn garbage_wire_bytes_are_counted_not_fatal() {
+        use bytes::Bytes;
+        use dagrider_simnet::Either;
+
+        struct GarbageSender;
+        impl Actor for GarbageSender {
+            fn init(&mut self, ctx: &mut Context<'_>) {
+                ctx.broadcast_to_others(Bytes::from_static(&[0xff, 0xfe, 0xfd]));
+            }
+            fn on_message(&mut self, _: ProcessId, _: &[u8], _: &mut Context<'_>) {}
+        }
+
+        let committee = Committee::new(4).unwrap();
+        let keys = deal_coin_keys(&committee, &mut StdRng::seed_from_u64(2));
+        let config = SmrConfig { max_slots: 1, value_bytes: 16 };
+        let actors: Vec<Either<SmrNode<VabaSlot>, GarbageSender>> = committee
+            .members()
+            .zip(keys)
+            .map(|(p, k)| {
+                if p == ProcessId::new(3) {
+                    Either::Right(GarbageSender)
+                } else {
+                    Either::Left(SmrNode::new(committee, p, k, config))
+                }
+            })
+            .collect();
+        let mut sim = Simulation::new(committee, actors, UniformScheduler::new(1, 8), 2);
+        sim.mark_byzantine(ProcessId::new(3));
+        sim.run();
+        for p in [0u32, 1, 2].map(ProcessId::new) {
+            let node = sim.actor(p).as_left().unwrap();
+            assert_eq!(node.decode_failures(), 1, "{p}");
+            assert_eq!(node.output().len(), 1, "{p} still decides");
+        }
+    }
+
+    #[test]
+    fn out_of_range_slots_are_ignored() {
+        // A message for slot ≥ max_slots must not create an instance.
+        let committee = Committee::new(4).unwrap();
+        let keys = deal_coin_keys(&committee, &mut StdRng::seed_from_u64(3));
+        let config = SmrConfig { max_slots: 1, value_bytes: 16 };
+        let nodes: Vec<SmrNode<VabaSlot>> = committee
+            .members()
+            .zip(keys)
+            .map(|(p, k)| SmrNode::new(committee, p, k, config))
+            .collect();
+        let mut sim = Simulation::new(committee, nodes, UniformScheduler::new(1, 8), 3);
+        sim.run();
+        for p in committee.members() {
+            assert_eq!(sim.actor(p).output().len(), 1);
+            assert_eq!(sim.actor(p).slots.len(), 1, "{p} created extra slot instances");
+        }
+    }
+}
+
+impl<P: SlotProtocol> Actor for SmrNode<P> {
+    fn init(&mut self, ctx: &mut Context<'_>) {
+        self.ensure_slot(0, ctx);
+    }
+
+    fn on_message(&mut self, from: ProcessId, payload: &[u8], ctx: &mut Context<'_>) {
+        match SlotEnvelope::<P::Message>::from_bytes(payload) {
+            Ok(envelope) => {
+                let slot = envelope.slot;
+                if slot >= self.config.max_slots {
+                    return;
+                }
+                self.ensure_slot(slot, ctx);
+                let actions = self
+                    .slots
+                    .get_mut(&slot)
+                    .expect("ensured above")
+                    .on_message(from, envelope.message, ctx.rng());
+                self.apply(slot, actions, ctx);
+            }
+            Err(_) => self.decode_failures += 1,
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Criterion benchmark of the full stack: wall-clock cost of simulating a
+//! complete DAG-Rider run (4 waves committed, all processes quiescent)
+//! under each broadcast instantiation, plus the baseline SMRs for the same
+//! ordered-value budget.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dagrider_baselines::{DumboSlot, VabaSlot};
+use dagrider_bench::{run_dagrider, run_smr, Workload};
+use dagrider_rbc::{AvidRbc, BrachaRbc, ProbabilisticRbc};
+use std::hint::black_box;
+
+fn bench_full_runs(c: &mut Criterion) {
+    let workload = Workload { txs_per_block: 8, tx_bytes: 64, max_round: 16, max_delay: 8 };
+    let mut group = c.benchmark_group("full_run/n=4/16_rounds");
+    group.sample_size(10);
+    let mut seed = 0u64;
+    group.bench_function("dagrider+bracha", |b| {
+        b.iter(|| {
+            seed += 1;
+            black_box(run_dagrider::<BrachaRbc>(4, seed, workload).ordered_vertices)
+        })
+    });
+    group.bench_function("dagrider+avid", |b| {
+        b.iter(|| {
+            seed += 1;
+            black_box(run_dagrider::<AvidRbc>(4, seed, workload).ordered_vertices)
+        })
+    });
+    group.bench_function("dagrider+probabilistic", |b| {
+        b.iter(|| {
+            seed += 1;
+            black_box(run_dagrider::<ProbabilisticRbc>(4, seed, workload).ordered_vertices)
+        })
+    });
+    group.bench_function("vaba_smr/4_slots", |b| {
+        b.iter(|| {
+            seed += 1;
+            black_box(run_smr::<VabaSlot>(4, seed, 4, 8, 64).decided_slots)
+        })
+    });
+    group.bench_function("dumbo_smr/4_slots", |b| {
+        b.iter(|| {
+            seed += 1;
+            black_box(run_smr::<DumboSlot>(4, seed, 4, 8, 64).decided_slots)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_runs);
+criterion_main!(benches);

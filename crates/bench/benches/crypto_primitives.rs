@@ -1,0 +1,74 @@
+//! Criterion benchmarks of the cryptographic substrate: the per-message
+//! costs every protocol message pays (hashing, erasure coding, Merkle
+//! authentication, coin share issuing/verification/combination).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dagrider_crypto::{
+    deal_coin_keys, sha256, CoinAggregator, MerkleTree, ReedSolomon,
+};
+use dagrider_types::Committee;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_sha256(c: &mut Criterion) {
+    let data = vec![0xa5u8; 4096];
+    c.bench_function("sha256/4KiB", |b| b.iter(|| sha256(black_box(&data))));
+}
+
+fn bench_reed_solomon(c: &mut Criterion) {
+    let committee = Committee::new(10).unwrap();
+    let rs = ReedSolomon::for_committee(&committee);
+    let payload = vec![0x3cu8; 4096];
+    c.bench_function("rs/encode/4KiB/n=10", |b| b.iter(|| rs.encode(black_box(&payload))));
+    let shards = rs.encode(&payload);
+    let subset = &shards[3..7];
+    c.bench_function("rs/decode/4KiB/n=10", |b| {
+        b.iter(|| rs.decode(black_box(subset)).unwrap())
+    });
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    let leaves: Vec<Vec<u8>> = (0..16u8).map(|i| vec![i; 512]).collect();
+    c.bench_function("merkle/build/16x512B", |b| {
+        b.iter(|| MerkleTree::build(black_box(&leaves)).unwrap())
+    });
+    let tree = MerkleTree::build(&leaves).unwrap();
+    c.bench_function("merkle/prove+verify", |b| {
+        b.iter(|| {
+            let proof = tree.prove(black_box(7)).unwrap();
+            assert!(proof.verify(tree.root(), &leaves[7]));
+        })
+    });
+}
+
+fn bench_coin(c: &mut Criterion) {
+    let committee = Committee::new(10).unwrap();
+    let mut rng = StdRng::seed_from_u64(1);
+    let keys = deal_coin_keys(&committee, &mut rng);
+    c.bench_function("coin/share/n=10", |b| {
+        let mut w = 0u64;
+        b.iter(|| {
+            w += 1;
+            keys[0].share(black_box(w), &mut rng)
+        })
+    });
+    let share = keys[1].share(42, &mut rng);
+    c.bench_function("coin/verify_share", |b| {
+        b.iter(|| keys[0].public().verify(black_box(&share)).unwrap())
+    });
+    let shares: Vec<_> = keys.iter().take(4).map(|k| k.share(42, &mut rng)).collect();
+    c.bench_function("coin/combine/f+1=4", |b| {
+        b.iter(|| {
+            let mut agg = CoinAggregator::new(42, keys[0].public());
+            let mut leader = None;
+            for &s in &shares {
+                leader = agg.add_share(s).unwrap();
+            }
+            leader.unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_sha256, bench_reed_solomon, bench_merkle, bench_coin);
+criterion_main!(benches);

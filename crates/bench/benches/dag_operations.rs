@@ -1,0 +1,68 @@
+//! Criterion benchmarks of the DAG store: vertex insertion, the
+//! `path` / `strong_path` reachability queries of Algorithm 1, the commit
+//! rule's support count, and causal-history collection — the per-wave CPU
+//! work of the ordering layer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dagrider_core::Dag;
+use dagrider_types::{Block, Committee, ProcessId, Round, SeqNum, Vertex, VertexBuilder, VertexRef, Wave};
+use std::hint::black_box;
+
+/// Builds a fully connected DAG over `active` processes, `rounds` deep.
+fn build_dag(n: usize, active: usize, rounds: u64) -> Dag {
+    let committee = Committee::new(n).unwrap();
+    let mut dag = Dag::new(committee);
+    for r in 1..=rounds {
+        for p in 0..active as u32 {
+            let source = ProcessId::new(p);
+            let strong = if r == 1 {
+                (0..n as u32).map(|s| VertexRef::new(Round::GENESIS, ProcessId::new(s))).collect::<Vec<_>>()
+            } else {
+                (0..active as u32)
+                    .map(|s| VertexRef::new(Round::new(r - 1), ProcessId::new(s)))
+                    .collect()
+            };
+            let v = VertexBuilder::new(source, Round::new(r), Block::empty(source, SeqNum::new(r)))
+                .strong_edges(strong)
+                .build(&committee)
+                .unwrap();
+            dag.insert(v);
+        }
+    }
+    dag
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let committee = Committee::new(4).unwrap();
+    c.bench_function("dag/insert_40_rounds/n=4", |b| {
+        b.iter(|| black_box(build_dag(4, 3, 40)))
+    });
+    let _ = committee;
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let dag = build_dag(10, 7, 40);
+    let top = VertexRef::new(Round::new(40), ProcessId::new(0));
+    let bottom = VertexRef::new(Round::new(1), ProcessId::new(6));
+    c.bench_function("dag/strong_path/depth=39/n=10", |b| {
+        b.iter(|| assert!(dag.strong_path(black_box(top), black_box(bottom))))
+    });
+    c.bench_function("dag/causal_history/depth=40/n=10", |b| {
+        b.iter(|| black_box(dag.causal_history(top)).len())
+    });
+
+    // The commit rule: count last-round supporters of a wave leader.
+    let wave = Wave::new(9);
+    let leader = VertexRef::new(wave.first_round(), ProcessId::new(1));
+    c.bench_function("dag/commit_rule_support/n=10", |b| {
+        b.iter(|| {
+            dag.round_vertices(wave.last_round())
+                .values()
+                .filter(|v: &&Vertex| dag.strong_path(v.reference(), black_box(leader)))
+                .count()
+        })
+    });
+}
+
+criterion_group!(benches, bench_insert, bench_queries);
+criterion_main!(benches);

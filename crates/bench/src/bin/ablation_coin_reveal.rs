@@ -1,0 +1,120 @@
+//! **Ablation: when the coin is revealed** — §5: "parties flip the global
+//! coin only after they complete w (Line 35). Therefore … the probability
+//! of the adversary to guess the wave's leader before the point after
+//! which it cannot manipulate the set V is less than 1/n + ε."
+//!
+//! We make the threat concrete: an adversary that *knows each wave's
+//! leader in advance* (as it could if shares were revealed at the start of
+//! the wave) simply delays every message the upcoming leader sends during
+//! its wave — keeping the leader's vertex out of the common core. We give
+//! our scheduler exactly that foresight (the harness holds the dealt keys,
+//! so it can precompute every `choose_leader(w)`) and compare direct-commit
+//! rates against a blind adversary applying the *same* delay pattern to a
+//! fixed process instead.
+//!
+//! ```sh
+//! cargo run --release -p dagrider-bench --bin ablation_coin_reveal
+//! ```
+
+use dagrider_core::{DagRiderNode, NodeConfig, WaveOutcome};
+use dagrider_crypto::{deal_coin_keys, CoinAggregator};
+use dagrider_rbc::BrachaRbc;
+use dagrider_simnet::{FnScheduler, Simulation, UniformScheduler};
+use dagrider_types::{Committee, ProcessId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const MAX_ROUND: u64 = 40;
+const WAVES: u64 = MAX_ROUND / 4;
+const SLOW: u64 = 60;
+
+/// Precomputes every wave's leader from the dealt keys (what an adversary
+/// learns if shares are revealed too early).
+fn precompute_leaders(keys: &[dagrider_crypto::CoinKeys], rng: &mut StdRng) -> Vec<ProcessId> {
+    (1..=WAVES)
+        .map(|w| {
+            let mut agg = CoinAggregator::new(w, keys[0].public());
+            let mut leader = None;
+            for k in keys {
+                leader = agg.add_share(k.share(w, rng)).expect("own shares verify");
+                if leader.is_some() {
+                    break;
+                }
+            }
+            leader.expect("threshold reached")
+        })
+        .collect()
+}
+
+/// Runs with a scheduler that slows `target_for_wave(w)`'s outgoing
+/// messages during an estimated tick window for wave `w`. Returns the
+/// direct-commit rate at an honest observer.
+fn run(seed: u64, wave_ticks: u64, target_for_wave: impl Fn(u64) -> ProcessId) -> f64 {
+    let committee = Committee::new(4).unwrap();
+    let keys = deal_coin_keys(&committee, &mut StdRng::seed_from_u64(seed));
+    let config = NodeConfig::default().with_max_round(MAX_ROUND);
+    let nodes: Vec<DagRiderNode<BrachaRbc>> = committee
+        .members()
+        .zip(keys)
+        .map(|(p, k)| DagRiderNode::new(committee, p, k, config.clone()))
+        .collect();
+    let mut base = UniformScheduler::new(1, 6);
+    let scheduler = FnScheduler(move |from: ProcessId, to: ProcessId, size, now: dagrider_simnet::Time, rng: &mut StdRng| {
+        use dagrider_simnet::Scheduler as _;
+        let wave = now.ticks() / wave_ticks + 1;
+        if from != to && wave <= WAVES && from == target_for_wave(wave) {
+            SLOW
+        } else {
+            base.delay(from, to, size, now, rng)
+        }
+    });
+    let mut sim = Simulation::new(committee, nodes, scheduler, seed);
+    sim.run();
+    let commits = sim.actor(ProcessId::new(0)).commits();
+    let direct = commits.iter().filter(|c| c.outcome == WaveOutcome::Direct).count();
+    let skipped = commits.iter().filter(|c| c.outcome == WaveOutcome::Skipped).count();
+    if direct + skipped == 0 {
+        return f64::NAN;
+    }
+    direct as f64 / (direct + skipped) as f64
+}
+
+fn main() {
+    println!("Ablation — coin revealed early vs. after wave completion (§5, unpredictability)\n");
+    // Estimated wave duration in ticks for this network (measured from
+    // fault-free runs: ~4 rounds × ~3 Bracha hops × ~3.5 mean delay).
+    let wave_ticks = 44;
+    let seeds = [1u64, 2, 3, 4, 5, 6, 7, 8];
+
+    let mut clairvoyant_rates = Vec::new();
+    let mut blind_rates = Vec::new();
+    for &seed in &seeds {
+        let keys = deal_coin_keys(
+            &Committee::new(4).unwrap(),
+            &mut StdRng::seed_from_u64(seed),
+        );
+        let leaders = precompute_leaders(&keys, &mut StdRng::seed_from_u64(seed ^ 0xC0));
+        let clairvoyant =
+            run(seed, wave_ticks, move |w| leaders[(w - 1) as usize]);
+        // The blind adversary uses the same delay budget on a fixed victim.
+        let blind = run(seed, wave_ticks, |_| ProcessId::new(0));
+        println!(
+            "  seed {seed}: direct-commit rate — clairvoyant adversary {clairvoyant:.2}, blind adversary {blind:.2}"
+        );
+        clairvoyant_rates.push(clairvoyant);
+        blind_rates.push(blind);
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let clairvoyant = mean(&clairvoyant_rates);
+    let blind = mean(&blind_rates);
+    println!("\n  mean direct-commit rate: clairvoyant {clairvoyant:.2} vs blind {blind:.2}");
+    assert!(
+        clairvoyant < blind - 0.15,
+        "knowing the leader in advance must measurably suppress commits"
+    );
+    println!("\n✓ an adversary that predicts the coin suppresses the commit rule;");
+    println!("  a blind adversary attacking one fixed process costs only that");
+    println!("  process's waves (1/n of them). This is why Line 35 flips the coin");
+    println!("  only AFTER the wave completes — the adversary must fix the common");
+    println!("  core before learning whom it needed to starve.");
+}

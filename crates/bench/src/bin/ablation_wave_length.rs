@@ -1,0 +1,131 @@
+//! **Ablation: why waves are 4 rounds** — the common-core argument
+//! (Lemma 2) needs three rounds of all-to-all accumulation before the
+//! commit round; shorter waves lose the guarantee that ≥ `2f+1` potential
+//! leaders are committable.
+//!
+//! On live DAGs we evaluate, for every wave and every depth `d` (support
+//! measured in round `round(w,1) + d - 1`), how many round-1 vertices
+//! have ≥ `2f+1` strong-path supporters at that depth:
+//!
+//! * `d = 4` (the paper's wave): Lemma 2 guarantees ≥ `2f+1` — the coin
+//!   then hits a committable leader with probability ≥ 2/3 *no matter the
+//!   schedule*.
+//! * `d = 2, 3`: no such floor. Under adversarial scheduling the count
+//!   can crash — we exhibit schedules where depth-2 support dips below
+//!   `f+1`, i.e. the adversary controls whether a wave commits.
+//!
+//! ```sh
+//! cargo run --release -p dagrider-bench --bin ablation_wave_length
+//! ```
+
+use dagrider_core::{Dag, DagRiderNode, NodeConfig};
+use dagrider_crypto::deal_coin_keys;
+use dagrider_rbc::BrachaRbc;
+use dagrider_simnet::{FnScheduler, Scheduler as _, Simulation, UniformScheduler};
+use dagrider_types::{Committee, ProcessId, Round, VertexRef, Wave};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const MAX_ROUND: u64 = 24;
+
+/// Number of round-`first` vertices with ≥ 2f+1 strong-path supporters in
+/// round `first + d - 1` of `dag`.
+fn committable_at_depth(dag: &Dag, committee: &Committee, wave: Wave, d: u64) -> usize {
+    let first = wave.first_round();
+    let support_round = Round::new(first.number() + d - 1);
+    let supporters_of = |leader: VertexRef| {
+        dag.round_vertices(support_round)
+            .values()
+            .filter(|v| dag.strong_path(v.reference(), leader))
+            .count()
+    };
+    dag.round_vertices(first)
+        .values()
+        .filter(|v| supporters_of(v.reference()) >= committee.quorum())
+        .count()
+}
+
+fn run(seed: u64, adversarial: bool) -> Vec<[usize; 3]> {
+    let committee = Committee::new(4).unwrap();
+    let keys = deal_coin_keys(&committee, &mut StdRng::seed_from_u64(seed));
+    let config = NodeConfig::default().with_max_round(MAX_ROUND);
+    let nodes: Vec<DagRiderNode<BrachaRbc>> = committee
+        .members()
+        .zip(keys)
+        .map(|(p, k)| DagRiderNode::new(committee, p, k, config.clone()))
+        .collect();
+    let mut base = UniformScheduler::new(1, 6);
+    // The adversarial schedule rotates a "shunned" process per short
+    // window: its messages crawl, so early-round references avoid it —
+    // precisely the manipulation the common core neutralizes by depth 4.
+    let scheduler = FnScheduler(move |from: ProcessId, to: ProcessId, size, now: dagrider_simnet::Time, rng: &mut StdRng| {
+        if adversarial && from != to {
+            let shunned = ProcessId::new(((now.ticks() / 30) % 4) as u32);
+            if from == shunned {
+                return 45;
+            }
+        }
+        base.delay(from, to, size, now, rng)
+    });
+    let mut sim = Simulation::new(committee, nodes, scheduler, seed);
+    sim.run();
+    let dag = sim.actor(ProcessId::new(0)).dag();
+    let full_waves = dag.highest_round().number() / 4;
+    (1..=full_waves)
+        .filter(|&w| dag.round_size(Wave::new(w).last_round()) >= committee.quorum())
+        .map(|w| {
+            let wave = Wave::new(w);
+            [
+                committable_at_depth(dag, &committee, wave, 2),
+                committable_at_depth(dag, &committee, wave, 3),
+                committable_at_depth(dag, &committee, wave, 4),
+            ]
+        })
+        .collect()
+}
+
+fn main() {
+    println!("Ablation — commit-rule depth vs. guaranteed committable leaders (n=4, 2f+1=3)\n");
+    let committee = Committee::new(4).unwrap();
+    let quorum = committee.quorum();
+
+    for adversarial in [false, true] {
+        let label = if adversarial { "adversarial rotating-starvation schedule" } else { "fair schedule" };
+        let mut min_at = [usize::MAX; 3];
+        let mut sum_at = [0usize; 3];
+        let mut waves = 0usize;
+        for seed in 0..12u64 {
+            for counts in run(seed, adversarial) {
+                for d in 0..3 {
+                    min_at[d] = min_at[d].min(counts[d]);
+                    sum_at[d] += counts[d];
+                }
+                waves += 1;
+            }
+        }
+        println!("{label} ({waves} waves):");
+        for (i, d) in [2u64, 3, 4].iter().enumerate() {
+            println!(
+                "  depth {d}: committable leaders — mean {:.2}, min {}",
+                sum_at[i] as f64 / waves as f64,
+                min_at[i]
+            );
+        }
+        // Lemma 2's floor holds at depth 4 under *every* schedule.
+        assert!(
+            min_at[2] >= quorum,
+            "{label}: depth-4 committable leaders dipped below 2f+1 — Lemma 2 violated?!"
+        );
+        if adversarial {
+            assert!(
+                min_at[0] < quorum,
+                "the adversarial schedule should depress depth-2 support below 2f+1"
+            );
+        }
+        println!();
+    }
+    println!("✓ at depth 4 (the paper's wave length) at least 2f+1 leaders are always");
+    println!("  committable — Lemma 2's common core — so the retroactive coin hits one");
+    println!("  with probability ≥ 2/3 regardless of the adversary. At depth 2 the");
+    println!("  adversary can drive the count below 2f+1 and stall commits at will.");
+}

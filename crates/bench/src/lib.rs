@@ -1,0 +1,359 @@
+//! Experiment harness regenerating every table and figure of *All You
+//! Need is DAG*.
+//!
+//! Each binary in `src/bin/` reproduces one artifact (see DESIGN.md's
+//! per-experiment index and EXPERIMENTS.md for measured-vs-paper):
+//!
+//! | binary | artifact |
+//! |--------|----------|
+//! | `table1` | Table 1 — all five protocol rows |
+//! | `figure1` | Figure 1 — DAG structure with weak edges |
+//! | `figure2` | Figure 2 — skipped wave committed retroactively |
+//! | `waves_to_commit` | Claim 6 / §6.2 expected time |
+//! | `comm_complexity` | §6.2 amortized communication scaling |
+//! | `chain_quality` | §3 chain quality & eventual fairness |
+//! | `ablation_wave_length` | why waves are 4 rounds |
+//! | `ablation_weak_edges` | why weak edges exist |
+//! | `ablation_coin_reveal` | why the coin flips after wave completion |
+//!
+//! The criterion benches (`benches/`) measure the substrate itself:
+//! crypto primitives, broadcast throughput, DAG operations, and
+//! end-to-end commit latency.
+//!
+//! This library holds the shared runners and statistics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dagrider_baselines::{SlotProtocol, SmrConfig, SmrNode};
+use dagrider_core::{DagRiderNode, NodeConfig, WaveOutcome};
+use dagrider_crypto::deal_coin_keys;
+use dagrider_rbc::ReliableBroadcast;
+use dagrider_simnet::{Simulation, UniformScheduler};
+use dagrider_types::{Block, Committee, ProcessId, SeqNum, Transaction};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Workload parameters shared by the experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    /// Transactions batched into each block (the paper's amortization
+    /// lever; `n·log n` for the optimal rows).
+    pub txs_per_block: usize,
+    /// Bytes per transaction.
+    pub tx_bytes: usize,
+    /// DAG rounds to run (must cover the waves you want).
+    pub max_round: u64,
+    /// Maximum network delay in ticks.
+    pub max_delay: u64,
+}
+
+impl Workload {
+    /// A workload batching `n·log2(n)` transactions per block, the
+    /// batching regime of Table 1's amortized rows.
+    pub fn batched(n: usize, tx_bytes: usize, max_round: u64) -> Self {
+        let txs = (n as f64 * (n as f64).log2()).ceil() as usize;
+        Self { txs_per_block: txs.max(1), tx_bytes, max_round, max_delay: 10 }
+    }
+}
+
+/// Measurements from one DAG-Rider run.
+#[derive(Debug, Clone)]
+pub struct DagRiderStats {
+    /// Committee size.
+    pub n: usize,
+    /// Bytes sent by honest processes.
+    pub honest_bytes: u64,
+    /// Wire messages sent.
+    pub messages: u64,
+    /// Vertices ordered at the slowest process.
+    pub ordered_vertices: usize,
+    /// Transactions ordered at the slowest process.
+    pub ordered_txs: usize,
+    /// Elapsed asynchronous time units (§3 definition).
+    pub time_units: f64,
+    /// Waves committed directly / indirectly / skipped at process 0.
+    pub waves: (usize, usize, usize),
+    /// Mean waves between consecutive commits at process 0.
+    pub mean_waves_per_commit: f64,
+}
+
+impl DagRiderStats {
+    /// Honest bytes per ordered transaction — the paper's communication
+    /// complexity measure.
+    pub fn bytes_per_tx(&self) -> f64 {
+        if self.ordered_txs == 0 {
+            f64::INFINITY
+        } else {
+            self.honest_bytes as f64 / self.ordered_txs as f64
+        }
+    }
+}
+
+/// Runs DAG-Rider over broadcast `B` and gathers statistics.
+pub fn run_dagrider<B: ReliableBroadcast>(n: usize, seed: u64, workload: Workload) -> DagRiderStats {
+    let committee = Committee::new(n).expect("n = 3f + 1");
+    let keys = deal_coin_keys(&committee, &mut StdRng::seed_from_u64(seed));
+    let config = NodeConfig::default().with_max_round(workload.max_round);
+    let mut nodes: Vec<DagRiderNode<B>> = committee
+        .members()
+        .zip(keys)
+        .map(|(p, k)| DagRiderNode::new(committee, p, k, config.clone()))
+        .collect();
+    // Enough pre-enqueued batched blocks to cover every round.
+    for node in nodes.iter_mut() {
+        let me = node.me();
+        for r in 1..=workload.max_round {
+            let txs: Vec<Transaction> = (0..workload.txs_per_block)
+                .map(|i| {
+                    Transaction::synthetic(
+                        (u64::from(me.index()) << 40) | (r << 16) | i as u64,
+                        workload.tx_bytes,
+                    )
+                })
+                .collect();
+            node.a_bcast(Block::new(me, SeqNum::new(r), txs));
+        }
+    }
+    let mut sim = Simulation::new(
+        committee,
+        nodes,
+        UniformScheduler::new(1, workload.max_delay),
+        seed,
+    );
+    sim.run();
+
+    let honest: Vec<ProcessId> = sim.honest_processes().collect();
+    let honest_bytes = sim.metrics().bytes_sent_by_set(honest);
+    let ordered_vertices = committee
+        .members()
+        .map(|p| sim.actor(p).ordered().len())
+        .min()
+        .unwrap_or(0);
+    let ordered_txs = committee
+        .members()
+        .map(|p| sim.actor(p).ordered().iter().map(|o| o.block.len()).sum::<usize>())
+        .min()
+        .unwrap_or(0);
+
+    let commits = sim.actor(ProcessId::new(0)).commits();
+    let direct = commits.iter().filter(|c| c.outcome == WaveOutcome::Direct).count();
+    let indirect = commits.iter().filter(|c| c.outcome == WaveOutcome::Indirect).count();
+    let skipped = commits
+        .iter()
+        .filter(|c| c.outcome == WaveOutcome::Skipped)
+        .count()
+        .saturating_sub(indirect); // an indirect commit resolves an earlier skip
+
+    // Gaps between consecutive *direct* commits, in waves.
+    let direct_waves: Vec<u64> = commits
+        .iter()
+        .filter(|c| c.outcome == WaveOutcome::Direct)
+        .map(|c| c.wave.number())
+        .collect();
+    let mean_gap = if direct_waves.len() >= 2 {
+        let span = direct_waves.last().unwrap() - direct_waves.first().unwrap();
+        span as f64 / (direct_waves.len() - 1) as f64
+    } else if direct_waves.len() == 1 {
+        direct_waves[0] as f64
+    } else {
+        f64::INFINITY
+    };
+
+    DagRiderStats {
+        n,
+        honest_bytes,
+        messages: sim.metrics().messages_sent(),
+        ordered_vertices,
+        ordered_txs,
+        time_units: sim.metrics().time_units(sim.now()),
+        waves: (direct, indirect, skipped),
+        mean_waves_per_commit: mean_gap,
+    }
+}
+
+/// Measurements from one baseline SMR run.
+#[derive(Debug, Clone)]
+pub struct SmrStats {
+    /// Committee size.
+    pub n: usize,
+    /// Bytes sent by honest processes.
+    pub honest_bytes: u64,
+    /// Wire messages sent.
+    pub messages: u64,
+    /// Slots decided at every process.
+    pub decided_slots: usize,
+    /// Transactions ordered (slots × txs per value).
+    pub ordered_txs: usize,
+    /// Elapsed asynchronous time units.
+    pub time_units: f64,
+    /// Mean views per decided slot at process 0.
+    pub mean_views: f64,
+}
+
+impl SmrStats {
+    /// Honest bytes per ordered transaction.
+    pub fn bytes_per_tx(&self) -> f64 {
+        if self.ordered_txs == 0 {
+            f64::INFINITY
+        } else {
+            self.honest_bytes as f64 / self.ordered_txs as f64
+        }
+    }
+}
+
+/// Runs a baseline SMR (`VabaSlot` or `DumboSlot`) with values batching
+/// `txs_per_value` transactions of `tx_bytes` each.
+pub fn run_smr<P: SlotProtocol>(
+    n: usize,
+    seed: u64,
+    slots: u64,
+    txs_per_value: usize,
+    tx_bytes: usize,
+) -> SmrStats {
+    let committee = Committee::new(n).expect("n = 3f + 1");
+    let keys = deal_coin_keys(&committee, &mut StdRng::seed_from_u64(seed));
+    let config = SmrConfig { max_slots: slots, value_bytes: txs_per_value * tx_bytes };
+    let nodes: Vec<SmrNode<P>> = committee
+        .members()
+        .zip(keys)
+        .map(|(p, k)| SmrNode::new(committee, p, k, config))
+        .collect();
+    let mut sim = Simulation::new(committee, nodes, UniformScheduler::new(1, 10), seed);
+    sim.run();
+
+    let honest: Vec<ProcessId> = sim.honest_processes().collect();
+    let honest_bytes = sim.metrics().bytes_sent_by_set(honest);
+    let decided_slots = committee
+        .members()
+        .map(|p| sim.actor(p).output().len())
+        .min()
+        .unwrap_or(0);
+    let node0 = sim.actor(ProcessId::new(0));
+    let mean_views = if decided_slots > 0 {
+        node0.total_views() as f64 / decided_slots as f64
+    } else {
+        f64::INFINITY
+    };
+    SmrStats {
+        n,
+        honest_bytes,
+        messages: sim.metrics().messages_sent(),
+        decided_slots,
+        ordered_txs: decided_slots * txs_per_value,
+        time_units: sim.metrics().time_units(sim.now()),
+        mean_views,
+    }
+}
+
+/// Runs `f(seed)` for every seed on scoped worker threads and returns the
+/// results in seed order. Simulations are single-threaded and seeded, so
+/// sweeps parallelize embarrassingly; this cuts the full Table 1 sweep
+/// roughly by the core count.
+pub fn parallel_sweep<T: Send>(seeds: &[u64], f: impl Fn(u64) -> T + Sync) -> Vec<T> {
+    let results: parking_lot::Mutex<Vec<(usize, T)>> =
+        parking_lot::Mutex::new(Vec::with_capacity(seeds.len()));
+    crossbeam::thread::scope(|scope| {
+        for (index, &seed) in seeds.iter().enumerate() {
+            let results = &results;
+            let f = &f;
+            scope.spawn(move |_| {
+                let value = f(seed);
+                results.lock().push((index, value));
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    let mut collected = results.into_inner();
+    collected.sort_by_key(|(index, _)| *index);
+    collected.into_iter().map(|(_, value)| value).collect()
+}
+
+/// Fits the exponent `k` of `y ≈ c·x^k` by least squares in log-log space
+/// — used to report measured scaling against the paper's asymptotics.
+pub fn fit_power_law(points: &[(f64, f64)]) -> f64 {
+    let n = points.len() as f64;
+    if points.len() < 2 {
+        return f64::NAN;
+    }
+    let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+    for &(x, y) in points {
+        let lx = x.ln();
+        let ly = y.ln();
+        sx += lx;
+        sy += ly;
+        sxx += lx * lx;
+        sxy += lx * ly;
+    }
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+/// Formats one row of a fixed-width report table.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+#[cfg(test)]
+mod tests {
+    use dagrider_baselines::{DumboSlot, VabaSlot};
+    use dagrider_rbc::BrachaRbc;
+
+    use super::*;
+
+    #[test]
+    fn dagrider_runner_produces_sane_stats() {
+        let workload = Workload { txs_per_block: 4, tx_bytes: 32, max_round: 12, max_delay: 8 };
+        let stats = run_dagrider::<BrachaRbc>(4, 3, workload);
+        assert!(stats.ordered_vertices > 0);
+        assert!(stats.ordered_txs >= stats.ordered_vertices);
+        assert!(stats.honest_bytes > 0);
+        assert!(stats.time_units > 0.0);
+        assert!(stats.bytes_per_tx().is_finite());
+        let (direct, _, _) = stats.waves;
+        assert!(direct >= 1);
+    }
+
+    #[test]
+    fn smr_runner_produces_sane_stats() {
+        let stats = run_smr::<VabaSlot>(4, 3, 2, 8, 32);
+        assert_eq!(stats.decided_slots, 2);
+        assert!(stats.mean_views >= 1.0);
+        assert!(stats.bytes_per_tx().is_finite());
+        let dumbo = run_smr::<DumboSlot>(4, 3, 2, 8, 32);
+        assert_eq!(dumbo.decided_slots, 2);
+    }
+
+    #[test]
+    fn parallel_sweep_preserves_seed_order() {
+        let results = parallel_sweep(&[5, 1, 9, 2], |seed| seed * 10);
+        assert_eq!(results, vec![50, 10, 90, 20]);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_simulation_results() {
+        let workload = Workload { txs_per_block: 2, tx_bytes: 16, max_round: 8, max_delay: 6 };
+        let seeds = [1u64, 2, 3];
+        let parallel = parallel_sweep(&seeds, |s| {
+            run_dagrider::<BrachaRbc>(4, s, workload).honest_bytes
+        });
+        let serial: Vec<u64> = seeds
+            .iter()
+            .map(|&s| run_dagrider::<BrachaRbc>(4, s, workload).honest_bytes)
+            .collect();
+        assert_eq!(parallel, serial, "determinism must survive threading");
+    }
+
+    #[test]
+    fn power_law_fit_recovers_exponent() {
+        let quadratic: Vec<(f64, f64)> = (1..6).map(|x| (x as f64, (x * x) as f64 * 3.0)).collect();
+        let k = fit_power_law(&quadratic);
+        assert!((k - 2.0).abs() < 1e-9, "fit {k}");
+        let linear: Vec<(f64, f64)> = (1..6).map(|x| (x as f64, x as f64 * 7.0)).collect();
+        assert!((fit_power_law(&linear) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,518 @@
+//! DAG construction — Algorithm 2 of the paper, as a sans-io state
+//! machine.
+//!
+//! [`DagCore`] consumes reliable-broadcast deliveries and emits
+//! [`DagEvent`]s: vertices to `r_bcast` and `wave_ready(w)` signals for the
+//! ordering layer. The logic is a direct transcription:
+//!
+//! * deliveries are structurally validated (≥ `2f+1` strong edges into the
+//!   previous round; source/round must match what the broadcast attests)
+//!   and parked in a **buffer** (lines 22–26);
+//! * a buffered vertex moves into the DAG once every vertex it references
+//!   is present (lines 6–9), keeping the DAG causally closed;
+//! * when the current round holds ≥ `2f+1` vertices the process advances,
+//!   signalling `wave_ready` every 4th round (lines 10–13), and broadcasts
+//!   a new vertex with strong edges to everything it has in the completed
+//!   round and weak edges to any orphans (lines 14–15, 16–21, 27–31).
+
+use std::collections::VecDeque;
+
+use dagrider_rbc::RbcDelivery;
+use dagrider_types::{
+    Block, Committee, Decode, ProcessId, Round, SeqNum, Vertex, VertexBuilder, Wave,
+};
+
+use crate::dag::Dag;
+
+/// An effect emitted by the construction layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagEvent {
+    /// `r_bcast(v, v.round)`: hand this vertex to the broadcast layer.
+    Broadcast(Vertex),
+    /// A wave completed locally (Algorithm 2 line 12) — the ordering layer
+    /// should flip the coin for it.
+    WaveReady(Wave),
+}
+
+/// The construction state of one process (Algorithm 2).
+#[derive(Debug)]
+pub struct DagCore {
+    committee: Committee,
+    me: ProcessId,
+    dag: Dag,
+    /// Delivered vertices whose causal history is not yet complete.
+    buffer: Vec<Vertex>,
+    /// The current round `r`.
+    round: Round,
+    /// Client blocks awaiting a vertex (`blocksToPropose`).
+    blocks_to_propose: VecDeque<Block>,
+    next_seq: SeqNum,
+    /// When the queue is empty, propose an empty block instead of stalling
+    /// (the paper assumes an infinite supply of blocks; real systems send
+    /// empty/heartbeat blocks).
+    auto_empty_blocks: bool,
+    /// Stop creating vertices after this round, so simulations quiesce.
+    max_round: Option<Round>,
+    /// Rounds whose `wave_ready` already fired (monotone cursor).
+    last_wave_signalled: u64,
+    /// Disable weak edges (ablation only — breaks the Validity property;
+    /// see `bench/bin/ablation_weak_edges`).
+    disable_weak_edges: bool,
+}
+
+impl DagCore {
+    /// Creates the construction state. If `auto_empty_blocks` is false the
+    /// process stalls when out of client blocks (Algorithm 2 line 17's
+    /// `wait`), which is exactly what the validity experiments need.
+    pub fn new(
+        committee: Committee,
+        me: ProcessId,
+        auto_empty_blocks: bool,
+        max_round: Option<Round>,
+    ) -> Self {
+        Self {
+            committee,
+            me,
+            dag: Dag::new(committee),
+            buffer: Vec::new(),
+            round: Round::GENESIS,
+            blocks_to_propose: VecDeque::new(),
+            next_seq: SeqNum::new(1),
+            auto_empty_blocks,
+            max_round,
+            last_wave_signalled: 0,
+            disable_weak_edges: false,
+        }
+    }
+
+    /// **Ablation only**: stop adding weak edges to new vertices. This
+    /// knowingly breaks Validity (starved processes' proposals are never
+    /// ordered) and exists to measure exactly that in the benches.
+    pub fn set_disable_weak_edges(&mut self, disable: bool) {
+        self.disable_weak_edges = disable;
+    }
+
+    /// The local DAG view.
+    pub fn dag(&self) -> &Dag {
+        &self.dag
+    }
+
+    /// The current round `r`.
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// Vertices parked in the buffer (diagnostics).
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Enqueues a client block (`a_bcast` pushes here, Algorithm 3
+    /// line 33).
+    pub fn enqueue_block(&mut self, block: Block) {
+        self.blocks_to_propose.push_back(block);
+    }
+
+    /// Number of enqueued blocks not yet proposed.
+    pub fn pending_blocks(&self) -> usize {
+        self.blocks_to_propose.len()
+    }
+
+    /// Starts the protocol: broadcasts the round-1 vertex. Must be called
+    /// exactly once.
+    pub fn start(&mut self) -> Vec<DagEvent> {
+        debug_assert_eq!(self.round, Round::GENESIS, "start() is called once");
+        self.try_advance()
+    }
+
+    /// Re-runs the advance loop. Call after [`DagCore::enqueue_block`] if
+    /// the process had stalled on an empty block queue (Algorithm 2
+    /// line 17's `wait` unblocking).
+    pub fn retry_propose(&mut self) -> Vec<DagEvent> {
+        self.try_advance()
+    }
+
+    /// Handles `r_deliver(v, round, source)` (Algorithm 2 lines 22–26):
+    /// decodes, validates, buffers, and drains the buffer.
+    pub fn on_rbc_delivery(&mut self, delivery: &RbcDelivery) -> Vec<DagEvent> {
+        let Ok(vertex) = Vertex::from_bytes(&delivery.payload) else {
+            return Vec::new(); // malformed payload from a Byzantine source
+        };
+        self.on_vertex(vertex, delivery.source, delivery.round)
+    }
+
+    /// Handles an already-decoded vertex whose `(source, round)` the
+    /// broadcast layer attests as `attested_*` — the lines 22–26 checks.
+    pub fn on_vertex(
+        &mut self,
+        vertex: Vertex,
+        attested_source: ProcessId,
+        attested_round: Round,
+    ) -> Vec<DagEvent> {
+        // The reliable broadcast attests (source, round); the embedded
+        // fields must match or the vertex is discarded (lines 23-24 set
+        // them from the broadcast, we verify equality which is stricter).
+        if vertex.source() != attested_source || vertex.round() != attested_round {
+            return Vec::new();
+        }
+        // Line 25: structural validation (≥ 2f+1 strong edges into the
+        // previous round, weak edges strictly below).
+        if vertex.validate(&self.committee).is_err() {
+            return Vec::new();
+        }
+        if vertex.round() == Round::GENESIS {
+            return Vec::new(); // genesis is hardcoded, never broadcast
+        }
+        if vertex.round() < self.dag.pruned_floor() {
+            return Vec::new(); // straggler below the GC floor: already ordered
+        }
+        self.buffer.push(vertex);
+        self.try_advance()
+    }
+
+    /// Garbage-collects DAG rounds strictly below `keep_from` (see
+    /// [`Dag::prune_below`]); also drops any buffered stragglers below the
+    /// floor. Returns vertices dropped from the DAG.
+    pub fn prune_below(&mut self, keep_from: Round) -> usize {
+        self.buffer.retain(|v| v.round() >= keep_from);
+        self.dag.prune_below(keep_from)
+    }
+
+    /// Lines 5–15: drains the buffer into the DAG and advances rounds
+    /// while possible.
+    fn try_advance(&mut self) -> Vec<DagEvent> {
+        let mut events = Vec::new();
+        loop {
+            let mut progressed = false;
+
+            // Lines 6–9: move buffered vertices whose edges are all
+            // present. One pass may unlock further vertices, hence the
+            // inner loop-until-fixpoint.
+            loop {
+                let mut moved_one = false;
+                let mut i = 0;
+                while i < self.buffer.len() {
+                    if self.dag.has_all_edges_of(&self.buffer[i]) {
+                        let vertex = self.buffer.swap_remove(i);
+                        self.dag.insert(vertex);
+                        moved_one = true;
+                    } else {
+                        i += 1;
+                    }
+                }
+                if !moved_one {
+                    break;
+                }
+                progressed = true;
+            }
+
+            // Lines 10–15: advance while the current round is complete.
+            while self.dag.round_size(self.round) >= self.committee.quorum() {
+                if self.round.completes_wave() {
+                    let wave = self.round.wave();
+                    if wave.number() > self.last_wave_signalled {
+                        self.last_wave_signalled = wave.number();
+                        events.push(DagEvent::WaveReady(wave));
+                    }
+                }
+                if self
+                    .max_round
+                    .is_some_and(|max| self.round.next() > max)
+                {
+                    return events; // quiescence for finite experiments
+                }
+                self.round = self.round.next();
+                match self.create_new_vertex(self.round) {
+                    Some(vertex) => {
+                        events.push(DagEvent::Broadcast(vertex));
+                        progressed = true;
+                    }
+                    None => {
+                        // Out of blocks and auto-fill disabled: the paper's
+                        // `wait until ¬blocksToPropose.empty()`. Rewind the
+                        // round so we retry when a block arrives.
+                        self.round = self.round.prev().expect("advanced past genesis");
+                        return events;
+                    }
+                }
+            }
+
+            if !progressed {
+                return events;
+            }
+        }
+    }
+
+    /// `create_new_vertex(round)` (lines 16–21 and 27–31).
+    fn create_new_vertex(&mut self, round: Round) -> Option<Vertex> {
+        let block = match self.blocks_to_propose.pop_front() {
+            Some(block) => block,
+            None if self.auto_empty_blocks => Block::empty(self.me, self.next_seq),
+            None => return None,
+        };
+        self.next_seq = self.next_seq.next();
+        let prev = round.prev().expect("proposals are never in round 0");
+        // Line 19: strong edges to *everything* we have in round - 1.
+        let strong: Vec<_> = self
+            .dag
+            .round_vertices(prev)
+            .values()
+            .map(Vertex::reference)
+            .collect();
+        let strong_set = strong.iter().copied().collect();
+        // Lines 27–31: weak edges to orphans in rounds < round - 1.
+        let orphan_cutoff = Round::new(round.number().saturating_sub(2));
+        let weak = if self.disable_weak_edges {
+            Vec::new()
+        } else {
+            self.dag.orphans_below(&strong_set, orphan_cutoff)
+        };
+        let vertex = VertexBuilder::new(self.me, round, block)
+            .strong_edges(strong)
+            .weak_edges(weak)
+            .build(&self.committee)
+            .expect("a correct process builds valid vertices");
+        Some(vertex)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use dagrider_types::{Encode, Transaction, VertexRef};
+
+    use super::*;
+
+    fn committee() -> Committee {
+        Committee::new(4).unwrap()
+    }
+
+    fn core(me: u32) -> DagCore {
+        DagCore::new(committee(), ProcessId::new(me), true, None)
+    }
+
+    fn delivery_of(vertex: &Vertex) -> RbcDelivery {
+        RbcDelivery {
+            source: vertex.source(),
+            round: vertex.round(),
+            payload: vertex.to_bytes(),
+        }
+    }
+
+    /// Extracts the single broadcast vertex from events.
+    fn broadcast_vertex(events: &[DagEvent]) -> Option<&Vertex> {
+        events.iter().find_map(|e| match e {
+            DagEvent::Broadcast(v) => Some(v),
+            DagEvent::WaveReady(_) => None,
+        })
+    }
+
+    #[test]
+    fn start_broadcasts_round_one_vertex_over_genesis() {
+        let mut c = core(0);
+        let events = c.start();
+        let v = broadcast_vertex(&events).expect("round-1 vertex");
+        assert_eq!(v.round(), Round::new(1));
+        assert_eq!(v.strong_edges().len(), 4, "genesis has all n vertices");
+        assert!(v.weak_edges().is_empty());
+        assert_eq!(c.round(), Round::new(1));
+    }
+
+    #[test]
+    fn round_advances_on_quorum_of_deliveries() {
+        let mut c = core(0);
+        let mut peers: Vec<DagCore> = (1..4).map(core).collect();
+        let my_v = broadcast_vertex(&c.start()).unwrap().clone();
+        // Deliver my own vertex back to me (validity of RBC).
+        assert!(c.on_rbc_delivery(&delivery_of(&my_v)).is_empty());
+        assert_eq!(c.round(), Round::new(1));
+        // Two peers' round-1 vertices complete the quorum.
+        let peer_vs: Vec<Vertex> = peers
+            .iter_mut()
+            .map(|p| broadcast_vertex(&p.start()).unwrap().clone())
+            .collect();
+        assert!(c.on_rbc_delivery(&delivery_of(&peer_vs[0])).is_empty());
+        let events = c.on_rbc_delivery(&delivery_of(&peer_vs[1]));
+        let v2 = broadcast_vertex(&events).expect("round-2 vertex after quorum");
+        assert_eq!(v2.round(), Round::new(2));
+        assert_eq!(v2.strong_edges().len(), 3, "strong edges to everything seen in r1");
+        assert_eq!(c.round(), Round::new(2));
+    }
+
+    #[test]
+    fn buffer_holds_out_of_order_deliveries() {
+        // Deliver a round-2 vertex before its round-1 predecessors: it
+        // must wait in the buffer, then flush when the history arrives.
+        let mut c = core(0);
+        c.start();
+        let mut makers: Vec<DagCore> = (0..4).map(core).collect();
+        let r1: Vec<Vertex> =
+            makers.iter_mut().map(|m| broadcast_vertex(&m.start()).unwrap().clone()).collect();
+        // Build a round-2 vertex at maker 1 by feeding it all of round 1.
+        let mut r2 = None;
+        for v in &r1 {
+            let events = makers[1].on_rbc_delivery(&delivery_of(v));
+            if let Some(v2) = broadcast_vertex(&events) {
+                r2 = Some(v2.clone());
+            }
+        }
+        let r2 = r2.expect("maker 1 advanced to round 2");
+        assert!(c.on_rbc_delivery(&delivery_of(&r2)).is_empty());
+        assert_eq!(c.buffered(), 1, "round-2 vertex parked");
+        assert!(!c.dag().contains(r2.reference()));
+        // Now deliver the round-1 vertices; the buffer flushes.
+        for v in &r1 {
+            c.on_rbc_delivery(&delivery_of(v));
+        }
+        assert_eq!(c.buffered(), 0);
+        assert!(c.dag().contains(r2.reference()));
+    }
+
+    #[test]
+    fn malformed_payload_is_discarded() {
+        let mut c = core(0);
+        c.start();
+        let garbage = RbcDelivery {
+            source: ProcessId::new(1),
+            round: Round::new(1),
+            payload: vec![0xff, 0x00, 0xff],
+        };
+        assert!(c.on_rbc_delivery(&garbage).is_empty());
+        assert_eq!(c.buffered(), 0);
+    }
+
+    #[test]
+    fn source_round_mismatch_is_discarded() {
+        // A Byzantine process embeds (source, round) that differ from what
+        // the reliable broadcast attests.
+        let mut c = core(0);
+        c.start();
+        let mut other = core(2);
+        let v = broadcast_vertex(&other.start()).unwrap().clone();
+        let lying = RbcDelivery {
+            source: ProcessId::new(1), // RBC says p1, vertex says p2
+            round: v.round(),
+            payload: v.to_bytes(),
+        };
+        assert!(c.on_rbc_delivery(&lying).is_empty());
+        assert_eq!(c.buffered(), 0);
+    }
+
+    #[test]
+    fn too_few_strong_edges_is_discarded() {
+        let mut c = core(0);
+        c.start();
+        let bad = VertexBuilder::new(
+            ProcessId::new(1),
+            Round::new(1),
+            Block::empty(ProcessId::new(1), SeqNum::new(1)),
+        )
+        .strong_edges([VertexRef::new(Round::GENESIS, ProcessId::new(0))])
+        .build_unchecked();
+        let d = delivery_of(&bad);
+        assert!(c.on_rbc_delivery(&d).is_empty());
+        assert_eq!(c.buffered(), 0, "line 25 drops it before buffering");
+    }
+
+    #[test]
+    fn wave_ready_fires_every_fourth_round() {
+        // Run four interconnected cores synchronously and collect one
+        // core's events.
+        let mut cores: Vec<DagCore> = (0..4).map(core).collect();
+        let mut waves_seen = Vec::new();
+        let mut queue: VecDeque<Vertex> = VecDeque::new();
+        for c in cores.iter_mut() {
+            for e in c.start() {
+                if let DagEvent::Broadcast(v) = e {
+                    queue.push_back(v);
+                }
+            }
+        }
+        let mut steps = 0;
+        while let Some(v) = queue.pop_front() {
+            steps += 1;
+            if steps > 2000 {
+                break;
+            }
+            let d = delivery_of(&v);
+            for (i, c) in cores.iter_mut().enumerate() {
+                for e in c.on_rbc_delivery(&d) {
+                    match e {
+                        DagEvent::Broadcast(nv) => {
+                            if nv.round() <= Round::new(12) {
+                                queue.push_back(nv);
+                            }
+                        }
+                        DagEvent::WaveReady(w) => {
+                            if i == 0 {
+                                waves_seen.push(w);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert!(waves_seen.len() >= 2, "waves seen: {waves_seen:?}");
+        assert_eq!(waves_seen[0], Wave::new(1));
+        assert_eq!(waves_seen[1], Wave::new(2));
+    }
+
+    #[test]
+    fn blocks_are_consumed_in_fifo_order() {
+        let mut c = DagCore::new(committee(), ProcessId::new(0), true, None);
+        let block1 = Block::new(
+            ProcessId::new(0),
+            SeqNum::new(1),
+            vec![Transaction::synthetic(1, 8)],
+        );
+        let block2 = Block::new(
+            ProcessId::new(0),
+            SeqNum::new(2),
+            vec![Transaction::synthetic(2, 8)],
+        );
+        c.enqueue_block(block1.clone());
+        c.enqueue_block(block2);
+        let events = c.start();
+        let v = broadcast_vertex(&events).unwrap();
+        assert_eq!(v.block(), &block1);
+        assert_eq!(c.pending_blocks(), 1);
+    }
+
+    #[test]
+    fn without_auto_blocks_the_process_stalls_and_resumes() {
+        let mut c = DagCore::new(committee(), ProcessId::new(0), false, None);
+        let events = c.start();
+        assert!(broadcast_vertex(&events).is_none(), "no blocks: line 17 waits");
+        assert_eq!(c.round(), Round::GENESIS);
+        c.enqueue_block(Block::empty(ProcessId::new(0), SeqNum::new(1)));
+        let events = c.retry_propose();
+        assert!(broadcast_vertex(&events).is_some());
+        assert_eq!(c.round(), Round::new(1));
+    }
+
+    #[test]
+    fn max_round_quiesces() {
+        let mut cores: Vec<DagCore> =
+            (0..4).map(|i| DagCore::new(committee(), ProcessId::new(i), true, Some(Round::new(2)))).collect();
+        let mut queue: VecDeque<Vertex> = VecDeque::new();
+        for c in cores.iter_mut() {
+            for e in c.start() {
+                if let DagEvent::Broadcast(v) = e {
+                    queue.push_back(v);
+                }
+            }
+        }
+        let mut max_round_seen = Round::GENESIS;
+        while let Some(v) = queue.pop_front() {
+            max_round_seen = max_round_seen.max(v.round());
+            let d = delivery_of(&v);
+            for c in cores.iter_mut() {
+                for e in c.on_rbc_delivery(&d) {
+                    if let DagEvent::Broadcast(nv) = e {
+                        queue.push_back(nv);
+                    }
+                }
+            }
+        }
+        assert_eq!(max_round_seen, Round::new(2));
+    }
+}

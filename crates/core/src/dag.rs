@@ -1,0 +1,457 @@
+//! The local DAG store (`DAG_i[]` of Algorithm 1) and its reachability
+//! queries.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use dagrider_types::{Committee, ProcessId, Round, Vertex, VertexRef};
+
+/// One process's view of the round-based DAG.
+///
+/// Invariants maintained by [`Dag::insert`]:
+///
+/// * round 0 holds the hardcoded genesis vertices (Algorithm 1);
+/// * at most one vertex per `(round, source)` — reliable broadcast rules
+///   out equivocation, and insertion enforces it locally;
+/// * a vertex is only inserted once *all* vertices it references are
+///   present, so the store is always **causally closed** (Claim 1).
+#[derive(Debug, Clone)]
+pub struct Dag {
+    committee: Committee,
+    /// `rounds[r]` = the vertices of round `r`, keyed by source.
+    rounds: Vec<BTreeMap<ProcessId, Vertex>>,
+    /// Rounds `1..pruned_floor` have been garbage-collected: their
+    /// vertices were delivered and dropped. Edges into the collected
+    /// region count as satisfied for causal closure.
+    pruned_floor: Round,
+}
+
+impl Dag {
+    /// Creates the DAG holding only the `n` genesis vertices.
+    ///
+    /// (The paper hardcodes `2f+1` genesis vertices; like every deployed
+    /// descendant of DAG-Rider we hardcode all `n`, a superset, so round-1
+    /// vertices can reference any subset of size ≥ `2f+1`.)
+    pub fn new(committee: Committee) -> Self {
+        let genesis: BTreeMap<ProcessId, Vertex> =
+            committee.members().map(|p| (p, Vertex::genesis(p))).collect();
+        Self { committee, rounds: vec![genesis], pruned_floor: Round::new(0) }
+    }
+
+    /// The committee.
+    pub fn committee(&self) -> Committee {
+        self.committee
+    }
+
+    /// The highest round that holds at least one vertex.
+    pub fn highest_round(&self) -> Round {
+        Round::new(self.rounds.len() as u64 - 1)
+    }
+
+    /// The vertices of `round`, keyed by source (empty map if none yet).
+    pub fn round_vertices(&self, round: Round) -> &BTreeMap<ProcessId, Vertex> {
+        static EMPTY: BTreeMap<ProcessId, Vertex> = BTreeMap::new();
+        self.rounds.get(round.number() as usize).unwrap_or(&EMPTY)
+    }
+
+    /// Number of vertices in `round`.
+    pub fn round_size(&self, round: Round) -> usize {
+        self.round_vertices(round).len()
+    }
+
+    /// The vertex broadcast by `source` in `round`, if present.
+    pub fn get(&self, reference: VertexRef) -> Option<&Vertex> {
+        self.rounds
+            .get(reference.round.number() as usize)
+            .and_then(|m| m.get(&reference.source))
+    }
+
+    /// Whether the referenced vertex is present.
+    pub fn contains(&self, reference: VertexRef) -> bool {
+        self.get(reference).is_some()
+    }
+
+    /// Whether every vertex `v` references (strong and weak) is present —
+    /// the insertability condition of Algorithm 2 line 7. Edges into the
+    /// garbage-collected region count as satisfied (those vertices were
+    /// present, delivered, and dropped).
+    pub fn has_all_edges_of(&self, v: &Vertex) -> bool {
+        v.edges().all(|&e| e.round < self.pruned_floor || self.contains(e))
+    }
+
+    /// The garbage-collection floor: rounds below this (except genesis)
+    /// have been dropped.
+    pub fn pruned_floor(&self) -> Round {
+        self.pruned_floor
+    }
+
+    /// Inserts `v`. Returns `false` (and changes nothing) if a vertex with
+    /// the same `(round, source)` is already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertion of the causal-closure invariant) if an edge
+    /// of `v` is missing; callers must check [`Dag::has_all_edges_of`]
+    /// first, as Algorithm 2 does.
+    pub fn insert(&mut self, v: Vertex) -> bool {
+        debug_assert!(self.has_all_edges_of(&v), "DAG must stay causally closed");
+        let index = v.round().number() as usize;
+        while self.rounds.len() <= index {
+            self.rounds.push(BTreeMap::new());
+        }
+        match self.rounds[index].entry(v.source()) {
+            std::collections::btree_map::Entry::Occupied(_) => false,
+            std::collections::btree_map::Entry::Vacant(slot) => {
+                slot.insert(v);
+                true
+            }
+        }
+    }
+
+    /// `path(v, u)` of Algorithm 1: is there a path from `from` down to
+    /// `to` using strong **and** weak edges?
+    pub fn path(&self, from: VertexRef, to: VertexRef) -> bool {
+        self.reaches(from, to, false)
+    }
+
+    /// `strong_path(v, u)` of Algorithm 1: a path using only strong edges.
+    pub fn strong_path(&self, from: VertexRef, to: VertexRef) -> bool {
+        self.reaches(from, to, true)
+    }
+
+    fn reaches(&self, from: VertexRef, to: VertexRef, strong_only: bool) -> bool {
+        if !self.contains(to) {
+            return false; // includes garbage-collected targets
+        }
+        if from == to {
+            return true;
+        }
+        if to.round >= from.round {
+            return false;
+        }
+        let mut visited: BTreeSet<VertexRef> = BTreeSet::new();
+        let mut frontier = VecDeque::from([from]);
+        while let Some(current) = frontier.pop_front() {
+            let Some(vertex) = self.get(current) else { continue };
+            let edges: Box<dyn Iterator<Item = &VertexRef>> = if strong_only {
+                Box::new(vertex.strong_edges().iter())
+            } else {
+                Box::new(vertex.edges())
+            };
+            for &edge in edges {
+                if edge == to {
+                    return true;
+                }
+                // Only descend through vertices above the target round.
+                if edge.round > to.round && visited.insert(edge) {
+                    frontier.push_back(edge);
+                }
+            }
+        }
+        false
+    }
+
+    /// The causal history of `from`: every vertex reachable from it via
+    /// strong or weak edges, **including** `from` itself, in breadth-first
+    /// discovery order.
+    pub fn causal_history(&self, from: VertexRef) -> Vec<VertexRef> {
+        let mut visited: BTreeSet<VertexRef> = BTreeSet::new();
+        let mut order = Vec::new();
+        let mut frontier = VecDeque::new();
+        if self.contains(from) {
+            visited.insert(from);
+            order.push(from);
+            frontier.push_back(from);
+        }
+        while let Some(current) = frontier.pop_front() {
+            let vertex = self.get(current).expect("visited vertices exist");
+            for &edge in vertex.edges() {
+                // Garbage-collected targets are skipped: they were already
+                // delivered before their round was pruned.
+                if self.contains(edge) && visited.insert(edge) {
+                    order.push(edge);
+                    frontier.push_back(edge);
+                }
+            }
+        }
+        order
+    }
+
+    /// The set of vertices in rounds `1..=below` **not** reachable from the
+    /// given strong-edge frontier — the orphans that `set_weak_edges`
+    /// (Algorithm 2 line 27) must point to.
+    pub fn orphans_below(
+        &self,
+        strong_edges: &BTreeSet<VertexRef>,
+        below: Round,
+    ) -> Vec<VertexRef> {
+        // Everything reachable from the strong frontier…
+        let mut reachable: BTreeSet<VertexRef> = BTreeSet::new();
+        let mut frontier: VecDeque<VertexRef> = strong_edges.iter().copied().collect();
+        reachable.extend(strong_edges.iter().copied());
+        while let Some(current) = frontier.pop_front() {
+            if let Some(vertex) = self.get(current) {
+                for &edge in vertex.edges() {
+                    if reachable.insert(edge) {
+                        frontier.push_back(edge);
+                    }
+                }
+            }
+        }
+        // …subtracted from all vertices in rounds [1, below].
+        let mut orphans = Vec::new();
+        for r in 1..=below.number() {
+            for &source in self.round_vertices(Round::new(r)).keys() {
+                let reference = VertexRef::new(Round::new(r), source);
+                if !reachable.contains(&reference) {
+                    orphans.push(reference);
+                }
+            }
+        }
+        orphans
+    }
+
+    /// Garbage-collects rounds strictly below `keep_from`, replacing them
+    /// with empty maps (indices stay stable). Safe once the ordering layer
+    /// has delivered everything below: ordered history is never consulted
+    /// again (Algorithm 3 walks only forward from `decidedWave`), and
+    /// reachability queries against collected rounds simply return false.
+    ///
+    /// Returns the number of vertices dropped.
+    pub fn prune_below(&mut self, keep_from: Round) -> usize {
+        let mut dropped = 0;
+        // Round 0 (genesis) is kept: new joiners' round-1 vertices verify
+        // against it and it costs O(n).
+        for index in 1..self.rounds.len().min(keep_from.number() as usize) {
+            dropped += self.rounds[index].len();
+            self.rounds[index] = BTreeMap::new();
+        }
+        self.pruned_floor = self.pruned_floor.max(keep_from);
+        dropped
+    }
+
+    /// The lowest non-genesis round that still holds vertices (`None` if
+    /// only genesis remains).
+    pub fn lowest_retained_round(&self) -> Option<Round> {
+        (1..self.rounds.len())
+            .find(|&i| !self.rounds[i].is_empty())
+            .map(|i| Round::new(i as u64))
+    }
+
+    /// Iterates over every vertex in the DAG, by round then source.
+    pub fn iter(&self) -> impl Iterator<Item = &Vertex> {
+        self.rounds.iter().flat_map(|m| m.values())
+    }
+
+    /// Total number of vertices (including genesis).
+    pub fn len(&self) -> usize {
+        self.rounds.iter().map(BTreeMap::len).sum()
+    }
+
+    /// Whether the DAG holds only genesis (it is never fully empty).
+    pub fn is_empty(&self) -> bool {
+        self.rounds.len() == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use dagrider_types::{Block, SeqNum, VertexBuilder};
+
+    use super::*;
+
+    fn committee() -> Committee {
+        Committee::new(4).unwrap()
+    }
+
+    /// Builds a vertex for `source` in `round` with strong edges to the
+    /// given sources in `round - 1` and the given weak edges.
+    fn vertex(
+        source: u32,
+        round: u64,
+        strong_sources: &[u32],
+        weak: &[(u64, u32)],
+    ) -> Vertex {
+        let source = ProcessId::new(source);
+        VertexBuilder::new(source, Round::new(round), Block::empty(source, SeqNum::new(round)))
+            .strong_edges(
+                strong_sources
+                    .iter()
+                    .map(|&s| VertexRef::new(Round::new(round - 1), ProcessId::new(s))),
+            )
+            .weak_edges(weak.iter().map(|&(r, s)| VertexRef::new(Round::new(r), ProcessId::new(s))))
+            .build_unchecked()
+    }
+
+    /// A full round-1..=2 DAG over processes 0..=2 (process 3 is slow).
+    fn two_round_dag() -> Dag {
+        let mut dag = Dag::new(committee());
+        for p in 0..3 {
+            assert!(dag.insert(vertex(p, 1, &[0, 1, 2], &[])));
+        }
+        for p in 0..3 {
+            assert!(dag.insert(vertex(p, 2, &[0, 1, 2], &[])));
+        }
+        dag
+    }
+
+    #[test]
+    fn starts_with_genesis() {
+        let dag = Dag::new(committee());
+        assert!(dag.is_empty());
+        assert_eq!(dag.len(), 4);
+        assert_eq!(dag.round_size(Round::GENESIS), 4);
+        assert_eq!(dag.highest_round(), Round::GENESIS);
+    }
+
+    #[test]
+    fn insert_rejects_equivocation() {
+        let mut dag = Dag::new(committee());
+        let v1 = vertex(0, 1, &[0, 1, 2], &[]);
+        let v2 = vertex(0, 1, &[1, 2, 3], &[]);
+        assert!(dag.insert(v1));
+        assert!(!dag.insert(v2), "second vertex for (r1, p0) must be rejected");
+        assert_eq!(dag.round_size(Round::new(1)), 1);
+    }
+
+    #[test]
+    fn has_all_edges_detects_missing_predecessors() {
+        let dag = Dag::new(committee());
+        let ok = vertex(0, 1, &[0, 1, 2], &[]);
+        assert!(dag.has_all_edges_of(&ok));
+        let needs_round1 = vertex(0, 2, &[0, 1, 2], &[]);
+        assert!(!dag.has_all_edges_of(&needs_round1));
+    }
+
+    #[test]
+    fn strong_path_follows_only_strong_edges() {
+        let mut dag = two_round_dag();
+        // p3 wakes up in round 3 with a weak edge to a round-1 vertex of
+        // its own that nobody referenced.
+        assert!(dag.insert(vertex(3, 1, &[0, 1, 2], &[])));
+        let v3 = vertex(0, 3, &[0, 1, 2], &[(1, 3)]);
+        assert!(dag.insert(v3.clone()));
+
+        let from = v3.reference();
+        let weak_target = VertexRef::new(Round::new(1), ProcessId::new(3));
+        assert!(dag.path(from, weak_target), "weak edges count for path()");
+        assert!(!dag.strong_path(from, weak_target), "but not for strong_path()");
+        // Strong connectivity to round-1 vertices it references via strong
+        // chains still holds.
+        let strong_target = VertexRef::new(Round::new(1), ProcessId::new(1));
+        assert!(dag.strong_path(from, strong_target));
+    }
+
+    #[test]
+    fn path_to_self_requires_presence() {
+        let dag = two_round_dag();
+        let present = VertexRef::new(Round::new(1), ProcessId::new(0));
+        let absent = VertexRef::new(Round::new(1), ProcessId::new(3));
+        assert!(dag.path(present, present));
+        assert!(!dag.path(absent, absent));
+    }
+
+    #[test]
+    fn no_upward_paths() {
+        let dag = two_round_dag();
+        let low = VertexRef::new(Round::new(1), ProcessId::new(0));
+        let high = VertexRef::new(Round::new(2), ProcessId::new(0));
+        assert!(!dag.path(low, high));
+    }
+
+    #[test]
+    fn causal_history_includes_genesis_and_self() {
+        let dag = two_round_dag();
+        let from = VertexRef::new(Round::new(2), ProcessId::new(1));
+        let history = dag.causal_history(from);
+        assert!(history.contains(&from));
+        // 1 (self) + 3 round-1 + 3 genesis referenced by round-1 vertices…
+        // round-1 vertices reference genesis of sources 0,1,2.
+        assert_eq!(history.len(), 7);
+        assert!(history
+            .iter()
+            .filter(|r| r.round == Round::GENESIS)
+            .all(|r| r.source.index() < 3));
+    }
+
+    #[test]
+    fn causal_history_of_absent_vertex_is_empty() {
+        let dag = Dag::new(committee());
+        let absent = VertexRef::new(Round::new(5), ProcessId::new(0));
+        assert!(dag.causal_history(absent).is_empty());
+    }
+
+    #[test]
+    fn orphans_below_finds_unreachable_vertices() {
+        let mut dag = two_round_dag();
+        // p3's round-1 vertex exists but no round-2 vertex points to it.
+        assert!(dag.insert(vertex(3, 1, &[0, 1, 2], &[])));
+        let strong: BTreeSet<VertexRef> = (0..3)
+            .map(|s| VertexRef::new(Round::new(2), ProcessId::new(s)))
+            .collect();
+        let orphans = dag.orphans_below(&strong, Round::new(1));
+        assert_eq!(orphans, vec![VertexRef::new(Round::new(1), ProcessId::new(3))]);
+    }
+
+    #[test]
+    fn orphans_below_empty_when_fully_connected() {
+        let dag = two_round_dag();
+        let strong: BTreeSet<VertexRef> = (0..3)
+            .map(|s| VertexRef::new(Round::new(2), ProcessId::new(s)))
+            .collect();
+        assert!(dag.orphans_below(&strong, Round::new(1)).is_empty());
+    }
+
+    #[test]
+    fn weak_edge_restores_reachability_for_orphans() {
+        let mut dag = two_round_dag();
+        assert!(dag.insert(vertex(3, 1, &[0, 1, 2], &[])));
+        // A round-3 vertex adds the weak edge Algorithm 2 prescribes…
+        let v = vertex(0, 3, &[0, 1, 2], &[(1, 3)]);
+        assert!(dag.insert(v.clone()));
+        // …and now nothing below round 2 is orphaned from it.
+        let orphans = dag.orphans_below(
+            &v.strong_edges().clone(),
+            Round::new(1),
+        );
+        // orphans_below works on the strong frontier only, so p3@r1 is
+        // still orphaned from the *frontier*; from the vertex itself the
+        // weak edge covers it:
+        assert_eq!(orphans, vec![VertexRef::new(Round::new(1), ProcessId::new(3))]);
+        assert!(dag.path(v.reference(), VertexRef::new(Round::new(1), ProcessId::new(3))));
+    }
+
+    #[test]
+    fn prune_below_drops_rounds_but_keeps_genesis() {
+        let mut dag = two_round_dag();
+        assert_eq!(dag.prune_below(Round::new(2)), 3, "the three round-1 vertices drop");
+        assert_eq!(dag.round_size(Round::new(1)), 0);
+        assert_eq!(dag.round_size(Round::GENESIS), 4);
+        assert_eq!(dag.round_size(Round::new(2)), 3);
+        assert_eq!(dag.pruned_floor(), Round::new(2));
+        assert_eq!(dag.lowest_retained_round(), Some(Round::new(2)));
+        // Idempotent and monotone.
+        assert_eq!(dag.prune_below(Round::new(1)), 0);
+        assert_eq!(dag.pruned_floor(), Round::new(2));
+    }
+
+    #[test]
+    fn edges_into_pruned_region_count_as_satisfied() {
+        let mut dag = two_round_dag();
+        dag.prune_below(Round::new(2));
+        // A round-3 vertex referencing round-2 (present) and a weak edge
+        // into pruned round 1.
+        let v = vertex(0, 3, &[0, 1, 2], &[(1, 0)]);
+        assert!(dag.has_all_edges_of(&v), "pruned targets satisfy causal closure");
+        assert!(dag.insert(v));
+        // But reachability into the pruned region is simply false now.
+        let from = VertexRef::new(Round::new(3), ProcessId::new(0));
+        assert!(!dag.path(from, VertexRef::new(Round::new(1), ProcessId::new(0))));
+    }
+
+    #[test]
+    fn iter_and_len_agree() {
+        let dag = two_round_dag();
+        assert_eq!(dag.iter().count(), dag.len());
+        assert_eq!(dag.len(), 4 + 3 + 3);
+    }
+}

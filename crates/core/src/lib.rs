@@ -1,0 +1,72 @@
+//! **DAG-Rider** — the asynchronous Byzantine Atomic Broadcast protocol of
+//! Keidar, Kokoris-Kogias, Naor & Spiegelman, *All You Need is DAG*
+//! (PODC 2021).
+//!
+//! The protocol is two independent layers:
+//!
+//! 1. **DAG construction** ([`DagCore`], paper §4 / Algorithm 2): each
+//!    process reliably broadcasts one vertex per round carrying a block of
+//!    transactions, ≥ `2f+1` *strong edges* to the previous round, and
+//!    *weak edges* to any older vertex it cannot otherwise reach. Vertices
+//!    park in a buffer until their causal history is complete, so the local
+//!    DAG ([`Dag`]) is always causally closed.
+//! 2. **Zero-overhead ordering** ([`Ordering`], paper §5 / Algorithm 3):
+//!    rounds are grouped into waves of 4. When a wave completes, a global
+//!    perfect coin retroactively elects its leader vertex; the leader
+//!    *commits* if ≥ `2f+1` vertices of the wave's last round have strong
+//!    paths to it. Committed leaders chain backwards through strong paths,
+//!    and each leader's causal history is atomically delivered in a
+//!    deterministic order. **No communication beyond the DAG itself** is
+//!    needed (the coin shares piggyback as tiny messages).
+//!
+//! [`DagRiderNode`] assembles both layers over any
+//! [`ReliableBroadcast`](dagrider_rbc::ReliableBroadcast) instantiation and
+//! runs as a [`dagrider_simnet::Actor`].
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dagrider_core::{DagRiderNode, NodeConfig};
+//! use dagrider_crypto::deal_coin_keys;
+//! use dagrider_rbc::BrachaRbc;
+//! use dagrider_simnet::{Simulation, UniformScheduler};
+//! use dagrider_types::Committee;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let committee = Committee::new(4)?;
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let keys = deal_coin_keys(&committee, &mut rng);
+//! let config = NodeConfig::default().with_max_round(20);
+//!
+//! let nodes: Vec<DagRiderNode<BrachaRbc>> = committee
+//!     .members()
+//!     .zip(keys)
+//!     .map(|(p, k)| DagRiderNode::new(committee, p, k, config.clone()))
+//!     .collect();
+//! let mut sim = Simulation::new(committee, nodes, UniformScheduler::new(1, 10), 7);
+//! sim.run();
+//!
+//! // Every process ordered the same sequence of blocks.
+//! let reference = sim.actor(dagrider_types::ProcessId::new(0)).ordered().to_vec();
+//! assert!(!reference.is_empty());
+//! for p in committee.members() {
+//!     let log = sim.actor(p).ordered();
+//!     assert!(log.iter().zip(&reference).all(|(a, b)| a.vertex == b.vertex));
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod common_core;
+mod construction;
+mod dag;
+mod node;
+mod ordering;
+pub mod render;
+
+pub use construction::{DagCore, DagEvent};
+pub use dag::Dag;
+pub use node::{DagRiderNode, NodeConfig, NodeMessage, VertexPayload};
+pub use ordering::{CommitEvent, OrderedVertex, Ordering, WaveOutcome};

@@ -1,0 +1,107 @@
+//! Rendering the DAG as ASCII art (the style of the paper's Figures 1–2)
+//! and as Graphviz DOT, for examples and the figure-reproduction binaries.
+
+use std::fmt::Write as _;
+
+use dagrider_types::{Round, VertexRef};
+
+use crate::dag::Dag;
+
+/// Renders rounds `[from, to]` of the DAG in the layout of Figure 1: one
+/// horizontal lane per source process, one column per round. Each cell
+/// shows `●` (vertex present) with its strong-edge count, `○` if absent.
+pub fn ascii(dag: &Dag, from: Round, to: Round) -> String {
+    let committee = dag.committee();
+    let mut out = String::new();
+    write!(out, "{:>4} |", "").expect("writing to String cannot fail");
+    for r in from.number()..=to.number() {
+        write!(out, " r{r:<4}").expect("write");
+    }
+    out.push('\n');
+    let width = 6 * (to.number() - from.number() + 1) as usize + 6;
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    for p in committee.members() {
+        write!(out, "{:>4} |", p.to_string()).expect("write");
+        for r in from.number()..=to.number() {
+            let reference = VertexRef::new(Round::new(r), p);
+            match dag.get(reference) {
+                Some(v) => {
+                    let weak = if v.weak_edges().is_empty() { ' ' } else { '~' };
+                    write!(out, " ●{}{weak}  ", v.strong_edges().len()).expect("write");
+                }
+                None => out.push_str(" ○    "),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the full DAG as Graphviz DOT (strong edges solid, weak edges
+/// dashed — the paper's visual convention).
+pub fn dot(dag: &Dag) -> String {
+    let mut out = String::from("digraph dag {\n  rankdir=RL;\n  node [shape=circle];\n");
+    for vertex in dag.iter() {
+        let id = node_id(vertex.reference());
+        writeln!(out, "  {id} [label=\"{}\\n{}\"];", vertex.source(), vertex.round())
+            .expect("write");
+        for &edge in vertex.strong_edges() {
+            writeln!(out, "  {id} -> {};", node_id(edge)).expect("write");
+        }
+        for &edge in vertex.weak_edges() {
+            writeln!(out, "  {id} -> {} [style=dashed];", node_id(edge)).expect("write");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn node_id(reference: VertexRef) -> String {
+    format!("v_{}_{}", reference.round.number(), reference.source.index())
+}
+
+#[cfg(test)]
+mod tests {
+    use dagrider_types::{Block, Committee, ProcessId, SeqNum, VertexBuilder};
+
+    use super::*;
+
+    fn sample_dag() -> Dag {
+        let committee = Committee::new(4).unwrap();
+        let mut dag = Dag::new(committee);
+        for p in 0..3u32 {
+            let source = ProcessId::new(p);
+            let v = VertexBuilder::new(
+                source,
+                Round::new(1),
+                Block::empty(source, SeqNum::new(1)),
+            )
+            .strong_edges(
+                (0..3u32).map(|s| VertexRef::new(Round::GENESIS, ProcessId::new(s))),
+            )
+            .build(&committee)
+            .unwrap();
+            dag.insert(v);
+        }
+        dag
+    }
+
+    #[test]
+    fn ascii_shows_present_and_absent_vertices() {
+        let dag = sample_dag();
+        let art = ascii(&dag, Round::new(1), Round::new(1));
+        assert!(art.contains("●3"), "present vertices render with edge count:\n{art}");
+        assert!(art.contains('○'), "p3's missing vertex renders as hollow:\n{art}");
+        assert!(art.contains("p0"));
+    }
+
+    #[test]
+    fn dot_lists_all_vertices_and_edges() {
+        let dag = sample_dag();
+        let graph = dot(&dag);
+        assert!(graph.starts_with("digraph dag {"));
+        assert_eq!(graph.matches("v_1_").count(), 3 + 9, "3 node labels + 9 edge sources");
+        assert_eq!(graph.matches(" -> ").count(), 9);
+    }
+}

@@ -1,0 +1,52 @@
+//! From-scratch cryptographic substrate for the DAG-Rider reproduction.
+//!
+//! Everything the paper's building blocks need, implemented with no external
+//! cryptography dependencies:
+//!
+//! * [`sha256`](mod@sha256) — SHA-256 (FIPS 180-4) and the 32-byte [`Digest`] type.
+//! * [`field`] — arithmetic in a 61-bit safe-prime group `Z_p^*` and its
+//!   prime-order subgroup, the substrate for the threshold coin.
+//! * [`primes`] — deterministic Miller–Rabin for `u64`, used to certify the
+//!   group constants.
+//! * [`shamir`] — Shamir secret sharing with Lagrange reconstruction.
+//! * [`dkg`] — Feldman-verifiable secret sharing and aggregation, the
+//!   dealerless setup §2 sketches (the agreement half of full ADKG is
+//!   out of scope; see the module docs).
+//! * [`coin`] — the **global perfect coin** of §2: a Cachin–Kursawe–Shoup
+//!   style threshold coin (`share_i(w) = H̃(w)^{s_i}`, combined by Lagrange
+//!   interpolation in the exponent), with DLEQ share verification so
+//!   Byzantine shares are rejected.
+//! * [`merkle`] — Merkle trees with inclusion proofs, used by AVID.
+//! * [`gf256`] / [`reed_solomon`] — Reed–Solomon erasure codes over
+//!   GF(2^8), the dispersal substrate of Cachin–Tessaro \[14\].
+//!
+//! # Security model
+//!
+//! This crate backs a *simulation-based reproduction*. The algebra
+//! (agreement, fairness, threshold reconstruction, proof soundness) is
+//! exact; the group is only 61 bits, so the schemes are **not** secure
+//! against a real-world attacker with 2^61 work. The simulated adversary of
+//! `dagrider-simnet` schedules messages and corrupts processes but does not
+//! compute discrete logarithms, matching the paper's assumption of a
+//! computationally bounded adversary for *liveness only* (safety never
+//! depends on the coin — that is the post-quantum-safety claim of §2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coin;
+pub mod dkg;
+pub mod field;
+pub mod gf256;
+pub mod merkle;
+pub mod primes;
+pub mod reed_solomon;
+pub mod shamir;
+pub mod sha256;
+
+pub use coin::{deal_coin_keys, Coin, CoinAggregator, CoinError, CoinKeys, CoinShare};
+pub use field::{GroupElement, Scalar, GENERATOR, P, Q};
+pub use merkle::{MerkleError, MerkleProof, MerkleTree};
+pub use reed_solomon::{ReedSolomon, RsError, Shard};
+pub use sha256::{sha256, Digest, Sha256};
+pub use shamir::{reconstruct_secret, share_secret, ShamirError, ShamirShare};

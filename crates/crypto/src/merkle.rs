@@ -1,0 +1,263 @@
+//! Merkle trees with inclusion proofs.
+//!
+//! Cachin–Tessaro AVID \[14\] authenticates erasure-code fragments against a
+//! single root so that echoing processes can vouch for fragments they did
+//! not originate.
+
+use std::error::Error;
+use std::fmt;
+
+use dagrider_types::{Decode, DecodeError, Encode};
+
+use crate::sha256::{sha256_parts, Digest};
+
+/// Errors from proof construction or verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MerkleError {
+    /// The tree has no leaves.
+    Empty,
+    /// The requested leaf index is out of range.
+    IndexOutOfRange {
+        /// Requested index.
+        index: usize,
+        /// Number of leaves.
+        leaves: usize,
+    },
+}
+
+impl fmt::Display for MerkleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MerkleError::Empty => write!(f, "merkle tree needs at least one leaf"),
+            MerkleError::IndexOutOfRange { index, leaves } => {
+                write!(f, "leaf index {index} out of range for {leaves} leaves")
+            }
+        }
+    }
+}
+
+impl Error for MerkleError {}
+
+fn leaf_hash(data: &[u8]) -> Digest {
+    sha256_parts(&[b"merkle.leaf", data])
+}
+
+fn node_hash(left: Digest, right: Digest) -> Digest {
+    sha256_parts(&[b"merkle.node", left.as_bytes(), right.as_bytes()])
+}
+
+/// A Merkle tree over a list of byte-string leaves.
+///
+/// Odd nodes are paired with themselves (duplicate-promotion), with
+/// domain-separated leaf/node hashing to prevent second-preimage tricks.
+///
+/// ```
+/// use dagrider_crypto::MerkleTree;
+///
+/// let leaves: Vec<Vec<u8>> = (0u8..5).map(|i| vec![i; 8]).collect();
+/// let tree = MerkleTree::build(&leaves)?;
+/// let proof = tree.prove(3)?;
+/// assert!(proof.verify(tree.root(), &leaves[3]));
+/// assert!(!proof.verify(tree.root(), &leaves[2]));
+/// # Ok::<(), dagrider_crypto::MerkleError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MerkleTree {
+    /// levels[0] = leaf hashes, last level = [root].
+    levels: Vec<Vec<Digest>>,
+}
+
+impl MerkleTree {
+    /// Builds a tree over `leaves`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MerkleError::Empty`] for an empty leaf list.
+    pub fn build<T: AsRef<[u8]>>(leaves: &[T]) -> Result<Self, MerkleError> {
+        if leaves.is_empty() {
+            return Err(MerkleError::Empty);
+        }
+        let mut levels = vec![leaves.iter().map(|l| leaf_hash(l.as_ref())).collect::<Vec<_>>()];
+        while levels.last().expect("non-empty").len() > 1 {
+            let prev = levels.last().expect("non-empty");
+            let next = prev
+                .chunks(2)
+                .map(|pair| node_hash(pair[0], *pair.get(1).unwrap_or(&pair[0])))
+                .collect();
+            levels.push(next);
+        }
+        Ok(Self { levels })
+    }
+
+    /// The tree root.
+    pub fn root(&self) -> Digest {
+        self.levels.last().expect("non-empty")[0]
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// Produces an inclusion proof for leaf `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MerkleError::IndexOutOfRange`] for a bad index.
+    pub fn prove(&self, index: usize) -> Result<MerkleProof, MerkleError> {
+        let leaves = self.leaf_count();
+        if index >= leaves {
+            return Err(MerkleError::IndexOutOfRange { index, leaves });
+        }
+        let mut siblings = Vec::new();
+        let mut position = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sibling_pos = position ^ 1;
+            siblings.push(*level.get(sibling_pos).unwrap_or(&level[position]));
+            position /= 2;
+        }
+        Ok(MerkleProof { index: index as u64, siblings })
+    }
+}
+
+/// An inclusion proof: the leaf index and the sibling hashes up the tree.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MerkleProof {
+    index: u64,
+    siblings: Vec<Digest>,
+}
+
+impl MerkleProof {
+    /// The index of the proven leaf.
+    pub const fn index(&self) -> u64 {
+        self.index
+    }
+
+    /// Proof length (tree height).
+    pub fn len(&self) -> usize {
+        self.siblings.len()
+    }
+
+    /// Whether the proof has no siblings (single-leaf tree).
+    pub fn is_empty(&self) -> bool {
+        self.siblings.is_empty()
+    }
+
+    /// Verifies that `leaf_data` is the leaf at [`MerkleProof::index`] of
+    /// the tree with the given `root`.
+    pub fn verify(&self, root: Digest, leaf_data: &[u8]) -> bool {
+        let mut hash = leaf_hash(leaf_data);
+        let mut position = self.index;
+        for &sibling in &self.siblings {
+            hash = if position & 1 == 0 {
+                node_hash(hash, sibling)
+            } else {
+                node_hash(sibling, hash)
+            };
+            position /= 2;
+        }
+        hash == root
+    }
+}
+
+impl Encode for MerkleProof {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.index.encode(buf);
+        self.siblings.encode(buf);
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.index.encoded_len() + self.siblings.encoded_len()
+    }
+}
+
+impl Decode for MerkleProof {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(Self { index: u64::decode(buf)?, siblings: Vec::<Digest>::decode(buf)? })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaves(count: usize) -> Vec<Vec<u8>> {
+        (0..count).map(|i| format!("leaf-{i}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn all_leaves_prove_for_various_sizes() {
+        for count in [1usize, 2, 3, 4, 5, 7, 8, 9, 16, 31] {
+            let data = leaves(count);
+            let tree = MerkleTree::build(&data).unwrap();
+            assert_eq!(tree.leaf_count(), count);
+            for (i, leaf) in data.iter().enumerate() {
+                let proof = tree.prove(i).unwrap();
+                assert!(proof.verify(tree.root(), leaf), "count={count} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_leaf_or_wrong_index_fails() {
+        let data = leaves(6);
+        let tree = MerkleTree::build(&data).unwrap();
+        let proof = tree.prove(2).unwrap();
+        assert!(!proof.verify(tree.root(), &data[3]));
+        let other_proof = tree.prove(3).unwrap();
+        assert!(!other_proof.verify(tree.root(), &data[2]));
+    }
+
+    #[test]
+    fn wrong_root_fails() {
+        let data = leaves(4);
+        let tree = MerkleTree::build(&data).unwrap();
+        let other = MerkleTree::build(&leaves(5)).unwrap();
+        let proof = tree.prove(0).unwrap();
+        assert!(!proof.verify(other.root(), &data[0]));
+    }
+
+    #[test]
+    fn empty_tree_is_rejected() {
+        assert!(matches!(
+            MerkleTree::build(&Vec::<Vec<u8>>::new()),
+            Err(MerkleError::Empty)
+        ));
+    }
+
+    #[test]
+    fn out_of_range_index_is_rejected() {
+        let tree = MerkleTree::build(&leaves(3)).unwrap();
+        assert_eq!(
+            tree.prove(3).unwrap_err(),
+            MerkleError::IndexOutOfRange { index: 3, leaves: 3 }
+        );
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let data = leaves(1);
+        let tree = MerkleTree::build(&data).unwrap();
+        let proof = tree.prove(0).unwrap();
+        assert!(proof.is_empty());
+        assert!(proof.verify(tree.root(), &data[0]));
+    }
+
+    #[test]
+    fn proof_codec_roundtrip() {
+        let data = leaves(9);
+        let tree = MerkleTree::build(&data).unwrap();
+        let proof = tree.prove(5).unwrap();
+        let bytes = proof.to_bytes();
+        assert_eq!(bytes.len(), proof.encoded_len());
+        let decoded = MerkleProof::from_bytes(&bytes).unwrap();
+        assert!(decoded.verify(tree.root(), &data[5]));
+    }
+
+    #[test]
+    fn roots_differ_across_leaf_sets() {
+        let a = MerkleTree::build(&leaves(4)).unwrap();
+        let b = MerkleTree::build(&leaves(5)).unwrap();
+        assert_ne!(a.root(), b.root());
+    }
+}

@@ -1,0 +1,113 @@
+//! Deterministic Miller–Rabin primality testing for `u64`.
+//!
+//! Used to certify the hardcoded group constants of [`crate::field`] and by
+//! tests; exposed publicly because the experiment harness also uses it to
+//! sanity-check derived parameters.
+
+/// Deterministic Miller–Rabin witnesses sufficient for all `u64` inputs
+/// (Sinclair's verified base set).
+const WITNESSES: [u64; 12] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37];
+
+#[inline]
+fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((u128::from(a) * u128::from(b)) % u128::from(m)) as u64
+}
+
+#[inline]
+fn pow_mod(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    let mut acc: u64 = 1 % m;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base, m);
+        }
+        base = mul_mod(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Whether `n` is prime. Exact (not probabilistic) for all `u64` values.
+///
+/// ```
+/// use dagrider_crypto::primes::is_prime;
+/// assert!(is_prime(2));
+/// assert!(is_prime(1_152_921_504_606_845_789)); // the coin group's q
+/// assert!(!is_prime(1));
+/// assert!(!is_prime(561)); // Carmichael number
+/// ```
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n.is_multiple_of(p) {
+            return n == p;
+        }
+    }
+    let mut d = n - 1;
+    let mut s = 0u32;
+    while d.is_multiple_of(2) {
+        d /= 2;
+        s += 1;
+    }
+    'witness: for a in WITNESSES {
+        let mut x = pow_mod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 1..s {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Whether `p` is a safe prime (`p` and `(p-1)/2` both prime).
+pub fn is_safe_prime(p: u64) -> bool {
+    p > 4 && p % 2 == 1 && is_prime(p) && is_prime((p - 1) / 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::{P, Q};
+
+    #[test]
+    fn small_primes_and_composites() {
+        let primes = [2u64, 3, 5, 7, 11, 101, 7919];
+        let composites = [0u64, 1, 4, 9, 561, 1105, 6601, 8911, 2047];
+        for p in primes {
+            assert!(is_prime(p), "{p} should be prime");
+        }
+        for c in composites {
+            assert!(!is_prime(c), "{c} should be composite");
+        }
+    }
+
+    #[test]
+    fn large_known_primes() {
+        assert!(is_prime((1 << 61) - 1)); // Mersenne prime 2^61 - 1
+        assert!(!is_prime((1 << 61) - 3));
+        assert!(is_prime(18_446_744_073_709_551_557)); // largest u64 prime
+    }
+
+    #[test]
+    fn coin_group_constants_are_certified() {
+        assert!(is_prime(P), "p must be prime");
+        assert!(is_prime(Q), "q must be prime");
+        assert!(is_safe_prime(P), "p must be a safe prime");
+        assert_eq!(P, 2 * Q + 1);
+    }
+
+    #[test]
+    fn strong_pseudoprimes_to_base_two_are_caught() {
+        // 3215031751 is a strong pseudoprime to bases 2, 3, 5, 7.
+        assert!(!is_prime(3_215_031_751));
+        assert!(!is_prime(3_474_749_660_383));
+    }
+}

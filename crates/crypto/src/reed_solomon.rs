@@ -1,0 +1,398 @@
+//! Reed–Solomon erasure coding over GF(2^8).
+//!
+//! The dispersal substrate of Cachin–Tessaro AVID \[14\]: a message is split
+//! into `k = f + 1` data words and expanded to `n = 3f + 1` shards such
+//! that *any* `k` shards reconstruct the message. Encoding evaluates, for
+//! each byte column, the degree-`k-1` polynomial whose coefficients are the
+//! data bytes at the shard's field point; decoding inverts the
+//! corresponding Vandermonde system by Gaussian elimination.
+//!
+//! ```
+//! use dagrider_crypto::ReedSolomon;
+//!
+//! let rs = ReedSolomon::new(2, 4)?; // k = f + 1 = 2, n = 3f + 1 = 4
+//! let shards = rs.encode(b"all you need is DAG");
+//! // Any 2 of the 4 shards reconstruct.
+//! let recovered = rs.decode(&[shards[3].clone(), shards[1].clone()])?;
+//! assert_eq!(recovered, b"all you need is DAG");
+//! # Ok::<(), dagrider_crypto::RsError>(())
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use dagrider_types::{Decode, DecodeError, Encode};
+
+use crate::gf256;
+
+/// Errors from Reed–Solomon configuration or decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RsError {
+    /// `data_shards` or `total_shards` out of the supported range.
+    InvalidParameters {
+        /// Requested data shards `k`.
+        data_shards: usize,
+        /// Requested total shards `n`.
+        total_shards: usize,
+    },
+    /// Fewer than `k` distinct shards were provided to `decode`.
+    NotEnoughShards {
+        /// Distinct shards provided.
+        provided: usize,
+        /// Required, `k`.
+        required: usize,
+    },
+    /// A shard's index is outside `0..n`.
+    BadShardIndex(u8),
+    /// Provided shards have differing lengths.
+    InconsistentShardLength,
+    /// The decoded padding header is corrupt (wrong shard contents).
+    CorruptPayload,
+}
+
+impl fmt::Display for RsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RsError::InvalidParameters { data_shards, total_shards } => {
+                write!(f, "invalid RS parameters k={data_shards}, n={total_shards}")
+            }
+            RsError::NotEnoughShards { provided, required } => {
+                write!(f, "{provided} distinct shards provided, {required} required")
+            }
+            RsError::BadShardIndex(i) => write!(f, "shard index {i} out of range"),
+            RsError::InconsistentShardLength => write!(f, "shards have differing lengths"),
+            RsError::CorruptPayload => write!(f, "decoded payload failed its length header"),
+        }
+    }
+}
+
+impl Error for RsError {}
+
+/// One erasure-code fragment: its evaluation-point index and bytes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shard {
+    /// The shard's index in `0..n` (its field evaluation point).
+    pub index: u8,
+    /// The shard bytes (one byte per input byte column).
+    pub data: Vec<u8>,
+}
+
+impl Encode for Shard {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.index.encode(buf);
+        self.data.encode(buf);
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.index.encoded_len() + self.data.encoded_len()
+    }
+}
+
+impl Decode for Shard {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(Self { index: u8::decode(buf)?, data: Vec::<u8>::decode(buf)? })
+    }
+}
+
+/// A `(k, n)` Reed–Solomon code: `k` data shards, `n` total shards, any
+/// `k` reconstruct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReedSolomon {
+    data_shards: usize,
+    total_shards: usize,
+}
+
+impl ReedSolomon {
+    /// Creates a `(k, n)` code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsError::InvalidParameters`] unless
+    /// `1 ≤ k ≤ n ≤ 255`.
+    pub fn new(data_shards: usize, total_shards: usize) -> Result<Self, RsError> {
+        if data_shards == 0 || data_shards > total_shards || total_shards > 255 {
+            return Err(RsError::InvalidParameters { data_shards, total_shards });
+        }
+        Ok(Self { data_shards, total_shards })
+    }
+
+    /// The code for a BFT committee: `k = f + 1`, `n = 3f + 1`.
+    pub fn for_committee(committee: &dagrider_types::Committee) -> Self {
+        Self::new(committee.small_quorum(), committee.n())
+            .expect("committee sizes are valid RS parameters")
+    }
+
+    /// Data shards `k`.
+    pub const fn data_shards(&self) -> usize {
+        self.data_shards
+    }
+
+    /// Total shards `n`.
+    pub const fn total_shards(&self) -> usize {
+        self.total_shards
+    }
+
+    /// Size in bytes of each shard for a `payload_len`-byte message
+    /// (payload plus an 8-byte length header, padded to a multiple of `k`).
+    pub fn shard_len(&self, payload_len: usize) -> usize {
+        (payload_len + 8).div_ceil(self.data_shards)
+    }
+
+    /// Encodes `payload` into `n` shards, any `k` of which reconstruct it.
+    pub fn encode(&self, payload: &[u8]) -> Vec<Shard> {
+        let shard_len = self.shard_len(payload.len());
+        // Framed payload: 8-byte little-endian length, payload, zero pad.
+        let mut framed = Vec::with_capacity(shard_len * self.data_shards);
+        framed.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        framed.extend_from_slice(payload);
+        framed.resize(shard_len * self.data_shards, 0);
+
+        let mut shards: Vec<Shard> = (0..self.total_shards)
+            .map(|i| Shard { index: i as u8, data: vec![0u8; shard_len] })
+            .collect();
+        // Column c holds bytes framed[c], framed[c + shard_len], … as the
+        // coefficients of a degree-(k-1) polynomial; shard i gets its
+        // evaluation at x = i.
+        for column in 0..shard_len {
+            for shard in &mut shards {
+                let x = shard.index;
+                let mut acc = 0u8;
+                // Horner, highest coefficient first.
+                for word in (0..self.data_shards).rev() {
+                    acc = gf256::add(gf256::mul(acc, x), framed[word * shard_len + column]);
+                }
+                shard.data[column] = acc;
+            }
+        }
+        shards
+    }
+
+    /// Reconstructs the payload from at least `k` distinct shards.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`RsError`] if shards are too few, malformed, or
+    /// mutually inconsistent.
+    pub fn decode(&self, shards: &[Shard]) -> Result<Vec<u8>, RsError> {
+        // Deduplicate by index, keeping the first occurrence.
+        let mut chosen: Vec<&Shard> = Vec::with_capacity(self.data_shards);
+        for shard in shards {
+            if usize::from(shard.index) >= self.total_shards {
+                return Err(RsError::BadShardIndex(shard.index));
+            }
+            if chosen.iter().all(|s| s.index != shard.index) {
+                chosen.push(shard);
+                if chosen.len() == self.data_shards {
+                    break;
+                }
+            }
+        }
+        if chosen.len() < self.data_shards {
+            return Err(RsError::NotEnoughShards {
+                provided: chosen.len(),
+                required: self.data_shards,
+            });
+        }
+        let shard_len = chosen[0].data.len();
+        if chosen.iter().any(|s| s.data.len() != shard_len) {
+            return Err(RsError::InconsistentShardLength);
+        }
+
+        // Invert the k×k Vandermonde system V · coeffs = values.
+        let k = self.data_shards;
+        let mut matrix = vec![0u8; k * k];
+        for (row, shard) in chosen.iter().enumerate() {
+            for col in 0..k {
+                matrix[row * k + col] = gf256::pow(shard.index, col as u32);
+            }
+        }
+        let inverse = invert_matrix(matrix, k).ok_or(RsError::CorruptPayload)?;
+
+        let mut framed = vec![0u8; k * shard_len];
+        for column in 0..shard_len {
+            for word in 0..k {
+                let mut acc = 0u8;
+                for (j, shard) in chosen.iter().enumerate() {
+                    acc = gf256::add(acc, gf256::mul(inverse[word * k + j], shard.data[column]));
+                }
+                framed[word * shard_len + column] = acc;
+            }
+        }
+
+        let payload_len =
+            u64::from_le_bytes(framed[..8].try_into().expect("framed >= 8 bytes")) as usize;
+        if payload_len + 8 > framed.len() {
+            return Err(RsError::CorruptPayload);
+        }
+        Ok(framed[8..8 + payload_len].to_vec())
+    }
+}
+
+/// Inverts a `k × k` matrix over GF(2^8) by Gauss–Jordan elimination.
+/// Returns `None` if singular (cannot happen for distinct Vandermonde
+/// points, but guards corrupt input).
+fn invert_matrix(mut m: Vec<u8>, k: usize) -> Option<Vec<u8>> {
+    let mut inv = vec![0u8; k * k];
+    for i in 0..k {
+        inv[i * k + i] = 1;
+    }
+    for col in 0..k {
+        // Find a pivot.
+        let pivot = (col..k).find(|&r| m[r * k + col] != 0)?;
+        if pivot != col {
+            for c in 0..k {
+                m.swap(col * k + c, pivot * k + c);
+                inv.swap(col * k + c, pivot * k + c);
+            }
+        }
+        let scale = gf256::inv(m[col * k + col]);
+        for c in 0..k {
+            m[col * k + c] = gf256::mul(m[col * k + c], scale);
+            inv[col * k + c] = gf256::mul(inv[col * k + c], scale);
+        }
+        for row in 0..k {
+            if row == col || m[row * k + col] == 0 {
+                continue;
+            }
+            let factor = m[row * k + col];
+            for c in 0..k {
+                m[row * k + c] = gf256::add(m[row * k + c], gf256::mul(factor, m[col * k + c]));
+                inv[row * k + c] =
+                    gf256::add(inv[row * k + c], gf256::mul(factor, inv[col * k + c]));
+            }
+        }
+    }
+    Some(inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_payload(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i * 31 % 251) as u8).collect()
+    }
+
+    #[test]
+    fn roundtrip_with_first_k_shards() {
+        let rs = ReedSolomon::new(3, 10).unwrap();
+        let payload = sample_payload(100);
+        let shards = rs.encode(&payload);
+        assert_eq!(shards.len(), 10);
+        assert_eq!(rs.decode(&shards[..3]).unwrap(), payload);
+    }
+
+    #[test]
+    fn roundtrip_with_any_k_subset() {
+        let rs = ReedSolomon::new(2, 4).unwrap();
+        let payload = sample_payload(33);
+        let shards = rs.encode(&payload);
+        for a in 0..4 {
+            for b in (a + 1)..4 {
+                let subset = vec![shards[b].clone(), shards[a].clone()];
+                assert_eq!(rs.decode(&subset).unwrap(), payload, "subset ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_empty_and_tiny_payloads() {
+        let rs = ReedSolomon::new(4, 13).unwrap();
+        for len in [0usize, 1, 2, 3, 4, 5] {
+            let payload = sample_payload(len);
+            let shards = rs.encode(&payload);
+            assert_eq!(rs.decode(&shards[5..9]).unwrap(), payload, "len = {len}");
+        }
+    }
+
+    #[test]
+    fn payload_not_multiple_of_k_roundtrips() {
+        let rs = ReedSolomon::new(5, 16).unwrap();
+        let payload = sample_payload(123); // 123 + 8 = 131, not divisible by 5
+        let shards = rs.encode(&payload);
+        let picks: Vec<Shard> = [15usize, 0, 7, 3, 11].iter().map(|&i| shards[i].clone()).collect();
+        assert_eq!(rs.decode(&picks).unwrap(), payload);
+    }
+
+    #[test]
+    fn too_few_shards_is_detected() {
+        let rs = ReedSolomon::new(3, 7).unwrap();
+        let shards = rs.encode(&sample_payload(50));
+        assert_eq!(
+            rs.decode(&shards[..2]),
+            Err(RsError::NotEnoughShards { provided: 2, required: 3 })
+        );
+    }
+
+    #[test]
+    fn duplicate_shards_do_not_count_twice() {
+        let rs = ReedSolomon::new(3, 7).unwrap();
+        let shards = rs.encode(&sample_payload(50));
+        let dupes = vec![shards[0].clone(), shards[0].clone(), shards[0].clone()];
+        assert!(matches!(rs.decode(&dupes), Err(RsError::NotEnoughShards { .. })));
+    }
+
+    #[test]
+    fn bad_index_is_rejected() {
+        let rs = ReedSolomon::new(2, 4).unwrap();
+        let mut shards = rs.encode(&sample_payload(10));
+        shards[0].index = 17;
+        assert_eq!(rs.decode(&shards), Err(RsError::BadShardIndex(17)));
+    }
+
+    #[test]
+    fn inconsistent_lengths_are_rejected() {
+        let rs = ReedSolomon::new(2, 4).unwrap();
+        let mut shards = rs.encode(&sample_payload(40));
+        shards[1].data.pop();
+        assert_eq!(
+            rs.decode(&[shards[0].clone(), shards[1].clone()]),
+            Err(RsError::InconsistentShardLength)
+        );
+    }
+
+    #[test]
+    fn parameters_are_validated() {
+        assert!(ReedSolomon::new(0, 4).is_err());
+        assert!(ReedSolomon::new(5, 4).is_err());
+        assert!(ReedSolomon::new(1, 256).is_err());
+        assert!(ReedSolomon::new(1, 1).is_ok());
+        assert!(ReedSolomon::new(255, 255).is_ok());
+    }
+
+    #[test]
+    fn committee_parameters() {
+        let committee = dagrider_types::Committee::new(10).unwrap();
+        let rs = ReedSolomon::for_committee(&committee);
+        assert_eq!(rs.data_shards(), 4);
+        assert_eq!(rs.total_shards(), 10);
+    }
+
+    #[test]
+    fn expansion_ratio_is_n_over_k() {
+        // The heart of AVID's efficiency: total bytes across shards is
+        // about (n/k)·|payload|, not n·|payload|.
+        let rs = ReedSolomon::new(4, 13).unwrap();
+        let payload = sample_payload(4000);
+        let shards = rs.encode(&payload);
+        let total: usize = shards.iter().map(|s| s.data.len()).sum();
+        let ratio = total as f64 / payload.len() as f64;
+        assert!(ratio < 13.0 / 4.0 + 0.1, "ratio {ratio}");
+    }
+
+    #[test]
+    fn shard_codec_roundtrip() {
+        let shard = Shard { index: 7, data: vec![1, 2, 3, 4] };
+        let bytes = shard.to_bytes();
+        assert_eq!(bytes.len(), shard.encoded_len());
+        assert_eq!(Shard::from_bytes(&bytes).unwrap(), shard);
+    }
+
+    #[test]
+    fn single_shard_code_is_identity_plus_header() {
+        let rs = ReedSolomon::new(1, 1).unwrap();
+        let payload = sample_payload(20);
+        let shards = rs.encode(&payload);
+        assert_eq!(rs.decode(&shards).unwrap(), payload);
+    }
+}

@@ -1,0 +1,207 @@
+//! Shamir secret sharing over `Z_q` (the exponent field of the coin group).
+//!
+//! The trusted dealer of §2 uses this to share the coin's master secret
+//! with threshold `f + 1`: any `f + 1` shares reconstruct, any `f` reveal
+//! nothing (information-theoretically).
+
+use std::error::Error;
+use std::fmt;
+
+use rand::Rng;
+
+use crate::field::Scalar;
+
+/// One party's share: the polynomial evaluated at a nonzero point `x`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShamirShare {
+    /// The evaluation point (we use `index + 1` for party `index`).
+    pub x: u64,
+    /// The polynomial value at `x`.
+    pub y: Scalar,
+}
+
+/// Errors from share generation or reconstruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShamirError {
+    /// Requested threshold 0 or greater than the number of shares.
+    InvalidThreshold {
+        /// Requested threshold.
+        threshold: usize,
+        /// Number of shares requested/provided.
+        shares: usize,
+    },
+    /// Two provided shares have the same evaluation point.
+    DuplicatePoint(u64),
+}
+
+impl fmt::Display for ShamirError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShamirError::InvalidThreshold { threshold, shares } => {
+                write!(f, "threshold {threshold} invalid for {shares} shares")
+            }
+            ShamirError::DuplicatePoint(x) => write!(f, "duplicate evaluation point {x}"),
+        }
+    }
+}
+
+impl Error for ShamirError {}
+
+/// Splits `secret` into `n` shares with reconstruction threshold
+/// `threshold` (a random polynomial of degree `threshold - 1` with constant
+/// term `secret`, evaluated at `x = 1..=n`).
+///
+/// # Errors
+///
+/// Returns [`ShamirError::InvalidThreshold`] if `threshold` is 0 or exceeds
+/// `n`.
+pub fn share_secret(
+    secret: Scalar,
+    n: usize,
+    threshold: usize,
+    rng: &mut impl Rng,
+) -> Result<Vec<ShamirShare>, ShamirError> {
+    if threshold == 0 || threshold > n {
+        return Err(ShamirError::InvalidThreshold { threshold, shares: n });
+    }
+    let mut coefficients = Vec::with_capacity(threshold);
+    coefficients.push(secret);
+    for _ in 1..threshold {
+        coefficients.push(Scalar::new(rng.next_u64()));
+    }
+    Ok((1..=n as u64)
+        .map(|x| ShamirShare { x, y: eval_poly(&coefficients, Scalar::new(x)) })
+        .collect())
+}
+
+fn eval_poly(coefficients: &[Scalar], x: Scalar) -> Scalar {
+    // Horner's rule, highest coefficient first.
+    coefficients
+        .iter()
+        .rev()
+        .fold(Scalar::ZERO, |acc, &c| acc * x + c)
+}
+
+/// Reconstructs the secret from at least `threshold` shares by Lagrange
+/// interpolation at 0. Extra shares are ignored beyond consistency.
+///
+/// # Errors
+///
+/// Returns [`ShamirError::DuplicatePoint`] if two shares use the same `x`,
+/// or [`ShamirError::InvalidThreshold`] if `shares` is empty.
+pub fn reconstruct_secret(shares: &[ShamirShare]) -> Result<Scalar, ShamirError> {
+    if shares.is_empty() {
+        return Err(ShamirError::InvalidThreshold { threshold: 1, shares: 0 });
+    }
+    for (i, a) in shares.iter().enumerate() {
+        if shares[..i].iter().any(|b| b.x == a.x) {
+            return Err(ShamirError::DuplicatePoint(a.x));
+        }
+    }
+    let mut secret = Scalar::ZERO;
+    for (i, share) in shares.iter().enumerate() {
+        secret = secret + share.y * lagrange_at_zero(shares, i);
+    }
+    Ok(secret)
+}
+
+/// The Lagrange coefficient `λ_i(0) = Π_{j≠i} x_j / (x_j - x_i)` for the
+/// evaluation points in `shares`. Public because the threshold coin needs
+/// the same coefficients *in the exponent*.
+pub fn lagrange_at_zero(shares: &[ShamirShare], i: usize) -> Scalar {
+    let xi = Scalar::new(shares[i].x);
+    let mut num = Scalar::ONE;
+    let mut den = Scalar::ONE;
+    for (j, other) in shares.iter().enumerate() {
+        if j == i {
+            continue;
+        }
+        let xj = Scalar::new(other.x);
+        num = num * xj;
+        den = den * (xj - xi);
+    }
+    num * den.inverse()
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn reconstructs_from_exactly_threshold_shares() {
+        let secret = Scalar::new(0x1234_5678_9abc);
+        let shares = share_secret(secret, 7, 3, &mut rng()).unwrap();
+        assert_eq!(shares.len(), 7);
+        assert_eq!(reconstruct_secret(&shares[..3]).unwrap(), secret);
+        assert_eq!(reconstruct_secret(&shares[2..5]).unwrap(), secret);
+    }
+
+    #[test]
+    fn reconstructs_from_any_subset_of_threshold_size() {
+        let secret = Scalar::new(424_242);
+        let shares = share_secret(secret, 10, 4, &mut rng()).unwrap();
+        // All 4-subsets of a few scattered picks.
+        let picks = [[0usize, 3, 7, 9], [1, 2, 4, 8], [5, 6, 7, 8]];
+        for pick in picks {
+            let subset: Vec<_> = pick.iter().map(|&i| shares[i]).collect();
+            assert_eq!(reconstruct_secret(&subset).unwrap(), secret, "{pick:?}");
+        }
+    }
+
+    #[test]
+    fn below_threshold_reconstruction_is_wrong_with_high_probability() {
+        let secret = Scalar::new(99);
+        let shares = share_secret(secret, 7, 3, &mut rng()).unwrap();
+        // Interpolating a degree-2 polynomial from 2 points yields the
+        // wrong constant term (except with probability 1/q).
+        let wrong = reconstruct_secret(&shares[..2]).unwrap();
+        assert_ne!(wrong, secret);
+    }
+
+    #[test]
+    fn extra_shares_are_consistent() {
+        let secret = Scalar::new(5);
+        let shares = share_secret(secret, 7, 3, &mut rng()).unwrap();
+        assert_eq!(reconstruct_secret(&shares).unwrap(), secret);
+    }
+
+    #[test]
+    fn rejects_invalid_threshold() {
+        assert!(share_secret(Scalar::ONE, 4, 0, &mut rng()).is_err());
+        assert!(share_secret(Scalar::ONE, 4, 5, &mut rng()).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_points() {
+        let shares = vec![
+            ShamirShare { x: 1, y: Scalar::new(10) },
+            ShamirShare { x: 1, y: Scalar::new(20) },
+        ];
+        assert_eq!(reconstruct_secret(&shares), Err(ShamirError::DuplicatePoint(1)));
+    }
+
+    #[test]
+    fn lagrange_coefficients_sum_property() {
+        // For the constant polynomial 1, interpolation must give 1, i.e.
+        // the Lagrange coefficients sum to 1.
+        let shares: Vec<_> =
+            (1..=5u64).map(|x| ShamirShare { x, y: Scalar::ONE }).collect();
+        assert_eq!(reconstruct_secret(&shares).unwrap(), Scalar::ONE);
+    }
+
+    #[test]
+    fn threshold_one_is_a_constant_polynomial() {
+        let secret = Scalar::new(77);
+        let shares = share_secret(secret, 4, 1, &mut rng()).unwrap();
+        for share in &shares {
+            assert_eq!(share.y, secret);
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! The protocol-process interface.
+
+use bytes::Bytes;
+use dagrider_types::{Committee, ProcessId};
+use rand::rngs::StdRng;
+
+use crate::time::Time;
+
+/// A protocol process running inside a [`Simulation`](crate::Simulation).
+///
+/// Implementations are *sans-io state machines*: they react to `init`,
+/// incoming messages, and timers, and emit sends through the [`Context`].
+/// All nondeterminism must come from [`Context::rng`] so runs stay
+/// reproducible.
+pub trait Actor {
+    /// Called once before any event is delivered.
+    fn init(&mut self, ctx: &mut Context<'_>) {
+        let _ = ctx;
+    }
+
+    /// Called when a message from `from` arrives.
+    ///
+    /// `from` is trustworthy (§2: recipients "can verify the sender's
+    /// identity"); `payload` is whatever bytes the sender put on the wire
+    /// and must be treated as untrusted input.
+    fn on_message(&mut self, from: ProcessId, payload: &[u8], ctx: &mut Context<'_>);
+
+    /// Called when a timer scheduled via [`Context::schedule`] fires.
+    fn on_timer(&mut self, tag: u64, ctx: &mut Context<'_>) {
+        let _ = (tag, ctx);
+    }
+}
+
+/// The capabilities available to an [`Actor`] during a callback.
+#[derive(Debug)]
+pub struct Context<'a> {
+    pub(crate) me: ProcessId,
+    pub(crate) now: Time,
+    pub(crate) committee: Committee,
+    pub(crate) rng: &'a mut StdRng,
+    pub(crate) outbox: &'a mut Vec<(ProcessId, Bytes)>,
+    pub(crate) timers: &'a mut Vec<(u64, u64)>,
+}
+
+impl Context<'_> {
+    /// The identity of the running process.
+    pub fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The committee this process belongs to.
+    pub fn committee(&self) -> Committee {
+        self.committee
+    }
+
+    /// Sends `payload` to `to` over the (adversarially scheduled) network.
+    /// Sending to oneself is allowed and is not metered as network traffic.
+    pub fn send(&mut self, to: ProcessId, payload: Bytes) {
+        self.outbox.push((to, payload));
+    }
+
+    /// Sends `payload` to every committee member, *including* this process
+    /// (the paper's protocols count a process as a recipient of its own
+    /// broadcasts; the self-copy costs nothing on the wire).
+    pub fn broadcast(&mut self, payload: Bytes) {
+        for to in self.committee.members() {
+            self.outbox.push((to, payload.clone()));
+        }
+    }
+
+    /// Sends `payload` to every committee member except this process.
+    pub fn broadcast_to_others(&mut self, payload: Bytes) {
+        let me = self.me;
+        for to in self.committee.others(me) {
+            self.outbox.push((to, payload.clone()));
+        }
+    }
+
+    /// Schedules [`Actor::on_timer`] with `tag` after `delay` ticks.
+    pub fn schedule(&mut self, delay: u64, tag: u64) {
+        self.timers.push((delay, tag));
+    }
+
+    /// This process's deterministic random generator (seeded from the
+    /// simulation seed and the process index).
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+}
+
+/// An [`Actor`] that is one of two concrete types — the idiomatic way to
+/// mix honest and Byzantine implementations in one `Simulation<A>` without
+/// trait objects.
+#[derive(Debug, Clone)]
+pub enum Either<L, R> {
+    /// The first kind (conventionally the honest actor).
+    Left(L),
+    /// The second kind (conventionally the Byzantine actor).
+    Right(R),
+}
+
+impl<L, R> Either<L, R> {
+    /// The left actor, if that is what this is.
+    pub fn as_left(&self) -> Option<&L> {
+        match self {
+            Either::Left(l) => Some(l),
+            Either::Right(_) => None,
+        }
+    }
+
+    /// The right actor, if that is what this is.
+    pub fn as_right(&self) -> Option<&R> {
+        match self {
+            Either::Left(_) => None,
+            Either::Right(r) => Some(r),
+        }
+    }
+
+    /// Mutable access to the left actor.
+    pub fn as_left_mut(&mut self) -> Option<&mut L> {
+        match self {
+            Either::Left(l) => Some(l),
+            Either::Right(_) => None,
+        }
+    }
+}
+
+impl<L: Actor, R: Actor> Actor for Either<L, R> {
+    fn init(&mut self, ctx: &mut Context<'_>) {
+        match self {
+            Either::Left(l) => l.init(ctx),
+            Either::Right(r) => r.init(ctx),
+        }
+    }
+
+    fn on_message(&mut self, from: ProcessId, payload: &[u8], ctx: &mut Context<'_>) {
+        match self {
+            Either::Left(l) => l.on_message(from, payload, ctx),
+            Either::Right(r) => r.on_message(from, payload, ctx),
+        }
+    }
+
+    fn on_timer(&mut self, tag: u64, ctx: &mut Context<'_>) {
+        match self {
+            Either::Left(l) => l.on_timer(tag, ctx),
+            Either::Right(r) => r.on_timer(tag, ctx),
+        }
+    }
+}

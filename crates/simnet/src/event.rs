@@ -1,0 +1,92 @@
+//! Simulator events.
+
+use bytes::Bytes;
+use dagrider_types::ProcessId;
+
+use crate::time::Time;
+
+/// What happens when an event fires.
+#[derive(Debug, Clone)]
+pub enum EventKind {
+    /// A message from `from` arrives at `to`.
+    Delivery {
+        /// The sender.
+        from: ProcessId,
+        /// The recipient.
+        to: ProcessId,
+        /// The wire bytes.
+        payload: Bytes,
+    },
+    /// A timer set by `owner` with `Context::schedule` fires.
+    Timer {
+        /// The process whose timer fires.
+        owner: ProcessId,
+        /// The tag passed to `schedule`.
+        tag: u64,
+    },
+}
+
+/// A scheduled event. Ordered by `(time, seq)` so ties break in insertion
+/// order and runs are deterministic.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// When the event fires.
+    pub time: Time,
+    /// Global insertion sequence number (tiebreaker).
+    pub seq: u64,
+    /// The event itself.
+    pub kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    fn timer(time: u64, seq: u64) -> Event {
+        Event { time: Time::new(time), seq, kind: EventKind::Timer { owner: ProcessId::new(0), tag: 0 } }
+    }
+
+    #[test]
+    fn heap_pops_earliest_time_first() {
+        let mut heap = BinaryHeap::new();
+        heap.push(timer(5, 0));
+        heap.push(timer(1, 1));
+        heap.push(timer(3, 2));
+        assert_eq!(heap.pop().unwrap().time, Time::new(1));
+        assert_eq!(heap.pop().unwrap().time, Time::new(3));
+        assert_eq!(heap.pop().unwrap().time, Time::new(5));
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut heap = BinaryHeap::new();
+        heap.push(timer(2, 10));
+        heap.push(timer(2, 3));
+        heap.push(timer(2, 7));
+        assert_eq!(heap.pop().unwrap().seq, 3);
+        assert_eq!(heap.pop().unwrap().seq, 7);
+        assert_eq!(heap.pop().unwrap().seq, 10);
+    }
+}

@@ -1,0 +1,119 @@
+//! Communication and time accounting.
+//!
+//! §3 ("Communication measurement"): communication complexity is the total
+//! number of bits sent by honest processes per ordered transaction; a time
+//! unit of an execution is the maximum delay of messages among correct
+//! processes. [`Metrics`] gathers exactly these inputs.
+
+use dagrider_types::ProcessId;
+
+use crate::time::Time;
+
+/// Byte, message, and delay accounting for one simulation run.
+#[derive(Debug, Clone)]
+pub struct Metrics {
+    bytes_per_process: Vec<u64>,
+    messages_per_process: Vec<u64>,
+    max_correct_delay: u64,
+    deliveries: u64,
+}
+
+impl Metrics {
+    pub(crate) fn new(n: usize) -> Self {
+        Self {
+            bytes_per_process: vec![0; n],
+            messages_per_process: vec![0; n],
+            max_correct_delay: 0,
+            deliveries: 0,
+        }
+    }
+
+    pub(crate) fn record_send(&mut self, from: ProcessId, bytes: usize) {
+        self.bytes_per_process[from.as_usize()] += bytes as u64;
+        self.messages_per_process[from.as_usize()] += 1;
+    }
+
+    pub(crate) fn record_correct_delay(&mut self, delay: u64) {
+        self.max_correct_delay = self.max_correct_delay.max(delay);
+    }
+
+    pub(crate) fn record_delivery(&mut self) {
+        self.deliveries += 1;
+    }
+
+    /// Total bytes put on the wire (self-addressed copies excluded).
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_per_process.iter().sum()
+    }
+
+    /// Total messages put on the wire.
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_per_process.iter().sum()
+    }
+
+    /// Bytes sent by one process.
+    pub fn bytes_sent_by(&self, p: ProcessId) -> u64 {
+        self.bytes_per_process[p.as_usize()]
+    }
+
+    /// Messages sent by one process.
+    pub fn messages_sent_by(&self, p: ProcessId) -> u64 {
+        self.messages_per_process[p.as_usize()]
+    }
+
+    /// Total bytes sent by the given subset of (honest) processes — the
+    /// quantity the paper's communication complexity counts.
+    pub fn bytes_sent_by_set(&self, set: impl IntoIterator<Item = ProcessId>) -> u64 {
+        set.into_iter().map(|p| self.bytes_sent_by(p)).sum()
+    }
+
+    /// Messages actually delivered so far.
+    pub fn deliveries(&self) -> u64 {
+        self.deliveries
+    }
+
+    /// The largest delay experienced by a correct-to-correct message — the
+    /// denominator of the paper's time-unit definition.
+    pub fn max_correct_delay(&self) -> u64 {
+        self.max_correct_delay
+    }
+
+    /// Elapsed asynchronous time units at `now` (§3): elapsed ticks divided
+    /// by the maximum correct-to-correct delay. Returns 0.0 before any
+    /// delivery.
+    pub fn time_units(&self, now: Time) -> f64 {
+        if self.max_correct_delay == 0 {
+            0.0
+        } else {
+            now.ticks() as f64 / self.max_correct_delay as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting_sums_per_process() {
+        let mut m = Metrics::new(3);
+        m.record_send(ProcessId::new(0), 100);
+        m.record_send(ProcessId::new(0), 50);
+        m.record_send(ProcessId::new(2), 25);
+        assert_eq!(m.bytes_sent(), 175);
+        assert_eq!(m.messages_sent(), 3);
+        assert_eq!(m.bytes_sent_by(ProcessId::new(0)), 150);
+        assert_eq!(m.messages_sent_by(ProcessId::new(2)), 1);
+        assert_eq!(m.bytes_sent_by_set([ProcessId::new(0), ProcessId::new(1)]), 150);
+    }
+
+    #[test]
+    fn time_units_normalize_by_max_delay() {
+        let mut m = Metrics::new(2);
+        assert_eq!(m.time_units(Time::new(100)), 0.0);
+        m.record_correct_delay(10);
+        m.record_correct_delay(4);
+        assert_eq!(m.max_correct_delay(), 10);
+        assert!((m.time_units(Time::new(100)) - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,340 @@
+//! Message-delay schedulers: the adversary's control over arrival times.
+//!
+//! §2: "The adversary controls the arrival times of messages." A
+//! [`Scheduler`] realizes exactly that power — it assigns every message a
+//! finite delay. It cannot drop correct-to-correct messages (links are
+//! reliable); dropping happens only through crash fault injection.
+
+use dagrider_types::ProcessId;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::time::Time;
+
+/// Chooses the network delay (in ticks, `≥ 1`) for each message.
+pub trait Scheduler {
+    /// Delay for a message of `size` bytes sent `from → to` at time `now`.
+    ///
+    /// Must return at least 1 so time advances; self-addressed messages may
+    /// be given the minimum delay.
+    fn delay(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        size: usize,
+        now: Time,
+        rng: &mut StdRng,
+    ) -> u64;
+}
+
+/// Uniform random delays in `[min, max]` — a fair asynchronous network.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformScheduler {
+    min: u64,
+    max: u64,
+}
+
+impl UniformScheduler {
+    /// Delays uniform in `[min, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min` is 0 or `min > max`.
+    pub fn new(min: u64, max: u64) -> Self {
+        assert!(min >= 1 && min <= max, "need 1 <= min <= max");
+        Self { min, max }
+    }
+
+    /// The scheduler's maximum delay.
+    pub const fn max_delay(&self) -> u64 {
+        self.max
+    }
+}
+
+impl Scheduler for UniformScheduler {
+    fn delay(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        _size: usize,
+        _now: Time,
+        rng: &mut StdRng,
+    ) -> u64 {
+        if from == to {
+            self.min
+        } else {
+            rng.random_range(self.min..=self.max)
+        }
+    }
+}
+
+/// An adversarial scheduler that slows every message to or from a victim
+/// set by a configurable factor, optionally only during a time window.
+///
+/// This is the schedule used to starve a process (exercising weak-edge
+/// validity) or to delay a wave leader's vertex so the commit rule fails
+/// (the Figure 2 scenario).
+#[derive(Debug, Clone)]
+pub struct TargetedScheduler {
+    base: UniformScheduler,
+    victims: Vec<ProcessId>,
+    slow_delay: u64,
+    window: Option<(Time, Time)>,
+}
+
+impl TargetedScheduler {
+    /// Wraps `base`, delaying messages that touch any of `victims` by
+    /// `slow_delay` ticks instead of the base delay.
+    pub fn new(
+        base: UniformScheduler,
+        victims: impl IntoIterator<Item = ProcessId>,
+        slow_delay: u64,
+    ) -> Self {
+        assert!(slow_delay >= 1, "delays must be at least 1 tick");
+        Self { base, victims: victims.into_iter().collect(), slow_delay, window: None }
+    }
+
+    /// Restricts the slow treatment to `start <= now < end`; outside the
+    /// window the base delays apply (the adversary relents, as it
+    /// eventually must in the asynchronous model).
+    pub fn with_window(mut self, start: Time, end: Time) -> Self {
+        self.window = Some((start, end));
+        self
+    }
+
+    fn is_slow(&self, from: ProcessId, to: ProcessId, now: Time) -> bool {
+        if let Some((start, end)) = self.window {
+            if now < start || now >= end {
+                return false;
+            }
+        }
+        self.victims.contains(&from) || self.victims.contains(&to)
+    }
+}
+
+impl Scheduler for TargetedScheduler {
+    fn delay(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        size: usize,
+        now: Time,
+        rng: &mut StdRng,
+    ) -> u64 {
+        if from != to && self.is_slow(from, to, now) {
+            self.slow_delay
+        } else {
+            self.base.delay(from, to, size, now, rng)
+        }
+    }
+}
+
+/// Splits the committee into two groups and stretches cross-group delays
+/// until a heal time — the classic "network partition" schedule. In the
+/// asynchronous model the adversary may not drop correct-to-correct
+/// messages, so a partition is a (long but finite) delay, exactly as
+/// modeled here.
+#[derive(Debug, Clone)]
+pub struct PartitionScheduler {
+    base: UniformScheduler,
+    group_a: Vec<ProcessId>,
+    cross_delay: u64,
+    heal_at: Time,
+}
+
+impl PartitionScheduler {
+    /// Partitions `group_a` from everyone else until `heal_at`;
+    /// cross-partition messages sent before healing take `cross_delay`
+    /// ticks (they are delayed, never lost).
+    pub fn new(
+        base: UniformScheduler,
+        group_a: impl IntoIterator<Item = ProcessId>,
+        cross_delay: u64,
+        heal_at: Time,
+    ) -> Self {
+        assert!(cross_delay >= 1, "delays must be at least 1 tick");
+        Self { base, group_a: group_a.into_iter().collect(), cross_delay, heal_at }
+    }
+
+    fn crosses(&self, from: ProcessId, to: ProcessId) -> bool {
+        self.group_a.contains(&from) != self.group_a.contains(&to)
+    }
+}
+
+impl Scheduler for PartitionScheduler {
+    fn delay(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        size: usize,
+        now: Time,
+        rng: &mut StdRng,
+    ) -> u64 {
+        if from != to && now < self.heal_at && self.crosses(from, to) {
+            // Deliver shortly after the heal, preserving FIFO-ish order.
+            (self.heal_at.ticks() - now.ticks()) + self.cross_delay
+        } else {
+            self.base.delay(from, to, size, now, rng)
+        }
+    }
+}
+
+/// Size-proportional delays: `base + size / bytes_per_tick`, modeling a
+/// bandwidth-limited link. Makes big AVID fragments and Bracha full-payload
+/// echoes pay for their bytes in *time* as well.
+#[derive(Debug, Clone, Copy)]
+pub struct BandwidthScheduler {
+    base: UniformScheduler,
+    bytes_per_tick: u64,
+}
+
+impl BandwidthScheduler {
+    /// Propagation delay from `base` plus `size / bytes_per_tick`
+    /// serialization delay.
+    pub fn new(base: UniformScheduler, bytes_per_tick: u64) -> Self {
+        assert!(bytes_per_tick >= 1, "bandwidth must be positive");
+        Self { base, bytes_per_tick }
+    }
+}
+
+impl Scheduler for BandwidthScheduler {
+    fn delay(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        size: usize,
+        now: Time,
+        rng: &mut StdRng,
+    ) -> u64 {
+        let propagation = self.base.delay(from, to, size, now, rng);
+        if from == to {
+            propagation
+        } else {
+            propagation + size as u64 / self.bytes_per_tick
+        }
+    }
+}
+
+/// Fully custom scheduling from a closure — for one-off adversaries in
+/// tests and experiment scripts.
+pub struct FnScheduler<F>(pub F);
+
+impl<F> Scheduler for FnScheduler<F>
+where
+    F: FnMut(ProcessId, ProcessId, usize, Time, &mut StdRng) -> u64,
+{
+    fn delay(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        size: usize,
+        now: Time,
+        rng: &mut StdRng,
+    ) -> u64 {
+        (self.0)(from, to, size, now, rng)
+    }
+}
+
+impl<F> std::fmt::Debug for FnScheduler<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("FnScheduler(..)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::SeedableRng;
+
+    use super::*;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut s = UniformScheduler::new(2, 9);
+        let mut r = rng();
+        for _ in 0..200 {
+            let d = s.delay(ProcessId::new(0), ProcessId::new(1), 10, Time::ZERO, &mut r);
+            assert!((2..=9).contains(&d));
+        }
+    }
+
+    #[test]
+    fn uniform_self_delivery_is_minimum() {
+        let mut s = UniformScheduler::new(3, 9);
+        let mut r = rng();
+        let d = s.delay(ProcessId::new(2), ProcessId::new(2), 10, Time::ZERO, &mut r);
+        assert_eq!(d, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= min <= max")]
+    fn uniform_rejects_zero_min() {
+        let _ = UniformScheduler::new(0, 5);
+    }
+
+    #[test]
+    fn targeted_slows_victim_links_both_directions() {
+        let base = UniformScheduler::new(1, 4);
+        let victim = ProcessId::new(3);
+        let mut s = TargetedScheduler::new(base, [victim], 1000);
+        let mut r = rng();
+        assert_eq!(s.delay(victim, ProcessId::new(0), 10, Time::ZERO, &mut r), 1000);
+        assert_eq!(s.delay(ProcessId::new(0), victim, 10, Time::ZERO, &mut r), 1000);
+        assert!(s.delay(ProcessId::new(0), ProcessId::new(1), 10, Time::ZERO, &mut r) <= 4);
+        // Self-delivery of the victim is never slowed.
+        assert!(s.delay(victim, victim, 10, Time::ZERO, &mut r) <= 4);
+    }
+
+    #[test]
+    fn targeted_window_expires() {
+        let base = UniformScheduler::new(1, 4);
+        let victim = ProcessId::new(1);
+        let mut s = TargetedScheduler::new(base, [victim], 500)
+            .with_window(Time::new(10), Time::new(20));
+        let mut r = rng();
+        assert!(s.delay(victim, ProcessId::new(0), 1, Time::new(5), &mut r) <= 4);
+        assert_eq!(s.delay(victim, ProcessId::new(0), 1, Time::new(15), &mut r), 500);
+        assert!(s.delay(victim, ProcessId::new(0), 1, Time::new(25), &mut r) <= 4);
+    }
+
+    #[test]
+    fn partition_delays_cross_group_until_heal() {
+        let base = UniformScheduler::new(1, 4);
+        let mut s = PartitionScheduler::new(
+            base,
+            [ProcessId::new(0), ProcessId::new(1)],
+            5,
+            Time::new(100),
+        );
+        let mut r = rng();
+        // Cross-partition before heal: delivered only after heal time.
+        let d = s.delay(ProcessId::new(0), ProcessId::new(2), 1, Time::new(10), &mut r);
+        assert_eq!(d, 95, "10 + 95 = 105 lands after the heal at 100");
+        // Same side: normal.
+        assert!(s.delay(ProcessId::new(0), ProcessId::new(1), 1, Time::new(10), &mut r) <= 4);
+        assert!(s.delay(ProcessId::new(2), ProcessId::new(3), 1, Time::new(10), &mut r) <= 4);
+        // After heal: normal.
+        assert!(s.delay(ProcessId::new(0), ProcessId::new(2), 1, Time::new(150), &mut r) <= 4);
+    }
+
+    #[test]
+    fn bandwidth_charges_size_in_time() {
+        let base = UniformScheduler::new(2, 2);
+        let mut s = BandwidthScheduler::new(base, 100);
+        let mut r = rng();
+        assert_eq!(s.delay(ProcessId::new(0), ProcessId::new(1), 0, Time::ZERO, &mut r), 2);
+        assert_eq!(s.delay(ProcessId::new(0), ProcessId::new(1), 1000, Time::ZERO, &mut r), 12);
+        // Self-delivery is free of serialization delay.
+        assert_eq!(s.delay(ProcessId::new(0), ProcessId::new(0), 1000, Time::ZERO, &mut r), 2);
+    }
+
+    #[test]
+    fn fn_scheduler_delegates() {
+        let mut s = FnScheduler(|_, _, size: usize, _, _: &mut StdRng| size as u64 + 1);
+        let mut r = rng();
+        assert_eq!(s.delay(ProcessId::new(0), ProcessId::new(1), 7, Time::ZERO, &mut r), 8);
+    }
+}

@@ -1,0 +1,56 @@
+//! Virtual time.
+
+use std::fmt;
+use std::ops::Add;
+
+/// A point in virtual time, in simulator ticks.
+///
+/// Ticks are an arbitrary unit; the paper's *asynchronous time unit* (§3)
+/// is recovered by dividing elapsed ticks by the maximum delay a
+/// correct-to-correct message experienced (see
+/// [`Metrics::time_units`](crate::Metrics::time_units)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Time(u64);
+
+impl Time {
+    /// The start of the simulation.
+    pub const ZERO: Time = Time(0);
+
+    /// Creates a time point at `ticks`.
+    pub const fn new(ticks: u64) -> Self {
+        Self(ticks)
+    }
+
+    /// The tick count.
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+}
+
+impl Add<u64> for Time {
+    type Output = Time;
+
+    fn add(self, delay: u64) -> Time {
+        Time(self.0 + delay)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_addition() {
+        let t = Time::new(5);
+        assert!(Time::ZERO < t);
+        assert_eq!(t + 3, Time::new(8));
+        assert_eq!(t.ticks(), 5);
+        assert_eq!(t.to_string(), "t5");
+    }
+}

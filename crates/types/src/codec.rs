@@ -1,0 +1,469 @@
+//! A compact, dependency-free binary codec.
+//!
+//! The simulator charges every message by its encoded length, so the codec
+//! is written to be *honest*: varint-encoded integers, length-prefixed
+//! collections, no padding. Using a hand-rolled codec (rather than a generic
+//! serializer) keeps the measured communication complexity faithful to what
+//! the paper counts — e.g. a vertex reference really costs
+//! `O(log n + log r)` bits (§6.2: "to refer to a vertex it is enough to only
+//! store its source and round number").
+//!
+//! # Example
+//!
+//! ```
+//! use dagrider_types::{Decode, Encode};
+//!
+//! let value: Vec<u32> = vec![1, 300, 70_000];
+//! let mut buf = Vec::new();
+//! value.encode(&mut buf);
+//! assert_eq!(buf.len(), value.encoded_len());
+//!
+//! let mut slice = buf.as_slice();
+//! let decoded = Vec::<u32>::decode(&mut slice)?;
+//! assert_eq!(decoded, value);
+//! assert!(slice.is_empty());
+//! # Ok::<(), dagrider_types::DecodeError>(())
+//! ```
+
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when decoding malformed bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The input ended before the value was complete.
+    UnexpectedEnd,
+    /// A varint ran longer than the maximum width for its type.
+    VarintOverflow,
+    /// A length prefix exceeded the sanity limit.
+    LengthTooLarge(u64),
+    /// A value failed domain validation after structural decoding.
+    Invalid(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEnd => write!(f, "unexpected end of input"),
+            DecodeError::VarintOverflow => write!(f, "varint exceeds maximum width"),
+            DecodeError::LengthTooLarge(len) => {
+                write!(f, "length prefix {len} exceeds sanity limit")
+            }
+            DecodeError::Invalid(what) => write!(f, "invalid value: {what}"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+/// Upper bound on decoded collection lengths, to keep a corrupt or
+/// malicious length prefix from causing a huge allocation.
+const MAX_DECODED_LEN: u64 = 1 << 28;
+
+/// Types that can be encoded into the compact wire format.
+pub trait Encode {
+    /// Appends the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+
+    /// The exact number of bytes [`Encode::encode`] would append.
+    fn encoded_len(&self) -> usize;
+
+    /// Convenience: encodes into a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.encoded_len());
+        self.encode(&mut buf);
+        buf
+    }
+}
+
+/// Types that can be decoded from the compact wire format.
+pub trait Decode: Sized {
+    /// Decodes a value from the front of `buf`, advancing it past the
+    /// consumed bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] if the bytes are truncated or malformed.
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError>;
+
+    /// Convenience: decodes a value that must consume the entire slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::Invalid`] if trailing bytes remain.
+    fn from_bytes(mut bytes: &[u8]) -> Result<Self, DecodeError> {
+        let value = Self::decode(&mut bytes)?;
+        if bytes.is_empty() {
+            Ok(value)
+        } else {
+            Err(DecodeError::Invalid("trailing bytes after value"))
+        }
+    }
+}
+
+fn encode_varint(mut v: u64, buf: &mut Vec<u8>) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+fn varint_len(mut v: u64) -> usize {
+    let mut len = 1;
+    while v >= 0x80 {
+        v >>= 7;
+        len += 1;
+    }
+    len
+}
+
+fn decode_varint(buf: &mut &[u8]) -> Result<u64, DecodeError> {
+    let mut value: u64 = 0;
+    for shift in (0..64).step_by(7) {
+        let (&byte, rest) = buf.split_first().ok_or(DecodeError::UnexpectedEnd)?;
+        *buf = rest;
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            if shift == 63 && byte > 1 {
+                return Err(DecodeError::VarintOverflow);
+            }
+            return Ok(value);
+        }
+    }
+    Err(DecodeError::VarintOverflow)
+}
+
+impl Encode for u64 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        encode_varint(*self, buf);
+    }
+
+    fn encoded_len(&self) -> usize {
+        varint_len(*self)
+    }
+}
+
+impl Decode for u64 {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        decode_varint(buf)
+    }
+}
+
+impl Encode for u32 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        encode_varint(u64::from(*self), buf);
+    }
+
+    fn encoded_len(&self) -> usize {
+        varint_len(u64::from(*self))
+    }
+}
+
+impl Decode for u32 {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        let v = decode_varint(buf)?;
+        u32::try_from(v).map_err(|_| DecodeError::VarintOverflow)
+    }
+}
+
+impl Encode for u16 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        encode_varint(u64::from(*self), buf);
+    }
+
+    fn encoded_len(&self) -> usize {
+        varint_len(u64::from(*self))
+    }
+}
+
+impl Decode for u16 {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        let v = decode_varint(buf)?;
+        u16::try_from(v).map_err(|_| DecodeError::VarintOverflow)
+    }
+}
+
+impl Encode for u8 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(*self);
+    }
+
+    fn encoded_len(&self) -> usize {
+        1
+    }
+}
+
+impl Decode for u8 {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        let (&byte, rest) = buf.split_first().ok_or(DecodeError::UnexpectedEnd)?;
+        *buf = rest;
+        Ok(byte)
+    }
+}
+
+impl Encode for bool {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(u8::from(*self));
+    }
+
+    fn encoded_len(&self) -> usize {
+        1
+    }
+}
+
+impl Decode for bool {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        match u8::decode(buf)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(DecodeError::Invalid("boolean must be 0 or 1")),
+        }
+    }
+}
+
+impl<const N: usize> Encode for [u8; N] {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(self);
+    }
+
+    fn encoded_len(&self) -> usize {
+        N
+    }
+}
+
+impl<const N: usize> Decode for [u8; N] {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        if buf.len() < N {
+            return Err(DecodeError::UnexpectedEnd);
+        }
+        let (bytes, rest) = buf.split_at(N);
+        *buf = rest;
+        let mut out = [0u8; N];
+        out.copy_from_slice(bytes);
+        Ok(out)
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        encode_varint(self.len() as u64, buf);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        varint_len(self.len() as u64) + self.iter().map(Encode::encoded_len).sum::<usize>()
+    }
+}
+
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        let len = decode_varint(buf)?;
+        if len > MAX_DECODED_LEN {
+            return Err(DecodeError::LengthTooLarge(len));
+        }
+        let mut out = Vec::with_capacity(usize::try_from(len).unwrap_or(0).min(1024));
+        for _ in 0..len {
+            out.push(T::decode(buf)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Encode + Ord> Encode for BTreeSet<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        encode_varint(self.len() as u64, buf);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        varint_len(self.len() as u64) + self.iter().map(Encode::encoded_len).sum::<usize>()
+    }
+}
+
+impl<T: Decode + Ord> Decode for BTreeSet<T> {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        let len = decode_varint(buf)?;
+        if len > MAX_DECODED_LEN {
+            return Err(DecodeError::LengthTooLarge(len));
+        }
+        let mut out = BTreeSet::new();
+        for _ in 0..len {
+            out.insert(T::decode(buf)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            None => buf.push(0),
+            Some(value) => {
+                buf.push(1);
+                value.encode(buf);
+            }
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + self.as_ref().map_or(0, Encode::encoded_len)
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        match u8::decode(buf)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(buf)?)),
+            _ => Err(DecodeError::Invalid("option tag must be 0 or 1")),
+        }
+    }
+}
+
+impl<A: Encode, B: Encode> Encode for (A, B) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.0.encoded_len() + self.1.encoded_len()
+    }
+}
+
+impl<A: Decode, B: Decode> Decode for (A, B) {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok((A::decode(buf)?, B::decode(buf)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Encode + Decode + PartialEq + fmt::Debug>(value: T) {
+        let bytes = value.to_bytes();
+        assert_eq!(bytes.len(), value.encoded_len(), "encoded_len mismatch");
+        let decoded = T::from_bytes(&bytes).expect("decode");
+        assert_eq!(decoded, value);
+    }
+
+    #[test]
+    fn varint_roundtrips_boundary_values() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u64::from(u32::MAX), u64::MAX] {
+            roundtrip(v);
+        }
+    }
+
+    #[test]
+    fn varint_is_compact() {
+        assert_eq!(5u64.encoded_len(), 1);
+        assert_eq!(127u64.encoded_len(), 1);
+        assert_eq!(128u64.encoded_len(), 2);
+        assert_eq!(u64::MAX.encoded_len(), 10);
+    }
+
+    #[test]
+    fn u32_decode_rejects_overflow() {
+        let bytes = u64::from(u32::MAX).to_bytes();
+        assert!(u32::from_bytes(&bytes).is_ok());
+        let bytes = (u64::from(u32::MAX) + 1).to_bytes();
+        assert_eq!(u32::from_bytes(&bytes), Err(DecodeError::VarintOverflow));
+    }
+
+    #[test]
+    fn truncated_input_is_detected() {
+        let bytes = vec![42u8, 1, 2, 3].to_bytes();
+        assert_eq!(
+            Vec::<u8>::from_bytes(&bytes[..bytes.len() - 1]),
+            Err(DecodeError::UnexpectedEnd)
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected_by_from_bytes() {
+        let mut bytes = 7u64.to_bytes();
+        bytes.push(0);
+        assert_eq!(
+            u64::from_bytes(&bytes),
+            Err(DecodeError::Invalid("trailing bytes after value"))
+        );
+    }
+
+    #[test]
+    fn collections_roundtrip() {
+        roundtrip(vec![3u32, 1, 4, 1, 5]);
+        roundtrip(Vec::<u64>::new());
+        roundtrip(vec![vec![1u8, 2], vec![], vec![255]]);
+        let set: BTreeSet<u32> = [9, 2, 6].into_iter().collect();
+        roundtrip(set);
+    }
+
+    #[test]
+    fn options_and_tuples_roundtrip() {
+        roundtrip(Option::<u32>::None);
+        roundtrip(Some(99u32));
+        roundtrip((5u32, vec![1u8, 2, 3]));
+    }
+
+    #[test]
+    fn bool_rejects_other_bytes() {
+        assert_eq!(bool::from_bytes(&[2]), Err(DecodeError::Invalid("boolean must be 0 or 1")));
+    }
+
+    #[test]
+    fn huge_length_prefix_is_rejected_without_allocation() {
+        let mut bytes = Vec::new();
+        encode_varint(u64::MAX / 2, &mut bytes);
+        assert!(matches!(
+            Vec::<u8>::from_bytes(&bytes),
+            Err(DecodeError::LengthTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn fixed_arrays_roundtrip() {
+        roundtrip([7u8; 32]);
+    }
+
+    #[test]
+    fn u16_roundtrips_and_rejects_overflow() {
+        for v in [0u16, 1, 127, 128, u16::MAX] {
+            roundtrip(v);
+        }
+        let too_big = (u64::from(u16::MAX) + 1).to_bytes();
+        assert_eq!(u16::from_bytes(&too_big), Err(DecodeError::VarintOverflow));
+    }
+
+    #[test]
+    fn option_rejects_bad_tag() {
+        assert_eq!(
+            Option::<u32>::from_bytes(&[7]),
+            Err(DecodeError::Invalid("option tag must be 0 or 1"))
+        );
+    }
+
+    #[test]
+    fn nested_containers_roundtrip() {
+        roundtrip(vec![Some((1u32, vec![2u8, 3])), None]);
+        let set: BTreeSet<Vec<u8>> = [vec![1u8], vec![], vec![9, 9]].into_iter().collect();
+        roundtrip(set);
+    }
+
+    #[test]
+    fn decode_error_display_messages() {
+        assert_eq!(DecodeError::UnexpectedEnd.to_string(), "unexpected end of input");
+        assert!(DecodeError::LengthTooLarge(999).to_string().contains("999"));
+        assert!(DecodeError::VarintOverflow.to_string().contains("varint"));
+    }
+}

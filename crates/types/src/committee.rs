@@ -1,0 +1,165 @@
+//! The committee of `n = 3f + 1` processes and its quorum arithmetic.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ProcessId;
+
+/// Error building a [`Committee`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitteeError {
+    /// The committee size is not of the form `3f + 1` with `f ≥ 1`
+    /// (the paper assumes exactly `n = 3f + 1`, §2).
+    InvalidSize(usize),
+}
+
+impl fmt::Display for CommitteeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommitteeError::InvalidSize(n) => {
+                write!(f, "committee size {n} is not 3f + 1 for some f >= 1")
+            }
+        }
+    }
+}
+
+impl Error for CommitteeError {}
+
+/// The static membership `Π = {p_0, …, p_{n-1}}` with `n = 3f + 1`.
+///
+/// Exposes the two quorum sizes the protocol relies on:
+/// [`Committee::quorum`] (`2f + 1`, used for round advancement and the
+/// commit rule) and [`Committee::small_quorum`] (`f + 1`, used for the coin
+/// threshold and READY amplification).
+///
+/// ```
+/// use dagrider_types::Committee;
+/// let c = Committee::new(7)?;
+/// assert_eq!((c.n(), c.f(), c.quorum(), c.small_quorum()), (7, 2, 5, 3));
+/// # Ok::<(), dagrider_types::CommitteeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Committee {
+    n: usize,
+}
+
+impl Committee {
+    /// Creates a committee of `n` processes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommitteeError::InvalidSize`] unless `n = 3f + 1` for some
+    /// `f ≥ 1` (so the smallest committee is 4).
+    pub fn new(n: usize) -> Result<Self, CommitteeError> {
+        if n >= 4 && n % 3 == 1 {
+            Ok(Self { n })
+        } else {
+            Err(CommitteeError::InvalidSize(n))
+        }
+    }
+
+    /// Creates the committee that tolerates exactly `f` Byzantine processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f == 0`.
+    pub fn for_faults(f: usize) -> Self {
+        assert!(f >= 1, "must tolerate at least one fault");
+        Self { n: 3 * f + 1 }
+    }
+
+    /// Total number of processes, `n`.
+    pub const fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Maximum number of Byzantine processes, `f = (n - 1) / 3`.
+    pub const fn f(&self) -> usize {
+        (self.n - 1) / 3
+    }
+
+    /// The large quorum `2f + 1`: round advancement (Alg. 2 line 10),
+    /// strong-edge minimum, and the commit rule (Alg. 3 line 36).
+    pub const fn quorum(&self) -> usize {
+        2 * self.f() + 1
+    }
+
+    /// The small quorum `f + 1`: coin combination threshold and the
+    /// guaranteed quorum-intersection remainder (Claim 3).
+    pub const fn small_quorum(&self) -> usize {
+        self.f() + 1
+    }
+
+    /// Whether `id` is a member of this committee.
+    pub fn contains(&self, id: ProcessId) -> bool {
+        id.as_usize() < self.n
+    }
+
+    /// Iterates over all member ids, `p_0 .. p_{n-1}`.
+    pub fn members(&self) -> impl ExactSizeIterator<Item = ProcessId> + Clone {
+        (0..self.n as u32).map(ProcessId::new)
+    }
+
+    /// Iterates over all member ids except `exclude`.
+    pub fn others(&self, exclude: ProcessId) -> impl Iterator<Item = ProcessId> + Clone {
+        self.members().filter(move |&p| p != exclude)
+    }
+}
+
+impl fmt::Display for Committee {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "committee(n={}, f={})", self.n, self.f())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_only_three_f_plus_one() {
+        for n in 0..40 {
+            let ok = n >= 4 && n % 3 == 1;
+            assert_eq!(Committee::new(n).is_ok(), ok, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn quorum_sizes() {
+        for f in 1..10 {
+            let c = Committee::for_faults(f);
+            assert_eq!(c.n(), 3 * f + 1);
+            assert_eq!(c.f(), f);
+            assert_eq!(c.quorum(), 2 * f + 1);
+            assert_eq!(c.small_quorum(), f + 1);
+            // Quorum intersection: two quorums overlap in ≥ f + 1 processes.
+            assert!(2 * c.quorum() - c.n() >= c.small_quorum());
+        }
+    }
+
+    #[test]
+    fn members_enumerates_all() {
+        let c = Committee::new(4).unwrap();
+        let members: Vec<_> = c.members().collect();
+        assert_eq!(members.len(), 4);
+        assert!(members.iter().all(|&p| c.contains(p)));
+        assert!(!c.contains(ProcessId::new(4)));
+    }
+
+    #[test]
+    fn others_excludes_self() {
+        let c = Committee::new(4).unwrap();
+        let me = ProcessId::new(2);
+        let others: Vec<_> = c.others(me).collect();
+        assert_eq!(others.len(), 3);
+        assert!(!others.contains(&me));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one fault")]
+    fn for_faults_rejects_zero() {
+        let _ = Committee::for_faults(0);
+    }
+}

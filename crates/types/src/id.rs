@@ -1,0 +1,371 @@
+//! Process identities and protocol time (rounds, waves, sequence numbers).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::codec::{Decode, DecodeError, Encode};
+
+/// Number of rounds in a wave (paper §5: waves are 4 consecutive rounds —
+/// three common-core rounds plus the commit round).
+pub const WAVE_LENGTH: u64 = 4;
+
+/// The identity of one of the `n` processes, `p_0 .. p_{n-1}`.
+///
+/// The paper indexes processes from 1; we index from 0 as is idiomatic, and
+/// only [`fmt::Display`] adds the `p` prefix.
+///
+/// ```
+/// use dagrider_types::ProcessId;
+/// let p = ProcessId::new(3);
+/// assert_eq!(p.index(), 3);
+/// assert_eq!(p.to_string(), "p3");
+/// ```
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ProcessId(u32);
+
+impl ProcessId {
+    /// Creates a process id from its zero-based index.
+    pub const fn new(index: u32) -> Self {
+        Self(index)
+    }
+
+    /// The zero-based index of the process.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+
+    /// The index as `usize`, convenient for slice indexing.
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<u32> for ProcessId {
+    fn from(index: u32) -> Self {
+        Self(index)
+    }
+}
+
+impl Encode for ProcessId {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.0.encoded_len()
+    }
+}
+
+impl Decode for ProcessId {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(Self(u32::decode(buf)?))
+    }
+}
+
+/// A DAG round number.
+///
+/// Round 0 is the hardcoded genesis round (Algorithm 1: `DAG[0]` is a
+/// predefined set of vertices); proposals start at round 1.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Round(u64);
+
+impl Round {
+    /// The genesis round holding the hardcoded vertices of Algorithm 1.
+    pub const GENESIS: Round = Round(0);
+
+    /// Creates a round from its number.
+    pub const fn new(r: u64) -> Self {
+        Self(r)
+    }
+
+    /// The round number.
+    pub const fn number(self) -> u64 {
+        self.0
+    }
+
+    /// The next round, `r + 1`.
+    pub const fn next(self) -> Self {
+        Self(self.0 + 1)
+    }
+
+    /// The previous round, `r - 1`, or `None` at genesis.
+    pub const fn prev(self) -> Option<Self> {
+        match self.0 {
+            0 => None,
+            r => Some(Self(r - 1)),
+        }
+    }
+
+    /// The wave this round belongs to (paper §5: wave `w` spans rounds
+    /// `4(w-1)+1 ..= 4w`). Genesis belongs to no wave; we report wave 0.
+    ///
+    /// ```
+    /// use dagrider_types::{Round, Wave};
+    /// assert_eq!(Round::new(1).wave(), Wave::new(1));
+    /// assert_eq!(Round::new(4).wave(), Wave::new(1));
+    /// assert_eq!(Round::new(5).wave(), Wave::new(2));
+    /// ```
+    pub const fn wave(self) -> Wave {
+        if self.0 == 0 {
+            Wave(0)
+        } else {
+            Wave((self.0 - 1) / WAVE_LENGTH + 1)
+        }
+    }
+
+    /// The 1-based position of this round inside its wave (`k` in
+    /// `round(w, k)`), or 0 for genesis.
+    pub const fn position_in_wave(self) -> u64 {
+        if self.0 == 0 {
+            0
+        } else {
+            (self.0 - 1) % WAVE_LENGTH + 1
+        }
+    }
+
+    /// Whether this round is the last round of its wave, i.e. completing it
+    /// completes a wave (Algorithm 2 line 11 checks `r mod 4 = 0`).
+    pub const fn completes_wave(self) -> bool {
+        self.0 != 0 && self.0.is_multiple_of(WAVE_LENGTH)
+    }
+}
+
+impl fmt::Display for Round {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<u64> for Round {
+    fn from(r: u64) -> Self {
+        Self(r)
+    }
+}
+
+impl Encode for Round {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.0.encoded_len()
+    }
+}
+
+impl Decode for Round {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(Self(u64::decode(buf)?))
+    }
+}
+
+/// A wave number (1-based). Each wave is [`WAVE_LENGTH`] consecutive rounds.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Wave(u64);
+
+impl Wave {
+    /// Creates a wave from its (1-based) number.
+    pub const fn new(w: u64) -> Self {
+        Self(w)
+    }
+
+    /// The wave number.
+    pub const fn number(self) -> u64 {
+        self.0
+    }
+
+    /// The next wave.
+    pub const fn next(self) -> Self {
+        Self(self.0 + 1)
+    }
+
+    /// The previous wave, or `None` before wave 1.
+    pub const fn prev(self) -> Option<Self> {
+        match self.0 {
+            0 => None,
+            w => Some(Self(w - 1)),
+        }
+    }
+
+    /// The `k`-th round of this wave: `round(w, k) = 4(w-1) + k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not in `1..=4` or the wave number is 0.
+    pub const fn round(self, k: u64) -> Round {
+        assert!(self.0 >= 1, "wave numbers are 1-based");
+        assert!(k >= 1 && k <= WAVE_LENGTH, "round position must be 1..=4");
+        Round(WAVE_LENGTH * (self.0 - 1) + k)
+    }
+
+    /// The first round of this wave, where the leader vertex lives.
+    pub const fn first_round(self) -> Round {
+        self.round(1)
+    }
+
+    /// The last round of this wave, where the commit rule is evaluated.
+    pub const fn last_round(self) -> Round {
+        self.round(WAVE_LENGTH)
+    }
+}
+
+impl fmt::Display for Wave {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+impl From<u64> for Wave {
+    fn from(w: u64) -> Self {
+        Self(w)
+    }
+}
+
+impl Encode for Wave {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.0.encoded_len()
+    }
+}
+
+impl Decode for Wave {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(Self(u64::decode(buf)?))
+    }
+}
+
+/// A per-process atomic-broadcast sequence number (the `r` of
+/// `a_bcast(m, r)` in §3, distinguishing messages of one sender).
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SeqNum(u64);
+
+impl SeqNum {
+    /// Creates a sequence number.
+    pub const fn new(s: u64) -> Self {
+        Self(s)
+    }
+
+    /// The raw value.
+    pub const fn number(self) -> u64 {
+        self.0
+    }
+
+    /// The next sequence number.
+    pub const fn next(self) -> Self {
+        Self(self.0 + 1)
+    }
+}
+
+impl fmt::Display for SeqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl Encode for SeqNum {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.0.encoded_len()
+    }
+}
+
+impl Decode for SeqNum {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(Self(u64::decode(buf)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wave_round_arithmetic_matches_paper() {
+        // Paper §5: round(w, k) = 4(w - 1) + k, so wave 1 = rounds 1..=4.
+        let w1 = Wave::new(1);
+        assert_eq!(w1.round(1), Round::new(1));
+        assert_eq!(w1.round(4), Round::new(4));
+        let w3 = Wave::new(3);
+        assert_eq!(w3.first_round(), Round::new(9));
+        assert_eq!(w3.last_round(), Round::new(12));
+    }
+
+    #[test]
+    fn round_to_wave_is_inverse_of_wave_to_round() {
+        for w in 1..50u64 {
+            for k in 1..=WAVE_LENGTH {
+                let r = Wave::new(w).round(k);
+                assert_eq!(r.wave(), Wave::new(w));
+                assert_eq!(r.position_in_wave(), k);
+            }
+        }
+    }
+
+    #[test]
+    fn genesis_round_has_no_wave() {
+        assert_eq!(Round::GENESIS.wave(), Wave::new(0));
+        assert_eq!(Round::GENESIS.position_in_wave(), 0);
+        assert!(!Round::GENESIS.completes_wave());
+    }
+
+    #[test]
+    fn completes_wave_exactly_on_multiples_of_four() {
+        for r in 1..=40u64 {
+            assert_eq!(Round::new(r).completes_wave(), r % 4 == 0, "round {r}");
+        }
+    }
+
+    #[test]
+    fn round_prev_next_roundtrip() {
+        let r = Round::new(7);
+        assert_eq!(r.next().prev(), Some(r));
+        assert_eq!(Round::GENESIS.prev(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "round position must be 1..=4")]
+    fn wave_round_rejects_position_zero() {
+        let _ = Wave::new(1).round(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "round position must be 1..=4")]
+    fn wave_round_rejects_position_five() {
+        let _ = Wave::new(1).round(5);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ProcessId::new(2).to_string(), "p2");
+        assert_eq!(Round::new(9).to_string(), "r9");
+        assert_eq!(Wave::new(3).to_string(), "w3");
+        assert_eq!(SeqNum::new(11).to_string(), "#11");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(ProcessId::new(1) < ProcessId::new(2));
+        assert!(Round::new(3) < Round::new(10));
+        assert!(Wave::new(1) < Wave::new(2));
+    }
+}

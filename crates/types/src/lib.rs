@@ -1,0 +1,44 @@
+//! Core protocol vocabulary for the DAG-Rider reproduction.
+//!
+//! This crate defines the data types shared by every layer of the system:
+//!
+//! * [`ProcessId`], [`Round`], [`Wave`] — identities and protocol time,
+//!   including the paper's wave arithmetic `round(w, k) = 4(w-1) + k`.
+//! * [`Committee`] — the `n = 3f + 1` membership with its quorum sizes.
+//! * [`Transaction`], [`Block`] — the client payload carried by vertices.
+//! * [`Vertex`], [`VertexRef`] — the DAG nodes of Algorithm 1, with strong
+//!   and weak edge sets.
+//! * [`codec`] — a compact, dependency-free binary codec used so the
+//!   simulator can meter *exactly* the bits a real deployment would send.
+//!
+//! # Example
+//!
+//! ```
+//! use dagrider_types::{Committee, Round, Wave};
+//!
+//! let committee = Committee::new(4)?;
+//! assert_eq!(committee.f(), 1);
+//! assert_eq!(committee.quorum(), 3);
+//!
+//! // Wave 2 spans rounds 5..=8 (paper §5: round(w, k) = 4(w-1) + k).
+//! let wave = Wave::new(2);
+//! assert_eq!(wave.round(1), Round::new(5));
+//! assert_eq!(wave.round(4), Round::new(8));
+//! assert_eq!(Round::new(7).wave(), wave);
+//! # Ok::<(), dagrider_types::CommitteeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+mod committee;
+mod id;
+mod transaction;
+mod vertex;
+
+pub use codec::{Decode, DecodeError, Encode};
+pub use committee::{Committee, CommitteeError};
+pub use id::{ProcessId, Round, SeqNum, Wave, WAVE_LENGTH};
+pub use transaction::{Block, Transaction};
+pub use vertex::{Vertex, VertexBuilder, VertexError, VertexRef};

@@ -1,0 +1,469 @@
+//! DAG vertices and vertex references (Algorithm 1).
+
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::codec::{Decode, DecodeError, Encode};
+use crate::{Block, Committee, ProcessId, Round, SeqNum};
+
+/// A reference to a vertex by `(round, source)`.
+///
+/// Reliable broadcast rules out equivocation, so a round and a source
+/// uniquely identify a vertex (§4); the paper notes (§6.2, footnote 2) that
+/// edges therefore need only carry these two fields, which keeps a reference
+/// at `O(log n + log r)` bits on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VertexRef {
+    /// The round of the referenced vertex.
+    pub round: Round,
+    /// The process that broadcast the referenced vertex.
+    pub source: ProcessId,
+}
+
+impl VertexRef {
+    /// Creates a reference to the vertex broadcast by `source` in `round`.
+    pub const fn new(round: Round, source: ProcessId) -> Self {
+        Self { round, source }
+    }
+}
+
+impl fmt::Display for VertexRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.source, self.round)
+    }
+}
+
+impl Encode for VertexRef {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.round.encode(buf);
+        self.source.encode(buf);
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.round.encoded_len() + self.source.encoded_len()
+    }
+}
+
+impl Decode for VertexRef {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(Self { round: Round::decode(buf)?, source: ProcessId::decode(buf)? })
+    }
+}
+
+/// Structural validation error for a [`Vertex`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VertexError {
+    /// A strong edge does not point to the immediately preceding round
+    /// (Algorithm 1: strong edges reference `v.round - 1`).
+    StrongEdgeWrongRound {
+        /// The vertex's round.
+        round: Round,
+        /// The offending edge.
+        edge: VertexRef,
+    },
+    /// A weak edge does not point to a round `< v.round - 1`.
+    WeakEdgeWrongRound {
+        /// The vertex's round.
+        round: Round,
+        /// The offending edge.
+        edge: VertexRef,
+    },
+    /// Fewer than `2f + 1` strong edges (Algorithm 2 line 25 discards such
+    /// vertices at delivery).
+    TooFewStrongEdges {
+        /// Strong edges present.
+        found: usize,
+        /// Required minimum, `2f + 1`.
+        required: usize,
+    },
+    /// The vertex's source is not a committee member.
+    UnknownSource(ProcessId),
+    /// A non-genesis vertex has round 0.
+    RoundZeroProposal,
+}
+
+impl fmt::Display for VertexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VertexError::StrongEdgeWrongRound { round, edge } => {
+                write!(f, "strong edge {edge} of a round-{round} vertex must point to {}",
+                    Round::new(round.number().saturating_sub(1)))
+            }
+            VertexError::WeakEdgeWrongRound { round, edge } => {
+                write!(f, "weak edge {edge} of a round-{round} vertex must point below round {}",
+                    Round::new(round.number().saturating_sub(1)))
+            }
+            VertexError::TooFewStrongEdges { found, required } => {
+                write!(f, "vertex has {found} strong edges, needs at least {required}")
+            }
+            VertexError::UnknownSource(p) => write!(f, "source {p} is not a committee member"),
+            VertexError::RoundZeroProposal => write!(f, "round 0 is reserved for genesis"),
+        }
+    }
+}
+
+impl Error for VertexError {}
+
+/// A vertex of the DAG (Algorithm 1's `struct vertex`).
+///
+/// Carries the broadcasting process (`source`), the round, one [`Block`] of
+/// transactions, at least `2f + 1` strong edges into the previous round, and
+/// weak edges to otherwise-unreachable older vertices. Construct proposals
+/// with [`VertexBuilder`] (which validates the structural invariants) or
+/// genesis vertices with [`Vertex::genesis`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Vertex {
+    source: ProcessId,
+    round: Round,
+    block: Block,
+    strong_edges: BTreeSet<VertexRef>,
+    weak_edges: BTreeSet<VertexRef>,
+}
+
+impl Vertex {
+    /// The hardcoded genesis vertex of `source` (Algorithm 1: `DAG[0]` is a
+    /// predefined set of vertices). Genesis vertices carry no edges and an
+    /// empty block.
+    pub fn genesis(source: ProcessId) -> Self {
+        Self {
+            source,
+            round: Round::GENESIS,
+            block: Block::empty(source, SeqNum::new(0)),
+            strong_edges: BTreeSet::new(),
+            weak_edges: BTreeSet::new(),
+        }
+    }
+
+    /// The process that broadcast this vertex.
+    pub const fn source(&self) -> ProcessId {
+        self.source
+    }
+
+    /// The vertex's DAG round.
+    pub const fn round(&self) -> Round {
+        self.round
+    }
+
+    /// The block of transactions the vertex carries.
+    pub const fn block(&self) -> &Block {
+        &self.block
+    }
+
+    /// Consumes the vertex, returning its block.
+    pub fn into_block(self) -> Block {
+        self.block
+    }
+
+    /// The `(round, source)` reference identifying this vertex.
+    pub const fn reference(&self) -> VertexRef {
+        VertexRef { round: self.round, source: self.source }
+    }
+
+    /// Strong edges: references into round `round - 1`.
+    pub const fn strong_edges(&self) -> &BTreeSet<VertexRef> {
+        &self.strong_edges
+    }
+
+    /// Weak edges: references into rounds `< round - 1`.
+    pub const fn weak_edges(&self) -> &BTreeSet<VertexRef> {
+        &self.weak_edges
+    }
+
+    /// Iterates over all outgoing edges, strong first.
+    pub fn edges(&self) -> impl Iterator<Item = &VertexRef> {
+        self.strong_edges.iter().chain(self.weak_edges.iter())
+    }
+
+    /// Whether this vertex has a strong edge to `target`.
+    pub fn has_strong_edge_to(&self, target: VertexRef) -> bool {
+        self.strong_edges.contains(&target)
+    }
+
+    /// Validates the structural invariants the DAG layer checks at delivery
+    /// (Algorithm 2 lines 22–26): the source is a member, strong edges point
+    /// to the previous round and number at least `2f + 1`, weak edges point
+    /// strictly below the previous round. Genesis vertices are exempt.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as a [`VertexError`].
+    pub fn validate(&self, committee: &Committee) -> Result<(), VertexError> {
+        if !committee.contains(self.source) {
+            return Err(VertexError::UnknownSource(self.source));
+        }
+        if self.round == Round::GENESIS {
+            return Ok(());
+        }
+        let prev = self.round.prev().expect("non-genesis round has a predecessor");
+        for &edge in &self.strong_edges {
+            if edge.round != prev {
+                return Err(VertexError::StrongEdgeWrongRound { round: self.round, edge });
+            }
+        }
+        for &edge in &self.weak_edges {
+            if edge.round >= prev {
+                return Err(VertexError::WeakEdgeWrongRound { round: self.round, edge });
+            }
+        }
+        if self.strong_edges.len() < committee.quorum() {
+            return Err(VertexError::TooFewStrongEdges {
+                found: self.strong_edges.len(),
+                required: committee.quorum(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Vertex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "vertex({} strong:{} weak:{} {})",
+            self.reference(),
+            self.strong_edges.len(),
+            self.weak_edges.len(),
+            self.block
+        )
+    }
+}
+
+impl Encode for Vertex {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.source.encode(buf);
+        self.round.encode(buf);
+        self.block.encode(buf);
+        self.strong_edges.encode(buf);
+        self.weak_edges.encode(buf);
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.source.encoded_len()
+            + self.round.encoded_len()
+            + self.block.encoded_len()
+            + self.strong_edges.encoded_len()
+            + self.weak_edges.encoded_len()
+    }
+}
+
+impl Decode for Vertex {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(Self {
+            source: ProcessId::decode(buf)?,
+            round: Round::decode(buf)?,
+            block: Block::decode(buf)?,
+            strong_edges: BTreeSet::<VertexRef>::decode(buf)?,
+            weak_edges: BTreeSet::<VertexRef>::decode(buf)?,
+        })
+    }
+}
+
+/// Builder for proposal vertices (`create_new_vertex`, Algorithm 2 line 16).
+///
+/// ```
+/// use dagrider_types::{Block, Committee, ProcessId, Round, SeqNum, VertexBuilder, VertexRef};
+///
+/// let committee = Committee::new(4)?;
+/// let me = ProcessId::new(0);
+/// let block = Block::empty(me, SeqNum::new(1));
+/// let vertex = VertexBuilder::new(me, Round::new(1), block)
+///     .strong_edges(committee.members().take(3)
+///         .map(|p| VertexRef::new(Round::GENESIS, p)))
+///     .build(&committee)?;
+/// assert_eq!(vertex.strong_edges().len(), 3);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct VertexBuilder {
+    vertex: Vertex,
+}
+
+impl VertexBuilder {
+    /// Starts building a vertex for `source` in `round` carrying `block`.
+    pub fn new(source: ProcessId, round: Round, block: Block) -> Self {
+        Self {
+            vertex: Vertex {
+                source,
+                round,
+                block,
+                strong_edges: BTreeSet::new(),
+                weak_edges: BTreeSet::new(),
+            },
+        }
+    }
+
+    /// Adds strong edges (must point to `round - 1`).
+    pub fn strong_edges(mut self, edges: impl IntoIterator<Item = VertexRef>) -> Self {
+        self.vertex.strong_edges.extend(edges);
+        self
+    }
+
+    /// Adds weak edges (must point below `round - 1`).
+    pub fn weak_edges(mut self, edges: impl IntoIterator<Item = VertexRef>) -> Self {
+        self.vertex.weak_edges.extend(edges);
+        self
+    }
+
+    /// Validates and returns the vertex.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VertexError`] if any structural invariant is violated;
+    /// additionally rejects proposals in round 0.
+    pub fn build(self, committee: &Committee) -> Result<Vertex, VertexError> {
+        if self.vertex.round == Round::GENESIS {
+            return Err(VertexError::RoundZeroProposal);
+        }
+        self.vertex.validate(committee)?;
+        Ok(self.vertex)
+    }
+
+    /// Returns the vertex without validation.
+    ///
+    /// Exists so tests and Byzantine actors can craft malformed vertices;
+    /// correct-process code paths always use [`VertexBuilder::build`].
+    pub fn build_unchecked(self) -> Vertex {
+        self.vertex
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn committee() -> Committee {
+        Committee::new(4).unwrap()
+    }
+
+    fn genesis_refs(count: usize) -> Vec<VertexRef> {
+        (0..count as u32).map(|i| VertexRef::new(Round::GENESIS, ProcessId::new(i))).collect()
+    }
+
+    fn valid_round1_vertex() -> Vertex {
+        VertexBuilder::new(ProcessId::new(0), Round::new(1), Block::empty(ProcessId::new(0), SeqNum::new(1)))
+            .strong_edges(genesis_refs(3))
+            .build(&committee())
+            .unwrap()
+    }
+
+    #[test]
+    fn genesis_vertices_validate() {
+        let v = Vertex::genesis(ProcessId::new(1));
+        assert_eq!(v.round(), Round::GENESIS);
+        assert!(v.validate(&committee()).is_ok());
+        assert!(v.block().is_empty());
+    }
+
+    #[test]
+    fn builder_accepts_valid_vertex() {
+        let v = valid_round1_vertex();
+        assert_eq!(v.reference(), VertexRef::new(Round::new(1), ProcessId::new(0)));
+        assert_eq!(v.strong_edges().len(), 3);
+    }
+
+    #[test]
+    fn builder_rejects_too_few_strong_edges() {
+        let err = VertexBuilder::new(
+            ProcessId::new(0),
+            Round::new(1),
+            Block::empty(ProcessId::new(0), SeqNum::new(1)),
+        )
+        .strong_edges(genesis_refs(2))
+        .build(&committee())
+        .unwrap_err();
+        assert_eq!(err, VertexError::TooFewStrongEdges { found: 2, required: 3 });
+    }
+
+    #[test]
+    fn builder_rejects_strong_edge_to_wrong_round() {
+        let bad = VertexRef::new(Round::new(1), ProcessId::new(3));
+        let err = VertexBuilder::new(
+            ProcessId::new(0),
+            Round::new(3),
+            Block::empty(ProcessId::new(0), SeqNum::new(1)),
+        )
+        .strong_edges(vec![bad])
+        .build(&committee())
+        .unwrap_err();
+        assert!(matches!(err, VertexError::StrongEdgeWrongRound { .. }));
+    }
+
+    #[test]
+    fn builder_rejects_weak_edge_to_adjacent_round() {
+        // A weak edge must point strictly below round - 1.
+        let strong = (0..3u32)
+            .map(|i| VertexRef::new(Round::new(2), ProcessId::new(i)))
+            .collect::<Vec<_>>();
+        let err = VertexBuilder::new(
+            ProcessId::new(0),
+            Round::new(3),
+            Block::empty(ProcessId::new(0), SeqNum::new(1)),
+        )
+        .strong_edges(strong)
+        .weak_edges(vec![VertexRef::new(Round::new(2), ProcessId::new(3))])
+        .build(&committee())
+        .unwrap_err();
+        assert!(matches!(err, VertexError::WeakEdgeWrongRound { .. }));
+    }
+
+    #[test]
+    fn builder_rejects_unknown_source() {
+        let err = VertexBuilder::new(
+            ProcessId::new(9),
+            Round::new(1),
+            Block::empty(ProcessId::new(9), SeqNum::new(1)),
+        )
+        .strong_edges(genesis_refs(3))
+        .build(&committee())
+        .unwrap_err();
+        assert_eq!(err, VertexError::UnknownSource(ProcessId::new(9)));
+    }
+
+    #[test]
+    fn builder_rejects_round_zero_proposal() {
+        let err = VertexBuilder::new(
+            ProcessId::new(0),
+            Round::GENESIS,
+            Block::empty(ProcessId::new(0), SeqNum::new(0)),
+        )
+        .build(&committee())
+        .unwrap_err();
+        assert_eq!(err, VertexError::RoundZeroProposal);
+    }
+
+    #[test]
+    fn vertex_codec_roundtrip() {
+        let v = valid_round1_vertex();
+        let bytes = v.to_bytes();
+        assert_eq!(bytes.len(), v.encoded_len());
+        assert_eq!(Vertex::from_bytes(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn reference_encoding_is_compact() {
+        // §6.2 footnote 2: a reference is just (round, source) — a handful
+        // of bytes, not a hash.
+        let r = VertexRef::new(Round::new(100), ProcessId::new(31));
+        assert!(r.encoded_len() <= 3);
+    }
+
+    #[test]
+    fn edges_iterates_strong_then_weak() {
+        let strong: Vec<_> = genesis_refs(3);
+        let weak = VertexRef::new(Round::GENESIS, ProcessId::new(3));
+        let v = VertexBuilder::new(
+            ProcessId::new(1),
+            Round::new(2),
+            Block::empty(ProcessId::new(1), SeqNum::new(1)),
+        )
+        .strong_edges(strong.iter().map(|r| VertexRef::new(Round::new(1), r.source)))
+        .weak_edges([weak])
+        .build_unchecked();
+        assert_eq!(v.edges().count(), 4);
+        assert!(v.has_strong_edge_to(VertexRef::new(Round::new(1), ProcessId::new(0))));
+        assert!(!v.has_strong_edge_to(weak));
+    }
+}

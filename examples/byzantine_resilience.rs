@@ -1,0 +1,125 @@
+//! Fault injection: DAG-Rider keeps ordering with `f` processes crashed
+//! or silent-Byzantine, and starved processes' proposals still get
+//! ordered thanks to weak edges (the paper's Validity property).
+//!
+//! ```sh
+//! cargo run --example byzantine_resilience
+//! ```
+
+use dag_rider::core::{DagRiderNode, NodeConfig};
+use dag_rider::crypto::deal_coin_keys;
+use dag_rider::rbc::{byzantine::SilentActor, BrachaRbc};
+use dag_rider::simnet::{Either, Simulation, TargetedScheduler, UniformScheduler};
+use dag_rider::types::{Block, Committee, ProcessId, SeqNum, Transaction};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+type Node = DagRiderNode<BrachaRbc>;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    crash_scenario()?;
+    silent_byzantine_scenario()?;
+    starved_process_scenario()?;
+    Ok(())
+}
+
+/// f = 1 process crashes mid-run (with its in-flight messages dropped by
+/// the adaptive adversary); the survivors keep committing waves.
+fn crash_scenario() -> Result<(), Box<dyn std::error::Error>> {
+    println!("— crash fault —");
+    let committee = Committee::new(4)?;
+    let keys = deal_coin_keys(&committee, &mut StdRng::seed_from_u64(1));
+    let config = NodeConfig::default().with_max_round(24);
+    let nodes: Vec<Node> = committee
+        .members()
+        .zip(keys)
+        .map(|(p, k)| DagRiderNode::new(committee, p, k, config.clone()))
+        .collect();
+    let mut sim = Simulation::new(committee, nodes, UniformScheduler::new(1, 8), 1);
+    // Let the protocol make some progress, then crash p3.
+    sim.run_until(400, |_| false);
+    sim.crash(ProcessId::new(3), true);
+    println!("  crashed p3 at {} after 400 events", sim.now());
+    sim.run();
+    for p in committee.members().filter(|p| p.index() != 3) {
+        let node = sim.actor(p);
+        println!("  {p}: decided wave {}, {} vertices ordered", node.decided_wave(), node.ordered().len());
+        assert!(node.decided_wave().number() >= 1, "{p} must keep committing");
+    }
+    Ok(())
+}
+
+/// f = 1 process is Byzantine-mute from the start: it never broadcasts
+/// vertices or coin shares. Rounds still advance on 2f + 1 vertices.
+fn silent_byzantine_scenario() -> Result<(), Box<dyn std::error::Error>> {
+    println!("— silent Byzantine process —");
+    let committee = Committee::new(4)?;
+    let keys = deal_coin_keys(&committee, &mut StdRng::seed_from_u64(2));
+    let config = NodeConfig::default().with_max_round(24);
+    let byz = ProcessId::new(0);
+    let nodes: Vec<Either<Node, SilentActor>> = committee
+        .members()
+        .zip(keys)
+        .map(|(p, k)| {
+            if p == byz {
+                Either::Right(SilentActor)
+            } else {
+                Either::Left(DagRiderNode::new(committee, p, k, config.clone()))
+            }
+        })
+        .collect();
+    let mut sim = Simulation::new(committee, nodes, UniformScheduler::new(1, 8), 2);
+    sim.mark_byzantine(byz);
+    sim.run();
+    for p in committee.members().filter(|&p| p != byz) {
+        let node = sim.actor(p).as_left().expect("honest node");
+        println!("  {p}: decided wave {}, {} vertices ordered", node.decided_wave(), node.ordered().len());
+        assert!(node.decided_wave().number() >= 1);
+        // Nothing from the mute process can be ordered — it proposed nothing.
+        assert!(node.ordered().iter().all(|o| o.vertex.source != byz));
+    }
+    Ok(())
+}
+
+/// A correct-but-slow process is starved by the adversary for a while: its
+/// vertices arrive too late for strong edges, yet weak edges make sure its
+/// block is eventually ordered (Validity / eventual fairness, Table 1).
+fn starved_process_scenario() -> Result<(), Box<dyn std::error::Error>> {
+    println!("— starved process (weak-edge validity) —");
+    let committee = Committee::new(4)?;
+    let keys = deal_coin_keys(&committee, &mut StdRng::seed_from_u64(3));
+    let config = NodeConfig::default().with_max_round(32);
+    let victim = ProcessId::new(2);
+    let mut nodes: Vec<Node> = committee
+        .members()
+        .zip(keys)
+        .map(|(p, k)| DagRiderNode::new(committee, p, k, config.clone()))
+        .collect();
+    let marker = Transaction::synthetic(0xFEED, 32);
+    nodes[victim.as_usize()]
+        .a_bcast(Block::new(victim, SeqNum::new(1), vec![marker.clone()]));
+
+    // The adversary slows every link touching the victim for an initial
+    // window (long enough that rounds pass it by, short enough that the
+    // finite run still has waves left to pick its vertex up via weak
+    // edges — in an infinite run any finite starvation works).
+    let scheduler = TargetedScheduler::new(UniformScheduler::new(1, 6), [victim], 200)
+        .with_window(dag_rider::simnet::Time::ZERO, dag_rider::simnet::Time::new(200));
+    let mut sim = Simulation::new(committee, nodes, scheduler, 3);
+    sim.run();
+
+    for p in committee.members() {
+        let node = sim.actor(p);
+        let ordered_marker = node
+            .ordered()
+            .iter()
+            .any(|o| o.block.transactions().contains(&marker));
+        println!(
+            "  {p}: {} vertices ordered, victim's block ordered: {ordered_marker}",
+            node.ordered().len()
+        );
+        assert!(ordered_marker, "{p} must order the starved process's block");
+    }
+    println!("  validity holds: the starved process's proposal was ordered everywhere");
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! # DAG-Rider — *All You Need is DAG* (PODC 2021), in Rust
+//!
+//! A complete reproduction of Keidar, Kokoris-Kogias, Naor & Spiegelman's
+//! asynchronous Byzantine Atomic Broadcast protocol, together with every
+//! substrate it stands on and the baselines it is compared against:
+//!
+//! * [`types`] — protocol vocabulary (processes, rounds, waves, vertices,
+//!   blocks, committees, compact wire codec).
+//! * [`crypto`] — from-scratch SHA-256, Merkle trees, Shamir sharing, the
+//!   §2 threshold common coin (with DLEQ share verification), and
+//!   Reed–Solomon erasure codes.
+//! * [`simnet`] — a deterministic discrete-event simulator of the paper's
+//!   asynchronous adversarial network model, with byte/time metering.
+//! * [`rbc`] — the three reliable-broadcast instantiations of Table 1:
+//!   Bracha, probabilistic gossip, and Cachin–Tessaro AVID.
+//! * [`core`] — DAG-Rider itself: Algorithm 2 (DAG construction) and
+//!   Algorithm 3 (zero-overhead wave ordering).
+//! * [`baselines`] — VABA-based and Dumbo-based SMR for comparison.
+//!
+//! The most useful entry point is [`core::DagRiderNode`]; see the
+//! `examples/` directory (`quickstart`, `blockchain_smr`,
+//! `byzantine_resilience`, `dag_visualizer`) and the experiment binaries in
+//! `crates/bench` that regenerate the paper's table and figures.
+//!
+//! ```
+//! use dag_rider::core::{DagRiderNode, NodeConfig};
+//! use dag_rider::crypto::deal_coin_keys;
+//! use dag_rider::rbc::AvidRbc;
+//! use dag_rider::simnet::{Simulation, UniformScheduler};
+//! use dag_rider::types::{Committee, ProcessId};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let committee = Committee::new(4)?;
+//! let keys = deal_coin_keys(&committee, &mut StdRng::seed_from_u64(1));
+//! let config = NodeConfig::default().with_max_round(16);
+//! let nodes: Vec<DagRiderNode<AvidRbc>> = committee
+//!     .members()
+//!     .zip(keys)
+//!     .map(|(p, k)| DagRiderNode::new(committee, p, k, config.clone()))
+//!     .collect();
+//! let mut sim = Simulation::new(committee, nodes, UniformScheduler::new(1, 8), 1);
+//! sim.run();
+//! assert!(!sim.actor(ProcessId::new(0)).ordered().is_empty());
+//! # Ok::<(), dag_rider::types::CommitteeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dagrider_baselines as baselines;
+pub use dagrider_core as core;
+pub use dagrider_crypto as crypto;
+pub use dagrider_rbc as rbc;
+pub use dagrider_simnet as simnet;
+pub use dagrider_types as types;

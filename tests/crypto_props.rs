@@ -1,0 +1,160 @@
+//! Property-based tests over the cryptographic substrate: the invariants
+//! the protocol's proofs lean on must hold for *arbitrary* inputs.
+
+use dag_rider::crypto::{
+    deal_coin_keys, reconstruct_secret, share_secret, sha256, CoinAggregator, MerkleTree,
+    ReedSolomon, Scalar, Sha256,
+};
+use dag_rider::types::{Block, Committee, Decode, Encode, ProcessId, Round, SeqNum, Transaction, Vertex, VertexBuilder, VertexRef};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Reed–Solomon: decode ∘ encode = id for any payload and any
+    /// k-subset of shards.
+    #[test]
+    fn rs_roundtrip_any_subset(
+        payload in proptest::collection::vec(any::<u8>(), 0..600),
+        f in 1usize..5,
+        pick_seed in any::<u64>(),
+    ) {
+        let n = 3 * f + 1;
+        let k = f + 1;
+        let rs = ReedSolomon::new(k, n).unwrap();
+        let shards = rs.encode(&payload);
+        // Pick a pseudo-random k-subset.
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut state = pick_seed | 1;
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            order.swap(i, (state % (i as u64 + 1)) as usize);
+        }
+        let subset: Vec<_> = order[..k].iter().map(|&i| shards[i].clone()).collect();
+        prop_assert_eq!(rs.decode(&subset).unwrap(), payload);
+    }
+
+    /// Shamir: any subset of `threshold` shares reconstructs; fewer gives
+    /// a different value (whp over the polynomial's randomness).
+    #[test]
+    fn shamir_reconstructs_any_threshold_subset(
+        secret in 0u64..,
+        seed in any::<u64>(),
+    ) {
+        let secret = Scalar::new(secret);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let shares = share_secret(secret, 7, 3, &mut rng).unwrap();
+        for subset in [[0usize, 1, 2], [4, 5, 6], [0, 3, 6], [1, 4, 5]] {
+            let picked: Vec<_> = subset.iter().map(|&i| shares[i]).collect();
+            prop_assert_eq!(reconstruct_secret(&picked).unwrap(), secret);
+        }
+    }
+
+    /// SHA-256: incremental hashing equals one-shot hashing at any split.
+    #[test]
+    fn sha256_incremental_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..300),
+        split_frac in 0.0f64..=1.0,
+    ) {
+        let split = ((data.len() as f64) * split_frac) as usize;
+        let mut hasher = Sha256::new();
+        hasher.update(&data[..split]);
+        hasher.update(&data[split..]);
+        prop_assert_eq!(hasher.finalize(), sha256(&data));
+    }
+
+    /// Merkle: every leaf of every tree proves against the root, and a
+    /// proof never validates a different leaf.
+    #[test]
+    fn merkle_proofs_complete_and_sound(
+        leaves in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..40), 1..24),
+    ) {
+        let tree = MerkleTree::build(&leaves).unwrap();
+        for (i, leaf) in leaves.iter().enumerate() {
+            let proof = tree.prove(i).unwrap();
+            prop_assert!(proof.verify(tree.root(), leaf));
+            // Soundness against a sibling leaf (if distinct).
+            let j = (i + 1) % leaves.len();
+            if leaves[j] != *leaf {
+                prop_assert!(!proof.verify(tree.root(), &leaves[j]));
+            }
+        }
+    }
+
+    /// The coin elects the same leader for every f+1-subset of shares —
+    /// the Agreement property quantified over share subsets and instances.
+    #[test]
+    fn coin_agreement_over_subsets(instance in any::<u64>(), seed in any::<u64>()) {
+        let committee = Committee::new(4).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let keys = deal_coin_keys(&committee, &mut rng);
+        let shares: Vec<_> = keys.iter().map(|k| k.share(instance, &mut rng)).collect();
+        let mut leaders = Vec::new();
+        for a in 0..4 {
+            for b in (a + 1)..4 {
+                let mut agg = CoinAggregator::new(instance, keys[0].public());
+                agg.add_share(shares[a]).unwrap();
+                let leader = agg.add_share(shares[b]).unwrap().unwrap();
+                leaders.push(leader);
+            }
+        }
+        prop_assert!(leaders.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    /// Wire codec: vertices roundtrip for arbitrary block contents and
+    /// edge sets, and `encoded_len` is always exact.
+    #[test]
+    fn vertex_codec_roundtrip(
+        source in 0u32..16,
+        round in 2u64..50,
+        txs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..50), 0..6),
+        strong in proptest::collection::btree_set(0u32..16, 1..8),
+        weak in proptest::collection::btree_set((1u64..20, 0u32..16), 0..5),
+    ) {
+        let block = Block::new(
+            ProcessId::new(source),
+            SeqNum::new(round),
+            txs.into_iter().map(Transaction::new).collect::<Vec<_>>(),
+        );
+        let vertex = VertexBuilder::new(ProcessId::new(source), Round::new(round), block)
+            .strong_edges(strong.into_iter().map(|s| VertexRef::new(Round::new(round - 1), ProcessId::new(s))))
+            .weak_edges(weak.into_iter().filter(|(r, _)| *r < round - 1).map(|(r, s)| VertexRef::new(Round::new(r), ProcessId::new(s))))
+            .build_unchecked();
+        let bytes = vertex.to_bytes();
+        prop_assert_eq!(bytes.len(), vertex.encoded_len());
+        prop_assert_eq!(Vertex::from_bytes(&bytes).unwrap(), vertex);
+    }
+
+    /// Decoding arbitrary bytes never panics — it returns Ok or Err.
+    #[test]
+    fn vertex_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = Vertex::from_bytes(&bytes);
+        let _ = Block::from_bytes(&bytes);
+    }
+}
+
+/// Deterministic cross-check: the coin's fairness over many instances at
+/// n = 7 (χ²-style bound, loose).
+#[test]
+fn coin_fairness_n7() {
+    let committee = Committee::new(7).unwrap();
+    let mut rng = StdRng::seed_from_u64(99);
+    let keys = deal_coin_keys(&committee, &mut rng);
+    let trials = 1400u64;
+    let mut counts = [0usize; 7];
+    for instance in 0..trials {
+        let mut agg = CoinAggregator::new(instance, keys[0].public());
+        for k in keys.iter().take(2) {
+            agg.add_share(k.share(instance, &mut rng)).unwrap();
+        }
+        let leader = agg.add_share(keys[2].share(instance, &mut rng)).unwrap().unwrap();
+        counts[leader.as_usize()] += 1;
+    }
+    let expected = trials as f64 / 7.0;
+    for (i, &c) in counts.iter().enumerate() {
+        let dev = (c as f64 - expected).abs() / expected;
+        assert!(dev < 0.3, "process {i}: {c} elections vs expected {expected}");
+    }
+}

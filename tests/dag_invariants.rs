@@ -1,0 +1,147 @@
+//! Cross-stack invariants of the DAG itself, checked on DAGs produced by
+//! *real protocol runs* (not hand-built fixtures): the structural claims
+//! of §4 and the lemmas of §6 must hold in every reachable state.
+
+use dag_rider::core::{DagRiderNode, NodeConfig};
+use dag_rider::crypto::deal_coin_keys;
+use dag_rider::rbc::BrachaRbc;
+use dag_rider::simnet::{Simulation, UniformScheduler};
+use dag_rider::types::{Committee, ProcessId, Round, VertexRef, Wave, WAVE_LENGTH};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+type Node = DagRiderNode<BrachaRbc>;
+
+fn run(n: usize, seed: u64, max_round: u64) -> Simulation<Node, UniformScheduler> {
+    let committee = Committee::new(n).unwrap();
+    let keys = deal_coin_keys(&committee, &mut StdRng::seed_from_u64(seed));
+    let config = NodeConfig::default().with_max_round(max_round);
+    let nodes = committee
+        .members()
+        .zip(keys)
+        .map(|(p, k)| DagRiderNode::new(committee, p, k, config.clone()))
+        .collect();
+    let mut sim = Simulation::new(committee, nodes, UniformScheduler::new(1, 10), seed);
+    sim.run();
+    sim
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Structural invariants of every vertex in every correct process's
+    /// DAG: ≥ 2f+1 strong edges into the previous round, weak edges
+    /// strictly lower, no equivocation, causal closure.
+    #[test]
+    fn dag_structure(seed in 0u64..10_000) {
+        let sim = run(4, seed, 16);
+        let committee = sim.committee();
+        for p in committee.members() {
+            let dag = sim.actor(p).dag();
+            for vertex in dag.iter() {
+                if vertex.round() == Round::GENESIS {
+                    continue;
+                }
+                prop_assert!(vertex.validate(&committee).is_ok());
+                // Causal closure (Claim 1): every edge target is present.
+                prop_assert!(dag.has_all_edges_of(vertex));
+            }
+            // At most one vertex per (round, source) is enforced by the
+            // map structure; spot-check counts per round.
+            for r in 0..=dag.highest_round().number() {
+                prop_assert!(dag.round_size(Round::new(r)) <= committee.n());
+            }
+        }
+    }
+
+    /// Lemma 2 (common core): in every completed wave, ≥ 2f+1 round-4
+    /// vertices each strongly reach ≥ 2f+1 common round-1 vertices.
+    #[test]
+    fn lemma2_common_core(seed in 0u64..10_000) {
+        let sim = run(4, seed, 16);
+        let committee = sim.committee();
+        let quorum = committee.quorum();
+        let dag = sim.actor(ProcessId::new(0)).dag();
+        let completed_waves = dag.highest_round().number() / WAVE_LENGTH;
+        for w in 1..=completed_waves {
+            let wave = Wave::new(w);
+            let last = dag.round_vertices(wave.last_round());
+            if last.len() < quorum {
+                continue; // wave not complete at this process
+            }
+            // For each round-1 vertex, count round-4 supporters.
+            let firsts: Vec<VertexRef> = dag
+                .round_vertices(wave.first_round())
+                .values()
+                .map(|v| v.reference())
+                .collect();
+            let well_supported = firsts
+                .iter()
+                .filter(|&&v1| {
+                    last.values().filter(|v4| dag.strong_path(v4.reference(), v1)).count()
+                        >= quorum
+                })
+                .count();
+            prop_assert!(
+                well_supported >= quorum,
+                "wave {w}: only {well_supported} round-1 vertices have 2f+1 strong support"
+            );
+        }
+    }
+
+    /// Lemma 1 consequence: once a wave leader is committed anywhere, the
+    /// leader of every later committed wave strongly reaches it.
+    #[test]
+    fn lemma1_leader_chain(seed in 0u64..10_000) {
+        let sim = run(4, seed, 20);
+        for p in sim.committee().members() {
+            let node = sim.actor(p);
+            let dag = node.dag();
+            // Gather (wave, leader vertex) for every committed wave.
+            let mut committed: Vec<(u64, VertexRef)> = node
+                .commits()
+                .iter()
+                .filter(|c| c.outcome != dag_rider::core::WaveOutcome::Skipped)
+                .map(|c| (c.wave.number(), VertexRef::new(c.wave.first_round(), c.leader)))
+                .collect();
+            committed.sort();
+            committed.dedup();
+            for pair in committed.windows(2) {
+                let (_, earlier) = pair[0];
+                let (_, later) = pair[1];
+                prop_assert!(
+                    dag.strong_path(later, earlier),
+                    "{p}: committed leader {later} has no strong path to {earlier}"
+                );
+            }
+        }
+    }
+
+    /// Commit monotonicity: decidedWave never regresses, and the ordered
+    /// log's commit waves are non-decreasing.
+    #[test]
+    fn commit_waves_monotone(seed in 0u64..10_000) {
+        let sim = run(4, seed, 20);
+        for p in sim.committee().members() {
+            let log = sim.actor(p).ordered();
+            for w in log.windows(2) {
+                prop_assert!(w[0].committed_in_wave <= w[1].committed_in_wave);
+            }
+        }
+    }
+}
+
+#[test]
+fn all_processes_converge_to_equal_dags_after_quiescence() {
+    let sim = run(4, 31, 12);
+    let reference = sim.actor(ProcessId::new(0)).dag();
+    for p in sim.committee().members() {
+        let dag = sim.actor(p).dag();
+        // Agreement of the broadcast layer: after quiescence all DAGs hold
+        // the same vertex set (compare by refs).
+        let refs: Vec<VertexRef> = dag.iter().map(|v| v.reference()).collect();
+        let expected: Vec<VertexRef> = reference.iter().map(|v| v.reference()).collect();
+        assert_eq!(refs, expected, "{p}'s DAG differs");
+    }
+}

@@ -1,0 +1,158 @@
+//! Integration + property tests for the BAB **total order** property
+//! (Definition 3.1): logs of correct processes are always prefix-related,
+//! under arbitrary schedules, all broadcast instantiations, and crashes.
+
+use dag_rider::core::{DagRiderNode, NodeConfig};
+use dag_rider::crypto::deal_coin_keys;
+use dag_rider::rbc::{AvidRbc, BrachaRbc, ProbabilisticRbc, ReliableBroadcast};
+use dag_rider::simnet::{Simulation, UniformScheduler};
+use dag_rider::types::{Committee, ProcessId, VertexRef};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn run<B: ReliableBroadcast>(
+    n: usize,
+    seed: u64,
+    max_round: u64,
+    max_delay: u64,
+    crash: Option<(ProcessId, u64)>,
+) -> Vec<Vec<VertexRef>> {
+    let committee = Committee::new(n).unwrap();
+    let keys = deal_coin_keys(&committee, &mut StdRng::seed_from_u64(seed));
+    let config = NodeConfig::default().with_max_round(max_round);
+    let nodes: Vec<DagRiderNode<B>> = committee
+        .members()
+        .zip(keys)
+        .map(|(p, k)| DagRiderNode::new(committee, p, k, config.clone()))
+        .collect();
+    let mut sim = Simulation::new(committee, nodes, UniformScheduler::new(1, max_delay), seed);
+    if let Some((victim, after_events)) = crash {
+        sim.run_until(after_events, |_| false);
+        sim.crash(victim, true);
+    }
+    sim.run();
+    committee
+        .members()
+        .filter(|p| crash.map(|(v, _)| v != *p).unwrap_or(true))
+        .map(|p| sim.actor(p).ordered().iter().map(|o| o.vertex).collect())
+        .collect()
+}
+
+fn assert_prefix_consistent(logs: &[Vec<VertexRef>]) {
+    for (i, a) in logs.iter().enumerate() {
+        for (j, b) in logs.iter().enumerate().skip(i + 1) {
+            let common = a.len().min(b.len());
+            assert_eq!(&a[..common], &b[..common], "logs {i} and {j} diverge");
+        }
+    }
+}
+
+fn assert_no_duplicates(logs: &[Vec<VertexRef>]) {
+    for (i, log) in logs.iter().enumerate() {
+        let mut seen = std::collections::BTreeSet::new();
+        for v in log {
+            assert!(seen.insert(*v), "log {i} delivered {v} twice");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Total order holds for every schedule seed over Bracha broadcast.
+    #[test]
+    fn total_order_bracha(seed in 0u64..10_000, max_delay in 2u64..30) {
+        let logs = run::<BrachaRbc>(4, seed, 16, max_delay, None);
+        assert_prefix_consistent(&logs);
+        assert_no_duplicates(&logs);
+    }
+
+    /// Same over AVID broadcast.
+    #[test]
+    fn total_order_avid(seed in 0u64..10_000, max_delay in 2u64..30) {
+        let logs = run::<AvidRbc>(4, seed, 16, max_delay, None);
+        assert_prefix_consistent(&logs);
+        assert_no_duplicates(&logs);
+    }
+
+    /// Same over probabilistic broadcast (whp guarantees; at n = 4 the
+    /// samples cover the committee, so order is still certain).
+    #[test]
+    fn total_order_probabilistic(seed in 0u64..10_000, max_delay in 2u64..30) {
+        let logs = run::<ProbabilisticRbc>(4, seed, 16, max_delay, None);
+        assert_prefix_consistent(&logs);
+        assert_no_duplicates(&logs);
+    }
+
+    /// A crash of one process mid-run never breaks the survivors' order.
+    #[test]
+    fn total_order_with_crash(
+        seed in 0u64..10_000,
+        victim in 0u32..4,
+        after in 50u64..800,
+    ) {
+        let logs = run::<BrachaRbc>(4, seed, 20, 10, Some((ProcessId::new(victim), after)));
+        assert_eq!(logs.len(), 3);
+        assert_prefix_consistent(&logs);
+        assert_no_duplicates(&logs);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Total order holds across the whole configuration matrix:
+    /// garbage collection on/off × piggybacked coin on/off.
+    #[test]
+    fn total_order_config_matrix(
+        seed in 0u64..10_000,
+        gc in proptest::bool::ANY,
+        piggyback in proptest::bool::ANY,
+    ) {
+        let committee = Committee::new(4).unwrap();
+        let keys = deal_coin_keys(&committee, &mut StdRng::seed_from_u64(seed));
+        let mut config = NodeConfig::default().with_max_round(20);
+        if gc {
+            config = config.with_gc_depth(6);
+        }
+        if piggyback {
+            config = config.with_piggyback_coin();
+        }
+        let nodes: Vec<DagRiderNode<BrachaRbc>> = committee
+            .members()
+            .zip(keys)
+            .map(|(p, k)| DagRiderNode::new(committee, p, k, config.clone()))
+            .collect();
+        let mut sim = Simulation::new(committee, nodes, UniformScheduler::new(1, 12), seed);
+        sim.run();
+        let logs: Vec<Vec<VertexRef>> = committee
+            .members()
+            .map(|p| sim.actor(p).ordered().iter().map(|o| o.vertex).collect())
+            .collect();
+        assert_prefix_consistent(&logs);
+        assert_no_duplicates(&logs);
+        prop_assert!(logs.iter().all(|l| !l.is_empty()), "gc={gc} piggyback={piggyback}: no progress");
+    }
+}
+
+#[test]
+fn total_order_larger_committees() {
+    for (n, seed) in [(7usize, 42u64), (10, 43), (13, 44)] {
+        let logs = run::<BrachaRbc>(n, seed, 12, 10, None);
+        assert_prefix_consistent(&logs);
+        assert_no_duplicates(&logs);
+        assert!(
+            logs.iter().all(|l| !l.is_empty()),
+            "n={n}: every process should deliver something"
+        );
+    }
+}
+
+#[test]
+fn progress_every_correct_process_delivers() {
+    let logs = run::<BrachaRbc>(4, 7, 24, 10, None);
+    for (i, log) in logs.iter().enumerate() {
+        assert!(log.len() >= 8, "process {i} only delivered {}", log.len());
+    }
+}

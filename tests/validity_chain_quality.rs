@@ -1,0 +1,173 @@
+//! Integration tests for the paper's **Validity** property (every correct
+//! process's proposal is eventually ordered — the weak-edge mechanism) and
+//! **chain quality** (§3: any prefix of `(2f+1)·r` ordered vertices holds
+//! ≥ `(f+1)·r` from correct processes).
+
+use dag_rider::core::{DagRiderNode, NodeConfig};
+use dag_rider::crypto::deal_coin_keys;
+use dag_rider::rbc::{byzantine::SilentActor, BrachaRbc};
+use dag_rider::simnet::{Either, Simulation, TargetedScheduler, Time, UniformScheduler};
+use dag_rider::types::{Block, Committee, ProcessId, SeqNum, Transaction};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+type Node = DagRiderNode<BrachaRbc>;
+
+/// A starved-but-correct process's block is ordered everywhere once the
+/// adversary relents (weak edges carry it into later causal histories).
+#[test]
+fn validity_starved_process_block_is_ordered() {
+    for seed in [3u64, 5, 8] {
+        let committee = Committee::new(4).unwrap();
+        let keys = deal_coin_keys(&committee, &mut StdRng::seed_from_u64(seed));
+        let config = NodeConfig::default().with_max_round(32);
+        let victim = ProcessId::new(2);
+        let mut nodes: Vec<Node> = committee
+            .members()
+            .zip(keys)
+            .map(|(p, k)| DagRiderNode::new(committee, p, k, config.clone()))
+            .collect();
+        let marker = Transaction::synthetic(0xBEEF ^ seed, 24);
+        nodes[victim.as_usize()].a_bcast(Block::new(victim, SeqNum::new(1), vec![marker.clone()]));
+
+        let scheduler = TargetedScheduler::new(UniformScheduler::new(1, 6), [victim], 200)
+            .with_window(Time::ZERO, Time::new(200));
+        let mut sim = Simulation::new(committee, nodes, scheduler, seed);
+        sim.run();
+
+        for p in committee.members() {
+            let ordered = sim
+                .actor(p)
+                .ordered()
+                .iter()
+                .any(|o| o.block.transactions().contains(&marker));
+            assert!(ordered, "seed {seed}: {p} never ordered the starved process's block");
+        }
+    }
+}
+
+/// Without starvation, every correct process's early block lands quickly —
+/// and in the same position everywhere.
+#[test]
+fn validity_all_client_blocks_ordered_in_same_position() {
+    let committee = Committee::new(4).unwrap();
+    let keys = deal_coin_keys(&committee, &mut StdRng::seed_from_u64(77));
+    let config = NodeConfig::default().with_max_round(20);
+    let mut nodes: Vec<Node> = committee
+        .members()
+        .zip(keys)
+        .map(|(p, k)| DagRiderNode::new(committee, p, k, config.clone()))
+        .collect();
+    let markers: Vec<Transaction> =
+        (0..4).map(|i| Transaction::synthetic(1000 + i, 16)).collect();
+    for (node, marker) in nodes.iter_mut().zip(&markers) {
+        let me = node.me();
+        node.a_bcast(Block::new(me, SeqNum::new(1), vec![marker.clone()]));
+    }
+    let mut sim = Simulation::new(committee, nodes, UniformScheduler::new(1, 10), 77);
+    sim.run();
+
+    let position = |p: ProcessId, marker: &Transaction| {
+        sim.actor(p)
+            .ordered()
+            .iter()
+            .position(|o| o.block.transactions().contains(marker))
+    };
+    for marker in &markers {
+        let reference = position(ProcessId::new(0), marker);
+        assert!(reference.is_some(), "block missing at p0");
+        for p in committee.members() {
+            assert_eq!(position(p, marker), reference, "{p} placed a block differently");
+        }
+    }
+}
+
+/// Chain quality: with `f` Byzantine (silent) processes, every prefix of
+/// the ordered log is overwhelmingly from correct processes — trivially
+/// here (a mute process contributes nothing), and more interestingly the
+/// per-source counts of ordered vertices stay balanced across the correct
+/// processes (the paper's fairness argument: one vertex per process per
+/// round).
+#[test]
+fn chain_quality_balanced_across_correct_processes() {
+    let committee = Committee::new(7).unwrap();
+    let keys = deal_coin_keys(&committee, &mut StdRng::seed_from_u64(5));
+    let config = NodeConfig::default().with_max_round(20);
+    let byzantine: Vec<ProcessId> = vec![ProcessId::new(5), ProcessId::new(6)];
+    let nodes: Vec<Either<Node, SilentActor>> = committee
+        .members()
+        .zip(keys)
+        .map(|(p, k)| {
+            if byzantine.contains(&p) {
+                Either::Right(SilentActor)
+            } else {
+                Either::Left(DagRiderNode::new(committee, p, k, config.clone()))
+            }
+        })
+        .collect();
+    let mut sim = Simulation::new(committee, nodes, UniformScheduler::new(1, 8), 5);
+    for b in &byzantine {
+        sim.mark_byzantine(*b);
+    }
+    sim.run();
+
+    let observer = sim.actor(ProcessId::new(0)).as_left().unwrap();
+    let log = observer.ordered();
+    assert!(!log.is_empty());
+    // Count ordered vertices per source.
+    let mut counts = vec![0usize; committee.n()];
+    for o in log {
+        counts[o.vertex.source.as_usize()] += 1;
+    }
+    for b in &byzantine {
+        assert_eq!(counts[b.as_usize()], 0, "mute process contributed vertices?");
+    }
+    let correct_counts: Vec<usize> = counts[..5].to_vec();
+    let max = *correct_counts.iter().max().unwrap();
+    let min = *correct_counts.iter().min().unwrap();
+    // One vertex per round per process: counts differ by at most a few
+    // rounds' worth of tail effects.
+    assert!(
+        max - min <= 4,
+        "per-source ordered counts unbalanced: {correct_counts:?}"
+    );
+    // Chain quality (§3): any prefix of length (2f+1)·r contains at least
+    // (f+1)·r vertices from correct processes. With mute Byzantine
+    // processes every vertex is from a correct process, so check the
+    // stronger statement directly.
+    let f = committee.f();
+    for r in 1..=(log.len() / (2 * f + 1)) {
+        let prefix = &log[..(2 * f + 1) * r];
+        let correct = prefix
+            .iter()
+            .filter(|o| !byzantine.contains(&o.vertex.source))
+            .count();
+        assert!(correct >= (f + 1) * r, "prefix {r}: {correct} correct vertices");
+    }
+}
+
+/// Liveness with exactly `f` crash faults from the very start: rounds
+/// advance on `2f+1` vertices, waves commit.
+#[test]
+fn liveness_with_f_initial_crashes() {
+    let committee = Committee::new(7).unwrap();
+    let keys = deal_coin_keys(&committee, &mut StdRng::seed_from_u64(21));
+    let config = NodeConfig::default().with_max_round(16);
+    let nodes: Vec<Node> = committee
+        .members()
+        .zip(keys)
+        .map(|(p, k)| DagRiderNode::new(committee, p, k, config.clone()))
+        .collect();
+    let mut sim = Simulation::new(committee, nodes, UniformScheduler::new(1, 8), 21);
+    sim.initialize();
+    sim.crash(ProcessId::new(0), true);
+    sim.crash(ProcessId::new(1), true);
+    sim.run();
+    for p in committee.members().filter(|p| p.index() >= 2) {
+        let node = sim.actor(p);
+        assert!(
+            node.decided_wave().number() >= 1,
+            "{p} failed to commit any wave under f crashes"
+        );
+    }
+}
