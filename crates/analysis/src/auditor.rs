@@ -1,0 +1,311 @@
+//! The invariant auditor: machine-checks a DAG (live or snapshotted)
+//! against the full §4–§5 invariant catalogue.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use dagrider_core::{CommitEvent, Dag, WaveOutcome};
+use dagrider_types::{Committee, Round, Vertex, VertexRef, Wave};
+
+use crate::snapshot::DagSnapshot;
+use crate::violation::InvariantViolation;
+
+/// Audits DAGs against the protocol's structural and ordering invariants.
+///
+/// The auditor is deliberately independent of the construction code paths
+/// it checks: it re-derives every invariant from the paper rather than
+/// calling [`Vertex::validate`], so a bug in the shared validation logic
+/// cannot hide from it.
+///
+/// ```
+/// use dagrider_analysis::DagAuditor;
+/// use dagrider_core::Dag;
+/// use dagrider_types::Committee;
+///
+/// let committee = Committee::new(4)?;
+/// let auditor = DagAuditor::new(committee);
+/// assert!(auditor.audit_dag(&Dag::new(committee)).is_empty());
+/// # Ok::<(), dagrider_types::CommitteeError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct DagAuditor {
+    committee: Committee,
+}
+
+/// An indexed, read-only view of a vertex set: the common shape behind
+/// auditing a live [`Dag`] and a [`DagSnapshot`].
+struct View<'a> {
+    vertices: BTreeMap<VertexRef, &'a Vertex>,
+    pruned_floor: Round,
+}
+
+impl<'a> View<'a> {
+    fn get(&self, reference: VertexRef) -> Option<&'a Vertex> {
+        self.vertices.get(&reference).copied()
+    }
+
+    /// Whether `reference` is either present or excused by garbage
+    /// collection (its round was pruned; genesis is never pruned).
+    fn resolves(&self, reference: VertexRef) -> bool {
+        self.vertices.contains_key(&reference)
+            || (reference.round < self.pruned_floor && reference.round != Round::GENESIS)
+    }
+
+    /// Every vertex reachable from `frontier` following **all** edges of
+    /// present vertices (the frontier itself included). This is the
+    /// causal history of the frontier, which in a causally closed DAG is
+    /// stable under further insertions — the basis of the weak-edge
+    /// redundancy check.
+    fn reachable_from(&self, frontier: impl IntoIterator<Item = VertexRef>) -> BTreeSet<VertexRef> {
+        let mut reachable: BTreeSet<VertexRef> = frontier.into_iter().collect();
+        let mut queue: VecDeque<VertexRef> = reachable.iter().copied().collect();
+        while let Some(current) = queue.pop_front() {
+            if let Some(vertex) = self.get(current) {
+                for &edge in vertex.edges() {
+                    if reachable.insert(edge) {
+                        queue.push_back(edge);
+                    }
+                }
+            }
+        }
+        reachable
+    }
+}
+
+impl DagAuditor {
+    /// Creates an auditor for the given committee.
+    pub fn new(committee: Committee) -> Self {
+        Self { committee }
+    }
+
+    /// Creates an auditor for the committee `dag` was built over.
+    pub fn for_dag(dag: &Dag) -> Self {
+        Self::new(dag.committee())
+    }
+
+    /// The committee the auditor checks against.
+    pub fn committee(&self) -> Committee {
+        self.committee
+    }
+
+    /// Audits a live DAG's structural invariants. The [`Dag`] container
+    /// itself rules out slot duplicates, so [`InvariantViolation::DuplicateVertex`]
+    /// can only arise from the snapshot path.
+    pub fn audit_dag(&self, dag: &Dag) -> Vec<InvariantViolation> {
+        let view = View {
+            vertices: dag.iter().map(|v| (v.reference(), v)).collect(),
+            pruned_floor: dag.pruned_floor(),
+        };
+        let mut violations = self.audit_view(&view);
+        sort_report(&mut violations);
+        violations
+    }
+
+    /// Audits a serialized snapshot: digest integrity and slot uniqueness
+    /// first, then the same structural checks as [`DagAuditor::audit_dag`]
+    /// over the entries (first occupant of a duplicated slot wins).
+    pub fn audit_snapshot(&self, snapshot: &DagSnapshot) -> Vec<InvariantViolation> {
+        let mut violations = Vec::new();
+        let mut vertices: BTreeMap<VertexRef, &Vertex> = BTreeMap::new();
+        let mut duplicated: BTreeSet<VertexRef> = BTreeSet::new();
+        for entry in snapshot.entries() {
+            let reference = entry.vertex.reference();
+            if !entry.digest_matches() {
+                violations.push(InvariantViolation::DigestMismatch { vertex: reference });
+            }
+            if vertices.insert(reference, &entry.vertex).is_some() && duplicated.insert(reference) {
+                violations.push(InvariantViolation::DuplicateVertex { slot: reference });
+            }
+        }
+        let view = View { vertices, pruned_floor: snapshot.pruned_floor() };
+        violations.extend(self.audit_view(&view));
+        sort_report(&mut violations);
+        violations
+    }
+
+    /// Audits a process's commit record against its DAG: direct commits
+    /// must be justified by a `2f + 1` strong-path quorum (Algorithm 3
+    /// line 36), committed leaders' vertices must exist, and consecutive
+    /// committed leaders must chain by strong paths (lines 39–43 /
+    /// Lemma 1 — this is the invariant whose violation would let two
+    /// processes order divergent histories).
+    pub fn audit_commits(&self, dag: &Dag, commits: &[CommitEvent]) -> Vec<InvariantViolation> {
+        let mut violations = Vec::new();
+        let quorum = self.committee.quorum();
+        // Committed leaders by wave; a wave may appear twice in the record
+        // (Skipped at interpretation, Indirect later) — only commits count.
+        let mut committed: BTreeMap<Wave, VertexRef> = BTreeMap::new();
+        for commit in commits {
+            if commit.outcome == WaveOutcome::Skipped {
+                continue;
+            }
+            let leader = VertexRef::new(commit.wave.first_round(), commit.leader);
+            // Garbage collection may have dropped the evidence; nothing
+            // left to check for such waves.
+            if leader.round < dag.pruned_floor() {
+                continue;
+            }
+            if !dag.contains(leader) {
+                violations.push(InvariantViolation::MissingLeaderVertex {
+                    wave: commit.wave,
+                    leader: commit.leader,
+                });
+                continue;
+            }
+            committed.insert(commit.wave, leader);
+            if commit.outcome == WaveOutcome::Direct {
+                let supporters = dag
+                    .round_vertices(commit.wave.last_round())
+                    .values()
+                    .filter(|u| dag.strong_path(u.reference(), leader))
+                    .count();
+                if supporters < quorum {
+                    violations.push(InvariantViolation::UnjustifiedCommit {
+                        wave: commit.wave,
+                        leader,
+                        supporters,
+                        required: quorum,
+                    });
+                }
+            }
+        }
+        // Adjacent committed leaders, in wave order, must be strongly
+        // connected; transitivity then chains the whole sequence.
+        for ((&earlier, &earlier_leader), (&later, &later_leader)) in
+            committed.iter().zip(committed.iter().skip(1))
+        {
+            if !dag.strong_path(later_leader, earlier_leader) {
+                violations.push(InvariantViolation::BrokenLeaderChain {
+                    earlier,
+                    earlier_leader,
+                    later,
+                    later_leader,
+                });
+            }
+        }
+        violations
+    }
+
+    /// The structural checks shared by the live and snapshot paths.
+    fn audit_view(&self, view: &View<'_>) -> Vec<InvariantViolation> {
+        let mut violations = Vec::new();
+        let quorum = self.committee.quorum();
+        for (&reference, vertex) in &view.vertices {
+            if !self.committee.contains(reference.source) {
+                violations.push(InvariantViolation::UnknownSource {
+                    vertex: reference,
+                    source: reference.source,
+                });
+            }
+            if reference.round == Round::GENESIS {
+                continue; // genesis vertices carry no edges to check
+            }
+            let prev = Round::new(reference.round.number() - 1);
+            // Strong edges: all into round r - 1 (Algorithm 1), at least
+            // 2f + 1 of them (Algorithm 2 line 25).
+            for &edge in vertex.strong_edges() {
+                if edge.round >= reference.round {
+                    violations
+                        .push(InvariantViolation::NonMonotoneEdge { vertex: reference, edge });
+                } else if edge.round != prev {
+                    violations
+                        .push(InvariantViolation::StrongEdgeWrongRound { vertex: reference, edge });
+                }
+            }
+            if vertex.strong_edges().len() < quorum {
+                violations.push(InvariantViolation::InsufficientStrongEdges {
+                    vertex: reference,
+                    found: vertex.strong_edges().len(),
+                    required: quorum,
+                });
+            }
+            // Weak edges: strictly below round r - 1 (Algorithm 1).
+            for &edge in vertex.weak_edges() {
+                if edge.round >= reference.round {
+                    violations
+                        .push(InvariantViolation::NonMonotoneEdge { vertex: reference, edge });
+                } else if edge.round >= prev {
+                    violations
+                        .push(InvariantViolation::WeakEdgeWrongRound { vertex: reference, edge });
+                }
+            }
+            // Causal closure (Claim 1): every referenced vertex resolves.
+            for &edge in vertex.edges() {
+                if !view.resolves(edge) {
+                    violations
+                        .push(InvariantViolation::MissingEdgeTarget { vertex: reference, edge });
+                }
+            }
+            // Weak-edge necessity (Algorithm 2 line 27): a correct process
+            // only adds a weak edge to a vertex its strong frontier does
+            // NOT already reach. Reachability from a fixed frontier is the
+            // frontier's causal history, which causal closure makes stable
+            // — so the creator's view and ours agree on it.
+            if !vertex.weak_edges().is_empty() {
+                let reachable = view.reachable_from(vertex.strong_edges().iter().copied());
+                for &edge in vertex.weak_edges() {
+                    if reachable.contains(&edge) {
+                        violations.push(InvariantViolation::RedundantWeakEdge {
+                            vertex: reference,
+                            edge,
+                        });
+                    }
+                }
+            }
+        }
+        violations.extend(find_cycles(view));
+        violations
+    }
+}
+
+/// Depth-first search for cycles, reporting one violation per vertex that
+/// closes a back edge. Round monotonicity already forbids cycles, but a
+/// corrupted snapshot can contain them and they would otherwise hang
+/// naive traversals — so the auditor detects them explicitly.
+fn find_cycles(view: &View<'_>) -> Vec<InvariantViolation> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let mut color: BTreeMap<VertexRef, Color> =
+        view.vertices.keys().map(|&r| (r, Color::White)).collect();
+    let mut on_cycle: BTreeSet<VertexRef> = BTreeSet::new();
+    for &start in view.vertices.keys() {
+        if color[&start] != Color::White {
+            continue;
+        }
+        // Stack of (vertex, edges not yet explored).
+        let mut stack: Vec<(VertexRef, Vec<VertexRef>)> = Vec::new();
+        color.insert(start, Color::Gray);
+        stack.push((start, edges_of(view, start)));
+        while let Some((current, pending)) = stack.last_mut() {
+            let Some(edge) = pending.pop() else {
+                color.insert(*current, Color::Black);
+                stack.pop();
+                continue;
+            };
+            match color.get(&edge) {
+                Some(Color::White) => {
+                    color.insert(edge, Color::Gray);
+                    stack.push((edge, edges_of(view, edge)));
+                }
+                Some(Color::Gray) => {
+                    on_cycle.insert(edge); // back edge: `edge` is on a cycle
+                }
+                Some(Color::Black) | None => {}
+            }
+        }
+    }
+    on_cycle.into_iter().map(|vertex| InvariantViolation::CycleDetected { vertex }).collect()
+}
+
+fn edges_of(view: &View<'_>, reference: VertexRef) -> Vec<VertexRef> {
+    view.get(reference).map_or_else(Vec::new, |v| v.edges().copied().collect())
+}
+
+/// Orders a report by anchor round, then textual form — stable and
+/// readable regardless of discovery order.
+fn sort_report(violations: &mut [InvariantViolation]) {
+    violations.sort_by_key(|v| (v.round(), v.to_string()));
+}

@@ -1,0 +1,188 @@
+//! Serialized DAG snapshots: a DAG's vertices plus per-vertex SHA-256
+//! digests, in the `dagrider-types` wire codec.
+//!
+//! A snapshot is what one process's DAG looks like when it crosses a trust
+//! boundary — written to disk for the `audit-dag` binary, shipped to a
+//! debugger, attached to a bug report. Unlike the in-memory [`Dag`], a
+//! snapshot makes **no** structural promises: the bytes may come from a
+//! faulty process or a corrupted file, which is exactly why
+//! [`DagAuditor`](crate::DagAuditor) exists.
+
+use dagrider_core::Dag;
+use dagrider_crypto::{sha256, Digest};
+use dagrider_types::{Committee, Decode, DecodeError, Encode, Round, Vertex, VertexRef};
+
+/// Magic prefix identifying a snapshot file (version-suffixed).
+const MAGIC: [u8; 8] = *b"DAGSNAP1";
+
+/// One vertex of a snapshot together with the SHA-256 digest of its
+/// encoding, recorded at capture time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotEntry {
+    /// `sha256(vertex.to_bytes())` as recorded by the capturing process.
+    pub digest: Digest,
+    /// The vertex itself.
+    pub vertex: Vertex,
+}
+
+impl SnapshotEntry {
+    /// Whether the recorded digest matches the vertex bytes.
+    pub fn digest_matches(&self) -> bool {
+        sha256(self.vertex.to_bytes()) == self.digest
+    }
+}
+
+impl Encode for SnapshotEntry {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.digest.encode(buf);
+        self.vertex.encode(buf);
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.digest.encoded_len() + self.vertex.encoded_len()
+    }
+}
+
+impl Decode for SnapshotEntry {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(Self { digest: Digest::decode(buf)?, vertex: Vertex::decode(buf)? })
+    }
+}
+
+/// A serialized copy of one process's DAG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DagSnapshot {
+    committee: Committee,
+    pruned_floor: Round,
+    entries: Vec<SnapshotEntry>,
+}
+
+impl DagSnapshot {
+    /// Captures `dag` (every retained vertex, genesis included), digesting
+    /// each vertex's encoding.
+    pub fn capture(dag: &Dag) -> Self {
+        Self {
+            committee: dag.committee(),
+            pruned_floor: dag.pruned_floor(),
+            entries: dag
+                .iter()
+                .map(|v| SnapshotEntry { digest: sha256(v.to_bytes()), vertex: v.clone() })
+                .collect(),
+        }
+    }
+
+    /// Builds a snapshot from raw parts (used by tests to craft
+    /// adversarial snapshots).
+    pub fn from_parts(
+        committee: Committee,
+        pruned_floor: Round,
+        entries: Vec<SnapshotEntry>,
+    ) -> Self {
+        Self { committee, pruned_floor, entries }
+    }
+
+    /// The committee the capturing process belonged to.
+    pub fn committee(&self) -> Committee {
+        self.committee
+    }
+
+    /// The capturing DAG's garbage-collection floor: edge targets below
+    /// this round are expected to be absent.
+    pub fn pruned_floor(&self) -> Round {
+        self.pruned_floor
+    }
+
+    /// The snapshot's entries, in capture order.
+    pub fn entries(&self) -> &[SnapshotEntry] {
+        &self.entries
+    }
+
+    /// Mutable access to the entries (for adversarial test mutations).
+    pub fn entries_mut(&mut self) -> &mut Vec<SnapshotEntry> {
+        &mut self.entries
+    }
+
+    /// References of all entries, in capture order.
+    pub fn references(&self) -> impl Iterator<Item = VertexRef> + '_ {
+        self.entries.iter().map(|e| e.vertex.reference())
+    }
+}
+
+impl Encode for DagSnapshot {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        MAGIC.encode(buf);
+        (self.committee.n() as u32).encode(buf);
+        self.pruned_floor.encode(buf);
+        self.entries.encode(buf);
+    }
+
+    fn encoded_len(&self) -> usize {
+        MAGIC.encoded_len()
+            + (self.committee.n() as u32).encoded_len()
+            + self.pruned_floor.encoded_len()
+            + self.entries.encoded_len()
+    }
+}
+
+impl Decode for DagSnapshot {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        let magic = <[u8; 8]>::decode(buf)?;
+        if magic != MAGIC {
+            return Err(DecodeError::Invalid("not a DAG snapshot (bad magic)"));
+        }
+        let n = u32::decode(buf)?;
+        let committee = Committee::new(n as usize)
+            .map_err(|_| DecodeError::Invalid("snapshot committee size is not 3f + 1"))?;
+        Ok(Self {
+            committee,
+            pruned_floor: Round::decode(buf)?,
+            entries: Vec::<SnapshotEntry>::decode(buf)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_dag() -> Dag {
+        let committee = Committee::new(4).expect("4 = 3f + 1");
+        Dag::new(committee)
+    }
+
+    #[test]
+    fn capture_includes_genesis() {
+        let snapshot = DagSnapshot::capture(&sample_dag());
+        assert_eq!(snapshot.entries().len(), 4);
+        assert!(snapshot.entries().iter().all(SnapshotEntry::digest_matches));
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let snapshot = DagSnapshot::capture(&sample_dag());
+        let bytes = snapshot.to_bytes();
+        assert_eq!(bytes.len(), snapshot.encoded_len());
+        assert_eq!(DagSnapshot::from_bytes(&bytes).expect("decode"), snapshot);
+    }
+
+    #[test]
+    fn decode_rejects_bad_magic() {
+        let mut bytes = DagSnapshot::capture(&sample_dag()).to_bytes();
+        bytes[0] ^= 0xff;
+        assert!(matches!(
+            DagSnapshot::from_bytes(&bytes),
+            Err(DecodeError::Invalid("not a DAG snapshot (bad magic)"))
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_bad_committee_size() {
+        let snapshot = DagSnapshot::capture(&sample_dag());
+        let mut bytes = Vec::new();
+        MAGIC.encode(&mut bytes);
+        5u32.encode(&mut bytes); // 5 is not 3f + 1
+        snapshot.pruned_floor.encode(&mut bytes);
+        snapshot.entries.encode(&mut bytes);
+        assert!(matches!(DagSnapshot::from_bytes(&bytes), Err(DecodeError::Invalid(_))));
+    }
+}

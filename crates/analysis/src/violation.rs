@@ -1,0 +1,246 @@
+//! The typed invariant-violation catalogue.
+//!
+//! Every violation names the offending vertex (or wave) and cites the part
+//! of the paper whose guarantee it breaks, so an audit report reads as a
+//! checklist against §4–§5 of *All You Need is DAG*.
+
+use std::fmt;
+
+use dagrider_types::{ProcessId, Round, VertexRef, Wave};
+
+/// One violated protocol invariant, found by
+/// [`DagAuditor`](crate::DagAuditor).
+///
+/// Variants are grouped by layer: structural DAG invariants (§4,
+/// Algorithm 2), snapshot integrity, and ordering/commit-rule consistency
+/// (§5, Algorithm 3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvariantViolation {
+    /// An edge points to a round at or above its vertex's round, breaking
+    /// round monotonicity (§4, Algorithm 1: edges reference earlier
+    /// rounds).
+    NonMonotoneEdge {
+        /// The offending vertex.
+        vertex: VertexRef,
+        /// The edge that fails to descend.
+        edge: VertexRef,
+    },
+    /// Following edges returns to a vertex — the "DAG" has a cycle (§4:
+    /// the structure must be a round-based DAG).
+    CycleDetected {
+        /// A vertex on the detected cycle.
+        vertex: VertexRef,
+    },
+    /// A vertex references a vertex that is not present (and not below the
+    /// garbage-collection floor) — causal closure is broken (§4, Claim 1;
+    /// Algorithm 2 lines 6–9 only insert once all references are present).
+    MissingEdgeTarget {
+        /// The offending vertex.
+        vertex: VertexRef,
+        /// The absent reference.
+        edge: VertexRef,
+    },
+    /// A non-genesis vertex has fewer than `2f + 1` strong edges (§4,
+    /// Algorithm 2 lines 24–26 discard such vertices at delivery).
+    InsufficientStrongEdges {
+        /// The offending vertex.
+        vertex: VertexRef,
+        /// Strong edges present.
+        found: usize,
+        /// The `2f + 1` quorum required.
+        required: usize,
+    },
+    /// A strong edge does not point to the immediately preceding round
+    /// (§4, Algorithm 1: strong edges reference round `r - 1`).
+    StrongEdgeWrongRound {
+        /// The offending vertex.
+        vertex: VertexRef,
+        /// The misdirected strong edge.
+        edge: VertexRef,
+    },
+    /// A weak edge points to round `r - 1` or above (§4, Algorithm 1: weak
+    /// edges reference rounds `< r - 1`).
+    WeakEdgeWrongRound {
+        /// The offending vertex.
+        vertex: VertexRef,
+        /// The misdirected weak edge.
+        edge: VertexRef,
+    },
+    /// A weak edge targets a vertex already reachable from the vertex's
+    /// strong edges — correct processes only add weak edges to otherwise
+    /// unreachable orphans (§4, Algorithm 2 lines 27–31).
+    RedundantWeakEdge {
+        /// The offending vertex.
+        vertex: VertexRef,
+        /// The already-reachable target.
+        edge: VertexRef,
+    },
+    /// Two distinct vertices share a `(process, round)` slot — equivocation
+    /// that reliable broadcast must have prevented (§2 integrity; §4).
+    DuplicateVertex {
+        /// The doubly-occupied slot.
+        slot: VertexRef,
+    },
+    /// A vertex's source is not one of the `n = 3f + 1` committee members
+    /// (§2: the process set is known).
+    UnknownSource {
+        /// The offending vertex.
+        vertex: VertexRef,
+        /// Its out-of-committee source.
+        source: ProcessId,
+    },
+    /// A snapshot entry's recorded SHA-256 digest does not match the
+    /// vertex bytes — the snapshot was corrupted or tampered with in
+    /// transit (§2: links are authenticated; integrity is assumed, so it
+    /// must be checked when a DAG crosses a trust boundary).
+    DigestMismatch {
+        /// The vertex whose bytes hash differently.
+        vertex: VertexRef,
+    },
+    /// A commit event's leader vertex is absent from the wave's first
+    /// round (§5, Algorithm 3 lines 46–50: `get_wave_vertex_leader` must
+    /// return the vertex for the wave to resolve).
+    MissingLeaderVertex {
+        /// The wave whose commit lacks its leader vertex.
+        wave: Wave,
+        /// The elected leader process.
+        leader: ProcessId,
+    },
+    /// A directly committed leader lacks `2f + 1` round-4 vertices with
+    /// strong paths to it — the commit rule did not actually hold (§5,
+    /// Algorithm 3 line 36).
+    UnjustifiedCommit {
+        /// The wave that claimed a direct commit.
+        wave: Wave,
+        /// The leader vertex.
+        leader: VertexRef,
+        /// Vertices of the wave's last round with strong paths to the
+        /// leader.
+        supporters: usize,
+        /// The `2f + 1` quorum required.
+        required: usize,
+    },
+    /// Two consecutively committed leaders are not connected by a strong
+    /// path — the retroactive commit chain of Algorithm 3 lines 39–43
+    /// (guaranteed by Lemma 1) is broken, which would let processes order
+    /// divergent histories.
+    BrokenLeaderChain {
+        /// The earlier committed wave.
+        earlier: Wave,
+        /// Its leader vertex.
+        earlier_leader: VertexRef,
+        /// The later committed wave whose leader fails to reach it.
+        later: Wave,
+        /// The later leader vertex.
+        later_leader: VertexRef,
+    },
+}
+
+impl InvariantViolation {
+    /// The paper section/algorithm whose guarantee this violation breaks.
+    pub fn citation(&self) -> &'static str {
+        match self {
+            InvariantViolation::NonMonotoneEdge { .. }
+            | InvariantViolation::CycleDetected { .. } => "§4, Algorithm 1 (round-based DAG)",
+            InvariantViolation::MissingEdgeTarget { .. } => "§4, Claim 1 / Algorithm 2 lines 6-9",
+            InvariantViolation::InsufficientStrongEdges { .. }
+            | InvariantViolation::StrongEdgeWrongRound { .. } => "§4, Algorithm 2 lines 24-26",
+            InvariantViolation::WeakEdgeWrongRound { .. }
+            | InvariantViolation::RedundantWeakEdge { .. } => "§4, Algorithm 2 lines 27-31",
+            InvariantViolation::DuplicateVertex { .. } => "§2 (RBC integrity) / §4",
+            InvariantViolation::UnknownSource { .. } => "§2 (known process set, n = 3f+1)",
+            InvariantViolation::DigestMismatch { .. } => "§2 (authenticated links)",
+            InvariantViolation::MissingLeaderVertex { .. } => "§5, Algorithm 3 lines 46-50",
+            InvariantViolation::UnjustifiedCommit { .. } => "§5, Algorithm 3 line 36",
+            InvariantViolation::BrokenLeaderChain { .. } => "§5, Algorithm 3 lines 39-43 / Lemma 1",
+        }
+    }
+
+    /// The vertex this violation is anchored to, when there is one.
+    pub fn vertex(&self) -> Option<VertexRef> {
+        match self {
+            InvariantViolation::NonMonotoneEdge { vertex, .. }
+            | InvariantViolation::CycleDetected { vertex }
+            | InvariantViolation::MissingEdgeTarget { vertex, .. }
+            | InvariantViolation::InsufficientStrongEdges { vertex, .. }
+            | InvariantViolation::StrongEdgeWrongRound { vertex, .. }
+            | InvariantViolation::WeakEdgeWrongRound { vertex, .. }
+            | InvariantViolation::RedundantWeakEdge { vertex, .. }
+            | InvariantViolation::UnknownSource { vertex, .. }
+            | InvariantViolation::DigestMismatch { vertex } => Some(*vertex),
+            InvariantViolation::DuplicateVertex { slot } => Some(*slot),
+            InvariantViolation::UnjustifiedCommit { leader, .. } => Some(*leader),
+            InvariantViolation::BrokenLeaderChain { later_leader, .. } => Some(*later_leader),
+            InvariantViolation::MissingLeaderVertex { wave, leader } => {
+                Some(VertexRef::new(wave.first_round(), *leader))
+            }
+        }
+    }
+
+    /// The round the violation is anchored to (for sorting reports).
+    pub fn round(&self) -> Round {
+        self.vertex().map_or(Round::GENESIS, |v| v.round)
+    }
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvariantViolation::NonMonotoneEdge { vertex, edge } => {
+                write!(f, "{vertex} has an edge to {edge}, at or above its own round")
+            }
+            InvariantViolation::CycleDetected { vertex } => {
+                write!(f, "{vertex} lies on a cycle")
+            }
+            InvariantViolation::MissingEdgeTarget { vertex, edge } => {
+                write!(f, "{vertex} references absent vertex {edge} (causal closure broken)")
+            }
+            InvariantViolation::InsufficientStrongEdges { vertex, found, required } => {
+                write!(f, "{vertex} has {found} strong edges, needs >= {required}")
+            }
+            InvariantViolation::StrongEdgeWrongRound { vertex, edge } => {
+                write!(f, "{vertex} has a strong edge to {edge}, not the previous round")
+            }
+            InvariantViolation::WeakEdgeWrongRound { vertex, edge } => {
+                write!(f, "{vertex} has a weak edge to {edge}, not strictly below round - 1")
+            }
+            InvariantViolation::RedundantWeakEdge { vertex, edge } => {
+                write!(
+                    f,
+                    "{vertex} has a weak edge to {edge}, which its strong edges already reach"
+                )
+            }
+            InvariantViolation::DuplicateVertex { slot } => {
+                write!(f, "two distinct vertices occupy slot {slot} (equivocation)")
+            }
+            InvariantViolation::UnknownSource { vertex, source } => {
+                write!(f, "{vertex} was broadcast by non-member {source}")
+            }
+            InvariantViolation::DigestMismatch { vertex } => {
+                write!(f, "{vertex}'s bytes do not hash to its recorded digest")
+            }
+            InvariantViolation::MissingLeaderVertex { wave, leader } => {
+                write!(f, "wave {wave} committed leader {leader} whose vertex is absent")
+            }
+            InvariantViolation::UnjustifiedCommit { wave, leader, supporters, required } => {
+                write!(
+                    f,
+                    "wave {wave} directly committed {leader} with {supporters} supporters, needs >= {required}"
+                )
+            }
+            InvariantViolation::BrokenLeaderChain {
+                earlier,
+                earlier_leader,
+                later,
+                later_leader,
+            } => {
+                write!(
+                    f,
+                    "committed leader {later_leader} (wave {later}) has no strong path to \
+                     committed leader {earlier_leader} (wave {earlier})"
+                )
+            }
+        }?;
+        write!(f, " [{}]", self.citation())
+    }
+}

@@ -94,7 +94,10 @@ impl Encode for DumboMessage {
             DumboMessage::StoreAck { root } => root.encoded_len(),
             DumboMessage::Agree(m) => m.encoded_len(),
             DumboMessage::Fragment { dealer, root, shard, proof } => {
-                dealer.encoded_len() + root.encoded_len() + shard.encoded_len() + proof.encoded_len()
+                dealer.encoded_len()
+                    + root.encoded_len()
+                    + shard.encoded_len()
+                    + proof.encoded_len()
             }
         }
     }
@@ -153,11 +156,20 @@ pub struct DumboSlot {
     decided_target: Option<(ProcessId, Digest)>,
     fragment_sent: bool,
     retrieved: BTreeMap<u8, Shard>,
+    /// Fragments whose senders decided the inner agreement before we did,
+    /// held (already root-authenticated) until our own decision tells us
+    /// which `(dealer, root)` won. One per sender — honest parties send
+    /// exactly one fragment per slot — so memory stays `O(n)` under
+    /// Byzantine senders.
+    pending_fragments: BTreeMap<ProcessId, (ProcessId, Digest, Shard)>,
     done: bool,
 }
 
 impl DumboSlot {
-    fn wrap(actions: Vec<SlotAction<VabaMessage>>, out: &mut Vec<SlotAction<DumboMessage>>) -> Vec<Vec<u8>> {
+    fn wrap(
+        actions: Vec<SlotAction<VabaMessage>>,
+        out: &mut Vec<SlotAction<DumboMessage>>,
+    ) -> Vec<Vec<u8>> {
         let mut decisions = Vec::new();
         for action in actions {
             match action {
@@ -182,6 +194,12 @@ impl DumboSlot {
                 continue; // unparseable inner value: ignore
             };
             self.decided_target = Some((dealer, root));
+            // Fragments that outran our decision become usable now.
+            for (_, (d, r, shard)) in std::mem::take(&mut self.pending_fragments) {
+                if (d, r) == (dealer, root) {
+                    self.retrieved.insert(shard.index, shard);
+                }
+            }
             self.try_retrieve(out);
         }
     }
@@ -240,6 +258,7 @@ impl SlotProtocol for DumboSlot {
             decided_target: None,
             fragment_sent: false,
             retrieved: BTreeMap::new(),
+            pending_fragments: BTreeMap::new(),
             done: false,
         }
     }
@@ -259,10 +278,7 @@ impl SlotProtocol for DumboSlot {
                 self.stored.insert(self.me, (root, shard, proof));
                 self.store_acks.insert(self.me);
             } else {
-                out.push(SlotAction::Send(
-                    member,
-                    DumboMessage::Disperse { root, shard, proof },
-                ));
+                out.push(SlotAction::Send(member, DumboMessage::Disperse { root, shard, proof }));
             }
         }
         out
@@ -305,13 +321,22 @@ impl SlotProtocol for DumboSlot {
                 self.absorb_inner(actions, &mut out);
             }
             DumboMessage::Fragment { dealer, root, shard, proof } => {
-                if self.decided_target == Some((dealer, root))
-                    && shard.index == from.index() as u8
+                if shard.index == from.index() as u8
                     && proof.index() == u64::from(shard.index)
                     && proof.verify(root, &shard.data)
                 {
-                    self.retrieved.insert(shard.index, shard);
-                    self.try_retrieve(&mut out);
+                    if self.decided_target == Some((dealer, root)) {
+                        self.retrieved.insert(shard.index, shard);
+                        self.try_retrieve(&mut out);
+                    } else if self.decided_target.is_none() {
+                        // The sender's inner agreement outran ours. Without
+                        // buffering, a laggard that decides after its peers
+                        // broadcast (each sends its fragment exactly once)
+                        // starts retrieval with only its own fragment and
+                        // stalls below `k` forever — hold the fragment until
+                        // we learn the winner.
+                        self.pending_fragments.insert(from, (dealer, root, shard));
+                    }
                 }
             }
         }

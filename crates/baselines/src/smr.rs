@@ -214,6 +214,31 @@ impl<P: SlotProtocol> SmrNode<P> {
     }
 }
 
+impl<P: SlotProtocol> Actor for SmrNode<P> {
+    fn init(&mut self, ctx: &mut Context<'_>) {
+        self.ensure_slot(0, ctx);
+    }
+
+    fn on_message(&mut self, from: ProcessId, payload: &[u8], ctx: &mut Context<'_>) {
+        match SlotEnvelope::<P::Message>::from_bytes(payload) {
+            Ok(envelope) => {
+                let slot = envelope.slot;
+                if slot >= self.config.max_slots {
+                    return;
+                }
+                self.ensure_slot(slot, ctx);
+                let actions = self.slots.get_mut(&slot).expect("ensured above").on_message(
+                    from,
+                    envelope.message,
+                    ctx.rng(),
+                );
+                self.apply(slot, actions, ctx);
+            }
+            Err(_) => self.decode_failures += 1,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use dagrider_crypto::deal_coin_keys;
@@ -228,8 +253,10 @@ mod tests {
         let committee = Committee::new(4).unwrap();
         let keys = deal_coin_keys(&committee, &mut StdRng::seed_from_u64(1));
         let config = SmrConfig { max_slots: 2, value_bytes: 32 };
-        let node_a = SmrNode::<VabaSlot>::new(committee, ProcessId::new(0), keys[0].clone(), config);
-        let node_b = SmrNode::<VabaSlot>::new(committee, ProcessId::new(0), keys[0].clone(), config);
+        let node_a =
+            SmrNode::<VabaSlot>::new(committee, ProcessId::new(0), keys[0].clone(), config);
+        let node_b =
+            SmrNode::<VabaSlot>::new(committee, ProcessId::new(0), keys[0].clone(), config);
         assert_eq!(node_a.value_for(0), node_b.value_for(0));
         assert_ne!(node_a.value_for(0), node_a.value_for(1), "slots get distinct values");
         let other = SmrNode::<VabaSlot>::new(committee, ProcessId::new(1), keys[1].clone(), config);
@@ -290,31 +317,6 @@ mod tests {
         for p in committee.members() {
             assert_eq!(sim.actor(p).output().len(), 1);
             assert_eq!(sim.actor(p).slots.len(), 1, "{p} created extra slot instances");
-        }
-    }
-}
-
-impl<P: SlotProtocol> Actor for SmrNode<P> {
-    fn init(&mut self, ctx: &mut Context<'_>) {
-        self.ensure_slot(0, ctx);
-    }
-
-    fn on_message(&mut self, from: ProcessId, payload: &[u8], ctx: &mut Context<'_>) {
-        match SlotEnvelope::<P::Message>::from_bytes(payload) {
-            Ok(envelope) => {
-                let slot = envelope.slot;
-                if slot >= self.config.max_slots {
-                    return;
-                }
-                self.ensure_slot(slot, ctx);
-                let actions = self
-                    .slots
-                    .get_mut(&slot)
-                    .expect("ensured above")
-                    .on_message(from, envelope.message, ctx.rng());
-                self.apply(slot, actions, ctx);
-            }
-            Err(_) => self.decode_failures += 1,
         }
     }
 }

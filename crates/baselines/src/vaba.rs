@@ -187,11 +187,7 @@ impl VabaSlot {
         (self.slot << 20) | view
     }
 
-    fn broadcast(
-        &self,
-        msg: VabaMessage,
-        out: &mut Vec<SlotAction<VabaMessage>>,
-    ) {
+    fn broadcast(&self, msg: VabaMessage, out: &mut Vec<SlotAction<VabaMessage>>) {
         for to in self.committee.others(self.me) {
             out.push(SlotAction::Send(to, msg.clone()));
         }
@@ -266,12 +262,7 @@ impl VabaSlot {
         }
     }
 
-    fn on_done(
-        &mut self,
-        from: ProcessId,
-        view: u64,
-        out: &mut Vec<SlotAction<VabaMessage>>,
-    ) {
+    fn on_done(&mut self, from: ProcessId, view: u64, out: &mut Vec<SlotAction<VabaMessage>>) {
         let state = self.views.entry(view).or_default();
         state.dones.insert(from);
         self.maybe_reveal_share(view, out);
@@ -324,11 +315,8 @@ impl VabaSlot {
         state.leader = Some(leader);
         if !state.vc_sent {
             state.vc_sent = true;
-            let (leader_step, leader_value) = state
-                .observed
-                .get(&leader)
-                .map(|(s, v)| (*s, Some(v.clone())))
-                .unwrap_or((0, None));
+            let (leader_step, leader_value) =
+                state.observed.get(&leader).map_or((0, None), |(s, v)| (*s, Some(v.clone())));
             let msg =
                 VabaMessage::ViewChange { view, leader_step, leader_value: leader_value.clone() };
             // Record our own report.
@@ -357,10 +345,7 @@ impl VabaSlot {
         }
         let quorum = self.committee.quorum();
         let state = self.views.entry(view).or_default();
-        if state.vc_resolved
-            || state.leader.is_none()
-            || state.view_changes.len() < quorum
-        {
+        if state.vc_resolved || state.leader.is_none() || state.view_changes.len() < quorum {
             return;
         }
         state.vc_resolved = true;
@@ -431,13 +416,13 @@ impl SlotProtocol for VabaSlot {
         let mut out = Vec::new();
         match message {
             VabaMessage::Promote { view, step, value } => {
-                self.on_promote(from, view, step, value, &mut out)
+                self.on_promote(from, view, step, value, &mut out);
             }
             VabaMessage::Ack { view, step } => self.on_ack(from, view, step, &mut out),
             VabaMessage::Done { view } => self.on_done(from, view, &mut out),
             VabaMessage::Share(share) => self.on_share(from, share, &mut out),
             VabaMessage::ViewChange { view, leader_step, leader_value } => {
-                self.on_view_change(from, view, leader_step, leader_value, &mut out)
+                self.on_view_change(from, view, leader_step, leader_value, &mut out);
             }
             VabaMessage::Halt { value } => {
                 if !self.decided {

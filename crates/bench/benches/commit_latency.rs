@@ -18,31 +18,31 @@ fn bench_full_runs(c: &mut Criterion) {
         b.iter(|| {
             seed += 1;
             black_box(run_dagrider::<BrachaRbc>(4, seed, workload).ordered_vertices)
-        })
+        });
     });
     group.bench_function("dagrider+avid", |b| {
         b.iter(|| {
             seed += 1;
             black_box(run_dagrider::<AvidRbc>(4, seed, workload).ordered_vertices)
-        })
+        });
     });
     group.bench_function("dagrider+probabilistic", |b| {
         b.iter(|| {
             seed += 1;
             black_box(run_dagrider::<ProbabilisticRbc>(4, seed, workload).ordered_vertices)
-        })
+        });
     });
     group.bench_function("vaba_smr/4_slots", |b| {
         b.iter(|| {
             seed += 1;
             black_box(run_smr::<VabaSlot>(4, seed, 4, 8, 64).decided_slots)
-        })
+        });
     });
     group.bench_function("dumbo_smr/4_slots", |b| {
         b.iter(|| {
             seed += 1;
             black_box(run_smr::<DumboSlot>(4, seed, 4, 8, 64).decided_slots)
-        })
+        });
     });
     group.finish();
 }

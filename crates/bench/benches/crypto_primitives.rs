@@ -3,9 +3,7 @@
 //! authentication, coin share issuing/verification/combination).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dagrider_crypto::{
-    deal_coin_keys, sha256, CoinAggregator, MerkleTree, ReedSolomon,
-};
+use dagrider_crypto::{deal_coin_keys, sha256, CoinAggregator, MerkleTree, ReedSolomon};
 use dagrider_types::Committee;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -24,21 +22,21 @@ fn bench_reed_solomon(c: &mut Criterion) {
     let shards = rs.encode(&payload);
     let subset = &shards[3..7];
     c.bench_function("rs/decode/4KiB/n=10", |b| {
-        b.iter(|| rs.decode(black_box(subset)).unwrap())
+        b.iter(|| rs.decode(black_box(subset)).unwrap());
     });
 }
 
 fn bench_merkle(c: &mut Criterion) {
     let leaves: Vec<Vec<u8>> = (0..16u8).map(|i| vec![i; 512]).collect();
     c.bench_function("merkle/build/16x512B", |b| {
-        b.iter(|| MerkleTree::build(black_box(&leaves)).unwrap())
+        b.iter(|| MerkleTree::build(black_box(&leaves)).unwrap());
     });
     let tree = MerkleTree::build(&leaves).unwrap();
     c.bench_function("merkle/prove+verify", |b| {
         b.iter(|| {
             let proof = tree.prove(black_box(7)).unwrap();
             assert!(proof.verify(tree.root(), &leaves[7]));
-        })
+        });
     });
 }
 
@@ -51,11 +49,11 @@ fn bench_coin(c: &mut Criterion) {
         b.iter(|| {
             w += 1;
             keys[0].share(black_box(w), &mut rng)
-        })
+        });
     });
     let share = keys[1].share(42, &mut rng);
     c.bench_function("coin/verify_share", |b| {
-        b.iter(|| keys[0].public().verify(black_box(&share)).unwrap())
+        b.iter(|| keys[0].public().verify(black_box(&share)).unwrap());
     });
     let shares: Vec<_> = keys.iter().take(4).map(|k| k.share(42, &mut rng)).collect();
     c.bench_function("coin/combine/f+1=4", |b| {
@@ -66,7 +64,7 @@ fn bench_coin(c: &mut Criterion) {
                 leader = agg.add_share(s).unwrap();
             }
             leader.unwrap()
-        })
+        });
     });
 }
 

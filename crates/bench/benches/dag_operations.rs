@@ -5,7 +5,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dagrider_core::Dag;
-use dagrider_types::{Block, Committee, ProcessId, Round, SeqNum, Vertex, VertexBuilder, VertexRef, Wave};
+use dagrider_types::{
+    Block, Committee, ProcessId, Round, SeqNum, Vertex, VertexBuilder, VertexRef, Wave,
+};
 use std::hint::black_box;
 
 /// Builds a fully connected DAG over `active` processes, `rounds` deep.
@@ -16,7 +18,9 @@ fn build_dag(n: usize, active: usize, rounds: u64) -> Dag {
         for p in 0..active as u32 {
             let source = ProcessId::new(p);
             let strong = if r == 1 {
-                (0..n as u32).map(|s| VertexRef::new(Round::GENESIS, ProcessId::new(s))).collect::<Vec<_>>()
+                (0..n as u32)
+                    .map(|s| VertexRef::new(Round::GENESIS, ProcessId::new(s)))
+                    .collect::<Vec<_>>()
             } else {
                 (0..active as u32)
                     .map(|s| VertexRef::new(Round::new(r - 1), ProcessId::new(s)))
@@ -35,7 +39,7 @@ fn build_dag(n: usize, active: usize, rounds: u64) -> Dag {
 fn bench_insert(c: &mut Criterion) {
     let committee = Committee::new(4).unwrap();
     c.bench_function("dag/insert_40_rounds/n=4", |b| {
-        b.iter(|| black_box(build_dag(4, 3, 40)))
+        b.iter(|| black_box(build_dag(4, 3, 40)));
     });
     let _ = committee;
 }
@@ -45,10 +49,10 @@ fn bench_queries(c: &mut Criterion) {
     let top = VertexRef::new(Round::new(40), ProcessId::new(0));
     let bottom = VertexRef::new(Round::new(1), ProcessId::new(6));
     c.bench_function("dag/strong_path/depth=39/n=10", |b| {
-        b.iter(|| assert!(dag.strong_path(black_box(top), black_box(bottom))))
+        b.iter(|| assert!(dag.strong_path(black_box(top), black_box(bottom))));
     });
     c.bench_function("dag/causal_history/depth=40/n=10", |b| {
-        b.iter(|| black_box(dag.causal_history(top)).len())
+        b.iter(|| black_box(dag.causal_history(top)).len());
     });
 
     // The commit rule: count last-round supporters of a wave leader.
@@ -60,7 +64,7 @@ fn bench_queries(c: &mut Criterion) {
                 .values()
                 .filter(|v: &&Vertex| dag.strong_path(v.reference(), black_box(leader)))
                 .count()
-        })
+        });
     });
 }
 

@@ -59,15 +59,21 @@ fn run(seed: u64, wave_ticks: u64, target_for_wave: impl Fn(u64) -> ProcessId) -
         .map(|(p, k)| DagRiderNode::new(committee, p, k, config.clone()))
         .collect();
     let mut base = UniformScheduler::new(1, 6);
-    let scheduler = FnScheduler(move |from: ProcessId, to: ProcessId, size, now: dagrider_simnet::Time, rng: &mut StdRng| {
-        use dagrider_simnet::Scheduler as _;
-        let wave = now.ticks() / wave_ticks + 1;
-        if from != to && wave <= WAVES && from == target_for_wave(wave) {
-            SLOW
-        } else {
-            base.delay(from, to, size, now, rng)
-        }
-    });
+    let scheduler = FnScheduler(
+        move |from: ProcessId,
+              to: ProcessId,
+              size,
+              now: dagrider_simnet::Time,
+              rng: &mut StdRng| {
+            use dagrider_simnet::Scheduler as _;
+            let wave = now.ticks() / wave_ticks + 1;
+            if from != to && wave <= WAVES && from == target_for_wave(wave) {
+                SLOW
+            } else {
+                base.delay(from, to, size, now, rng)
+            }
+        },
+    );
     let mut sim = Simulation::new(committee, nodes, scheduler, seed);
     sim.run();
     let commits = sim.actor(ProcessId::new(0)).commits();
@@ -89,13 +95,9 @@ fn main() {
     let mut clairvoyant_rates = Vec::new();
     let mut blind_rates = Vec::new();
     for &seed in &seeds {
-        let keys = deal_coin_keys(
-            &Committee::new(4).unwrap(),
-            &mut StdRng::seed_from_u64(seed),
-        );
+        let keys = deal_coin_keys(&Committee::new(4).unwrap(), &mut StdRng::seed_from_u64(seed));
         let leaders = precompute_leaders(&keys, &mut StdRng::seed_from_u64(seed ^ 0xC0));
-        let clairvoyant =
-            run(seed, wave_ticks, move |w| leaders[(w - 1) as usize]);
+        let clairvoyant = run(seed, wave_ticks, move |w| leaders[(w - 1) as usize]);
         // The blind adversary uses the same delay budget on a fixed victim.
         let blind = run(seed, wave_ticks, |_| ProcessId::new(0));
         println!(

@@ -58,15 +58,21 @@ fn run(seed: u64, adversarial: bool) -> Vec<[usize; 3]> {
     // The adversarial schedule rotates a "shunned" process per short
     // window: its messages crawl, so early-round references avoid it —
     // precisely the manipulation the common core neutralizes by depth 4.
-    let scheduler = FnScheduler(move |from: ProcessId, to: ProcessId, size, now: dagrider_simnet::Time, rng: &mut StdRng| {
-        if adversarial && from != to {
-            let shunned = ProcessId::new(((now.ticks() / 30) % 4) as u32);
-            if from == shunned {
-                return 45;
+    let scheduler = FnScheduler(
+        move |from: ProcessId,
+              to: ProcessId,
+              size,
+              now: dagrider_simnet::Time,
+              rng: &mut StdRng| {
+            if adversarial && from != to {
+                let shunned = ProcessId::new(((now.ticks() / 30) % 4) as u32);
+                if from == shunned {
+                    return 45;
+                }
             }
-        }
-        base.delay(from, to, size, now, rng)
-    });
+            base.delay(from, to, size, now, rng)
+        },
+    );
     let mut sim = Simulation::new(committee, nodes, scheduler, seed);
     sim.run();
     let dag = sim.actor(ProcessId::new(0)).dag();
@@ -90,7 +96,8 @@ fn main() {
     let quorum = committee.quorum();
 
     for adversarial in [false, true] {
-        let label = if adversarial { "adversarial rotating-starvation schedule" } else { "fair schedule" };
+        let label =
+            if adversarial { "adversarial rotating-starvation schedule" } else { "fair schedule" };
         let mut min_at = [usize::MAX; 3];
         let mut sum_at = [0usize; 3];
         let mut waves = 0usize;

@@ -25,10 +25,8 @@ use rand::SeedableRng;
 fn run(weak_edges: bool, seed: u64) -> (bool, usize) {
     let committee = Committee::new(4).unwrap();
     let keys = deal_coin_keys(&committee, &mut StdRng::seed_from_u64(seed));
-    let config = NodeConfig {
-        disable_weak_edges: !weak_edges,
-        ..NodeConfig::default().with_max_round(32)
-    };
+    let config =
+        NodeConfig { disable_weak_edges: !weak_edges, ..NodeConfig::default().with_max_round(32) };
     let victim = ProcessId::new(2);
     let mut nodes: Vec<DagRiderNode<BrachaRbc>> = committee
         .members()
@@ -43,12 +41,9 @@ fn run(weak_edges: bool, seed: u64) -> (bool, usize) {
     let mut sim = Simulation::new(committee, nodes, scheduler, seed);
     sim.run();
 
-    let everywhere = committee.members().all(|p| {
-        sim.actor(p)
-            .ordered()
-            .iter()
-            .any(|o| o.block.transactions().contains(&marker))
-    });
+    let everywhere = committee
+        .members()
+        .all(|p| sim.actor(p).ordered().iter().any(|o| o.block.transactions().contains(&marker)));
     (everywhere, sim.actor(ProcessId::new(0)).ordered().len())
 }
 
@@ -69,10 +64,7 @@ fn main() {
     println!("\n  weak edges ON : starved proposal ordered in {with_ok}/{} runs", seeds.len());
     println!("  weak edges OFF: starved proposal ordered in {without_ok}/{} runs", seeds.len());
     assert_eq!(with_ok, seeds.len(), "Validity must hold with weak edges");
-    assert_eq!(
-        without_ok, 0,
-        "without weak edges the starved vertex must stay orphaned"
-    );
+    assert_eq!(without_ok, 0, "without weak edges the starved vertex must stay orphaned");
     println!("\n✓ weak edges are exactly what buys Validity (paper §5, Proposition 4)");
     println!("  (note: total order and agreement were unaffected — only Validity broke)");
 }

@@ -47,8 +47,7 @@ fn dagrider_chain_quality() {
                 }
             })
             .collect();
-        let mut sim =
-            Simulation::new(committee, nodes, UniformScheduler::new(1, 8), n as u64);
+        let mut sim = Simulation::new(committee, nodes, UniformScheduler::new(1, 8), n as u64);
         for b in (n - f)..n {
             sim.mark_byzantine(ProcessId::new(b as u32));
         }
@@ -64,8 +63,7 @@ fn dagrider_chain_quality() {
         let mut worst_ratio = f64::INFINITY;
         for r in 1..=(log.len() / (2 * f + 1)) {
             let prefix = &log[..(2 * f + 1) * r];
-            let correct =
-                prefix.iter().filter(|o| o.vertex.source.as_usize() < n - f).count();
+            let correct = prefix.iter().filter(|o| o.vertex.source.as_usize() < n - f).count();
             worst_ratio = worst_ratio.min(correct as f64 / prefix.len() as f64);
             assert!(
                 correct >= (f + 1) * r,
@@ -96,11 +94,8 @@ fn baseline_winner_concentration() {
     let slots = 8u64;
     let keys = deal_coin_keys(&committee, &mut StdRng::seed_from_u64(1));
     let config = SmrConfig { max_slots: slots, value_bytes: 64 };
-    let nodes: Vec<SmrNode<VabaSlot>> = committee
-        .members()
-        .zip(keys)
-        .map(|(p, k)| SmrNode::new(committee, p, k, config))
-        .collect();
+    let nodes: Vec<SmrNode<VabaSlot>> =
+        committee.members().zip(keys).map(|(p, k)| SmrNode::new(committee, p, k, config)).collect();
     let mut sim = Simulation::new(committee, nodes, UniformScheduler::new(1, 8), 1);
     sim.run();
     let output = sim.actor(ProcessId::new(0)).output();

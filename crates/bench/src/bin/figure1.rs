@@ -83,10 +83,7 @@ fn main() {
     );
 
     // Show one weak edge explicitly, as the caption does.
-    let example = dag
-        .iter()
-        .find(|v| !v.weak_edges().is_empty())
-        .expect("asserted above");
+    let example = dag.iter().find(|v| !v.weak_edges().is_empty()).expect("asserted above");
     let target = example.weak_edges().iter().next().unwrap();
     println!(
         "\nexample: {} has a weak edge to {} (no other path existed when it was created)",

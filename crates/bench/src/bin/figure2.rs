@@ -39,9 +39,8 @@ fn main() {
             // Starve one process's links mid-run so a wave leader can lack
             // round-4 support at interpretation time.
             let victim = ProcessId::new(victim_index);
-            let scheduler =
-                TargetedScheduler::new(UniformScheduler::new(1, 6), [victim], 90)
-                    .with_window(Time::new(20), Time::new(160));
+            let scheduler = TargetedScheduler::new(UniformScheduler::new(1, 6), [victim], 90)
+                .with_window(Time::new(20), Time::new(160));
             let mut sim = Simulation::new(committee, nodes, scheduler, seed);
             sim.run();
 
@@ -58,9 +57,7 @@ fn main() {
                     {
                         let direct_after = commits[i..]
                             .iter()
-                            .find(|c| {
-                                c.outcome == WaveOutcome::Direct && c.wave > skip.wave
-                            })
+                            .find(|c| c.outcome == WaveOutcome::Direct && c.wave > skip.wave)
                             .copied();
                         if let Some(direct) = direct_after {
                             hit = Some((p, *skip, *indirect, direct));
@@ -88,10 +85,7 @@ fn main() {
         "  wave {}: leader {} — commit rule NOT met when the wave completed",
         skip.wave, skip.leader
     );
-    println!(
-        "  wave {}: leader {} — commit rule met (Direct commit)",
-        direct.wave, direct.leader
-    );
+    println!("  wave {}: leader {} — commit rule met (Direct commit)", direct.wave, direct.leader);
     println!(
         "  ⇒ wave {} leader committed retroactively (Indirect), ordered BEFORE wave {}\n",
         indirect.wave, direct.wave
@@ -107,7 +101,10 @@ fn main() {
         dag.strong_path(committing_leader, skipped_leader),
         "strong path from {committing_leader} to {skipped_leader} must exist (Lemma 1)"
     );
-    println!("  ✓ strong path {} → {} exists (the figure's highlighted path)", committing_leader, skipped_leader);
+    println!(
+        "  ✓ strong path {} → {} exists (the figure's highlighted path)",
+        committing_leader, skipped_leader
+    );
 
     // (3) The final round of the committing wave supports its leader.
     let supporters = dag
@@ -127,10 +124,8 @@ fn main() {
     // (4) Ordering: the skipped wave's history precedes the committing
     // wave's in the a_deliver log.
     let log = sim.actor(p).ordered();
-    let pos_skipped = log
-        .iter()
-        .position(|o| o.vertex == skipped_leader)
-        .expect("skipped leader was delivered");
+    let pos_skipped =
+        log.iter().position(|o| o.vertex == skipped_leader).expect("skipped leader was delivered");
     let pos_committing = log
         .iter()
         .position(|o| o.vertex == committing_leader)

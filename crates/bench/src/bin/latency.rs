@@ -43,8 +43,7 @@ fn measure<B: ReliableBroadcast>(n: usize) -> (f64, f64, f64) {
             .zip(keys)
             .map(|(p, k)| DagRiderNode::new(committee, p, k, config.clone()))
             .collect();
-        let mut sim =
-            Simulation::new(committee, nodes, UniformScheduler::new(1, MAX_DELAY), seed);
+        let mut sim = Simulation::new(committee, nodes, UniformScheduler::new(1, MAX_DELAY), seed);
         sim.run();
         let unit = sim.metrics().max_correct_delay().max(1) as f64;
         for p in committee.members() {
@@ -83,9 +82,7 @@ fn main() {
         last < first * 2.0,
         "median latency grew {first:.1} → {last:.1} time units — not O(1)?"
     );
-    println!(
-        "\n✓ median commit latency is flat in n ({first:.1} → {last:.1} time units):"
-    );
+    println!("\n✓ median commit latency is flat in n ({first:.1} → {last:.1} time units):");
     println!("  a vertex commits an expected-constant number of waves after creation,");
     println!("  each wave a constant number of message delays — §6.2's O(1) time.");
 }

@@ -60,9 +60,8 @@ fn dagrider_row<B: dagrider_rbc::ReliableBroadcast>(
     let mut times = Vec::new();
     for &n in sizes {
         let workload = Workload::batched(n, TX_BYTES, 16);
-        let stats = dagrider_bench::parallel_sweep(&SEEDS, |seed| {
-            run_dagrider::<B>(n, seed, workload)
-        });
+        let stats =
+            dagrider_bench::parallel_sweep(&SEEDS, |seed| run_dagrider::<B>(n, seed, workload));
         let mut per_seed_bytes = Vec::new();
         for stat in stats {
             per_seed_bytes.push(stat.bytes_per_tx());
@@ -127,7 +126,10 @@ fn smr_row<P: dagrider_baselines::SlotProtocol>(
 
 fn main() {
     let sizes = committee_sizes();
-    println!("Regenerating Table 1 (tx = {TX_BYTES} B, batch = n·log2 n txs, {} seeds)", SEEDS.len());
+    println!(
+        "Regenerating Table 1 (tx = {TX_BYTES} B, batch = n·log2 n txs, {} seeds)",
+        SEEDS.len()
+    );
     println!("committee sizes: {sizes:?}\n");
 
     let rows = vec![
@@ -157,11 +159,10 @@ fn main() {
         for &(_, b) in &r.bytes_per_tx {
             cells.push(format!("{b:.0}"));
         }
-        let points: Vec<(f64, f64)> =
-            r.bytes_per_tx.iter().map(|&(n, b)| (n as f64, b)).collect();
+        let points: Vec<(f64, f64)> = r.bytes_per_tx.iter().map(|&(n, b)| (n as f64, b)).collect();
         cells.push(format!("{:.2}", fit_power_law(&points)));
-        let mean_time = r.time_per_n_values.iter().sum::<f64>()
-            / r.time_per_n_values.len().max(1) as f64;
+        let mean_time =
+            r.time_per_n_values.iter().sum::<f64>() / r.time_per_n_values.len().max(1) as f64;
         cells.push(format!("{mean_time:.1}"));
         cells.push(r.post_quantum.to_string());
         cells.push(r.paper_comm.to_string());
@@ -171,9 +172,13 @@ fn main() {
     }
 
     println!("\nnotes:");
-    println!("  * 'fit n^k' — least-squares exponent of bytes/tx vs n; compare with the paper column.");
+    println!(
+        "  * 'fit n^k' — least-squares exponent of bytes/tx vs n; compare with the paper column."
+    );
     println!("  * 'time/n vals' — asynchronous time units (§3) to order n values from one point.");
-    println!("    DAG-Rider stays flat in n (O(1)); the baselines grow (sequential no-gap output).");
+    println!(
+        "    DAG-Rider stays flat in n (O(1)); the baselines grow (sequential no-gap output)."
+    );
     println!("  * PQ-safe — DAG-Rider's safety never uses the coin's hardness assumption (§2);");
     println!("    the baselines' safety rests on threshold signatures (modeled by acks).");
     println!("  * eventual fairness — see `chain_quality` for the per-proposer measurements:");

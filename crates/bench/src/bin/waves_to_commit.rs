@@ -80,10 +80,7 @@ fn with_mute_byzantine(n: usize) -> (f64, f64) {
             sim.mark_byzantine(ProcessId::new(b as u32));
         }
         sim.run();
-        let observer = sim
-            .actor(ProcessId::new(f as u32))
-            .as_left()
-            .expect("honest observer");
+        let observer = sim.actor(ProcessId::new(f as u32)).as_left().expect("honest observer");
         let commits = observer.commits();
         let direct = commits.iter().filter(|c| c.outcome == WaveOutcome::Direct).count();
         let skipped = commits.iter().filter(|c| c.outcome == WaveOutcome::Skipped).count();

@@ -91,7 +91,11 @@ impl DagRiderStats {
 }
 
 /// Runs DAG-Rider over broadcast `B` and gathers statistics.
-pub fn run_dagrider<B: ReliableBroadcast>(n: usize, seed: u64, workload: Workload) -> DagRiderStats {
+pub fn run_dagrider<B: ReliableBroadcast>(
+    n: usize,
+    seed: u64,
+    workload: Workload,
+) -> DagRiderStats {
     let committee = Committee::new(n).expect("n = 3f + 1");
     let keys = deal_coin_keys(&committee, &mut StdRng::seed_from_u64(seed));
     let config = NodeConfig::default().with_max_round(workload.max_round);
@@ -115,21 +119,14 @@ pub fn run_dagrider<B: ReliableBroadcast>(n: usize, seed: u64, workload: Workloa
             node.a_bcast(Block::new(me, SeqNum::new(r), txs));
         }
     }
-    let mut sim = Simulation::new(
-        committee,
-        nodes,
-        UniformScheduler::new(1, workload.max_delay),
-        seed,
-    );
+    let mut sim =
+        Simulation::new(committee, nodes, UniformScheduler::new(1, workload.max_delay), seed);
     sim.run();
 
     let honest: Vec<ProcessId> = sim.honest_processes().collect();
     let honest_bytes = sim.metrics().bytes_sent_by_set(honest);
-    let ordered_vertices = committee
-        .members()
-        .map(|p| sim.actor(p).ordered().len())
-        .min()
-        .unwrap_or(0);
+    let ordered_vertices =
+        committee.members().map(|p| sim.actor(p).ordered().len()).min().unwrap_or(0);
     let ordered_txs = committee
         .members()
         .map(|p| sim.actor(p).ordered().iter().map(|o| o.block.len()).sum::<usize>())
@@ -214,21 +211,14 @@ pub fn run_smr<P: SlotProtocol>(
     let committee = Committee::new(n).expect("n = 3f + 1");
     let keys = deal_coin_keys(&committee, &mut StdRng::seed_from_u64(seed));
     let config = SmrConfig { max_slots: slots, value_bytes: txs_per_value * tx_bytes };
-    let nodes: Vec<SmrNode<P>> = committee
-        .members()
-        .zip(keys)
-        .map(|(p, k)| SmrNode::new(committee, p, k, config))
-        .collect();
+    let nodes: Vec<SmrNode<P>> =
+        committee.members().zip(keys).map(|(p, k)| SmrNode::new(committee, p, k, config)).collect();
     let mut sim = Simulation::new(committee, nodes, UniformScheduler::new(1, 10), seed);
     sim.run();
 
     let honest: Vec<ProcessId> = sim.honest_processes().collect();
     let honest_bytes = sim.metrics().bytes_sent_by_set(honest);
-    let decided_slots = committee
-        .members()
-        .map(|p| sim.actor(p).output().len())
-        .min()
-        .unwrap_or(0);
+    let decided_slots = committee.members().map(|p| sim.actor(p).output().len()).min().unwrap_or(0);
     let node0 = sim.actor(ProcessId::new(0));
     let mean_views = if decided_slots > 0 {
         node0.total_views() as f64 / decided_slots as f64
@@ -251,20 +241,23 @@ pub fn run_smr<P: SlotProtocol>(
 /// sweeps parallelize embarrassingly; this cuts the full Table 1 sweep
 /// roughly by the core count.
 pub fn parallel_sweep<T: Send>(seeds: &[u64], f: impl Fn(u64) -> T + Sync) -> Vec<T> {
-    let results: parking_lot::Mutex<Vec<(usize, T)>> =
-        parking_lot::Mutex::new(Vec::with_capacity(seeds.len()));
-    crossbeam::thread::scope(|scope| {
+    let results: std::sync::Mutex<Vec<(usize, T)>> =
+        std::sync::Mutex::new(Vec::with_capacity(seeds.len()));
+    std::thread::scope(|scope| {
         for (index, &seed) in seeds.iter().enumerate() {
             let results = &results;
             let f = &f;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let value = f(seed);
-                results.lock().push((index, value));
+                results
+                    .lock()
+                    .expect("a sweep worker panicked while holding the results lock")
+                    .push((index, value));
             });
         }
-    })
-    .expect("sweep worker panicked");
-    let mut collected = results.into_inner();
+    });
+    let mut collected =
+        results.into_inner().expect("a sweep worker panicked while holding the results lock");
     collected.sort_by_key(|(index, _)| *index);
     collected.into_iter().map(|(_, value)| value).collect()
 }
@@ -290,12 +283,7 @@ pub fn fit_power_law(points: &[(f64, f64)]) -> f64 {
 
 /// Formats one row of a fixed-width report table.
 pub fn row(cells: &[String], widths: &[usize]) -> String {
-    cells
-        .iter()
-        .zip(widths)
-        .map(|(c, w)| format!("{c:>w$}", w = w))
-        .collect::<Vec<_>>()
-        .join("  ")
+    cells.iter().zip(widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect::<Vec<_>>().join("  ")
 }
 
 #[cfg(test)]
@@ -338,13 +326,10 @@ mod tests {
     fn parallel_sweep_matches_serial_simulation_results() {
         let workload = Workload { txs_per_block: 2, tx_bytes: 16, max_round: 8, max_delay: 6 };
         let seeds = [1u64, 2, 3];
-        let parallel = parallel_sweep(&seeds, |s| {
-            run_dagrider::<BrachaRbc>(4, s, workload).honest_bytes
-        });
-        let serial: Vec<u64> = seeds
-            .iter()
-            .map(|&s| run_dagrider::<BrachaRbc>(4, s, workload).honest_bytes)
-            .collect();
+        let parallel =
+            parallel_sweep(&seeds, |s| run_dagrider::<BrachaRbc>(4, s, workload).honest_bytes);
+        let serial: Vec<u64> =
+            seeds.iter().map(|&s| run_dagrider::<BrachaRbc>(4, s, workload).honest_bytes).collect();
         assert_eq!(parallel, serial, "determinism must survive threading");
     }
 

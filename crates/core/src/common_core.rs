@@ -143,10 +143,7 @@ impl Actor for CommonCoreProcess {
 /// processes.
 pub fn common_core_size(outputs: &[BTreeSet<ProcessId>]) -> usize {
     let Some(first) = outputs.first() else { return 0 };
-    first
-        .iter()
-        .filter(|id| outputs.iter().all(|o| o.contains(id)))
-        .count()
+    first.iter().filter(|id| outputs.iter().all(|o| o.contains(id))).count()
 }
 
 #[cfg(test)]
@@ -174,10 +171,7 @@ mod tests {
             for seed in 0..10u64 {
                 let outputs = run(n, seed);
                 let core = common_core_size(&outputs);
-                assert!(
-                    core >= quorum,
-                    "n={n} seed={seed}: common core {core} < 2f+1 = {quorum}"
-                );
+                assert!(core >= quorum, "n={n} seed={seed}: common core {core} < 2f+1 = {quorum}");
             }
         }
     }
@@ -211,17 +205,15 @@ mod tests {
         let a: BTreeSet<ProcessId> = [0u32, 1, 2].map(ProcessId::new).into_iter().collect();
         let b: BTreeSet<ProcessId> = [1u32, 2, 3].map(ProcessId::new).into_iter().collect();
         assert_eq!(common_core_size(&[a.clone(), b]), 2);
-        assert_eq!(common_core_size(&[a.clone()]), 3);
+        assert_eq!(common_core_size(std::slice::from_ref(&a)), 3);
         assert_eq!(common_core_size(&[]), 0);
         assert_eq!(common_core_size(&[a, BTreeSet::new()]), 0);
     }
 
     #[test]
     fn message_codec_roundtrip() {
-        let msg = CoreMessage {
-            stage: 2,
-            ids: [0u32, 3].map(ProcessId::new).into_iter().collect(),
-        };
+        let msg =
+            CoreMessage { stage: 2, ids: [0u32, 3].map(ProcessId::new).into_iter().collect() };
         let bytes = msg.to_bytes();
         assert_eq!(bytes.len(), msg.encoded_len());
         assert_eq!(CoreMessage::from_bytes(&bytes).unwrap(), msg);

@@ -215,10 +215,7 @@ impl DagCore {
                         events.push(DagEvent::WaveReady(wave));
                     }
                 }
-                if self
-                    .max_round
-                    .is_some_and(|max| self.round.next() > max)
-                {
+                if self.max_round.is_some_and(|max| self.round.next() > max) {
                     return events; // quiescence for finite experiments
                 }
                 self.round = self.round.next();
@@ -253,12 +250,8 @@ impl DagCore {
         self.next_seq = self.next_seq.next();
         let prev = round.prev().expect("proposals are never in round 0");
         // Line 19: strong edges to *everything* we have in round - 1.
-        let strong: Vec<_> = self
-            .dag
-            .round_vertices(prev)
-            .values()
-            .map(Vertex::reference)
-            .collect();
+        let strong: Vec<_> =
+            self.dag.round_vertices(prev).values().map(Vertex::reference).collect();
         let strong_set = strong.iter().copied().collect();
         // Lines 27–31: weak edges to orphans in rounds < round - 1.
         let orphan_cutoff = Round::new(round.number().saturating_sub(2));
@@ -291,11 +284,7 @@ mod tests {
     }
 
     fn delivery_of(vertex: &Vertex) -> RbcDelivery {
-        RbcDelivery {
-            source: vertex.source(),
-            round: vertex.round(),
-            payload: vertex.to_bytes(),
-        }
+        RbcDelivery { source: vertex.source(), round: vertex.round(), payload: vertex.to_bytes() }
     }
 
     /// Extracts the single broadcast vertex from events.
@@ -326,10 +315,8 @@ mod tests {
         assert!(c.on_rbc_delivery(&delivery_of(&my_v)).is_empty());
         assert_eq!(c.round(), Round::new(1));
         // Two peers' round-1 vertices complete the quorum.
-        let peer_vs: Vec<Vertex> = peers
-            .iter_mut()
-            .map(|p| broadcast_vertex(&p.start()).unwrap().clone())
-            .collect();
+        let peer_vs: Vec<Vertex> =
+            peers.iter_mut().map(|p| broadcast_vertex(&p.start()).unwrap().clone()).collect();
         assert!(c.on_rbc_delivery(&delivery_of(&peer_vs[0])).is_empty());
         let events = c.on_rbc_delivery(&delivery_of(&peer_vs[1]));
         let v2 = broadcast_vertex(&events).expect("round-2 vertex after quorum");
@@ -459,16 +446,10 @@ mod tests {
     #[test]
     fn blocks_are_consumed_in_fifo_order() {
         let mut c = DagCore::new(committee(), ProcessId::new(0), true, None);
-        let block1 = Block::new(
-            ProcessId::new(0),
-            SeqNum::new(1),
-            vec![Transaction::synthetic(1, 8)],
-        );
-        let block2 = Block::new(
-            ProcessId::new(0),
-            SeqNum::new(2),
-            vec![Transaction::synthetic(2, 8)],
-        );
+        let block1 =
+            Block::new(ProcessId::new(0), SeqNum::new(1), vec![Transaction::synthetic(1, 8)]);
+        let block2 =
+            Block::new(ProcessId::new(0), SeqNum::new(2), vec![Transaction::synthetic(2, 8)]);
         c.enqueue_block(block1.clone());
         c.enqueue_block(block2);
         let events = c.start();
@@ -491,8 +472,9 @@ mod tests {
 
     #[test]
     fn max_round_quiesces() {
-        let mut cores: Vec<DagCore> =
-            (0..4).map(|i| DagCore::new(committee(), ProcessId::new(i), true, Some(Round::new(2)))).collect();
+        let mut cores: Vec<DagCore> = (0..4)
+            .map(|i| DagCore::new(committee(), ProcessId::new(i), true, Some(Round::new(2))))
+            .collect();
         let mut queue: VecDeque<Vertex> = VecDeque::new();
         for c in cores.iter_mut() {
             for e in c.start() {

@@ -60,9 +60,7 @@ impl Dag {
 
     /// The vertex broadcast by `source` in `round`, if present.
     pub fn get(&self, reference: VertexRef) -> Option<&Vertex> {
-        self.rounds
-            .get(reference.round.number() as usize)
-            .and_then(|m| m.get(&reference.source))
+        self.rounds.get(reference.round.number() as usize).and_then(|m| m.get(&reference.source))
     }
 
     /// Whether the referenced vertex is present.
@@ -232,9 +230,7 @@ impl Dag {
     /// The lowest non-genesis round that still holds vertices (`None` if
     /// only genesis remains).
     pub fn lowest_retained_round(&self) -> Option<Round> {
-        (1..self.rounds.len())
-            .find(|&i| !self.rounds[i].is_empty())
-            .map(|i| Round::new(i as u64))
+        (1..self.rounds.len()).find(|&i| !self.rounds[i].is_empty()).map(|i| Round::new(i as u64))
     }
 
     /// Iterates over every vertex in the DAG, by round then source.
@@ -265,12 +261,7 @@ mod tests {
 
     /// Builds a vertex for `source` in `round` with strong edges to the
     /// given sources in `round - 1` and the given weak edges.
-    fn vertex(
-        source: u32,
-        round: u64,
-        strong_sources: &[u32],
-        weak: &[(u64, u32)],
-    ) -> Vertex {
+    fn vertex(source: u32, round: u64, strong_sources: &[u32], weak: &[(u64, u32)]) -> Vertex {
         let source = ProcessId::new(source);
         VertexBuilder::new(source, Round::new(round), Block::empty(source, SeqNum::new(round)))
             .strong_edges(
@@ -367,10 +358,7 @@ mod tests {
         // 1 (self) + 3 round-1 + 3 genesis referenced by round-1 vertices…
         // round-1 vertices reference genesis of sources 0,1,2.
         assert_eq!(history.len(), 7);
-        assert!(history
-            .iter()
-            .filter(|r| r.round == Round::GENESIS)
-            .all(|r| r.source.index() < 3));
+        assert!(history.iter().filter(|r| r.round == Round::GENESIS).all(|r| r.source.index() < 3));
     }
 
     #[test]
@@ -385,9 +373,8 @@ mod tests {
         let mut dag = two_round_dag();
         // p3's round-1 vertex exists but no round-2 vertex points to it.
         assert!(dag.insert(vertex(3, 1, &[0, 1, 2], &[])));
-        let strong: BTreeSet<VertexRef> = (0..3)
-            .map(|s| VertexRef::new(Round::new(2), ProcessId::new(s)))
-            .collect();
+        let strong: BTreeSet<VertexRef> =
+            (0..3).map(|s| VertexRef::new(Round::new(2), ProcessId::new(s))).collect();
         let orphans = dag.orphans_below(&strong, Round::new(1));
         assert_eq!(orphans, vec![VertexRef::new(Round::new(1), ProcessId::new(3))]);
     }
@@ -395,9 +382,8 @@ mod tests {
     #[test]
     fn orphans_below_empty_when_fully_connected() {
         let dag = two_round_dag();
-        let strong: BTreeSet<VertexRef> = (0..3)
-            .map(|s| VertexRef::new(Round::new(2), ProcessId::new(s)))
-            .collect();
+        let strong: BTreeSet<VertexRef> =
+            (0..3).map(|s| VertexRef::new(Round::new(2), ProcessId::new(s))).collect();
         assert!(dag.orphans_below(&strong, Round::new(1)).is_empty());
     }
 
@@ -409,10 +395,7 @@ mod tests {
         let v = vertex(0, 3, &[0, 1, 2], &[(1, 3)]);
         assert!(dag.insert(v.clone()));
         // …and now nothing below round 2 is orphaned from it.
-        let orphans = dag.orphans_below(
-            &v.strong_edges().clone(),
-            Round::new(1),
-        );
+        let orphans = dag.orphans_below(&v.strong_edges().clone(), Round::new(1));
         // orphans_below works on the strong frontier only, so p3@r1 is
         // still orphaned from the *frontier*; from the vertex itself the
         // weak edge covers it:

@@ -325,8 +325,11 @@ impl<B: ReliableBroadcast> DagRiderNode<B> {
                 DagEvent::Broadcast(vertex) => {
                     let round = vertex.round();
                     self.broadcast_at.insert(round, ctx.now());
-                    let coin_shares =
-                        if self.config.piggyback_coin { std::mem::take(&mut self.pending_shares) } else { Vec::new() };
+                    let coin_shares = if self.config.piggyback_coin {
+                        std::mem::take(&mut self.pending_shares)
+                    } else {
+                        Vec::new()
+                    };
                     let payload = VertexPayload { vertex, coin_shares }.to_bytes();
                     queue.extend(self.rbc.rbcast(payload, round, ctx.rng()));
                 }
@@ -375,11 +378,8 @@ impl<B: ReliableBroadcast> DagRiderNode<B> {
         let Some(depth) = self.config.gc_depth else { return };
         // The lowest round still holding an undelivered vertex bounds what
         // is safe to drop.
-        let mut frontier = self
-            .core
-            .dag()
-            .lowest_retained_round()
-            .unwrap_or(dagrider_types::Round::new(1));
+        let mut frontier =
+            self.core.dag().lowest_retained_round().unwrap_or(dagrider_types::Round::new(1));
         let high = self.core.dag().highest_round();
         while frontier <= high
             && !self.core.dag().round_vertices(frontier).is_empty()
@@ -402,7 +402,6 @@ impl<B: ReliableBroadcast> DagRiderNode<B> {
             self.coin.prune(keep_from.wave().number().saturating_sub(1));
         }
     }
-
 }
 
 impl<B: ReliableBroadcast> Actor for DagRiderNode<B> {
@@ -491,12 +490,8 @@ mod tests {
             s
         };
         assert_total_order(&sim);
-        let min_len = sim
-            .committee()
-            .members()
-            .map(|p| sim.actor(p).ordered().len())
-            .min()
-            .unwrap();
+        let min_len =
+            sim.committee().members().map(|p| sim.actor(p).ordered().len()).min().unwrap();
         assert!(min_len > 0, "at least one wave must commit");
         assert!(sim.actor(ProcessId::new(0)).decided_wave() >= Wave::new(1));
     }
@@ -525,11 +520,7 @@ mod tests {
         sim.run();
         // The block is ordered at every process.
         for p in sim.committee().members() {
-            let found = sim
-                .actor(p)
-                .ordered()
-                .iter()
-                .any(|o| o.block.transactions().contains(&tx));
+            let found = sim.actor(p).ordered().iter().any(|o| o.block.transactions().contains(&tx));
             assert!(found, "{p} did not order the client block");
         }
     }
@@ -650,10 +641,7 @@ mod tests {
         for p in committee.members() {
             let node = sim.actor(p);
             assert!(node.vertices_pruned() > 0, "{p} never pruned anything");
-            assert!(
-                node.dag().pruned_floor() > Round::new(1),
-                "{p}'s GC floor never advanced"
-            );
+            assert!(node.dag().pruned_floor() > Round::new(1), "{p}'s GC floor never advanced");
             // Ordered output is unaffected: a 40-round run still orders
             // nearly everything.
             assert!(node.ordered().len() > 100, "{p} ordered {}", node.ordered().len());
@@ -661,11 +649,7 @@ mod tests {
         // And the retained DAG is small: at most gc_depth + in-flight
         // rounds of vertices plus genesis.
         let node = sim.actor(ProcessId::new(0));
-        assert!(
-            node.dag().len() < 4 * 24,
-            "GC left {} vertices in the DAG",
-            node.dag().len()
-        );
+        assert!(node.dag().len() < 4 * 24, "GC left {} vertices in the DAG", node.dag().len());
     }
 
     #[test]
@@ -673,10 +657,8 @@ mod tests {
         let committee = Committee::new(4).unwrap();
         let mut rng = StdRng::seed_from_u64(53);
         let keys = deal_coin_keys(&committee, &mut rng);
-        let config = NodeConfig::default()
-            .with_max_round(32)
-            .with_gc_depth(8)
-            .with_piggyback_coin();
+        let config =
+            NodeConfig::default().with_max_round(32).with_gc_depth(8).with_piggyback_coin();
         let nodes: Vec<DagRiderNode<BrachaRbc>> = committee
             .members()
             .zip(keys)
@@ -695,18 +677,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(59);
         let keys = deal_coin_keys(&committee, &mut rng);
         let share = Coin::new(keys[0].clone()).my_share(2, &mut rng);
-        let payload = VertexPayload {
-            vertex: Vertex::genesis(ProcessId::new(1)),
-            coin_shares: vec![share],
-        };
+        let payload =
+            VertexPayload { vertex: Vertex::genesis(ProcessId::new(1)), coin_shares: vec![share] };
         let bytes = payload.to_bytes();
         assert_eq!(bytes.len(), payload.encoded_len());
         assert_eq!(VertexPayload::from_bytes(&bytes).unwrap(), payload);
         // Empty share list costs exactly one extra byte over the vertex.
-        let bare = VertexPayload {
-            vertex: Vertex::genesis(ProcessId::new(1)),
-            coin_shares: Vec::new(),
-        };
+        let bare =
+            VertexPayload { vertex: Vertex::genesis(ProcessId::new(1)), coin_shares: Vec::new() };
         assert_eq!(bare.encoded_len(), bare.vertex.encoded_len() + 1);
     }
 
@@ -717,8 +695,7 @@ mod tests {
         for p in sim.committee().members() {
             let node = sim.actor(p);
             let latencies = node.own_vertex_latencies();
-            let own_ordered =
-                node.ordered().iter().filter(|o| o.vertex.source == p).count();
+            let own_ordered = node.ordered().iter().filter(|o| o.vertex.source == p).count();
             assert_eq!(latencies.len(), own_ordered, "{p}: every own ordered vertex measured");
             assert!(latencies.iter().all(|&(_, l)| l > 0), "{p}: zero-latency commit?");
             // (Rounds are *not* necessarily monotone in the log: a

@@ -90,11 +90,8 @@ impl Ordering {
     /// quorum. Genesis vertices are pre-marked delivered: they carry no
     /// payload and exist before the protocol starts.
     pub fn new(dag: &Dag) -> Self {
-        let delivered = dag
-            .round_vertices(Round::GENESIS)
-            .values()
-            .map(Vertex::reference)
-            .collect();
+        let delivered =
+            dag.round_vertices(Round::GENESIS).values().map(Vertex::reference).collect();
         Self {
             quorum: dag.committee().quorum(),
             decided_wave: 0,
@@ -133,8 +130,7 @@ impl Ordering {
     /// stragglers below the floor before they reach ordering, so the
     /// entries can never be consulted again). Genesis entries are kept.
     pub fn prune_delivered_below(&mut self, keep_from: Round) {
-        self.delivered
-            .retain(|r| r.round == Round::GENESIS || r.round >= keep_from);
+        self.delivered.retain(|r| r.round == Round::GENESIS || r.round >= keep_from);
     }
 
     /// Signal from the construction layer: wave `w` completed locally.
@@ -179,7 +175,10 @@ impl Ordering {
 
     /// The body of `wave_ready(w)` (lines 34–45).
     fn interpret_wave(&mut self, w: Wave, dag: &Dag, now: Time) -> Vec<OrderedVertex> {
-        let leader_process = self.leaders[&w.number()];
+        let leader_process = *self
+            .leaders
+            .get(&w.number())
+            .expect("try_interpret only interprets waves whose coin has opened");
         let leader = self.wave_vertex_leader(w, dag);
 
         // Line 36: the commit rule.
@@ -261,7 +260,11 @@ impl Ordering {
                 self.delivered.insert(reference);
                 OrderedVertex {
                     vertex: reference,
-                    block: dag.get(reference).expect("causal history is in the DAG").block().clone(),
+                    block: dag
+                        .get(reference)
+                        .expect("causal history is in the DAG")
+                        .block()
+                        .clone(),
                     committed_in_wave: wave,
                     delivered_at: now,
                 }
@@ -463,8 +466,7 @@ mod tests {
         assert_eq!(ordering.decided_wave(), Wave::new(4));
         // All four waves committed (each directly, since the DAG is
         // fully connected), in increasing order in the log.
-        let commit_waves: Vec<u64> =
-            ordering.commits().iter().map(|c| c.wave.number()).collect();
+        let commit_waves: Vec<u64> = ordering.commits().iter().map(|c| c.wave.number()).collect();
         assert_eq!(commit_waves, vec![1, 2, 3, 4]);
         let log_waves: Vec<u64> =
             ordering.log().iter().map(|o| o.committed_in_wave.number()).collect();

@@ -72,16 +72,10 @@ mod tests {
         let mut dag = Dag::new(committee);
         for p in 0..3u32 {
             let source = ProcessId::new(p);
-            let v = VertexBuilder::new(
-                source,
-                Round::new(1),
-                Block::empty(source, SeqNum::new(1)),
-            )
-            .strong_edges(
-                (0..3u32).map(|s| VertexRef::new(Round::GENESIS, ProcessId::new(s))),
-            )
-            .build(&committee)
-            .unwrap();
+            let v = VertexBuilder::new(source, Round::new(1), Block::empty(source, SeqNum::new(1)))
+                .strong_edges((0..3u32).map(|s| VertexRef::new(Round::GENESIS, ProcessId::new(s))))
+                .build(&committee)
+                .unwrap();
             dag.insert(v);
         }
         dag

@@ -43,8 +43,8 @@ use dagrider_types::{Committee, Decode, DecodeError, Encode, ProcessId};
 use rand::Rng;
 
 use crate::field::{GroupElement, Scalar};
-use crate::shamir::{lagrange_at_zero, share_secret, ShamirShare};
 use crate::sha256::sha256_parts;
+use crate::shamir::{lagrange_at_zero, share_secret, ShamirShare};
 
 /// Errors raised while aggregating coin shares.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -195,9 +195,8 @@ impl CoinPublicKeys {
 
     /// Verifies a share's DLEQ proof against the issuer's verification key.
     pub fn verify(&self, share: &CoinShare) -> Result<(), CoinError> {
-        let vk = self
-            .verification_key(share.issuer)
-            .ok_or(CoinError::UnknownIssuer(share.issuer))?;
+        let vk =
+            self.verification_key(share.issuer).ok_or(CoinError::UnknownIssuer(share.issuer))?;
         let base = instance_base(share.instance);
         // Recompute the commitments from the response: a = g^z · vk^{-c},
         // b = h^z · σ^{-c}; the proof verifies iff the challenge matches.
@@ -206,15 +205,8 @@ impl CoinPublicKeys {
         let z = share.proof.response;
         let commit_g = g.pow(z).mul(vk.pow(c).inverse());
         let commit_h = base.pow(z).mul(share.value.pow(c).inverse());
-        let expected = dleq_challenge(
-            share.instance,
-            share.issuer,
-            base,
-            vk,
-            share.value,
-            commit_g,
-            commit_h,
-        );
+        let expected =
+            dleq_challenge(share.instance, share.issuer, base, vk, share.value, commit_g, commit_h);
         if expected == c {
             Ok(())
         } else {
@@ -273,8 +265,7 @@ impl CoinKeys {
         let g = GroupElement::generator();
         let commit_g = g.pow(nonce);
         let commit_h = base.pow(nonce);
-        let challenge =
-            dleq_challenge(instance, self.owner, base, vk, value, commit_g, commit_h);
+        let challenge = dleq_challenge(instance, self.owner, base, vk, value, commit_g, commit_h);
         let response = nonce + challenge * self.secret;
         Self::assemble_share(instance, self.owner, value, challenge, response)
     }
@@ -309,8 +300,7 @@ pub fn deal_coin_keys(committee: &Committee, rng: &mut impl Rng) -> Vec<CoinKeys
         .expect("committee sizes satisfy 0 < f + 1 <= n");
     let verification_keys: Vec<GroupElement> =
         shares.iter().map(|s| GroupElement::generator_pow(s.y)).collect();
-    let public =
-        CoinPublicKeys { threshold: committee.small_quorum(), verification_keys };
+    let public = CoinPublicKeys { threshold: committee.small_quorum(), verification_keys };
     committee
         .members()
         .zip(shares)
@@ -473,8 +463,7 @@ mod tests {
     fn agreement_any_threshold_subset_elects_same_leader() {
         let (committee, keys, mut rng) = setup(7, 3);
         let instance = 42;
-        let shares: Vec<CoinShare> =
-            keys.iter().map(|k| k.share(instance, &mut rng)).collect();
+        let shares: Vec<CoinShare> = keys.iter().map(|k| k.share(instance, &mut rng)).collect();
         let mut leaders = Vec::new();
         // Every 3-subset of 7 shares must open to the same leader.
         for a in 0..7 {
@@ -561,10 +550,7 @@ mod tests {
         let (_, keys, mut rng) = setup(4, 19);
         let mut agg = CoinAggregator::new(1, keys[0].public());
         let share = keys[0].share(2, &mut rng);
-        assert_eq!(
-            agg.add_share(share),
-            Err(CoinError::WrongInstance { expected: 1, found: 2 })
-        );
+        assert_eq!(agg.add_share(share), Err(CoinError::WrongInstance { expected: 1, found: 2 }));
     }
 
     #[test]

@@ -142,10 +142,7 @@ impl Encode for DealingCommitments {
 
 impl Decode for DealingCommitments {
     fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
-        Ok(Self {
-            dealer: ProcessId::decode(buf)?,
-            commitments: Vec::<GroupElement>::decode(buf)?,
-        })
+        Ok(Self { dealer: ProcessId::decode(buf)?, commitments: Vec::<GroupElement>::decode(buf)? })
     }
 }
 
@@ -166,10 +163,7 @@ impl Dealing {
         let threshold = committee.small_quorum();
         let coefficients: Vec<Scalar> =
             (0..threshold).map(|_| Scalar::new(rng.next_u64())).collect();
-        let commitments = coefficients
-            .iter()
-            .map(|&a| GroupElement::generator_pow(a))
-            .collect();
+        let commitments = coefficients.iter().map(|&a| GroupElement::generator_pow(a)).collect();
         let shares = committee
             .members()
             .map(|p| {
@@ -195,10 +189,7 @@ impl Dealing {
         if commitments.commitments.len() == expected {
             Ok(())
         } else {
-            Err(DkgError::WrongCommitmentCount {
-                found: commitments.commitments.len(),
-                expected,
-            })
+            Err(DkgError::WrongCommitmentCount { found: commitments.commitments.len(), expected })
         }
     }
 }
@@ -256,10 +247,8 @@ mod tests {
     fn setup(n: usize, seed: u64) -> (Committee, Vec<Dealing>, StdRng) {
         let committee = Committee::new(n).unwrap();
         let mut rng = StdRng::seed_from_u64(seed);
-        let dealings: Vec<Dealing> = committee
-            .members()
-            .map(|d| Dealing::deal(&committee, d, &mut rng))
-            .collect();
+        let dealings: Vec<Dealing> =
+            committee.members().map(|d| Dealing::deal(&committee, d, &mut rng)).collect();
         (committee, dealings, rng)
     }
 
@@ -268,10 +257,7 @@ mod tests {
         let (committee, dealings, _) = setup(7, 1);
         for dealing in &dealings {
             for p in committee.members() {
-                dealing
-                    .commitments
-                    .verify_share(p, dealing.shares[p.as_usize()])
-                    .unwrap();
+                dealing.commitments.verify_share(p, dealing.shares[p.as_usize()]).unwrap();
             }
         }
     }
@@ -289,10 +275,8 @@ mod tests {
     #[test]
     fn aggregated_keys_run_a_consistent_coin() {
         let (committee, dealings, mut rng) = setup(4, 3);
-        let keys: Vec<CoinKeys> = committee
-            .members()
-            .map(|me| aggregate(&committee, me, &dealings).unwrap())
-            .collect();
+        let keys: Vec<CoinKeys> =
+            committee.members().map(|me| aggregate(&committee, me, &dealings).unwrap()).collect();
         // Every f+1 subset opens the same leader, for several instances.
         for instance in 0..8u64 {
             let shares: Vec<_> = keys.iter().map(|k| k.share(instance, &mut rng)).collect();
@@ -313,12 +297,9 @@ mod tests {
         let (committee, dealings, mut rng) = setup(7, 4);
         // Agreement on the qualified set is assumed; here everyone picks
         // dealers {0, 2, 5}.
-        let qualified: Vec<Dealing> =
-            [0usize, 2, 5].iter().map(|&i| dealings[i].clone()).collect();
-        let keys: Vec<CoinKeys> = committee
-            .members()
-            .map(|me| aggregate(&committee, me, &qualified).unwrap())
-            .collect();
+        let qualified: Vec<Dealing> = [0usize, 2, 5].iter().map(|&i| dealings[i].clone()).collect();
+        let keys: Vec<CoinKeys> =
+            committee.members().map(|me| aggregate(&committee, me, &qualified).unwrap()).collect();
         let mut agg = CoinAggregator::new(1, keys[3].public());
         agg.add_share(keys[4].share(1, &mut rng)).unwrap();
         agg.add_share(keys[5].share(1, &mut rng)).unwrap();

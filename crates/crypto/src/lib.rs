@@ -41,8 +41,8 @@ pub mod gf256;
 pub mod merkle;
 pub mod primes;
 pub mod reed_solomon;
-pub mod shamir;
 pub mod sha256;
+pub mod shamir;
 
 pub use coin::{deal_coin_keys, Coin, CoinAggregator, CoinError, CoinKeys, CoinShare};
 pub use field::{GroupElement, Scalar, GENERATOR, P, Q};

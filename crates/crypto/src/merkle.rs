@@ -149,11 +149,8 @@ impl MerkleProof {
         let mut hash = leaf_hash(leaf_data);
         let mut position = self.index;
         for &sibling in &self.siblings {
-            hash = if position & 1 == 0 {
-                node_hash(hash, sibling)
-            } else {
-                node_hash(sibling, hash)
-            };
+            hash =
+                if position & 1 == 0 { node_hash(hash, sibling) } else { node_hash(sibling, hash) };
             position /= 2;
         }
         hash == root
@@ -219,10 +216,7 @@ mod tests {
 
     #[test]
     fn empty_tree_is_rejected() {
-        assert!(matches!(
-            MerkleTree::build(&Vec::<Vec<u8>>::new()),
-            Err(MerkleError::Empty)
-        ));
+        assert!(matches!(MerkleTree::build(&Vec::<Vec<u8>>::new()), Err(MerkleError::Empty)));
     }
 
     #[test]

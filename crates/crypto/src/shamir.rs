@@ -76,10 +76,7 @@ pub fn share_secret(
 
 fn eval_poly(coefficients: &[Scalar], x: Scalar) -> Scalar {
     // Horner's rule, highest coefficient first.
-    coefficients
-        .iter()
-        .rev()
-        .fold(Scalar::ZERO, |acc, &c| acc * x + c)
+    coefficients.iter().rev().fold(Scalar::ZERO, |acc, &c| acc * x + c)
 }
 
 /// Reconstructs the secret from at least `threshold` shares by Lagrange
@@ -191,8 +188,7 @@ mod tests {
     fn lagrange_coefficients_sum_property() {
         // For the constant polynomial 1, interpolation must give 1, i.e.
         // the Lagrange coefficients sum to 1.
-        let shares: Vec<_> =
-            (1..=5u64).map(|x| ShamirShare { x, y: Scalar::ONE }).collect();
+        let shares: Vec<_> = (1..=5u64).map(|x| ShamirShare { x, y: Scalar::ONE }).collect();
         assert_eq!(reconstruct_secret(&shares).unwrap(), Scalar::ONE);
     }
 

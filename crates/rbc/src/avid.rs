@@ -246,11 +246,10 @@ impl AvidRbc {
             if instance.payload.is_some() {
                 break;
             }
-            let echo_backing =
-                instance.echo_senders.get(&root).map_or(0, BTreeSet::len) >= quorum;
+            let echo_backing = instance.echo_senders.get(&root).map_or(0, BTreeSet::len) >= quorum;
             let ready_backing =
                 instance.readies.get(&root).map_or(0, BTreeSet::len) >= small_quorum;
-            let fragments = &instance.echo_shards[&root];
+            let Some(fragments) = instance.echo_shards.get(&root) else { continue };
             if (echo_backing || ready_backing)
                 && fragments.len() >= rs.data_shards()
                 && me_is_fresh(instance, &root)
@@ -322,7 +321,12 @@ impl ReliableBroadcast for AvidRbc {
     type Message = AvidMessage;
 
     fn new(committee: Committee, me: ProcessId, _seed: u64) -> Self {
-        Self { committee, me, rs: ReedSolomon::for_committee(&committee), instances: BTreeMap::new() }
+        Self {
+            committee,
+            me,
+            rs: ReedSolomon::for_committee(&committee),
+            instances: BTreeMap::new(),
+        }
     }
 
     fn committee(&self) -> Committee {
@@ -389,8 +393,7 @@ mod tests {
 
     fn setup(n: usize) -> (Vec<AvidRbc>, StdRng) {
         let committee = Committee::new(n).unwrap();
-        let endpoints =
-            committee.members().map(|p| AvidRbc::new(committee, p, 0)).collect();
+        let endpoints = committee.members().map(|p| AvidRbc::new(committee, p, 0)).collect();
         (endpoints, StdRng::seed_from_u64(1))
     }
 

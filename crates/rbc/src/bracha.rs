@@ -117,7 +117,11 @@ impl BrachaRbc {
 
     /// Runs the state machine on `(from, message)` plus any self-addressed
     /// follow-ups, accumulating wire sends and deliveries.
-    fn process(&mut self, from: ProcessId, message: BrachaMessage) -> Vec<RbcAction<BrachaMessage>> {
+    fn process(
+        &mut self,
+        from: ProcessId,
+        message: BrachaMessage,
+    ) -> Vec<RbcAction<BrachaMessage>> {
         let mut actions = Vec::new();
         let mut work = VecDeque::from([(from, message)]);
         while let Some((sender, msg)) = work.pop_front() {
@@ -228,11 +232,8 @@ impl ReliableBroadcast for BrachaRbc {
         _rng: &mut StdRng,
     ) -> Vec<RbcAction<BrachaMessage>> {
         let init = BrachaMessage { source: self.me, round, kind: BrachaKind::Init(payload) };
-        let mut actions: Vec<RbcAction<BrachaMessage>> = self
-            .committee
-            .others(self.me)
-            .map(|to| RbcAction::Send(to, init.clone()))
-            .collect();
+        let mut actions: Vec<RbcAction<BrachaMessage>> =
+            self.committee.others(self.me).map(|to| RbcAction::Send(to, init.clone())).collect();
         actions.extend(self.process(self.me, init));
         actions
     }
@@ -263,10 +264,7 @@ mod tests {
 
     fn setup(n: usize) -> (Vec<BrachaRbc>, StdRng) {
         let committee = Committee::new(n).unwrap();
-        let endpoints = committee
-            .members()
-            .map(|p| BrachaRbc::new(committee, p, 0))
-            .collect();
+        let endpoints = committee.members().map(|p| BrachaRbc::new(committee, p, 0)).collect();
         (endpoints, StdRng::seed_from_u64(1))
     }
 

@@ -56,8 +56,7 @@ impl Actor for BrachaEquivocator {
         let me = ctx.me();
         let committee = ctx.committee();
         for (i, to) in committee.others(me).enumerate() {
-            let payload =
-                if i % 2 == 0 { self.payload_a.clone() } else { self.payload_b.clone() };
+            let payload = if i % 2 == 0 { self.payload_a.clone() } else { self.payload_b.clone() };
             let msg =
                 BrachaMessage { source: me, round: self.round, kind: BrachaKind::Init(payload) };
             ctx.send(to, Bytes::from(msg.to_bytes()));
@@ -112,8 +111,7 @@ mod tests {
                     }
                 })
                 .collect();
-            let mut sim =
-                Simulation::new(committee, actors, UniformScheduler::new(1, 10), seed);
+            let mut sim = Simulation::new(committee, actors, UniformScheduler::new(1, 10), seed);
             sim.mark_byzantine(byz);
             sim.run();
             // Collect what each correct process delivered for (p3, r1).

@@ -350,11 +350,8 @@ impl ProbabilisticRbc {
                     instance.readies.entry(digest).or_default().insert(from);
                     let got = &instance.readies[&digest];
                     // Contagion amplification over the ready sample.
-                    let ready_count = instance
-                        .ready_sample
-                        .iter()
-                        .filter(|p| got.contains(p))
-                        .count();
+                    let ready_count =
+                        instance.ready_sample.iter().filter(|p| got.contains(p)).count();
                     if ready_count >= ready_threshold {
                         Self::turn_ready(instance, source, round, digest, &mut steps);
                     }
@@ -367,11 +364,8 @@ impl ProbabilisticRbc {
         if !instance.delivered {
             if let (Some(payload), Some(digest)) = (&instance.payload, instance.payload_digest) {
                 if let Some(got) = instance.readies.get(&digest) {
-                    let delivery_count = instance
-                        .delivery_sample
-                        .iter()
-                        .filter(|p| got.contains(p))
-                        .count();
+                    let delivery_count =
+                        instance.delivery_sample.iter().filter(|p| got.contains(p)).count();
                     if delivery_count >= deliver_threshold {
                         instance.delivered = true;
                         steps.push(Step::Deliver(RbcDelivery {
@@ -489,8 +483,7 @@ mod tests {
             for seed in [1u64, 2, 3] {
                 let (mut eps, mut rng) = setup(n, seed);
                 let actions = eps[0].rbcast(b"gossip".to_vec(), Round::new(1), &mut rng);
-                let initial =
-                    actions.into_iter().map(|a| (ProcessId::new(0), a)).collect();
+                let initial = actions.into_iter().map(|a| (ProcessId::new(0), a)).collect();
                 let delivered = run_to_quiescence(&mut eps, initial, &mut rng);
                 let count = delivered.iter().filter(|d| !d.is_empty()).count();
                 assert_eq!(count, n, "n={n} seed={seed}: only {count} delivered");

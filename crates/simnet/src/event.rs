@@ -65,7 +65,11 @@ mod tests {
     use std::collections::BinaryHeap;
 
     fn timer(time: u64, seq: u64) -> Event {
-        Event { time: Time::new(time), seq, kind: EventKind::Timer { owner: ProcessId::new(0), tag: 0 } }
+        Event {
+            time: Time::new(time),
+            seq,
+            kind: EventKind::Timer { owner: ProcessId::new(0), tag: 0 },
+        }
     }
 
     #[test]

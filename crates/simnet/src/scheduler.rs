@@ -292,8 +292,8 @@ mod tests {
     fn targeted_window_expires() {
         let base = UniformScheduler::new(1, 4);
         let victim = ProcessId::new(1);
-        let mut s = TargetedScheduler::new(base, [victim], 500)
-            .with_window(Time::new(10), Time::new(20));
+        let mut s =
+            TargetedScheduler::new(base, [victim], 500).with_window(Time::new(10), Time::new(20));
         let mut r = rng();
         assert!(s.delay(victim, ProcessId::new(0), 1, Time::new(5), &mut r) <= 4);
         assert_eq!(s.delay(victim, ProcessId::new(0), 1, Time::new(15), &mut r), 500);

@@ -64,7 +64,9 @@ impl<A: Actor, S: Scheduler> Simulation<A, S> {
             now: Time::ZERO,
             seq: 0,
             rngs: (0..n)
-                .map(|i| StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9).wrapping_add(i as u64)))
+                .map(|i| {
+                    StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9).wrapping_add(i as u64))
+                })
                 .collect(),
             scheduler_rng: StdRng::seed_from_u64(seed ^ 0xdead_beef),
             metrics: Metrics::new(n),
@@ -117,9 +119,7 @@ impl<A: Actor, S: Scheduler> Simulation<A, S> {
     /// The ids of processes still counted as honest (correct, never
     /// corrupted) — the set whose bytes the paper's complexity counts.
     pub fn honest_processes(&self) -> impl Iterator<Item = ProcessId> + '_ {
-        self.committee
-            .members()
-            .filter(|p| self.status[p.as_usize()] == ProcessStatus::Correct)
+        self.committee.members().filter(|p| self.status[p.as_usize()] == ProcessStatus::Correct)
     }
 
     /// Crash-stops `p`. If `drop_in_flight`, undelivered messages already
@@ -200,11 +200,7 @@ impl<A: Actor, S: Scheduler> Simulation<A, S> {
     /// Runs until `predicate` holds (checked after each event) or the
     /// queue drains or `max_events` more events were processed. Returns
     /// `true` iff the predicate held.
-    pub fn run_until(
-        &mut self,
-        max_events: u64,
-        mut predicate: impl FnMut(&Self) -> bool,
-    ) -> bool {
+    pub fn run_until(&mut self, max_events: u64, mut predicate: impl FnMut(&Self) -> bool) -> bool {
         self.initialize();
         if predicate(self) {
             return true;
@@ -427,11 +423,6 @@ mod tests {
     #[should_panic(expected = "one actor per committee member")]
     fn actor_count_mismatch_panics() {
         let committee = Committee::new(4).unwrap();
-        let _ = Simulation::new(
-            committee,
-            vec![Echo::default()],
-            UniformScheduler::new(1, 5),
-            0,
-        );
+        let _ = Simulation::new(committee, vec![Echo::default()], UniformScheduler::new(1, 5), 0);
     }
 }

@@ -425,10 +425,7 @@ mod tests {
     fn huge_length_prefix_is_rejected_without_allocation() {
         let mut bytes = Vec::new();
         encode_varint(u64::MAX / 2, &mut bytes);
-        assert!(matches!(
-            Vec::<u8>::from_bytes(&bytes),
-            Err(DecodeError::LengthTooLarge(_))
-        ));
+        assert!(matches!(Vec::<u8>::from_bytes(&bytes), Err(DecodeError::LengthTooLarge(_))));
     }
 
     #[test]

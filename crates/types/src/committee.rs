@@ -3,8 +3,6 @@
 use std::error::Error;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::ProcessId;
 
 /// Error building a [`Committee`].
@@ -40,7 +38,7 @@ impl Error for CommitteeError {}
 /// assert_eq!((c.n(), c.f(), c.quorum(), c.small_quorum()), (7, 2, 5, 3));
 /// # Ok::<(), dagrider_types::CommitteeError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Committee {
     n: usize,
 }

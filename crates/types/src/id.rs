@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::codec::{Decode, DecodeError, Encode};
 
 /// Number of rounds in a wave (paper §5: waves are 4 consecutive rounds —
@@ -21,9 +19,7 @@ pub const WAVE_LENGTH: u64 = 4;
 /// assert_eq!(p.index(), 3);
 /// assert_eq!(p.to_string(), "p3");
 /// ```
-#[derive(
-    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ProcessId(u32);
 
 impl ProcessId {
@@ -75,9 +71,7 @@ impl Decode for ProcessId {
 ///
 /// Round 0 is the hardcoded genesis round (Algorithm 1: `DAG[0]` is a
 /// predefined set of vertices); proposals start at round 1.
-#[derive(
-    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Round(u64);
 
 impl Round {
@@ -170,9 +164,7 @@ impl Decode for Round {
 }
 
 /// A wave number (1-based). Each wave is [`WAVE_LENGTH`] consecutive rounds.
-#[derive(
-    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Wave(u64);
 
 impl Wave {
@@ -251,9 +243,7 @@ impl Decode for Wave {
 
 /// A per-process atomic-broadcast sequence number (the `r` of
 /// `a_bcast(m, r)` in §3, distinguishing messages of one sender).
-#[derive(
-    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SeqNum(u64);
 
 impl SeqNum {

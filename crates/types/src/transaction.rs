@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::codec::{Decode, DecodeError, Encode};
 use crate::{ProcessId, SeqNum};
 
@@ -12,7 +10,7 @@ use crate::{ProcessId, SeqNum};
 /// The protocol never inspects transaction contents (§3: validation belongs
 /// to the execution engine above BAB); it only moves bytes. The payload size
 /// is what the communication-complexity experiments meter.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Transaction(Vec<u8>);
 
 impl Transaction {
@@ -89,7 +87,7 @@ impl Decode for Transaction {
 /// A block of transactions, the unit a process atomically broadcasts
 /// (`a_bcast(b, r)`, §3) and the payload of one DAG vertex (Algorithm 1:
 /// `v.block`).
-#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Block {
     proposer: ProcessId,
     seq: SeqNum,

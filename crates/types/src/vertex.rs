@@ -4,8 +4,6 @@ use std::collections::BTreeSet;
 use std::error::Error;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::codec::{Decode, DecodeError, Encode};
 use crate::{Block, Committee, ProcessId, Round, SeqNum};
 
@@ -15,7 +13,7 @@ use crate::{Block, Committee, ProcessId, Round, SeqNum};
 /// uniquely identify a vertex (§4); the paper notes (§6.2, footnote 2) that
 /// edges therefore need only carry these two fields, which keeps a reference
 /// at `O(log n + log r)` bits on the wire.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VertexRef {
     /// The round of the referenced vertex.
     pub round: Round,
@@ -89,12 +87,18 @@ impl fmt::Display for VertexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             VertexError::StrongEdgeWrongRound { round, edge } => {
-                write!(f, "strong edge {edge} of a round-{round} vertex must point to {}",
-                    Round::new(round.number().saturating_sub(1)))
+                write!(
+                    f,
+                    "strong edge {edge} of a round-{round} vertex must point to {}",
+                    Round::new(round.number().saturating_sub(1))
+                )
             }
             VertexError::WeakEdgeWrongRound { round, edge } => {
-                write!(f, "weak edge {edge} of a round-{round} vertex must point below round {}",
-                    Round::new(round.number().saturating_sub(1)))
+                write!(
+                    f,
+                    "weak edge {edge} of a round-{round} vertex must point below round {}",
+                    Round::new(round.number().saturating_sub(1))
+                )
             }
             VertexError::TooFewStrongEdges { found, required } => {
                 write!(f, "vertex has {found} strong edges, needs at least {required}")
@@ -114,7 +118,7 @@ impl Error for VertexError {}
 /// weak edges to otherwise-unreachable older vertices. Construct proposals
 /// with [`VertexBuilder`] (which validates the structural invariants) or
 /// genesis vertices with [`Vertex::genesis`].
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Vertex {
     source: ProcessId,
     round: Round,
@@ -343,10 +347,14 @@ mod tests {
     }
 
     fn valid_round1_vertex() -> Vertex {
-        VertexBuilder::new(ProcessId::new(0), Round::new(1), Block::empty(ProcessId::new(0), SeqNum::new(1)))
-            .strong_edges(genesis_refs(3))
-            .build(&committee())
-            .unwrap()
+        VertexBuilder::new(
+            ProcessId::new(0),
+            Round::new(1),
+            Block::empty(ProcessId::new(0), SeqNum::new(1)),
+        )
+        .strong_edges(genesis_refs(3))
+        .build(&committee())
+        .unwrap()
     }
 
     #[test]
@@ -394,9 +402,8 @@ mod tests {
     #[test]
     fn builder_rejects_weak_edge_to_adjacent_round() {
         // A weak edge must point strictly below round - 1.
-        let strong = (0..3u32)
-            .map(|i| VertexRef::new(Round::new(2), ProcessId::new(i)))
-            .collect::<Vec<_>>();
+        let strong =
+            (0..3u32).map(|i| VertexRef::new(Round::new(2), ProcessId::new(i))).collect::<Vec<_>>();
         let err = VertexBuilder::new(
             ProcessId::new(0),
             Round::new(3),

@@ -17,7 +17,9 @@ use dag_rider::core::{DagRiderNode, NodeConfig, OrderedVertex};
 use dag_rider::crypto::deal_coin_keys;
 use dag_rider::rbc::AvidRbc;
 use dag_rider::simnet::{Simulation, UniformScheduler};
-use dag_rider::types::{Block, Committee, Decode, DecodeError, Encode, ProcessId, SeqNum, Transaction};
+use dag_rider::types::{
+    Block, Committee, Decode, DecodeError, Encode, ProcessId, SeqNum, Transaction,
+};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -58,11 +60,7 @@ struct Ledger {
 
 impl Ledger {
     fn new(accounts: u32, initial: u64) -> Self {
-        Self {
-            balances: (0..accounts).map(|a| (a, initial)).collect(),
-            applied: 0,
-            rejected: 0,
-        }
+        Self { balances: (0..accounts).map(|a| (a, initial)).collect(), applied: 0, rejected: 0 }
     }
 
     fn execute(&mut self, ordered: &[OrderedVertex]) {

@@ -43,7 +43,11 @@ fn crash_scenario() -> Result<(), Box<dyn std::error::Error>> {
     sim.run();
     for p in committee.members().filter(|p| p.index() != 3) {
         let node = sim.actor(p);
-        println!("  {p}: decided wave {}, {} vertices ordered", node.decided_wave(), node.ordered().len());
+        println!(
+            "  {p}: decided wave {}, {} vertices ordered",
+            node.decided_wave(),
+            node.ordered().len()
+        );
         assert!(node.decided_wave().number() >= 1, "{p} must keep committing");
     }
     Ok(())
@@ -73,7 +77,11 @@ fn silent_byzantine_scenario() -> Result<(), Box<dyn std::error::Error>> {
     sim.run();
     for p in committee.members().filter(|&p| p != byz) {
         let node = sim.actor(p).as_left().expect("honest node");
-        println!("  {p}: decided wave {}, {} vertices ordered", node.decided_wave(), node.ordered().len());
+        println!(
+            "  {p}: decided wave {}, {} vertices ordered",
+            node.decided_wave(),
+            node.ordered().len()
+        );
         assert!(node.decided_wave().number() >= 1);
         // Nothing from the mute process can be ordered — it proposed nothing.
         assert!(node.ordered().iter().all(|o| o.vertex.source != byz));
@@ -96,8 +104,7 @@ fn starved_process_scenario() -> Result<(), Box<dyn std::error::Error>> {
         .map(|(p, k)| DagRiderNode::new(committee, p, k, config.clone()))
         .collect();
     let marker = Transaction::synthetic(0xFEED, 32);
-    nodes[victim.as_usize()]
-        .a_bcast(Block::new(victim, SeqNum::new(1), vec![marker.clone()]));
+    nodes[victim.as_usize()].a_bcast(Block::new(victim, SeqNum::new(1), vec![marker.clone()]));
 
     // The adversary slows every link touching the victim for an initial
     // window (long enough that rounds pass it by, short enough that the
@@ -110,10 +117,8 @@ fn starved_process_scenario() -> Result<(), Box<dyn std::error::Error>> {
 
     for p in committee.members() {
         let node = sim.actor(p);
-        let ordered_marker = node
-            .ordered()
-            .iter()
-            .any(|o| o.block.transactions().contains(&marker));
+        let ordered_marker =
+            node.ordered().iter().any(|o| o.block.transactions().contains(&marker));
         println!(
             "  {p}: {} vertices ordered, victim's block ordered: {ordered_marker}",
             node.ordered().len()

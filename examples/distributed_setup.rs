@@ -100,7 +100,11 @@ impl DkgActor {
         }
     }
 
-    fn apply(&mut self, actions: Vec<RbcAction<dag_rider::rbc::BrachaMessage>>, ctx: &mut Context<'_>) {
+    fn apply(
+        &mut self,
+        actions: Vec<RbcAction<dag_rider::rbc::BrachaMessage>>,
+        ctx: &mut Context<'_>,
+    ) {
         for action in actions {
             match action {
                 RbcAction::Send(to, m) => {
@@ -128,10 +132,9 @@ impl DkgActor {
         if self.keys.is_some() {
             return;
         }
-        let complete = self
-            .committee
-            .members()
-            .all(|d| self.commitments[d.as_usize()].is_some() && self.shares[d.as_usize()].is_some());
+        let complete = self.committee.members().all(|d| {
+            self.commitments[d.as_usize()].is_some() && self.shares[d.as_usize()].is_some()
+        });
         if !complete {
             return;
         }
@@ -193,8 +196,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let committee = Committee::new(4)?;
 
     // ── Phase 1: DKG over the simulated asynchronous network ──
-    println!("phase 1 — distributed key generation ({} dealers, threshold f+1 = {})",
-        committee.n(), committee.small_quorum());
+    println!(
+        "phase 1 — distributed key generation ({} dealers, threshold f+1 = {})",
+        committee.n(),
+        committee.small_quorum()
+    );
     let actors: Vec<DkgActor> =
         committee.members().map(|p| DkgActor::new(committee, p, 99)).collect();
     let mut dkg_sim = Simulation::new(committee, actors, UniformScheduler::new(1, 9), 99);
@@ -202,11 +208,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let keys: Vec<CoinKeys> = committee
         .members()
         .map(|p| {
-            dkg_sim
-                .actor(p)
-                .keys
-                .clone()
-                .unwrap_or_else(|| panic!("{p} did not finish the DKG"))
+            dkg_sim.actor(p).keys.clone().unwrap_or_else(|| panic!("{p} did not finish the DKG"))
         })
         .collect();
     println!(

@@ -54,12 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sim.actor(ProcessId::new(0)).decided_wave()
     );
     for o in reference.iter().take(12) {
-        println!(
-            "  {} (committed in {}, {} txs)",
-            o.vertex,
-            o.committed_in_wave,
-            o.block.len()
-        );
+        println!("  {} (committed in {}, {} txs)", o.vertex, o.committed_in_wave, o.block.len());
     }
     if reference.len() > 12 {
         println!("  … and {} more", reference.len() - 12);

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_coin_reveal-1e0b5ea2b226771b.d: crates/bench/src/bin/ablation_coin_reveal.rs
+
+/root/repo/target/debug/deps/ablation_coin_reveal-1e0b5ea2b226771b: crates/bench/src/bin/ablation_coin_reveal.rs
+
+crates/bench/src/bin/ablation_coin_reveal.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_coin_reveal-4c0df3561181eeca.d: crates/bench/src/bin/ablation_coin_reveal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_coin_reveal-4c0df3561181eeca.rmeta: crates/bench/src/bin/ablation_coin_reveal.rs Cargo.toml
+
+crates/bench/src/bin/ablation_coin_reveal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

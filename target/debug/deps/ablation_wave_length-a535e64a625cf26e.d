@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_wave_length-a535e64a625cf26e.d: crates/bench/src/bin/ablation_wave_length.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_wave_length-a535e64a625cf26e.rmeta: crates/bench/src/bin/ablation_wave_length.rs Cargo.toml
+
+crates/bench/src/bin/ablation_wave_length.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

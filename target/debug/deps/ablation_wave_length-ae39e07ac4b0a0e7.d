@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_wave_length-ae39e07ac4b0a0e7.d: crates/bench/src/bin/ablation_wave_length.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_wave_length-ae39e07ac4b0a0e7.rmeta: crates/bench/src/bin/ablation_wave_length.rs Cargo.toml
+
+crates/bench/src/bin/ablation_wave_length.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_wave_length-d9ba32c004166039.d: crates/bench/src/bin/ablation_wave_length.rs
+
+/root/repo/target/debug/deps/ablation_wave_length-d9ba32c004166039: crates/bench/src/bin/ablation_wave_length.rs
+
+crates/bench/src/bin/ablation_wave_length.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_weak_edges-c2d73fd52949b2dd.d: crates/bench/src/bin/ablation_weak_edges.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_weak_edges-c2d73fd52949b2dd.rmeta: crates/bench/src/bin/ablation_weak_edges.rs Cargo.toml
+
+crates/bench/src/bin/ablation_weak_edges.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_weak_edges-dfc0f53d7c9e2649.d: crates/bench/src/bin/ablation_weak_edges.rs
+
+/root/repo/target/debug/deps/ablation_weak_edges-dfc0f53d7c9e2649: crates/bench/src/bin/ablation_weak_edges.rs
+
+crates/bench/src/bin/ablation_weak_edges.rs:

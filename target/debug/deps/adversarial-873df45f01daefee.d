@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adversarial-873df45f01daefee.d: tests/adversarial.rs
+
+/root/repo/target/debug/deps/adversarial-873df45f01daefee: tests/adversarial.rs
+
+tests/adversarial.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adversarial-c423a76a68a763e3.d: tests/adversarial.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadversarial-c423a76a68a763e3.rmeta: tests/adversarial.rs Cargo.toml
+
+tests/adversarial.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

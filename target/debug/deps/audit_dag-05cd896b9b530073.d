@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/audit_dag-05cd896b9b530073.d: crates/analysis/src/bin/audit_dag.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaudit_dag-05cd896b9b530073.rmeta: crates/analysis/src/bin/audit_dag.rs Cargo.toml
+
+crates/analysis/src/bin/audit_dag.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

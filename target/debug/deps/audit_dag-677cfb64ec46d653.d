@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/audit_dag-677cfb64ec46d653.d: crates/analysis/src/bin/audit_dag.rs
+
+/root/repo/target/debug/deps/audit_dag-677cfb64ec46d653: crates/analysis/src/bin/audit_dag.rs
+
+crates/analysis/src/bin/audit_dag.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/audit_dag-a7ec4a778ad8542d.d: crates/analysis/src/bin/audit_dag.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaudit_dag-a7ec4a778ad8542d.rmeta: crates/analysis/src/bin/audit_dag.rs Cargo.toml
+
+crates/analysis/src/bin/audit_dag.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/audit_dag-ebb278fae381e7dd.d: crates/analysis/src/bin/audit_dag.rs
+
+/root/repo/target/debug/deps/audit_dag-ebb278fae381e7dd: crates/analysis/src/bin/audit_dag.rs
+
+crates/analysis/src/bin/audit_dag.rs:

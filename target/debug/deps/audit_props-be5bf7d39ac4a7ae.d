@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/audit_props-be5bf7d39ac4a7ae.d: crates/analysis/tests/audit_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaudit_props-be5bf7d39ac4a7ae.rmeta: crates/analysis/tests/audit_props.rs Cargo.toml
+
+crates/analysis/tests/audit_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/audit_props-d525ea26cd1675d1.d: crates/analysis/tests/audit_props.rs
+
+/root/repo/target/debug/deps/audit_props-d525ea26cd1675d1: crates/analysis/tests/audit_props.rs
+
+crates/analysis/tests/audit_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chain_quality-2c6cae2624731c4a.d: crates/bench/src/bin/chain_quality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchain_quality-2c6cae2624731c4a.rmeta: crates/bench/src/bin/chain_quality.rs Cargo.toml
+
+crates/bench/src/bin/chain_quality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chain_quality-61233de530cc58ad.d: crates/bench/src/bin/chain_quality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchain_quality-61233de530cc58ad.rmeta: crates/bench/src/bin/chain_quality.rs Cargo.toml
+
+crates/bench/src/bin/chain_quality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chain_quality-645a722ad3be7468.d: crates/bench/src/bin/chain_quality.rs
+
+/root/repo/target/debug/deps/chain_quality-645a722ad3be7468: crates/bench/src/bin/chain_quality.rs
+
+crates/bench/src/bin/chain_quality.rs:

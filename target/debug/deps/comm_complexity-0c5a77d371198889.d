@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/comm_complexity-0c5a77d371198889.d: crates/bench/src/bin/comm_complexity.rs
+
+/root/repo/target/debug/deps/comm_complexity-0c5a77d371198889: crates/bench/src/bin/comm_complexity.rs
+
+crates/bench/src/bin/comm_complexity.rs:

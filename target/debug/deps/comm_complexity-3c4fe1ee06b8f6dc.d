@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/comm_complexity-3c4fe1ee06b8f6dc.d: crates/bench/src/bin/comm_complexity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcomm_complexity-3c4fe1ee06b8f6dc.rmeta: crates/bench/src/bin/comm_complexity.rs Cargo.toml
+
+crates/bench/src/bin/comm_complexity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

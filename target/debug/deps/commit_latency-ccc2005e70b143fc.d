@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/commit_latency-ccc2005e70b143fc.d: crates/bench/benches/commit_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcommit_latency-ccc2005e70b143fc.rmeta: crates/bench/benches/commit_latency.rs Cargo.toml
+
+crates/bench/benches/commit_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

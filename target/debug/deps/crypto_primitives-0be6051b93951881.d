@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crypto_primitives-0be6051b93951881.d: crates/bench/benches/crypto_primitives.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrypto_primitives-0be6051b93951881.rmeta: crates/bench/benches/crypto_primitives.rs Cargo.toml
+
+crates/bench/benches/crypto_primitives.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crypto_props-7e4a6b6bb2ac7a6a.d: tests/crypto_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrypto_props-7e4a6b6bb2ac7a6a.rmeta: tests/crypto_props.rs Cargo.toml
+
+tests/crypto_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crypto_props-edc8e601667f96cc.d: tests/crypto_props.rs
+
+/root/repo/target/debug/deps/crypto_props-edc8e601667f96cc: tests/crypto_props.rs
+
+tests/crypto_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dag_invariants-67c183c692b43401.d: tests/dag_invariants.rs
+
+/root/repo/target/debug/deps/dag_invariants-67c183c692b43401: tests/dag_invariants.rs
+
+tests/dag_invariants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dag_invariants-82c6a0bea18af87f.d: tests/dag_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdag_invariants-82c6a0bea18af87f.rmeta: tests/dag_invariants.rs Cargo.toml
+
+tests/dag_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dag_operations-7cc9dea784371c2f.d: crates/bench/benches/dag_operations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdag_operations-7cc9dea784371c2f.rmeta: crates/bench/benches/dag_operations.rs Cargo.toml
+
+crates/bench/benches/dag_operations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dag_rider-2cb09d3281326f50.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdag_rider-2cb09d3281326f50.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdag_rider-2cb09d3281326f50.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dag_rider-93e34e0478a200d4.d: src/lib.rs
+
+/root/repo/target/debug/deps/dag_rider-93e34e0478a200d4: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dag_rider-f1c22c84b6c004d3.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdag_rider-f1c22c84b6c004d3.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dag_rider-f2d31146ca629355.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdag_rider-f2d31146ca629355.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

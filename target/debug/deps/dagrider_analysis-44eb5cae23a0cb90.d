@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dagrider_analysis-44eb5cae23a0cb90.d: crates/analysis/src/lib.rs crates/analysis/src/auditor.rs crates/analysis/src/snapshot.rs crates/analysis/src/verify.rs crates/analysis/src/violation.rs
+
+/root/repo/target/debug/deps/dagrider_analysis-44eb5cae23a0cb90: crates/analysis/src/lib.rs crates/analysis/src/auditor.rs crates/analysis/src/snapshot.rs crates/analysis/src/verify.rs crates/analysis/src/violation.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/auditor.rs:
+crates/analysis/src/snapshot.rs:
+crates/analysis/src/verify.rs:
+crates/analysis/src/violation.rs:

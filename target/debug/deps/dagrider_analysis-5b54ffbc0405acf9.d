@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dagrider_analysis-5b54ffbc0405acf9.d: crates/analysis/src/lib.rs crates/analysis/src/auditor.rs crates/analysis/src/snapshot.rs crates/analysis/src/verify.rs crates/analysis/src/violation.rs
+
+/root/repo/target/debug/deps/libdagrider_analysis-5b54ffbc0405acf9.rlib: crates/analysis/src/lib.rs crates/analysis/src/auditor.rs crates/analysis/src/snapshot.rs crates/analysis/src/verify.rs crates/analysis/src/violation.rs
+
+/root/repo/target/debug/deps/libdagrider_analysis-5b54ffbc0405acf9.rmeta: crates/analysis/src/lib.rs crates/analysis/src/auditor.rs crates/analysis/src/snapshot.rs crates/analysis/src/verify.rs crates/analysis/src/violation.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/auditor.rs:
+crates/analysis/src/snapshot.rs:
+crates/analysis/src/verify.rs:
+crates/analysis/src/violation.rs:

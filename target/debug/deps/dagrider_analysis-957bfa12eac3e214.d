@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dagrider_analysis-957bfa12eac3e214.d: crates/analysis/src/lib.rs crates/analysis/src/auditor.rs crates/analysis/src/snapshot.rs crates/analysis/src/verify.rs crates/analysis/src/violation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdagrider_analysis-957bfa12eac3e214.rmeta: crates/analysis/src/lib.rs crates/analysis/src/auditor.rs crates/analysis/src/snapshot.rs crates/analysis/src/verify.rs crates/analysis/src/violation.rs Cargo.toml
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/auditor.rs:
+crates/analysis/src/snapshot.rs:
+crates/analysis/src/verify.rs:
+crates/analysis/src/violation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

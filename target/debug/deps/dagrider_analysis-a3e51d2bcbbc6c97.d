@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dagrider_analysis-a3e51d2bcbbc6c97.d: crates/analysis/src/lib.rs crates/analysis/src/auditor.rs crates/analysis/src/snapshot.rs crates/analysis/src/verify.rs crates/analysis/src/violation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdagrider_analysis-a3e51d2bcbbc6c97.rmeta: crates/analysis/src/lib.rs crates/analysis/src/auditor.rs crates/analysis/src/snapshot.rs crates/analysis/src/verify.rs crates/analysis/src/violation.rs Cargo.toml
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/auditor.rs:
+crates/analysis/src/snapshot.rs:
+crates/analysis/src/verify.rs:
+crates/analysis/src/violation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dagrider_baselines-20b8fc644b689d07.d: crates/baselines/src/lib.rs crates/baselines/src/dumbo.rs crates/baselines/src/smr.rs crates/baselines/src/vaba.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdagrider_baselines-20b8fc644b689d07.rmeta: crates/baselines/src/lib.rs crates/baselines/src/dumbo.rs crates/baselines/src/smr.rs crates/baselines/src/vaba.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/dumbo.rs:
+crates/baselines/src/smr.rs:
+crates/baselines/src/vaba.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dagrider_baselines-292ccaf9f171f665.d: crates/baselines/src/lib.rs crates/baselines/src/dumbo.rs crates/baselines/src/smr.rs crates/baselines/src/vaba.rs
+
+/root/repo/target/debug/deps/dagrider_baselines-292ccaf9f171f665: crates/baselines/src/lib.rs crates/baselines/src/dumbo.rs crates/baselines/src/smr.rs crates/baselines/src/vaba.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/dumbo.rs:
+crates/baselines/src/smr.rs:
+crates/baselines/src/vaba.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dagrider_baselines-671c380109f5d17c.d: crates/baselines/src/lib.rs crates/baselines/src/dumbo.rs crates/baselines/src/smr.rs crates/baselines/src/vaba.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdagrider_baselines-671c380109f5d17c.rmeta: crates/baselines/src/lib.rs crates/baselines/src/dumbo.rs crates/baselines/src/smr.rs crates/baselines/src/vaba.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/dumbo.rs:
+crates/baselines/src/smr.rs:
+crates/baselines/src/vaba.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dagrider_baselines-8aa6433f473acc73.d: crates/baselines/src/lib.rs crates/baselines/src/dumbo.rs crates/baselines/src/smr.rs crates/baselines/src/vaba.rs
+
+/root/repo/target/debug/deps/libdagrider_baselines-8aa6433f473acc73.rlib: crates/baselines/src/lib.rs crates/baselines/src/dumbo.rs crates/baselines/src/smr.rs crates/baselines/src/vaba.rs
+
+/root/repo/target/debug/deps/libdagrider_baselines-8aa6433f473acc73.rmeta: crates/baselines/src/lib.rs crates/baselines/src/dumbo.rs crates/baselines/src/smr.rs crates/baselines/src/vaba.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/dumbo.rs:
+crates/baselines/src/smr.rs:
+crates/baselines/src/vaba.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dagrider_bench-1507a17ceed0ff0e.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdagrider_bench-1507a17ceed0ff0e.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dagrider_bench-4a14e54e65dc1483.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdagrider_bench-4a14e54e65dc1483.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dagrider_bench-90885046ca726cef.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/dagrider_bench-90885046ca726cef: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

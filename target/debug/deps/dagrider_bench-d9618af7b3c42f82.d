@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dagrider_bench-d9618af7b3c42f82.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdagrider_bench-d9618af7b3c42f82.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdagrider_bench-d9618af7b3c42f82.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dagrider_core-217421138f6bcc98.d: crates/core/src/lib.rs crates/core/src/common_core.rs crates/core/src/construction.rs crates/core/src/dag.rs crates/core/src/node.rs crates/core/src/ordering.rs crates/core/src/render.rs
+
+/root/repo/target/debug/deps/dagrider_core-217421138f6bcc98: crates/core/src/lib.rs crates/core/src/common_core.rs crates/core/src/construction.rs crates/core/src/dag.rs crates/core/src/node.rs crates/core/src/ordering.rs crates/core/src/render.rs
+
+crates/core/src/lib.rs:
+crates/core/src/common_core.rs:
+crates/core/src/construction.rs:
+crates/core/src/dag.rs:
+crates/core/src/node.rs:
+crates/core/src/ordering.rs:
+crates/core/src/render.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dagrider_core-5b9d90f986d10242.d: crates/core/src/lib.rs crates/core/src/common_core.rs crates/core/src/construction.rs crates/core/src/dag.rs crates/core/src/node.rs crates/core/src/ordering.rs crates/core/src/render.rs
+
+/root/repo/target/debug/deps/libdagrider_core-5b9d90f986d10242.rlib: crates/core/src/lib.rs crates/core/src/common_core.rs crates/core/src/construction.rs crates/core/src/dag.rs crates/core/src/node.rs crates/core/src/ordering.rs crates/core/src/render.rs
+
+/root/repo/target/debug/deps/libdagrider_core-5b9d90f986d10242.rmeta: crates/core/src/lib.rs crates/core/src/common_core.rs crates/core/src/construction.rs crates/core/src/dag.rs crates/core/src/node.rs crates/core/src/ordering.rs crates/core/src/render.rs
+
+crates/core/src/lib.rs:
+crates/core/src/common_core.rs:
+crates/core/src/construction.rs:
+crates/core/src/dag.rs:
+crates/core/src/node.rs:
+crates/core/src/ordering.rs:
+crates/core/src/render.rs:

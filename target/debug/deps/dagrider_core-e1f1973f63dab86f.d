@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dagrider_core-e1f1973f63dab86f.d: crates/core/src/lib.rs crates/core/src/common_core.rs crates/core/src/construction.rs crates/core/src/dag.rs crates/core/src/node.rs crates/core/src/ordering.rs crates/core/src/render.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdagrider_core-e1f1973f63dab86f.rmeta: crates/core/src/lib.rs crates/core/src/common_core.rs crates/core/src/construction.rs crates/core/src/dag.rs crates/core/src/node.rs crates/core/src/ordering.rs crates/core/src/render.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/common_core.rs:
+crates/core/src/construction.rs:
+crates/core/src/dag.rs:
+crates/core/src/node.rs:
+crates/core/src/ordering.rs:
+crates/core/src/render.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

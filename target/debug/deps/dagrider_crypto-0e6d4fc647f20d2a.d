@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/dagrider_crypto-0e6d4fc647f20d2a.d: crates/crypto/src/lib.rs crates/crypto/src/coin.rs crates/crypto/src/dkg.rs crates/crypto/src/field.rs crates/crypto/src/gf256.rs crates/crypto/src/merkle.rs crates/crypto/src/primes.rs crates/crypto/src/reed_solomon.rs crates/crypto/src/sha256.rs crates/crypto/src/shamir.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdagrider_crypto-0e6d4fc647f20d2a.rmeta: crates/crypto/src/lib.rs crates/crypto/src/coin.rs crates/crypto/src/dkg.rs crates/crypto/src/field.rs crates/crypto/src/gf256.rs crates/crypto/src/merkle.rs crates/crypto/src/primes.rs crates/crypto/src/reed_solomon.rs crates/crypto/src/sha256.rs crates/crypto/src/shamir.rs Cargo.toml
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/coin.rs:
+crates/crypto/src/dkg.rs:
+crates/crypto/src/field.rs:
+crates/crypto/src/gf256.rs:
+crates/crypto/src/merkle.rs:
+crates/crypto/src/primes.rs:
+crates/crypto/src/reed_solomon.rs:
+crates/crypto/src/sha256.rs:
+crates/crypto/src/shamir.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dagrider_crypto-50e28b1ebc07c725.d: crates/crypto/src/lib.rs crates/crypto/src/coin.rs crates/crypto/src/dkg.rs crates/crypto/src/field.rs crates/crypto/src/gf256.rs crates/crypto/src/merkle.rs crates/crypto/src/primes.rs crates/crypto/src/reed_solomon.rs crates/crypto/src/sha256.rs crates/crypto/src/shamir.rs
+
+/root/repo/target/debug/deps/libdagrider_crypto-50e28b1ebc07c725.rlib: crates/crypto/src/lib.rs crates/crypto/src/coin.rs crates/crypto/src/dkg.rs crates/crypto/src/field.rs crates/crypto/src/gf256.rs crates/crypto/src/merkle.rs crates/crypto/src/primes.rs crates/crypto/src/reed_solomon.rs crates/crypto/src/sha256.rs crates/crypto/src/shamir.rs
+
+/root/repo/target/debug/deps/libdagrider_crypto-50e28b1ebc07c725.rmeta: crates/crypto/src/lib.rs crates/crypto/src/coin.rs crates/crypto/src/dkg.rs crates/crypto/src/field.rs crates/crypto/src/gf256.rs crates/crypto/src/merkle.rs crates/crypto/src/primes.rs crates/crypto/src/reed_solomon.rs crates/crypto/src/sha256.rs crates/crypto/src/shamir.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/coin.rs:
+crates/crypto/src/dkg.rs:
+crates/crypto/src/field.rs:
+crates/crypto/src/gf256.rs:
+crates/crypto/src/merkle.rs:
+crates/crypto/src/primes.rs:
+crates/crypto/src/reed_solomon.rs:
+crates/crypto/src/sha256.rs:
+crates/crypto/src/shamir.rs:

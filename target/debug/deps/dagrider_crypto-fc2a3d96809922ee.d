@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dagrider_crypto-fc2a3d96809922ee.d: crates/crypto/src/lib.rs crates/crypto/src/coin.rs crates/crypto/src/dkg.rs crates/crypto/src/field.rs crates/crypto/src/gf256.rs crates/crypto/src/merkle.rs crates/crypto/src/primes.rs crates/crypto/src/reed_solomon.rs crates/crypto/src/sha256.rs crates/crypto/src/shamir.rs
+
+/root/repo/target/debug/deps/dagrider_crypto-fc2a3d96809922ee: crates/crypto/src/lib.rs crates/crypto/src/coin.rs crates/crypto/src/dkg.rs crates/crypto/src/field.rs crates/crypto/src/gf256.rs crates/crypto/src/merkle.rs crates/crypto/src/primes.rs crates/crypto/src/reed_solomon.rs crates/crypto/src/sha256.rs crates/crypto/src/shamir.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/coin.rs:
+crates/crypto/src/dkg.rs:
+crates/crypto/src/field.rs:
+crates/crypto/src/gf256.rs:
+crates/crypto/src/merkle.rs:
+crates/crypto/src/primes.rs:
+crates/crypto/src/reed_solomon.rs:
+crates/crypto/src/sha256.rs:
+crates/crypto/src/shamir.rs:

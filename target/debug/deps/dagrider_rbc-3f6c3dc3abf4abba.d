@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dagrider_rbc-3f6c3dc3abf4abba.d: crates/rbc/src/lib.rs crates/rbc/src/api.rs crates/rbc/src/avid.rs crates/rbc/src/bracha.rs crates/rbc/src/byzantine.rs crates/rbc/src/probabilistic.rs crates/rbc/src/process.rs
+
+/root/repo/target/debug/deps/libdagrider_rbc-3f6c3dc3abf4abba.rlib: crates/rbc/src/lib.rs crates/rbc/src/api.rs crates/rbc/src/avid.rs crates/rbc/src/bracha.rs crates/rbc/src/byzantine.rs crates/rbc/src/probabilistic.rs crates/rbc/src/process.rs
+
+/root/repo/target/debug/deps/libdagrider_rbc-3f6c3dc3abf4abba.rmeta: crates/rbc/src/lib.rs crates/rbc/src/api.rs crates/rbc/src/avid.rs crates/rbc/src/bracha.rs crates/rbc/src/byzantine.rs crates/rbc/src/probabilistic.rs crates/rbc/src/process.rs
+
+crates/rbc/src/lib.rs:
+crates/rbc/src/api.rs:
+crates/rbc/src/avid.rs:
+crates/rbc/src/bracha.rs:
+crates/rbc/src/byzantine.rs:
+crates/rbc/src/probabilistic.rs:
+crates/rbc/src/process.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dagrider_rbc-b31328a46d877e4c.d: crates/rbc/src/lib.rs crates/rbc/src/api.rs crates/rbc/src/avid.rs crates/rbc/src/bracha.rs crates/rbc/src/byzantine.rs crates/rbc/src/probabilistic.rs crates/rbc/src/process.rs
+
+/root/repo/target/debug/deps/dagrider_rbc-b31328a46d877e4c: crates/rbc/src/lib.rs crates/rbc/src/api.rs crates/rbc/src/avid.rs crates/rbc/src/bracha.rs crates/rbc/src/byzantine.rs crates/rbc/src/probabilistic.rs crates/rbc/src/process.rs
+
+crates/rbc/src/lib.rs:
+crates/rbc/src/api.rs:
+crates/rbc/src/avid.rs:
+crates/rbc/src/bracha.rs:
+crates/rbc/src/byzantine.rs:
+crates/rbc/src/probabilistic.rs:
+crates/rbc/src/process.rs:

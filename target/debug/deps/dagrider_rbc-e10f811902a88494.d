@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dagrider_rbc-e10f811902a88494.d: crates/rbc/src/lib.rs crates/rbc/src/api.rs crates/rbc/src/avid.rs crates/rbc/src/bracha.rs crates/rbc/src/byzantine.rs crates/rbc/src/probabilistic.rs crates/rbc/src/process.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdagrider_rbc-e10f811902a88494.rmeta: crates/rbc/src/lib.rs crates/rbc/src/api.rs crates/rbc/src/avid.rs crates/rbc/src/bracha.rs crates/rbc/src/byzantine.rs crates/rbc/src/probabilistic.rs crates/rbc/src/process.rs Cargo.toml
+
+crates/rbc/src/lib.rs:
+crates/rbc/src/api.rs:
+crates/rbc/src/avid.rs:
+crates/rbc/src/bracha.rs:
+crates/rbc/src/byzantine.rs:
+crates/rbc/src/probabilistic.rs:
+crates/rbc/src/process.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dagrider_simnet-bb063554303ff5e5.d: crates/simnet/src/lib.rs crates/simnet/src/actor.rs crates/simnet/src/event.rs crates/simnet/src/metrics.rs crates/simnet/src/scheduler.rs crates/simnet/src/sim.rs crates/simnet/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdagrider_simnet-bb063554303ff5e5.rmeta: crates/simnet/src/lib.rs crates/simnet/src/actor.rs crates/simnet/src/event.rs crates/simnet/src/metrics.rs crates/simnet/src/scheduler.rs crates/simnet/src/sim.rs crates/simnet/src/time.rs Cargo.toml
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/actor.rs:
+crates/simnet/src/event.rs:
+crates/simnet/src/metrics.rs:
+crates/simnet/src/scheduler.rs:
+crates/simnet/src/sim.rs:
+crates/simnet/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dagrider_simnet-c22ad577c0f5d080.d: crates/simnet/src/lib.rs crates/simnet/src/actor.rs crates/simnet/src/event.rs crates/simnet/src/metrics.rs crates/simnet/src/scheduler.rs crates/simnet/src/sim.rs crates/simnet/src/time.rs
+
+/root/repo/target/debug/deps/dagrider_simnet-c22ad577c0f5d080: crates/simnet/src/lib.rs crates/simnet/src/actor.rs crates/simnet/src/event.rs crates/simnet/src/metrics.rs crates/simnet/src/scheduler.rs crates/simnet/src/sim.rs crates/simnet/src/time.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/actor.rs:
+crates/simnet/src/event.rs:
+crates/simnet/src/metrics.rs:
+crates/simnet/src/scheduler.rs:
+crates/simnet/src/sim.rs:
+crates/simnet/src/time.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dagrider_simnet-fa1420fc4efdcc36.d: crates/simnet/src/lib.rs crates/simnet/src/actor.rs crates/simnet/src/event.rs crates/simnet/src/metrics.rs crates/simnet/src/scheduler.rs crates/simnet/src/sim.rs crates/simnet/src/time.rs
+
+/root/repo/target/debug/deps/libdagrider_simnet-fa1420fc4efdcc36.rlib: crates/simnet/src/lib.rs crates/simnet/src/actor.rs crates/simnet/src/event.rs crates/simnet/src/metrics.rs crates/simnet/src/scheduler.rs crates/simnet/src/sim.rs crates/simnet/src/time.rs
+
+/root/repo/target/debug/deps/libdagrider_simnet-fa1420fc4efdcc36.rmeta: crates/simnet/src/lib.rs crates/simnet/src/actor.rs crates/simnet/src/event.rs crates/simnet/src/metrics.rs crates/simnet/src/scheduler.rs crates/simnet/src/sim.rs crates/simnet/src/time.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/actor.rs:
+crates/simnet/src/event.rs:
+crates/simnet/src/metrics.rs:
+crates/simnet/src/scheduler.rs:
+crates/simnet/src/sim.rs:
+crates/simnet/src/time.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dagrider_types-3c9d564a5ebf004b.d: crates/types/src/lib.rs crates/types/src/codec.rs crates/types/src/committee.rs crates/types/src/id.rs crates/types/src/transaction.rs crates/types/src/vertex.rs
+
+/root/repo/target/debug/deps/dagrider_types-3c9d564a5ebf004b: crates/types/src/lib.rs crates/types/src/codec.rs crates/types/src/committee.rs crates/types/src/id.rs crates/types/src/transaction.rs crates/types/src/vertex.rs
+
+crates/types/src/lib.rs:
+crates/types/src/codec.rs:
+crates/types/src/committee.rs:
+crates/types/src/id.rs:
+crates/types/src/transaction.rs:
+crates/types/src/vertex.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dagrider_types-7d2e8848c4aa6940.d: crates/types/src/lib.rs crates/types/src/codec.rs crates/types/src/committee.rs crates/types/src/id.rs crates/types/src/transaction.rs crates/types/src/vertex.rs
+
+/root/repo/target/debug/deps/libdagrider_types-7d2e8848c4aa6940.rlib: crates/types/src/lib.rs crates/types/src/codec.rs crates/types/src/committee.rs crates/types/src/id.rs crates/types/src/transaction.rs crates/types/src/vertex.rs
+
+/root/repo/target/debug/deps/libdagrider_types-7d2e8848c4aa6940.rmeta: crates/types/src/lib.rs crates/types/src/codec.rs crates/types/src/committee.rs crates/types/src/id.rs crates/types/src/transaction.rs crates/types/src/vertex.rs
+
+crates/types/src/lib.rs:
+crates/types/src/codec.rs:
+crates/types/src/committee.rs:
+crates/types/src/id.rs:
+crates/types/src/transaction.rs:
+crates/types/src/vertex.rs:

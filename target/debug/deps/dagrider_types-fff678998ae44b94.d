@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dagrider_types-fff678998ae44b94.d: crates/types/src/lib.rs crates/types/src/codec.rs crates/types/src/committee.rs crates/types/src/id.rs crates/types/src/transaction.rs crates/types/src/vertex.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdagrider_types-fff678998ae44b94.rmeta: crates/types/src/lib.rs crates/types/src/codec.rs crates/types/src/committee.rs crates/types/src/id.rs crates/types/src/transaction.rs crates/types/src/vertex.rs Cargo.toml
+
+crates/types/src/lib.rs:
+crates/types/src/codec.rs:
+crates/types/src/committee.rs:
+crates/types/src/id.rs:
+crates/types/src/transaction.rs:
+crates/types/src/vertex.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

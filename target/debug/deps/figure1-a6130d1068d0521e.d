@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure1-a6130d1068d0521e.d: crates/bench/src/bin/figure1.rs
+
+/root/repo/target/debug/deps/figure1-a6130d1068d0521e: crates/bench/src/bin/figure1.rs
+
+crates/bench/src/bin/figure1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure1-b9c050e50f8a7a5f.d: crates/bench/src/bin/figure1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure1-b9c050e50f8a7a5f.rmeta: crates/bench/src/bin/figure1.rs Cargo.toml
+
+crates/bench/src/bin/figure1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure1-c49766c5ed82c706.d: crates/bench/src/bin/figure1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure1-c49766c5ed82c706.rmeta: crates/bench/src/bin/figure1.rs Cargo.toml
+
+crates/bench/src/bin/figure1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure2-91202b444644f3ec.d: crates/bench/src/bin/figure2.rs
+
+/root/repo/target/debug/deps/figure2-91202b444644f3ec: crates/bench/src/bin/figure2.rs
+
+crates/bench/src/bin/figure2.rs:

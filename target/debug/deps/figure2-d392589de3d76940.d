@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure2-d392589de3d76940.d: crates/bench/src/bin/figure2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure2-d392589de3d76940.rmeta: crates/bench/src/bin/figure2.rs Cargo.toml
+
+crates/bench/src/bin/figure2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/latency-497482a7b71cc452.d: crates/bench/src/bin/latency.rs
+
+/root/repo/target/debug/deps/latency-497482a7b71cc452: crates/bench/src/bin/latency.rs
+
+crates/bench/src/bin/latency.rs:

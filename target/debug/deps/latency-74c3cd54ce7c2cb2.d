@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/latency-74c3cd54ce7c2cb2.d: crates/bench/src/bin/latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblatency-74c3cd54ce7c2cb2.rmeta: crates/bench/src/bin/latency.rs Cargo.toml
+
+crates/bench/src/bin/latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/latency-b16b4f6bd1e8cc5e.d: crates/bench/src/bin/latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblatency-b16b4f6bd1e8cc5e.rmeta: crates/bench/src/bin/latency.rs Cargo.toml
+
+crates/bench/src/bin/latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

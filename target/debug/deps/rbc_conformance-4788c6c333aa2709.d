@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rbc_conformance-4788c6c333aa2709.d: tests/rbc_conformance.rs Cargo.toml
+
+/root/repo/target/debug/deps/librbc_conformance-4788c6c333aa2709.rmeta: tests/rbc_conformance.rs Cargo.toml
+
+tests/rbc_conformance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

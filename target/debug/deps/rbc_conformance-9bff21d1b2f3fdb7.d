@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rbc_conformance-9bff21d1b2f3fdb7.d: tests/rbc_conformance.rs
+
+/root/repo/target/debug/deps/rbc_conformance-9bff21d1b2f3fdb7: tests/rbc_conformance.rs
+
+tests/rbc_conformance.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rbc_throughput-e1a35354ec5ab269.d: crates/bench/benches/rbc_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/librbc_throughput-e1a35354ec5ab269.rmeta: crates/bench/benches/rbc_throughput.rs Cargo.toml
+
+crates/bench/benches/rbc_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-773d14b72c653f14.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-773d14b72c653f14: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/total_order-4136cfaf580ef09a.d: tests/total_order.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtotal_order-4136cfaf580ef09a.rmeta: tests/total_order.rs Cargo.toml
+
+tests/total_order.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/total_order-48ea7e23a725b5a4.d: tests/total_order.rs
+
+/root/repo/target/debug/deps/total_order-48ea7e23a725b5a4: tests/total_order.rs
+
+tests/total_order.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/validity_chain_quality-467d89aaaa2805bc.d: tests/validity_chain_quality.rs
+
+/root/repo/target/debug/deps/validity_chain_quality-467d89aaaa2805bc: tests/validity_chain_quality.rs
+
+tests/validity_chain_quality.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/validity_chain_quality-af78ce8d9a0fad6e.d: tests/validity_chain_quality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvalidity_chain_quality-af78ce8d9a0fad6e.rmeta: tests/validity_chain_quality.rs Cargo.toml
+
+tests/validity_chain_quality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/waves_to_commit-35c25031e8181e8e.d: crates/bench/src/bin/waves_to_commit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwaves_to_commit-35c25031e8181e8e.rmeta: crates/bench/src/bin/waves_to_commit.rs Cargo.toml
+
+crates/bench/src/bin/waves_to_commit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/waves_to_commit-e21f250234f2ee61.d: crates/bench/src/bin/waves_to_commit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwaves_to_commit-e21f250234f2ee61.rmeta: crates/bench/src/bin/waves_to_commit.rs Cargo.toml
+
+crates/bench/src/bin/waves_to_commit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

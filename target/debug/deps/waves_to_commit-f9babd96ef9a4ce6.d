@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/waves_to_commit-f9babd96ef9a4ce6.d: crates/bench/src/bin/waves_to_commit.rs
+
+/root/repo/target/debug/deps/waves_to_commit-f9babd96ef9a4ce6: crates/bench/src/bin/waves_to_commit.rs
+
+crates/bench/src/bin/waves_to_commit.rs:

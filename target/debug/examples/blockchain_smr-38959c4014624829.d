@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/blockchain_smr-38959c4014624829.d: examples/blockchain_smr.rs
+
+/root/repo/target/debug/examples/blockchain_smr-38959c4014624829: examples/blockchain_smr.rs
+
+examples/blockchain_smr.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/blockchain_smr-b59f32aea4d957a1.d: examples/blockchain_smr.rs Cargo.toml
+
+/root/repo/target/debug/examples/libblockchain_smr-b59f32aea4d957a1.rmeta: examples/blockchain_smr.rs Cargo.toml
+
+examples/blockchain_smr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/byzantine_resilience-214bde5d4ad8def1.d: examples/byzantine_resilience.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbyzantine_resilience-214bde5d4ad8def1.rmeta: examples/byzantine_resilience.rs Cargo.toml
+
+examples/byzantine_resilience.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

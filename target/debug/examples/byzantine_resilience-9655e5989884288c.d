@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/byzantine_resilience-9655e5989884288c.d: examples/byzantine_resilience.rs
+
+/root/repo/target/debug/examples/byzantine_resilience-9655e5989884288c: examples/byzantine_resilience.rs
+
+examples/byzantine_resilience.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dag_visualizer-835e1001a9a71cc5.d: examples/dag_visualizer.rs
+
+/root/repo/target/debug/examples/dag_visualizer-835e1001a9a71cc5: examples/dag_visualizer.rs
+
+examples/dag_visualizer.rs:

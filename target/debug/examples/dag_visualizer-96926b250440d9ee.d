@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dag_visualizer-96926b250440d9ee.d: examples/dag_visualizer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdag_visualizer-96926b250440d9ee.rmeta: examples/dag_visualizer.rs Cargo.toml
+
+examples/dag_visualizer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/distributed_setup-b66b1fac1dbb6139.d: examples/distributed_setup.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdistributed_setup-b66b1fac1dbb6139.rmeta: examples/distributed_setup.rs Cargo.toml
+
+examples/distributed_setup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distributed_setup-cd5c545bb430aae8.d: examples/distributed_setup.rs
+
+/root/repo/target/debug/examples/distributed_setup-cd5c545bb430aae8: examples/distributed_setup.rs
+
+examples/distributed_setup.rs:

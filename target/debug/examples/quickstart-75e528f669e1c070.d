@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-75e528f669e1c070.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-75e528f669e1c070: examples/quickstart.rs
+
+examples/quickstart.rs:

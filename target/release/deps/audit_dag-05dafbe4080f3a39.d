@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/audit_dag-05dafbe4080f3a39.d: crates/analysis/src/bin/audit_dag.rs
+
+/root/repo/target/release/deps/audit_dag-05dafbe4080f3a39: crates/analysis/src/bin/audit_dag.rs
+
+crates/analysis/src/bin/audit_dag.rs:

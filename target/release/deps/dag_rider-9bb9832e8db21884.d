@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dag_rider-9bb9832e8db21884.d: src/lib.rs
+
+/root/repo/target/release/deps/libdag_rider-9bb9832e8db21884.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdag_rider-9bb9832e8db21884.rmeta: src/lib.rs
+
+src/lib.rs:

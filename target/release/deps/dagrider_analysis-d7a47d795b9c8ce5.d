@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dagrider_analysis-d7a47d795b9c8ce5.d: crates/analysis/src/lib.rs crates/analysis/src/auditor.rs crates/analysis/src/snapshot.rs crates/analysis/src/verify.rs crates/analysis/src/violation.rs
+
+/root/repo/target/release/deps/libdagrider_analysis-d7a47d795b9c8ce5.rlib: crates/analysis/src/lib.rs crates/analysis/src/auditor.rs crates/analysis/src/snapshot.rs crates/analysis/src/verify.rs crates/analysis/src/violation.rs
+
+/root/repo/target/release/deps/libdagrider_analysis-d7a47d795b9c8ce5.rmeta: crates/analysis/src/lib.rs crates/analysis/src/auditor.rs crates/analysis/src/snapshot.rs crates/analysis/src/verify.rs crates/analysis/src/violation.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/auditor.rs:
+crates/analysis/src/snapshot.rs:
+crates/analysis/src/verify.rs:
+crates/analysis/src/violation.rs:

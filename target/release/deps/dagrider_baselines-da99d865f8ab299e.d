@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dagrider_baselines-da99d865f8ab299e.d: crates/baselines/src/lib.rs crates/baselines/src/dumbo.rs crates/baselines/src/smr.rs crates/baselines/src/vaba.rs
+
+/root/repo/target/release/deps/libdagrider_baselines-da99d865f8ab299e.rlib: crates/baselines/src/lib.rs crates/baselines/src/dumbo.rs crates/baselines/src/smr.rs crates/baselines/src/vaba.rs
+
+/root/repo/target/release/deps/libdagrider_baselines-da99d865f8ab299e.rmeta: crates/baselines/src/lib.rs crates/baselines/src/dumbo.rs crates/baselines/src/smr.rs crates/baselines/src/vaba.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/dumbo.rs:
+crates/baselines/src/smr.rs:
+crates/baselines/src/vaba.rs:

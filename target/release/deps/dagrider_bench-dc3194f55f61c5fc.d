@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dagrider_bench-dc3194f55f61c5fc.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdagrider_bench-dc3194f55f61c5fc.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdagrider_bench-dc3194f55f61c5fc.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

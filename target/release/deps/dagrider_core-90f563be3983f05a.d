@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dagrider_core-90f563be3983f05a.d: crates/core/src/lib.rs crates/core/src/common_core.rs crates/core/src/construction.rs crates/core/src/dag.rs crates/core/src/node.rs crates/core/src/ordering.rs crates/core/src/render.rs
+
+/root/repo/target/release/deps/libdagrider_core-90f563be3983f05a.rlib: crates/core/src/lib.rs crates/core/src/common_core.rs crates/core/src/construction.rs crates/core/src/dag.rs crates/core/src/node.rs crates/core/src/ordering.rs crates/core/src/render.rs
+
+/root/repo/target/release/deps/libdagrider_core-90f563be3983f05a.rmeta: crates/core/src/lib.rs crates/core/src/common_core.rs crates/core/src/construction.rs crates/core/src/dag.rs crates/core/src/node.rs crates/core/src/ordering.rs crates/core/src/render.rs
+
+crates/core/src/lib.rs:
+crates/core/src/common_core.rs:
+crates/core/src/construction.rs:
+crates/core/src/dag.rs:
+crates/core/src/node.rs:
+crates/core/src/ordering.rs:
+crates/core/src/render.rs:

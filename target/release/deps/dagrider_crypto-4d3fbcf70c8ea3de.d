@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/dagrider_crypto-4d3fbcf70c8ea3de.d: crates/crypto/src/lib.rs crates/crypto/src/coin.rs crates/crypto/src/dkg.rs crates/crypto/src/field.rs crates/crypto/src/gf256.rs crates/crypto/src/merkle.rs crates/crypto/src/primes.rs crates/crypto/src/reed_solomon.rs crates/crypto/src/sha256.rs crates/crypto/src/shamir.rs
+
+/root/repo/target/release/deps/libdagrider_crypto-4d3fbcf70c8ea3de.rlib: crates/crypto/src/lib.rs crates/crypto/src/coin.rs crates/crypto/src/dkg.rs crates/crypto/src/field.rs crates/crypto/src/gf256.rs crates/crypto/src/merkle.rs crates/crypto/src/primes.rs crates/crypto/src/reed_solomon.rs crates/crypto/src/sha256.rs crates/crypto/src/shamir.rs
+
+/root/repo/target/release/deps/libdagrider_crypto-4d3fbcf70c8ea3de.rmeta: crates/crypto/src/lib.rs crates/crypto/src/coin.rs crates/crypto/src/dkg.rs crates/crypto/src/field.rs crates/crypto/src/gf256.rs crates/crypto/src/merkle.rs crates/crypto/src/primes.rs crates/crypto/src/reed_solomon.rs crates/crypto/src/sha256.rs crates/crypto/src/shamir.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/coin.rs:
+crates/crypto/src/dkg.rs:
+crates/crypto/src/field.rs:
+crates/crypto/src/gf256.rs:
+crates/crypto/src/merkle.rs:
+crates/crypto/src/primes.rs:
+crates/crypto/src/reed_solomon.rs:
+crates/crypto/src/sha256.rs:
+crates/crypto/src/shamir.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dagrider_rbc-55cb5607857922a8.d: crates/rbc/src/lib.rs crates/rbc/src/api.rs crates/rbc/src/avid.rs crates/rbc/src/bracha.rs crates/rbc/src/byzantine.rs crates/rbc/src/probabilistic.rs crates/rbc/src/process.rs
+
+/root/repo/target/release/deps/libdagrider_rbc-55cb5607857922a8.rlib: crates/rbc/src/lib.rs crates/rbc/src/api.rs crates/rbc/src/avid.rs crates/rbc/src/bracha.rs crates/rbc/src/byzantine.rs crates/rbc/src/probabilistic.rs crates/rbc/src/process.rs
+
+/root/repo/target/release/deps/libdagrider_rbc-55cb5607857922a8.rmeta: crates/rbc/src/lib.rs crates/rbc/src/api.rs crates/rbc/src/avid.rs crates/rbc/src/bracha.rs crates/rbc/src/byzantine.rs crates/rbc/src/probabilistic.rs crates/rbc/src/process.rs
+
+crates/rbc/src/lib.rs:
+crates/rbc/src/api.rs:
+crates/rbc/src/avid.rs:
+crates/rbc/src/bracha.rs:
+crates/rbc/src/byzantine.rs:
+crates/rbc/src/probabilistic.rs:
+crates/rbc/src/process.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dagrider_simnet-15e1b3d999087784.d: crates/simnet/src/lib.rs crates/simnet/src/actor.rs crates/simnet/src/event.rs crates/simnet/src/metrics.rs crates/simnet/src/scheduler.rs crates/simnet/src/sim.rs crates/simnet/src/time.rs
+
+/root/repo/target/release/deps/libdagrider_simnet-15e1b3d999087784.rlib: crates/simnet/src/lib.rs crates/simnet/src/actor.rs crates/simnet/src/event.rs crates/simnet/src/metrics.rs crates/simnet/src/scheduler.rs crates/simnet/src/sim.rs crates/simnet/src/time.rs
+
+/root/repo/target/release/deps/libdagrider_simnet-15e1b3d999087784.rmeta: crates/simnet/src/lib.rs crates/simnet/src/actor.rs crates/simnet/src/event.rs crates/simnet/src/metrics.rs crates/simnet/src/scheduler.rs crates/simnet/src/sim.rs crates/simnet/src/time.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/actor.rs:
+crates/simnet/src/event.rs:
+crates/simnet/src/metrics.rs:
+crates/simnet/src/scheduler.rs:
+crates/simnet/src/sim.rs:
+crates/simnet/src/time.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dagrider_types-361b10027aadcfeb.d: crates/types/src/lib.rs crates/types/src/codec.rs crates/types/src/committee.rs crates/types/src/id.rs crates/types/src/transaction.rs crates/types/src/vertex.rs
+
+/root/repo/target/release/deps/libdagrider_types-361b10027aadcfeb.rlib: crates/types/src/lib.rs crates/types/src/codec.rs crates/types/src/committee.rs crates/types/src/id.rs crates/types/src/transaction.rs crates/types/src/vertex.rs
+
+/root/repo/target/release/deps/libdagrider_types-361b10027aadcfeb.rmeta: crates/types/src/lib.rs crates/types/src/codec.rs crates/types/src/committee.rs crates/types/src/id.rs crates/types/src/transaction.rs crates/types/src/vertex.rs
+
+crates/types/src/lib.rs:
+crates/types/src/codec.rs:
+crates/types/src/committee.rs:
+crates/types/src/id.rs:
+crates/types/src/transaction.rs:
+crates/types/src/vertex.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-4e4e5cef02ec1a0e.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-4e4e5cef02ec1a0e.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-4e4e5cef02ec1a0e.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-e8adc5714f5b67f9.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-e8adc5714f5b67f9: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

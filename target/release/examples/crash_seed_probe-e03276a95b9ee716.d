@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/crash_seed_probe-e03276a95b9ee716.d: crates/baselines/examples/crash_seed_probe.rs
+
+/root/repo/target/release/examples/crash_seed_probe-e03276a95b9ee716: crates/baselines/examples/crash_seed_probe.rs
+
+crates/baselines/examples/crash_seed_probe.rs:

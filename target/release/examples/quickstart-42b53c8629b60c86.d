@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-42b53c8629b60c86.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-42b53c8629b60c86: examples/quickstart.rs
+
+examples/quickstart.rs:

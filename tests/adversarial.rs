@@ -43,10 +43,7 @@ fn partition_stalls_then_heals() {
     // completing it takes vertices from across the split.
     sim.run_until(100_000, |s| s.now() >= Time::new(400));
     for p in committee.members() {
-        assert!(
-            sim.actor(p).current_round() <= Round::new(1),
-            "{p} advanced during the partition"
-        );
+        assert!(sim.actor(p).current_round() <= Round::new(1), "{p} advanced during the partition");
         assert_eq!(sim.actor(p).decided_wave(), Wave::new(0));
     }
 
@@ -79,9 +76,7 @@ impl DagEquivocator {
         let make = |tag: u64| {
             let block = Block::new(me, SeqNum::new(1), vec![Transaction::synthetic(tag, 16)]);
             let vertex = VertexBuilder::new(me, Round::new(1), block)
-                .strong_edges(
-                    committee.members().map(|p| VertexRef::new(Round::GENESIS, p)),
-                )
+                .strong_edges(committee.members().map(|p| VertexRef::new(Round::GENESIS, p)))
                 .build(&committee)
                 .expect("structurally valid equivocating vertex");
             VertexPayload { vertex, coin_shares: Vec::new() }.to_bytes()
@@ -100,9 +95,9 @@ impl Actor for DagEquivocator {
     fn init(&mut self, ctx: &mut Context<'_>) {
         let me = ctx.me();
         for (i, to) in self.committee.others(me).enumerate() {
-            let payload =
-                if i % 2 == 0 { self.payload_a.clone() } else { self.payload_b.clone() };
-            let init = BrachaMessage { source: me, round: self.round, kind: BrachaKind::Init(payload) };
+            let payload = if i % 2 == 0 { self.payload_a.clone() } else { self.payload_b.clone() };
+            let init =
+                BrachaMessage { source: me, round: self.round, kind: BrachaKind::Init(payload) };
             // Wrap as the node envelope (tag 0 = Rbc).
             let mut bytes = vec![0u8];
             init.encode(&mut bytes);
@@ -156,14 +151,7 @@ fn dag_level_equivocation_is_neutralized() {
         let survivors: Vec<Option<Block>> = committee
             .members()
             .filter(|&p| p != byz)
-            .map(|p| {
-                sim.actor(p)
-                    .as_left()
-                    .unwrap()
-                    .dag()
-                    .get(byz_ref)
-                    .map(|v| v.block().clone())
-            })
+            .map(|p| sim.actor(p).as_left().unwrap().dag().get(byz_ref).map(|v| v.block().clone()))
             .collect();
         let present: Vec<&Block> = survivors.iter().flatten().collect();
         if let Some(first) = present.first() {
@@ -182,14 +170,8 @@ fn dag_level_equivocation_is_neutralized() {
             .map(|o| o.vertex)
             .collect();
         for p in [1u32, 2].map(ProcessId::new) {
-            let log: Vec<VertexRef> = sim
-                .actor(p)
-                .as_left()
-                .unwrap()
-                .ordered()
-                .iter()
-                .map(|o| o.vertex)
-                .collect();
+            let log: Vec<VertexRef> =
+                sim.actor(p).as_left().unwrap().ordered().iter().map(|o| o.vertex).collect();
             let common = log.len().min(reference.len());
             assert_eq!(&log[..common], &reference[..common], "seed {seed}: {p} diverged");
         }
@@ -220,8 +202,7 @@ fn crash_plus_partition_combined() {
     sim.crash(ProcessId::new(0), true);
     sim.run();
 
-    let survivors: Vec<ProcessId> =
-        committee.members().filter(|p| p.index() != 0).collect();
+    let survivors: Vec<ProcessId> = committee.members().filter(|p| p.index() != 0).collect();
     let reference: Vec<VertexRef> =
         sim.actor(survivors[0]).ordered().iter().map(|o| o.vertex).collect();
     assert!(!reference.is_empty());

@@ -2,10 +2,13 @@
 //! the protocol's proofs lean on must hold for *arbitrary* inputs.
 
 use dag_rider::crypto::{
-    deal_coin_keys, reconstruct_secret, share_secret, sha256, CoinAggregator, MerkleTree,
+    deal_coin_keys, reconstruct_secret, sha256, share_secret, CoinAggregator, MerkleTree,
     ReedSolomon, Scalar, Sha256,
 };
-use dag_rider::types::{Block, Committee, Decode, Encode, ProcessId, Round, SeqNum, Transaction, Vertex, VertexBuilder, VertexRef};
+use dag_rider::types::{
+    Block, Committee, Decode, Encode, ProcessId, Round, SeqNum, Transaction, Vertex, VertexBuilder,
+    VertexRef,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

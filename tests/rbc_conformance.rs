@@ -2,9 +2,7 @@
 //! instantiations: the §2 properties (Agreement, Integrity, Validity)
 //! under random schedules, targeted adversarial delays, and crash faults.
 
-use dag_rider::rbc::{
-    AvidRbc, BrachaRbc, ProbabilisticRbc, RbcProcess, ReliableBroadcast,
-};
+use dag_rider::rbc::{AvidRbc, BrachaRbc, ProbabilisticRbc, RbcProcess, ReliableBroadcast};
 use dag_rider::simnet::{
     BandwidthScheduler, Scheduler, Simulation, TargetedScheduler, Time, UniformScheduler,
 };
@@ -81,12 +79,9 @@ fn crash_case<B: ReliableBroadcast>(n: usize, seed: u64, victim: u32, after: u64
 }
 
 fn targeted_delay_case<B: ReliableBroadcast>(n: usize, seed: u64, victim: u32) {
-    let scheduler = TargetedScheduler::new(
-        UniformScheduler::new(1, 6),
-        [ProcessId::new(victim)],
-        300,
-    )
-    .with_window(Time::ZERO, Time::new(300));
+    let scheduler =
+        TargetedScheduler::new(UniformScheduler::new(1, 6), [ProcessId::new(victim)], 300)
+            .with_window(Time::ZERO, Time::new(300));
     let mut sim = build::<B, _>(n, seed, scheduler);
     sim.run();
     let correct: Vec<ProcessId> = sim.committee().members().collect();

@@ -34,7 +34,7 @@ fn run<B: ReliableBroadcast>(
     sim.run();
     committee
         .members()
-        .filter(|p| crash.map(|(v, _)| v != *p).unwrap_or(true))
+        .filter(|p| crash.is_none_or(|(v, _)| v != *p))
         .map(|p| sim.actor(p).ordered().iter().map(|o| o.vertex).collect())
         .collect()
 }

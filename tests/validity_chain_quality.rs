@@ -36,11 +36,8 @@ fn validity_starved_process_block_is_ordered() {
         sim.run();
 
         for p in committee.members() {
-            let ordered = sim
-                .actor(p)
-                .ordered()
-                .iter()
-                .any(|o| o.block.transactions().contains(&marker));
+            let ordered =
+                sim.actor(p).ordered().iter().any(|o| o.block.transactions().contains(&marker));
             assert!(ordered, "seed {seed}: {p} never ordered the starved process's block");
         }
     }
@@ -58,8 +55,7 @@ fn validity_all_client_blocks_ordered_in_same_position() {
         .zip(keys)
         .map(|(p, k)| DagRiderNode::new(committee, p, k, config.clone()))
         .collect();
-    let markers: Vec<Transaction> =
-        (0..4).map(|i| Transaction::synthetic(1000 + i, 16)).collect();
+    let markers: Vec<Transaction> = (0..4).map(|i| Transaction::synthetic(1000 + i, 16)).collect();
     for (node, marker) in nodes.iter_mut().zip(&markers) {
         let me = node.me();
         node.a_bcast(Block::new(me, SeqNum::new(1), vec![marker.clone()]));
@@ -68,10 +64,7 @@ fn validity_all_client_blocks_ordered_in_same_position() {
     sim.run();
 
     let position = |p: ProcessId, marker: &Transaction| {
-        sim.actor(p)
-            .ordered()
-            .iter()
-            .position(|o| o.block.transactions().contains(marker))
+        sim.actor(p).ordered().iter().position(|o| o.block.transactions().contains(marker))
     };
     for marker in &markers {
         let reference = position(ProcessId::new(0), marker);
@@ -127,10 +120,7 @@ fn chain_quality_balanced_across_correct_processes() {
     let min = *correct_counts.iter().min().unwrap();
     // One vertex per round per process: counts differ by at most a few
     // rounds' worth of tail effects.
-    assert!(
-        max - min <= 4,
-        "per-source ordered counts unbalanced: {correct_counts:?}"
-    );
+    assert!(max - min <= 4, "per-source ordered counts unbalanced: {correct_counts:?}");
     // Chain quality (§3): any prefix of length (2f+1)·r contains at least
     // (f+1)·r vertices from correct processes. With mute Byzantine
     // processes every vertex is from a correct process, so check the
@@ -138,10 +128,7 @@ fn chain_quality_balanced_across_correct_processes() {
     let f = committee.f();
     for r in 1..=(log.len() / (2 * f + 1)) {
         let prefix = &log[..(2 * f + 1) * r];
-        let correct = prefix
-            .iter()
-            .filter(|o| !byzantine.contains(&o.vertex.source))
-            .count();
+        let correct = prefix.iter().filter(|o| !byzantine.contains(&o.vertex.source)).count();
         assert!(correct >= (f + 1) * r, "prefix {r}: {correct} correct vertices");
     }
 }
@@ -165,9 +152,6 @@ fn liveness_with_f_initial_crashes() {
     sim.run();
     for p in committee.members().filter(|p| p.index() >= 2) {
         let node = sim.actor(p);
-        assert!(
-            node.decided_wave().number() >= 1,
-            "{p} failed to commit any wave under f crashes"
-        );
+        assert!(node.decided_wave().number() >= 1, "{p} failed to commit any wave under f crashes");
     }
 }

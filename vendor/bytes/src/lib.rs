@@ -1,0 +1,104 @@
+//! Vendored, dependency-free stand-in for the `bytes` crate.
+//!
+//! The build environment of this repository has no network access to
+//! crates.io, so the workspace vendors the one type it consumes:
+//! [`Bytes`], an immutable byte buffer whose `Clone` is an `Arc` bump
+//! rather than a copy. That cheap-clone property is what the simulator's
+//! broadcast paths rely on (one allocation per payload, `n` clones).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer.
+///
+/// `Clone` is O(1): all clones share one allocation. Dereferences to
+/// `&[u8]`, so slice APIs (`len`, `to_vec`, indexing, iteration) work
+/// directly.
+#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer (no allocation is shared-by-construction here;
+    /// empty `Arc<[u8]>`s are cheap).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps a static byte slice. (The real crate stores the reference
+    /// without copying; this stand-in copies once, which is equivalent for
+    /// the workspace's metering since wire bytes are counted, not heap
+    /// bytes.)
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Self { data: Arc::from(bytes) }
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(bytes: &[u8]) -> Self {
+        Self { data: Arc::from(bytes) }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(bytes: Vec<u8>) -> Self {
+        Self { data: Arc::from(bytes) }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(bytes: &[u8]) -> Self {
+        Self { data: Arc::from(bytes) }
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bytes({} bytes)", self.data.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_allocation() {
+        let a = Bytes::from(vec![1, 2, 3]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert!(Arc::ptr_eq(&a.data, &b.data));
+    }
+
+    #[test]
+    fn derefs_to_slice() {
+        let b = Bytes::from(vec![9, 8, 7]);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.to_vec(), vec![9, 8, 7]);
+        assert_eq!(&b[1..], &[8, 7]);
+    }
+
+    #[test]
+    fn static_and_empty_buffers() {
+        assert_eq!(Bytes::from_static(b"hi").as_ref(), b"hi");
+        assert!(Bytes::new().is_empty());
+    }
+}

@@ -1,0 +1,217 @@
+//! Vendored, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment of this repository has no network access to
+//! crates.io, so the workspace vendors the benchmarking surface its
+//! `benches/` targets use: [`Criterion`], [`Bencher::iter`], benchmark
+//! groups, [`BenchmarkId`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Methodology is intentionally simple: each benchmark warms up briefly,
+//! then runs timed batches until ~200 ms of samples accumulate, and the
+//! median per-iteration time is reported to stdout. No statistical
+//! regression analysis, plots, or baselines — enough to compare orders of
+//! magnitude and spot hot-path regressions by eye.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark harness handle passed to every `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs `f` as the benchmark `name`.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name, &mut f);
+        self
+    }
+
+    /// Runs `f` with `input`, labelled by `id`.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&id.label, &mut |b| f(b, input));
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string() }
+    }
+}
+
+/// A named group of benchmarks sharing a prefix (and, upstream,
+/// configuration — this stand-in accepts the configuration calls and
+/// ignores them).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (accepted for API compatibility; the harness
+    /// sizes batches by wall-clock instead).
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs `f` as `group_name/name`.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, name), &mut f);
+        self
+    }
+
+    /// Runs `f` with `input`, labelled `group_name/id`.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.label), &mut |b| f(b, input));
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+
+    /// The owning [`Criterion`] (unused by the workspace; kept so the
+    /// borrow shape matches upstream).
+    pub fn criterion(&mut self) -> &mut Criterion {
+        self.criterion
+    }
+}
+
+/// A `name/parameter` benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Labels a benchmark `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        Self { label: format!("{name}/{parameter}") }
+    }
+
+    /// Labels a benchmark by its parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { label: parameter.to_string() }
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled by [`Bencher::iter`].
+    median_ns: f64,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `f`, retaining the median over timed batches.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm-up: one call, also used to size batches.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+
+        // Aim for ~20 batches of ~10ms each, capped for slow benchmarks.
+        let per_batch = (Duration::from_millis(10).as_nanos() / once.as_nanos()).clamp(1, 100_000);
+        let mut samples = Vec::new();
+        let mut total = 0u64;
+        let deadline = Instant::now() + Duration::from_millis(200);
+        while Instant::now() < deadline && samples.len() < 20 {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            samples.push(elapsed.as_secs_f64() * 1e9 / per_batch as f64);
+            total += per_batch as u64;
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = samples[samples.len() / 2];
+        self.iterations = total;
+    }
+}
+
+fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher { median_ns: f64::NAN, iterations: 0 };
+    f(&mut bencher);
+    let (value, unit) = humanize(bencher.median_ns);
+    println!("bench {label:<50} {value:>9.2} {unit}/iter ({} iters)", bencher.iterations);
+}
+
+fn humanize(ns: f64) -> (f64, &'static str) {
+    if ns < 1_000.0 {
+        (ns, "ns")
+    } else if ns < 1_000_000.0 {
+        (ns / 1_000.0, "µs")
+    } else {
+        (ns / 1_000_000.0, "ms")
+    }
+}
+
+/// Declares a benchmark group: `criterion_group!(name, target_fn, ..)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        c.bench_with_input(BenchmarkId::new("add", 3), &3u64, |b, &n| {
+            b.iter(|| black_box(n + 1));
+        });
+        let mut group = c.benchmark_group("group");
+        group.sample_size(10);
+        group.bench_function("inner", |b| b.iter(|| black_box(2 * 2)));
+        group.finish();
+    }
+
+    criterion_group!(benches, target);
+
+    #[test]
+    fn harness_runs_every_shape() {
+        benches();
+    }
+
+    #[test]
+    fn humanize_picks_units() {
+        assert_eq!(humanize(10.0).1, "ns");
+        assert_eq!(humanize(10_000.0).1, "µs");
+        assert_eq!(humanize(10_000_000.0).1, "ms");
+    }
+}
