@@ -87,16 +87,48 @@ impl DagAuditor {
         self.committee
     }
 
-    /// Audits a live DAG's structural invariants. The [`Dag`] container
-    /// itself rules out slot duplicates, so [`InvariantViolation::DuplicateVertex`]
-    /// can only arise from the snapshot path.
+    /// Audits a live DAG's structural invariants, plus a differential
+    /// check of the closure-bitset reachability engine against the BFS
+    /// oracle. The [`Dag`] container itself rules out slot duplicates, so
+    /// [`InvariantViolation::DuplicateVertex`] can only arise from the
+    /// snapshot path.
     pub fn audit_dag(&self, dag: &Dag) -> Vec<InvariantViolation> {
         let view = View {
             vertices: dag.iter().map(|v| (v.reference(), v)).collect(),
             pruned_floor: dag.pruned_floor(),
         };
         let mut violations = self.audit_view(&view);
+        violations.extend(self.audit_reachability(dag));
         sort_report(&mut violations);
+        violations
+    }
+
+    /// Differential check of the reachability engine: for every vertex,
+    /// one BFS sweep per edge family gives the ground-truth reachable set
+    /// (O(V·E) total, not per query), and every `path` / `strong_path`
+    /// bit probe must agree with it pairwise. The engine answers commit
+    /// and delivery queries (§5, Algorithm 3), so any divergence is
+    /// reported as [`InvariantViolation::ReachabilityDivergence`].
+    pub fn audit_reachability(&self, dag: &Dag) -> Vec<InvariantViolation> {
+        let mut violations = Vec::new();
+        let refs: Vec<VertexRef> = dag.iter().map(Vertex::reference).collect();
+        for &from in &refs {
+            for strong_only in [true, false] {
+                let oracle = dag.oracle_reachable(from, strong_only);
+                for &to in &refs {
+                    let engine =
+                        if strong_only { dag.strong_path(from, to) } else { dag.path(from, to) };
+                    if engine != oracle.contains(&to) {
+                        violations.push(InvariantViolation::ReachabilityDivergence {
+                            from,
+                            to,
+                            strong_only,
+                            engine,
+                        });
+                    }
+                }
+            }
+        }
         violations
     }
 

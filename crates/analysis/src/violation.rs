@@ -120,6 +120,21 @@ pub enum InvariantViolation {
         /// The `2f + 1` quorum required.
         required: usize,
     },
+    /// The incremental reachability engine disagrees with the BFS oracle:
+    /// a `path`/`strong_path` bit probe returned one answer, a traversal
+    /// of the actual edges returned the other. Every commit decision and
+    /// delivery order flows through these queries (§5, Algorithm 3), so a
+    /// divergence means the closure bitsets are corrupt.
+    ReachabilityDivergence {
+        /// The query's origin vertex.
+        from: VertexRef,
+        /// The query's target vertex.
+        to: VertexRef,
+        /// Whether the diverging query was `strong_path` (else `path`).
+        strong_only: bool,
+        /// The engine's (wrong, per the oracle) answer.
+        engine: bool,
+    },
     /// Two consecutively committed leaders are not connected by a strong
     /// path — the retroactive commit chain of Algorithm 3 lines 39–43
     /// (guaranteed by Lemma 1) is broken, which would let processes order
@@ -151,6 +166,9 @@ impl InvariantViolation {
             InvariantViolation::UnknownSource { .. } => "§2 (known process set, n = 3f+1)",
             InvariantViolation::DigestMismatch { .. } => "§2 (authenticated links)",
             InvariantViolation::MissingLeaderVertex { .. } => "§5, Algorithm 3 lines 46-50",
+            InvariantViolation::ReachabilityDivergence { .. } => {
+                "§4, Algorithm 1 (path / strong_path)"
+            }
             InvariantViolation::UnjustifiedCommit { .. } => "§5, Algorithm 3 line 36",
             InvariantViolation::BrokenLeaderChain { .. } => "§5, Algorithm 3 lines 39-43 / Lemma 1",
         }
@@ -169,6 +187,7 @@ impl InvariantViolation {
             | InvariantViolation::UnknownSource { vertex, .. }
             | InvariantViolation::DigestMismatch { vertex } => Some(*vertex),
             InvariantViolation::DuplicateVertex { slot } => Some(*slot),
+            InvariantViolation::ReachabilityDivergence { from, .. } => Some(*from),
             InvariantViolation::UnjustifiedCommit { leader, .. } => Some(*leader),
             InvariantViolation::BrokenLeaderChain { later_leader, .. } => Some(*later_leader),
             InvariantViolation::MissingLeaderVertex { wave, leader } => {
@@ -221,6 +240,14 @@ impl fmt::Display for InvariantViolation {
             }
             InvariantViolation::MissingLeaderVertex { wave, leader } => {
                 write!(f, "wave {wave} committed leader {leader} whose vertex is absent")
+            }
+            InvariantViolation::ReachabilityDivergence { from, to, strong_only, engine } => {
+                let query = if *strong_only { "strong_path" } else { "path" };
+                write!(
+                    f,
+                    "{query}({from} -> {to}): engine answers {engine}, BFS oracle answers {}",
+                    !engine
+                )
             }
             InvariantViolation::UnjustifiedCommit { wave, leader, supporters, required } => {
                 write!(

@@ -409,3 +409,31 @@ fn honest_commit_records_audit_clean_against_peer_dags() {
         }
     }
 }
+
+#[test]
+fn detects_reachability_divergence() {
+    // Flip one closure bit via the fault-injection hook: the engine now
+    // denies a strong path the BFS oracle can still traverse, and the
+    // differential audit must catch exactly that disagreement.
+    let avoided = VertexRef::new(Round::new(1), ProcessId::new(3));
+    let mut dag = dag_avoiding(4, avoided);
+    let auditor = DagAuditor::for_dag(&dag);
+    assert_eq!(auditor.audit_dag(&dag), Vec::new(), "clean before poisoning");
+
+    let from = VertexRef::new(Round::new(2), ProcessId::new(0));
+    let to = VertexRef::new(Round::new(1), ProcessId::new(1));
+    assert!(dag.poison_reachability_for_tests(from, to, true));
+    let violations = auditor.audit_dag(&dag);
+    assert_eq!(
+        violations,
+        vec![InvariantViolation::ReachabilityDivergence {
+            from,
+            to,
+            strong_only: true,
+            engine: false
+        }]
+    );
+    // The hook toggles, so a second poke restores equivalence.
+    assert!(dag.poison_reachability_for_tests(from, to, true));
+    assert_eq!(auditor.audit_dag(&dag), Vec::new());
+}

@@ -1,7 +1,8 @@
 //! Criterion benchmark of the full stack: wall-clock cost of simulating a
 //! complete DAG-Rider run (4 waves committed, all processes quiescent)
 //! under each broadcast instantiation, plus the baseline SMRs for the same
-//! ordered-value budget.
+//! ordered-value budget, and a committee-size sweep (n ∈ {4, 16, 31})
+//! exercising the ordering layer's reachability queries at scale.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dagrider_baselines::{DumboSlot, VabaSlot};
@@ -47,5 +48,24 @@ fn bench_full_runs(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_full_runs);
+/// Full runs across committee sizes: the dominating cost at large n is
+/// the ordering layer's per-wave reachability work, so this is the
+/// end-to-end view of the `dag_operations` microbenchmarks.
+fn bench_committee_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_run/bracha/8_rounds");
+    group.sample_size(10);
+    for n in [4usize, 16, 31] {
+        let workload = Workload { txs_per_block: 4, tx_bytes: 32, max_round: 8, max_delay: 8 };
+        let mut seed = 1000u64;
+        group.bench_function(&format!("n={n}"), |b| {
+            b.iter(|| {
+                seed += 1;
+                black_box(run_dagrider::<BrachaRbc>(n, seed, workload).ordered_vertices)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_runs, bench_committee_sweep);
 criterion_main!(benches);

@@ -1,13 +1,15 @@
 //! Criterion benchmarks of the DAG store: vertex insertion, the
 //! `path` / `strong_path` reachability queries of Algorithm 1, the commit
-//! rule's support count, and causal-history collection — the per-wave CPU
-//! work of the ordering layer.
+//! rule's support count, causal-history collection, and the weak-edge
+//! orphan scan — the per-wave CPU work of the ordering layer, swept over
+//! committee sizes n ∈ {4, 16, 31}.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dagrider_core::Dag;
 use dagrider_types::{
     Block, Committee, ProcessId, Round, SeqNum, Vertex, VertexBuilder, VertexRef, Wave,
 };
+use std::collections::BTreeSet;
 use std::hint::black_box;
 
 /// Builds a fully connected DAG over `active` processes, `rounds` deep.
@@ -36,29 +38,80 @@ fn build_dag(n: usize, active: usize, rounds: u64) -> Dag {
     dag
 }
 
-fn bench_insert(c: &mut Criterion) {
-    let committee = Committee::new(4).unwrap();
-    c.bench_function("dag/insert_40_rounds/n=4", |b| {
-        b.iter(|| black_box(build_dag(4, 3, 40)));
-    });
-    let _ = committee;
+/// The committee sizes swept by every benchmark: the paper's minimum
+/// (f = 1), a mid-size deployment (f = 5), and f = 10.
+const SIZES: [usize; 3] = [4, 16, 31];
+
+/// Number of active (vertex-producing) processes: the `2f + 1` quorum.
+fn active(n: usize) -> usize {
+    Committee::new(n).unwrap().quorum()
 }
 
+fn bench_insert(c: &mut Criterion) {
+    for n in SIZES {
+        c.bench_function(&format!("dag/insert_40_rounds/n={n}"), |b| {
+            b.iter(|| black_box(build_dag(n, active(n), 40)));
+        });
+    }
+}
+
+/// One round of every query family the ordering layer issues against a
+/// 40-round DAG: deep strong/weak reachability, causal history, the
+/// commit rule's support count, and the orphan scan.
 fn bench_queries(c: &mut Criterion) {
-    let dag = build_dag(10, 7, 40);
-    let top = VertexRef::new(Round::new(40), ProcessId::new(0));
-    let bottom = VertexRef::new(Round::new(1), ProcessId::new(6));
-    c.bench_function("dag/strong_path/depth=39/n=10", |b| {
+    for n in SIZES {
+        let active = active(n);
+        let dag = build_dag(n, active, 40);
+        let top = VertexRef::new(Round::new(40), ProcessId::new(0));
+        let bottom = VertexRef::new(Round::new(1), ProcessId::new(active as u32 - 1));
+        c.bench_function(&format!("dag/strong_path/depth=39/n={n}"), |b| {
+            b.iter(|| assert!(dag.strong_path(black_box(top), black_box(bottom))));
+        });
+        c.bench_function(&format!("dag/path/depth=39/n={n}"), |b| {
+            b.iter(|| assert!(dag.path(black_box(top), black_box(bottom))));
+        });
+        c.bench_function(&format!("dag/causal_history/depth=40/n={n}"), |b| {
+            b.iter(|| black_box(dag.causal_history(top)).len());
+        });
+
+        // The commit rule: count last-round supporters of a wave leader.
+        let wave = Wave::new(9);
+        let leader = VertexRef::new(wave.first_round(), ProcessId::new(1));
+        c.bench_function(&format!("dag/commit_rule_support/n={n}"), |b| {
+            b.iter(|| {
+                dag.round_vertices(wave.last_round())
+                    .values()
+                    .filter(|v: &&Vertex| dag.strong_path(v.reference(), black_box(leader)))
+                    .count()
+            });
+        });
+
+        // The weak-edge orphan scan of Algorithm 2 line 27.
+        let frontier: BTreeSet<VertexRef> =
+            (0..active as u32).map(|s| VertexRef::new(Round::new(40), ProcessId::new(s))).collect();
+        c.bench_function(&format!("dag/orphans_below/depth=38/n={n}"), |b| {
+            b.iter(|| black_box(dag.orphans_below(black_box(&frontier), Round::new(38))).len());
+        });
+    }
+}
+
+/// The acceptance-criteria benchmark: a 64-round (16-wave) DAG at n = 31,
+/// the deepest query workload in the suite.
+fn bench_deep_queries(c: &mut Criterion) {
+    let n = 31;
+    let active = active(n);
+    let dag = build_dag(n, active, 64);
+    let top = VertexRef::new(Round::new(64), ProcessId::new(0));
+    let bottom = VertexRef::new(Round::new(1), ProcessId::new(active as u32 - 1));
+    c.bench_function("dag/strong_path/depth=63/n=31", |b| {
         b.iter(|| assert!(dag.strong_path(black_box(top), black_box(bottom))));
     });
-    c.bench_function("dag/causal_history/depth=40/n=10", |b| {
+    c.bench_function("dag/causal_history/depth=64/n=31", |b| {
         b.iter(|| black_box(dag.causal_history(top)).len());
     });
-
-    // The commit rule: count last-round supporters of a wave leader.
-    let wave = Wave::new(9);
+    let wave = Wave::new(15);
     let leader = VertexRef::new(wave.first_round(), ProcessId::new(1));
-    c.bench_function("dag/commit_rule_support/n=10", |b| {
+    c.bench_function("dag/commit_rule_support/64_rounds/n=31", |b| {
         b.iter(|| {
             dag.round_vertices(wave.last_round())
                 .values()
@@ -68,5 +121,5 @@ fn bench_queries(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_insert, bench_queries);
+criterion_group!(benches, bench_insert, bench_queries, bench_deep_queries);
 criterion_main!(benches);

@@ -253,7 +253,9 @@ impl DagCore {
         let strong: Vec<_> =
             self.dag.round_vertices(prev).values().map(Vertex::reference).collect();
         let strong_set = strong.iter().copied().collect();
-        // Lines 27–31: weak edges to orphans in rounds < round - 1.
+        // Lines 27–31: weak edges to orphans in rounds < round - 1. The
+        // scan is closure-subtraction over the strong set's reachability
+        // bitsets, so proposing stays cheap even with a deep DAG.
         let orphan_cutoff = Round::new(round.number().saturating_sub(2));
         let weak = if self.disable_weak_edges {
             Vec::new()

@@ -1,9 +1,11 @@
 //! The local DAG store (`DAG_i[]` of Algorithm 1) and its reachability
-//! queries.
+//! queries, backed by the incremental closure engine of [`crate::reach`].
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use dagrider_types::{Committee, ProcessId, Round, Vertex, VertexRef};
+
+use crate::reach::{Closure, SlotSpace, VertexClosures};
 
 /// One process's view of the round-based DAG.
 ///
@@ -14,11 +16,23 @@ use dagrider_types::{Committee, ProcessId, Round, Vertex, VertexRef};
 ///   out equivocation, and insertion enforces it locally;
 /// * a vertex is only inserted once *all* vertices it references are
 ///   present, so the store is always **causally closed** (Claim 1).
+///
+/// Every vertex carries two closure bitsets (strong-only and
+/// strong + weak), composed at insert time from its referenced vertices'
+/// closures. All reachability queries — `path`, `strong_path`,
+/// `causal_history`, `orphans_below` — are answered from these bitsets
+/// without traversing the graph; the original BFS survives as the
+/// `oracle_*` methods for differential testing.
 #[derive(Debug, Clone)]
 pub struct Dag {
     committee: Committee,
     /// `rounds[r]` = the vertices of round `r`, keyed by source.
     rounds: Vec<BTreeMap<ProcessId, Vertex>>,
+    /// `closures[r]` = the closure bitsets of the vertices of round `r`,
+    /// keyed by source — parallel to `rounds`.
+    closures: Vec<BTreeMap<ProcessId, VertexClosures>>,
+    /// The `(round, source) -> bit` mapping shared by every closure.
+    slots: SlotSpace,
     /// Rounds `1..pruned_floor` have been garbage-collected: their
     /// vertices were delivered and dropped. Edges into the collected
     /// region count as satisfied for causal closure.
@@ -34,7 +48,15 @@ impl Dag {
     pub fn new(committee: Committee) -> Self {
         let genesis: BTreeMap<ProcessId, Vertex> =
             committee.members().map(|p| (p, Vertex::genesis(p))).collect();
-        Self { committee, rounds: vec![genesis], pruned_floor: Round::new(0) }
+        let genesis_closures: BTreeMap<ProcessId, VertexClosures> =
+            committee.members().map(|p| (p, VertexClosures::default())).collect();
+        Self {
+            committee,
+            rounds: vec![genesis],
+            closures: vec![genesis_closures],
+            slots: SlotSpace::new(committee.n()),
+            pruned_floor: Round::new(0),
+        }
     }
 
     /// The committee.
@@ -82,8 +104,12 @@ impl Dag {
         self.pruned_floor
     }
 
-    /// Inserts `v`. Returns `false` (and changes nothing) if a vertex with
-    /// the same `(round, source)` is already present.
+    /// Inserts `v` and computes its closure bitsets from its referenced
+    /// vertices' closures. Returns `false` (and changes nothing) if a
+    /// vertex with the same `(round, source)` is already present, or if
+    /// `v` is a non-genesis straggler below the garbage-collection floor
+    /// (its round has no slot anymore — and everything there was already
+    /// delivered and dropped, so it carries no new information).
     ///
     /// # Panics
     ///
@@ -92,31 +118,213 @@ impl Dag {
     /// first, as Algorithm 2 does.
     pub fn insert(&mut self, v: Vertex) -> bool {
         debug_assert!(self.has_all_edges_of(&v), "DAG must stay causally closed");
+        if v.round() != Round::GENESIS && v.round() < self.pruned_floor {
+            return false;
+        }
         let index = v.round().number() as usize;
         while self.rounds.len() <= index {
             self.rounds.push(BTreeMap::new());
+            self.closures.push(BTreeMap::new());
         }
-        match self.rounds[index].entry(v.source()) {
-            std::collections::btree_map::Entry::Occupied(_) => false,
-            std::collections::btree_map::Entry::Vacant(slot) => {
-                slot.insert(v);
-                true
-            }
+        if self.rounds[index].contains_key(&v.source()) {
+            return false;
         }
+        let closures = self.close_over(&v);
+        self.closures[index].insert(v.source(), closures);
+        self.rounds[index].insert(v.source(), v);
+        true
+    }
+
+    /// Composes the closures of `v` from its referenced vertices: each
+    /// present target contributes its own slot plus its whole closure.
+    /// Edges into the garbage-collected region contribute nothing, which
+    /// matches the BFS oracle (it cannot traverse absent vertices either).
+    fn close_over(&self, v: &Vertex) -> VertexClosures {
+        crate::reach::compose(&self.slots, v, |edge| self.closures_of(edge))
+    }
+
+    /// The closure bitsets of the referenced vertex, if present.
+    fn closures_of(&self, reference: VertexRef) -> Option<&VertexClosures> {
+        self.closures.get(reference.round.number() as usize).and_then(|m| m.get(&reference.source))
     }
 
     /// `path(v, u)` of Algorithm 1: is there a path from `from` down to
-    /// `to` using strong **and** weak edges?
+    /// `to` using strong **and** weak edges? A single bit probe.
     pub fn path(&self, from: VertexRef, to: VertexRef) -> bool {
-        self.reaches(from, to, false)
+        self.probe(from, to, false)
     }
 
     /// `strong_path(v, u)` of Algorithm 1: a path using only strong edges.
+    /// A single bit probe.
     pub fn strong_path(&self, from: VertexRef, to: VertexRef) -> bool {
-        self.reaches(from, to, true)
+        self.probe(from, to, true)
     }
 
-    fn reaches(&self, from: VertexRef, to: VertexRef, strong_only: bool) -> bool {
+    /// The bitset probe behind `path` / `strong_path`: `to` must be
+    /// present (garbage-collected targets answer `false`), and must either
+    /// equal `from` or sit in `from`'s closure.
+    fn probe(&self, from: VertexRef, to: VertexRef, strong_only: bool) -> bool {
+        if !self.contains(to) {
+            return false;
+        }
+        if from == to {
+            return true;
+        }
+        let Some(closures) = self.closures_of(from) else {
+            return false;
+        };
+        let closure = if strong_only { &closures.strong } else { &closures.all };
+        self.slots.slot(to).is_some_and(|slot| closure.contains(slot))
+    }
+
+    /// The causal history of `from`: every vertex reachable from it via
+    /// strong or weak edges, **including** `from` itself, in ascending
+    /// `(round, source)` order — the deterministic delivery order the
+    /// ordering layer uses (Algorithm 3), so callers need not re-sort.
+    ///
+    /// Answered by iterating `from`'s closure bitset; every set bit is a
+    /// retained vertex (pruning rebases the bits of collected rounds
+    /// away), and `from` outranks its entire closure so it goes last.
+    pub fn causal_history(&self, from: VertexRef) -> Vec<VertexRef> {
+        if !self.contains(from) {
+            return Vec::new();
+        }
+        let Some(closures) = self.closures_of(from) else {
+            return Vec::new();
+        };
+        let mut order: Vec<VertexRef> =
+            closures.all.ones().map(|slot| self.slots.reference(slot)).collect();
+        order.push(from);
+        order
+    }
+
+    /// The set of vertices in rounds `1..=below` **not** reachable from the
+    /// given strong-edge frontier — the orphans that `set_weak_edges`
+    /// (Algorithm 2 line 27) must point to. Computed by OR-ing the
+    /// frontier's closures and subtracting from the retained rounds.
+    pub fn orphans_below(
+        &self,
+        strong_edges: &BTreeSet<VertexRef>,
+        below: Round,
+    ) -> Vec<VertexRef> {
+        // Everything reachable from the strong frontier, as one union of
+        // the frontier members' full closures (plus the members themselves)…
+        let mut reachable = Closure::default();
+        for &edge in strong_edges {
+            if let Some(slot) = self.slots.slot(edge) {
+                reachable.insert(slot);
+            }
+            if let Some(closures) = self.closures_of(edge) {
+                reachable.union_with(&closures.all);
+            }
+        }
+        // …subtracted from all vertices in rounds [1, below].
+        let mut orphans = Vec::new();
+        for r in 1..=below.number() {
+            for &source in self.round_vertices(Round::new(r)).keys() {
+                let reference = VertexRef::new(Round::new(r), source);
+                let covered =
+                    self.slots.slot(reference).is_some_and(|slot| reachable.contains(slot));
+                if !covered {
+                    orphans.push(reference);
+                }
+            }
+        }
+        orphans
+    }
+
+    /// Garbage-collects rounds strictly below `keep_from`, replacing them
+    /// with empty maps (indices stay stable). Safe once the ordering layer
+    /// has delivered everything below: ordered history is never consulted
+    /// again (Algorithm 3 walks only forward from `decidedWave`), and
+    /// reachability queries against collected rounds simply return false.
+    ///
+    /// The closure slot space is truncated to the new floor and every
+    /// retained closure is recomputed under it, so closures pay only for
+    /// live rounds.
+    ///
+    /// Returns the number of vertices dropped.
+    pub fn prune_below(&mut self, keep_from: Round) -> usize {
+        let mut dropped = 0;
+        // Round 0 (genesis) is kept: new joiners' round-1 vertices verify
+        // against it and it costs O(n).
+        for index in 1..self.rounds.len().min(keep_from.number() as usize) {
+            dropped += self.rounds[index].len();
+            self.rounds[index] = BTreeMap::new();
+            self.closures[index] = BTreeMap::new();
+        }
+        self.pruned_floor = self.pruned_floor.max(keep_from);
+        if self.slots.advance_base(self.pruned_floor.number().max(1)) > 0 {
+            self.rebuild_closures();
+        }
+        dropped
+    }
+
+    /// Recomputes every retained closure under the truncated slot space,
+    /// in ascending round order. Wholesale recomposition (rather than
+    /// shifting bits in place) is what keeps the engine exactly equal to
+    /// the BFS: genesis survives pruning, so a vertex whose only paths to
+    /// a genesis vertex ran through the collected rounds must *lose* that
+    /// bit, just as the BFS loses the path. No other target is affected —
+    /// edges strictly descend in round, so a path between two retained
+    /// non-genesis vertices can never dip below the floor.
+    fn rebuild_closures(&mut self) {
+        let mut rebuilt: Vec<BTreeMap<ProcessId, VertexClosures>> =
+            Vec::with_capacity(self.rounds.len());
+        rebuilt.push(self.rounds[0].keys().map(|&p| (p, VertexClosures::default())).collect());
+        for index in 1..self.rounds.len() {
+            let round: BTreeMap<ProcessId, VertexClosures> = self.rounds[index]
+                .iter()
+                .map(|(&source, v)| {
+                    let closures = crate::reach::compose(&self.slots, v, |edge| {
+                        rebuilt.get(edge.round.number() as usize).and_then(|m| m.get(&edge.source))
+                    });
+                    (source, closures)
+                })
+                .collect();
+            rebuilt.push(round);
+        }
+        self.closures = rebuilt;
+    }
+
+    /// The lowest non-genesis round that still holds vertices (`None` if
+    /// only genesis remains).
+    pub fn lowest_retained_round(&self) -> Option<Round> {
+        (1..self.rounds.len()).find(|&i| !self.rounds[i].is_empty()).map(|i| Round::new(i as u64))
+    }
+
+    /// Iterates over every vertex in the DAG, by round then source.
+    pub fn iter(&self) -> impl Iterator<Item = &Vertex> {
+        self.rounds.iter().flat_map(|m| m.values())
+    }
+
+    /// Total number of vertices (including genesis).
+    pub fn len(&self) -> usize {
+        self.rounds.iter().map(BTreeMap::len).sum()
+    }
+
+    /// Whether the DAG holds only genesis (it is never fully empty).
+    pub fn is_empty(&self) -> bool {
+        self.rounds.len() == 1
+    }
+
+    // ------------------------------------------------------------------
+    // The BFS oracle: the original traversal-based query implementations,
+    // kept verbatim (minus the boxed edge iterator) as ground truth for
+    // the differential proptests and `DagAuditor`'s divergence check.
+    // ------------------------------------------------------------------
+
+    /// BFS reference implementation of [`Dag::path`].
+    pub fn oracle_path(&self, from: VertexRef, to: VertexRef) -> bool {
+        self.oracle_reaches(from, to, false)
+    }
+
+    /// BFS reference implementation of [`Dag::strong_path`].
+    pub fn oracle_strong_path(&self, from: VertexRef, to: VertexRef) -> bool {
+        self.oracle_reaches(from, to, true)
+    }
+
+    fn oracle_reaches(&self, from: VertexRef, to: VertexRef, strong_only: bool) -> bool {
         if !self.contains(to) {
             return false; // includes garbage-collected targets
         }
@@ -126,32 +334,46 @@ impl Dag {
         if to.round >= from.round {
             return false;
         }
+        /// One BFS edge visit; returns `true` when the target is hit.
+        /// Only descends through vertices above the target round.
+        fn visit(
+            edge: VertexRef,
+            to: VertexRef,
+            visited: &mut BTreeSet<VertexRef>,
+            frontier: &mut VecDeque<VertexRef>,
+        ) -> bool {
+            if edge == to {
+                return true;
+            }
+            if edge.round > to.round && visited.insert(edge) {
+                frontier.push_back(edge);
+            }
+            false
+        }
         let mut visited: BTreeSet<VertexRef> = BTreeSet::new();
         let mut frontier = VecDeque::from([from]);
         while let Some(current) = frontier.pop_front() {
             let Some(vertex) = self.get(current) else { continue };
-            let edges: Box<dyn Iterator<Item = &VertexRef>> = if strong_only {
-                Box::new(vertex.strong_edges().iter())
-            } else {
-                Box::new(vertex.edges())
-            };
-            for &edge in edges {
-                if edge == to {
+            for &edge in vertex.strong_edges() {
+                if visit(edge, to, &mut visited, &mut frontier) {
                     return true;
                 }
-                // Only descend through vertices above the target round.
-                if edge.round > to.round && visited.insert(edge) {
-                    frontier.push_back(edge);
+            }
+            if !strong_only {
+                for &edge in vertex.weak_edges() {
+                    if visit(edge, to, &mut visited, &mut frontier) {
+                        return true;
+                    }
                 }
             }
         }
         false
     }
 
-    /// The causal history of `from`: every vertex reachable from it via
-    /// strong or weak edges, **including** `from` itself, in breadth-first
-    /// discovery order.
-    pub fn causal_history(&self, from: VertexRef) -> Vec<VertexRef> {
+    /// BFS reference implementation of [`Dag::causal_history`], in
+    /// breadth-first discovery order (compare as sets: the engine returns
+    /// ascending `(round, source)` order instead).
+    pub fn oracle_causal_history(&self, from: VertexRef) -> Vec<VertexRef> {
         let mut visited: BTreeSet<VertexRef> = BTreeSet::new();
         let mut order = Vec::new();
         let mut frontier = VecDeque::new();
@@ -174,10 +396,36 @@ impl Dag {
         order
     }
 
-    /// The set of vertices in rounds `1..=below` **not** reachable from the
-    /// given strong-edge frontier — the orphans that `set_weak_edges`
-    /// (Algorithm 2 line 27) must point to.
-    pub fn orphans_below(
+    /// Every vertex the BFS reaches from `from` (including `from` itself,
+    /// if present), through strong edges only or all edges — the ground
+    /// truth set for the auditor's differential reachability check.
+    pub fn oracle_reachable(&self, from: VertexRef, strong_only: bool) -> BTreeSet<VertexRef> {
+        let mut visited: BTreeSet<VertexRef> = BTreeSet::new();
+        let mut frontier = VecDeque::new();
+        if self.contains(from) {
+            visited.insert(from);
+            frontier.push_back(from);
+        }
+        while let Some(current) = frontier.pop_front() {
+            let vertex = self.get(current).expect("visited vertices exist");
+            for &edge in vertex.strong_edges() {
+                if self.contains(edge) && visited.insert(edge) {
+                    frontier.push_back(edge);
+                }
+            }
+            if !strong_only {
+                for &edge in vertex.weak_edges() {
+                    if self.contains(edge) && visited.insert(edge) {
+                        frontier.push_back(edge);
+                    }
+                }
+            }
+        }
+        visited
+    }
+
+    /// BFS reference implementation of [`Dag::orphans_below`].
+    pub fn oracle_orphans_below(
         &self,
         strong_edges: &BTreeSet<VertexRef>,
         below: Round,
@@ -208,44 +456,31 @@ impl Dag {
         orphans
     }
 
-    /// Garbage-collects rounds strictly below `keep_from`, replacing them
-    /// with empty maps (indices stay stable). Safe once the ordering layer
-    /// has delivered everything below: ordered history is never consulted
-    /// again (Algorithm 3 walks only forward from `decidedWave`), and
-    /// reachability queries against collected rounds simply return false.
-    ///
-    /// Returns the number of vertices dropped.
-    pub fn prune_below(&mut self, keep_from: Round) -> usize {
-        let mut dropped = 0;
-        // Round 0 (genesis) is kept: new joiners' round-1 vertices verify
-        // against it and it costs O(n).
-        for index in 1..self.rounds.len().min(keep_from.number() as usize) {
-            dropped += self.rounds[index].len();
-            self.rounds[index] = BTreeMap::new();
+    /// Test-only fault injection: flips `target`'s bit in `of`'s strong
+    /// (or full) closure, desynchronizing the engine from the BFS oracle
+    /// so tests can prove the differential audit actually fires. Returns
+    /// `false` if `of` is absent or `target`'s round has no slot.
+    #[doc(hidden)]
+    pub fn poison_reachability_for_tests(
+        &mut self,
+        of: VertexRef,
+        target: VertexRef,
+        strong_only: bool,
+    ) -> bool {
+        let Some(slot) = self.slots.slot(target) else {
+            return false;
+        };
+        let Some(closures) =
+            self.closures.get_mut(of.round.number() as usize).and_then(|m| m.get_mut(&of.source))
+        else {
+            return false;
+        };
+        if strong_only {
+            closures.strong.toggle(slot);
+        } else {
+            closures.all.toggle(slot);
         }
-        self.pruned_floor = self.pruned_floor.max(keep_from);
-        dropped
-    }
-
-    /// The lowest non-genesis round that still holds vertices (`None` if
-    /// only genesis remains).
-    pub fn lowest_retained_round(&self) -> Option<Round> {
-        (1..self.rounds.len()).find(|&i| !self.rounds[i].is_empty()).map(|i| Round::new(i as u64))
-    }
-
-    /// Iterates over every vertex in the DAG, by round then source.
-    pub fn iter(&self) -> impl Iterator<Item = &Vertex> {
-        self.rounds.iter().flat_map(|m| m.values())
-    }
-
-    /// Total number of vertices (including genesis).
-    pub fn len(&self) -> usize {
-        self.rounds.iter().map(BTreeMap::len).sum()
-    }
-
-    /// Whether the DAG holds only genesis (it is never fully empty).
-    pub fn is_empty(&self) -> bool {
-        self.rounds.len() == 1
+        true
     }
 }
 
@@ -362,6 +597,16 @@ mod tests {
     }
 
     #[test]
+    fn causal_history_is_in_delivery_order() {
+        let dag = two_round_dag();
+        let from = VertexRef::new(Round::new(2), ProcessId::new(1));
+        let history = dag.causal_history(from);
+        let mut sorted = history.clone();
+        sorted.sort_by_key(|r| (r.round, r.source));
+        assert_eq!(history, sorted, "ascending (round, source) is the delivery order");
+    }
+
+    #[test]
     fn causal_history_of_absent_vertex_is_empty() {
         let dag = Dag::new(committee());
         let absent = VertexRef::new(Round::new(5), ProcessId::new(0));
@@ -429,6 +674,75 @@ mod tests {
         // But reachability into the pruned region is simply false now.
         let from = VertexRef::new(Round::new(3), ProcessId::new(0));
         assert!(!dag.path(from, VertexRef::new(Round::new(1), ProcessId::new(0))));
+    }
+
+    #[test]
+    fn stragglers_below_the_floor_are_rejected() {
+        let mut dag = two_round_dag();
+        dag.prune_below(Round::new(2));
+        // A late round-1 vertex arrives after its round was collected: it
+        // was already delivered (or never will be needed), so insert
+        // refuses to resurrect it.
+        assert!(!dag.insert(vertex(3, 1, &[0, 1, 2], &[])));
+        assert_eq!(dag.round_size(Round::new(1)), 0);
+    }
+
+    #[test]
+    fn queries_survive_pruning_and_rebasing() {
+        let mut dag = two_round_dag();
+        let v3 = vertex(0, 3, &[0, 1, 2], &[]);
+        assert!(dag.insert(v3.clone()));
+        dag.prune_below(Round::new(2));
+        let from = v3.reference();
+        // Retained-to-retained strong paths survive the closure rebase…
+        for s in 0..3 {
+            let target = VertexRef::new(Round::new(2), ProcessId::new(s));
+            assert!(dag.strong_path(from, target));
+            assert_eq!(dag.strong_path(from, target), dag.oracle_strong_path(from, target));
+        }
+        // …genesis matches the oracle: the only paths to it ran through
+        // the collected round 1, so both sides answer false now…
+        let genesis = VertexRef::new(Round::GENESIS, ProcessId::new(0));
+        assert!(!dag.path(from, genesis));
+        assert_eq!(dag.path(from, genesis), dag.oracle_path(from, genesis));
+        // …and vertices inserted after the rebase compose correctly.
+        let v4 = vertex(1, 4, &[0], &[]);
+        assert!(dag.insert(v4.clone()));
+        assert!(dag.strong_path(v4.reference(), VertexRef::new(Round::new(2), ProcessId::new(1))));
+        let history = dag.causal_history(v4.reference());
+        let oracle: BTreeSet<VertexRef> =
+            dag.oracle_causal_history(v4.reference()).into_iter().collect();
+        assert_eq!(history.iter().copied().collect::<BTreeSet<_>>(), oracle);
+    }
+
+    #[test]
+    fn engine_matches_oracle_on_a_ragged_dag() {
+        let mut dag = two_round_dag();
+        assert!(dag.insert(vertex(3, 1, &[0, 1, 2], &[])));
+        assert!(dag.insert(vertex(0, 3, &[0, 1, 2], &[(1, 3)])));
+        assert!(dag.insert(vertex(1, 3, &[0, 1], &[])));
+        let refs: Vec<VertexRef> = dag.iter().map(Vertex::reference).collect();
+        for &from in &refs {
+            for &to in &refs {
+                assert_eq!(dag.path(from, to), dag.oracle_path(from, to), "{from} -> {to}");
+                assert_eq!(
+                    dag.strong_path(from, to),
+                    dag.oracle_strong_path(from, to),
+                    "strong {from} -> {to}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn poison_hook_desynchronizes_engine_from_oracle() {
+        let mut dag = two_round_dag();
+        let from = VertexRef::new(Round::new(2), ProcessId::new(0));
+        let to = VertexRef::new(Round::new(1), ProcessId::new(1));
+        assert!(dag.strong_path(from, to));
+        assert!(dag.poison_reachability_for_tests(from, to, true));
+        assert!(!dag.strong_path(from, to), "poisoned bit flips the engine answer");
+        assert!(dag.oracle_strong_path(from, to), "the oracle is unaffected");
     }
 
     #[test]

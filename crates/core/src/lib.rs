@@ -64,6 +64,7 @@ mod construction;
 mod dag;
 mod node;
 mod ordering;
+mod reach;
 pub mod render;
 
 pub use construction::{DagCore, DagEvent};

@@ -395,6 +395,9 @@ impl<B: ReliableBroadcast> DagRiderNode<B> {
         }
         let keep_from = dagrider_types::Round::new(frontier.number().saturating_sub(depth));
         if keep_from > self.core.dag().pruned_floor() {
+            // Advancing the floor also rebases the reachability engine's
+            // slot space and rebuilds retained closures (see Dag::prune_below),
+            // so prune only when the floor actually moves.
             self.vertices_pruned += self.core.prune_below(keep_from);
             self.ordering.prune_delivered_below(keep_from);
             self.rbc.prune(keep_from);

@@ -240,7 +240,8 @@ impl Ordering {
 
     /// Delivers `leader`'s not-yet-delivered causal history in a
     /// deterministic order (by round, then source — any deterministic
-    /// order works, line 55).
+    /// order works, line 55). [`Dag::causal_history`] already yields
+    /// ascending `(round, source)` order, so no sort is needed here.
     fn order_causal_history(
         &mut self,
         wave: Wave,
@@ -248,12 +249,11 @@ impl Ordering {
         dag: &Dag,
         now: Time,
     ) -> Vec<OrderedVertex> {
-        let mut history: Vec<VertexRef> = dag
+        let history: Vec<VertexRef> = dag
             .causal_history(leader)
             .into_iter()
             .filter(|r| !self.delivered.contains(r))
             .collect();
-        history.sort_by_key(|r| (r.round, r.source));
         history
             .into_iter()
             .map(|reference| {

@@ -47,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use dagrider_analysis as analysis;
 pub use dagrider_baselines as baselines;
 pub use dagrider_core as core;
 pub use dagrider_crypto as crypto;

@@ -11,14 +11,27 @@
 //! median per-iteration time is reported to stdout. No statistical
 //! regression analysis, plots, or baselines — enough to compare orders of
 //! magnitude and spot hot-path regressions by eye.
+//!
+//! Like upstream criterion, passing `--test` to the bench binary
+//! (`cargo bench -- --test`) switches to smoke mode: every benchmark body
+//! runs exactly once, untimed — CI uses this to keep bench targets
+//! compiling and panic-free without paying for measurement.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Display;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Whether the binary was invoked with `--test` (smoke mode: run each
+/// benchmark once, untimed).
+fn quick_mode() -> bool {
+    static QUICK: OnceLock<bool> = OnceLock::new();
+    *QUICK.get_or_init(|| std::env::args().any(|arg| arg == "--test"))
+}
 
 /// The benchmark harness handle passed to every `criterion_group!` target.
 #[derive(Debug, Default)]
@@ -118,11 +131,19 @@ pub struct Bencher {
     /// Median nanoseconds per iteration, filled by [`Bencher::iter`].
     median_ns: f64,
     iterations: u64,
+    /// Smoke mode: run the body once, untimed.
+    quick: bool,
 }
 
 impl Bencher {
-    /// Times `f`, retaining the median over timed batches.
+    /// Times `f`, retaining the median over timed batches. In `--test`
+    /// smoke mode, runs `f` exactly once and records nothing.
     pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        if self.quick {
+            black_box(f());
+            self.iterations = 1;
+            return;
+        }
         // Warm-up: one call, also used to size batches.
         let start = Instant::now();
         black_box(f());
@@ -149,8 +170,13 @@ impl Bencher {
 }
 
 fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
-    let mut bencher = Bencher { median_ns: f64::NAN, iterations: 0 };
+    let quick = quick_mode();
+    let mut bencher = Bencher { median_ns: f64::NAN, iterations: 0, quick };
     f(&mut bencher);
+    if quick {
+        println!("test {label:<50} ... ok");
+        return;
+    }
     let (value, unit) = humanize(bencher.median_ns);
     println!("bench {label:<50} {value:>9.2} {unit}/iter ({} iters)", bencher.iterations);
 }
