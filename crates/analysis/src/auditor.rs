@@ -4,7 +4,8 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use dagrider_core::{CommitEvent, Dag, WaveOutcome};
-use dagrider_types::{Committee, Round, Vertex, VertexRef, Wave};
+use dagrider_trace::{TraceEvent, TraceRecord};
+use dagrider_types::{Committee, ProcessId, Round, Vertex, VertexRef, Wave};
 
 use crate::snapshot::DagSnapshot;
 use crate::violation::InvariantViolation;
@@ -214,6 +215,81 @@ impl DagAuditor {
                 });
             }
         }
+        violations
+    }
+
+    /// Audits a structured event trace (one process's or several merged):
+    /// ordering must follow DAG insertion, waves resolve at most once and
+    /// only after their coin flips, and each process's round counter is
+    /// strictly monotone. State is tracked per process, so merged traces
+    /// audit cleanly.
+    ///
+    /// The trace is assumed complete — audit only rings that report
+    /// [`dagrider_trace::Tracer::dropped`] `== 0`, since a dropped
+    /// `VertexInserted` record would falsely read as an
+    /// ordered-before-delivered breach.
+    pub fn audit_trace(&self, records: &[TraceRecord]) -> Vec<InvariantViolation> {
+        #[derive(Default)]
+        struct ProcessState {
+            inserted: BTreeSet<VertexRef>,
+            ordered: BTreeSet<VertexRef>,
+            coins: BTreeSet<Wave>,
+            committed: BTreeSet<Wave>,
+            max_round: Option<Round>,
+        }
+        let mut violations = Vec::new();
+        let mut states: BTreeMap<ProcessId, ProcessState> = BTreeMap::new();
+        let mut sorted: Vec<&TraceRecord> = records.iter().collect();
+        sorted.sort_by_key(|r| (r.process, r.seq));
+        for record in sorted {
+            let state = states.entry(record.process).or_default();
+            match record.event {
+                TraceEvent::VertexInserted { vertex } => {
+                    state.inserted.insert(vertex);
+                }
+                TraceEvent::VertexOrdered { vertex, .. } => {
+                    if !state.ordered.insert(vertex) {
+                        violations.push(InvariantViolation::DuplicateOrdered { vertex });
+                    } else if !state.inserted.contains(&vertex) {
+                        violations.push(InvariantViolation::OrderedBeforeDelivered { vertex });
+                    }
+                }
+                TraceEvent::CoinFlipped { wave, .. } => {
+                    state.coins.insert(wave);
+                }
+                TraceEvent::LeaderCommitted { wave, leader, .. } => {
+                    if !state.committed.insert(wave) {
+                        violations.push(InvariantViolation::DuplicateWaveCommit { wave, leader });
+                    }
+                    if !state.coins.contains(&wave) {
+                        violations.push(InvariantViolation::CommitWithoutCoin {
+                            wave,
+                            leader: leader.source,
+                        });
+                    }
+                }
+                TraceEvent::LeaderSkipped { wave, leader } => {
+                    if !state.coins.contains(&wave) {
+                        violations.push(InvariantViolation::CommitWithoutCoin { wave, leader });
+                    }
+                }
+                TraceEvent::RoundAdvanced { round } => {
+                    if let Some(previous) = state.max_round {
+                        if round <= previous {
+                            violations
+                                .push(InvariantViolation::NonMonotoneRound { round, previous });
+                        }
+                    }
+                    state.max_round = Some(state.max_round.map_or(round, |p| p.max(round)));
+                }
+                TraceEvent::VertexCreated { .. }
+                | TraceEvent::VertexRbcDelivered { .. }
+                | TraceEvent::WaveReady { .. }
+                | TraceEvent::Pruned { .. }
+                | TraceEvent::RbcPhase { .. } => {}
+            }
+        }
+        sort_report(&mut violations);
         violations
     }
 

@@ -15,17 +15,23 @@
 //! * [`AuditedSimulation`] wires the auditor into simnet runs — debug
 //!   builds (or the `force-audit` feature) audit every honest process
 //!   after the run;
-//! * the `audit-dag` binary audits snapshot files from the command line.
+//! * [`TraceReport`] digests structured event traces into per-wave commit
+//!   latencies (ticks, §3 asynchronous time units, rounds), ordering-lag
+//!   distributions, and per-process traffic;
+//! * the `audit-dag` binary audits snapshot files and the `trace-dag`
+//!   binary prints trace reports from the command line.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod auditor;
+pub mod report;
 pub mod snapshot;
 pub mod verify;
 pub mod violation;
 
 pub use auditor::DagAuditor;
+pub use report::{LagStats, ProcessTraffic, TraceReport, WaveLatency};
 pub use snapshot::{DagSnapshot, SnapshotEntry};
 pub use verify::{AuditReport, AuditedSimulation};
 pub use violation::InvariantViolation;

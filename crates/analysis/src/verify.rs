@@ -113,6 +113,10 @@ where
                 let node = self.actor(p);
                 let mut violations = auditor.audit_dag(node.dag());
                 violations.extend(auditor.audit_commits(node.dag(), node.commits()));
+                // Complete traces (no ring overwrites) are audited too.
+                if node.tracer().is_enabled() && node.tracer().dropped() == 0 {
+                    violations.extend(auditor.audit_trace(&node.trace_records()));
+                }
                 (p, violations)
             })
             .collect();

@@ -149,6 +149,48 @@ pub enum InvariantViolation {
         /// The later leader vertex.
         later_leader: VertexRef,
     },
+    /// A trace orders a vertex (`a_deliver`) that was never inserted into
+    /// the DAG beforehand — ordering must only walk the causal history of
+    /// vertices the DAG actually holds (§5, Algorithm 3 lines 51–57 over
+    /// Algorithm 2's causally closed DAG).
+    OrderedBeforeDelivered {
+        /// The vertex ordered without a preceding insertion.
+        vertex: VertexRef,
+    },
+    /// A trace commits the same wave's leader twice — `decidedWave`
+    /// advances monotonically and each wave resolves at most once (§5,
+    /// Algorithm 3 line 44).
+    DuplicateWaveCommit {
+        /// The doubly-committed wave.
+        wave: Wave,
+        /// The leader vertex of the second commit.
+        leader: VertexRef,
+    },
+    /// A trace resolves a wave (commit or skip) with no preceding coin
+    /// flip — leaders exist only after `choose_leader(w)` returns (§5,
+    /// Algorithm 3 lines 34–35).
+    CommitWithoutCoin {
+        /// The wave resolved without its coin.
+        wave: Wave,
+        /// The claimed leader process.
+        leader: ProcessId,
+    },
+    /// A trace advances to a round at or below an earlier one — the
+    /// construction layer's round counter is strictly monotone (§4,
+    /// Algorithm 2 lines 10–13).
+    NonMonotoneRound {
+        /// The round advanced to.
+        round: Round,
+        /// The highest round previously advanced to.
+        previous: Round,
+    },
+    /// A trace orders the same vertex twice — `deliveredVertices`
+    /// guarantees each vertex a single position in the total order (§5,
+    /// Algorithm 3 lines 53–56).
+    DuplicateOrdered {
+        /// The doubly-ordered vertex.
+        vertex: VertexRef,
+    },
 }
 
 impl InvariantViolation {
@@ -171,6 +213,11 @@ impl InvariantViolation {
             }
             InvariantViolation::UnjustifiedCommit { .. } => "§5, Algorithm 3 line 36",
             InvariantViolation::BrokenLeaderChain { .. } => "§5, Algorithm 3 lines 39-43 / Lemma 1",
+            InvariantViolation::OrderedBeforeDelivered { .. }
+            | InvariantViolation::DuplicateOrdered { .. } => "§5, Algorithm 3 lines 51-57",
+            InvariantViolation::DuplicateWaveCommit { .. } => "§5, Algorithm 3 line 44",
+            InvariantViolation::CommitWithoutCoin { .. } => "§5, Algorithm 3 lines 34-35",
+            InvariantViolation::NonMonotoneRound { .. } => "§4, Algorithm 2 lines 10-13",
         }
     }
 
@@ -190,9 +237,14 @@ impl InvariantViolation {
             InvariantViolation::ReachabilityDivergence { from, .. } => Some(*from),
             InvariantViolation::UnjustifiedCommit { leader, .. } => Some(*leader),
             InvariantViolation::BrokenLeaderChain { later_leader, .. } => Some(*later_leader),
-            InvariantViolation::MissingLeaderVertex { wave, leader } => {
+            InvariantViolation::MissingLeaderVertex { wave, leader }
+            | InvariantViolation::CommitWithoutCoin { wave, leader } => {
                 Some(VertexRef::new(wave.first_round(), *leader))
             }
+            InvariantViolation::OrderedBeforeDelivered { vertex }
+            | InvariantViolation::DuplicateOrdered { vertex } => Some(*vertex),
+            InvariantViolation::DuplicateWaveCommit { leader, .. } => Some(*leader),
+            InvariantViolation::NonMonotoneRound { .. } => None,
         }
     }
 
@@ -266,6 +318,21 @@ impl fmt::Display for InvariantViolation {
                     "committed leader {later_leader} (wave {later}) has no strong path to \
                      committed leader {earlier_leader} (wave {earlier})"
                 )
+            }
+            InvariantViolation::OrderedBeforeDelivered { vertex } => {
+                write!(f, "{vertex} was ordered before it was inserted into the DAG")
+            }
+            InvariantViolation::DuplicateWaveCommit { wave, leader } => {
+                write!(f, "wave {wave} committed its leader twice (second: {leader})")
+            }
+            InvariantViolation::CommitWithoutCoin { wave, leader } => {
+                write!(f, "wave {wave} resolved with leader {leader} before its coin flipped")
+            }
+            InvariantViolation::NonMonotoneRound { round, previous } => {
+                write!(f, "round advanced to {round} at or below earlier round {previous}")
+            }
+            InvariantViolation::DuplicateOrdered { vertex } => {
+                write!(f, "{vertex} appears twice in the ordered log")
             }
         }?;
         write!(f, " [{}]", self.citation())

@@ -18,6 +18,7 @@
 use std::collections::VecDeque;
 
 use dagrider_rbc::RbcDelivery;
+use dagrider_trace::{SharedTracer, TraceEvent};
 use dagrider_types::{
     Block, Committee, Decode, ProcessId, Round, SeqNum, Vertex, VertexBuilder, Wave,
 };
@@ -58,6 +59,8 @@ pub struct DagCore {
     /// Disable weak edges (ablation only — breaks the Validity property;
     /// see `bench/bin/ablation_weak_edges`).
     disable_weak_edges: bool,
+    /// Records round/vertex/wave transitions; disabled (free) by default.
+    tracer: SharedTracer,
 }
 
 impl DagCore {
@@ -82,7 +85,16 @@ impl DagCore {
             max_round,
             last_wave_signalled: 0,
             disable_weak_edges: false,
+            tracer: SharedTracer::disabled(),
         }
+    }
+
+    /// Attaches a tracer to this layer and the underlying [`Dag`];
+    /// round advances, vertex creations, wave signals, inserts, and prunes
+    /// are recorded through it.
+    pub fn set_tracer(&mut self, tracer: SharedTracer) {
+        self.dag.set_tracer(tracer.clone());
+        self.tracer = tracer;
     }
 
     /// **Ablation only**: stop adding weak edges to new vertices. This
@@ -212,6 +224,7 @@ impl DagCore {
                     let wave = self.round.wave();
                     if wave.number() > self.last_wave_signalled {
                         self.last_wave_signalled = wave.number();
+                        self.tracer.record(TraceEvent::WaveReady { wave });
                         events.push(DagEvent::WaveReady(wave));
                     }
                 }
@@ -221,6 +234,9 @@ impl DagCore {
                 self.round = self.round.next();
                 match self.create_new_vertex(self.round) {
                     Some(vertex) => {
+                        self.tracer.record(TraceEvent::RoundAdvanced { round: self.round });
+                        self.tracer
+                            .record(TraceEvent::VertexCreated { vertex: vertex.reference() });
                         events.push(DagEvent::Broadcast(vertex));
                         progressed = true;
                     }

@@ -7,8 +7,9 @@ use bytes::Bytes;
 use dagrider_crypto::{Coin, CoinKeys, CoinShare};
 use dagrider_rbc::{RbcAction, ReliableBroadcast};
 use dagrider_simnet::{Actor, Context, Time};
+use dagrider_trace::{SharedTracer, TraceEvent, TraceRecord};
 use dagrider_types::{
-    Block, Committee, Decode, DecodeError, Encode, ProcessId, Round, Vertex, Wave,
+    Block, Committee, Decode, DecodeError, Encode, ProcessId, Round, Vertex, VertexRef, Wave,
 };
 
 use crate::construction::{DagCore, DagEvent};
@@ -82,6 +83,9 @@ pub struct NodeConfig {
     /// Garbage-collect DAG rounds this far below the fully-delivered
     /// prefix (`None` = keep everything; real deployments prune).
     pub gc_depth: Option<u64>,
+    /// Ring capacity for the structured event tracer (`None` = tracing
+    /// off, the default: the hot path then pays a single branch).
+    pub trace_capacity: Option<usize>,
 }
 
 impl Default for NodeConfig {
@@ -93,6 +97,7 @@ impl Default for NodeConfig {
             disable_weak_edges: false,
             piggyback_coin: false,
             gc_depth: None,
+            trace_capacity: None,
         }
     }
 }
@@ -120,6 +125,13 @@ impl NodeConfig {
     /// prefix.
     pub fn with_gc_depth(mut self, depth: u64) -> Self {
         self.gc_depth = Some(depth);
+        self
+    }
+
+    /// Enables structured event tracing with a ring buffer of `capacity`
+    /// records per node.
+    pub fn with_trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = Some(capacity);
         self
     }
 }
@@ -178,6 +190,7 @@ pub struct DagRiderNode<B> {
     broadcast_at: std::collections::BTreeMap<Round, Time>,
     decode_failures: usize,
     vertices_pruned: usize,
+    tracer: SharedTracer,
 }
 
 impl<B: ReliableBroadcast> DagRiderNode<B> {
@@ -190,11 +203,19 @@ impl<B: ReliableBroadcast> DagRiderNode<B> {
     ) -> Self {
         let mut core = DagCore::new(committee, me, config.auto_empty_blocks, config.max_round);
         core.set_disable_weak_edges(config.disable_weak_edges);
-        let ordering = Ordering::new(core.dag());
+        let mut ordering = Ordering::new(core.dag());
+        let mut rbc = B::new(committee, me, config.rbc_seed);
+        let tracer = match config.trace_capacity {
+            Some(capacity) => SharedTracer::new(me, capacity),
+            None => SharedTracer::disabled(),
+        };
+        core.set_tracer(tracer.clone());
+        ordering.set_tracer(tracer.clone());
+        rbc.set_tracer(tracer.clone());
         Self {
             committee,
             me,
-            rbc: B::new(committee, me, config.rbc_seed),
+            rbc,
             core,
             ordering,
             coin: Coin::new(coin_keys),
@@ -202,6 +223,7 @@ impl<B: ReliableBroadcast> DagRiderNode<B> {
             broadcast_at: std::collections::BTreeMap::new(),
             decode_failures: 0,
             vertices_pruned: 0,
+            tracer,
             config,
         }
     }
@@ -259,6 +281,18 @@ impl<B: ReliableBroadcast> DagRiderNode<B> {
         self.vertices_pruned
     }
 
+    /// The node's tracer handle (disabled unless
+    /// [`NodeConfig::trace_capacity`] was set).
+    pub fn tracer(&self) -> &SharedTracer {
+        &self.tracer
+    }
+
+    /// The trace ring's contents, oldest first (empty when tracing is
+    /// off).
+    pub fn trace_records(&self) -> Vec<TraceRecord> {
+        self.tracer.records()
+    }
+
     /// Broadcast-to-delivery latency of this node's **own** vertices, in
     /// ticks: for every own vertex in the ordered log, the gap between
     /// handing it to the broadcast layer and `a_deliver`-ing it locally.
@@ -290,6 +324,9 @@ impl<B: ReliableBroadcast> DagRiderNode<B> {
                     Self::send_node_message(ctx, to, &NodeMessage::Rbc(m));
                 }
                 RbcAction::Deliver(delivery) => {
+                    self.tracer.record(TraceEvent::VertexRbcDelivered {
+                        vertex: VertexRef::new(delivery.round, delivery.source),
+                    });
                     let Ok(payload) = VertexPayload::from_bytes(&delivery.payload) else {
                         self.decode_failures += 1;
                         continue;
@@ -409,6 +446,7 @@ impl<B: ReliableBroadcast> DagRiderNode<B> {
 
 impl<B: ReliableBroadcast> Actor for DagRiderNode<B> {
     fn init(&mut self, ctx: &mut Context<'_>) {
+        self.tracer.set_now(ctx.now());
         let events = self.core.start();
         let mut queue = VecDeque::new();
         self.handle_dag_events(events, ctx, &mut queue);
@@ -417,6 +455,7 @@ impl<B: ReliableBroadcast> Actor for DagRiderNode<B> {
     }
 
     fn on_message(&mut self, from: ProcessId, payload: &[u8], ctx: &mut Context<'_>) {
+        self.tracer.set_now(ctx.now());
         match NodeMessage::<B::Message>::from_bytes(payload) {
             Ok(NodeMessage::Rbc(m)) => {
                 let actions = self.rbc.on_message(from, m, ctx.rng());

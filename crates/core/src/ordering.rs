@@ -19,6 +19,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use dagrider_simnet::Time;
+use dagrider_trace::{SharedTracer, TraceEvent};
 use dagrider_types::{Block, ProcessId, Round, Vertex, VertexRef, Wave};
 
 use crate::dag::Dag;
@@ -83,6 +84,11 @@ pub struct Ordering {
     log: Vec<OrderedVertex>,
     /// Per-wave outcomes (experiment bookkeeping, not protocol state).
     commits: Vec<CommitEvent>,
+    /// Records coin/commit/ordering transitions; disabled (free) by
+    /// default.
+    tracer: SharedTracer,
+    /// Position counter for [`dagrider_trace::TraceEvent::VertexOrdered`].
+    next_position: u64,
 }
 
 impl Ordering {
@@ -101,7 +107,15 @@ impl Ordering {
             cursor: 1,
             log: Vec::new(),
             commits: Vec::new(),
+            tracer: SharedTracer::disabled(),
+            next_position: 0,
         }
+    }
+
+    /// Attaches a tracer; coin openings, leader commits/skips, and every
+    /// `a_deliver` are recorded through it.
+    pub fn set_tracer(&mut self, tracer: SharedTracer) {
+        self.tracer = tracer;
     }
 
     /// The `a_deliver` log so far, in total order.
@@ -149,7 +163,9 @@ impl Ordering {
         dag: &Dag,
         now: Time,
     ) -> Vec<OrderedVertex> {
-        self.leaders.insert(w.number(), leader);
+        if self.leaders.insert(w.number(), leader).is_none() {
+            self.tracer.record(TraceEvent::CoinFlipped { wave: w, leader });
+        }
         self.try_interpret(dag, now)
     }
 
@@ -192,6 +208,7 @@ impl Ordering {
         });
 
         let Some(leader_vertex) = committed else {
+            self.tracer.record(TraceEvent::LeaderSkipped { wave: w, leader: leader_process });
             self.commits.push(CommitEvent {
                 wave: w,
                 leader: leader_process,
@@ -200,6 +217,11 @@ impl Ordering {
             });
             return Vec::new();
         };
+        self.tracer.record(TraceEvent::LeaderCommitted {
+            wave: w,
+            leader: leader_vertex,
+            direct: true,
+        });
         self.commits.push(CommitEvent {
             wave: w,
             leader: leader_process,
@@ -218,6 +240,11 @@ impl Ordering {
                 if dag.strong_path(cursor_vertex, candidate) {
                     stack.push((wave_prime, candidate));
                     cursor_vertex = candidate;
+                    self.tracer.record(TraceEvent::LeaderCommitted {
+                        wave: wave_prime,
+                        leader: candidate,
+                        direct: false,
+                    });
                     self.commits.push(CommitEvent {
                         wave: wave_prime,
                         leader: candidate.source,
@@ -258,6 +285,9 @@ impl Ordering {
             .into_iter()
             .map(|reference| {
                 self.delivered.insert(reference);
+                let position = self.next_position;
+                self.next_position += 1;
+                self.tracer.record(TraceEvent::VertexOrdered { vertex: reference, wave, position });
                 OrderedVertex {
                     vertex: reference,
                     block: dag

@@ -1,5 +1,6 @@
 //! The reliable broadcast abstraction (§2 of the paper).
 
+use dagrider_trace::SharedTracer;
 use dagrider_types::{Committee, Decode, Encode, ProcessId, Round};
 use rand::rngs::StdRng;
 
@@ -90,5 +91,12 @@ pub trait ReliableBroadcast {
     /// default implementation keeps everything.
     fn prune(&mut self, before: Round) {
         let _ = before;
+    }
+
+    /// Attaches a tracer so the endpoint records per-instance phase events
+    /// ([`dagrider_trace::TraceEvent::RbcPhase`]). The default
+    /// implementation discards it (no tracing).
+    fn set_tracer(&mut self, tracer: SharedTracer) {
+        let _ = tracer;
     }
 }

@@ -18,7 +18,8 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use dagrider_crypto::{Digest, MerkleProof, MerkleTree, ReedSolomon, Shard};
-use dagrider_types::{Committee, Decode, DecodeError, Encode, ProcessId, Round};
+use dagrider_trace::{RbcPhase, RbcPrimitive, SharedTracer, TraceEvent};
+use dagrider_types::{Committee, Decode, DecodeError, Encode, ProcessId, Round, VertexRef};
 use rand::rngs::StdRng;
 
 use crate::api::{RbcAction, RbcDelivery, ReliableBroadcast};
@@ -145,6 +146,7 @@ pub struct AvidRbc {
     me: ProcessId,
     rs: ReedSolomon,
     instances: BTreeMap<(ProcessId, Round), Instance>,
+    tracer: SharedTracer,
 }
 
 enum Step {
@@ -195,6 +197,11 @@ impl AvidRbc {
                     return Vec::new();
                 }
                 instance.echoed = true;
+                self.tracer.record(TraceEvent::RbcPhase {
+                    instance: VertexRef::new(msg.round, msg.source),
+                    primitive: RbcPrimitive::Avid,
+                    phase: RbcPhase::Witness,
+                });
                 vec![Step::SendAll(AvidMessage {
                     source: msg.source,
                     round: msg.round,
@@ -284,6 +291,11 @@ impl AvidRbc {
             };
             if let Some(root) = root {
                 instance.readied = true;
+                self.tracer.record(TraceEvent::RbcPhase {
+                    instance: VertexRef::new(round, source),
+                    primitive: RbcPrimitive::Avid,
+                    phase: RbcPhase::Commit,
+                });
                 steps.push(Step::SendAll(AvidMessage {
                     source,
                     round,
@@ -297,6 +309,11 @@ impl AvidRbc {
             if let Some((root, payload)) = &instance.payload {
                 if instance.readies.get(root).map_or(0, BTreeSet::len) >= quorum {
                     instance.delivered = true;
+                    self.tracer.record(TraceEvent::RbcPhase {
+                        instance: VertexRef::new(round, source),
+                        primitive: RbcPrimitive::Avid,
+                        phase: RbcPhase::Deliver,
+                    });
                     steps.push(Step::Deliver(RbcDelivery {
                         source,
                         round,
@@ -326,6 +343,7 @@ impl ReliableBroadcast for AvidRbc {
             me,
             rs: ReedSolomon::for_committee(&committee),
             instances: BTreeMap::new(),
+            tracer: SharedTracer::disabled(),
         }
     }
 
@@ -343,6 +361,11 @@ impl ReliableBroadcast for AvidRbc {
         round: Round,
         _rng: &mut StdRng,
     ) -> Vec<RbcAction<AvidMessage>> {
+        self.tracer.record(TraceEvent::RbcPhase {
+            instance: VertexRef::new(round, self.me),
+            primitive: RbcPrimitive::Avid,
+            phase: RbcPhase::Init,
+        });
         let shards = self.rs.encode(&payload);
         let leaves: Vec<&[u8]> = shards.iter().map(|s| s.data.as_slice()).collect();
         let tree = MerkleTree::build(&leaves).expect("committee has at least one member");
@@ -382,6 +405,10 @@ impl ReliableBroadcast for AvidRbc {
 
     fn name() -> &'static str {
         "avid"
+    }
+
+    fn set_tracer(&mut self, tracer: SharedTracer) {
+        self.tracer = tracer;
     }
 }
 

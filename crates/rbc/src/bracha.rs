@@ -17,7 +17,8 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use dagrider_crypto::{sha256, Digest};
-use dagrider_types::{Committee, Decode, DecodeError, Encode, ProcessId, Round};
+use dagrider_trace::{RbcPhase, RbcPrimitive, SharedTracer, TraceEvent};
+use dagrider_types::{Committee, Decode, DecodeError, Encode, ProcessId, Round, VertexRef};
 use rand::rngs::StdRng;
 
 use crate::api::{RbcAction, RbcDelivery, ReliableBroadcast};
@@ -107,6 +108,7 @@ pub struct BrachaRbc {
     committee: Committee,
     me: ProcessId,
     instances: BTreeMap<(ProcessId, Round), Instance>,
+    tracer: SharedTracer,
 }
 
 impl BrachaRbc {
@@ -151,6 +153,7 @@ impl BrachaRbc {
         let quorum = self.committee.quorum();
         let small_quorum = self.committee.small_quorum();
         let key = (msg.source, msg.round);
+        let slot = VertexRef::new(msg.round, msg.source);
         let instance = self.instances.entry(key).or_default();
         let digest = sha256(msg.kind.payload());
         let mut steps = Vec::new();
@@ -158,6 +161,11 @@ impl BrachaRbc {
             BrachaKind::Init(payload) => {
                 if !instance.echoed {
                     instance.echoed = true;
+                    self.tracer.record(TraceEvent::RbcPhase {
+                        instance: slot,
+                        primitive: RbcPrimitive::Bracha,
+                        phase: RbcPhase::Witness,
+                    });
                     steps.push(Step::SendAll(BrachaMessage {
                         source: msg.source,
                         round: msg.round,
@@ -170,6 +178,11 @@ impl BrachaRbc {
                 instance.echoes.entry(digest).or_default().insert(from);
                 if instance.echoes[&digest].len() >= quorum && !instance.readied {
                     instance.readied = true;
+                    self.tracer.record(TraceEvent::RbcPhase {
+                        instance: slot,
+                        primitive: RbcPrimitive::Bracha,
+                        phase: RbcPhase::Commit,
+                    });
                     let payload = instance.payloads[&digest].clone();
                     steps.push(Step::SendAll(BrachaMessage {
                         source: msg.source,
@@ -184,6 +197,11 @@ impl BrachaRbc {
                 let count = instance.readies[&digest].len();
                 if count >= small_quorum && !instance.readied {
                     instance.readied = true;
+                    self.tracer.record(TraceEvent::RbcPhase {
+                        instance: slot,
+                        primitive: RbcPrimitive::Bracha,
+                        phase: RbcPhase::Commit,
+                    });
                     let payload = instance.payloads[&digest].clone();
                     steps.push(Step::SendAll(BrachaMessage {
                         source: msg.source,
@@ -193,6 +211,11 @@ impl BrachaRbc {
                 }
                 if count >= quorum && !instance.delivered {
                     instance.delivered = true;
+                    self.tracer.record(TraceEvent::RbcPhase {
+                        instance: slot,
+                        primitive: RbcPrimitive::Bracha,
+                        phase: RbcPhase::Deliver,
+                    });
                     steps.push(Step::Deliver(RbcDelivery {
                         source: msg.source,
                         round: msg.round,
@@ -214,7 +237,7 @@ impl ReliableBroadcast for BrachaRbc {
     type Message = BrachaMessage;
 
     fn new(committee: Committee, me: ProcessId, _seed: u64) -> Self {
-        Self { committee, me, instances: BTreeMap::new() }
+        Self { committee, me, instances: BTreeMap::new(), tracer: SharedTracer::disabled() }
     }
 
     fn committee(&self) -> Committee {
@@ -231,6 +254,11 @@ impl ReliableBroadcast for BrachaRbc {
         round: Round,
         _rng: &mut StdRng,
     ) -> Vec<RbcAction<BrachaMessage>> {
+        self.tracer.record(TraceEvent::RbcPhase {
+            instance: VertexRef::new(round, self.me),
+            primitive: RbcPrimitive::Bracha,
+            phase: RbcPhase::Init,
+        });
         let init = BrachaMessage { source: self.me, round, kind: BrachaKind::Init(payload) };
         let mut actions: Vec<RbcAction<BrachaMessage>> =
             self.committee.others(self.me).map(|to| RbcAction::Send(to, init.clone())).collect();
@@ -253,6 +281,10 @@ impl ReliableBroadcast for BrachaRbc {
 
     fn name() -> &'static str {
         "bracha"
+    }
+
+    fn set_tracer(&mut self, tracer: SharedTracer) {
+        self.tracer = tracer;
     }
 }
 

@@ -26,7 +26,8 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use dagrider_crypto::{sha256, Digest};
-use dagrider_types::{Committee, Decode, DecodeError, Encode, ProcessId, Round};
+use dagrider_trace::{RbcPhase, RbcPrimitive, SharedTracer, TraceEvent};
+use dagrider_types::{Committee, Decode, DecodeError, Encode, ProcessId, Round, VertexRef};
 use rand::rngs::StdRng;
 use rand::RngExt;
 
@@ -176,6 +177,7 @@ pub struct ProbabilisticRbc {
     config: ProbConfig,
     sample_size: usize,
     instances: BTreeMap<(ProcessId, Round), Instance>,
+    tracer: SharedTracer,
 }
 
 enum Step {
@@ -188,7 +190,14 @@ impl ProbabilisticRbc {
     /// Creates an endpoint with custom thresholds.
     pub fn with_config(committee: Committee, me: ProcessId, config: ProbConfig) -> Self {
         let sample_size = config.sample_size(committee.n());
-        Self { committee, me, config, sample_size, instances: BTreeMap::new() }
+        Self {
+            committee,
+            me,
+            config,
+            sample_size,
+            instances: BTreeMap::new(),
+            tracer: SharedTracer::disabled(),
+        }
     }
 
     /// The sample size `s` in use.
@@ -306,6 +315,11 @@ impl ProbabilisticRbc {
                     }
                     if instance.echoed.is_none() {
                         instance.echoed = Some(digest);
+                        self.tracer.record(TraceEvent::RbcPhase {
+                            instance: VertexRef::new(round, source),
+                            primitive: RbcPrimitive::Probabilistic,
+                            phase: RbcPhase::Witness,
+                        });
                         let echo = ProbMessage { source, round, kind: ProbKind::Echo(digest) };
                         for &sub in &instance.echo_subscribers {
                             steps.push(Step::Send(sub, echo.clone()));
@@ -339,7 +353,15 @@ impl ProbabilisticRbc {
                 if instance.echo_sample.contains(&from) {
                     instance.echoes.entry(digest).or_default().insert(from);
                     if instance.echoes[&digest].len() >= echo_threshold {
+                        let was_ready = instance.readied.is_some();
                         Self::turn_ready(instance, source, round, digest, &mut steps);
+                        if !was_ready && instance.readied.is_some() {
+                            self.tracer.record(TraceEvent::RbcPhase {
+                                instance: VertexRef::new(round, source),
+                                primitive: RbcPrimitive::Probabilistic,
+                                phase: RbcPhase::Commit,
+                            });
+                        }
                     }
                 }
             }
@@ -353,7 +375,15 @@ impl ProbabilisticRbc {
                     let ready_count =
                         instance.ready_sample.iter().filter(|p| got.contains(p)).count();
                     if ready_count >= ready_threshold {
+                        let was_ready = instance.readied.is_some();
                         Self::turn_ready(instance, source, round, digest, &mut steps);
+                        if !was_ready && instance.readied.is_some() {
+                            self.tracer.record(TraceEvent::RbcPhase {
+                                instance: VertexRef::new(round, source),
+                                primitive: RbcPrimitive::Probabilistic,
+                                phase: RbcPhase::Commit,
+                            });
+                        }
                     }
                 }
             }
@@ -368,6 +398,11 @@ impl ProbabilisticRbc {
                         instance.delivery_sample.iter().filter(|p| got.contains(p)).count();
                     if delivery_count >= deliver_threshold {
                         instance.delivered = true;
+                        self.tracer.record(TraceEvent::RbcPhase {
+                            instance: VertexRef::new(round, source),
+                            primitive: RbcPrimitive::Probabilistic,
+                            phase: RbcPhase::Deliver,
+                        });
                         steps.push(Step::Deliver(RbcDelivery {
                             source,
                             round,
@@ -420,6 +455,11 @@ impl ReliableBroadcast for ProbabilisticRbc {
         round: Round,
         rng: &mut StdRng,
     ) -> Vec<RbcAction<ProbMessage>> {
+        self.tracer.record(TraceEvent::RbcPhase {
+            instance: VertexRef::new(round, self.me),
+            primitive: RbcPrimitive::Probabilistic,
+            phase: RbcPhase::Init,
+        });
         let gossip = ProbMessage { source: self.me, round, kind: ProbKind::Gossip(payload) };
         self.process(self.me, gossip, rng)
     }
@@ -439,6 +479,10 @@ impl ReliableBroadcast for ProbabilisticRbc {
 
     fn name() -> &'static str {
         "probabilistic"
+    }
+
+    fn set_tracer(&mut self, tracer: SharedTracer) {
+        self.tracer = tracer;
     }
 }
 

@@ -2,6 +2,7 @@
 
 use bytes::Bytes;
 use dagrider_simnet::{Actor, Context};
+use dagrider_trace::SharedTracer;
 use dagrider_types::{Decode, Encode, ProcessId, Round};
 
 use crate::api::{RbcAction, RbcDelivery, ReliableBroadcast};
@@ -17,13 +18,28 @@ pub struct RbcProcess<B> {
     to_broadcast: Vec<(Round, Vec<u8>)>,
     delivered: Vec<RbcDelivery>,
     decode_failures: usize,
+    tracer: SharedTracer,
 }
 
 impl<B: ReliableBroadcast> RbcProcess<B> {
     /// Creates a process that will `r_bcast` each `(round, payload)` pair
     /// at startup.
     pub fn new(rbc: B, to_broadcast: Vec<(Round, Vec<u8>)>) -> Self {
-        Self { rbc, to_broadcast, delivered: Vec::new(), decode_failures: 0 }
+        Self {
+            rbc,
+            to_broadcast,
+            delivered: Vec::new(),
+            decode_failures: 0,
+            tracer: SharedTracer::disabled(),
+        }
+    }
+
+    /// Attaches `tracer` to both this adapter and the underlying endpoint;
+    /// phase events get stamped with the simulator's virtual clock.
+    pub fn with_tracer(mut self, tracer: SharedTracer) -> Self {
+        self.rbc.set_tracer(tracer.clone());
+        self.tracer = tracer;
+        self
     }
 
     /// Everything delivered so far, in delivery order.
@@ -55,6 +71,7 @@ impl<B: ReliableBroadcast> RbcProcess<B> {
 
 impl<B: ReliableBroadcast> Actor for RbcProcess<B> {
     fn init(&mut self, ctx: &mut Context<'_>) {
+        self.tracer.set_now(ctx.now());
         let queued = std::mem::take(&mut self.to_broadcast);
         for (round, payload) in queued {
             let actions = self.rbc.rbcast(payload, round, ctx.rng());
@@ -63,6 +80,7 @@ impl<B: ReliableBroadcast> Actor for RbcProcess<B> {
     }
 
     fn on_message(&mut self, from: ProcessId, payload: &[u8], ctx: &mut Context<'_>) {
+        self.tracer.set_now(ctx.now());
         match B::Message::from_bytes(payload) {
             Ok(message) => {
                 let actions = self.rbc.on_message(from, message, ctx.rng());

@@ -16,6 +16,14 @@ pub enum EventKind {
         to: ProcessId,
         /// The wire bytes.
         payload: Bytes,
+        /// When the message was sent (for delay accounting at delivery).
+        sent_at: Time,
+        /// Whether the sender was correct at send time. The §3 time-unit
+        /// denominator counts a message's delay only if this holds *and*
+        /// the recipient is still correct when it arrives — a delay is
+        /// "among correct processes" only if the message is actually
+        /// delivered between them.
+        correct_send: bool,
     },
     /// A timer set by `owner` with `Context::schedule` fires.
     Timer {

@@ -19,7 +19,10 @@ pub struct Metrics {
 }
 
 impl Metrics {
-    pub(crate) fn new(n: usize) -> Self {
+    /// Empty accounting for an `n`-process run. The simulator creates its
+    /// own; standalone constructions serve report/analysis tooling and
+    /// tests.
+    pub fn new(n: usize) -> Self {
         Self {
             bytes_per_process: vec![0; n],
             messages_per_process: vec![0; n],
@@ -73,7 +76,11 @@ impl Metrics {
     }
 
     /// The largest delay experienced by a correct-to-correct message — the
-    /// denominator of the paper's time-unit definition.
+    /// denominator of the paper's time-unit definition. Only messages
+    /// **actually delivered** count: a message discarded because its
+    /// sender crashed with in-flight drops, or because its recipient
+    /// crashed before arrival, never contributes (its "delay" was never
+    /// experienced by anyone).
     pub fn max_correct_delay(&self) -> u64 {
         self.max_correct_delay
     }

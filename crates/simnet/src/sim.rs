@@ -173,9 +173,16 @@ impl<A: Actor, S: Scheduler> Simulation<A, S> {
         self.now = event.time;
         self.events_processed += 1;
         match event.kind {
-            EventKind::Delivery { from, to, payload } => {
+            EventKind::Delivery { from, to, payload, sent_at, correct_send } => {
                 if self.status[to.as_usize()] == ProcessStatus::Crashed {
                     return true;
+                }
+                // The §3 time-unit denominator: the delay counts only now
+                // that the message has actually been delivered, and only
+                // between processes correct at send (sender) and delivery
+                // (recipient). Messages discarded by a crash never count.
+                if correct_send && self.status[to.as_usize()] == ProcessStatus::Correct {
+                    self.metrics.record_correct_delay(self.now.ticks() - sent_at.ticks());
                 }
                 self.metrics.record_delivery();
                 self.invoke(to, |actor, ctx| actor.on_message(from, &payload, ctx));
@@ -241,16 +248,16 @@ impl<A: Actor, S: Scheduler> Simulation<A, S> {
                 .scheduler
                 .delay(p, to, payload.len(), self.now, &mut self.scheduler_rng)
                 .max(1);
-            if p != to {
-                if sender_status == ProcessStatus::Correct {
-                    self.metrics.record_send(p, payload.len());
-                }
-                let recipient_correct = self.status[to.as_usize()] == ProcessStatus::Correct;
-                if sender_status == ProcessStatus::Correct && recipient_correct {
-                    self.metrics.record_correct_delay(delay);
-                }
+            // Bytes/messages are charged at send time (the sender paid for
+            // the wire); delay accounting waits for the actual delivery.
+            if p != to && sender_status == ProcessStatus::Correct {
+                self.metrics.record_send(p, payload.len());
             }
-            self.push_event(delay, EventKind::Delivery { from: p, to, payload });
+            let correct_send = p != to && sender_status == ProcessStatus::Correct;
+            self.push_event(
+                delay,
+                EventKind::Delivery { from: p, to, payload, sent_at: self.now, correct_send },
+            );
         }
         for (delay, tag) in timers {
             self.push_event(delay.max(1), EventKind::Timer { owner: p, tag });
@@ -424,5 +431,91 @@ mod tests {
     fn actor_count_mismatch_panics() {
         let committee = Committee::new(4).unwrap();
         let _ = Simulation::new(committee, vec![Echo::default()], UniformScheduler::new(1, 5), 0);
+    }
+
+    #[test]
+    fn dropped_in_flight_messages_never_count_toward_max_delay() {
+        // The crashed sender's pings carry a pathological delay; dropping
+        // them in flight must keep the §3 denominator at the honest
+        // traffic's delays — the crash-tick-boundary regression.
+        use crate::scheduler::FnScheduler;
+        let committee = Committee::new(4).unwrap();
+        let victim = ProcessId::new(2);
+        let scheduler = FnScheduler(
+            move |from: ProcessId, _to, _size, _now, _rng: &mut StdRng| {
+                if from == victim {
+                    1_000_000
+                } else {
+                    5
+                }
+            },
+        );
+        let actors = (0..4).map(|_| Echo::default()).collect();
+        let mut s = Simulation::new(committee, actors, scheduler, 11);
+        s.initialize();
+        s.crash(victim, true);
+        s.run();
+        assert!(
+            s.metrics().max_correct_delay() <= 5,
+            "dropped messages leaked into the denominator: {}",
+            s.metrics().max_correct_delay()
+        );
+    }
+
+    #[test]
+    fn messages_into_a_crash_never_count_toward_max_delay() {
+        // Symmetric case: honest pings *to* the victim are still in flight
+        // at the crash tick. They are silently discarded at delivery, so
+        // their (slow) delays must not count either — but bytes/messages
+        // stay charged to the senders (they did pay for the wire).
+        use crate::scheduler::FnScheduler;
+        let committee = Committee::new(4).unwrap();
+        let victim = ProcessId::new(1);
+        let scheduler = FnScheduler(
+            move |_from, to: ProcessId, _size, _now, _rng: &mut StdRng| {
+                if to == victim {
+                    1_000_000
+                } else {
+                    7
+                }
+            },
+        );
+        let actors = (0..4).map(|_| Echo::default()).collect();
+        let mut s = Simulation::new(committee, actors, scheduler, 13);
+        s.initialize();
+        s.crash(victim, false);
+        let msgs_after_init = s.metrics().messages_sent();
+        s.run();
+        assert!(
+            s.metrics().max_correct_delay() <= 7,
+            "delays into the crashed process leaked: {}",
+            s.metrics().max_correct_delay()
+        );
+        // Send-time charging is pinned: the 3 correct processes' pings to
+        // the victim were already counted at init, before the crash.
+        assert!(msgs_after_init >= 12, "init sent {msgs_after_init}");
+        assert_eq!(s.metrics().messages_sent_by(victim), 3, "victim's init pings count");
+    }
+
+    #[test]
+    fn delay_counts_once_the_message_is_actually_delivered() {
+        // A slow honest message must enter the denominator — at delivery
+        // time, with the delivered delay.
+        use crate::scheduler::FnScheduler;
+        let committee = Committee::new(4).unwrap();
+        let scheduler = FnScheduler(
+            |from: ProcessId, to: ProcessId, _size, _now, _rng: &mut StdRng| {
+                if from == ProcessId::new(0) && to == ProcessId::new(3) {
+                    400
+                } else {
+                    2
+                }
+            },
+        );
+        let actors = (0..4).map(|_| Echo::default()).collect();
+        let mut s = Simulation::new(committee, actors, scheduler, 17);
+        s.run();
+        assert_eq!(s.metrics().max_correct_delay(), 400);
+        assert!(s.metrics().time_units(s.now()) > 0.0);
     }
 }

@@ -1,0 +1,140 @@
+//! Property tests for the trace-record wire codec: every representable
+//! record round-trips exactly, and no strict prefix of an encoding decodes.
+
+use dagrider_simnet::Time;
+use dagrider_trace::{RbcPhase, RbcPrimitive, TraceEvent, TraceRecord};
+use dagrider_types::{Decode, Encode, ProcessId, Round, VertexRef, Wave};
+use proptest::prelude::*;
+
+/// Deterministically expands a handful of integers into one of the eleven
+/// event variants, covering the whole tag space as `tag` ranges over 0..11.
+fn make_event(tag: u8, a: u64, b: u32, c: u64) -> TraceEvent {
+    let vertex = VertexRef::new(Round::new(a), ProcessId::new(b));
+    let wave = Wave::new(a);
+    let leader = ProcessId::new(b);
+    match tag {
+        0 => TraceEvent::VertexCreated { vertex },
+        1 => TraceEvent::VertexRbcDelivered { vertex },
+        2 => TraceEvent::VertexInserted { vertex },
+        3 => TraceEvent::RoundAdvanced { round: Round::new(a) },
+        4 => TraceEvent::WaveReady { wave },
+        5 => TraceEvent::CoinFlipped { wave, leader },
+        6 => TraceEvent::LeaderCommitted { wave, leader: vertex, direct: c.is_multiple_of(2) },
+        7 => TraceEvent::LeaderSkipped { wave, leader },
+        8 => TraceEvent::VertexOrdered { vertex, wave, position: c },
+        9 => TraceEvent::Pruned { floor: Round::new(a), dropped: c },
+        _ => TraceEvent::RbcPhase {
+            instance: vertex,
+            primitive: match c % 3 {
+                0 => RbcPrimitive::Bracha,
+                1 => RbcPrimitive::Avid,
+                _ => RbcPrimitive::Probabilistic,
+            },
+            phase: match c % 4 {
+                0 => RbcPhase::Init,
+                1 => RbcPhase::Witness,
+                2 => RbcPhase::Commit,
+                _ => RbcPhase::Deliver,
+            },
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn trace_records_roundtrip(
+        tag in 0u8..11,
+        a in 0u64..1_000_000,
+        b in 0u32..1_000,
+        c in 0u64..u64::MAX,
+        seq in 0u64..u64::MAX,
+        at in 0u64..u64::MAX,
+        process in 0u32..1_000,
+    ) {
+        let record = TraceRecord {
+            seq,
+            at: Time::new(at),
+            process: ProcessId::new(process),
+            event: make_event(tag, a, b, c),
+        };
+        let bytes = record.to_bytes();
+        prop_assert_eq!(bytes.len(), record.encoded_len());
+        let decoded = TraceRecord::from_bytes(&bytes).expect("roundtrip must decode");
+        prop_assert_eq!(decoded, record);
+    }
+
+    #[test]
+    fn truncation_never_decodes(
+        tag in 0u8..11,
+        a in 0u64..1_000_000,
+        b in 0u32..1_000,
+        c in 0u64..1_000_000,
+    ) {
+        let record = TraceRecord {
+            seq: 1,
+            at: Time::new(2),
+            process: ProcessId::new(3),
+            event: make_event(tag, a, b, c),
+        };
+        let bytes = record.to_bytes();
+        for cut in 0..bytes.len() {
+            prop_assert!(TraceRecord::from_bytes(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn corrupted_event_tags_are_rejected(
+        tag in 0u8..11,
+        a in 0u64..1_000_000,
+        b in 0u32..1_000,
+        bad in 11u8..=255,
+    ) {
+        // The event tag sits right after the (seq, at, process) header;
+        // overwriting it with any out-of-range value must fail cleanly.
+        let record = TraceRecord {
+            seq: 7,
+            at: Time::new(40),
+            process: ProcessId::new(3),
+            event: make_event(tag, a, b, 5),
+        };
+        let mut bytes = record.to_bytes();
+        let header = record.seq.encoded_len()
+            + record.at.ticks().encoded_len()
+            + record.process.encoded_len();
+        bytes[header] = bad;
+        prop_assert!(TraceRecord::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_decoder(
+        soup in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        // Malformed input must surface as `Err`, not a panic or a hang.
+        let _ = TraceRecord::from_bytes(&soup);
+        let _ = TraceEvent::from_bytes(&soup);
+        let _ = RbcPrimitive::from_bytes(&soup);
+        let _ = RbcPhase::from_bytes(&soup);
+    }
+
+    #[test]
+    fn vectors_of_records_roundtrip(
+        tags in proptest::collection::vec(0u8..11, 0..20),
+        a in 0u64..10_000,
+    ) {
+        let records: Vec<TraceRecord> = tags
+            .iter()
+            .enumerate()
+            .map(|(i, &tag)| TraceRecord {
+                seq: i as u64,
+                at: Time::new(a + i as u64),
+                process: ProcessId::new(0),
+                event: make_event(tag, a, i as u32, a ^ i as u64),
+            })
+            .collect();
+        let bytes = records.to_bytes();
+        let decoded = Vec::<TraceRecord>::from_bytes(&bytes).expect("roundtrip must decode");
+        prop_assert_eq!(decoded, records);
+    }
+}

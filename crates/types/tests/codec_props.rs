@@ -1,0 +1,129 @@
+//! Codec round-trip property tests for the protocol payload types.
+//!
+//! The wire codec is the boundary the simulator meters and the one an
+//! adversary controls, so the properties here are the ones that matter for
+//! both experiments and safety: every [`Vertex`]/[`Block`]/[`Transaction`]
+//! encodes to exactly `encoded_len()` bytes and decodes back to itself,
+//! every *strict prefix* of a valid encoding is rejected (no value is
+//! silently truncated into another valid value), inflated length prefixes
+//! are rejected rather than over-read, and arbitrary byte soup never
+//! panics the decoder.
+
+use std::fmt::Debug;
+
+use dagrider_types::{
+    Block, Decode, Encode, ProcessId, Round, SeqNum, Transaction, Vertex, VertexBuilder, VertexRef,
+};
+use proptest::collection;
+use proptest::prelude::*;
+
+/// Round-trips `value` and asserts `encoded_len` honesty, then checks that
+/// no strict prefix of the encoding decodes: the decoder consumed every
+/// byte on the full input, so on any prefix it must either run out of
+/// bytes or stop early and trip the trailing-bytes check.
+fn roundtrip_and_reject_prefixes<T: Encode + Decode + PartialEq + Debug>(value: &T) {
+    let bytes = value.to_bytes();
+    assert_eq!(bytes.len(), value.encoded_len(), "encoded_len mismatch for {value:?}");
+    let decoded = T::from_bytes(&bytes).expect("valid encoding must decode");
+    assert_eq!(&decoded, value);
+    for cut in 0..bytes.len() {
+        assert!(
+            T::from_bytes(&bytes[..cut]).is_err(),
+            "prefix of length {cut}/{} decoded for {value:?}",
+            bytes.len()
+        );
+    }
+}
+
+/// Deterministically derives a block from sampled scalars.
+fn block_from(proposer: u32, seq: u64, ntx: usize, size: usize, tag: u64) -> Block {
+    let txs: Vec<Transaction> =
+        (0..ntx).map(|i| Transaction::synthetic(tag.wrapping_add(i as u64), size)).collect();
+    Block::new(ProcessId::new(proposer), SeqNum::new(seq), txs)
+}
+
+/// Builds a structurally arbitrary (not necessarily protocol-valid) vertex:
+/// the codec must round-trip Byzantine-crafted vertices too, since they
+/// arrive off the wire before validation runs.
+fn vertex_from(source: u32, round: u64, strong: &[u32], weak_seed: u64, block: Block) -> Vertex {
+    let round = Round::new(round);
+    let prev = round.number().saturating_sub(1);
+    let strong_edges = strong.iter().map(|&s| VertexRef::new(Round::new(prev), ProcessId::new(s)));
+    // Weak edges point strictly below `round - 1` when possible; with
+    // nothing below, an empty set is the only structurally sane choice.
+    let weak_count = if prev > 1 { weak_seed % 4 } else { 0 };
+    let weak_edges = (0..weak_count).map(|i| {
+        VertexRef::new(
+            Round::new(weak_seed.wrapping_add(i) % (prev - 1)),
+            ProcessId::new((weak_seed.wrapping_mul(31).wrapping_add(i) % 32) as u32),
+        )
+    });
+    VertexBuilder::new(ProcessId::new(source), round, block)
+        .strong_edges(strong_edges)
+        .weak_edges(weak_edges)
+        .build_unchecked()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transactions_roundtrip_and_reject_truncation(
+        payload in collection::vec(any::<u8>(), 0..64),
+    ) {
+        roundtrip_and_reject_prefixes(&Transaction::new(payload));
+    }
+
+    #[test]
+    fn blocks_roundtrip_and_reject_truncation(
+        proposer in 0u32..64,
+        seq in 0u64..100_000,
+        ntx in 0usize..6,
+        size in 0usize..40,
+        tag in any::<u64>(),
+    ) {
+        roundtrip_and_reject_prefixes(&block_from(proposer, seq, ntx, size, tag));
+    }
+
+    #[test]
+    fn vertices_roundtrip_and_reject_truncation(
+        source in 0u32..32,
+        round in 1u64..500,
+        strong in collection::btree_set(0u32..32, 0..8),
+        weak_seed in any::<u64>(),
+        ntx in 0usize..4,
+    ) {
+        let strong: Vec<u32> = strong.into_iter().collect();
+        let block = block_from(source, round, ntx, 16, weak_seed);
+        roundtrip_and_reject_prefixes(&vertex_from(source, round, &strong, weak_seed, block));
+    }
+
+    #[test]
+    fn inflated_transaction_count_is_rejected(
+        proposer in 0u32..64,
+        seq in 0u64..1_000,
+        ntx in 0usize..6,
+        tag in any::<u64>(),
+    ) {
+        // Bump the block's transaction-count length prefix by one: the
+        // decoder must report truncation, never read past the buffer or
+        // invent a transaction.
+        let block = block_from(proposer, seq, ntx, 8, tag);
+        let mut bytes = block.to_bytes();
+        let count_at = ProcessId::new(proposer).encoded_len() + SeqNum::new(seq).encoded_len();
+        prop_assert!(bytes[count_at] < 0x7f, "count must be a single-byte varint here");
+        bytes[count_at] += 1;
+        prop_assert!(Block::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_decoder(
+        soup in collection::vec(any::<u8>(), 0..96),
+    ) {
+        // Malformed input must surface as `Err`, not a panic or a hang.
+        let _ = Transaction::from_bytes(&soup);
+        let _ = Block::from_bytes(&soup);
+        let _ = Vertex::from_bytes(&soup);
+        let _ = VertexRef::from_bytes(&soup);
+    }
+}

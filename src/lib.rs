@@ -15,6 +15,8 @@
 //!   Bracha, probabilistic gossip, and Cachin–Tessaro AVID.
 //! * [`core`] — DAG-Rider itself: Algorithm 2 (DAG construction) and
 //!   Algorithm 3 (zero-overhead wave ordering).
+//! * [`trace`] — structured protocol event tracing: typed, time-stamped
+//!   records of every vertex, round, coin and commit transition.
 //! * [`baselines`] — VABA-based and Dumbo-based SMR for comparison.
 //!
 //! The most useful entry point is [`core::DagRiderNode`]; see the
@@ -53,4 +55,5 @@ pub use dagrider_core as core;
 pub use dagrider_crypto as crypto;
 pub use dagrider_rbc as rbc;
 pub use dagrider_simnet as simnet;
+pub use dagrider_trace as trace;
 pub use dagrider_types as types;
