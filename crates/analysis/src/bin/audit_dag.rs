@@ -13,9 +13,10 @@
 use std::process::ExitCode;
 
 use dagrider_analysis::{DagAuditor, DagSnapshot};
-use dagrider_core::{DagRiderNode, NodeConfig};
+use dagrider_core::NodeConfig;
 use dagrider_crypto::deal_coin_keys;
 use dagrider_rbc::BrachaRbc;
+use dagrider_simactor::DagRiderNode;
 use dagrider_simnet::{Simulation, UniformScheduler};
 use dagrider_types::{Committee, Decode, Encode, ProcessId};
 use rand::rngs::StdRng;

@@ -14,9 +14,10 @@
 use std::process::ExitCode;
 
 use dagrider_analysis::{DagAuditor, TraceReport};
-use dagrider_core::{DagRiderNode, NodeConfig};
+use dagrider_core::NodeConfig;
 use dagrider_crypto::deal_coin_keys;
 use dagrider_rbc::BrachaRbc;
+use dagrider_simactor::DagRiderNode;
 use dagrider_simnet::{Simulation, UniformScheduler};
 use dagrider_trace::TraceRecord;
 use dagrider_types::Committee;

@@ -9,8 +9,8 @@
 
 use std::fmt;
 
-use dagrider_core::DagRiderNode;
 use dagrider_rbc::ReliableBroadcast;
+use dagrider_simactor::DagRiderNode;
 use dagrider_simnet::{Scheduler, Simulation};
 use dagrider_types::ProcessId;
 

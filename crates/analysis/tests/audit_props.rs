@@ -12,9 +12,10 @@
 use dagrider_analysis::{
     AuditedSimulation, DagAuditor, DagSnapshot, InvariantViolation, SnapshotEntry,
 };
-use dagrider_core::{CommitEvent, Dag, DagRiderNode, NodeConfig, WaveOutcome};
+use dagrider_core::{CommitEvent, Dag, NodeConfig, WaveOutcome};
 use dagrider_crypto::{deal_coin_keys, sha256};
 use dagrider_rbc::BrachaRbc;
+use dagrider_simactor::DagRiderNode;
 use dagrider_simnet::{Simulation, Time, UniformScheduler};
 use dagrider_types::{
     Block, Committee, Decode, Encode, ProcessId, Round, SeqNum, Vertex, VertexBuilder, VertexRef,

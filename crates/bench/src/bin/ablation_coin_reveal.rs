@@ -16,9 +16,10 @@
 //! cargo run --release -p dagrider-bench --bin ablation_coin_reveal
 //! ```
 
-use dagrider_core::{DagRiderNode, NodeConfig, WaveOutcome};
+use dagrider_core::{NodeConfig, WaveOutcome};
 use dagrider_crypto::{deal_coin_keys, CoinAggregator};
 use dagrider_rbc::BrachaRbc;
+use dagrider_simactor::DagRiderNode;
 use dagrider_simnet::{FnScheduler, Simulation, UniformScheduler};
 use dagrider_types::{Committee, ProcessId};
 use rand::rngs::StdRng;

@@ -18,9 +18,10 @@
 //! cargo run --release -p dagrider-bench --bin ablation_wave_length
 //! ```
 
-use dagrider_core::{Dag, DagRiderNode, NodeConfig};
+use dagrider_core::{Dag, NodeConfig};
 use dagrider_crypto::deal_coin_keys;
 use dagrider_rbc::BrachaRbc;
+use dagrider_simactor::DagRiderNode;
 use dagrider_simnet::{FnScheduler, Scheduler as _, Simulation, UniformScheduler};
 use dagrider_types::{Committee, ProcessId, Round, VertexRef, Wave};
 use rand::rngs::StdRng;

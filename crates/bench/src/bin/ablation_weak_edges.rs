@@ -12,9 +12,10 @@
 //! cargo run --release -p dagrider-bench --bin ablation_weak_edges
 //! ```
 
-use dagrider_core::{DagRiderNode, NodeConfig};
+use dagrider_core::NodeConfig;
 use dagrider_crypto::deal_coin_keys;
 use dagrider_rbc::BrachaRbc;
+use dagrider_simactor::DagRiderNode;
 use dagrider_simnet::{Simulation, TargetedScheduler, Time, UniformScheduler};
 use dagrider_types::{Block, Committee, ProcessId, SeqNum, Transaction};
 use rand::rngs::StdRng;

@@ -16,9 +16,10 @@
 //! ```
 
 use dagrider_baselines::{SmrConfig, SmrNode, VabaSlot};
-use dagrider_core::{DagRiderNode, NodeConfig};
+use dagrider_core::NodeConfig;
 use dagrider_crypto::deal_coin_keys;
 use dagrider_rbc::{byzantine::SilentActor, BrachaRbc};
+use dagrider_simactor::DagRiderNode;
 use dagrider_simnet::{Either, Simulation, UniformScheduler};
 use dagrider_types::{Committee, ProcessId};
 use rand::rngs::StdRng;

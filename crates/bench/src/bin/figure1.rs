@@ -12,9 +12,10 @@
 //! cargo run --release -p dagrider-bench --bin figure1
 //! ```
 
-use dagrider_core::{render, DagRiderNode, NodeConfig};
+use dagrider_core::{render, NodeConfig};
 use dagrider_crypto::deal_coin_keys;
 use dagrider_rbc::BrachaRbc;
+use dagrider_simactor::DagRiderNode;
 use dagrider_simnet::{Simulation, TargetedScheduler, Time, UniformScheduler};
 use dagrider_types::{Committee, ProcessId, Round};
 use rand::rngs::StdRng;

@@ -15,9 +15,10 @@
 //! cargo run --release -p dagrider-bench --bin figure2
 //! ```
 
-use dagrider_core::{DagRiderNode, NodeConfig, WaveOutcome};
+use dagrider_core::{NodeConfig, WaveOutcome};
 use dagrider_crypto::deal_coin_keys;
 use dagrider_rbc::BrachaRbc;
+use dagrider_simactor::DagRiderNode;
 use dagrider_simnet::{Simulation, TargetedScheduler, Time, UniformScheduler};
 use dagrider_types::{Committee, ProcessId, VertexRef};
 use rand::rngs::StdRng;

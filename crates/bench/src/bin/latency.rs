@@ -13,9 +13,10 @@
 //! cargo run --release -p dagrider-bench --bin latency
 //! ```
 
-use dagrider_core::{DagRiderNode, NodeConfig};
+use dagrider_core::NodeConfig;
 use dagrider_crypto::deal_coin_keys;
 use dagrider_rbc::{AvidRbc, BrachaRbc, ProbabilisticRbc, ReliableBroadcast};
+use dagrider_simactor::DagRiderNode;
 use dagrider_simnet::{Simulation, UniformScheduler};
 use dagrider_types::Committee;
 use rand::rngs::StdRng;

@@ -18,9 +18,10 @@
 //! ```
 
 use dagrider_bench::{row, run_dagrider, Workload};
-use dagrider_core::{DagRiderNode, NodeConfig, WaveOutcome};
+use dagrider_core::{NodeConfig, WaveOutcome};
 use dagrider_crypto::deal_coin_keys;
 use dagrider_rbc::{byzantine::SilentActor, BrachaRbc};
+use dagrider_simactor::DagRiderNode;
 use dagrider_simnet::{Either, Simulation, UniformScheduler};
 use dagrider_types::{Committee, ProcessId};
 use rand::rngs::StdRng;

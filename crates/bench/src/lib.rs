@@ -26,9 +26,10 @@
 #![warn(missing_docs)]
 
 use dagrider_baselines::{SlotProtocol, SmrConfig, SmrNode};
-use dagrider_core::{DagRiderNode, NodeConfig, WaveOutcome};
+use dagrider_core::{NodeConfig, WaveOutcome};
 use dagrider_crypto::deal_coin_keys;
 use dagrider_rbc::ReliableBroadcast;
+use dagrider_simactor::DagRiderNode;
 use dagrider_simnet::{Simulation, UniformScheduler};
 use dagrider_types::{Block, Committee, ProcessId, SeqNum, Transaction};
 use rand::rngs::StdRng;

@@ -1,0 +1,970 @@
+//! The full DAG-Rider process as a **sans-I/O engine**: construction +
+//! ordering + coin over a pluggable reliable broadcast, with no knowledge
+//! of who drives it.
+//!
+//! [`DagRiderEngine`] is a pure state machine. Drivers — the deterministic
+//! simulator (via the `dagrider-simactor` adapter), the real TCP runtime
+//! (`dagrider-net`), or a test harness replaying a recorded run — feed it
+//! typed [`EngineInput`]s and route the typed [`EngineOutput`]s it returns.
+//! The engine performs no I/O, reads no clocks, and draws no entropy of its
+//! own: the current [`Time`] and an explicit RNG are parameters of every
+//! call, so identical input sequences produce byte-identical output
+//! sequences (see the `engine_determinism` test in `dagrider-simactor`).
+//!
+//! # The engine/driver contract
+//!
+//! * **Inputs** — [`EngineInput::Message`] for every payload received from
+//!   an authenticated peer, [`EngineInput::Timer`] when a timer requested
+//!   via [`EngineOutput::SetTimer`] fires, [`EngineInput::SubmitBlock`] for
+//!   client payload (`a_bcast`), and [`EngineInput::SyncVertex`] for state
+//!   transfer when a restarted process catches up.
+//! * **Outputs** — [`EngineOutput::Send`] (unicast to one peer),
+//!   [`EngineOutput::Broadcast`] (to every *other* process — self-routing
+//!   is handled inside the engine), [`EngineOutput::SetTimer`], and
+//!   [`EngineOutput::Ordered`] for every `a_deliver` in total order.
+//!   Outputs must be routed in the order returned: the wire order is part
+//!   of the deterministic replay contract.
+//! * **Timers** — the engine currently requests no timers of its own;
+//!   [`EngineInput::Timer`] runs end-of-turn housekeeping (share flush +
+//!   garbage collection), so drivers may safely deliver spurious timers.
+
+use std::collections::VecDeque;
+
+use bytes::Bytes;
+use dagrider_crypto::{Coin, CoinKeys, CoinShare};
+use dagrider_rbc::{RbcAction, ReliableBroadcast};
+use dagrider_trace::{SharedTracer, TraceEvent, TraceRecord};
+use dagrider_types::{
+    Block, Committee, Decode, DecodeError, Encode, ProcessId, Round, Time, Vertex, VertexRef, Wave,
+};
+
+use crate::construction::{DagCore, DagEvent};
+use crate::dag::Dag;
+use crate::ordering::{CommitEvent, OrderedVertex, Ordering};
+
+/// Wire envelope multiplexing the broadcast layer's traffic with the tiny
+/// coin-share messages (§5 footnote 1: the coin can piggyback on the DAG;
+/// we send shares as their own messages, which costs `O(n)` extra words
+/// per wave — asymptotically free next to the broadcasts).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeMessage<M> {
+    /// A reliable-broadcast protocol message.
+    Rbc(M),
+    /// A threshold-coin share for some wave.
+    Coin(CoinShare),
+}
+
+impl<M: Encode> Encode for NodeMessage<M> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            NodeMessage::Rbc(m) => {
+                0u8.encode(buf);
+                m.encode(buf);
+            }
+            NodeMessage::Coin(s) => {
+                1u8.encode(buf);
+                s.encode(buf);
+            }
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            NodeMessage::Rbc(m) => m.encoded_len(),
+            NodeMessage::Coin(s) => s.encoded_len(),
+        }
+    }
+}
+
+impl<M: Decode> Decode for NodeMessage<M> {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        match u8::decode(buf)? {
+            0 => Ok(NodeMessage::Rbc(M::decode(buf)?)),
+            1 => Ok(NodeMessage::Coin(CoinShare::decode(buf)?)),
+            _ => Err(DecodeError::Invalid("unknown node message tag")),
+        }
+    }
+}
+
+/// Configuration for a [`DagRiderEngine`].
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// Propose empty blocks when the client queue runs dry (default true;
+    /// the paper assumes an infinite block supply).
+    pub auto_empty_blocks: bool,
+    /// Stop creating vertices after this round so finite runs quiesce
+    /// (default: none — run forever).
+    pub max_round: Option<Round>,
+    /// Seed for the broadcast layer's local randomness.
+    pub rbc_seed: u64,
+    /// **Ablation only**: build vertices without weak edges, knowingly
+    /// breaking Validity (measured in `bench/bin/ablation_weak_edges`).
+    pub disable_weak_edges: bool,
+    /// Piggyback coin shares on the next vertex broadcast instead of
+    /// sending dedicated share messages (§5 footnote 1: "the coin can be
+    /// easily implemented as part of the DAG itself"). Must be uniform
+    /// across the committee. Shares still go out as dedicated messages
+    /// when no further vertex will carry them (end of a finite run).
+    pub piggyback_coin: bool,
+    /// Garbage-collect DAG rounds this far below the fully-delivered
+    /// prefix (`None` = keep everything; real deployments prune).
+    pub gc_depth: Option<u64>,
+    /// Ring capacity for the structured event tracer (`None` = tracing
+    /// off, the default: the hot path then pays a single branch).
+    pub trace_capacity: Option<usize>,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        Self {
+            auto_empty_blocks: true,
+            max_round: None,
+            rbc_seed: 0,
+            disable_weak_edges: false,
+            piggyback_coin: false,
+            gc_depth: None,
+            trace_capacity: None,
+        }
+    }
+}
+
+impl NodeConfig {
+    /// Caps vertex creation at `round`.
+    pub fn with_max_round(mut self, round: u64) -> Self {
+        self.max_round = Some(Round::new(round));
+        self
+    }
+
+    /// Sets whether empty blocks are auto-proposed when starved.
+    pub fn with_auto_empty_blocks(mut self, auto: bool) -> Self {
+        self.auto_empty_blocks = auto;
+        self
+    }
+
+    /// Piggybacks coin shares on vertex broadcasts (§5 footnote 1).
+    pub fn with_piggyback_coin(mut self) -> Self {
+        self.piggyback_coin = true;
+        self
+    }
+
+    /// Enables garbage collection `depth` rounds behind the delivered
+    /// prefix.
+    pub fn with_gc_depth(mut self, depth: u64) -> Self {
+        self.gc_depth = Some(depth);
+        self
+    }
+
+    /// Enables structured event tracing with a ring buffer of `capacity`
+    /// records per node.
+    pub fn with_trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = Some(capacity);
+        self
+    }
+}
+
+/// The reliable-broadcast payload: a vertex plus any piggybacked coin
+/// shares (§5 footnote 1). With piggybacking off the share list is empty
+/// and costs one byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VertexPayload {
+    /// The DAG vertex.
+    pub vertex: Vertex,
+    /// Coin shares revealed by the vertex's creator (normally 0 or 1; the
+    /// share for wave `w` rides the round `4w + 1` vertex).
+    pub coin_shares: Vec<CoinShare>,
+}
+
+impl Encode for VertexPayload {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.vertex.encode(buf);
+        self.coin_shares.encode(buf);
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.vertex.encoded_len() + self.coin_shares.encoded_len()
+    }
+}
+
+impl Decode for VertexPayload {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(Self {
+            vertex: dagrider_types::Vertex::decode(buf)?,
+            coin_shares: Vec::<CoinShare>::decode(buf)?,
+        })
+    }
+}
+
+/// A typed input to the engine. All variants are data, never callbacks:
+/// an input sequence can be recorded, serialized, and replayed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineInput {
+    /// Bytes received from the authenticated peer `from`. The payload is
+    /// untrusted wire input ([`NodeMessage`] encoding expected).
+    Message {
+        /// The authenticated sender (§2: recipients "can verify the
+        /// sender's identity"; transports authenticate connections).
+        from: ProcessId,
+        /// The raw received bytes.
+        payload: Vec<u8>,
+    },
+    /// A timer requested via [`EngineOutput::SetTimer`] fired.
+    Timer {
+        /// The tag given when the timer was set.
+        tag: u64,
+    },
+    /// `a_bcast(b, r)`: a client block to atomically broadcast
+    /// (Algorithm 3 lines 32–33).
+    SubmitBlock(Block),
+    /// State transfer: a vertex replayed by a peer so a restarted process
+    /// can rebuild its DAG without re-running the original broadcasts.
+    /// The vertex is structurally validated like any delivery; in this
+    /// reproduction vertices carry no creator signature, so the embedded
+    /// `(source, round)` is taken as attested (a production deployment
+    /// would verify a signature here).
+    SyncVertex(Vertex),
+}
+
+/// A typed effect returned by the engine. Drivers must route outputs in
+/// the order returned — wire order is part of the replay contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineOutput {
+    /// Put `payload` on the wire to `to` (never this process itself).
+    Send {
+        /// The destination process.
+        to: ProcessId,
+        /// The encoded [`NodeMessage`] bytes.
+        payload: Bytes,
+    },
+    /// Put `payload` on the wire to every process **except** this one
+    /// (self-routing is internal to the engine).
+    Broadcast {
+        /// The encoded [`NodeMessage`] bytes.
+        payload: Bytes,
+    },
+    /// Ask the driver to feed back [`EngineInput::Timer`] with `tag`
+    /// after `delay` ticks.
+    SetTimer {
+        /// Ticks to wait.
+        delay: u64,
+        /// Tag to echo back.
+        tag: u64,
+    },
+    /// `a_deliver`: the next vertex (block) of the total order.
+    Ordered(OrderedVertex),
+}
+
+/// One entry of the engine's optional I/O log (see
+/// [`DagRiderEngine::set_io_recording`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IoRecord {
+    /// An input handed to the engine, with the driver's clock reading.
+    Input {
+        /// The driver-supplied time of the call.
+        at: Time,
+        /// The input.
+        input: EngineInput,
+    },
+    /// The engine was started ([`DagRiderEngine::start`]).
+    Started {
+        /// The driver-supplied time of the call.
+        at: Time,
+    },
+    /// An output the engine returned.
+    Output(EngineOutput),
+}
+
+/// One DAG-Rider process as a sans-I/O state machine: the public face of
+/// this crate.
+///
+/// Generic over the reliable-broadcast instantiation `B` — plug in
+/// [`BrachaRbc`](dagrider_rbc::BrachaRbc),
+/// [`ProbabilisticRbc`](dagrider_rbc::ProbabilisticRbc), or
+/// [`AvidRbc`](dagrider_rbc::AvidRbc) to realize the three Table 1 rows.
+///
+/// Call [`DagRiderEngine::start`] exactly once, then
+/// [`DagRiderEngine::handle`] for every input, and route the returned
+/// [`EngineOutput`]s. See the module docs for the full contract.
+#[derive(Debug)]
+pub struct DagRiderEngine<B> {
+    committee: Committee,
+    me: ProcessId,
+    config: NodeConfig,
+    rbc: B,
+    core: DagCore,
+    ordering: Ordering,
+    coin: Coin,
+    /// Shares awaiting a vertex to ride (piggyback mode only).
+    pending_shares: Vec<CoinShare>,
+    /// When each of our own vertices was handed to the broadcast layer
+    /// (for a_bcast → a_deliver latency measurements).
+    broadcast_at: std::collections::BTreeMap<Round, Time>,
+    decode_failures: usize,
+    vertices_pruned: usize,
+    tracer: SharedTracer,
+    started: bool,
+    io_log: Option<Vec<IoRecord>>,
+}
+
+impl<B: ReliableBroadcast> DagRiderEngine<B> {
+    /// Creates an engine for `me` with its dealt coin keys.
+    pub fn new(
+        committee: Committee,
+        me: ProcessId,
+        coin_keys: CoinKeys,
+        config: NodeConfig,
+    ) -> Self {
+        let mut core = DagCore::new(committee, me, config.auto_empty_blocks, config.max_round);
+        core.set_disable_weak_edges(config.disable_weak_edges);
+        let mut ordering = Ordering::new(core.dag());
+        let mut rbc = B::new(committee, me, config.rbc_seed);
+        let tracer = match config.trace_capacity {
+            Some(capacity) => SharedTracer::new(me, capacity),
+            None => SharedTracer::disabled(),
+        };
+        core.set_tracer(tracer.clone());
+        ordering.set_tracer(tracer.clone());
+        rbc.set_tracer(tracer.clone());
+        Self {
+            committee,
+            me,
+            rbc,
+            core,
+            ordering,
+            coin: Coin::new(coin_keys),
+            pending_shares: Vec::new(),
+            broadcast_at: std::collections::BTreeMap::new(),
+            decode_failures: 0,
+            vertices_pruned: 0,
+            tracer,
+            started: false,
+            io_log: None,
+            config,
+        }
+    }
+
+    /// This process's id.
+    pub fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    /// The committee.
+    pub fn committee(&self) -> Committee {
+        self.committee
+    }
+
+    /// Whether [`DagRiderEngine::start`] has run.
+    pub fn is_started(&self) -> bool {
+        self.started
+    }
+
+    /// Enqueues a block for atomic broadcast **without** driving the
+    /// protocol — the compatibility path for harnesses that inject client
+    /// payload outside a driver turn (the block rides the next vertex).
+    /// Prefer feeding [`EngineInput::SubmitBlock`] through
+    /// [`DagRiderEngine::handle`], which also unblocks a proposal stalled
+    /// on an empty queue.
+    pub fn enqueue_block(&mut self, block: Block) {
+        self.core.enqueue_block(block);
+    }
+
+    /// The `a_deliver` log: every vertex (block) in its final total-order
+    /// position.
+    pub fn ordered(&self) -> &[OrderedVertex] {
+        self.ordering.log()
+    }
+
+    /// Per-wave commit outcomes (experiment bookkeeping).
+    pub fn commits(&self) -> &[CommitEvent] {
+        self.ordering.commits()
+    }
+
+    /// The local DAG view.
+    pub fn dag(&self) -> &Dag {
+        self.core.dag()
+    }
+
+    /// The construction layer's current round.
+    pub fn current_round(&self) -> Round {
+        self.core.round()
+    }
+
+    /// The highest wave whose leader this process committed.
+    pub fn decided_wave(&self) -> Wave {
+        self.ordering.decided_wave()
+    }
+
+    /// Messages that failed to decode (malicious/corrupt wire bytes).
+    pub fn decode_failures(&self) -> usize {
+        self.decode_failures
+    }
+
+    /// Vertices dropped by garbage collection so far.
+    pub fn vertices_pruned(&self) -> usize {
+        self.vertices_pruned
+    }
+
+    /// The engine's tracer handle (disabled unless
+    /// [`NodeConfig::trace_capacity`] was set).
+    pub fn tracer(&self) -> &SharedTracer {
+        &self.tracer
+    }
+
+    /// The trace ring's contents, oldest first (empty when tracing is
+    /// off).
+    pub fn trace_records(&self) -> Vec<TraceRecord> {
+        self.tracer.records()
+    }
+
+    /// Broadcast-to-delivery latency of this process's **own** vertices,
+    /// in ticks: for every own vertex in the ordered log, the gap between
+    /// handing it to the broadcast layer and `a_deliver`-ing it locally.
+    /// This is the client-visible commit latency the §6.2 time-complexity
+    /// analysis bounds.
+    pub fn own_vertex_latencies(&self) -> Vec<(Round, u64)> {
+        self.ordering
+            .log()
+            .iter()
+            .filter(|o| o.vertex.source == self.me)
+            .filter_map(|o| {
+                self.broadcast_at
+                    .get(&o.vertex.round)
+                    .map(|&sent| (o.vertex.round, o.delivered_at.ticks() - sent.ticks()))
+            })
+            .collect()
+    }
+
+    /// Turns I/O recording on or off. While on, every input (with its
+    /// clock reading) and every output is appended to the log returned by
+    /// [`DagRiderEngine::io_log`] — the raw material of the determinism
+    /// tests and of replay debugging.
+    pub fn set_io_recording(&mut self, on: bool) {
+        if on {
+            self.io_log.get_or_insert_with(Vec::new);
+        } else {
+            self.io_log = None;
+        }
+    }
+
+    /// The recorded I/O log (empty unless
+    /// [`DagRiderEngine::set_io_recording`] enabled it).
+    pub fn io_log(&self) -> &[IoRecord] {
+        self.io_log.as_deref().unwrap_or(&[])
+    }
+
+    /// All non-genesis vertices of the local DAG in ascending
+    /// `(round, source)` order — the replay stream served to a restarted
+    /// peer (each becomes an [`EngineInput::SyncVertex`] there).
+    pub fn sync_vertices(&self) -> Vec<Vertex> {
+        let mut out = Vec::new();
+        let mut round = self.core.dag().lowest_retained_round().unwrap_or(Round::new(1));
+        if round == Round::GENESIS {
+            round = Round::new(1);
+        }
+        let high = self.core.dag().highest_round();
+        while round <= high {
+            out.extend(self.core.dag().round_vertices(round).values().cloned());
+            round = round.next();
+        }
+        out
+    }
+
+    /// This process's own coin share for `instance` (a wave number), for
+    /// replay to a restarted peer. Share values are deterministic per
+    /// (key, instance); only the proof nonce draws from `rng`, and any
+    /// valid share combines to the same leader.
+    pub fn coin_share(&mut self, instance: u64, rng: &mut rand::rngs::StdRng) -> CoinShare {
+        self.coin.my_share(instance, rng)
+    }
+
+    /// Starts the protocol (Algorithm 2: broadcast the round-1 vertex).
+    /// Must be called exactly once, before any [`DagRiderEngine::handle`].
+    pub fn start(&mut self, now: Time, rng: &mut rand::rngs::StdRng) -> Vec<EngineOutput> {
+        debug_assert!(!self.started, "start() is called once");
+        self.started = true;
+        if let Some(log) = self.io_log.as_mut() {
+            log.push(IoRecord::Started { at: now });
+        }
+        self.tracer.set_now(now);
+        let mut out = Vec::new();
+        let events = self.core.start();
+        let mut queue = VecDeque::new();
+        self.handle_dag_events(events, &mut out, &mut queue, now, rng);
+        self.drive(queue, &mut out, now, rng);
+        self.finish_turn(&mut out);
+        self.record_outputs(&out);
+        out
+    }
+
+    /// Feeds one input and returns the effects, in routing order.
+    pub fn handle(
+        &mut self,
+        now: Time,
+        input: EngineInput,
+        rng: &mut rand::rngs::StdRng,
+    ) -> Vec<EngineOutput> {
+        if let Some(log) = self.io_log.as_mut() {
+            log.push(IoRecord::Input { at: now, input: input.clone() });
+        }
+        self.tracer.set_now(now);
+        let mut out = Vec::new();
+        match input {
+            EngineInput::Message { from, payload } => {
+                self.on_message(from, &payload, &mut out, now, rng);
+            }
+            EngineInput::Timer { tag: _ } => {
+                // No engine timers yet: a timer turn is housekeeping only.
+            }
+            EngineInput::SubmitBlock(block) => {
+                self.core.enqueue_block(block);
+                // Unblock a proposal stalled on an empty queue
+                // (Algorithm 2 line 17's `wait` resuming).
+                let events = self.core.retry_propose();
+                let mut queue = VecDeque::new();
+                self.handle_dag_events(events, &mut out, &mut queue, now, rng);
+                self.drive(queue, &mut out, now, rng);
+            }
+            EngineInput::SyncVertex(vertex) => {
+                let source = vertex.source();
+                let round = vertex.round();
+                let events = self.core.on_vertex(vertex, source, round);
+                let mut queue = VecDeque::new();
+                self.handle_dag_events(events, &mut out, &mut queue, now, rng);
+                self.drive(queue, &mut out, now, rng);
+            }
+        }
+        self.finish_turn(&mut out);
+        self.record_outputs(&out);
+        out
+    }
+
+    fn record_outputs(&mut self, out: &[EngineOutput]) {
+        if let Some(log) = self.io_log.as_mut() {
+            log.extend(out.iter().cloned().map(IoRecord::Output));
+        }
+    }
+
+    /// The Message-input body: decode the wire envelope, dispatch.
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        payload: &[u8],
+        out: &mut Vec<EngineOutput>,
+        now: Time,
+        rng: &mut rand::rngs::StdRng,
+    ) {
+        match NodeMessage::<B::Message>::from_bytes(payload) {
+            Ok(NodeMessage::Rbc(m)) => {
+                let actions = self.rbc.on_message(from, m, rng);
+                self.drive(actions.into(), out, now, rng);
+            }
+            Ok(NodeMessage::Coin(share)) => {
+                // Shares from non-issuers or with bad proofs are rejected
+                // inside the coin.
+                if share.issuer() != from {
+                    self.decode_failures += 1;
+                    return;
+                }
+                let wave = Wave::new(share.instance());
+                if let Ok(Some(leader)) = self.coin.add_share(share) {
+                    let delivered = self.ordering.on_leader(wave, leader, self.core.dag(), now);
+                    out.extend(delivered.into_iter().map(EngineOutput::Ordered));
+                }
+            }
+            Err(_) => self.decode_failures += 1,
+        }
+    }
+
+    /// Routes a batch of RBC actions plus all their knock-on effects.
+    fn drive(
+        &mut self,
+        mut queue: VecDeque<RbcAction<B::Message>>,
+        out: &mut Vec<EngineOutput>,
+        now: Time,
+        rng: &mut rand::rngs::StdRng,
+    ) {
+        while let Some(action) = queue.pop_front() {
+            match action {
+                RbcAction::Send(to, m) => {
+                    out.push(EngineOutput::Send {
+                        to,
+                        payload: Bytes::from(NodeMessage::Rbc(m).to_bytes()),
+                    });
+                }
+                RbcAction::Deliver(delivery) => {
+                    self.tracer.record(TraceEvent::VertexRbcDelivered {
+                        vertex: VertexRef::new(delivery.round, delivery.source),
+                    });
+                    let Ok(payload) = VertexPayload::from_bytes(&delivery.payload) else {
+                        self.decode_failures += 1;
+                        continue;
+                    };
+                    // Piggybacked shares are only valid from their issuer
+                    // (the broadcast authenticates the vertex's creator).
+                    for share in payload.coin_shares {
+                        if share.issuer() != delivery.source {
+                            self.decode_failures += 1;
+                            continue;
+                        }
+                        let wave = Wave::new(share.instance());
+                        if let Ok(Some(leader)) = self.coin.add_share(share) {
+                            let delivered =
+                                self.ordering.on_leader(wave, leader, self.core.dag(), now);
+                            out.extend(delivered.into_iter().map(EngineOutput::Ordered));
+                        }
+                    }
+                    let events =
+                        self.core.on_vertex(payload.vertex, delivery.source, delivery.round);
+                    self.handle_dag_events(events, out, &mut queue, now, rng);
+                }
+            }
+        }
+    }
+
+    fn handle_dag_events(
+        &mut self,
+        events: Vec<DagEvent>,
+        out: &mut Vec<EngineOutput>,
+        queue: &mut VecDeque<RbcAction<B::Message>>,
+        now: Time,
+        rng: &mut rand::rngs::StdRng,
+    ) {
+        for event in events {
+            match event {
+                DagEvent::Broadcast(vertex) => {
+                    let round = vertex.round();
+                    self.broadcast_at.insert(round, now);
+                    let coin_shares = if self.config.piggyback_coin {
+                        std::mem::take(&mut self.pending_shares)
+                    } else {
+                        Vec::new()
+                    };
+                    let payload = VertexPayload { vertex, coin_shares }.to_bytes();
+                    queue.extend(self.rbc.rbcast(payload, round, rng));
+                }
+                DagEvent::WaveReady(wave) => {
+                    // Flip the coin only now that the wave is complete
+                    // (line 35 — unpredictability requires revealing the
+                    // share no earlier).
+                    let share = self.coin.my_share(wave.number(), rng);
+                    if self.config.piggyback_coin {
+                        // Ride the next vertex (the round 4w+1 broadcast,
+                        // which immediately follows this event).
+                        self.pending_shares.push(share);
+                    } else {
+                        let msg: NodeMessage<B::Message> = NodeMessage::Coin(share);
+                        out.push(EngineOutput::Broadcast { payload: Bytes::from(msg.to_bytes()) });
+                    }
+                    let delivered = self.ordering.on_wave_complete(wave, self.core.dag(), now);
+                    out.extend(delivered.into_iter().map(EngineOutput::Ordered));
+                    if let Some(leader) = self.coin.leader(wave.number()) {
+                        let delivered = self.ordering.on_leader(wave, leader, self.core.dag(), now);
+                        out.extend(delivered.into_iter().map(EngineOutput::Ordered));
+                    }
+                }
+            }
+        }
+    }
+
+    /// End-of-turn housekeeping: flush shares that found no vertex to
+    /// ride (finite runs stop broadcasting at `max_round`), then garbage
+    /// collect.
+    fn finish_turn(&mut self, out: &mut Vec<EngineOutput>) {
+        for share in std::mem::take(&mut self.pending_shares) {
+            let msg: NodeMessage<B::Message> = NodeMessage::Coin(share);
+            out.push(EngineOutput::Broadcast { payload: Bytes::from(msg.to_bytes()) });
+        }
+        self.maybe_gc();
+    }
+
+    /// Prunes every round strictly below the fully-delivered prefix minus
+    /// the configured safety margin.
+    fn maybe_gc(&mut self) {
+        let Some(depth) = self.config.gc_depth else { return };
+        // The lowest round still holding an undelivered vertex bounds what
+        // is safe to drop.
+        let mut frontier =
+            self.core.dag().lowest_retained_round().unwrap_or(dagrider_types::Round::new(1));
+        let high = self.core.dag().highest_round();
+        while frontier <= high
+            && !self.core.dag().round_vertices(frontier).is_empty()
+            && self
+                .core
+                .dag()
+                .round_vertices(frontier)
+                .values()
+                .map(dagrider_types::Vertex::reference)
+                .all(|r| self.ordering.is_delivered(r))
+        {
+            frontier = frontier.next();
+        }
+        let keep_from = dagrider_types::Round::new(frontier.number().saturating_sub(depth));
+        if keep_from > self.core.dag().pruned_floor() {
+            // Advancing the floor also rebases the reachability engine's
+            // slot space and rebuilds retained closures (see Dag::prune_below),
+            // so prune only when the floor actually moves.
+            self.vertices_pruned += self.core.prune_below(keep_from);
+            self.ordering.prune_delivered_below(keep_from);
+            self.rbc.prune(keep_from);
+            // Coin aggregators for waves entirely below the floor.
+            self.coin.prune(keep_from.wave().number().saturating_sub(1));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use dagrider_crypto::deal_coin_keys;
+    use dagrider_rbc::BrachaRbc;
+    use dagrider_types::{SeqNum, Transaction};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+
+    #[test]
+    fn node_message_codec_roundtrip() {
+        let committee = Committee::new(4).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let keys = deal_coin_keys(&committee, &mut rng);
+        let share = {
+            let mut coin = Coin::new(keys[0].clone());
+            coin.my_share(3, &mut rng)
+        };
+        let msg: NodeMessage<dagrider_rbc::BrachaMessage> = NodeMessage::Coin(share);
+        let bytes = msg.to_bytes();
+        assert_eq!(bytes.len(), msg.encoded_len());
+        assert_eq!(NodeMessage::<dagrider_rbc::BrachaMessage>::from_bytes(&bytes).unwrap(), msg);
+
+        let rbc_msg = dagrider_rbc::BrachaMessage {
+            source: ProcessId::new(0),
+            round: Round::new(1),
+            kind: dagrider_rbc::BrachaKind::Init(vec![1, 2, 3]),
+        };
+        let msg = NodeMessage::Rbc(rbc_msg);
+        let bytes = msg.to_bytes();
+        assert_eq!(NodeMessage::<dagrider_rbc::BrachaMessage>::from_bytes(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn vertex_payload_codec_roundtrip() {
+        let committee = Committee::new(4).unwrap();
+        let mut rng = StdRng::seed_from_u64(59);
+        let keys = deal_coin_keys(&committee, &mut rng);
+        let share = Coin::new(keys[0].clone()).my_share(2, &mut rng);
+        let payload =
+            VertexPayload { vertex: Vertex::genesis(ProcessId::new(1)), coin_shares: vec![share] };
+        let bytes = payload.to_bytes();
+        assert_eq!(bytes.len(), payload.encoded_len());
+        assert_eq!(VertexPayload::from_bytes(&bytes).unwrap(), payload);
+        // Empty share list costs exactly one extra byte over the vertex.
+        let bare =
+            VertexPayload { vertex: Vertex::genesis(ProcessId::new(1)), coin_shares: Vec::new() };
+        assert_eq!(bare.encoded_len(), bare.vertex.encoded_len() + 1);
+    }
+
+    /// A minimal in-test driver: four engines exchanging outputs through a
+    /// FIFO queue, no simulator anywhere. Proves the engine is complete
+    /// without `dagrider-simnet` (which this crate no longer depends on).
+    #[test]
+    fn four_engines_reach_agreement_without_any_driver_crate() {
+        let committee = Committee::new(4).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let keys = deal_coin_keys(&committee, &mut rng);
+        let config = NodeConfig::default().with_max_round(16);
+        let mut engines: Vec<DagRiderEngine<BrachaRbc>> = committee
+            .members()
+            .zip(keys)
+            .map(|(p, k)| DagRiderEngine::new(committee, p, k, config.clone()))
+            .collect();
+        let mut rngs: Vec<StdRng> = (0..4).map(|i| StdRng::seed_from_u64(100 + i)).collect();
+        let tx = Transaction::synthetic(7, 16);
+        engines[2].enqueue_block(Block::new(ProcessId::new(2), SeqNum::new(1), vec![tx.clone()]));
+
+        // (from, to, payload) FIFO network with instant delivery.
+        let mut wire: VecDeque<(ProcessId, ProcessId, Vec<u8>)> = VecDeque::new();
+        let mut clock = 0u64;
+        let route = |from: ProcessId,
+                     outs: Vec<EngineOutput>,
+                     wire: &mut VecDeque<(ProcessId, ProcessId, Vec<u8>)>| {
+            for out in outs {
+                match out {
+                    EngineOutput::Send { to, payload } => {
+                        wire.push_back((from, to, payload.to_vec()));
+                    }
+                    EngineOutput::Broadcast { payload } => {
+                        for to in committee.others(from) {
+                            wire.push_back((from, to, payload.to_vec()));
+                        }
+                    }
+                    EngineOutput::SetTimer { .. } | EngineOutput::Ordered(_) => {}
+                }
+            }
+        };
+        for p in committee.members() {
+            let outs = engines[p.as_usize()].start(Time::new(clock), &mut rngs[p.as_usize()]);
+            route(p, outs, &mut wire);
+        }
+        while let Some((from, to, payload)) = wire.pop_front() {
+            clock += 1;
+            let input = EngineInput::Message { from, payload };
+            let outs =
+                engines[to.as_usize()].handle(Time::new(clock), input, &mut rngs[to.as_usize()]);
+            route(to, outs, &mut wire);
+        }
+
+        // Agreement: every pair of logs is prefix-comparable, and the
+        // client block was ordered everywhere.
+        let logs: Vec<Vec<VertexRef>> =
+            engines.iter().map(|e| e.ordered().iter().map(|o| o.vertex).collect()).collect();
+        for (i, a) in logs.iter().enumerate() {
+            for b in logs.iter().skip(i + 1) {
+                let common = a.len().min(b.len());
+                assert_eq!(&a[..common], &b[..common], "logs diverge");
+            }
+        }
+        for e in &engines {
+            assert!(e.decided_wave() >= Wave::new(1), "{} decided nothing", e.me());
+            assert!(
+                e.ordered().iter().any(|o| o.block.transactions().contains(&tx)),
+                "{} did not order the client block",
+                e.me()
+            );
+        }
+    }
+
+    #[test]
+    fn ordered_outputs_match_the_log() {
+        // Every Ordered output must appear in the queryable log, in order.
+        let committee = Committee::new(4).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        let keys = deal_coin_keys(&committee, &mut rng);
+        let config = NodeConfig::default().with_max_round(12);
+        let mut engines: Vec<DagRiderEngine<BrachaRbc>> = committee
+            .members()
+            .zip(keys)
+            .map(|(p, k)| DagRiderEngine::new(committee, p, k, config.clone()))
+            .collect();
+        let mut rngs: Vec<StdRng> = (0..4).map(StdRng::seed_from_u64).collect();
+        let mut ordered_outputs: Vec<Vec<OrderedVertex>> = vec![Vec::new(); 4];
+        let mut wire: VecDeque<(ProcessId, ProcessId, Vec<u8>)> = VecDeque::new();
+        let collect = |from: ProcessId,
+                       outs: Vec<EngineOutput>,
+                       wire: &mut VecDeque<(ProcessId, ProcessId, Vec<u8>)>,
+                       ordered: &mut Vec<Vec<OrderedVertex>>| {
+            for out in outs {
+                match out {
+                    EngineOutput::Send { to, payload } => {
+                        wire.push_back((from, to, payload.to_vec()));
+                    }
+                    EngineOutput::Broadcast { payload } => {
+                        for to in committee.others(from) {
+                            wire.push_back((from, to, payload.to_vec()));
+                        }
+                    }
+                    EngineOutput::Ordered(o) => ordered[from.as_usize()].push(o),
+                    EngineOutput::SetTimer { .. } => {}
+                }
+            }
+        };
+        for p in committee.members() {
+            let outs = engines[p.as_usize()].start(Time::ZERO, &mut rngs[p.as_usize()]);
+            collect(p, outs, &mut wire, &mut ordered_outputs);
+        }
+        let mut t = 0u64;
+        while let Some((from, to, payload)) = wire.pop_front() {
+            t += 1;
+            let outs = engines[to.as_usize()].handle(
+                Time::new(t),
+                EngineInput::Message { from, payload },
+                &mut rngs[to.as_usize()],
+            );
+            collect(to, outs, &mut wire, &mut ordered_outputs);
+        }
+        for p in committee.members() {
+            assert!(!ordered_outputs[p.as_usize()].is_empty());
+            assert_eq!(ordered_outputs[p.as_usize()].as_slice(), engines[p.as_usize()].ordered());
+        }
+    }
+
+    #[test]
+    fn sync_vertices_rebuild_an_identical_ordered_log() {
+        // Run four engines to quiescence, then rebuild a fifth process's
+        // state purely from one engine's sync stream plus coin shares —
+        // the restarted-process catch-up path of the TCP runtime.
+        let committee = Committee::new(4).unwrap();
+        let mut rng = StdRng::seed_from_u64(33);
+        let keys = deal_coin_keys(&committee, &mut rng);
+        let config = NodeConfig::default().with_max_round(12);
+        let mut engines: Vec<DagRiderEngine<BrachaRbc>> = committee
+            .members()
+            .zip(keys.clone())
+            .map(|(p, k)| DagRiderEngine::new(committee, p, k, config.clone()))
+            .collect();
+        let mut rngs: Vec<StdRng> = (0..4).map(|i| StdRng::seed_from_u64(50 + i)).collect();
+        let mut wire: VecDeque<(ProcessId, ProcessId, Vec<u8>)> = VecDeque::new();
+        let route = |from: ProcessId,
+                     outs: Vec<EngineOutput>,
+                     wire: &mut VecDeque<(ProcessId, ProcessId, Vec<u8>)>| {
+            for out in outs {
+                match out {
+                    EngineOutput::Send { to, payload } => {
+                        wire.push_back((from, to, payload.to_vec()));
+                    }
+                    EngineOutput::Broadcast { payload } => {
+                        for to in committee.others(from) {
+                            wire.push_back((from, to, payload.to_vec()));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        };
+        for p in committee.members() {
+            let outs = engines[p.as_usize()].start(Time::ZERO, &mut rngs[p.as_usize()]);
+            route(p, outs, &mut wire);
+        }
+        while let Some((from, to, payload)) = wire.pop_front() {
+            let outs = engines[to.as_usize()].handle(
+                Time::ZERO,
+                EngineInput::Message { from, payload },
+                &mut rngs[to.as_usize()],
+            );
+            route(to, outs, &mut wire);
+        }
+        let reference = engines[0].ordered().to_vec();
+        assert!(!reference.is_empty());
+        let top_wave = engines[0].decided_wave().number();
+
+        // A "restarted" p3: fresh engine, fed p0's sync stream and two
+        // peers' coin shares (threshold f + 1 = 2). It must not start —
+        // syncing precedes proposing.
+        let mut fresh: DagRiderEngine<BrachaRbc> =
+            DagRiderEngine::new(committee, ProcessId::new(3), keys[3].clone(), config);
+        let mut fresh_rng = StdRng::seed_from_u64(999);
+        let vertices = engines[0].sync_vertices();
+        assert!(!vertices.is_empty());
+        let mut sink = Vec::new();
+        for v in vertices {
+            sink.extend(fresh.handle(Time::ZERO, EngineInput::SyncVertex(v), &mut fresh_rng));
+        }
+        for w in 1..=top_wave {
+            for issuer in [0usize, 1] {
+                let share = engines[issuer].coin_share(w, &mut rngs[issuer]);
+                let msg: NodeMessage<dagrider_rbc::BrachaMessage> = NodeMessage::Coin(share);
+                sink.extend(fresh.handle(
+                    Time::ZERO,
+                    EngineInput::Message {
+                        from: ProcessId::new(issuer as u32),
+                        payload: msg.to_bytes(),
+                    },
+                    &mut fresh_rng,
+                ));
+            }
+        }
+        let rebuilt: Vec<VertexRef> = fresh.ordered().iter().map(|o| o.vertex).collect();
+        let reference_refs: Vec<VertexRef> = reference.iter().map(|o| o.vertex).collect();
+        let common = rebuilt.len().min(reference_refs.len());
+        assert!(common > 0, "sync rebuilt nothing");
+        assert_eq!(&rebuilt[..common], &reference_refs[..common]);
+    }
+}

@@ -19,55 +19,51 @@
 //!    deterministic order. **No communication beyond the DAG itself** is
 //!    needed (the coin shares piggyback as tiny messages).
 //!
-//! [`DagRiderNode`] assembles both layers over any
-//! [`ReliableBroadcast`](dagrider_rbc::ReliableBroadcast) instantiation and
-//! runs as a [`dagrider_simnet::Actor`].
+//! [`DagRiderEngine`] assembles both layers over any
+//! [`ReliableBroadcast`](dagrider_rbc::ReliableBroadcast) instantiation as a
+//! **sans-I/O state machine**: drivers feed it typed [`EngineInput`]s and
+//! route the typed [`EngineOutput`]s it returns. This crate performs no
+//! I/O and depends on no runtime — the deterministic simulator drives it
+//! through the `dagrider-simactor` adapter, and the real TCP cluster
+//! drives it from `dagrider-net`.
 //!
 //! # Quickstart
 //!
 //! ```
-//! use dagrider_core::{DagRiderNode, NodeConfig};
+//! use dagrider_core::{DagRiderEngine, EngineOutput, NodeConfig};
 //! use dagrider_crypto::deal_coin_keys;
 //! use dagrider_rbc::BrachaRbc;
-//! use dagrider_simnet::{Simulation, UniformScheduler};
-//! use dagrider_types::Committee;
+//! use dagrider_types::{Committee, ProcessId, Time};
 //! use rand::{rngs::StdRng, SeedableRng};
 //!
 //! let committee = Committee::new(4)?;
 //! let mut rng = StdRng::seed_from_u64(7);
-//! let keys = deal_coin_keys(&committee, &mut rng);
+//! let mut keys = deal_coin_keys(&committee, &mut rng);
 //! let config = NodeConfig::default().with_max_round(20);
 //!
-//! let nodes: Vec<DagRiderNode<BrachaRbc>> = committee
-//!     .members()
-//!     .zip(keys)
-//!     .map(|(p, k)| DagRiderNode::new(committee, p, k, config.clone()))
-//!     .collect();
-//! let mut sim = Simulation::new(committee, nodes, UniformScheduler::new(1, 10), 7);
-//! sim.run();
+//! let mut engine: DagRiderEngine<BrachaRbc> =
+//!     DagRiderEngine::new(committee, ProcessId::new(0), keys.remove(0), config);
 //!
-//! // Every process ordered the same sequence of blocks.
-//! let reference = sim.actor(dagrider_types::ProcessId::new(0)).ordered().to_vec();
-//! assert!(!reference.is_empty());
-//! for p in committee.members() {
-//!     let log = sim.actor(p).ordered();
-//!     assert!(log.iter().zip(&reference).all(|(a, b)| a.vertex == b.vertex));
-//! }
+//! // Starting the engine proposes the round-1 vertex: the outputs are the
+//! // reliable-broadcast sends the driver must put on the wire.
+//! let outputs = engine.start(Time::ZERO, &mut rng);
+//! assert!(outputs.iter().any(|o| matches!(o, EngineOutput::Send { .. })));
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod common_core;
 mod construction;
 mod dag;
-mod node;
+mod engine;
 mod ordering;
 mod reach;
 pub mod render;
 
 pub use construction::{DagCore, DagEvent};
 pub use dag::Dag;
-pub use node::{DagRiderNode, NodeConfig, NodeMessage, VertexPayload};
+pub use engine::{
+    DagRiderEngine, EngineInput, EngineOutput, IoRecord, NodeConfig, NodeMessage, VertexPayload,
+};
 pub use ordering::{CommitEvent, OrderedVertex, Ordering, WaveOutcome};

@@ -18,8 +18,8 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use dagrider_simnet::Time;
 use dagrider_trace::{SharedTracer, TraceEvent};
+use dagrider_types::Time;
 use dagrider_types::{Block, ProcessId, Round, Vertex, VertexRef, Wave};
 
 use crate::dag::Dag;

@@ -1,0 +1,104 @@
+//! Property tests for the [`NodeMessage`] wire envelope — the only bytes
+//! a DAG-Rider process ever sends. Every representable message
+//! round-trips exactly, unknown envelope tags are rejected, and no
+//! truncation of a valid encoding decodes (so a cut TCP frame can never
+//! be mistaken for a shorter valid message).
+
+use dagrider_core::NodeMessage;
+use dagrider_crypto::{deal_coin_keys, Coin, CoinShare};
+use dagrider_rbc::{BrachaKind, BrachaMessage};
+use dagrider_types::{Committee, Decode, DecodeError, Encode, ProcessId, Round};
+use proptest::prelude::*;
+
+/// Expands integers into a [`BrachaMessage`] covering all three phases.
+fn make_rbc(phase: u8, source: u32, round: u64, payload: Vec<u8>) -> BrachaMessage {
+    let kind = match phase % 3 {
+        0 => BrachaKind::Init(payload),
+        1 => BrachaKind::Echo(payload),
+        _ => BrachaKind::Ready(payload),
+    };
+    BrachaMessage { source: ProcessId::new(source), round: Round::new(round), kind }
+}
+
+/// A real threshold-coin share (fields are private by design, so shares
+/// are produced by the issuing process's own keys — like on the wire).
+fn make_share(issuer_index: usize, instance: u64, seed: u64) -> CoinShare {
+    use rand::{rngs::StdRng, SeedableRng};
+    let committee = Committee::new(4).expect("4 is a valid committee size");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let keys = deal_coin_keys(&committee, &mut rng);
+    let mut coin = Coin::new(keys.into_iter().nth(issuer_index % 4).expect("n = 4 keys dealt"));
+    coin.my_share(instance, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn rbc_messages_roundtrip(
+        phase in 0u8..3,
+        source in 0u32..1_000,
+        round in 0u64..1_000_000,
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let msg = NodeMessage::Rbc(make_rbc(phase, source, round, payload));
+        let bytes = msg.to_bytes();
+        prop_assert_eq!(bytes.len(), msg.encoded_len());
+        prop_assert_eq!(NodeMessage::<BrachaMessage>::from_bytes(&bytes).expect("roundtrip"), msg);
+    }
+
+    #[test]
+    fn coin_shares_roundtrip(
+        issuer in 0usize..4,
+        instance in 0u64..10_000,
+        seed in 0u64..1_000,
+    ) {
+        let msg = NodeMessage::<BrachaMessage>::Coin(make_share(issuer, instance, seed));
+        let bytes = msg.to_bytes();
+        prop_assert_eq!(bytes.len(), msg.encoded_len());
+        prop_assert_eq!(NodeMessage::<BrachaMessage>::from_bytes(&bytes).expect("roundtrip"), msg);
+    }
+
+    #[test]
+    fn unknown_envelope_tags_are_rejected(
+        tag in 2u8..=255,
+        tail in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut bytes = vec![tag];
+        bytes.extend(tail);
+        prop_assert_eq!(
+            NodeMessage::<BrachaMessage>::from_bytes(&bytes),
+            Err(DecodeError::Invalid("unknown node message tag"))
+        );
+    }
+
+    #[test]
+    fn no_strict_prefix_of_an_rbc_message_decodes(
+        phase in 0u8..3,
+        source in 0u32..1_000,
+        round in 0u64..1_000_000,
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let bytes = NodeMessage::Rbc(make_rbc(phase, source, round, payload)).to_bytes();
+        for cut in 0..bytes.len() {
+            prop_assert!(
+                NodeMessage::<BrachaMessage>::from_bytes(&bytes[..cut]).is_err(),
+                "truncation at {} of {} decoded", cut, bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn no_strict_prefix_of_a_coin_share_decodes(
+        issuer in 0usize..4,
+        instance in 0u64..10_000,
+    ) {
+        let bytes = NodeMessage::<BrachaMessage>::Coin(make_share(issuer, instance, 7)).to_bytes();
+        for cut in 0..bytes.len() {
+            prop_assert!(
+                NodeMessage::<BrachaMessage>::from_bytes(&bytes[..cut]).is_err(),
+                "truncation at {} of {} decoded", cut, bytes.len()
+            );
+        }
+    }
+}

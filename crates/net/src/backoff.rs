@@ -1,0 +1,48 @@
+//! Capped exponential backoff for connection retries.
+
+use std::time::Duration;
+
+/// A retry-delay sequence `initial, 2·initial, 4·initial, …` capped at
+/// `cap`. [`Backoff::reset`] returns to the initial delay after a
+/// successful connection so a flapping peer is re-dialed promptly.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    initial: Duration,
+    cap: Duration,
+    current: Duration,
+}
+
+impl Backoff {
+    /// Creates a backoff starting at `initial` and never exceeding `cap`.
+    pub fn new(initial: Duration, cap: Duration) -> Self {
+        Self { initial, cap, current: initial }
+    }
+
+    /// Returns the delay to sleep before the next attempt and advances
+    /// the sequence.
+    pub fn next_delay(&mut self) -> Duration {
+        let delay = self.current;
+        self.current = (self.current * 2).min(self.cap);
+        delay
+    }
+
+    /// Resets to the initial delay (call after a successful connection).
+    pub fn reset(&mut self) {
+        self.current = self.initial;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubles_until_the_cap_and_resets() {
+        let mut b = Backoff::new(Duration::from_millis(50), Duration::from_millis(400));
+        let delays: Vec<u64> =
+            (0..6).map(|_| u64::try_from(b.next_delay().as_millis()).unwrap()).collect();
+        assert_eq!(delays, [50, 100, 200, 400, 400, 400]);
+        b.reset();
+        assert_eq!(b.next_delay(), Duration::from_millis(50));
+    }
+}

@@ -1,0 +1,338 @@
+//! Multi-process localhost DAG-Rider cluster.
+//!
+//! With no arguments, acts as the **parent**: picks `n = 4` free ports,
+//! launches one child OS process per committee member, has each submit a
+//! marker transaction, waits for every child to quiesce and dump its
+//! ordered log, and verifies the logs are **identical** — the atomic
+//! broadcast total-order property, demonstrated over real TCP.
+//!
+//! With `--restart`, the parent additionally SIGKILLs one child mid-run
+//! and relaunches it; the replacement must rejoin through the sync
+//! protocol (and reconnect backoff) and still produce the same log.
+//!
+//! Children are invoked as `cluster --child <i> --addrs ... --out FILE`;
+//! they write one line per ordered vertex followed by a `DONE` marker,
+//! then linger to serve sync requests until the parent kills them.
+//!
+//! ```text
+//! cargo run --release -p dagrider-net --bin cluster
+//! cargo run --release -p dagrider-net --bin cluster -- --restart
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::net::{SocketAddr, TcpListener};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command};
+use std::time::{Duration, Instant};
+
+use dagrider_core::NodeConfig;
+use dagrider_crypto::deal_coin_keys;
+use dagrider_net::{NetConfig, NetNode};
+use dagrider_rbc::BrachaRbc;
+use dagrider_types::{Block, Committee, ProcessId, SeqNum, Transaction};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Committee-wide seed: coin-key dealing must agree across processes.
+const DEFAULT_SEED: u64 = 2026;
+const DEFAULT_MAX_ROUND: u64 = 24;
+/// A child declares quiescence once its log stopped growing this long.
+const STABLE_GRACE: Duration = Duration::from_millis(1500);
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result =
+        if args.iter().any(|a| a == "--child") { child_main(&args) } else { parent_main(&args) };
+    if let Err(message) = result {
+        eprintln!("cluster: {message}");
+        std::process::exit(1);
+    }
+}
+
+/// Returns the value following `key`, if present.
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn parse_arg<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> Result<T, String> {
+    match arg_value(args, key) {
+        None => Ok(default),
+        Some(raw) => raw.parse().map_err(|_| format!("bad value for {key}: {raw}")),
+    }
+}
+
+/// The marker transaction child `i` submits, recognizable by every child.
+fn marker_tx(i: usize) -> Transaction {
+    Transaction::synthetic(1000 + i as u64, 16)
+}
+
+// ---------------------------------------------------------------------------
+// Parent
+// ---------------------------------------------------------------------------
+
+fn parent_main(args: &[String]) -> Result<(), String> {
+    let n: usize = parse_arg(args, "--n", 4)?;
+    let seed: u64 = parse_arg(args, "--seed", DEFAULT_SEED)?;
+    let max_round: u64 = parse_arg(args, "--max-round", DEFAULT_MAX_ROUND)?;
+    let timeout = Duration::from_secs(parse_arg(args, "--timeout-secs", 120u64)?);
+    let restart = args.iter().any(|a| a == "--restart");
+
+    let dir = match arg_value(args, "--dir") {
+        Some(d) => PathBuf::from(d),
+        None => std::env::temp_dir().join(format!("dagrider-cluster-{}", std::process::id())),
+    };
+    std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+
+    let addrs = free_addrs(n)?;
+    let addr_list = addrs.iter().map(ToString::to_string).collect::<Vec<_>>().join(",");
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+
+    let out_path = |i: usize| dir.join(format!("node{i}.log"));
+    let spawn_child = |i: usize| -> Result<Child, String> {
+        Command::new(&exe)
+            .args([
+                "--child",
+                &i.to_string(),
+                "--addrs",
+                &addr_list,
+                "--seed",
+                &seed.to_string(),
+                "--max-round",
+                &max_round.to_string(),
+                "--out",
+                &out_path(i).display().to_string(),
+            ])
+            .spawn()
+            .map_err(|e| format!("spawn child {i}: {e}"))
+    };
+
+    eprintln!(
+        "cluster: n={n} seed={seed} max_round={max_round} restart={restart} dir={}",
+        dir.display()
+    );
+    let mut children: Vec<Child> = (0..n).map(spawn_child).collect::<Result<_, _>>()?;
+
+    // Mid-run crash: SIGKILL the last process, then bring up a fresh
+    // replacement that must catch up purely through the sync protocol.
+    if restart {
+        let victim = n - 1;
+        std::thread::sleep(Duration::from_millis(600));
+        let _ = children[victim].kill();
+        let _ = children[victim].wait();
+        let _ = std::fs::remove_file(out_path(victim));
+        eprintln!("cluster: SIGKILLed and restarting node {victim}");
+        children[victim] = spawn_child(victim)?;
+    }
+
+    let verdict = wait_and_verify(&dir, n, restart, timeout, &mut children, &out_path);
+    for mut child in children {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+    verdict
+}
+
+/// Binds `n` ephemeral localhost ports to discover free addresses, then
+/// releases them for the children to claim.
+fn free_addrs(n: usize) -> Result<Vec<SocketAddr>, String> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0"))
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("probe ports: {e}"))?;
+    listeners.iter().map(|l| l.local_addr().map_err(|e| format!("local_addr: {e}"))).collect()
+}
+
+/// Polls for every child's `DONE` marker, then checks all ordered logs
+/// are identical and contain the surviving processes' markers.
+fn wait_and_verify(
+    _dir: &Path,
+    n: usize,
+    restart: bool,
+    timeout: Duration,
+    children: &mut [Child],
+    out_path: &dyn Fn(usize) -> PathBuf,
+) -> Result<(), String> {
+    let deadline = Instant::now() + timeout;
+    let finished = |i: usize| -> Option<Vec<String>> {
+        let text = std::fs::read_to_string(out_path(i)).ok()?;
+        let mut lines: Vec<String> = text.lines().map(str::to_owned).collect();
+        (lines.pop()? == "DONE").then_some(lines)
+    };
+
+    let logs: Vec<Vec<String>> = loop {
+        if Instant::now() >= deadline {
+            return Err(format!("timed out after {timeout:?} waiting for children"));
+        }
+        for (i, child) in children.iter_mut().enumerate() {
+            if let Ok(Some(status)) = child.try_wait() {
+                if finished(i).is_none() {
+                    return Err(format!("child {i} exited early: {status}"));
+                }
+            }
+        }
+        let done: Vec<_> = (0..n).map(finished).collect();
+        if done.iter().all(Option::is_some) {
+            break done.into_iter().flatten().collect();
+        }
+        std::thread::sleep(Duration::from_millis(150));
+    };
+
+    // Total order: byte-identical logs everywhere.
+    for i in 1..n {
+        if logs[i] != logs[0] {
+            let diverge = logs[0]
+                .iter()
+                .zip(&logs[i])
+                .position(|(a, b)| a != b)
+                .unwrap_or(logs[0].len().min(logs[i].len()));
+            return Err(format!(
+                "node {i} log diverges from node 0 at entry {diverge} \
+                 (lengths {} vs {})",
+                logs[0].len(),
+                logs[i].len()
+            ));
+        }
+    }
+    if logs[0].is_empty() {
+        return Err("cluster quiesced with an empty ordered log".into());
+    }
+
+    // Validity: in an uninterrupted run every process's marker block must
+    // be ordered (they all ride round-1 vertices). A mid-run kill can
+    // orphan early vertices whose weak-edge carriers died with the victim
+    // — validity is only *eventual*, and the run is truncated at
+    // `max_round` — so the restart mode requires at least one marker.
+    let has_marker = |i: usize| {
+        let token = format!("m{i}");
+        logs[0].iter().any(|l| l.split_whitespace().any(|t| t == token))
+    };
+    let ordered_markers = (0..n).filter(|&i| has_marker(i)).count();
+    if restart {
+        if ordered_markers == 0 {
+            return Err("no marker transaction was ever ordered".into());
+        }
+    } else {
+        for i in 0..n {
+            if !has_marker(i) {
+                return Err(format!("marker of node {i} never ordered"));
+            }
+        }
+    }
+
+    println!(
+        "PASS: {n} processes agreed on {} ordered vertices ({ordered_markers} marker blocks){}",
+        logs[0].len(),
+        if restart { ", including a SIGKILLed+restarted process" } else { "" }
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Child
+// ---------------------------------------------------------------------------
+
+fn child_main(args: &[String]) -> Result<(), String> {
+    let index: usize = parse_arg(args, "--child", usize::MAX)?;
+    let seed: u64 = parse_arg(args, "--seed", DEFAULT_SEED)?;
+    let max_round: u64 = parse_arg(args, "--max-round", DEFAULT_MAX_ROUND)?;
+    let out = arg_value(args, "--out").ok_or("--out is required")?;
+    let addrs: Vec<SocketAddr> = arg_value(args, "--addrs")
+        .ok_or("--addrs is required")?
+        .split(',')
+        .map(|a| a.parse().map_err(|_| format!("bad address: {a}")))
+        .collect::<Result<_, _>>()?;
+
+    let n = addrs.len();
+    if index >= n {
+        return Err(format!("--child {index} out of range for {n} addresses"));
+    }
+    let committee = Committee::new(n).map_err(|e| e.to_string())?;
+    let me = ProcessId::new(u32::try_from(index).map_err(|e| e.to_string())?);
+
+    // Every process deals the same key set from the shared seed and keeps
+    // its own share — standing in for a distributed key-generation setup.
+    let mut key_rng = StdRng::seed_from_u64(seed);
+    let mut keys = deal_coin_keys(&committee, &mut key_rng);
+    let my_keys = keys.swap_remove(index);
+
+    let node_config = NodeConfig::default().with_max_round(max_round);
+    let process_seed = seed.wrapping_mul(0x9e37_79b9).wrapping_add(index as u64);
+    let config = NetConfig::new(committee, me, addrs.clone(), node_config, my_keys, process_seed);
+
+    // A restarted process can race the kernel's teardown of its
+    // predecessor's socket, so retry the bind briefly.
+    let listener = bind_with_retry(addrs[index], Duration::from_secs(10))?;
+    let node =
+        NetNode::start::<BrachaRbc>(config, Some(listener)).map_err(|e| format!("start: {e}"))?;
+
+    // Submit our marker block immediately: the engine queues it until its
+    // first proposal, so it rides the earliest possible vertex (on
+    // localhost the whole run can finish in under a second — waiting for
+    // the sync phase could miss the last proposal round entirely).
+    node.submit(Block::new(me, SeqNum::new(1), vec![marker_tx(index)]));
+
+    // Wait for quiescence: rounds exhausted and the log stable.
+    let mut last_len = 0;
+    let mut stable_since = Instant::now();
+    loop {
+        std::thread::sleep(Duration::from_millis(100));
+        let len = node.ordered_len();
+        if len != last_len {
+            last_len = len;
+            stable_since = Instant::now();
+        }
+        if node.current_round().number() >= max_round
+            && len > 0
+            && stable_since.elapsed() >= STABLE_GRACE
+        {
+            break;
+        }
+    }
+
+    // Dump the ordered log: one line per vertex, tagging any marker
+    // transactions the block carried, then the DONE terminator.
+    let markers: Vec<Transaction> = (0..n).map(marker_tx).collect();
+    let mut text = String::new();
+    for entry in node.ordered() {
+        use std::fmt::Write as _;
+        let _ = write!(
+            text,
+            "r{} p{} w{}",
+            entry.vertex.round.number(),
+            entry.vertex.source.as_usize(),
+            entry.committed_in_wave.number()
+        );
+        for tx in entry.block.transactions() {
+            if let Some(i) = markers.iter().position(|m| m == tx) {
+                let _ = write!(text, " m{i}");
+            }
+        }
+        text.push('\n');
+    }
+    text.push_str("DONE\n");
+    std::fs::write(&out, text).map_err(|e| format!("write {out}: {e}"))?;
+    eprintln!(
+        "node {index}: ordered {} vertices, decided wave {}, {} frames dropped",
+        node.ordered_len(),
+        node.decided_wave().number(),
+        node.dropped_frames()
+    );
+
+    // Linger: keep serving sync requests (a restarted peer rebuilds its
+    // DAG from us) until the parent kills this process.
+    loop {
+        std::thread::sleep(Duration::from_secs(1));
+    }
+}
+
+fn bind_with_retry(addr: SocketAddr, budget: Duration) -> Result<TcpListener, String> {
+    let deadline = Instant::now() + budget;
+    loop {
+        match TcpListener::bind(addr) {
+            Ok(listener) => return Ok(listener),
+            Err(e) if Instant::now() >= deadline => return Err(format!("bind {addr}: {e}")),
+            Err(_) => std::thread::sleep(Duration::from_millis(200)),
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Length-prefixed framing over a byte stream.
+//!
+//! Every frame is a little-endian `u32` payload length followed by the
+//! payload bytes. The length is bounded by [`MAX_FRAME_LEN`] so a
+//! malicious or corrupt peer cannot make a reader allocate unboundedly.
+
+use std::io::{self, Read, Write};
+
+/// Upper bound on a single frame's payload, in bytes. A DAG-Rider wire
+/// message is a vertex plus edges and a block — far below this; anything
+/// larger is a protocol violation or stream corruption.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Writes one length-prefixed frame and flushes the stream.
+pub fn write_frame<W: Write>(writer: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, "frame exceeds MAX_FRAME_LEN"));
+    }
+    let len = payload.len() as u32;
+    writer.write_all(&len.to_le_bytes())?;
+    writer.write_all(payload)?;
+    writer.flush()
+}
+
+/// Reads one length-prefixed frame. Blocks until the full frame arrived;
+/// returns `UnexpectedEof` if the peer closed mid-frame and `InvalidData`
+/// if the advertised length exceeds [`MAX_FRAME_LEN`].
+pub fn read_frame<R: Read>(reader: &mut R) -> io::Result<Vec<u8>> {
+    let mut len_bytes = [0u8; 4];
+    reader.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "frame exceeds MAX_FRAME_LEN"));
+    }
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, &[7u8; 300]).unwrap();
+        let mut cursor = io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"");
+        assert_eq!(read_frame(&mut cursor).unwrap(), vec![7u8; 300]);
+        // Stream exhausted.
+        assert_eq!(read_frame(&mut cursor).unwrap_err().kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut cursor = io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap_err().kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_payload_is_eof() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&10u32.to_le_bytes());
+        buf.extend_from_slice(b"short");
+        let mut cursor = io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap_err().kind(), io::ErrorKind::UnexpectedEof);
+    }
+}

@@ -1,0 +1,40 @@
+//! Real-network runtime for the sans-I/O DAG-Rider engine.
+//!
+//! Where `dagrider-simnet` drives the engine inside a deterministic
+//! simulation, this crate drives the *same* engine over real TCP
+//! sockets with OS threads — nothing protocol-level lives here, which
+//! is the point of the engine/driver split:
+//!
+//! * [`frame`] — length-prefixed framing with a hard size bound.
+//! * [`wire`] — the [`WireMsg`] envelope (peer handshake, opaque engine
+//!   payloads, and the DAG sync stream for rejoining processes).
+//! * [`backoff`] — capped exponential reconnect delays.
+//! * [`queue`] — bounded per-peer outbound queues with drop-oldest
+//!   backpressure.
+//! * [`runtime`] — [`NetNode`]: one DAG-Rider process as a thread-per-peer
+//!   TCP runtime with graceful shutdown.
+//!
+//! The `cluster` binary launches an `n = 4` cluster as real OS processes
+//! on localhost, submits transactions, and checks that every process
+//! emits the same total order (optionally SIGKILLing and restarting one
+//! process mid-run to exercise sync-on-rejoin):
+//!
+//! ```text
+//! cargo run --release -p dagrider-net --bin cluster
+//! cargo run --release -p dagrider-net --bin cluster -- --restart
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backoff;
+pub mod frame;
+pub mod queue;
+pub mod runtime;
+pub mod wire;
+
+pub use backoff::Backoff;
+pub use frame::{read_frame, write_frame, MAX_FRAME_LEN};
+pub use queue::{Pop, SendQueue};
+pub use runtime::{NetConfig, NetNode};
+pub use wire::WireMsg;

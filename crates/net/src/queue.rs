@@ -1,0 +1,197 @@
+//! Bounded per-peer outbound queues.
+//!
+//! Each peer gets one [`SendQueue`] feeding its writer thread. The queue
+//! is the backpressure boundary between the consensus thread (which must
+//! never block on a slow peer — the protocol is asynchronous precisely so
+//! one laggard cannot stall the rest) and the TCP connection. When a peer
+//! falls more than `capacity` frames behind, the *oldest* frames are
+//! dropped: reliable broadcast tolerates message loss by design, and a
+//! rejoining peer recovers anything it missed through the sync protocol.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use bytes::Bytes;
+
+/// Result of [`SendQueue::pop_timeout`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pop {
+    /// A frame to write.
+    Frame(Bytes),
+    /// No frame arrived within the timeout; the queue is still open.
+    TimedOut,
+    /// The queue is closed and drained; the writer should exit.
+    Closed,
+}
+
+#[derive(Debug)]
+struct Inner {
+    frames: VecDeque<Bytes>,
+    closed: bool,
+    dropped: u64,
+}
+
+/// A bounded MPSC byte-frame queue with drop-oldest overflow.
+#[derive(Debug)]
+pub struct SendQueue {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    ready: Condvar,
+}
+
+impl SendQueue {
+    /// Creates a queue holding at most `capacity` frames.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Self {
+            capacity,
+            inner: Mutex::new(Inner { frames: VecDeque::new(), closed: false, dropped: 0 }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A poisoned queue mutex means a writer thread panicked while
+        // holding it; the frames themselves are still consistent.
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Enqueues a frame, dropping the oldest queued frame if full.
+    /// Returns `false` if the queue is closed (frame discarded).
+    pub fn push(&self, frame: Bytes) -> bool {
+        let mut inner = self.lock();
+        if inner.closed {
+            return false;
+        }
+        if inner.frames.len() >= self.capacity {
+            inner.frames.pop_front();
+            inner.dropped += 1;
+        }
+        inner.frames.push_back(frame);
+        drop(inner);
+        self.ready.notify_one();
+        true
+    }
+
+    /// Puts a frame back at the *front* of the queue — used by a writer
+    /// whose connection died mid-send, so the frame is retried first
+    /// after reconnecting. Ignored if the queue is closed.
+    pub fn requeue_front(&self, frame: Bytes) {
+        let mut inner = self.lock();
+        if !inner.closed {
+            if inner.frames.len() >= self.capacity {
+                inner.frames.pop_back();
+                inner.dropped += 1;
+            }
+            inner.frames.push_front(frame);
+            drop(inner);
+            self.ready.notify_one();
+        }
+    }
+
+    /// Waits up to `timeout` for a frame.
+    pub fn pop_timeout(&self, timeout: Duration) -> Pop {
+        let mut inner = self.lock();
+        loop {
+            if let Some(frame) = inner.frames.pop_front() {
+                return Pop::Frame(frame);
+            }
+            if inner.closed {
+                return Pop::Closed;
+            }
+            let (guard, result) = self
+                .ready
+                .wait_timeout(inner, timeout)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            inner = guard;
+            if result.timed_out() && inner.frames.is_empty() && !inner.closed {
+                return Pop::TimedOut;
+            }
+        }
+    }
+
+    /// Closes the queue: `push` starts failing and writers drain what is
+    /// left, then see [`Pop::Closed`].
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Frames dropped to overflow so far.
+    pub fn dropped(&self) -> u64 {
+        self.lock().dropped
+    }
+
+    /// Frames currently waiting.
+    pub fn len(&self) -> usize {
+        self.lock().frames.len()
+    }
+
+    /// Whether no frames are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let q = SendQueue::new(4);
+        assert!(q.push(Bytes::from_static(b"a")));
+        assert!(q.push(Bytes::from_static(b"b")));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Pop::Frame(Bytes::from_static(b"a")));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Pop::Frame(Bytes::from_static(b"b")));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Pop::TimedOut);
+        assert_eq!(q.dropped(), 0);
+    }
+
+    #[test]
+    fn overflow_drops_oldest() {
+        let q = SendQueue::new(2);
+        q.push(Bytes::from_static(b"a"));
+        q.push(Bytes::from_static(b"b"));
+        q.push(Bytes::from_static(b"c"));
+        assert_eq!(q.dropped(), 1);
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Pop::Frame(Bytes::from_static(b"b")));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Pop::Frame(Bytes::from_static(b"c")));
+    }
+
+    #[test]
+    fn close_drains_then_reports_closed() {
+        let q = SendQueue::new(4);
+        q.push(Bytes::from_static(b"a"));
+        q.close();
+        assert!(!q.push(Bytes::from_static(b"late")));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Pop::Frame(Bytes::from_static(b"a")));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Pop::Closed);
+    }
+
+    #[test]
+    fn requeue_front_is_retried_first() {
+        let q = SendQueue::new(4);
+        q.push(Bytes::from_static(b"next"));
+        q.requeue_front(Bytes::from_static(b"failed"));
+        assert_eq!(
+            q.pop_timeout(Duration::from_millis(1)),
+            Pop::Frame(Bytes::from_static(b"failed"))
+        );
+    }
+
+    #[test]
+    fn pop_wakes_on_cross_thread_push() {
+        let q = Arc::new(SendQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let start = Instant::now();
+        let handle = std::thread::spawn(move || q2.pop_timeout(Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(30));
+        q.push(Bytes::from_static(b"x"));
+        assert_eq!(handle.join().unwrap(), Pop::Frame(Bytes::from_static(b"x")));
+        assert!(start.elapsed() < Duration::from_secs(4), "pop did not wake on push");
+    }
+}

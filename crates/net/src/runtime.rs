@@ -1,0 +1,542 @@
+//! The TCP cluster runtime: threads, sockets, and the consensus loop.
+//!
+//! One [`NetNode`] is one DAG-Rider process on a real network. Its thread
+//! layout:
+//!
+//! * **consensus** — owns the sans-I/O [`DagRiderEngine`] (constructed
+//!   inside the thread: the engine holds a non-`Send` tracer slot) and is
+//!   the only thread that touches protocol state. It drains one event
+//!   channel fed by everything else.
+//! * **writer × (n − 1)** — one per peer, draining that peer's bounded
+//!   [`SendQueue`] into a TCP connection it owns, dialing with capped
+//!   exponential [`Backoff`] and re-dialing forever on failure.
+//! * **accept** — polls the listener and spawns a **reader** per inbound
+//!   connection; readers decode frames and push events to consensus.
+//!
+//! A (re)starting node first asks every peer for its retained DAG
+//! ([`WireMsg::SyncRequest`]) and only calls `engine.start()` if, after
+//! the sync phase, it is still at the genesis round — a rejoining process
+//! resumes organically from the synced vertices instead, which keeps its
+//! pre-crash proposals from being equivocated where peers would notice.
+
+use std::collections::BTreeSet;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtomicOrdering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use dagrider_core::{
+    DagRiderEngine, EngineInput, EngineOutput, NodeConfig, NodeMessage, OrderedVertex,
+};
+use dagrider_crypto::CoinKeys;
+use dagrider_rbc::ReliableBroadcast;
+use dagrider_types::{Block, Committee, Decode, Encode, ProcessId, Round, Time, Wave};
+
+use crate::backoff::Backoff;
+use crate::frame::{read_frame, write_frame};
+use crate::queue::{Pop, SendQueue};
+use crate::wire::WireMsg;
+
+/// Configuration for one cluster process.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// The committee this process belongs to.
+    pub committee: Committee,
+    /// This process's identity.
+    pub me: ProcessId,
+    /// Listen address of every committee member, indexed by process id.
+    pub addrs: Vec<SocketAddr>,
+    /// Protocol configuration handed to the engine.
+    pub node: NodeConfig,
+    /// This process's dealt threshold-coin keys.
+    pub coin_keys: CoinKeys,
+    /// Seed for this process's protocol randomness.
+    pub seed: u64,
+    /// How long to wait for peers' sync replies before starting the
+    /// protocol anyway.
+    pub sync_timeout: Duration,
+    /// Per-peer outbound queue capacity, in frames (drop-oldest beyond).
+    pub queue_capacity: usize,
+    /// Consensus loop wake-up interval (timer resolution, shutdown
+    /// latency).
+    pub tick: Duration,
+}
+
+impl NetConfig {
+    /// A configuration with production-ish defaults: 2 s sync phase,
+    /// 4096-frame queues, 25 ms tick.
+    pub fn new(
+        committee: Committee,
+        me: ProcessId,
+        addrs: Vec<SocketAddr>,
+        node: NodeConfig,
+        coin_keys: CoinKeys,
+        seed: u64,
+    ) -> Self {
+        Self {
+            committee,
+            me,
+            addrs,
+            node,
+            coin_keys,
+            seed,
+            sync_timeout: Duration::from_secs(2),
+            queue_capacity: 4096,
+            tick: Duration::from_millis(25),
+        }
+    }
+
+    /// Overrides the sync-phase timeout.
+    #[must_use]
+    pub fn with_sync_timeout(mut self, timeout: Duration) -> Self {
+        self.sync_timeout = timeout;
+        self
+    }
+}
+
+/// Everything that can wake the consensus thread.
+enum Event {
+    /// A decoded wire message from an identified peer.
+    Net { from: ProcessId, msg: WireMsg },
+    /// A client block submission.
+    Submit(Block),
+    /// A writer (re-)established its connection to `peer`.
+    LinkUp(ProcessId),
+    /// Stop the consensus loop.
+    Shutdown,
+}
+
+/// State the consensus thread publishes for cross-thread queries.
+#[derive(Debug, Default)]
+struct Published {
+    ordered: Mutex<Vec<OrderedVertex>>,
+    round: AtomicU64,
+    decided_wave: AtomicU64,
+    synced: AtomicBool,
+}
+
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Millisecond-granularity engine clock anchored at process start.
+fn engine_now(epoch: Instant) -> Time {
+    Time::new(u64::try_from(epoch.elapsed().as_millis()).unwrap_or(u64::MAX))
+}
+
+fn encode_frame(msg: &WireMsg) -> Bytes {
+    Bytes::from(msg.to_bytes())
+}
+
+/// Sleeps up to `total`, returning early once `running` clears.
+fn sleep_while_running(total: Duration, running: &AtomicBool) {
+    let deadline = Instant::now() + total;
+    while running.load(AtomicOrdering::Relaxed) {
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            return;
+        }
+        std::thread::sleep(left.min(Duration::from_millis(50)));
+    }
+}
+
+/// One DAG-Rider process on real TCP sockets.
+///
+/// Dropping (or [`NetNode::shutdown`]) stops every thread gracefully:
+/// queues are closed and drained, the listener stops accepting, reader
+/// sockets are shut down, and all owned threads are joined.
+#[derive(Debug)]
+pub struct NetNode {
+    me: ProcessId,
+    committee: Committee,
+    addr: SocketAddr,
+    tx: Sender<Event>,
+    published: Arc<Published>,
+    queues: Vec<Arc<SendQueue>>,
+    reader_socks: Arc<Mutex<Vec<TcpStream>>>,
+    running: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl NetNode {
+    /// Starts the process: binds `config.addrs[me]` (or adopts
+    /// `listener`, which lets callers pre-bind port 0 to pick free
+    /// ports), spawns the transport threads, and launches the consensus
+    /// loop with reliable-broadcast implementation `B`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the listen address cannot be bound.
+    pub fn start<B: ReliableBroadcast + 'static>(
+        config: NetConfig,
+        listener: Option<TcpListener>,
+    ) -> io::Result<Self> {
+        let me = config.me;
+        let committee = config.committee;
+        if config.addrs.len() != committee.n() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "need one address per committee member",
+            ));
+        }
+        let listener = match listener {
+            Some(l) => l,
+            None => TcpListener::bind(config.addrs[me.as_usize()])?,
+        };
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let (tx, rx) = mpsc::channel::<Event>();
+        let running = Arc::new(AtomicBool::new(true));
+        let published = Arc::new(Published::default());
+        let queues: Vec<Arc<SendQueue>> =
+            (0..committee.n()).map(|_| Arc::new(SendQueue::new(config.queue_capacity))).collect();
+        let reader_socks = Arc::new(Mutex::new(Vec::new()));
+
+        let mut threads = Vec::new();
+        for peer in committee.others(me) {
+            let peer_addr = config.addrs[peer.as_usize()];
+            let queue = Arc::clone(&queues[peer.as_usize()]);
+            let writer_tx = tx.clone();
+            let writer_running = Arc::clone(&running);
+            threads.push(std::thread::spawn(move || {
+                writer_loop(me, peer, peer_addr, &queue, &writer_tx, &writer_running);
+            }));
+        }
+        {
+            let accept_tx = tx.clone();
+            let accept_running = Arc::clone(&running);
+            let socks = Arc::clone(&reader_socks);
+            threads.push(std::thread::spawn(move || {
+                accept_loop(&listener, committee, &accept_tx, &accept_running, &socks);
+            }));
+        }
+        {
+            let state = Arc::clone(&published);
+            let consensus_queues = queues.clone();
+            let consensus_running = Arc::clone(&running);
+            threads.push(std::thread::spawn(move || {
+                consensus_loop::<B>(config, rx, &consensus_queues, &state, &consensus_running);
+            }));
+        }
+
+        Ok(Self { me, committee, addr, tx, published, queues, reader_socks, running, threads })
+    }
+
+    /// This process's identity.
+    pub fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    /// The committee.
+    pub fn committee(&self) -> Committee {
+        self.committee
+    }
+
+    /// The bound listen address (useful with pre-bound port 0 listeners).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Submits a block of transactions for atomic broadcast. Returns
+    /// `false` after shutdown.
+    pub fn submit(&self, block: Block) -> bool {
+        self.tx.send(Event::Submit(block)).is_ok()
+    }
+
+    /// Snapshot of the ordered log so far.
+    pub fn ordered(&self) -> Vec<OrderedVertex> {
+        lock_unpoisoned(&self.published.ordered).clone()
+    }
+
+    /// Length of the ordered log so far (cheaper than [`NetNode::ordered`]).
+    pub fn ordered_len(&self) -> usize {
+        lock_unpoisoned(&self.published.ordered).len()
+    }
+
+    /// Highest wave this process has decided.
+    pub fn decided_wave(&self) -> Wave {
+        Wave::new(self.published.decided_wave.load(AtomicOrdering::Relaxed))
+    }
+
+    /// The engine's current DAG round.
+    pub fn current_round(&self) -> Round {
+        Round::new(self.published.round.load(AtomicOrdering::Relaxed))
+    }
+
+    /// Whether the start-up sync phase has finished and the protocol is
+    /// live.
+    pub fn is_live(&self) -> bool {
+        self.published.synced.load(AtomicOrdering::Relaxed)
+    }
+
+    /// Total outbound frames dropped to queue overflow, across all peers.
+    pub fn dropped_frames(&self) -> u64 {
+        self.queues.iter().map(|q| q.dropped()).sum()
+    }
+
+    /// Stops every thread and joins them. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.running.store(false, AtomicOrdering::Relaxed);
+        let _ = self.tx.send(Event::Shutdown);
+        for queue in &self.queues {
+            queue.close();
+        }
+        for sock in lock_unpoisoned(&self.reader_socks).drain(..) {
+            let _ = sock.shutdown(Shutdown::Both);
+        }
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for NetNode {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Dials `peer` forever (capped exponential backoff), announcing with a
+/// `Hello` frame after every (re)connect and then draining the peer's
+/// send queue into the socket. A frame that fails mid-write is requeued
+/// at the front and retried on the next connection.
+fn writer_loop(
+    me: ProcessId,
+    peer: ProcessId,
+    addr: SocketAddr,
+    queue: &SendQueue,
+    tx: &Sender<Event>,
+    running: &AtomicBool,
+) {
+    let mut backoff = Backoff::new(Duration::from_millis(50), Duration::from_secs(2));
+    'reconnect: while running.load(AtomicOrdering::Relaxed) {
+        let Ok(mut stream) = TcpStream::connect(addr) else {
+            sleep_while_running(backoff.next_delay(), running);
+            continue 'reconnect;
+        };
+        let _ = stream.set_nodelay(true);
+        if write_frame(&mut stream, &WireMsg::Hello(me).to_bytes()).is_err() {
+            sleep_while_running(backoff.next_delay(), running);
+            continue 'reconnect;
+        }
+        backoff.reset();
+        let _ = tx.send(Event::LinkUp(peer));
+        loop {
+            match queue.pop_timeout(Duration::from_millis(100)) {
+                Pop::Frame(frame) => {
+                    if write_frame(&mut stream, &frame).is_err() {
+                        queue.requeue_front(frame);
+                        continue 'reconnect;
+                    }
+                }
+                Pop::TimedOut => {
+                    if !running.load(AtomicOrdering::Relaxed) {
+                        return;
+                    }
+                }
+                Pop::Closed => return,
+            }
+        }
+    }
+}
+
+/// Polls the listener, spawning a detached reader thread per inbound
+/// connection. Reader sockets are also parked in `socks` so shutdown can
+/// unblock them.
+fn accept_loop(
+    listener: &TcpListener,
+    committee: Committee,
+    tx: &Sender<Event>,
+    running: &AtomicBool,
+    socks: &Mutex<Vec<TcpStream>>,
+) {
+    while running.load(AtomicOrdering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                if let Ok(clone) = stream.try_clone() {
+                    lock_unpoisoned(socks).push(clone);
+                }
+                let reader_tx = tx.clone();
+                // Detached: exits on EOF/error (peer gone or our shutdown
+                // closed the socket) or when consensus hangs up the channel.
+                std::thread::spawn(move || reader_loop(stream, committee, &reader_tx));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// Reads frames off one inbound connection. The first frame must be a
+/// valid `Hello` from a committee member; anything malformed closes the
+/// connection (the peer's writer will redial and re-identify).
+fn reader_loop(mut stream: TcpStream, committee: Committee, tx: &Sender<Event>) {
+    let hello = read_frame(&mut stream).ok().and_then(|b| WireMsg::from_bytes(&b).ok());
+    let Some(WireMsg::Hello(from)) = hello else { return };
+    if !committee.contains(from) {
+        return;
+    }
+    loop {
+        let Ok(bytes) = read_frame(&mut stream) else { return };
+        let Ok(msg) = WireMsg::from_bytes(&bytes) else { return };
+        if matches!(msg, WireMsg::Hello(_)) {
+            continue;
+        }
+        if tx.send(Event::Net { from, msg }).is_err() {
+            return;
+        }
+    }
+}
+
+/// The consensus thread: sync phase, then the event loop driving the
+/// engine until shutdown.
+fn consensus_loop<B: ReliableBroadcast>(
+    config: NetConfig,
+    rx: Receiver<Event>,
+    queues: &[Arc<SendQueue>],
+    published: &Published,
+    running: &AtomicBool,
+) {
+    let committee = config.committee;
+    let me = config.me;
+    let mut engine: DagRiderEngine<B> =
+        DagRiderEngine::new(committee, me, config.coin_keys, config.node);
+    let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(config.seed);
+    let epoch = Instant::now();
+
+    // Pending engine timers as (fire-at, tag), unordered (few and coarse).
+    let mut timers: Vec<(Instant, u64)> = Vec::new();
+    let route = |outs: Vec<EngineOutput>, timers: &mut Vec<(Instant, u64)>| {
+        for out in outs {
+            match out {
+                EngineOutput::Send { to, payload } => {
+                    queues[to.as_usize()].push(encode_frame(&WireMsg::Engine(payload.to_vec())));
+                }
+                EngineOutput::Broadcast { payload } => {
+                    let frame = encode_frame(&WireMsg::Engine(payload.to_vec()));
+                    for to in committee.others(me) {
+                        queues[to.as_usize()].push(frame.clone());
+                    }
+                }
+                EngineOutput::SetTimer { delay, tag } => {
+                    timers.push((Instant::now() + Duration::from_millis(delay), tag));
+                }
+                // Ordered vertices are published from the engine's own log
+                // below; nothing to route.
+                EngineOutput::Ordered(_) => {}
+            }
+        }
+    };
+
+    // Sync phase: ask every peer for its retained DAG as links come up;
+    // go live once all have answered or the timeout expires.
+    let mut awaiting_sync: BTreeSet<ProcessId> = committee.others(me).collect();
+    let sync_deadline = Instant::now() + config.sync_timeout;
+    let mut live = false;
+    let mut published_len = 0usize;
+
+    loop {
+        let event = rx.recv_timeout(config.tick);
+        if !running.load(AtomicOrdering::Relaxed) {
+            return;
+        }
+        match event {
+            Ok(Event::Net { from, msg }) => match msg {
+                WireMsg::Engine(payload) => {
+                    let input = EngineInput::Message { from, payload };
+                    let outs = engine.handle(engine_now(epoch), input, &mut rng);
+                    route(outs, &mut timers);
+                }
+                WireMsg::SyncRequest => {
+                    serve_sync(&mut engine, &mut rng, &queues[from.as_usize()]);
+                }
+                WireMsg::SyncVertex(vertex) => {
+                    let input = EngineInput::SyncVertex(vertex);
+                    let outs = engine.handle(engine_now(epoch), input, &mut rng);
+                    route(outs, &mut timers);
+                }
+                WireMsg::SyncEnd => {
+                    awaiting_sync.remove(&from);
+                }
+                WireMsg::Hello(_) => {}
+            },
+            Ok(Event::Submit(block)) => {
+                let outs =
+                    engine.handle(engine_now(epoch), EngineInput::SubmitBlock(block), &mut rng);
+                route(outs, &mut timers);
+            }
+            Ok(Event::LinkUp(peer)) => {
+                if !live {
+                    queues[peer.as_usize()].push(encode_frame(&WireMsg::SyncRequest));
+                }
+            }
+            Ok(Event::Shutdown) | Err(RecvTimeoutError::Disconnected) => return,
+            Err(RecvTimeoutError::Timeout) => {}
+        }
+
+        // Fire due timers.
+        let now_instant = Instant::now();
+        let mut i = 0;
+        while i < timers.len() {
+            if timers[i].0 <= now_instant {
+                let (_, tag) = timers.swap_remove(i);
+                let outs = engine.handle(engine_now(epoch), EngineInput::Timer { tag }, &mut rng);
+                route(outs, &mut timers);
+            } else {
+                i += 1;
+            }
+        }
+
+        // Leave the sync phase. A fresh process is still at genesis and
+        // must start (propose its round-1 vertex); a rejoining one has
+        // already advanced off the synced vertices and must *not* —
+        // `start()` is a genesis-only entry point.
+        if !live && (awaiting_sync.is_empty() || Instant::now() >= sync_deadline) {
+            live = true;
+            published.synced.store(true, AtomicOrdering::Relaxed);
+            if engine.current_round() == Round::GENESIS && !engine.is_started() {
+                let outs = engine.start(engine_now(epoch), &mut rng);
+                route(outs, &mut timers);
+            }
+        }
+
+        // Publish progress for cross-thread queries.
+        let log = engine.ordered();
+        if log.len() > published_len {
+            lock_unpoisoned(&published.ordered).extend_from_slice(&log[published_len..]);
+            published_len = log.len();
+        }
+        published.round.store(engine.current_round().number(), AtomicOrdering::Relaxed);
+        published.decided_wave.store(engine.decided_wave().number(), AtomicOrdering::Relaxed);
+    }
+}
+
+/// Streams our retained DAG to a catching-up peer: every non-genesis
+/// vertex in ascending `(round, source)` order, then our own coin share
+/// for every wave touched so far (shares are deterministic per wave, so
+/// regeneration equals re-send; `f + 1` peers answering reconstructs
+/// every coin), then `SyncEnd`.
+fn serve_sync<B: ReliableBroadcast>(
+    engine: &mut DagRiderEngine<B>,
+    rng: &mut rand::rngs::StdRng,
+    queue: &SendQueue,
+) {
+    for vertex in engine.sync_vertices() {
+        queue.push(encode_frame(&WireMsg::SyncVertex(vertex)));
+    }
+    let top_wave = engine.dag().highest_round().wave().number();
+    for wave in 1..=top_wave {
+        let share = engine.coin_share(wave, rng);
+        let msg = NodeMessage::<B::Message>::Coin(share);
+        queue.push(encode_frame(&WireMsg::Engine(msg.to_bytes())));
+    }
+    queue.push(encode_frame(&WireMsg::SyncEnd));
+}

@@ -1,0 +1,118 @@
+//! The TCP wire envelope.
+//!
+//! Every frame on a cluster connection carries one [`WireMsg`], encoded
+//! with the workspace [`Encode`]/[`Decode`] codec. The envelope separates
+//! the transport concerns (identifying the peer, state sync for
+//! rejoining processes) from the opaque engine traffic, which stays in
+//! the exact byte format the sans-I/O engine emits.
+
+use dagrider_types::{Decode, DecodeError, Encode, ProcessId, Vertex};
+
+/// One message on a cluster TCP connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireMsg {
+    /// First frame on every (re)connection: identifies the dialing
+    /// process. A connection is not trusted for traffic until this
+    /// arrives. (Authentication stand-in — a deployment would sign it.)
+    Hello(ProcessId),
+    /// An opaque engine-to-engine payload (`NodeMessage` bytes), exactly
+    /// as the engine's `Send`/`Broadcast` outputs produced it.
+    Engine(Vec<u8>),
+    /// Asks the peer to stream its retained DAG so a (re)starting process
+    /// can catch up before proposing.
+    SyncRequest,
+    /// One vertex of a peer's retained DAG, in ascending `(round, source)`
+    /// order.
+    SyncVertex(Vertex),
+    /// Terminates a sync stream: the peer has sent everything it had.
+    SyncEnd,
+}
+
+impl Encode for WireMsg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            WireMsg::Hello(p) => {
+                0u8.encode(buf);
+                p.encode(buf);
+            }
+            WireMsg::Engine(bytes) => {
+                1u8.encode(buf);
+                bytes.encode(buf);
+            }
+            WireMsg::SyncRequest => 2u8.encode(buf),
+            WireMsg::SyncVertex(v) => {
+                3u8.encode(buf);
+                v.encode(buf);
+            }
+            WireMsg::SyncEnd => 4u8.encode(buf),
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            WireMsg::Hello(p) => p.encoded_len(),
+            WireMsg::Engine(bytes) => bytes.encoded_len(),
+            WireMsg::SyncRequest | WireMsg::SyncEnd => 0,
+            WireMsg::SyncVertex(v) => v.encoded_len(),
+        }
+    }
+}
+
+impl Decode for WireMsg {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        match u8::decode(buf)? {
+            0 => Ok(WireMsg::Hello(ProcessId::decode(buf)?)),
+            1 => Ok(WireMsg::Engine(Vec::<u8>::decode(buf)?)),
+            2 => Ok(WireMsg::SyncRequest),
+            3 => Ok(WireMsg::SyncVertex(Vertex::decode(buf)?)),
+            4 => Ok(WireMsg::SyncEnd),
+            _ => Err(DecodeError::Invalid("unknown wire message tag")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagrider_types::{Block, Round, SeqNum, VertexBuilder, VertexRef};
+
+    #[test]
+    fn every_variant_roundtrips() {
+        let vertex = VertexBuilder::new(
+            ProcessId::new(2),
+            Round::new(3),
+            Block::new(ProcessId::new(2), SeqNum::new(1), Vec::new()),
+        )
+        .strong_edges((0..3).map(|p| VertexRef::new(Round::new(2), ProcessId::new(p))))
+        .build_unchecked();
+        let msgs = [
+            WireMsg::Hello(ProcessId::new(3)),
+            WireMsg::Engine(vec![9, 8, 7]),
+            WireMsg::Engine(Vec::new()),
+            WireMsg::SyncRequest,
+            WireMsg::SyncVertex(vertex),
+            WireMsg::SyncEnd,
+        ];
+        for msg in msgs {
+            let bytes = msg.to_bytes();
+            assert_eq!(bytes.len(), msg.encoded_len());
+            assert_eq!(WireMsg::from_bytes(&bytes).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        assert_eq!(
+            WireMsg::from_bytes(&[250]),
+            Err(DecodeError::Invalid("unknown wire message tag"))
+        );
+    }
+
+    #[test]
+    fn truncated_messages_are_rejected() {
+        let bytes = WireMsg::Engine(vec![1, 2, 3, 4]).to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(WireMsg::from_bytes(&bytes[..cut]).is_err(), "cut at {cut} accepted");
+        }
+    }
+}

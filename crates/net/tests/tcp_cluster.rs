@@ -1,0 +1,159 @@
+//! In-process TCP cluster integration: four [`NetNode`]s on localhost
+//! ephemeral ports must reach agreement over real sockets, and a node
+//! that is torn down and replaced must rebuild the same log through the
+//! sync protocol.
+
+use std::net::TcpListener;
+use std::time::{Duration, Instant};
+
+use dagrider_core::NodeConfig;
+use dagrider_crypto::{deal_coin_keys, CoinKeys};
+use dagrider_net::{NetConfig, NetNode};
+use dagrider_rbc::BrachaRbc;
+use dagrider_types::{Block, Committee, ProcessId, SeqNum, Transaction};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Cluster {
+    committee: Committee,
+    addrs: Vec<std::net::SocketAddr>,
+    keys: Vec<CoinKeys>,
+    node_config: NodeConfig,
+    seed: u64,
+}
+
+impl Cluster {
+    fn prepare(n: usize, seed: u64, max_round: u64) -> (Self, Vec<TcpListener>) {
+        let committee = Committee::new(n).unwrap();
+        let listeners: Vec<TcpListener> =
+            (0..n).map(|_| TcpListener::bind("127.0.0.1:0").unwrap()).collect();
+        let addrs = listeners.iter().map(|l| l.local_addr().unwrap()).collect();
+        let keys = deal_coin_keys(&committee, &mut StdRng::seed_from_u64(seed));
+        let node_config = NodeConfig::default().with_max_round(max_round);
+        (Self { committee, addrs, keys, node_config, seed }, listeners)
+    }
+
+    fn start(&self, index: usize, listener: Option<TcpListener>) -> NetNode {
+        let config = NetConfig::new(
+            self.committee,
+            ProcessId::new(index as u32),
+            self.addrs.clone(),
+            self.node_config.clone(),
+            self.keys[index].clone(),
+            self.seed.wrapping_add(index as u64),
+        )
+        .with_sync_timeout(Duration::from_millis(500));
+        NetNode::start::<BrachaRbc>(config, listener).unwrap()
+    }
+}
+
+/// Waits until every node's log is non-empty and stable for `grace`, or
+/// panics after `timeout`.
+fn await_quiescence(nodes: &[&NetNode], max_round: u64, grace: Duration, timeout: Duration) {
+    let deadline = Instant::now() + timeout;
+    let mut lens: Vec<usize> = nodes.iter().map(|n| n.ordered_len()).collect();
+    let mut stable_since = Instant::now();
+    loop {
+        assert!(Instant::now() < deadline, "cluster failed to quiesce within {timeout:?}");
+        std::thread::sleep(Duration::from_millis(100));
+        let now_lens: Vec<usize> = nodes.iter().map(|n| n.ordered_len()).collect();
+        if now_lens != lens {
+            lens = now_lens;
+            stable_since = Instant::now();
+        }
+        let rounds_done = nodes.iter().all(|n| n.current_round().number() >= max_round);
+        if rounds_done && lens.iter().all(|&l| l > 0) && stable_since.elapsed() >= grace {
+            return;
+        }
+    }
+}
+
+fn assert_identical_logs(nodes: &[&NetNode]) -> usize {
+    let reference: Vec<_> = nodes[0].ordered().iter().map(|o| o.vertex).collect();
+    for (i, node) in nodes.iter().enumerate().skip(1) {
+        let log: Vec<_> = node.ordered().iter().map(|o| o.vertex).collect();
+        assert_eq!(log, reference, "node {i} ordered a different sequence");
+    }
+    reference.len()
+}
+
+#[test]
+fn four_nodes_agree_over_real_sockets() {
+    let max_round = 16;
+    let (cluster, listeners) = Cluster::prepare(4, 404, max_round);
+    let mut nodes: Vec<NetNode> = Vec::new();
+    for (i, listener) in listeners.into_iter().enumerate() {
+        nodes.push(cluster.start(i, Some(listener)));
+    }
+    // One client block at node 2; it must be ordered everywhere.
+    let tx = Transaction::synthetic(7, 24);
+    nodes[2].submit(Block::new(ProcessId::new(2), SeqNum::new(1), vec![tx.clone()]));
+
+    let refs: Vec<&NetNode> = nodes.iter().collect();
+    await_quiescence(&refs, max_round, Duration::from_millis(800), Duration::from_secs(60));
+    let len = assert_identical_logs(&refs);
+    assert!(len > 16, "only {len} vertices ordered in {max_round} rounds");
+    for node in &nodes {
+        assert!(node.decided_wave().number() >= 1, "{} decided nothing", node.me());
+        assert!(
+            node.ordered().iter().any(|o| o.block.transactions().contains(&tx)),
+            "{} never ordered the client block",
+            node.me()
+        );
+    }
+    for mut node in nodes {
+        node.shutdown();
+    }
+}
+
+#[test]
+fn a_killed_node_rejoins_via_sync_and_matches() {
+    let max_round = 12;
+    let (cluster, mut listeners) = Cluster::prepare(4, 505, max_round);
+    let spare = listeners.pop().unwrap(); // node 3's pre-bound port
+    let mut survivors: Vec<NetNode> = Vec::new();
+    for (i, listener) in listeners.into_iter().enumerate() {
+        survivors.push(cluster.start(i, Some(listener)));
+    }
+    // Node 3 runs briefly, then is torn down abruptly (threads killed,
+    // sockets closed — the in-process analogue of SIGKILL).
+    let early = cluster.start(3, Some(spare));
+    std::thread::sleep(Duration::from_millis(300));
+    let reclaimed_addr = early.local_addr();
+    drop(early);
+
+    // The survivors are a bare quorum (2f + 1 = 3 of 4): rounds keep
+    // advancing without the dead node.
+    let refs: Vec<&NetNode> = survivors.iter().collect();
+    await_quiescence(&refs, max_round, Duration::from_millis(800), Duration::from_secs(60));
+    assert_identical_logs(&refs);
+
+    // The replacement reclaims the same address and must catch up purely
+    // through sync replies (its peers' writers reconnect via backoff).
+    let listener = TcpListener::bind(reclaimed_addr).unwrap();
+    let rejoined = cluster.start(3, Some(listener));
+    let all: Vec<&NetNode> = survivors.iter().chain(std::iter::once(&rejoined)).collect();
+    await_quiescence(&all, max_round, Duration::from_millis(800), Duration::from_secs(60));
+    let len = assert_identical_logs(&all);
+    assert!(len > 8, "only {len} vertices ordered");
+    assert_eq!(rejoined.decided_wave(), survivors[0].decided_wave());
+
+    drop(rejoined);
+    for mut node in survivors {
+        node.shutdown();
+    }
+}
+
+#[test]
+fn shutdown_is_prompt_and_idempotent() {
+    let (cluster, mut listeners) = Cluster::prepare(4, 606, 8);
+    // Only start one node: its writers never connect (peers absent), so
+    // shutdown must interrupt dial backoff and blocked queue waits.
+    let listener = listeners.remove(0);
+    let mut node = cluster.start(0, Some(listener));
+    std::thread::sleep(Duration::from_millis(200));
+    let start = Instant::now();
+    node.shutdown();
+    node.shutdown(); // idempotent
+    assert!(start.elapsed() < Duration::from_secs(5), "shutdown hung");
+}

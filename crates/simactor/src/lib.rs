@@ -1,0 +1,154 @@
+//! The simulator adapter for the sans-I/O DAG-Rider engine.
+//!
+//! [`DagRiderEngine`](dagrider_core::DagRiderEngine) is a pure state
+//! machine; this crate is the thin glue that runs it inside the
+//! deterministic simulator: [`SimActor`] implements
+//! [`dagrider_simnet::Actor`] by translating simulator callbacks into
+//! [`EngineInput`](dagrider_core::EngineInput)s and routing the returned
+//! [`EngineOutput`]s back through the simulator's [`Context`].
+//!
+//! The adapter adds **no protocol logic** — every decision, every byte on
+//! the wire, and every draw of randomness happens inside the engine. That
+//! is what makes the refactor behavior-preserving: a simulation run through
+//! this adapter is event-for-event identical to the pre-refactor
+//! `DagRiderNode` actor (the full pre-refactor test suite lives here,
+//! unchanged except for imports, to prove it), and the very same engine
+//! drives the real TCP cluster in `dagrider-net`.
+//!
+//! [`DagRiderNode`] is an alias for [`SimActor`] so existing harnesses,
+//! benches, and tests keep reading naturally.
+//!
+//! # Example
+//!
+//! ```
+//! use dagrider_simactor::DagRiderNode;
+//! use dagrider_core::NodeConfig;
+//! use dagrider_crypto::deal_coin_keys;
+//! use dagrider_rbc::BrachaRbc;
+//! use dagrider_simnet::{Simulation, UniformScheduler};
+//! use dagrider_types::Committee;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let committee = Committee::new(4)?;
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let keys = deal_coin_keys(&committee, &mut rng);
+//! let config = NodeConfig::default().with_max_round(20);
+//!
+//! let nodes: Vec<DagRiderNode<BrachaRbc>> = committee
+//!     .members()
+//!     .zip(keys)
+//!     .map(|(p, k)| DagRiderNode::new(committee, p, k, config.clone()))
+//!     .collect();
+//! let mut sim = Simulation::new(committee, nodes, UniformScheduler::new(1, 10), 7);
+//! sim.run();
+//!
+//! // Every process ordered the same sequence of blocks.
+//! let reference = sim.actor(dagrider_types::ProcessId::new(0)).ordered().to_vec();
+//! assert!(!reference.is_empty());
+//! for p in committee.members() {
+//!     let log = sim.actor(p).ordered();
+//!     assert!(log.iter().zip(&reference).all(|(a, b)| a.vertex == b.vertex));
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod common_core;
+
+use std::ops::{Deref, DerefMut};
+
+use dagrider_core::{DagRiderEngine, EngineInput, EngineOutput, NodeConfig};
+use dagrider_crypto::CoinKeys;
+use dagrider_rbc::ReliableBroadcast;
+use dagrider_simnet::{Actor, Context};
+use dagrider_types::{Block, Committee, ProcessId};
+
+/// A [`DagRiderEngine`] packaged as a simulator [`Actor`].
+///
+/// Dereferences to the engine, so all engine queries (`ordered()`,
+/// `decided_wave()`, `dag()`, …) read directly off a `SimActor`.
+#[derive(Debug)]
+pub struct SimActor<B> {
+    engine: DagRiderEngine<B>,
+}
+
+impl<B: ReliableBroadcast> SimActor<B> {
+    /// Creates an actor for `me` with its dealt coin keys.
+    pub fn new(
+        committee: Committee,
+        me: ProcessId,
+        coin_keys: CoinKeys,
+        config: NodeConfig,
+    ) -> Self {
+        Self { engine: DagRiderEngine::new(committee, me, coin_keys, config) }
+    }
+
+    /// `a_bcast(b, r)`: enqueues a block of transactions for atomic
+    /// broadcast (Algorithm 3 lines 32–33). Blocks enqueued before the
+    /// simulation starts ride the earliest vertices.
+    pub fn a_bcast(&mut self, block: Block) {
+        self.engine.enqueue_block(block);
+    }
+
+    /// The wrapped engine.
+    pub fn engine(&self) -> &DagRiderEngine<B> {
+        &self.engine
+    }
+
+    /// Mutable access to the wrapped engine.
+    pub fn engine_mut(&mut self) -> &mut DagRiderEngine<B> {
+        &mut self.engine
+    }
+
+    /// Routes engine outputs through the simulator context. Ordered
+    /// outputs stay in the engine's own log (queried after the run);
+    /// everything else is I/O.
+    fn route(outputs: Vec<EngineOutput>, ctx: &mut Context<'_>) {
+        for output in outputs {
+            match output {
+                EngineOutput::Send { to, payload } => ctx.send(to, payload),
+                EngineOutput::Broadcast { payload } => ctx.broadcast_to_others(payload),
+                EngineOutput::SetTimer { delay, tag } => ctx.schedule(delay, tag),
+                EngineOutput::Ordered(_) => {}
+            }
+        }
+    }
+}
+
+impl<B> Deref for SimActor<B> {
+    type Target = DagRiderEngine<B>;
+
+    fn deref(&self) -> &Self::Target {
+        &self.engine
+    }
+}
+
+impl<B> DerefMut for SimActor<B> {
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        &mut self.engine
+    }
+}
+
+impl<B: ReliableBroadcast> Actor for SimActor<B> {
+    fn init(&mut self, ctx: &mut Context<'_>) {
+        let outputs = self.engine.start(ctx.now(), ctx.rng());
+        Self::route(outputs, ctx);
+    }
+
+    fn on_message(&mut self, from: ProcessId, payload: &[u8], ctx: &mut Context<'_>) {
+        let input = EngineInput::Message { from, payload: payload.to_vec() };
+        let outputs = self.engine.handle(ctx.now(), input, ctx.rng());
+        Self::route(outputs, ctx);
+    }
+
+    fn on_timer(&mut self, tag: u64, ctx: &mut Context<'_>) {
+        let outputs = self.engine.handle(ctx.now(), EngineInput::Timer { tag }, ctx.rng());
+        Self::route(outputs, ctx);
+    }
+}
+
+/// The familiar name for one simulated DAG-Rider process: a
+/// [`DagRiderEngine`] behind the [`SimActor`] adapter.
+pub type DagRiderNode<B> = SimActor<B>;

@@ -1,0 +1,230 @@
+//! The pre-refactor `DagRiderNode` simulation suite, running unchanged
+//! through the [`SimActor`](dagrider_simactor::SimActor) adapter — the
+//! behavior-preservation proof for the sans-I/O engine extraction.
+
+use dagrider_core::NodeConfig;
+use dagrider_crypto::deal_coin_keys;
+use dagrider_rbc::{AvidRbc, BrachaRbc, ProbabilisticRbc, ReliableBroadcast};
+use dagrider_simactor::DagRiderNode;
+use dagrider_simnet::{Simulation, UniformScheduler};
+use dagrider_types::{Block, Committee, ProcessId, Round, SeqNum, Transaction, Wave};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn build_sim<B: ReliableBroadcast>(
+    n: usize,
+    seed: u64,
+    max_round: u64,
+) -> Simulation<DagRiderNode<B>, UniformScheduler> {
+    let committee = Committee::new(n).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let keys = deal_coin_keys(&committee, &mut rng);
+    let config = NodeConfig::default().with_max_round(max_round);
+    let nodes = committee
+        .members()
+        .zip(keys)
+        .map(|(p, k)| DagRiderNode::<B>::new(committee, p, k, config.clone()))
+        .collect();
+    Simulation::new(committee, nodes, UniformScheduler::new(1, 10), seed)
+}
+
+fn assert_total_order<B: ReliableBroadcast>(sim: &Simulation<DagRiderNode<B>, UniformScheduler>) {
+    let committee = sim.committee();
+    let logs: Vec<Vec<_>> = committee
+        .members()
+        .map(|p| sim.actor(p).ordered().iter().map(|o| o.vertex).collect())
+        .collect();
+    // Total order: every pair of logs must be prefix-comparable.
+    for (i, a) in logs.iter().enumerate() {
+        for b in logs.iter().skip(i + 1) {
+            let common = a.len().min(b.len());
+            assert_eq!(&a[..common], &b[..common], "logs diverge");
+        }
+    }
+}
+
+#[test]
+fn bracha_stack_reaches_agreement() {
+    let sim = {
+        let mut s = build_sim::<BrachaRbc>(4, 11, 24);
+        s.run();
+        s
+    };
+    assert_total_order(&sim);
+    let min_len = sim.committee().members().map(|p| sim.actor(p).ordered().len()).min().unwrap();
+    assert!(min_len > 0, "at least one wave must commit");
+    assert!(sim.actor(ProcessId::new(0)).decided_wave() >= Wave::new(1));
+}
+
+#[test]
+fn avid_stack_reaches_agreement() {
+    let mut sim = build_sim::<AvidRbc>(4, 13, 24);
+    sim.run();
+    assert_total_order(&sim);
+    assert!(!sim.actor(ProcessId::new(0)).ordered().is_empty());
+}
+
+#[test]
+fn probabilistic_stack_reaches_agreement() {
+    let mut sim = build_sim::<ProbabilisticRbc>(4, 17, 24);
+    sim.run();
+    assert_total_order(&sim);
+}
+
+#[test]
+fn client_blocks_ride_the_dag() {
+    let mut sim = build_sim::<BrachaRbc>(4, 19, 24);
+    let tx = Transaction::synthetic(99, 32);
+    let block = Block::new(ProcessId::new(2), SeqNum::new(1), vec![tx.clone()]);
+    sim.actor_mut(ProcessId::new(2)).a_bcast(block);
+    sim.run();
+    // The block is ordered at every process.
+    for p in sim.committee().members() {
+        let found = sim.actor(p).ordered().iter().any(|o| o.block.transactions().contains(&tx));
+        assert!(found, "{p} did not order the client block");
+    }
+}
+
+#[test]
+fn seeds_change_schedules_but_never_order() {
+    for seed in [1u64, 2, 3] {
+        let mut sim = build_sim::<BrachaRbc>(4, seed, 16);
+        sim.run();
+        assert_total_order(&sim);
+    }
+}
+
+#[test]
+fn larger_committee_commits() {
+    let mut sim = build_sim::<BrachaRbc>(7, 23, 16);
+    sim.run();
+    assert_total_order(&sim);
+    assert!(sim.actor(ProcessId::new(0)).decided_wave() >= Wave::new(1));
+}
+
+#[test]
+fn piggybacked_coin_commits_without_dedicated_share_messages() {
+    // §5 footnote 1: shares ride the DAG. The protocol must still commit,
+    // and (except for the end-of-run flush) no NodeMessage::Coin traffic
+    // is needed.
+    let committee = Committee::new(4).unwrap();
+    let mut rng = StdRng::seed_from_u64(41);
+    let keys = deal_coin_keys(&committee, &mut rng);
+    let config = NodeConfig::default().with_max_round(24).with_piggyback_coin();
+    let nodes: Vec<DagRiderNode<BrachaRbc>> = committee
+        .members()
+        .zip(keys)
+        .map(|(p, k)| DagRiderNode::new(committee, p, k, config.clone()))
+        .collect();
+    let mut sim = Simulation::new(committee, nodes, UniformScheduler::new(1, 10), 41);
+    sim.run();
+    assert_total_order(&sim);
+    for p in committee.members() {
+        assert!(
+            sim.actor(p).decided_wave() >= Wave::new(4),
+            "{p} only decided {}",
+            sim.actor(p).decided_wave()
+        );
+    }
+}
+
+#[test]
+fn piggyback_and_dedicated_modes_agree_on_message_overhead() {
+    // Piggybacking removes the n·(n-1) dedicated share messages per wave
+    // (minus the end-of-run flush).
+    let run = |piggyback: bool| {
+        let committee = Committee::new(4).unwrap();
+        let mut rng = StdRng::seed_from_u64(43);
+        let keys = deal_coin_keys(&committee, &mut rng);
+        let mut config = NodeConfig::default().with_max_round(20);
+        config.piggyback_coin = piggyback;
+        let nodes: Vec<DagRiderNode<BrachaRbc>> = committee
+            .members()
+            .zip(keys)
+            .map(|(p, k)| DagRiderNode::new(committee, p, k, config.clone()))
+            .collect();
+        let mut sim = Simulation::new(committee, nodes, UniformScheduler::new(1, 10), 43);
+        sim.run();
+        (sim.metrics().messages_sent(), sim.actor(ProcessId::new(0)).decided_wave())
+    };
+    let (dedicated_msgs, dedicated_wave) = run(false);
+    let (piggyback_msgs, piggyback_wave) = run(true);
+    assert!(piggyback_msgs < dedicated_msgs, "{piggyback_msgs} !< {dedicated_msgs}");
+    assert!(dedicated_wave >= Wave::new(3) && piggyback_wave >= Wave::new(3));
+}
+
+#[test]
+fn garbage_collection_prunes_without_breaking_order() {
+    let committee = Committee::new(4).unwrap();
+    let mut rng = StdRng::seed_from_u64(47);
+    let keys = deal_coin_keys(&committee, &mut rng);
+    let config = NodeConfig::default().with_max_round(40).with_gc_depth(8);
+    let nodes: Vec<DagRiderNode<BrachaRbc>> = committee
+        .members()
+        .zip(keys)
+        .map(|(p, k)| DagRiderNode::new(committee, p, k, config.clone()))
+        .collect();
+    let mut sim = Simulation::new(committee, nodes, UniformScheduler::new(1, 10), 47);
+    sim.run();
+    assert_total_order(&sim);
+    for p in committee.members() {
+        let node = sim.actor(p);
+        assert!(node.vertices_pruned() > 0, "{p} never pruned anything");
+        assert!(node.dag().pruned_floor() > Round::new(1), "{p}'s GC floor never advanced");
+        // Ordered output is unaffected: a 40-round run still orders nearly
+        // everything.
+        assert!(node.ordered().len() > 100, "{p} ordered {}", node.ordered().len());
+    }
+    // And the retained DAG is small: at most gc_depth + in-flight rounds
+    // of vertices plus genesis.
+    let node = sim.actor(ProcessId::new(0));
+    assert!(node.dag().len() < 4 * 24, "GC left {} vertices in the DAG", node.dag().len());
+}
+
+#[test]
+fn gc_and_piggyback_compose() {
+    let committee = Committee::new(4).unwrap();
+    let mut rng = StdRng::seed_from_u64(53);
+    let keys = deal_coin_keys(&committee, &mut rng);
+    let config = NodeConfig::default().with_max_round(32).with_gc_depth(8).with_piggyback_coin();
+    let nodes: Vec<DagRiderNode<BrachaRbc>> = committee
+        .members()
+        .zip(keys)
+        .map(|(p, k)| DagRiderNode::new(committee, p, k, config.clone()))
+        .collect();
+    let mut sim = Simulation::new(committee, nodes, UniformScheduler::new(1, 10), 53);
+    sim.run();
+    assert_total_order(&sim);
+    assert!(sim.actor(ProcessId::new(2)).decided_wave() >= Wave::new(5));
+}
+
+#[test]
+fn own_vertex_latencies_are_positive_and_cover_ordered_vertices() {
+    let mut sim = build_sim::<BrachaRbc>(4, 31, 20);
+    sim.run();
+    for p in sim.committee().members() {
+        let node = sim.actor(p);
+        let latencies = node.own_vertex_latencies();
+        let own_ordered = node.ordered().iter().filter(|o| o.vertex.source == p).count();
+        assert_eq!(latencies.len(), own_ordered, "{p}: every own ordered vertex measured");
+        assert!(latencies.iter().all(|&(_, l)| l > 0), "{p}: zero-latency commit?");
+        // (Rounds are *not* necessarily monotone in the log: a weak-edge
+        // orphan can be delivered by a later wave than a younger vertex.
+        // Each round appears at most once, though.)
+        let mut rounds: Vec<_> = latencies.iter().map(|&(r, _)| r).collect();
+        rounds.sort();
+        rounds.dedup();
+        assert_eq!(rounds.len(), latencies.len());
+    }
+}
+
+#[test]
+fn commit_latency_is_recorded() {
+    let mut sim = build_sim::<BrachaRbc>(4, 29, 24);
+    sim.run();
+    let node = sim.actor(ProcessId::new(1));
+    for window in node.ordered().windows(2) {
+        assert!(window[0].delivered_at <= window[1].delivered_at);
+    }
+    assert!(!node.commits().is_empty());
+}

@@ -4,7 +4,7 @@ use bytes::Bytes;
 use dagrider_types::{Committee, ProcessId};
 use rand::rngs::StdRng;
 
-use crate::time::Time;
+use dagrider_types::Time;
 
 /// A protocol process running inside a [`Simulation`](crate::Simulation).
 ///

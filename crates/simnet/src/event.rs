@@ -3,7 +3,7 @@
 use bytes::Bytes;
 use dagrider_types::ProcessId;
 
-use crate::time::Time;
+use dagrider_types::Time;
 
 /// What happens when an event fires.
 #[derive(Debug, Clone)]

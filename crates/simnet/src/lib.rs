@@ -63,7 +63,6 @@ mod event;
 mod metrics;
 mod scheduler;
 mod sim;
-mod time;
 
 pub use actor::{Actor, Context, Either};
 pub use event::{Event, EventKind};
@@ -72,5 +71,7 @@ pub use scheduler::{
     BandwidthScheduler, FnScheduler, PartitionScheduler, Scheduler, TargetedScheduler,
     UniformScheduler,
 };
-pub use sim::{ProcessStatus, Simulation};
-pub use time::Time;
+pub use sim::{process_seed, ProcessStatus, Simulation};
+// Virtual time lives in `dagrider-types` so sans-I/O layers (engine,
+// tracer) can stamp events without depending on the simulator.
+pub use dagrider_types::Time;

@@ -7,7 +7,7 @@
 
 use dagrider_types::ProcessId;
 
-use crate::time::Time;
+use dagrider_types::Time;
 
 /// Byte, message, and delay accounting for one simulation run.
 #[derive(Debug, Clone)]

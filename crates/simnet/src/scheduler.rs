@@ -9,7 +9,7 @@ use dagrider_types::ProcessId;
 use rand::rngs::StdRng;
 use rand::RngExt;
 
-use crate::time::Time;
+use dagrider_types::Time;
 
 /// Chooses the network delay (in ticks, `≥ 1`) for each message.
 pub trait Scheduler {

@@ -11,7 +11,7 @@ use crate::actor::{Actor, Context};
 use crate::event::{Event, EventKind};
 use crate::metrics::Metrics;
 use crate::scheduler::Scheduler;
-use crate::time::Time;
+use dagrider_types::Time;
 
 /// The fault status of one process.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +45,15 @@ pub struct Simulation<A, S> {
     initialized: bool,
 }
 
+/// The derived RNG seed of process `index` in a run seeded with `seed`.
+///
+/// Public so replay harnesses (the engine determinism tests, offline
+/// debugging) can reconstruct a process's exact randomness stream outside
+/// the simulator.
+pub fn process_seed(seed: u64, index: usize) -> u64 {
+    seed.wrapping_mul(0x9e37_79b9).wrapping_add(index as u64)
+}
+
 impl<A: Actor, S: Scheduler> Simulation<A, S> {
     /// Creates a simulation over `actors` (one per committee member, in id
     /// order). All randomness derives from `seed`.
@@ -63,11 +72,7 @@ impl<A: Actor, S: Scheduler> Simulation<A, S> {
             queue: BinaryHeap::new(),
             now: Time::ZERO,
             seq: 0,
-            rngs: (0..n)
-                .map(|i| {
-                    StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9).wrapping_add(i as u64))
-                })
-                .collect(),
+            rngs: (0..n).map(|i| StdRng::seed_from_u64(process_seed(seed, i))).collect(),
             scheduler_rng: StdRng::seed_from_u64(seed ^ 0xdead_beef),
             metrics: Metrics::new(n),
             events_processed: 0,

@@ -4,7 +4,7 @@
 //! creation, RBC delivery, DAG insertion, round advancement, coin flips,
 //! leader commits/skips, causal-order delivery, garbage collection, and the
 //! phases of the underlying reliable-broadcast primitives — is describable
-//! as a [`TraceEvent`]. A [`Tracer`] stamps events with the simulator's
+//! as a [`TraceEvent`]. A [`Tracer`] stamps events with the driver's
 //! virtual [`Time`] and the recording process, producing [`TraceRecord`]s
 //! in a pre-allocated ring buffer, so the paper's quantitative claims
 //! (expected constant time per wave in asynchronous time units, §3/§6) can
@@ -17,7 +17,7 @@
 //!
 //! ```
 //! use dagrider_trace::{SharedTracer, TraceEvent};
-//! use dagrider_simnet::Time;
+//! use dagrider_types::Time;
 //! use dagrider_types::{ProcessId, Round};
 //!
 //! let tracer = SharedTracer::new(ProcessId::new(0), 64);
@@ -34,7 +34,7 @@ use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
 
-use dagrider_simnet::Time;
+use dagrider_types::Time;
 use dagrider_types::{Decode, DecodeError, Encode, ProcessId, Round, VertexRef, Wave};
 
 /// Which reliable-broadcast primitive emitted an [`TraceEvent::RbcPhase`]

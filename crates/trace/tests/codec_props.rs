@@ -1,8 +1,8 @@
 //! Property tests for the trace-record wire codec: every representable
 //! record round-trips exactly, and no strict prefix of an encoding decodes.
 
-use dagrider_simnet::Time;
 use dagrider_trace::{RbcPhase, RbcPrimitive, TraceEvent, TraceRecord};
+use dagrider_types::Time;
 use dagrider_types::{Decode, Encode, ProcessId, Round, VertexRef, Wave};
 use proptest::prelude::*;
 

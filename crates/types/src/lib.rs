@@ -8,6 +8,9 @@
 //! * [`Transaction`], [`Block`] — the client payload carried by vertices.
 //! * [`Vertex`], [`VertexRef`] — the DAG nodes of Algorithm 1, with strong
 //!   and weak edge sets.
+//! * [`Time`] — virtual time in driver-defined ticks, shared by the
+//!   simulator, the tracer, and the protocol engine so the sans-I/O core
+//!   never depends on any particular runtime.
 //! * [`codec`] — a compact, dependency-free binary codec used so the
 //!   simulator can meter *exactly* the bits a real deployment would send.
 //!
@@ -34,11 +37,13 @@
 pub mod codec;
 mod committee;
 mod id;
+mod time;
 mod transaction;
 mod vertex;
 
 pub use codec::{Decode, DecodeError, Encode};
 pub use committee::{Committee, CommitteeError};
 pub use id::{ProcessId, Round, SeqNum, Wave, WAVE_LENGTH};
+pub use time::Time;
 pub use transaction::{Block, Transaction};
 pub use vertex::{Vertex, VertexBuilder, VertexError, VertexRef};

@@ -3,17 +3,19 @@
 use std::fmt;
 use std::ops::Add;
 
-/// A point in virtual time, in simulator ticks.
+/// A point in virtual time, in driver-defined ticks.
 ///
-/// Ticks are an arbitrary unit; the paper's *asynchronous time unit* (§3)
-/// is recovered by dividing elapsed ticks by the maximum delay a
-/// correct-to-correct message experienced (see
-/// [`Metrics::time_units`](crate::Metrics::time_units)).
+/// Ticks are an arbitrary unit chosen by whatever drives the protocol: the
+/// discrete-event simulator uses scheduler ticks, the TCP runtime uses
+/// milliseconds since node start. The paper's *asynchronous time unit*
+/// (§3) is recovered by dividing elapsed ticks by the maximum delay a
+/// correct-to-correct message experienced (the simulator's metrics do
+/// this).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Time(u64);
 
 impl Time {
-    /// The start of the simulation.
+    /// The start of the run.
     pub const ZERO: Time = Time(0);
 
     /// Creates a time point at `ticks`.

@@ -5,12 +5,16 @@
 //!
 //! 1. every crate root carries `#![forbid(unsafe_code)]` and opens with
 //!    crate-level docs (`//!`);
-//! 2. protocol-critical code (`crates/core`, `crates/rbc`) never calls
-//!    `.unwrap()` outside tests, and every `.expect(...)` states the
-//!    invariant it relies on as a non-empty string literal;
+//! 2. protocol-critical code (`crates/core`, `crates/rbc`) and the TCP
+//!    runtime (`crates/net`) never call `.unwrap()` outside tests, and
+//!    every `.expect(...)` states the invariant it relies on as a
+//!    non-empty string literal;
 //! 3. paper citations in `crates/core` use the spelled-out convention
 //!    (`Algorithm 2`, `§4`, `Lemma 1`), never `Alg.`/`Sec.` abbreviations
-//!    that make cross-referencing the paper ambiguous.
+//!    that make cross-referencing the paper ambiguous;
+//! 4. the sans-I/O engine stays sans-I/O: `crates/core` must not depend
+//!    on the simulator (`dagrider-simnet`), in its manifest or its
+//!    source — drivers adapt to the engine, never the reverse.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -49,7 +53,7 @@ fn lint() -> ExitCode {
         files_checked += 1;
         check_crate_root(&crate_root, &mut findings);
     }
-    for dir in ["crates/core/src", "crates/rbc/src"] {
+    for dir in ["crates/core/src", "crates/rbc/src", "crates/net/src"] {
         for file in rust_files(&root.join(dir)) {
             files_checked += 1;
             check_panic_discipline(&file, &mut findings);
@@ -58,6 +62,8 @@ fn lint() -> ExitCode {
     for file in rust_files(&root.join("crates/core/src")) {
         check_citation_style(&file, &mut findings);
     }
+    files_checked += 1;
+    check_engine_isolation(&root, &mut findings);
 
     for finding in &findings {
         // Report paths relative to the repo root so they are clickable
@@ -199,6 +205,39 @@ fn check_citation_style(path: &Path, findings: &mut Vec<Finding>) {
                         "comment cites the paper as `{abbreviation}`; spell it out \
                          (`Algorithm N` / `§N`) to match the paper's headings"
                     ),
+                });
+            }
+        }
+    }
+}
+
+/// Rule 4: the engine crate must not grow a simulator dependency. The
+/// manifest check catches the dependency edge itself; the source check
+/// catches `dagrider_simnet` paths that would only compile if someone
+/// also re-added the edge (comments and strings are exempt — prose may
+/// mention the simulator).
+fn check_engine_isolation(root: &Path, findings: &mut Vec<Finding>) {
+    let manifest = root.join("crates/core/Cargo.toml");
+    for (index, line) in read(&manifest).lines().enumerate() {
+        if line.contains("dagrider-simnet") {
+            findings.push(Finding {
+                path: manifest.clone(),
+                line: index + 1,
+                message: "the sans-I/O core must not depend on the simulator \
+                          (`dagrider-simnet`); put driver glue in `dagrider-simactor`"
+                    .into(),
+            });
+        }
+    }
+    for file in rust_files(&root.join("crates/core/src")) {
+        for (number, line) in code_lines(&read(&file)) {
+            if line.contains("dagrider_simnet") {
+                findings.push(Finding {
+                    path: file.clone(),
+                    line: number,
+                    message: "`dagrider_simnet` referenced from the sans-I/O core; \
+                              the engine must stay driver-agnostic"
+                        .into(),
                 });
             }
         }

@@ -13,9 +13,10 @@
 
 use std::collections::BTreeMap;
 
-use dag_rider::core::{DagRiderNode, NodeConfig, OrderedVertex};
+use dag_rider::core::{NodeConfig, OrderedVertex};
 use dag_rider::crypto::deal_coin_keys;
 use dag_rider::rbc::AvidRbc;
+use dag_rider::simactor::DagRiderNode;
 use dag_rider::simnet::{Simulation, UniformScheduler};
 use dag_rider::types::{
     Block, Committee, Decode, DecodeError, Encode, ProcessId, SeqNum, Transaction,

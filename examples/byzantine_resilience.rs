@@ -6,9 +6,10 @@
 //! cargo run --example byzantine_resilience
 //! ```
 
-use dag_rider::core::{DagRiderNode, NodeConfig};
+use dag_rider::core::NodeConfig;
 use dag_rider::crypto::deal_coin_keys;
 use dag_rider::rbc::{byzantine::SilentActor, BrachaRbc};
+use dag_rider::simactor::DagRiderNode;
 use dag_rider::simnet::{Either, Simulation, TargetedScheduler, UniformScheduler};
 use dag_rider::types::{Block, Committee, ProcessId, SeqNum, Transaction};
 use rand::rngs::StdRng;

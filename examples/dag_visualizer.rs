@@ -8,9 +8,10 @@
 //! cargo run --example dag_visualizer -- --dot   # DOT on stdout
 //! ```
 
-use dag_rider::core::{render, DagRiderNode, NodeConfig};
+use dag_rider::core::{render, NodeConfig};
 use dag_rider::crypto::deal_coin_keys;
 use dag_rider::rbc::BrachaRbc;
+use dag_rider::simactor::DagRiderNode;
 use dag_rider::simnet::{Simulation, TargetedScheduler, Time, UniformScheduler};
 use dag_rider::types::{Committee, ProcessId, Round};
 use rand::rngs::StdRng;

@@ -13,7 +13,9 @@
 //!    commitments and **aggregates** the qualified dealings into its coin
 //!    key — the master secret is the sum of all dealers' secrets, which
 //!    *no single party ever knows*;
-//! 3. the generated keys then drive a full DAG-Rider run.
+//! 3. the generated keys then drive a full DAG-Rider run — over **real
+//!    TCP sockets** via [`NetNode`], the same sans-I/O engine the
+//!    simulator drives.
 //!
 //! (With faulty dealers the qualified set must itself go through
 //! consensus — the `O(n⁴)` ADKG of the paper's [30]; here all dealers are
@@ -23,10 +25,14 @@
 //! cargo run --example distributed_setup
 //! ```
 
+use std::net::TcpListener;
+use std::time::{Duration, Instant};
+
 use bytes::Bytes;
-use dag_rider::core::{DagRiderNode, NodeConfig};
+use dag_rider::core::NodeConfig;
 use dag_rider::crypto::dkg::{aggregate, Dealing, DealingCommitments};
 use dag_rider::crypto::{CoinKeys, Scalar};
+use dag_rider::net::{NetConfig, NetNode};
 use dag_rider::rbc::{BrachaRbc, RbcAction, ReliableBroadcast};
 use dag_rider::simnet::{Actor, Context, Simulation, UniformScheduler};
 use dag_rider::types::{Committee, Decode, DecodeError, Encode, ProcessId, Round};
@@ -227,28 +233,63 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    // ── Phase 2: DAG-Rider on the generated keys ──
-    println!("\nphase 2 — DAG-Rider with the generated keys");
-    let config = NodeConfig::default().with_max_round(20);
-    let nodes: Vec<DagRiderNode<BrachaRbc>> = committee
+    // ── Phase 2: DAG-Rider on the generated keys, over real TCP ──
+    println!("\nphase 2 — DAG-Rider with the generated keys, over TCP on localhost");
+    let max_round = 12u64;
+    let listeners: Vec<TcpListener> =
+        committee.members().map(|_| TcpListener::bind("127.0.0.1:0")).collect::<Result<_, _>>()?;
+    let addrs: Vec<_> = listeners.iter().map(TcpListener::local_addr).collect::<Result<_, _>>()?;
+    let nodes: Vec<NetNode> = committee
         .members()
         .zip(keys)
-        .map(|(p, k)| DagRiderNode::new(committee, p, k, config.clone()))
-        .collect();
-    let mut sim = Simulation::new(committee, nodes, UniformScheduler::new(1, 9), 100);
-    sim.run();
+        .zip(listeners)
+        .map(|((p, k), listener)| {
+            let cfg = NetConfig::new(
+                committee,
+                p,
+                addrs.clone(),
+                NodeConfig::default().with_max_round(max_round),
+                k,
+                100 + u64::from(p.index()),
+            )
+            .with_sync_timeout(Duration::from_millis(300));
+            NetNode::start::<BrachaRbc>(cfg, Some(listener))
+        })
+        .collect::<Result<_, _>>()?;
 
-    let reference: Vec<_> = sim.actor(ProcessId::new(0)).ordered().to_vec();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut lens = vec![0usize; nodes.len()];
+    let mut stable_since = Instant::now();
+    loop {
+        assert!(Instant::now() < deadline, "consensus made no progress on DKG keys");
+        std::thread::sleep(Duration::from_millis(100));
+        let now_lens: Vec<usize> = nodes.iter().map(NetNode::ordered_len).collect();
+        if now_lens != lens {
+            lens = now_lens;
+            stable_since = Instant::now();
+        }
+        let done = nodes.iter().all(|n| n.current_round().number() >= max_round);
+        if done
+            && lens.iter().all(|&l| l > 0)
+            && stable_since.elapsed() > Duration::from_millis(700)
+        {
+            break;
+        }
+    }
+    let reference: Vec<_> = nodes[0].ordered();
     assert!(!reference.is_empty(), "consensus made no progress on DKG keys");
-    for p in committee.members() {
-        let log = sim.actor(p).ordered();
-        let common = log.len().min(reference.len());
-        assert!(log[..common].iter().zip(&reference).all(|(a, b)| a.vertex == b.vertex));
+    for node in &nodes {
+        let log = node.ordered();
+        assert!(log.iter().zip(&reference).all(|(a, b)| a.vertex == b.vertex));
         println!(
-            "  {p}: decided wave {}, {} vertices ordered — consistent ✓",
-            sim.actor(p).decided_wave(),
+            "  {}: decided wave {}, {} vertices ordered over TCP — consistent ✓",
+            node.me(),
+            node.decided_wave(),
             log.len()
         );
+    }
+    for mut node in nodes {
+        node.shutdown();
     }
     println!("\nthe trusted dealer of §2 is gone; the coin works identically.");
     Ok(())

@@ -13,21 +13,31 @@
 //!   asynchronous adversarial network model, with byte/time metering.
 //! * [`rbc`] — the three reliable-broadcast instantiations of Table 1:
 //!   Bracha, probabilistic gossip, and Cachin–Tessaro AVID.
-//! * [`core`] — DAG-Rider itself: Algorithm 2 (DAG construction) and
-//!   Algorithm 3 (zero-overhead wave ordering).
+//! * [`core`] — DAG-Rider itself as a **sans-I/O engine**: Algorithm 2
+//!   (DAG construction) and Algorithm 3 (zero-overhead wave ordering)
+//!   behind typed [`EngineInput`](core::EngineInput) /
+//!   [`EngineOutput`](core::EngineOutput) streams, with no runtime
+//!   dependency.
+//! * [`simactor`] — the adapter that runs the engine inside the simulator
+//!   ([`simactor::DagRiderNode`]).
+//! * [`net`] — the real TCP cluster runtime: thread-per-peer transport,
+//!   length-prefixed framing, reconnect backoff, and the `cluster` binary
+//!   for multi-process localhost runs.
 //! * [`trace`] — structured protocol event tracing: typed, time-stamped
 //!   records of every vertex, round, coin and commit transition.
 //! * [`baselines`] — VABA-based and Dumbo-based SMR for comparison.
 //!
-//! The most useful entry point is [`core::DagRiderNode`]; see the
-//! `examples/` directory (`quickstart`, `blockchain_smr`,
-//! `byzantine_resilience`, `dag_visualizer`) and the experiment binaries in
-//! `crates/bench` that regenerate the paper's table and figures.
+//! The most useful entry points are [`simactor::DagRiderNode`] (simulated
+//! runs) and [`net::NetNode`] (real sockets); see the `examples/`
+//! directory (`quickstart`, `blockchain_smr`, `byzantine_resilience`,
+//! `dag_visualizer`) and the experiment binaries in `crates/bench` that
+//! regenerate the paper's table and figures.
 //!
 //! ```
-//! use dag_rider::core::{DagRiderNode, NodeConfig};
+//! use dag_rider::core::NodeConfig;
 //! use dag_rider::crypto::deal_coin_keys;
 //! use dag_rider::rbc::AvidRbc;
+//! use dag_rider::simactor::DagRiderNode;
 //! use dag_rider::simnet::{Simulation, UniformScheduler};
 //! use dag_rider::types::{Committee, ProcessId};
 //! use rand::{rngs::StdRng, SeedableRng};
@@ -53,7 +63,9 @@ pub use dagrider_analysis as analysis;
 pub use dagrider_baselines as baselines;
 pub use dagrider_core as core;
 pub use dagrider_crypto as crypto;
+pub use dagrider_net as net;
 pub use dagrider_rbc as rbc;
+pub use dagrider_simactor as simactor;
 pub use dagrider_simnet as simnet;
 pub use dagrider_trace as trace;
 pub use dagrider_types as types;

@@ -3,9 +3,10 @@
 //! equivocator attacking through the broadcast layer.
 
 use bytes::Bytes;
-use dag_rider::core::{DagRiderNode, NodeConfig, VertexPayload};
+use dag_rider::core::{NodeConfig, VertexPayload};
 use dag_rider::crypto::deal_coin_keys;
 use dag_rider::rbc::{BrachaKind, BrachaMessage, BrachaRbc, RbcAction, ReliableBroadcast};
+use dag_rider::simactor::DagRiderNode;
 use dag_rider::simnet::{
     Actor, Context, Either, PartitionScheduler, Simulation, Time, UniformScheduler,
 };

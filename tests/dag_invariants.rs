@@ -2,9 +2,10 @@
 //! *real protocol runs* (not hand-built fixtures): the structural claims
 //! of §4 and the lemmas of §6 must hold in every reachable state.
 
-use dag_rider::core::{DagRiderNode, NodeConfig};
+use dag_rider::core::NodeConfig;
 use dag_rider::crypto::deal_coin_keys;
 use dag_rider::rbc::BrachaRbc;
+use dag_rider::simactor::DagRiderNode;
 use dag_rider::simnet::{Simulation, UniformScheduler};
 use dag_rider::types::{Committee, ProcessId, Round, VertexRef, Wave, WAVE_LENGTH};
 use proptest::prelude::*;

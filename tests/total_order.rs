@@ -2,9 +2,10 @@
 //! (Definition 3.1): logs of correct processes are always prefix-related,
 //! under arbitrary schedules, all broadcast instantiations, and crashes.
 
-use dag_rider::core::{DagRiderNode, NodeConfig};
+use dag_rider::core::NodeConfig;
 use dag_rider::crypto::deal_coin_keys;
 use dag_rider::rbc::{AvidRbc, BrachaRbc, ProbabilisticRbc, ReliableBroadcast};
+use dag_rider::simactor::DagRiderNode;
 use dag_rider::simnet::{Simulation, UniformScheduler};
 use dag_rider::types::{Committee, ProcessId, VertexRef};
 use proptest::prelude::*;

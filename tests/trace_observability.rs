@@ -6,9 +6,10 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use dag_rider::analysis::{DagAuditor, TraceReport};
-use dag_rider::core::{DagRiderNode, NodeConfig, WaveOutcome};
+use dag_rider::core::{NodeConfig, WaveOutcome};
 use dag_rider::crypto::deal_coin_keys;
 use dag_rider::rbc::BrachaRbc;
+use dag_rider::simactor::DagRiderNode;
 use dag_rider::simnet::{Simulation, UniformScheduler};
 use dag_rider::trace::{TraceEvent, TraceRecord};
 use dag_rider::types::{Committee, VertexRef, Wave};

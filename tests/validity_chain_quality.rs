@@ -3,9 +3,10 @@
 //! **chain quality** (§3: any prefix of `(2f+1)·r` ordered vertices holds
 //! ≥ `(f+1)·r` from correct processes).
 
-use dag_rider::core::{DagRiderNode, NodeConfig};
+use dag_rider::core::NodeConfig;
 use dag_rider::crypto::deal_coin_keys;
 use dag_rider::rbc::{byzantine::SilentActor, BrachaRbc};
+use dag_rider::simactor::DagRiderNode;
 use dag_rider::simnet::{Either, Simulation, TargetedScheduler, Time, UniformScheduler};
 use dag_rider::types::{Block, Committee, ProcessId, SeqNum, Transaction};
 use rand::rngs::StdRng;
