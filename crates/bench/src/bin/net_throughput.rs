@@ -1,0 +1,319 @@
+//! **End-to-end throughput** — the first `BENCH_*` number measured
+//! through the real stack instead of in-process DAG operations: an n-node
+//! localhost TCP cluster under closed-loop client load, plus a fixed-load
+//! simnet run of the same engine, reporting blocks/sec, ordered-tx/sec,
+//! and p50/p99 submit→order latency.
+//!
+//! The TCP phase keeps a fixed window of client blocks in flight per node
+//! (submit a replacement the moment a node orders its own block), warms
+//! up, then measures over a fixed wall-clock window. The simnet phase
+//! runs the identical engine at fixed load through the deterministic
+//! simulator, isolating protocol + codec CPU cost from socket I/O.
+//!
+//! ```sh
+//! cargo run --release -p dagrider-bench --bin net_throughput -- --json out.json
+//! cargo run --release -p dagrider-bench --bin net_throughput -- --smoke
+//! ```
+
+use std::collections::HashMap;
+use std::net::TcpListener;
+use std::time::{Duration, Instant};
+
+use dagrider_core::NodeConfig;
+use dagrider_crypto::deal_coin_keys;
+use dagrider_net::{NetConfig, NetNode};
+use dagrider_rbc::BrachaRbc;
+use dagrider_simactor::DagRiderNode;
+use dagrider_simnet::{Simulation, UniformScheduler};
+use dagrider_types::{Block, Committee, ProcessId, SeqNum, Transaction};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[derive(Debug, Clone)]
+struct Config {
+    nodes: usize,
+    warmup: Duration,
+    measure: Duration,
+    window: usize,
+    txs_per_block: usize,
+    tx_size: usize,
+    sim_rounds: u64,
+    json: Option<String>,
+}
+
+impl Config {
+    fn parse() -> Self {
+        let mut cfg = Self {
+            nodes: 4,
+            warmup: Duration::from_secs(3),
+            measure: Duration::from_secs(10),
+            window: 8,
+            txs_per_block: 32,
+            tx_size: 256,
+            sim_rounds: 64,
+            json: None,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            let mut value =
+                |name: &str| args.next().unwrap_or_else(|| panic!("{name} needs a value"));
+            match arg.as_str() {
+                "--nodes" => cfg.nodes = value("--nodes").parse().expect("--nodes: usize"),
+                "--warmup-secs" => {
+                    cfg.warmup =
+                        Duration::from_secs_f64(value("--warmup-secs").parse().expect("f64"));
+                }
+                "--measure-secs" => {
+                    cfg.measure =
+                        Duration::from_secs_f64(value("--measure-secs").parse().expect("f64"));
+                }
+                "--window" => cfg.window = value("--window").parse().expect("--window: usize"),
+                "--txs-per-block" => {
+                    cfg.txs_per_block = value("--txs-per-block").parse().expect("usize");
+                }
+                "--tx-size" => cfg.tx_size = value("--tx-size").parse().expect("usize"),
+                "--sim-rounds" => cfg.sim_rounds = value("--sim-rounds").parse().expect("u64"),
+                "--json" => cfg.json = Some(value("--json")),
+                "--smoke" => {
+                    cfg.warmup = Duration::from_millis(500);
+                    cfg.measure = Duration::from_secs(2);
+                    cfg.window = 4;
+                    cfg.txs_per_block = 8;
+                    cfg.tx_size = 32;
+                    cfg.sim_rounds = 16;
+                }
+                other => panic!("unknown argument {other}"),
+            }
+        }
+        cfg
+    }
+}
+
+#[derive(Debug, Default)]
+struct TcpResult {
+    secs: f64,
+    vertices: u64,
+    blocks: u64,
+    txs: u64,
+    p50_ms: f64,
+    p99_ms: f64,
+    dropped_frames: u64,
+}
+
+#[derive(Debug, Default)]
+struct SimResult {
+    wall_ms: f64,
+    vertices: u64,
+    txs: u64,
+    txs_per_wallsec: f64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let index = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[index]
+}
+
+/// One client block: `txs_per_block` synthetic transactions whose tag
+/// encodes (proposer, seq) so ordered blocks map back to submissions.
+fn client_block(node: usize, seq: u64, cfg: &Config) -> Block {
+    let base = (node as u64) << 40 | seq << 8;
+    let txs: Vec<Transaction> = (0..cfg.txs_per_block)
+        .map(|i| Transaction::synthetic(base | i as u64, cfg.tx_size))
+        .collect();
+    Block::new(ProcessId::new(node as u32), SeqNum::new(seq), txs)
+}
+
+/// Closed-loop load against a real localhost TCP cluster.
+fn run_tcp(cfg: &Config) -> TcpResult {
+    let n = cfg.nodes;
+    let committee = Committee::new(n).expect("committee size");
+    let listeners: Vec<TcpListener> =
+        (0..n).map(|_| TcpListener::bind("127.0.0.1:0").expect("bind")).collect();
+    let addrs = listeners.iter().map(|l| l.local_addr().expect("addr")).collect::<Vec<_>>();
+    let keys = deal_coin_keys(&committee, &mut StdRng::seed_from_u64(42));
+    let node_config = NodeConfig::default().with_gc_depth(64);
+
+    let mut nodes: Vec<NetNode> = Vec::new();
+    for (i, listener) in listeners.into_iter().enumerate() {
+        let config = NetConfig::new(
+            committee,
+            ProcessId::new(i as u32),
+            addrs.clone(),
+            node_config.clone(),
+            keys[i].clone(),
+            42 + i as u64,
+        )
+        .with_sync_timeout(Duration::from_millis(500));
+        nodes.push(NetNode::start::<BrachaRbc>(config, Some(listener)).expect("start node"));
+    }
+
+    let live_deadline = Instant::now() + Duration::from_secs(10);
+    while !nodes.iter().all(NetNode::is_live) {
+        assert!(Instant::now() < live_deadline, "cluster failed to go live");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Submit the initial window and start the closed loop.
+    let mut next_seq = vec![1u64; n];
+    let mut submitted_at: HashMap<(usize, u64), Instant> = HashMap::new();
+    for (i, node) in nodes.iter().enumerate() {
+        for _ in 0..cfg.window {
+            let seq = next_seq[i];
+            next_seq[i] += 1;
+            submitted_at.insert((i, seq), Instant::now());
+            node.submit(client_block(i, seq, cfg));
+        }
+    }
+
+    let mut cursors = vec![0usize; n];
+    let warmup_end = Instant::now() + cfg.warmup;
+    let mut measuring = false;
+    let mut measure_start = Instant::now();
+    let mut measure_end = measure_start + cfg.measure;
+    let mut result = TcpResult::default();
+    let mut latencies_ms: Vec<f64> = Vec::new();
+
+    loop {
+        let now = Instant::now();
+        if !measuring && now >= warmup_end {
+            measuring = true;
+            measure_start = now;
+            measure_end = now + cfg.measure;
+        }
+        if measuring && now >= measure_end {
+            break;
+        }
+        for (i, node) in nodes.iter().enumerate() {
+            let new = node.ordered_from(cursors[i]);
+            cursors[i] += new.len();
+            for ordered in &new {
+                let block = &ordered.block;
+                // Throughput is counted at node 0's log (all logs agree).
+                if i == 0 && measuring {
+                    result.vertices += 1;
+                    if !block.transactions().is_empty() {
+                        result.blocks += 1;
+                        result.txs += block.transactions().len() as u64;
+                    }
+                }
+                // Submit→order latency and window refill are tracked at
+                // the proposing node's own log.
+                if block.proposer().as_usize() == i {
+                    if let Some(at) = submitted_at.remove(&(i, block.seq().number())) {
+                        if measuring {
+                            latencies_ms.push(at.elapsed().as_secs_f64() * 1e3);
+                        }
+                        let seq = next_seq[i];
+                        next_seq[i] += 1;
+                        submitted_at.insert((i, seq), Instant::now());
+                        node.submit(client_block(i, seq, cfg));
+                    }
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    result.secs = measure_start.elapsed().as_secs_f64();
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    result.p50_ms = percentile(&latencies_ms, 0.5);
+    result.p99_ms = percentile(&latencies_ms, 0.99);
+    result.dropped_frames = nodes.iter().map(NetNode::dropped_frames).sum();
+
+    for mut node in nodes {
+        node.shutdown();
+    }
+    result
+}
+
+/// Fixed-load run of the identical engine through the deterministic
+/// simulator: protocol + codec CPU cost without socket I/O.
+fn run_simnet(cfg: &Config) -> SimResult {
+    let committee = Committee::new(cfg.nodes).expect("committee size");
+    let keys = deal_coin_keys(&committee, &mut StdRng::seed_from_u64(42));
+    let node_config = NodeConfig::default().with_max_round(cfg.sim_rounds).with_gc_depth(64);
+    let mut nodes: Vec<DagRiderNode<BrachaRbc>> = committee
+        .members()
+        .zip(keys)
+        .map(|(p, k)| DagRiderNode::new(committee, p, k, node_config.clone()))
+        .collect();
+    // Fixed load: one client block per round per node, enqueued up front.
+    for (i, node) in nodes.iter_mut().enumerate() {
+        for seq in 1..=cfg.sim_rounds {
+            node.a_bcast(client_block(i, seq, cfg));
+        }
+    }
+    let mut sim = Simulation::new(committee, nodes, UniformScheduler::new(1, 3), 42);
+    let start = Instant::now();
+    sim.run();
+    let wall = start.elapsed();
+
+    let mut result = SimResult { wall_ms: wall.as_secs_f64() * 1e3, ..SimResult::default() };
+    for ordered in sim.actor(ProcessId::new(0)).ordered() {
+        result.vertices += 1;
+        result.txs += ordered.block.transactions().len() as u64;
+    }
+    result.txs_per_wallsec = result.txs as f64 / wall.as_secs_f64();
+    result
+}
+
+fn main() {
+    let cfg = Config::parse();
+    println!(
+        "net_throughput: n={} window={} txs/block={} tx_size={}B warmup={:?} measure={:?}",
+        cfg.nodes, cfg.window, cfg.txs_per_block, cfg.tx_size, cfg.warmup, cfg.measure
+    );
+
+    let tcp = run_tcp(&cfg);
+    let blocks_per_sec = tcp.blocks as f64 / tcp.secs;
+    let txs_per_sec = tcp.txs as f64 / tcp.secs;
+    let vertices_per_sec = tcp.vertices as f64 / tcp.secs;
+    println!("\nTCP cluster ({} nodes, closed loop, {:.1} s):", cfg.nodes, tcp.secs);
+    println!("  ordered vertices/sec  {vertices_per_sec:>10.1}");
+    println!("  client blocks/sec     {blocks_per_sec:>10.1}");
+    println!("  ordered tx/sec        {txs_per_sec:>10.1}");
+    println!("  submit→order p50      {:>10.1} ms", tcp.p50_ms);
+    println!("  submit→order p99      {:>10.1} ms", tcp.p99_ms);
+    println!("  dropped frames        {:>10}", tcp.dropped_frames);
+    assert!(tcp.txs > 0, "no client transactions ordered — cluster stalled");
+
+    let sim = run_simnet(&cfg);
+    println!("\nsimnet (fixed load, {} rounds, delays ∈ [1, 3]):", cfg.sim_rounds);
+    println!("  wall time             {:>10.1} ms", sim.wall_ms);
+    println!("  ordered vertices      {:>10}", sim.vertices);
+    println!("  ordered tx/wall-sec   {:>10.1}", sim.txs_per_wallsec);
+    assert!(sim.txs > 0, "no transactions ordered in simnet phase");
+
+    if let Some(path) = &cfg.json {
+        let json = format!(
+            concat!(
+                "{{\n",
+                "  \"config\": {{\"nodes\": {}, \"window\": {}, \"txs_per_block\": {}, ",
+                "\"tx_size\": {}, \"measure_secs\": {:.1}}},\n",
+                "  \"tcp\": {{\"vertices_per_sec\": {:.1}, \"blocks_per_sec\": {:.1}, ",
+                "\"txs_per_sec\": {:.1}, \"p50_ms\": {:.1}, \"p99_ms\": {:.1}, ",
+                "\"dropped_frames\": {}}},\n",
+                "  \"simnet\": {{\"wall_ms\": {:.1}, \"txs_per_wallsec\": {:.1}}}\n",
+                "}}\n",
+            ),
+            cfg.nodes,
+            cfg.window,
+            cfg.txs_per_block,
+            cfg.tx_size,
+            cfg.measure.as_secs_f64(),
+            vertices_per_sec,
+            blocks_per_sec,
+            txs_per_sec,
+            tcp.p50_ms,
+            tcp.p99_ms,
+            tcp.dropped_frames,
+            sim.wall_ms,
+            sim.txs_per_wallsec,
+        );
+        std::fs::write(path, json).expect("write json");
+        println!("\nwrote {path}");
+    }
+}

@@ -31,7 +31,7 @@
 use std::collections::VecDeque;
 
 use bytes::Bytes;
-use dagrider_crypto::{Coin, CoinKeys, CoinShare};
+use dagrider_crypto::{Coin, CoinKeys, CoinShare, Digest};
 use dagrider_rbc::{RbcAction, ReliableBroadcast};
 use dagrider_trace::{SharedTracer, TraceEvent, TraceRecord};
 use dagrider_types::{
@@ -222,6 +222,40 @@ pub enum EngineInput {
     /// `(source, round)` is taken as attested (a production deployment
     /// would verify a signature here).
     SyncVertex(Vertex),
+    /// Wire input whose expensive checks (SHA-256 payload digests, coin
+    /// DLEQ proofs) a *trusted driver* already performed off the consensus
+    /// thread. The engine skips re-verification, so only drivers that
+    /// actually ran the checks may construct this variant — an invariant
+    /// enforced by `cargo xtask lint` (only `dagrider-net`'s verification
+    /// pool and the test drivers may name it outside this crate).
+    PreVerified(VerifiedInput),
+}
+
+/// The payload of [`EngineInput::PreVerified`]: one unit of wire input with
+/// its verification artifacts attached.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifiedInput {
+    /// Encoded [`NodeMessage`] bytes (expected to decode to an RBC
+    /// message) plus the pre-computed SHA-256 digest of the RBC payload,
+    /// exactly as [`ReliableBroadcast::message_digest`] would return for
+    /// the decoded message. A `None` digest (or bytes that decode to a
+    /// coin share) falls back to the unverified handling path.
+    Message {
+        /// The authenticated sender.
+        from: ProcessId,
+        /// The raw received bytes.
+        payload: Vec<u8>,
+        /// Pre-computed digest of the decoded RBC payload.
+        digest: Option<Digest>,
+    },
+    /// A coin share whose DLEQ proof already verified against the
+    /// issuer's key.
+    CoinShare {
+        /// The authenticated sender.
+        from: ProcessId,
+        /// The verified share.
+        share: CoinShare,
+    },
 }
 
 /// A typed effect returned by the engine. Drivers must route outputs in
@@ -531,6 +565,18 @@ impl<B: ReliableBroadcast> DagRiderEngine<B> {
                 self.handle_dag_events(events, &mut out, &mut queue, now, rng);
                 self.drive(queue, &mut out, now, rng);
             }
+            EngineInput::PreVerified(verified) => match verified {
+                VerifiedInput::Message { from, payload, digest } => {
+                    self.on_verified_message(from, &payload, digest, &mut out, now, rng);
+                }
+                VerifiedInput::CoinShare { from, share } => {
+                    if share.issuer() == from {
+                        self.on_verified_share(share, &mut out, now);
+                    } else {
+                        self.decode_failures += 1;
+                    }
+                }
+            },
         }
         self.finish_turn(&mut out);
         self.record_outputs(&out);
@@ -565,12 +611,60 @@ impl<B: ReliableBroadcast> DagRiderEngine<B> {
                     return;
                 }
                 let wave = Wave::new(share.instance());
-                if let Ok(Some(leader)) = self.coin.add_share(share) {
+                let res = self.coin.add_share(share);
+                if let Ok(Some(leader)) = res {
                     let delivered = self.ordering.on_leader(wave, leader, self.core.dag(), now);
                     out.extend(delivered.into_iter().map(EngineOutput::Ordered));
                 }
             }
             Err(_) => self.decode_failures += 1,
+        }
+    }
+
+    /// The PreVerified-Message body: like [`Self::on_message`], but the
+    /// RBC payload digest was pre-computed off-thread, so the broadcast
+    /// layer skips its own hashing. Coin shares arriving through this
+    /// variant were *not* DLEQ-checked by the driver (the pool routes
+    /// those as [`VerifiedInput::CoinShare`]), so they take the normal
+    /// verifying path.
+    fn on_verified_message(
+        &mut self,
+        from: ProcessId,
+        payload: &[u8],
+        digest: Option<Digest>,
+        out: &mut Vec<EngineOutput>,
+        now: Time,
+        rng: &mut rand::rngs::StdRng,
+    ) {
+        match NodeMessage::<B::Message>::from_bytes(payload) {
+            Ok(NodeMessage::Rbc(m)) => {
+                let actions = self.rbc.on_message_with_digest(from, m, digest, rng);
+                self.drive(actions.into(), out, now, rng);
+            }
+            Ok(NodeMessage::Coin(share)) => {
+                if share.issuer() != from {
+                    self.decode_failures += 1;
+                    return;
+                }
+                let wave = Wave::new(share.instance());
+                let res = self.coin.add_share(share);
+                if let Ok(Some(leader)) = res {
+                    let delivered = self.ordering.on_leader(wave, leader, self.core.dag(), now);
+                    out.extend(delivered.into_iter().map(EngineOutput::Ordered));
+                }
+            }
+            Err(_) => self.decode_failures += 1,
+        }
+    }
+
+    /// The PreVerified-CoinShare body: insert a share whose proof the
+    /// driver already verified.
+    fn on_verified_share(&mut self, share: CoinShare, out: &mut Vec<EngineOutput>, now: Time) {
+        let wave = Wave::new(share.instance());
+        let res = self.coin.add_verified_share(share);
+        if let Ok(Some(leader)) = res {
+            let delivered = self.ordering.on_leader(wave, leader, self.core.dag(), now);
+            out.extend(delivered.into_iter().map(EngineOutput::Ordered));
         }
     }
 
@@ -606,7 +700,8 @@ impl<B: ReliableBroadcast> DagRiderEngine<B> {
                             continue;
                         }
                         let wave = Wave::new(share.instance());
-                        if let Ok(Some(leader)) = self.coin.add_share(share) {
+                        let res = self.coin.add_share(share);
+                        if let Ok(Some(leader)) = res {
                             let delivered =
                                 self.ordering.on_leader(wave, leader, self.core.dag(), now);
                             out.extend(delivered.into_iter().map(EngineOutput::Ordered));

@@ -64,6 +64,7 @@ pub mod render;
 pub use construction::{DagCore, DagEvent};
 pub use dag::Dag;
 pub use engine::{
-    DagRiderEngine, EngineInput, EngineOutput, IoRecord, NodeConfig, NodeMessage, VertexPayload,
+    DagRiderEngine, EngineInput, EngineOutput, IoRecord, NodeConfig, NodeMessage, VerifiedInput,
+    VertexPayload,
 };
 pub use ordering::{CommitEvent, OrderedVertex, Ordering, WaveOutcome};

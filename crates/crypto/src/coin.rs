@@ -195,16 +195,37 @@ impl CoinPublicKeys {
 
     /// Verifies a share's DLEQ proof against the issuer's verification key.
     pub fn verify(&self, share: &CoinShare) -> Result<(), CoinError> {
+        self.verify_with_base(share, instance_base(share.instance))
+    }
+
+    /// Verifies a batch of shares, computing each distinct instance's base
+    /// `H̃(w)` once — the shares of one wave all target the same instance,
+    /// so the hash-to-group cost is amortized across the batch.
+    pub fn verify_batch(&self, shares: &[CoinShare]) -> Vec<Result<(), CoinError>> {
+        let mut bases: BTreeMap<u64, GroupElement> = BTreeMap::new();
+        shares
+            .iter()
+            .map(|share| {
+                let base =
+                    *bases.entry(share.instance).or_insert_with(|| instance_base(share.instance));
+                self.verify_with_base(share, base)
+            })
+            .collect()
+    }
+
+    fn verify_with_base(&self, share: &CoinShare, base: GroupElement) -> Result<(), CoinError> {
         let vk =
             self.verification_key(share.issuer).ok_or(CoinError::UnknownIssuer(share.issuer))?;
-        let base = instance_base(share.instance);
         // Recompute the commitments from the response: a = g^z · vk^{-c},
-        // b = h^z · σ^{-c}; the proof verifies iff the challenge matches.
+        // b = h^z · σ^{-c}. Both vk and σ lie in the order-q subgroup
+        // (enforced by `GroupElement::decode` on wire input), so x^{-c} is
+        // x^{q-c} — four exponentiations total instead of the naive six
+        // with Fermat inverses.
         let g = GroupElement::generator();
         let c = share.proof.challenge;
         let z = share.proof.response;
-        let commit_g = g.pow(z).mul(vk.pow(c).inverse());
-        let commit_h = base.pow(z).mul(share.value.pow(c).inverse());
+        let commit_g = g.pow(z).mul(vk.pow(-c));
+        let commit_h = base.pow(z).mul(share.value.pow(-c));
         let expected =
             dleq_challenge(share.instance, share.issuer, base, vk, share.value, commit_g, commit_h);
         if expected == c {
@@ -363,6 +384,36 @@ impl CoinAggregator {
         Ok(self.opened)
     }
 
+    /// Adds a share whose DLEQ proof the caller has *already* verified
+    /// (e.g. on a verification worker thread via
+    /// [`CoinPublicKeys::verify_batch`]), skipping the proof check here.
+    /// Instance and membership checks still apply, so a mis-routed share
+    /// cannot corrupt the aggregator.
+    ///
+    /// # Errors
+    ///
+    /// Rejects shares for other instances or from non-members.
+    pub fn add_verified_share(&mut self, share: CoinShare) -> Result<Option<ProcessId>, CoinError> {
+        if share.instance != self.instance {
+            return Err(CoinError::WrongInstance {
+                expected: self.instance,
+                found: share.instance,
+            });
+        }
+        if self.public.verification_key(share.issuer).is_none() {
+            return Err(CoinError::UnknownIssuer(share.issuer));
+        }
+        debug_assert!(
+            self.public.verify(&share).is_ok(),
+            "add_verified_share called with an unverified share"
+        );
+        self.shares.entry(share.issuer).or_insert(share.value);
+        if self.opened.is_none() && self.shares.len() >= self.public.threshold() {
+            self.opened = Some(self.combine());
+        }
+        Ok(self.opened)
+    }
+
     /// Combines the first `threshold` collected shares by Lagrange
     /// interpolation in the exponent and hashes the group element to a
     /// process id.
@@ -431,6 +482,21 @@ impl Coin {
             .entry(share.instance())
             .or_insert_with(|| CoinAggregator::new(share.instance(), &public))
             .add_share(share)
+    }
+
+    /// Adds a share already verified by the caller (see
+    /// [`CoinAggregator::add_verified_share`]); returns the leader if
+    /// `instance` just opened (or was already open).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoinError`] for mis-routed shares.
+    pub fn add_verified_share(&mut self, share: CoinShare) -> Result<Option<ProcessId>, CoinError> {
+        let public = self.keys.public().clone();
+        self.aggregators
+            .entry(share.instance())
+            .or_insert_with(|| CoinAggregator::new(share.instance(), &public))
+            .add_verified_share(share)
     }
 
     /// The leader elected by `instance`, if open.
@@ -585,6 +651,68 @@ mod tests {
         assert_eq!(decoded, share);
         // And the decoded share still verifies.
         keys[0].public().verify(&decoded).unwrap();
+    }
+
+    #[test]
+    fn verify_batch_matches_single_share_verification() {
+        let (_, keys, mut rng) = setup(7, 41);
+        // A mixed batch spanning instances: valid shares, a forged issuer,
+        // a tampered value, and an unknown issuer.
+        let mut shares: Vec<CoinShare> = Vec::new();
+        for k in &keys[..4] {
+            shares.push(k.share(10, &mut rng));
+            shares.push(k.share(11, &mut rng));
+        }
+        let honest = keys[4].share(10, &mut rng);
+        shares.push(CoinShare { issuer: ProcessId::new(5), ..honest });
+        let mut tampered = keys[5].share(11, &mut rng);
+        tampered.value = tampered.value.mul(GroupElement::generator());
+        shares.push(tampered);
+        shares.push(CoinShare { issuer: ProcessId::new(99), ..keys[6].share(10, &mut rng) });
+
+        let public = keys[0].public();
+        let batch = public.verify_batch(&shares);
+        assert_eq!(batch.len(), shares.len());
+        for (share, batch_result) in shares.iter().zip(&batch) {
+            assert_eq!(*batch_result, public.verify(share));
+        }
+        assert_eq!(batch.iter().filter(|r| r.is_err()).count(), 3);
+    }
+
+    #[test]
+    fn add_verified_share_matches_add_share() {
+        let (committee, keys, mut rng) = setup(4, 43);
+        let shares: Vec<CoinShare> = keys.iter().map(|k| k.share(9, &mut rng)).collect();
+        let mut checked = CoinAggregator::new(9, keys[0].public());
+        let mut trusted = CoinAggregator::new(9, keys[0].public());
+        for &share in &shares {
+            keys[0].public().verify(&share).unwrap();
+            let a = checked.add_share(share).unwrap();
+            let b = trusted.add_verified_share(share).unwrap();
+            assert_eq!(a, b);
+        }
+        let leader = trusted.opened().unwrap();
+        assert!(committee.contains(leader));
+        // Duplicates still collapse.
+        trusted.add_verified_share(shares[0]).unwrap();
+        assert_eq!(trusted.share_count(), 4);
+    }
+
+    #[test]
+    fn add_verified_share_still_rejects_misrouted_shares() {
+        let (_, keys, mut rng) = setup(4, 47);
+        let mut agg = CoinAggregator::new(1, keys[0].public());
+        let wrong_instance = keys[0].share(2, &mut rng);
+        assert_eq!(
+            agg.add_verified_share(wrong_instance),
+            Err(CoinError::WrongInstance { expected: 1, found: 2 })
+        );
+        let stranger = CoinShare { issuer: ProcessId::new(9), ..keys[1].share(1, &mut rng) };
+        assert_eq!(
+            agg.add_verified_share(stranger),
+            Err(CoinError::UnknownIssuer(ProcessId::new(9)))
+        );
+        assert_eq!(agg.share_count(), 0);
     }
 
     #[test]

@@ -39,12 +39,15 @@ pub mod dkg;
 pub mod field;
 pub mod gf256;
 pub mod merkle;
+mod modmath;
 pub mod primes;
 pub mod reed_solomon;
 pub mod sha256;
 pub mod shamir;
 
-pub use coin::{deal_coin_keys, Coin, CoinAggregator, CoinError, CoinKeys, CoinShare};
+pub use coin::{
+    deal_coin_keys, Coin, CoinAggregator, CoinError, CoinKeys, CoinPublicKeys, CoinShare,
+};
 pub use field::{GroupElement, Scalar, GENERATOR, P, Q};
 pub use merkle::{MerkleError, MerkleProof, MerkleTree};
 pub use reed_solomon::{ReedSolomon, RsError, Shard};

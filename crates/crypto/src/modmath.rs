@@ -1,0 +1,47 @@
+//! Shared 64-bit modular arithmetic primitives.
+//!
+//! One home for the `u128`-widened multiply-reduce and square-and-multiply
+//! exponentiation used by both the group arithmetic ([`crate::field`]) and
+//! the primality certification ([`crate::primes`]).
+
+/// `(a * b) mod m` without overflow, via `u128` widening.
+#[inline]
+pub(crate) fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((u128::from(a) * u128::from(b)) % u128::from(m)) as u64
+}
+
+/// `base^exp mod m` by square-and-multiply.
+#[inline]
+pub(crate) fn pow_mod(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    let mut acc: u64 = 1 % m;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base, m);
+        }
+        base = mul_mod(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_cases() {
+        assert_eq!(mul_mod(7, 8, 5), 1);
+        assert_eq!(pow_mod(2, 10, 1_000), 24);
+        assert_eq!(pow_mod(0, 0, 7), 1); // 0^0 = 1 by convention here
+        assert_eq!(pow_mod(5, 1, 1), 0); // everything is 0 mod 1
+    }
+
+    #[test]
+    fn no_overflow_near_u64_max() {
+        let m = 18_446_744_073_709_551_557; // largest u64 prime
+        let a = m - 1;
+        assert_eq!(mul_mod(a, a, m), 1); // (-1)^2 = 1
+        assert_eq!(pow_mod(a, 2, m), 1);
+    }
+}

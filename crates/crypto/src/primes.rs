@@ -4,28 +4,11 @@
 //! tests; exposed publicly because the experiment harness also uses it to
 //! sanity-check derived parameters.
 
+use crate::modmath::{mul_mod, pow_mod};
+
 /// Deterministic Miller–Rabin witnesses sufficient for all `u64` inputs
 /// (Sinclair's verified base set).
 const WITNESSES: [u64; 12] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37];
-
-#[inline]
-fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
-    ((u128::from(a) * u128::from(b)) % u128::from(m)) as u64
-}
-
-#[inline]
-fn pow_mod(mut base: u64, mut exp: u64, m: u64) -> u64 {
-    let mut acc: u64 = 1 % m;
-    base %= m;
-    while exp > 0 {
-        if exp & 1 == 1 {
-            acc = mul_mod(acc, base, m);
-        }
-        base = mul_mod(base, base, m);
-        exp >>= 1;
-    }
-    acc
-}
 
 /// Whether `n` is prime. Exact (not probabilistic) for all `u64` values.
 ///

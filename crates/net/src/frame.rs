@@ -1,15 +1,32 @@
-//! Length-prefixed framing over a byte stream.
+//! Length-prefixed framing over a byte stream, with pooled zero-copy
+//! outbound frames.
 //!
 //! Every frame is a little-endian `u32` payload length followed by the
 //! payload bytes. The length is bounded by [`MAX_FRAME_LEN`] so a
 //! malicious or corrupt peer cannot make a reader allocate unboundedly.
+//!
+//! Outbound frames are built once as a [`Frame`] — a refcounted,
+//! immutable `[len | payload]` buffer — and shared by handle across every
+//! per-peer send queue, so a broadcast to `n - 1` peers encodes and
+//! allocates exactly once. A [`FramePool`] recycles the backing buffers:
+//! when the last handle to a pooled frame drops (its bytes written to all
+//! sockets), the buffer returns to the pool for the next encode, making
+//! steady-state encoding allocation-free.
 
 use std::io::{self, Read, Write};
+use std::sync::{Arc, Mutex, Weak};
+
+use dagrider_types::Encode;
 
 /// Upper bound on a single frame's payload, in bytes. A DAG-Rider wire
 /// message is a vertex plus edges and a block — far below this; anything
 /// larger is a protocol violation or stream corruption.
 pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Buffers a [`FramePool`] retains at most; beyond this, returning
+/// buffers are simply freed. Sized for a full broadcast fan-out in
+/// flight per peer with slack.
+const MAX_POOLED_BUFFERS: usize = 64;
 
 /// Writes one length-prefixed frame and flushes the stream.
 pub fn write_frame<W: Write>(writer: &mut W, payload: &[u8]) -> io::Result<()> {
@@ -35,6 +52,126 @@ pub fn read_frame<R: Read>(reader: &mut R) -> io::Result<Vec<u8>> {
     let mut payload = vec![0u8; len];
     reader.read_exact(&mut payload)?;
     Ok(payload)
+}
+
+/// The backing store of a [`Frame`]: the wire bytes plus a route back to
+/// the pool that lent the buffer.
+#[derive(Debug)]
+struct FrameBuf {
+    /// `[u32-LE payload length | payload]` — exactly what goes on the wire.
+    bytes: Vec<u8>,
+    /// The lending pool, if any. `Weak` so a dissolved pool (runtime shut
+    /// down) just lets buffers free normally.
+    pool: Weak<PoolInner>,
+}
+
+impl Drop for FrameBuf {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.upgrade() {
+            pool.put(std::mem::take(&mut self.bytes));
+        }
+    }
+}
+
+/// One immutable outbound wire frame, shareable across send queues by
+/// refcount: `Clone` is an `Arc` bump, never a byte copy.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    buf: Arc<FrameBuf>,
+}
+
+impl Frame {
+    /// Builds an unpooled frame around `payload` (tests and one-off
+    /// control messages; hot paths should encode through a [`FramePool`]).
+    pub fn from_payload(payload: &[u8]) -> Self {
+        assert!(payload.len() <= MAX_FRAME_LEN, "frame exceeds MAX_FRAME_LEN");
+        let mut bytes = Vec::with_capacity(4 + payload.len());
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(payload);
+        Self { buf: Arc::new(FrameBuf { bytes, pool: Weak::new() }) }
+    }
+
+    /// The full wire representation: length prefix followed by payload.
+    /// A writer puts this on the socket with a single `write_all`.
+    pub fn wire_bytes(&self) -> &[u8] {
+        &self.buf.bytes
+    }
+
+    /// The payload bytes (without the length prefix).
+    pub fn payload(&self) -> &[u8] {
+        &self.buf.bytes[4..]
+    }
+}
+
+impl PartialEq for Frame {
+    fn eq(&self, other: &Self) -> bool {
+        self.buf.bytes == other.buf.bytes
+    }
+}
+
+impl Eq for Frame {}
+
+#[derive(Debug, Default)]
+struct PoolInner {
+    buffers: Mutex<Vec<Vec<u8>>>,
+}
+
+impl PoolInner {
+    fn take(&self) -> Vec<u8> {
+        self.buffers.lock().unwrap_or_else(std::sync::PoisonError::into_inner).pop().map_or_else(
+            Vec::new,
+            |mut buf| {
+                buf.clear();
+                buf
+            },
+        )
+    }
+
+    fn put(&self, buf: Vec<u8>) {
+        let mut buffers = self.buffers.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if buffers.len() < MAX_POOLED_BUFFERS {
+            buffers.push(buf);
+        }
+    }
+}
+
+/// A recycling pool of encode buffers. Owned by the consensus thread;
+/// buffers flow out as [`Frame`]s, around the writer threads, and back on
+/// the frames' last drop.
+#[derive(Debug, Default)]
+pub struct FramePool {
+    inner: Arc<PoolInner>,
+}
+
+impl FramePool {
+    /// Creates an empty pool (buffers are grown on demand and recycled).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Encodes `msg` into one pooled frame. The resulting bytes equal
+    /// `write_frame(msg.to_bytes())`'s, byte for byte.
+    pub fn encode(&self, msg: &impl Encode) -> Frame {
+        self.encode_with(|buf| msg.encode(buf))
+    }
+
+    /// Builds a frame from whatever `fill` appends to the buffer — the
+    /// escape hatch for callers that can encode a message without
+    /// materializing it (see `WireMsg::encode_engine_into`).
+    pub fn encode_with(&self, fill: impl FnOnce(&mut Vec<u8>)) -> Frame {
+        let mut bytes = self.inner.take();
+        bytes.extend_from_slice(&[0u8; 4]);
+        fill(&mut bytes);
+        let payload_len = bytes.len() - 4;
+        assert!(payload_len <= MAX_FRAME_LEN, "frame exceeds MAX_FRAME_LEN");
+        bytes[..4].copy_from_slice(&(payload_len as u32).to_le_bytes());
+        Frame { buf: Arc::new(FrameBuf { bytes, pool: Arc::downgrade(&self.inner) }) }
+    }
+
+    /// Buffers currently resting in the pool (diagnostics/tests).
+    pub fn pooled(&self) -> usize {
+        self.inner.buffers.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len()
+    }
 }
 
 #[cfg(test)]
@@ -70,5 +207,52 @@ mod tests {
         buf.extend_from_slice(b"short");
         let mut cursor = io::Cursor::new(buf);
         assert_eq!(read_frame(&mut cursor).unwrap_err().kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn frame_wire_bytes_match_write_frame() {
+        let payload = b"the payload";
+        let frame = Frame::from_payload(payload);
+        let mut expected = Vec::new();
+        write_frame(&mut expected, payload).unwrap();
+        assert_eq!(frame.wire_bytes(), expected.as_slice());
+        assert_eq!(frame.payload(), payload);
+        // A reader decodes the frame back to the payload.
+        let mut cursor = io::Cursor::new(frame.wire_bytes().to_vec());
+        assert_eq!(read_frame(&mut cursor).unwrap(), payload);
+    }
+
+    #[test]
+    fn pooled_encode_matches_plain_encode() {
+        let pool = FramePool::new();
+        let frame = pool.encode(&42u64);
+        assert_eq!(frame.payload(), 42u64.to_bytes().as_slice());
+        assert_eq!(frame, Frame::from_payload(&42u64.to_bytes()));
+    }
+
+    #[test]
+    fn clones_share_the_buffer_and_it_returns_to_the_pool() {
+        let pool = FramePool::new();
+        let frame = pool.encode(&7u64);
+        let ptr = frame.wire_bytes().as_ptr();
+        let clone = frame.clone();
+        assert_eq!(clone.wire_bytes().as_ptr(), ptr, "clone must not copy");
+        assert_eq!(pool.pooled(), 0, "buffer is out on loan");
+        drop(frame);
+        assert_eq!(pool.pooled(), 0, "still one handle alive");
+        drop(clone);
+        assert_eq!(pool.pooled(), 1, "last drop returns the buffer");
+        // The next encode reuses the exact allocation.
+        let next = pool.encode(&9u64);
+        assert_eq!(next.wire_bytes().as_ptr(), ptr, "buffer was not recycled");
+        assert_eq!(pool.pooled(), 0);
+    }
+
+    #[test]
+    fn dissolved_pool_frees_buffers_without_panicking() {
+        let pool = FramePool::new();
+        let frame = pool.encode(&1u64);
+        drop(pool);
+        drop(frame); // Weak upgrade fails; buffer simply frees.
     }
 }

@@ -31,10 +31,11 @@ pub mod backoff;
 pub mod frame;
 pub mod queue;
 pub mod runtime;
+pub(crate) mod verify;
 pub mod wire;
 
 pub use backoff::Backoff;
-pub use frame::{read_frame, write_frame, MAX_FRAME_LEN};
+pub use frame::{read_frame, write_frame, Frame, FramePool, MAX_FRAME_LEN};
 pub use queue::{Pop, SendQueue};
 pub use runtime::{NetConfig, NetNode};
 pub use wire::WireMsg;

@@ -7,18 +7,22 @@
 //! falls more than `capacity` frames behind, the *oldest* frames are
 //! dropped: reliable broadcast tolerates message loss by design, and a
 //! rejoining peer recovers anything it missed through the sync protocol.
+//!
+//! Queues hold [`Frame`] handles, so a broadcast enqueued at `n - 1`
+//! peers shares one encoded buffer — pushing is a refcount bump, never a
+//! byte copy.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
-use bytes::Bytes;
+use crate::frame::Frame;
 
 /// Result of [`SendQueue::pop_timeout`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Pop {
     /// A frame to write.
-    Frame(Bytes),
+    Frame(Frame),
     /// No frame arrived within the timeout; the queue is still open.
     TimedOut,
     /// The queue is closed and drained; the writer should exit.
@@ -27,12 +31,12 @@ pub enum Pop {
 
 #[derive(Debug)]
 struct Inner {
-    frames: VecDeque<Bytes>,
+    frames: VecDeque<Frame>,
     closed: bool,
     dropped: u64,
 }
 
-/// A bounded MPSC byte-frame queue with drop-oldest overflow.
+/// A bounded MPSC frame queue with drop-oldest overflow.
 #[derive(Debug)]
 pub struct SendQueue {
     capacity: usize,
@@ -59,7 +63,7 @@ impl SendQueue {
 
     /// Enqueues a frame, dropping the oldest queued frame if full.
     /// Returns `false` if the queue is closed (frame discarded).
-    pub fn push(&self, frame: Bytes) -> bool {
+    pub fn push(&self, frame: Frame) -> bool {
         let mut inner = self.lock();
         if inner.closed {
             return false;
@@ -77,7 +81,7 @@ impl SendQueue {
     /// Puts a frame back at the *front* of the queue — used by a writer
     /// whose connection died mid-send, so the frame is retried first
     /// after reconnecting. Ignored if the queue is closed.
-    pub fn requeue_front(&self, frame: Bytes) {
+    pub fn requeue_front(&self, frame: Frame) {
         let mut inner = self.lock();
         if !inner.closed {
             if inner.frames.len() >= self.capacity {
@@ -140,13 +144,17 @@ mod tests {
     use std::sync::Arc;
     use std::time::Instant;
 
+    fn frame(payload: &[u8]) -> Frame {
+        Frame::from_payload(payload)
+    }
+
     #[test]
     fn fifo_within_capacity() {
         let q = SendQueue::new(4);
-        assert!(q.push(Bytes::from_static(b"a")));
-        assert!(q.push(Bytes::from_static(b"b")));
-        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Pop::Frame(Bytes::from_static(b"a")));
-        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Pop::Frame(Bytes::from_static(b"b")));
+        assert!(q.push(frame(b"a")));
+        assert!(q.push(frame(b"b")));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Pop::Frame(frame(b"a")));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Pop::Frame(frame(b"b")));
         assert_eq!(q.pop_timeout(Duration::from_millis(1)), Pop::TimedOut);
         assert_eq!(q.dropped(), 0);
     }
@@ -154,33 +162,60 @@ mod tests {
     #[test]
     fn overflow_drops_oldest() {
         let q = SendQueue::new(2);
-        q.push(Bytes::from_static(b"a"));
-        q.push(Bytes::from_static(b"b"));
-        q.push(Bytes::from_static(b"c"));
+        q.push(frame(b"a"));
+        q.push(frame(b"b"));
+        q.push(frame(b"c"));
         assert_eq!(q.dropped(), 1);
-        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Pop::Frame(Bytes::from_static(b"b")));
-        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Pop::Frame(Bytes::from_static(b"c")));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Pop::Frame(frame(b"b")));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Pop::Frame(frame(b"c")));
+    }
+
+    #[test]
+    fn overflow_accounting_is_exact_under_sustained_pressure() {
+        // Push far past capacity and check the counter equals exactly the
+        // number of evictions, and the survivors are exactly the newest
+        // `capacity` frames in order.
+        let capacity = 8;
+        let pushes = 100u64;
+        let q = SendQueue::new(capacity);
+        for i in 0..pushes {
+            assert!(q.push(frame(&i.to_le_bytes())));
+            assert!(q.len() <= capacity, "queue exceeded its capacity");
+        }
+        assert_eq!(q.dropped(), pushes - capacity as u64);
+        for i in (pushes - capacity as u64)..pushes {
+            assert_eq!(
+                q.pop_timeout(Duration::from_millis(1)),
+                Pop::Frame(frame(&i.to_le_bytes()))
+            );
+        }
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Pop::TimedOut);
+        // Draining does not disturb the drop counter.
+        assert_eq!(q.dropped(), pushes - capacity as u64);
+        // requeue_front evictions are counted through the same counter.
+        for i in 0..=capacity as u64 {
+            q.requeue_front(frame(&i.to_le_bytes()));
+        }
+        assert_eq!(q.dropped(), pushes - capacity as u64 + 1);
+        assert_eq!(q.len(), capacity);
     }
 
     #[test]
     fn close_drains_then_reports_closed() {
         let q = SendQueue::new(4);
-        q.push(Bytes::from_static(b"a"));
+        q.push(frame(b"a"));
         q.close();
-        assert!(!q.push(Bytes::from_static(b"late")));
-        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Pop::Frame(Bytes::from_static(b"a")));
+        assert!(!q.push(frame(b"late")));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Pop::Frame(frame(b"a")));
         assert_eq!(q.pop_timeout(Duration::from_millis(1)), Pop::Closed);
     }
 
     #[test]
     fn requeue_front_is_retried_first() {
         let q = SendQueue::new(4);
-        q.push(Bytes::from_static(b"next"));
-        q.requeue_front(Bytes::from_static(b"failed"));
-        assert_eq!(
-            q.pop_timeout(Duration::from_millis(1)),
-            Pop::Frame(Bytes::from_static(b"failed"))
-        );
+        q.push(frame(b"next"));
+        q.requeue_front(frame(b"failed"));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Pop::Frame(frame(b"failed")));
     }
 
     #[test]
@@ -190,8 +225,8 @@ mod tests {
         let start = Instant::now();
         let handle = std::thread::spawn(move || q2.pop_timeout(Duration::from_secs(5)));
         std::thread::sleep(Duration::from_millis(30));
-        q.push(Bytes::from_static(b"x"));
-        assert_eq!(handle.join().unwrap(), Pop::Frame(Bytes::from_static(b"x")));
+        q.push(frame(b"x"));
+        assert_eq!(handle.join().unwrap(), Pop::Frame(frame(b"x")));
         assert!(start.elapsed() < Duration::from_secs(4), "pop did not wake on push");
     }
 }

@@ -28,17 +28,18 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use bytes::Bytes;
 use dagrider_core::{
     DagRiderEngine, EngineInput, EngineOutput, NodeConfig, NodeMessage, OrderedVertex,
+    VerifiedInput,
 };
 use dagrider_crypto::CoinKeys;
 use dagrider_rbc::ReliableBroadcast;
 use dagrider_types::{Block, Committee, Decode, Encode, ProcessId, Round, Time, Wave};
 
 use crate::backoff::Backoff;
-use crate::frame::{read_frame, write_frame};
+use crate::frame::{read_frame, write_frame, FramePool};
 use crate::queue::{Pop, SendQueue};
+use crate::verify::{PoolControl, VerifyPool};
 use crate::wire::WireMsg;
 
 /// Configuration for one cluster process.
@@ -64,6 +65,9 @@ pub struct NetConfig {
     /// Consensus loop wake-up interval (timer resolution, shutdown
     /// latency).
     pub tick: Duration,
+    /// Verification worker threads (digest + DLEQ checks off the
+    /// consensus thread). At least one.
+    pub verify_workers: usize,
 }
 
 impl NetConfig {
@@ -87,6 +91,10 @@ impl NetConfig {
             sync_timeout: Duration::from_secs(2),
             queue_capacity: 4096,
             tick: Duration::from_millis(25),
+            // Leave a core for the consensus thread where there are
+            // cores to spare; a single worker otherwise.
+            verify_workers: std::thread::available_parallelism()
+                .map_or(1, |n| n.get().saturating_sub(1).clamp(1, 4)),
         }
     }
 
@@ -96,12 +104,22 @@ impl NetConfig {
         self.sync_timeout = timeout;
         self
     }
+
+    /// Overrides the verification worker count (clamped to at least 1).
+    #[must_use]
+    pub fn with_verify_workers(mut self, workers: usize) -> Self {
+        self.verify_workers = workers.max(1);
+        self
+    }
 }
 
 /// Everything that can wake the consensus thread.
-enum Event {
+pub(crate) enum Event {
     /// A decoded wire message from an identified peer.
     Net { from: ProcessId, msg: WireMsg },
+    /// Wire input the verification pool already checked
+    /// (digests computed, coin proofs verified).
+    Verified(VerifiedInput),
     /// A client block submission.
     Submit(Block),
     /// A writer (re-)established its connection to `peer`.
@@ -126,10 +144,6 @@ fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 /// Millisecond-granularity engine clock anchored at process start.
 fn engine_now(epoch: Instant) -> Time {
     Time::new(u64::try_from(epoch.elapsed().as_millis()).unwrap_or(u64::MAX))
-}
-
-fn encode_frame(msg: &WireMsg) -> Bytes {
-    Bytes::from(msg.to_bytes())
 }
 
 /// Sleeps up to `total`, returning early once `running` clears.
@@ -158,6 +172,7 @@ pub struct NetNode {
     published: Arc<Published>,
     queues: Vec<Arc<SendQueue>>,
     reader_socks: Arc<Mutex<Vec<TcpStream>>>,
+    verify: Arc<dyn PoolControl>,
     running: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
 }
@@ -196,6 +211,11 @@ impl NetNode {
         let queues: Vec<Arc<SendQueue>> =
             (0..committee.n()).map(|_| Arc::new(SendQueue::new(config.queue_capacity))).collect();
         let reader_socks = Arc::new(Mutex::new(Vec::new()));
+        let verify: Arc<VerifyPool<B>> = Arc::new(VerifyPool::new(
+            config.verify_workers,
+            config.coin_keys.public().clone(),
+            tx.clone(),
+        ));
 
         let mut threads = Vec::new();
         for peer in committee.others(me) {
@@ -211,8 +231,16 @@ impl NetNode {
             let accept_tx = tx.clone();
             let accept_running = Arc::clone(&running);
             let socks = Arc::clone(&reader_socks);
+            let accept_verify = Arc::clone(&verify);
             threads.push(std::thread::spawn(move || {
-                accept_loop(&listener, committee, &accept_tx, &accept_running, &socks);
+                accept_loop(
+                    &listener,
+                    committee,
+                    &accept_tx,
+                    &accept_running,
+                    &socks,
+                    &accept_verify,
+                );
             }));
         }
         {
@@ -224,7 +252,18 @@ impl NetNode {
             }));
         }
 
-        Ok(Self { me, committee, addr, tx, published, queues, reader_socks, running, threads })
+        Ok(Self {
+            me,
+            committee,
+            addr,
+            tx,
+            published,
+            queues,
+            reader_socks,
+            verify,
+            running,
+            threads,
+        })
     }
 
     /// This process's identity.
@@ -258,6 +297,13 @@ impl NetNode {
         lock_unpoisoned(&self.published.ordered).len()
     }
 
+    /// The ordered log from position `start` onward — an incremental
+    /// cursor read for pollers that already consumed the prefix.
+    pub fn ordered_from(&self, start: usize) -> Vec<OrderedVertex> {
+        let log = lock_unpoisoned(&self.published.ordered);
+        log.get(start..).map(<[OrderedVertex]>::to_vec).unwrap_or_default()
+    }
+
     /// Highest wave this process has decided.
     pub fn decided_wave(&self) -> Wave {
         Wave::new(self.published.decided_wave.load(AtomicOrdering::Relaxed))
@@ -279,6 +325,11 @@ impl NetNode {
         self.queues.iter().map(|q| q.dropped()).sum()
     }
 
+    /// Coin shares the verification pool dropped for invalid proofs.
+    pub fn rejected_shares(&self) -> u64 {
+        self.verify.rejected_shares()
+    }
+
     /// Stops every thread and joins them. Idempotent; also runs on drop.
     pub fn shutdown(&mut self) {
         self.running.store(false, AtomicOrdering::Relaxed);
@@ -289,6 +340,7 @@ impl NetNode {
         for sock in lock_unpoisoned(&self.reader_socks).drain(..) {
             let _ = sock.shutdown(Shutdown::Both);
         }
+        self.verify.shutdown_pool();
         for handle in self.threads.drain(..) {
             let _ = handle.join();
         }
@@ -329,7 +381,15 @@ fn writer_loop(
         loop {
             match queue.pop_timeout(Duration::from_millis(100)) {
                 Pop::Frame(frame) => {
-                    if write_frame(&mut stream, &frame).is_err() {
+                    // One write_all of the pre-built `[len | payload]`
+                    // buffer: a single syscall per frame. A successful
+                    // write is *not* a delivery — bytes can vanish in the
+                    // socket buffer of a connection that is already dying,
+                    // and only the next write observes the error — so
+                    // loss-intolerant exchanges (the sync stream) detect
+                    // and retry at the protocol layer instead.
+                    use std::io::Write as _;
+                    if stream.write_all(frame.wire_bytes()).and_then(|()| stream.flush()).is_err() {
                         queue.requeue_front(frame);
                         continue 'reconnect;
                     }
@@ -348,12 +408,13 @@ fn writer_loop(
 /// Polls the listener, spawning a detached reader thread per inbound
 /// connection. Reader sockets are also parked in `socks` so shutdown can
 /// unblock them.
-fn accept_loop(
+fn accept_loop<B: ReliableBroadcast + 'static>(
     listener: &TcpListener,
     committee: Committee,
     tx: &Sender<Event>,
     running: &AtomicBool,
     socks: &Mutex<Vec<TcpStream>>,
+    verify: &Arc<VerifyPool<B>>,
 ) {
     while running.load(AtomicOrdering::Relaxed) {
         match listener.accept() {
@@ -366,9 +427,12 @@ fn accept_loop(
                     lock_unpoisoned(socks).push(clone);
                 }
                 let reader_tx = tx.clone();
+                let reader_verify = Arc::clone(verify);
                 // Detached: exits on EOF/error (peer gone or our shutdown
                 // closed the socket) or when consensus hangs up the channel.
-                std::thread::spawn(move || reader_loop(stream, committee, &reader_tx));
+                std::thread::spawn(move || {
+                    reader_loop(stream, committee, &reader_tx, &reader_verify);
+                });
             }
             Err(_) => std::thread::sleep(Duration::from_millis(20)),
         }
@@ -377,8 +441,15 @@ fn accept_loop(
 
 /// Reads frames off one inbound connection. The first frame must be a
 /// valid `Hello` from a committee member; anything malformed closes the
-/// connection (the peer's writer will redial and re-identify).
-fn reader_loop(mut stream: TcpStream, committee: Committee, tx: &Sender<Event>) {
+/// connection (the peer's writer will redial and re-identify). Engine
+/// payloads detour through the verification pool; transport/sync messages
+/// go straight to consensus.
+fn reader_loop<B: ReliableBroadcast + 'static>(
+    mut stream: TcpStream,
+    committee: Committee,
+    tx: &Sender<Event>,
+    verify: &VerifyPool<B>,
+) {
     let hello = read_frame(&mut stream).ok().and_then(|b| WireMsg::from_bytes(&b).ok());
     let Some(WireMsg::Hello(from)) = hello else { return };
     if !committee.contains(from) {
@@ -387,11 +458,18 @@ fn reader_loop(mut stream: TcpStream, committee: Committee, tx: &Sender<Event>) 
     loop {
         let Ok(bytes) = read_frame(&mut stream) else { return };
         let Ok(msg) = WireMsg::from_bytes(&bytes) else { return };
-        if matches!(msg, WireMsg::Hello(_)) {
-            continue;
-        }
-        if tx.send(Event::Net { from, msg }).is_err() {
-            return;
+        match msg {
+            WireMsg::Hello(_) => {}
+            WireMsg::Engine(payload) => {
+                if !verify.submit(from, payload) {
+                    return; // pool shut down: the node is stopping
+                }
+            }
+            other => {
+                if tx.send(Event::Net { from, msg: other }).is_err() {
+                    return;
+                }
+            }
         }
     }
 }
@@ -414,14 +492,22 @@ fn consensus_loop<B: ReliableBroadcast>(
 
     // Pending engine timers as (fire-at, tag), unordered (few and coarse).
     let mut timers: Vec<(Instant, u64)> = Vec::new();
+    // Encode buffers recycle through this pool: steady-state outbound
+    // traffic allocates nothing.
+    let frames = FramePool::new();
     let route = |outs: Vec<EngineOutput>, timers: &mut Vec<(Instant, u64)>| {
         for out in outs {
             match out {
                 EngineOutput::Send { to, payload } => {
-                    queues[to.as_usize()].push(encode_frame(&WireMsg::Engine(payload.to_vec())));
+                    let frame =
+                        frames.encode_with(|buf| WireMsg::encode_engine_into(&payload, buf));
+                    queues[to.as_usize()].push(frame);
                 }
                 EngineOutput::Broadcast { payload } => {
-                    let frame = encode_frame(&WireMsg::Engine(payload.to_vec()));
+                    // Encoded exactly once; every queue holds a refcounted
+                    // handle to the same buffer.
+                    let frame =
+                        frames.encode_with(|buf| WireMsg::encode_engine_into(&payload, buf));
                     for to in committee.others(me) {
                         queues[to.as_usize()].push(frame.clone());
                     }
@@ -437,9 +523,18 @@ fn consensus_loop<B: ReliableBroadcast>(
     };
 
     // Sync phase: ask every peer for its retained DAG as links come up;
-    // go live once all have answered or the timeout expires.
+    // go live once all have answered or the timeout expires. A sync
+    // stream can arrive with holes — a TCP write "succeeds" into the
+    // socket buffer of a connection that is already dying, and only the
+    // *next* write observes the error, so the writer's requeue-on-error
+    // never recovers the swallowed frame. `SyncEnd` therefore carries
+    // the served vertex count; a shortfall triggers a bounded
+    // re-request (re-served vertices are idempotent for the engine).
+    const SYNC_RETRIES: u32 = 3;
     let mut awaiting_sync: BTreeSet<ProcessId> = committee.others(me).collect();
-    let sync_deadline = Instant::now() + config.sync_timeout;
+    let mut sync_received = vec![0u64; committee.n()];
+    let mut sync_retries = vec![SYNC_RETRIES; committee.n()];
+    let mut sync_deadline = Instant::now() + config.sync_timeout;
     let mut live = false;
     let mut published_len = 0usize;
 
@@ -456,18 +551,36 @@ fn consensus_loop<B: ReliableBroadcast>(
                     route(outs, &mut timers);
                 }
                 WireMsg::SyncRequest => {
-                    serve_sync(&mut engine, &mut rng, &queues[from.as_usize()]);
+                    serve_sync(&mut engine, &mut rng, &queues[from.as_usize()], &frames);
                 }
                 WireMsg::SyncVertex(vertex) => {
+                    sync_received[from.as_usize()] += 1;
                     let input = EngineInput::SyncVertex(vertex);
                     let outs = engine.handle(engine_now(epoch), input, &mut rng);
                     route(outs, &mut timers);
                 }
-                WireMsg::SyncEnd => {
-                    awaiting_sync.remove(&from);
+                WireMsg::SyncEnd { served } => {
+                    if sync_received[from.as_usize()] >= served {
+                        awaiting_sync.remove(&from);
+                    } else if !live && sync_retries[from.as_usize()] > 0 {
+                        // The stream arrived short of what the peer put on
+                        // the wire: a dying connection swallowed frames.
+                        // Ask again, and give the retry a fresh window.
+                        sync_retries[from.as_usize()] -= 1;
+                        sync_received[from.as_usize()] = 0;
+                        queues[from.as_usize()].push(frames.encode(&WireMsg::SyncRequest));
+                        sync_deadline = Instant::now() + config.sync_timeout;
+                    } else {
+                        awaiting_sync.remove(&from);
+                    }
                 }
                 WireMsg::Hello(_) => {}
             },
+            Ok(Event::Verified(verified)) => {
+                let input = EngineInput::PreVerified(verified);
+                let outs = engine.handle(engine_now(epoch), input, &mut rng);
+                route(outs, &mut timers);
+            }
             Ok(Event::Submit(block)) => {
                 let outs =
                     engine.handle(engine_now(epoch), EngineInput::SubmitBlock(block), &mut rng);
@@ -475,7 +588,8 @@ fn consensus_loop<B: ReliableBroadcast>(
             }
             Ok(Event::LinkUp(peer)) => {
                 if !live {
-                    queues[peer.as_usize()].push(encode_frame(&WireMsg::SyncRequest));
+                    sync_received[peer.as_usize()] = 0;
+                    queues[peer.as_usize()].push(frames.encode(&WireMsg::SyncRequest));
                 }
             }
             Ok(Event::Shutdown) | Err(RecvTimeoutError::Disconnected) => return,
@@ -523,20 +637,24 @@ fn consensus_loop<B: ReliableBroadcast>(
 /// vertex in ascending `(round, source)` order, then our own coin share
 /// for every wave touched so far (shares are deterministic per wave, so
 /// regeneration equals re-send; `f + 1` peers answering reconstructs
-/// every coin), then `SyncEnd`.
+/// every coin), then `SyncEnd` carrying the vertex count so the
+/// requester can detect in-flight loss and re-request.
 fn serve_sync<B: ReliableBroadcast>(
     engine: &mut DagRiderEngine<B>,
     rng: &mut rand::rngs::StdRng,
     queue: &SendQueue,
+    frames: &FramePool,
 ) {
+    let mut served = 0u64;
     for vertex in engine.sync_vertices() {
-        queue.push(encode_frame(&WireMsg::SyncVertex(vertex)));
+        queue.push(frames.encode(&WireMsg::SyncVertex(vertex)));
+        served += 1;
     }
     let top_wave = engine.dag().highest_round().wave().number();
     for wave in 1..=top_wave {
         let share = engine.coin_share(wave, rng);
         let msg = NodeMessage::<B::Message>::Coin(share);
-        queue.push(encode_frame(&WireMsg::Engine(msg.to_bytes())));
+        queue.push(frames.encode_with(|buf| WireMsg::encode_engine_into(&msg.to_bytes(), buf)));
     }
-    queue.push(encode_frame(&WireMsg::SyncEnd));
+    queue.push(frames.encode(&WireMsg::SyncEnd { served }));
 }

@@ -6,7 +6,9 @@
 //! rejoining processes) from the opaque engine traffic, which stays in
 //! the exact byte format the sans-I/O engine emits.
 
-use dagrider_types::{Decode, DecodeError, Encode, ProcessId, Vertex};
+use dagrider_types::{
+    bytes_encoded_len, decode_bytes, encode_bytes, Decode, DecodeError, Encode, ProcessId, Vertex,
+};
 
 /// One message on a cluster TCP connection.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -24,8 +26,25 @@ pub enum WireMsg {
     /// One vertex of a peer's retained DAG, in ascending `(round, source)`
     /// order.
     SyncVertex(Vertex),
-    /// Terminates a sync stream: the peer has sent everything it had.
-    SyncEnd,
+    /// Terminates a sync stream. Carries the number of `SyncVertex`
+    /// frames the peer put on the wire, so the requester can detect
+    /// frames a dying connection swallowed (a TCP write that succeeds
+    /// is not a delivery) and ask again.
+    SyncEnd {
+        /// How many `SyncVertex` frames preceded this one.
+        served: u64,
+    },
+}
+
+impl WireMsg {
+    /// Encodes an `Engine(payload)` envelope straight from borrowed
+    /// bytes — byte-identical to `WireMsg::Engine(payload.to_vec())`'s
+    /// encoding, minus the intermediate `Vec` copy. The hot broadcast
+    /// path pairs this with `FramePool::encode_with`.
+    pub fn encode_engine_into(payload: &[u8], buf: &mut Vec<u8>) {
+        1u8.encode(buf);
+        encode_bytes(payload, buf);
+    }
 }
 
 impl Encode for WireMsg {
@@ -37,23 +56,27 @@ impl Encode for WireMsg {
             }
             WireMsg::Engine(bytes) => {
                 1u8.encode(buf);
-                bytes.encode(buf);
+                encode_bytes(bytes, buf);
             }
             WireMsg::SyncRequest => 2u8.encode(buf),
             WireMsg::SyncVertex(v) => {
                 3u8.encode(buf);
                 v.encode(buf);
             }
-            WireMsg::SyncEnd => 4u8.encode(buf),
+            WireMsg::SyncEnd { served } => {
+                4u8.encode(buf);
+                served.encode(buf);
+            }
         }
     }
 
     fn encoded_len(&self) -> usize {
         1 + match self {
             WireMsg::Hello(p) => p.encoded_len(),
-            WireMsg::Engine(bytes) => bytes.encoded_len(),
-            WireMsg::SyncRequest | WireMsg::SyncEnd => 0,
+            WireMsg::Engine(bytes) => bytes_encoded_len(bytes),
+            WireMsg::SyncRequest => 0,
             WireMsg::SyncVertex(v) => v.encoded_len(),
+            WireMsg::SyncEnd { served } => served.encoded_len(),
         }
     }
 }
@@ -62,10 +85,10 @@ impl Decode for WireMsg {
     fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
         match u8::decode(buf)? {
             0 => Ok(WireMsg::Hello(ProcessId::decode(buf)?)),
-            1 => Ok(WireMsg::Engine(Vec::<u8>::decode(buf)?)),
+            1 => Ok(WireMsg::Engine(decode_bytes(buf)?)),
             2 => Ok(WireMsg::SyncRequest),
             3 => Ok(WireMsg::SyncVertex(Vertex::decode(buf)?)),
-            4 => Ok(WireMsg::SyncEnd),
+            4 => Ok(WireMsg::SyncEnd { served: u64::decode(buf)? }),
             _ => Err(DecodeError::Invalid("unknown wire message tag")),
         }
     }
@@ -91,12 +114,22 @@ mod tests {
             WireMsg::Engine(Vec::new()),
             WireMsg::SyncRequest,
             WireMsg::SyncVertex(vertex),
-            WireMsg::SyncEnd,
+            WireMsg::SyncEnd { served: 0 },
+            WireMsg::SyncEnd { served: u64::MAX },
         ];
         for msg in msgs {
             let bytes = msg.to_bytes();
             assert_eq!(bytes.len(), msg.encoded_len());
             assert_eq!(WireMsg::from_bytes(&bytes).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn encode_engine_into_matches_the_owned_encoding() {
+        for payload in [&[][..], &[1], &[0xab; 500]] {
+            let mut fast = Vec::new();
+            WireMsg::encode_engine_into(payload, &mut fast);
+            assert_eq!(fast, WireMsg::Engine(payload.to_vec()).to_bytes());
         }
     }
 

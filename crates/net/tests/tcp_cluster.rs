@@ -116,9 +116,17 @@ fn a_killed_node_rejoins_via_sync_and_matches() {
         survivors.push(cluster.start(i, Some(listener)));
     }
     // Node 3 runs briefly, then is torn down abruptly (threads killed,
-    // sockets closed — the in-process analogue of SIGKILL).
+    // sockets closed — the in-process analogue of SIGKILL). The kill is
+    // gated on observed progress rather than wall time: however fast
+    // the transport, node 3 must die with most of the run still ahead,
+    // so the later rounds are built by a bare quorum (2f + 1 = 3 of 4,
+    // every vertex referencing all three survivors) and the rejoining
+    // node has real catch-up to do.
     let early = cluster.start(3, Some(spare));
-    std::thread::sleep(Duration::from_millis(300));
+    let kill_deadline = Instant::now() + Duration::from_secs(30);
+    while survivors[0].current_round().number() < 2 && Instant::now() < kill_deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
     let reclaimed_addr = early.local_addr();
     drop(early);
 

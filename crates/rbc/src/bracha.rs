@@ -63,14 +63,17 @@ impl Encode for BrachaMessage {
             BrachaKind::Ready(p) => (2, p),
         };
         tag.encode(buf);
-        payload.encode(buf);
+        dagrider_types::encode_bytes(payload, buf);
     }
 
     fn encoded_len(&self) -> usize {
         let payload = match &self.kind {
             BrachaKind::Init(p) | BrachaKind::Echo(p) | BrachaKind::Ready(p) => p,
         };
-        self.source.encoded_len() + self.round.encoded_len() + 1 + payload.encoded_len()
+        self.source.encoded_len()
+            + self.round.encoded_len()
+            + 1
+            + dagrider_types::bytes_encoded_len(payload)
     }
 }
 
@@ -79,7 +82,7 @@ impl Decode for BrachaMessage {
         let source = ProcessId::decode(buf)?;
         let round = Round::decode(buf)?;
         let tag = u8::decode(buf)?;
-        let payload = Vec::<u8>::decode(buf)?;
+        let payload = dagrider_types::decode_bytes(buf)?;
         let kind = match tag {
             0 => BrachaKind::Init(payload),
             1 => BrachaKind::Echo(payload),
@@ -118,20 +121,24 @@ impl BrachaRbc {
     }
 
     /// Runs the state machine on `(from, message)` plus any self-addressed
-    /// follow-ups, accumulating wire sends and deliveries.
+    /// follow-ups, accumulating wire sends and deliveries. `digest`, when
+    /// present, is the pre-computed SHA-256 of the message's payload (from
+    /// a driver that hashed it off-thread); follow-ups thread the digest
+    /// along so one payload is hashed at most once per instance.
     fn process(
         &mut self,
         from: ProcessId,
         message: BrachaMessage,
+        digest: Option<Digest>,
     ) -> Vec<RbcAction<BrachaMessage>> {
         let mut actions = Vec::new();
-        let mut work = VecDeque::from([(from, message)]);
-        while let Some((sender, msg)) = work.pop_front() {
-            for out in self.handle(sender, msg) {
+        let mut work = VecDeque::from([(from, message, digest)]);
+        while let Some((sender, msg, digest)) = work.pop_front() {
+            for out in self.handle(sender, msg, digest) {
                 match out {
-                    Step::SendAll(m) => {
+                    Step::SendAll(m, d) => {
                         // Route to self immediately; wire the rest.
-                        work.push_back((self.me, m.clone()));
+                        work.push_back((self.me, m.clone(), d));
                         for to in self.committee.others(self.me) {
                             actions.push(RbcAction::Send(to, m.clone()));
                         }
@@ -144,7 +151,7 @@ impl BrachaRbc {
     }
 
     /// One transition of the instance state machine.
-    fn handle(&mut self, from: ProcessId, msg: BrachaMessage) -> Vec<Step> {
+    fn handle(&mut self, from: ProcessId, msg: BrachaMessage, digest: Option<Digest>) -> Vec<Step> {
         // An INIT is only meaningful from the claimed source itself — the
         // network authenticates senders (§2), so spoofed INITs are dropped.
         if matches!(msg.kind, BrachaKind::Init(_)) && from != msg.source {
@@ -155,10 +162,11 @@ impl BrachaRbc {
         let key = (msg.source, msg.round);
         let slot = VertexRef::new(msg.round, msg.source);
         let instance = self.instances.entry(key).or_default();
-        let digest = sha256(msg.kind.payload());
         let mut steps = Vec::new();
         match msg.kind {
             BrachaKind::Init(payload) => {
+                // The INIT path never needs the digest itself; the echo
+                // inherits whatever hint the caller supplied.
                 if !instance.echoed {
                     instance.echoed = true;
                     self.tracer.record(TraceEvent::RbcPhase {
@@ -166,14 +174,18 @@ impl BrachaRbc {
                         primitive: RbcPrimitive::Bracha,
                         phase: RbcPhase::Witness,
                     });
-                    steps.push(Step::SendAll(BrachaMessage {
-                        source: msg.source,
-                        round: msg.round,
-                        kind: BrachaKind::Echo(payload),
-                    }));
+                    steps.push(Step::SendAll(
+                        BrachaMessage {
+                            source: msg.source,
+                            round: msg.round,
+                            kind: BrachaKind::Echo(payload),
+                        },
+                        digest,
+                    ));
                 }
             }
             BrachaKind::Echo(payload) => {
+                let digest = digest.unwrap_or_else(|| resolve_digest(&instance.payloads, &payload));
                 instance.payloads.entry(digest).or_insert(payload);
                 instance.echoes.entry(digest).or_default().insert(from);
                 if instance.echoes[&digest].len() >= quorum && !instance.readied {
@@ -184,14 +196,18 @@ impl BrachaRbc {
                         phase: RbcPhase::Commit,
                     });
                     let payload = instance.payloads[&digest].clone();
-                    steps.push(Step::SendAll(BrachaMessage {
-                        source: msg.source,
-                        round: msg.round,
-                        kind: BrachaKind::Ready(payload),
-                    }));
+                    steps.push(Step::SendAll(
+                        BrachaMessage {
+                            source: msg.source,
+                            round: msg.round,
+                            kind: BrachaKind::Ready(payload),
+                        },
+                        Some(digest),
+                    ));
                 }
             }
             BrachaKind::Ready(payload) => {
+                let digest = digest.unwrap_or_else(|| resolve_digest(&instance.payloads, &payload));
                 instance.payloads.entry(digest).or_insert(payload);
                 instance.readies.entry(digest).or_default().insert(from);
                 let count = instance.readies[&digest].len();
@@ -203,11 +219,14 @@ impl BrachaRbc {
                         phase: RbcPhase::Commit,
                     });
                     let payload = instance.payloads[&digest].clone();
-                    steps.push(Step::SendAll(BrachaMessage {
-                        source: msg.source,
-                        round: msg.round,
-                        kind: BrachaKind::Ready(payload),
-                    }));
+                    steps.push(Step::SendAll(
+                        BrachaMessage {
+                            source: msg.source,
+                            round: msg.round,
+                            kind: BrachaKind::Ready(payload),
+                        },
+                        Some(digest),
+                    ));
                 }
                 if count >= quorum && !instance.delivered {
                     instance.delivered = true;
@@ -228,8 +247,19 @@ impl BrachaRbc {
     }
 }
 
+/// The digest of `payload`, recovered by byte comparison against payloads
+/// this instance has already hashed (the overwhelmingly common case — all
+/// honest copies of one broadcast carry identical bytes, and a memcmp is
+/// far cheaper than SHA-256), falling back to hashing for bytes never seen.
+fn resolve_digest(known: &BTreeMap<Digest, Vec<u8>>, payload: &[u8]) -> Digest {
+    known
+        .iter()
+        .find_map(|(d, p)| (p.as_slice() == payload).then_some(*d))
+        .unwrap_or_else(|| sha256(payload))
+}
+
 enum Step {
-    SendAll(BrachaMessage),
+    SendAll(BrachaMessage, Option<Digest>),
     Deliver(RbcDelivery),
 }
 
@@ -262,7 +292,7 @@ impl ReliableBroadcast for BrachaRbc {
         let init = BrachaMessage { source: self.me, round, kind: BrachaKind::Init(payload) };
         let mut actions: Vec<RbcAction<BrachaMessage>> =
             self.committee.others(self.me).map(|to| RbcAction::Send(to, init.clone())).collect();
-        actions.extend(self.process(self.me, init));
+        actions.extend(self.process(self.me, init, None));
         actions
     }
 
@@ -272,7 +302,21 @@ impl ReliableBroadcast for BrachaRbc {
         message: BrachaMessage,
         _rng: &mut StdRng,
     ) -> Vec<RbcAction<BrachaMessage>> {
-        self.process(from, message)
+        self.process(from, message, None)
+    }
+
+    fn payload_bytes(message: &BrachaMessage) -> Option<&[u8]> {
+        Some(message.kind.payload())
+    }
+
+    fn on_message_with_digest(
+        &mut self,
+        from: ProcessId,
+        message: BrachaMessage,
+        digest: Option<Digest>,
+        _rng: &mut StdRng,
+    ) -> Vec<RbcAction<BrachaMessage>> {
+        self.process(from, message, digest)
     }
 
     fn prune(&mut self, before: Round) {
@@ -435,6 +479,48 @@ mod tests {
         // Tag byte sits after source (1 byte) and round (1 byte).
         bytes[2] = 9;
         assert!(BrachaMessage::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn digest_hint_path_matches_plain_on_message() {
+        // Drive two endpoints through the same message sequence — one via
+        // on_message, one via on_message_with_digest with the correct
+        // pre-computed digest — and check the emitted actions agree.
+        let (mut eps, mut rng) = setup(4);
+        let committee = Committee::new(4).unwrap();
+        let mut hinted = BrachaRbc::new(committee, ProcessId::new(3), 0);
+        let msg = |kind| BrachaMessage { source: ProcessId::new(0), round: Round::new(1), kind };
+        let sequence = vec![
+            (ProcessId::new(0), msg(BrachaKind::Init(b"payload".to_vec()))),
+            (ProcessId::new(1), msg(BrachaKind::Echo(b"payload".to_vec()))),
+            (ProcessId::new(2), msg(BrachaKind::Echo(b"payload".to_vec()))),
+            // An equivocating echo for different bytes.
+            (ProcessId::new(0), msg(BrachaKind::Echo(b"other".to_vec()))),
+            (ProcessId::new(1), msg(BrachaKind::Ready(b"payload".to_vec()))),
+            (ProcessId::new(2), msg(BrachaKind::Ready(b"payload".to_vec()))),
+        ];
+        for (from, m) in sequence {
+            let digest = BrachaRbc::message_digest(&m);
+            assert_eq!(digest, Some(sha256(m.kind.payload())));
+            let plain = eps[3].on_message(from, m.clone(), &mut rng);
+            let fast = hinted.on_message_with_digest(from, m, digest, &mut rng);
+            assert_eq!(plain, fast);
+        }
+        // Both delivered exactly once, with the majority payload.
+        assert!(eps[3].instances[&(ProcessId::new(0), Round::new(1))].delivered);
+        assert!(hinted.instances[&(ProcessId::new(0), Round::new(1))].delivered);
+    }
+
+    #[test]
+    fn resolve_digest_memoizes_and_falls_back() {
+        let mut known = BTreeMap::new();
+        let payload = b"abc".to_vec();
+        let digest = sha256(&payload);
+        known.insert(digest, payload.clone());
+        assert_eq!(resolve_digest(&known, &payload), digest);
+        // Unseen bytes hash fresh — including a same-length near-miss.
+        assert_eq!(resolve_digest(&known, b"abd"), sha256(b"abd"));
+        assert_eq!(resolve_digest(&BTreeMap::new(), b""), sha256(b""));
     }
 
     #[test]

@@ -7,12 +7,14 @@
 
 use std::collections::VecDeque;
 
-use dagrider_core::{DagRiderEngine, EngineInput, EngineOutput, IoRecord, NodeConfig};
+use dagrider_core::{
+    DagRiderEngine, EngineInput, EngineOutput, IoRecord, NodeConfig, NodeMessage, VerifiedInput,
+};
 use dagrider_crypto::deal_coin_keys;
-use dagrider_rbc::BrachaRbc;
+use dagrider_rbc::{BrachaMessage, BrachaRbc, ReliableBroadcast};
 use dagrider_simactor::DagRiderNode;
 use dagrider_simnet::{process_seed, Simulation, UniformScheduler};
-use dagrider_types::{Committee, ProcessId, Time};
+use dagrider_types::{Committee, Decode, ProcessId, Time};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -138,6 +140,92 @@ fn sim_recorded_inputs_replay_identically_through_a_direct_harness() {
         assert_eq!(fresh.io_log(), node.io_log(), "{p}: adapter vs direct replay diverge");
         assert_eq!(fresh.ordered(), node.ordered(), "{p}: ordered logs diverge");
     }
+}
+
+#[test]
+fn verified_and_unverified_routes_produce_identical_state() {
+    // The TCP runtime's verification pool rewrites wire input into
+    // `EngineInput::PreVerified` after doing the expensive checks itself.
+    // Skipping re-verification must be a pure optimisation: feeding the
+    // same wire traffic through the untrusted `Message` route and through
+    // the pre-verified route — digests and shares prepared exactly as the
+    // pool prepares them — must leave every engine in an identical state
+    // with an identical output stream.
+    let committee = Committee::new(4).unwrap();
+    let mut key_rng = StdRng::seed_from_u64(29);
+    let keys = deal_coin_keys(&committee, &mut key_rng);
+    let config = NodeConfig::default().with_max_round(12);
+
+    let run = |preverify: bool| {
+        let mut engines: Vec<DagRiderEngine<BrachaRbc>> = committee
+            .members()
+            .zip(keys.clone())
+            .map(|(p, k)| DagRiderEngine::new(committee, p, k, config.clone()))
+            .collect();
+        let mut rngs: Vec<StdRng> = (0..4).map(|i| StdRng::seed_from_u64(900 + i)).collect();
+        let mut wire: VecDeque<(ProcessId, ProcessId, Vec<u8>)> = VecDeque::new();
+        let mut outputs: Vec<Vec<EngineOutput>> = vec![Vec::new(); 4];
+        let mut route =
+            |from: ProcessId,
+             outs: Vec<EngineOutput>,
+             wire: &mut VecDeque<(ProcessId, ProcessId, Vec<u8>)>| {
+                for out in &outs {
+                    match out {
+                        EngineOutput::Send { to, payload } => {
+                            wire.push_back((from, *to, payload.to_vec()));
+                        }
+                        EngineOutput::Broadcast { payload } => {
+                            for to in committee.others(from) {
+                                wire.push_back((from, to, payload.to_vec()));
+                            }
+                        }
+                        EngineOutput::SetTimer { .. } | EngineOutput::Ordered(_) => {}
+                    }
+                }
+                outputs[from.as_usize()].extend(outs);
+            };
+        for p in committee.members() {
+            let outs = engines[p.as_usize()].start(Time::ZERO, &mut rngs[p.as_usize()]);
+            route(p, outs, &mut wire);
+        }
+        let mut t = 0u64;
+        while let Some((from, to, payload)) = wire.pop_front() {
+            t += 1;
+            let input = if preverify {
+                // Exactly the verification pool's rewrite: RBC messages
+                // gain their pre-computed payload digest, coin shares are
+                // decoded and DLEQ-checked (here: known honest), anything
+                // undecodable stays on the untrusted path.
+                match NodeMessage::<BrachaMessage>::from_bytes(&payload) {
+                    Ok(NodeMessage::Rbc(m)) => EngineInput::PreVerified(VerifiedInput::Message {
+                        from,
+                        payload,
+                        digest: BrachaRbc::message_digest(&m),
+                    }),
+                    Ok(NodeMessage::Coin(share)) => {
+                        EngineInput::PreVerified(VerifiedInput::CoinShare { from, share })
+                    }
+                    Err(_) => EngineInput::Message { from, payload },
+                }
+            } else {
+                EngineInput::Message { from, payload }
+            };
+            let outs = engines[to.as_usize()].handle(Time::new(t), input, &mut rngs[to.as_usize()]);
+            route(to, outs, &mut wire);
+        }
+        let ordered: Vec<_> =
+            committee.members().map(|p| engines[p.as_usize()].ordered().to_vec()).collect();
+        let decided: Vec<_> =
+            committee.members().map(|p| engines[p.as_usize()].decided_wave()).collect();
+        (outputs, ordered, decided)
+    };
+
+    let (unverified_out, unverified_ordered, unverified_decided) = run(false);
+    let (verified_out, verified_ordered, verified_decided) = run(true);
+    assert_eq!(unverified_out, verified_out, "output streams diverge between routes");
+    assert_eq!(unverified_ordered, verified_ordered, "ordered logs diverge between routes");
+    assert_eq!(unverified_decided, verified_decided, "decided waves diverge between routes");
+    assert!(unverified_ordered.iter().all(|log| !log.is_empty()), "runs must make progress");
 }
 
 #[test]

@@ -139,6 +139,40 @@ fn decode_varint(buf: &mut &[u8]) -> Result<u64, DecodeError> {
     Err(DecodeError::VarintOverflow)
 }
 
+/// Encodes a raw byte string exactly as `Vec<u8>`'s [`Encode`] impl does
+/// (varint length, then the bytes) but as one bulk copy instead of a
+/// per-byte loop — the hot-path form for message payloads.
+pub fn encode_bytes(bytes: &[u8], buf: &mut Vec<u8>) {
+    encode_varint(bytes.len() as u64, buf);
+    buf.extend_from_slice(bytes);
+}
+
+/// The exact number of bytes [`encode_bytes`] appends.
+pub fn bytes_encoded_len(bytes: &[u8]) -> usize {
+    varint_len(bytes.len() as u64) + bytes.len()
+}
+
+/// Decodes a byte string produced by [`encode_bytes`] (equivalently, by
+/// `Vec<u8>`'s [`Encode`] impl) as one bulk copy.
+///
+/// # Errors
+///
+/// Returns the same [`DecodeError`]s as `Vec::<u8>::decode` on truncated
+/// input or an oversized length prefix.
+pub fn decode_bytes(buf: &mut &[u8]) -> Result<Vec<u8>, DecodeError> {
+    let len = decode_varint(buf)?;
+    if len > MAX_DECODED_LEN {
+        return Err(DecodeError::LengthTooLarge(len));
+    }
+    let len = usize::try_from(len).map_err(|_| DecodeError::LengthTooLarge(len))?;
+    if buf.len() < len {
+        return Err(DecodeError::UnexpectedEnd);
+    }
+    let (bytes, rest) = buf.split_at(len);
+    *buf = rest;
+    Ok(bytes.to_vec())
+}
+
 impl Encode for u64 {
     fn encode(&self, buf: &mut Vec<u8>) {
         encode_varint(*self, buf);
@@ -356,6 +390,26 @@ mod tests {
         assert_eq!(bytes.len(), value.encoded_len(), "encoded_len mismatch");
         let decoded = T::from_bytes(&bytes).expect("decode");
         assert_eq!(decoded, value);
+    }
+
+    #[test]
+    fn bulk_bytes_helpers_match_the_generic_vec_codec() {
+        for payload in [Vec::new(), vec![7u8], vec![0xabu8; 127], vec![1u8; 5000]] {
+            let mut bulk = Vec::new();
+            encode_bytes(&payload, &mut bulk);
+            assert_eq!(bulk, payload.to_bytes(), "encodings diverge at len {}", payload.len());
+            assert_eq!(bytes_encoded_len(&payload), payload.encoded_len());
+            let mut slice = bulk.as_slice();
+            assert_eq!(decode_bytes(&mut slice).unwrap(), payload);
+            assert!(slice.is_empty());
+        }
+        // Same error behavior as the generic path.
+        let encoded = vec![1u8, 2, 3].to_bytes();
+        let mut truncated = &encoded[..encoded.len() - 1];
+        assert_eq!(decode_bytes(&mut truncated), Err(DecodeError::UnexpectedEnd));
+        let mut huge = Vec::new();
+        encode_varint(u64::MAX / 2, &mut huge);
+        assert!(matches!(decode_bytes(&mut huge.as_slice()), Err(DecodeError::LengthTooLarge(_))));
     }
 
     #[test]

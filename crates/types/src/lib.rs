@@ -41,7 +41,7 @@ mod time;
 mod transaction;
 mod vertex;
 
-pub use codec::{Decode, DecodeError, Encode};
+pub use codec::{bytes_encoded_len, decode_bytes, encode_bytes, Decode, DecodeError, Encode};
 pub use committee::{Committee, CommitteeError};
 pub use id::{ProcessId, Round, SeqNum, Wave, WAVE_LENGTH};
 pub use time::Time;

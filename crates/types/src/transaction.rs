@@ -70,17 +70,17 @@ impl AsRef<[u8]> for Transaction {
 
 impl Encode for Transaction {
     fn encode(&self, buf: &mut Vec<u8>) {
-        self.0.encode(buf);
+        crate::codec::encode_bytes(&self.0, buf);
     }
 
     fn encoded_len(&self) -> usize {
-        self.0.encoded_len()
+        crate::codec::bytes_encoded_len(&self.0)
     }
 }
 
 impl Decode for Transaction {
     fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
-        Ok(Self(Vec::<u8>::decode(buf)?))
+        Ok(Self(crate::codec::decode_bytes(buf)?))
     }
 }
 

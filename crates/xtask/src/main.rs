@@ -14,7 +14,12 @@
 //!    that make cross-referencing the paper ambiguous;
 //! 4. the sans-I/O engine stays sans-I/O: `crates/core` must not depend
 //!    on the simulator (`dagrider-simnet`), in its manifest or its
-//!    source — drivers adapt to the engine, never the reverse.
+//!    source — drivers adapt to the engine, never the reverse;
+//! 5. the pre-verified fast path stays inside its trust boundary:
+//!    `EngineInput::PreVerified` / `VerifiedInput` assert "digest
+//!    computed, proof checked", so only the engine (`crates/core`) and
+//!    the drivers that actually verify (`crates/net`,
+//!    `crates/simactor`) may name them in code.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -64,6 +69,8 @@ fn lint() -> ExitCode {
     }
     files_checked += 1;
     check_engine_isolation(&root, &mut findings);
+    files_checked += 1;
+    check_preverified_boundary(&root, &mut findings);
 
     for finding in &findings {
         // Report paths relative to the repo root so they are clickable
@@ -244,6 +251,43 @@ fn check_engine_isolation(root: &Path, findings: &mut Vec<Finding>) {
     }
 }
 
+/// Rule 5: `EngineInput::PreVerified` carries the claim "this input was
+/// already verified" and the engine trusts it without re-checking. Only
+/// the engine itself and the drivers that actually perform verification
+/// (the TCP runtime's worker pool, the deterministic simulator harness)
+/// may name it — any other crate constructing one would inject
+/// unverified input past the digest and proof checks. Comments and
+/// strings are exempt (prose may explain the mechanism).
+fn check_preverified_boundary(root: &Path, findings: &mut Vec<Finding>) {
+    let allowed = ["crates/core", "crates/net", "crates/simactor"];
+    let mut dirs: Vec<PathBuf> = vec![root.join("src"), root.join("tests"), root.join("examples")];
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        dirs.extend(
+            entries
+                .filter_map(Result::ok)
+                .map(|e| e.path())
+                .filter(|p| !allowed.iter().any(|a| p.ends_with(a))),
+        );
+    }
+    dirs.sort();
+    for dir in dirs {
+        for file in rust_files(&dir) {
+            for (number, line) in code_lines(&read(&file)) {
+                if line.contains("PreVerified") || line.contains("VerifiedInput") {
+                    findings.push(Finding {
+                        path: file.clone(),
+                        line: number,
+                        message: "pre-verified engine inputs may only be constructed by \
+                                  verifying drivers (`crates/net`, `crates/simactor`); \
+                                  use `EngineInput::Message` here"
+                            .into(),
+                    });
+                }
+            }
+        }
+    }
+}
+
 /// Yields `(line_number, code)` for the non-test, non-comment portion of
 /// a source file: `#[cfg(test)]` items are dropped wholesale, line/block
 /// comments and string-literal contents are blanked so panics named in
@@ -377,6 +421,24 @@ mod tests {
         assert!(block);
         assert_eq!(strip_line("still */ b", &mut block), " b");
         assert!(!block);
+    }
+
+    #[test]
+    fn preverified_rule_flags_code_but_not_prose() {
+        let root = std::env::temp_dir().join("xtask-preverified-test");
+        let src = root.join("crates/foo/src");
+        std::fs::create_dir_all(&src).expect("temp dir is writable");
+        std::fs::write(
+            src.join("lib.rs"),
+            "// EngineInput::PreVerified is fine in prose\n\
+             fn f() { g(EngineInput::PreVerified(v)); }\n",
+        )
+        .expect("temp file is writable");
+        let mut findings = Vec::new();
+        check_preverified_boundary(&root, &mut findings);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 2);
+        std::fs::remove_dir_all(&root).ok();
     }
 
     #[test]

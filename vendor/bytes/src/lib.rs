@@ -17,15 +17,17 @@ use std::sync::Arc;
 ///
 /// `Clone` is O(1): all clones share one allocation. Dereferences to
 /// `&[u8]`, so slice APIs (`len`, `to_vec`, indexing, iteration) work
-/// directly.
+/// directly. Backed by `Arc<Vec<u8>>` so that `From<Vec<u8>>` adopts the
+/// vector's allocation instead of copying — encoders can build a `Vec`
+/// and hand it over for free.
 #[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
 }
 
 impl Bytes {
-    /// An empty buffer (no allocation is shared-by-construction here;
-    /// empty `Arc<[u8]>`s are cheap).
+    /// An empty buffer (no byte allocation: an empty `Vec` does not
+    /// allocate).
     pub fn new() -> Self {
         Self::default()
     }
@@ -35,12 +37,12 @@ impl Bytes {
     /// the workspace's metering since wire bytes are counted, not heap
     /// bytes.)
     pub fn from_static(bytes: &'static [u8]) -> Self {
-        Self { data: Arc::from(bytes) }
+        Self { data: Arc::new(bytes.to_vec()) }
     }
 
     /// Copies a slice into a new buffer.
     pub fn copy_from_slice(bytes: &[u8]) -> Self {
-        Self { data: Arc::from(bytes) }
+        Self { data: Arc::new(bytes.to_vec()) }
     }
 }
 
@@ -48,25 +50,26 @@ impl Deref for Bytes {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.data
+        self.data.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self.data.as_slice()
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(bytes: Vec<u8>) -> Self {
-        Self { data: Arc::from(bytes) }
+        // Zero-copy: the Arc adopts the vector's allocation.
+        Self { data: Arc::new(bytes) }
     }
 }
 
 impl From<&[u8]> for Bytes {
     fn from(bytes: &[u8]) -> Self {
-        Self { data: Arc::from(bytes) }
+        Self { data: Arc::new(bytes.to_vec()) }
     }
 }
 
@@ -86,6 +89,14 @@ mod tests {
         let b = a.clone();
         assert_eq!(a, b);
         assert!(Arc::ptr_eq(&a.data, &b.data));
+    }
+
+    #[test]
+    fn from_vec_adopts_the_allocation() {
+        let v = vec![5u8; 64];
+        let ptr = v.as_ptr();
+        let b = Bytes::from(v);
+        assert_eq!(b.as_ref().as_ptr(), ptr);
     }
 
     #[test]
