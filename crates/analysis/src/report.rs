@@ -66,6 +66,13 @@ pub struct ProcessTraffic {
     pub bytes: u64,
     /// Trace records it contributed.
     pub records: u64,
+    /// Frames its TCP send queues discarded under drop-oldest
+    /// backpressure (zero in simulation, which has no bounded queues).
+    pub dropped_frames: u64,
+    /// High-water batch depth of its signature-verification pool (1 =
+    /// the pool kept up; larger = decode/verify backlogs formed). Zero
+    /// in simulation.
+    pub verify_batch_depth: u64,
 }
 
 /// The full observability report for one run.
@@ -177,6 +184,8 @@ impl TraceReport {
                 messages: metrics.messages_sent_by(process),
                 bytes: metrics.bytes_sent_by(process),
                 records,
+                dropped_frames: 0,
+                verify_batch_depth: 0,
             })
             .collect();
 
@@ -189,6 +198,40 @@ impl TraceReport {
             total_time_units: metrics.time_units(now),
             ordered_total: lags.len() as u64,
         }
+    }
+
+    /// Attaches the TCP runtime's health counters to `process`'s traffic
+    /// row, inserting a fresh row (zero simulated traffic) when the
+    /// process contributed no trace records. The simulator never calls
+    /// this; the cluster driver does, from [`NetNode`] accessors.
+    ///
+    /// [`NetNode`]: ../dagrider_net/struct.NetNode.html
+    pub fn set_net_counters(
+        &mut self,
+        process: ProcessId,
+        dropped_frames: u64,
+        verify_batch_depth: u64,
+    ) {
+        let row = match self.per_process.iter_mut().find(|p| p.process == process) {
+            Some(row) => row,
+            None => {
+                let at = self.per_process.partition_point(|p| p.process < process);
+                self.per_process.insert(
+                    at,
+                    ProcessTraffic {
+                        process,
+                        messages: 0,
+                        bytes: 0,
+                        records: 0,
+                        dropped_frames: 0,
+                        verify_batch_depth: 0,
+                    },
+                );
+                &mut self.per_process[at]
+            }
+        };
+        row.dropped_frames = dropped_frames;
+        row.verify_batch_depth = verify_batch_depth;
     }
 }
 
@@ -270,9 +313,17 @@ impl fmt::Display for TraceReport {
             writeln!(f, "  [{:>6}, {:>6}) {:>6} {bar}", 1u64 << i, 1u64 << (i + 1), n)?;
         }
         writeln!(f, "per-process traffic:")?;
-        writeln!(f, "  {:>4} {:>9} {:>11} {:>8}", "proc", "messages", "bytes", "records")?;
+        writeln!(
+            f,
+            "  {:>4} {:>9} {:>11} {:>8} {:>8} {:>8}",
+            "proc", "messages", "bytes", "records", "dropped", "vdepth"
+        )?;
         for p in &self.per_process {
-            writeln!(f, "  {:>4} {:>9} {:>11} {:>8}", p.process, p.messages, p.bytes, p.records)?;
+            writeln!(
+                f,
+                "  {:>4} {:>9} {:>11} {:>8} {:>8} {:>8}",
+                p.process, p.messages, p.bytes, p.records, p.dropped_frames, p.verify_batch_depth
+            )?;
         }
         Ok(())
     }
@@ -327,6 +378,30 @@ mod tests {
         assert_eq!(w.direct, 1);
         assert_eq!(w.min_ticks, 40, "t50 commit - t10 round entry");
         assert!((w.mean_rounds - 4.0).abs() < 1e-9, "advanced to r5 from r1");
+    }
+
+    #[test]
+    fn net_counters_attach_to_existing_rows_and_insert_missing_ones() {
+        let mut tracer = Tracer::new(ProcessId::new(1), 64);
+        tracer.set_now(Time::new(5));
+        tracer.record(TraceEvent::RoundAdvanced { round: Round::new(1) });
+        let metrics = Metrics::new(4);
+        let mut report = TraceReport::build(&tracer.records(), &metrics, Time::new(10));
+
+        // Process 1 has a traffic row from its trace records; process 0
+        // does not and must be inserted in id order.
+        report.set_net_counters(ProcessId::new(1), 7, 3);
+        report.set_net_counters(ProcessId::new(0), 2, 1);
+        assert_eq!(report.per_process.len(), 2);
+        assert_eq!(report.per_process[0].process, ProcessId::new(0));
+        assert_eq!(report.per_process[0].dropped_frames, 2);
+        assert_eq!(report.per_process[1].records, 1, "trace totals survive the setter");
+        assert_eq!(report.per_process[1].dropped_frames, 7);
+        assert_eq!(report.per_process[1].verify_batch_depth, 3);
+
+        let rendered = report.to_string();
+        assert!(rendered.contains("dropped"), "{rendered}");
+        assert!(rendered.contains("vdepth"), "{rendered}");
     }
 
     #[test]

@@ -1,0 +1,172 @@
+//! `dagrider-check` — bounded model checking of the `dagrider-net`
+//! runtime's concurrency surfaces.
+//!
+//! ```text
+//! dagrider-check [--surface NAME] [--iterations N] [--seed S]
+//!                [--time-box-secs T] [--preemption-bound P] [--list]
+//! ```
+//!
+//! Every surface runs twice: a bounded **exhaustive** depth-first pass
+//! (deterministic, preemption-bounded), then a **seeded random** pass
+//! that also fires timeouts adversarially. The whole run stays inside
+//! the time box by splitting it across surfaces and stopping random
+//! chunks when the slice is spent. Any failure prints the replayable
+//! schedule and per-iteration seed, and the process exits non-zero.
+
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use dagrider_check::{check_surface, default_config, surface, surfaces, Surface};
+use dagrider_net::sync::model::{Config, Report, Search};
+
+struct Options {
+    surface: Option<String>,
+    iterations: usize,
+    seed: u64,
+    time_box: Duration,
+    preemption_bound: Option<u32>,
+    list: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let defaults = default_config();
+    let mut options = Options {
+        surface: None,
+        iterations: defaults.max_iterations,
+        seed: 7,
+        time_box: Duration::from_secs(120),
+        preemption_bound: defaults.preemption_bound,
+        list: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let value_for = |flag: &str, args: &mut dyn Iterator<Item = String>| {
+            args.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--surface" => options.surface = Some(value_for("--surface", &mut args)?),
+            "--iterations" => {
+                options.iterations = value_for("--iterations", &mut args)?
+                    .parse()
+                    .map_err(|e| format!("--iterations: {e}"))?;
+            }
+            "--seed" => {
+                options.seed =
+                    value_for("--seed", &mut args)?.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--time-box-secs" => {
+                let secs: u64 = value_for("--time-box-secs", &mut args)?
+                    .parse()
+                    .map_err(|e| format!("--time-box-secs: {e}"))?;
+                options.time_box = Duration::from_secs(secs);
+            }
+            "--preemption-bound" => {
+                let bound: u32 = value_for("--preemption-bound", &mut args)?
+                    .parse()
+                    .map_err(|e| format!("--preemption-bound: {e}"))?;
+                options.preemption_bound = Some(bound);
+            }
+            "--list" => options.list = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: dagrider-check [--surface NAME] [--iterations N] [--seed S] \
+                     [--time-box-secs T] [--preemption-bound P] [--list]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(options)
+}
+
+/// Runs one surface's exhaustive + random passes inside `slice`.
+fn run_surface(target: &Surface, options: &Options, slice: Duration) -> Result<(), Report> {
+    let started = Instant::now();
+    let config = Config {
+        max_iterations: options.iterations,
+        max_steps: 20_000,
+        preemption_bound: options.preemption_bound,
+    };
+
+    let exhaustive = check_surface(target, &config, Search::Exhaustive);
+    println!(
+        "  exhaustive: {} schedules{}",
+        exhaustive.iterations,
+        if exhaustive.exhausted { " (space fully explored)" } else { " (budget-bounded)" }
+    );
+    if exhaustive.failure.is_some() {
+        return Err(exhaustive);
+    }
+
+    // Random pass: chunked so the time box is respected; each chunk gets
+    // a distinct derived seed so re-runs with the same --seed reproduce.
+    let chunk = Config { max_iterations: 200, ..config.clone() };
+    let mut chunk_index = 0u64;
+    let mut random_iterations = 0usize;
+    while started.elapsed() < slice {
+        let seed = options.seed.wrapping_add(chunk_index.wrapping_mul(0x9e37_79b9));
+        let random = check_surface(target, &chunk, Search::Random { seed });
+        random_iterations += random.iterations;
+        if random.failure.is_some() {
+            println!("  random: failure in chunk {chunk_index} (base seed {seed})");
+            return Err(random);
+        }
+        chunk_index += 1;
+    }
+    println!("  random: {random_iterations} schedules across {chunk_index} seeds");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("dagrider-check: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if options.list {
+        for s in surfaces() {
+            println!("{:18} {}", s.name, s.description);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let targets: Vec<Surface> = match &options.surface {
+        Some(name) => match surface(name) {
+            Some(s) => vec![s],
+            None => {
+                eprintln!("dagrider-check: unknown surface {name} (try --list)");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => surfaces(),
+    };
+
+    let slice = options.time_box / u32::try_from(targets.len().max(1)).unwrap_or(1);
+    let mut failed = false;
+    for target in &targets {
+        println!("surface {} — {}", target.name, target.description);
+        match run_surface(target, &options, slice) {
+            Ok(()) => println!("  PASS"),
+            Err(report) => {
+                failed = true;
+                println!("  FAIL after {} schedules", report.iterations);
+                if let Some(failure) = &report.failure {
+                    println!("{failure}");
+                    println!(
+                        "reproduce with: dagrider_net::sync::model::replay(&{:?}, body)",
+                        failure.schedule
+                    );
+                }
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

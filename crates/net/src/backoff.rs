@@ -5,30 +5,76 @@ use std::time::Duration;
 /// A retry-delay sequence `initial, 2·initial, 4·initial, …` capped at
 /// `cap`. [`Backoff::reset`] returns to the initial delay after a
 /// successful connection so a flapping peer is re-dialed promptly.
+///
+/// With [`Backoff::with_jitter`], each delay is shortened by a random
+/// amount of up to `percent` of itself, so a cluster of writers whose
+/// peer died simultaneously does not redial in lockstep (thundering
+/// herd). Jitter only ever *subtracts* — the configured `cap` stays a
+/// hard upper bound.
 #[derive(Debug, Clone)]
 pub struct Backoff {
     initial: Duration,
     cap: Duration,
     current: Duration,
+    /// Maximum percentage (0–100) shaved off each delay.
+    jitter_percent: u64,
+    /// xorshift64 state for jitter; deterministic per seed, zero when
+    /// jitter is off.
+    rng: u64,
 }
 
 impl Backoff {
-    /// Creates a backoff starting at `initial` and never exceeding `cap`.
+    /// Creates a backoff starting at `initial` and never exceeding `cap`,
+    /// without jitter.
     pub fn new(initial: Duration, cap: Duration) -> Self {
-        Self { initial, cap, current: initial }
+        Self { initial, cap, current: initial, jitter_percent: 0, rng: 0 }
+    }
+
+    /// Enables jitter: each delay becomes a deterministic (per-`seed`)
+    /// uniform pick from `[delay · (100 − percent)/100, delay]`.
+    /// `percent` is clamped to 0–100.
+    #[must_use]
+    pub fn with_jitter(mut self, percent: u64, seed: u64) -> Self {
+        self.jitter_percent = percent.min(100);
+        // Scramble the seed (SplitMix64 finalizer) so adjacent seeds
+        // diverge, and dodge xorshift64's zero fixed point.
+        let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        self.rng = if z == 0 { 0x9e37_79b9_7f4a_7c15 } else { z };
+        self
     }
 
     /// Returns the delay to sleep before the next attempt and advances
     /// the sequence.
     pub fn next_delay(&mut self) -> Duration {
-        let delay = self.current;
+        let base = self.current;
         self.current = (self.current * 2).min(self.cap);
-        delay
+        if self.jitter_percent == 0 {
+            return base;
+        }
+        let base_ns = u64::try_from(base.as_nanos()).unwrap_or(u64::MAX);
+        let span_ns = base_ns / 100 * self.jitter_percent;
+        if span_ns == 0 {
+            return base;
+        }
+        let shave = self.next_random() % (span_ns + 1);
+        Duration::from_nanos(base_ns - shave)
     }
 
     /// Resets to the initial delay (call after a successful connection).
     pub fn reset(&mut self) {
         self.current = self.initial;
+    }
+
+    fn next_random(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x
     }
 }
 
@@ -44,5 +90,53 @@ mod tests {
         assert_eq!(delays, [50, 100, 200, 400, 400, 400]);
         b.reset();
         assert_eq!(b.next_delay(), Duration::from_millis(50));
+    }
+
+    #[test]
+    fn cap_is_a_hard_bound_even_with_jitter() {
+        let mut b = Backoff::new(Duration::from_millis(50), Duration::from_millis(400))
+            .with_jitter(30, 0xdead_beef);
+        for _ in 0..64 {
+            assert!(b.next_delay() <= Duration::from_millis(400), "cap exceeded");
+        }
+    }
+
+    #[test]
+    fn reset_after_success_restarts_the_sequence_with_jitter_on() {
+        let mut b =
+            Backoff::new(Duration::from_millis(100), Duration::from_secs(2)).with_jitter(20, 7);
+        for _ in 0..5 {
+            b.next_delay();
+        }
+        b.reset();
+        let first = b.next_delay();
+        // Back at the initial rung: within [80 ms, 100 ms].
+        assert!(first <= Duration::from_millis(100), "reset did not restart the sequence");
+        assert!(first >= Duration::from_millis(80), "jitter shaved more than its bound");
+    }
+
+    #[test]
+    fn jitter_stays_within_its_fraction_of_each_delay() {
+        let mut plain = Backoff::new(Duration::from_millis(50), Duration::from_millis(400));
+        let mut jittered =
+            Backoff::new(Duration::from_millis(50), Duration::from_millis(400)).with_jitter(25, 99);
+        for _ in 0..32 {
+            let base = plain.next_delay();
+            let delay = jittered.next_delay();
+            assert!(delay <= base, "jitter must only subtract");
+            let floor = base.mul_f64(0.75);
+            assert!(delay >= floor, "delay {delay:?} fell below the 75% floor of {base:?}");
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let sample = |seed: u64| -> Vec<Duration> {
+            let mut b = Backoff::new(Duration::from_millis(50), Duration::from_millis(400))
+                .with_jitter(30, seed);
+            (0..16).map(|_| b.next_delay()).collect()
+        };
+        assert_eq!(sample(42), sample(42), "same seed must reproduce the same delays");
+        assert_ne!(sample(42), sample(43), "different seeds should diverge");
     }
 }

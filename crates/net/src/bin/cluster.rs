@@ -117,7 +117,7 @@ fn parent_main(args: &[String]) -> Result<(), String> {
     // replacement that must catch up purely through the sync protocol.
     if restart {
         let victim = n - 1;
-        std::thread::sleep(Duration::from_millis(600));
+        dagrider_net::sync::thread::sleep(Duration::from_millis(600));
         let _ = children[victim].kill();
         let _ = children[victim].wait();
         let _ = std::fs::remove_file(out_path(victim));
@@ -175,7 +175,7 @@ fn wait_and_verify(
         if done.iter().all(Option::is_some) {
             break done.into_iter().flatten().collect();
         }
-        std::thread::sleep(Duration::from_millis(150));
+        dagrider_net::sync::thread::sleep(Duration::from_millis(150));
     };
 
     // Total order: byte-identical logs everywhere.
@@ -276,7 +276,7 @@ fn child_main(args: &[String]) -> Result<(), String> {
     let mut last_len = 0;
     let mut stable_since = Instant::now();
     loop {
-        std::thread::sleep(Duration::from_millis(100));
+        dagrider_net::sync::thread::sleep(Duration::from_millis(100));
         let len = node.ordered_len();
         if len != last_len {
             last_len = len;
@@ -313,16 +313,18 @@ fn child_main(args: &[String]) -> Result<(), String> {
     text.push_str("DONE\n");
     std::fs::write(&out, text).map_err(|e| format!("write {out}: {e}"))?;
     eprintln!(
-        "node {index}: ordered {} vertices, decided wave {}, {} frames dropped",
+        "node {index}: ordered {} vertices, decided wave {}, {} frames dropped, \
+         verify batch depth {}",
         node.ordered_len(),
         node.decided_wave().number(),
-        node.dropped_frames()
+        node.dropped_frames(),
+        node.verify_batch_depth()
     );
 
     // Linger: keep serving sync requests (a restarted peer rebuilds its
     // DAG from us) until the parent kills this process.
     loop {
-        std::thread::sleep(Duration::from_secs(1));
+        dagrider_net::sync::thread::sleep(Duration::from_secs(1));
     }
 }
 
@@ -332,7 +334,7 @@ fn bind_with_retry(addr: SocketAddr, budget: Duration) -> Result<TcpListener, St
         match TcpListener::bind(addr) {
             Ok(listener) => return Ok(listener),
             Err(e) if Instant::now() >= deadline => return Err(format!("bind {addr}: {e}")),
-            Err(_) => std::thread::sleep(Duration::from_millis(200)),
+            Err(_) => dagrider_net::sync::thread::sleep(Duration::from_millis(200)),
         }
     }
 }

@@ -14,9 +14,10 @@
 //! steady-state encoding allocation-free.
 
 use std::io::{self, Read, Write};
-use std::sync::{Arc, Mutex, Weak};
 
 use dagrider_types::Encode;
+
+use crate::sync::{Arc, Mutex, PoisonError, Weak};
 
 /// Upper bound on a single frame's payload, in bytes. A DAG-Rider wire
 /// message is a vertex plus edges and a block — far below this; anything
@@ -118,7 +119,7 @@ struct PoolInner {
 
 impl PoolInner {
     fn take(&self) -> Vec<u8> {
-        self.buffers.lock().unwrap_or_else(std::sync::PoisonError::into_inner).pop().map_or_else(
+        self.buffers.lock().unwrap_or_else(PoisonError::into_inner).pop().map_or_else(
             Vec::new,
             |mut buf| {
                 buf.clear();
@@ -128,7 +129,7 @@ impl PoolInner {
     }
 
     fn put(&self, buf: Vec<u8>) {
-        let mut buffers = self.buffers.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut buffers = self.buffers.lock().unwrap_or_else(PoisonError::into_inner);
         if buffers.len() < MAX_POOLED_BUFFERS {
             buffers.push(buf);
         }
@@ -170,7 +171,7 @@ impl FramePool {
 
     /// Buffers currently resting in the pool (diagnostics/tests).
     pub fn pooled(&self) -> usize {
-        self.inner.buffers.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len()
+        self.inner.buffers.lock().unwrap_or_else(PoisonError::into_inner).len()
     }
 }
 

@@ -13,6 +13,10 @@
 //!   backpressure.
 //! * [`runtime`] — [`NetNode`]: one DAG-Rider process as a thread-per-peer
 //!   TCP runtime with graceful shutdown.
+//! * [`sync`] — the shimmed concurrency primitives every module above
+//!   must use (enforced by `cargo xtask lint`), plus [`sync::model`],
+//!   the deterministic interleaving explorer behind `dagrider-check`.
+//! * [`signal`] — [`Shutdown`], the interruptible shutdown latch.
 //!
 //! The `cluster` binary launches an `n = 4` cluster as real OS processes
 //! on localhost, submits transactions, and checks that every process
@@ -31,6 +35,8 @@ pub mod backoff;
 pub mod frame;
 pub mod queue;
 pub mod runtime;
+pub mod signal;
+pub mod sync;
 pub(crate) mod verify;
 pub mod wire;
 
@@ -38,4 +44,5 @@ pub use backoff::Backoff;
 pub use frame::{read_frame, write_frame, Frame, FramePool, MAX_FRAME_LEN};
 pub use queue::{Pop, SendQueue};
 pub use runtime::{NetConfig, NetNode};
+pub use signal::Shutdown;
 pub use wire::WireMsg;

@@ -13,10 +13,10 @@
 //! byte copy.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
 use crate::frame::Frame;
+use crate::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 /// Result of [`SendQueue::pop_timeout`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,10 +55,10 @@ impl SendQueue {
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+    fn lock(&self) -> MutexGuard<'_, Inner> {
         // A poisoned queue mutex means a writer thread panicked while
         // holding it; the frames themselves are still consistent.
-        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Enqueues a frame, dropping the oldest queued frame if full.
@@ -104,10 +104,8 @@ impl SendQueue {
             if inner.closed {
                 return Pop::Closed;
             }
-            let (guard, result) = self
-                .ready
-                .wait_timeout(inner, timeout)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let (guard, result) =
+                self.ready.wait_timeout(inner, timeout).unwrap_or_else(PoisonError::into_inner);
             inner = guard;
             if result.timed_out() && inner.frames.is_empty() && !inner.closed {
                 return Pop::TimedOut;

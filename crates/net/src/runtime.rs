@@ -21,11 +21,7 @@
 
 use std::collections::BTreeSet;
 use std::io;
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtomicOrdering};
-use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
-use std::sync::{Arc, Mutex, PoisonError};
-use std::thread::JoinHandle;
+use std::net::{Shutdown as SocketShutdown, SocketAddr, TcpListener, TcpStream};
 use std::time::{Duration, Instant};
 
 use dagrider_core::{
@@ -39,6 +35,11 @@ use dagrider_types::{Block, Committee, Decode, Encode, ProcessId, Round, Time, W
 use crate::backoff::Backoff;
 use crate::frame::{read_frame, write_frame, FramePool};
 use crate::queue::{Pop, SendQueue};
+use crate::signal::Shutdown;
+use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtomicOrdering};
+use crate::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use crate::sync::thread::{self, JoinHandle};
+use crate::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use crate::verify::{PoolControl, VerifyPool};
 use crate::wire::WireMsg;
 
@@ -93,7 +94,7 @@ impl NetConfig {
             tick: Duration::from_millis(25),
             // Leave a core for the consensus thread where there are
             // cores to spare; a single worker otherwise.
-            verify_workers: std::thread::available_parallelism()
+            verify_workers: thread::available_parallelism()
                 .map_or(1, |n| n.get().saturating_sub(1).clamp(1, 4)),
         }
     }
@@ -137,25 +138,13 @@ struct Published {
     synced: AtomicBool,
 }
 
-fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Millisecond-granularity engine clock anchored at process start.
 fn engine_now(epoch: Instant) -> Time {
     Time::new(u64::try_from(epoch.elapsed().as_millis()).unwrap_or(u64::MAX))
-}
-
-/// Sleeps up to `total`, returning early once `running` clears.
-fn sleep_while_running(total: Duration, running: &AtomicBool) {
-    let deadline = Instant::now() + total;
-    while running.load(AtomicOrdering::Relaxed) {
-        let left = deadline.saturating_duration_since(Instant::now());
-        if left.is_zero() {
-            return;
-        }
-        std::thread::sleep(left.min(Duration::from_millis(50)));
-    }
 }
 
 /// One DAG-Rider process on real TCP sockets.
@@ -173,7 +162,7 @@ pub struct NetNode {
     queues: Vec<Arc<SendQueue>>,
     reader_socks: Arc<Mutex<Vec<TcpStream>>>,
     verify: Arc<dyn PoolControl>,
-    running: Arc<AtomicBool>,
+    stop: Arc<Shutdown>,
     threads: Vec<JoinHandle<()>>,
 }
 
@@ -206,7 +195,7 @@ impl NetNode {
         listener.set_nonblocking(true)?;
 
         let (tx, rx) = mpsc::channel::<Event>();
-        let running = Arc::new(AtomicBool::new(true));
+        let stop = Arc::new(Shutdown::new());
         let published = Arc::new(Published::default());
         let queues: Vec<Arc<SendQueue>> =
             (0..committee.n()).map(|_| Arc::new(SendQueue::new(config.queue_capacity))).collect();
@@ -222,48 +211,30 @@ impl NetNode {
             let peer_addr = config.addrs[peer.as_usize()];
             let queue = Arc::clone(&queues[peer.as_usize()]);
             let writer_tx = tx.clone();
-            let writer_running = Arc::clone(&running);
-            threads.push(std::thread::spawn(move || {
-                writer_loop(me, peer, peer_addr, &queue, &writer_tx, &writer_running);
+            let writer_stop = Arc::clone(&stop);
+            threads.push(thread::spawn(move || {
+                writer_loop(me, peer, peer_addr, &queue, &writer_tx, &writer_stop);
             }));
         }
         {
             let accept_tx = tx.clone();
-            let accept_running = Arc::clone(&running);
+            let accept_stop = Arc::clone(&stop);
             let socks = Arc::clone(&reader_socks);
             let accept_verify = Arc::clone(&verify);
-            threads.push(std::thread::spawn(move || {
-                accept_loop(
-                    &listener,
-                    committee,
-                    &accept_tx,
-                    &accept_running,
-                    &socks,
-                    &accept_verify,
-                );
+            threads.push(thread::spawn(move || {
+                accept_loop(&listener, committee, &accept_tx, &accept_stop, &socks, &accept_verify);
             }));
         }
         {
             let state = Arc::clone(&published);
             let consensus_queues = queues.clone();
-            let consensus_running = Arc::clone(&running);
-            threads.push(std::thread::spawn(move || {
-                consensus_loop::<B>(config, rx, &consensus_queues, &state, &consensus_running);
+            let consensus_stop = Arc::clone(&stop);
+            threads.push(thread::spawn(move || {
+                consensus_loop::<B>(config, rx, &consensus_queues, &state, &consensus_stop);
             }));
         }
 
-        Ok(Self {
-            me,
-            committee,
-            addr,
-            tx,
-            published,
-            queues,
-            reader_socks,
-            verify,
-            running,
-            threads,
-        })
+        Ok(Self { me, committee, addr, tx, published, queues, reader_socks, verify, stop, threads })
     }
 
     /// This process's identity.
@@ -330,15 +301,24 @@ impl NetNode {
         self.verify.rejected_shares()
     }
 
-    /// Stops every thread and joins them. Idempotent; also runs on drop.
+    /// Largest verification batch any pool worker drained in one wake-up
+    /// (1 = keeping up; at the batch cap, verification is backlogged).
+    pub fn verify_batch_depth(&self) -> u64 {
+        self.verify.batch_high_water()
+    }
+
+    /// Stops every thread and joins them. Idempotent — signalling is a
+    /// one-shot latch and every drain below tolerates repetition; the
+    /// double-shutdown and shutdown-during-backoff paths are model-checked
+    /// by `dagrider-check`. Also runs on drop.
     pub fn shutdown(&mut self) {
-        self.running.store(false, AtomicOrdering::Relaxed);
+        self.stop.signal();
         let _ = self.tx.send(Event::Shutdown);
         for queue in &self.queues {
             queue.close();
         }
         for sock in lock_unpoisoned(&self.reader_socks).drain(..) {
-            let _ = sock.shutdown(Shutdown::Both);
+            let _ = sock.shutdown(SocketShutdown::Both);
         }
         self.verify.shutdown_pool();
         for handle in self.threads.drain(..) {
@@ -353,27 +333,35 @@ impl Drop for NetNode {
     }
 }
 
-/// Dials `peer` forever (capped exponential backoff), announcing with a
-/// `Hello` frame after every (re)connect and then draining the peer's
+/// Dials `peer` forever (capped exponential backoff with jitter so a
+/// cluster-wide peer death does not redial in lockstep), announcing with
+/// a `Hello` frame after every (re)connect and then draining the peer's
 /// send queue into the socket. A frame that fails mid-write is requeued
-/// at the front and retried on the next connection.
+/// at the front and retried on the next connection. The backoff wait is
+/// interruptible: shutdown cuts it short instead of waiting it out.
 fn writer_loop(
     me: ProcessId,
     peer: ProcessId,
     addr: SocketAddr,
     queue: &SendQueue,
     tx: &Sender<Event>,
-    running: &AtomicBool,
+    stop: &Shutdown,
 ) {
-    let mut backoff = Backoff::new(Duration::from_millis(50), Duration::from_secs(2));
-    'reconnect: while running.load(AtomicOrdering::Relaxed) {
+    let jitter_seed = (me.as_usize() as u64) << 32 | peer.as_usize() as u64;
+    let mut backoff = Backoff::new(Duration::from_millis(50), Duration::from_secs(2))
+        .with_jitter(30, jitter_seed);
+    'reconnect: while !stop.is_signalled() {
         let Ok(mut stream) = TcpStream::connect(addr) else {
-            sleep_while_running(backoff.next_delay(), running);
+            if stop.wait_timeout(backoff.next_delay()) {
+                return;
+            }
             continue 'reconnect;
         };
         let _ = stream.set_nodelay(true);
         if write_frame(&mut stream, &WireMsg::Hello(me).to_bytes()).is_err() {
-            sleep_while_running(backoff.next_delay(), running);
+            if stop.wait_timeout(backoff.next_delay()) {
+                return;
+            }
             continue 'reconnect;
         }
         backoff.reset();
@@ -395,7 +383,7 @@ fn writer_loop(
                     }
                 }
                 Pop::TimedOut => {
-                    if !running.load(AtomicOrdering::Relaxed) {
+                    if stop.is_signalled() {
                         return;
                     }
                 }
@@ -412,11 +400,11 @@ fn accept_loop<B: ReliableBroadcast + 'static>(
     listener: &TcpListener,
     committee: Committee,
     tx: &Sender<Event>,
-    running: &AtomicBool,
+    stop: &Shutdown,
     socks: &Mutex<Vec<TcpStream>>,
     verify: &Arc<VerifyPool<B>>,
 ) {
-    while running.load(AtomicOrdering::Relaxed) {
+    while !stop.is_signalled() {
         match listener.accept() {
             Ok((stream, _)) => {
                 let _ = stream.set_nodelay(true);
@@ -430,11 +418,17 @@ fn accept_loop<B: ReliableBroadcast + 'static>(
                 let reader_verify = Arc::clone(verify);
                 // Detached: exits on EOF/error (peer gone or our shutdown
                 // closed the socket) or when consensus hangs up the channel.
-                std::thread::spawn(move || {
+                drop(thread::spawn(move || {
                     reader_loop(stream, committee, &reader_tx, &reader_verify);
-                });
+                }));
             }
-            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            Err(_) => {
+                // The listener is non-blocking; park until the next poll
+                // or exit immediately on shutdown.
+                if stop.wait_timeout(Duration::from_millis(20)) {
+                    return;
+                }
+            }
         }
     }
 }
@@ -481,7 +475,7 @@ fn consensus_loop<B: ReliableBroadcast>(
     rx: Receiver<Event>,
     queues: &[Arc<SendQueue>],
     published: &Published,
-    running: &AtomicBool,
+    stop: &Shutdown,
 ) {
     let committee = config.committee;
     let me = config.me;
@@ -540,7 +534,7 @@ fn consensus_loop<B: ReliableBroadcast>(
 
     loop {
         let event = rx.recv_timeout(config.tick);
-        if !running.load(AtomicOrdering::Relaxed) {
+        if stop.is_signalled() {
             return;
         }
         match event {

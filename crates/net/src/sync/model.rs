@@ -1,0 +1,955 @@
+//! Deterministic interleaving exploration ("loom-lite") for the shim
+//! primitives in [`crate::sync`].
+//!
+//! [`explore`] runs a closure many times. Inside a run, every thread
+//! spawned through [`crate::sync::thread::spawn`] is a real OS thread,
+//! but a token-passing scheduler serializes them: exactly one runs at a
+//! time, and every shim operation (lock, condvar wait/notify, channel
+//! send/recv, atomic access) is a *schedule point* where the scheduler
+//! may switch threads. The sequence of choices made at schedule points
+//! fully determines a run, so:
+//!
+//! * **bounded exhaustive search** ([`Search::Exhaustive`]) enumerates
+//!   schedules depth-first with preemption bounding (CHESS-style — most
+//!   concurrency bugs need very few preemptions);
+//! * **randomized search** ([`Search::Random`]) samples schedules from a
+//!   seeded generator, optionally firing timeouts at adversarial points;
+//! * any failing run yields a [`Failure`] carrying the exact choice
+//!   sequence, which [`replay`] re-executes deterministically.
+//!
+//! Detected failure modes: **deadlock** (every live thread blocked on an
+//! untimed wait — lock cycles, lost wakeups, stuck joins), **panic** in
+//! any model thread (assertion failures in invariant-checking closures
+//! surface here), and **step-limit exhaustion** (livelock / unbounded
+//! spinning, e.g. an uninterruptible backoff loop).
+//!
+//! Timed waits (`wait_timeout`, `recv_timeout`) never deadlock: when no
+//! thread is runnable the scheduler fires one pending timeout instead,
+//! modeling "timeouts are long relative to any finite amount of work".
+//! Random search may also fire timeouts eagerly, covering the
+//! timeout-races-with-signal paths.
+//!
+//! Outside an active exploration every shim compiles down to a thin
+//! pass-through over `std` (see [`crate::sync`]), so the production
+//! runtime pays one thread-local lookup per operation and nothing else.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, PoisonError};
+
+/// Identifies a model thread within one execution (0 is the closure's
+/// own thread).
+pub type ThreadId = usize;
+
+/// Identifies a shim object (mutex, condvar, channel) within one
+/// execution. Ids are assigned on first use, in program order, so they
+/// are stable across runs of a deterministic closure.
+pub type ResourceId = usize;
+
+/// Search budget and bounds for [`explore`].
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Maximum schedules to run before giving up the search.
+    pub max_iterations: usize,
+    /// Maximum schedule points in one run; exceeding it is reported as
+    /// [`FailureKind::StepLimit`] (livelock suspicion).
+    pub max_steps: u64,
+    /// Maximum preemptions per run in exhaustive search (`None` =
+    /// unbounded). A preemption is switching away from a thread that
+    /// could have kept running.
+    pub preemption_bound: Option<u32>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self { max_iterations: 10_000, max_steps: 20_000, preemption_bound: Some(2) }
+    }
+}
+
+/// Which schedules [`explore`] tries.
+#[derive(Debug, Clone, Copy)]
+pub enum Search {
+    /// Depth-first enumeration of all schedules within the bounds.
+    Exhaustive,
+    /// Seeded pseudo-random schedules (may fire timeouts adversarially).
+    Random {
+        /// Base seed; iteration `i` derives its own sub-seed from it.
+        seed: u64,
+    },
+}
+
+/// Why a run failed.
+#[derive(Debug, Clone)]
+pub enum FailureKind {
+    /// Every unfinished thread is blocked on an untimed wait.
+    Deadlock {
+        /// The blocked threads and the operation each is stuck in.
+        blocked: Vec<(ThreadId, String)>,
+    },
+    /// A model thread panicked (failed assertion, explicit panic, ...).
+    Panic {
+        /// The panicking thread.
+        thread: ThreadId,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+    /// The run exceeded [`Config::max_steps`] schedule points.
+    StepLimit,
+}
+
+/// One failing run: what went wrong plus everything needed to
+/// deterministically reproduce it with [`replay`].
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// The failure class.
+    pub kind: FailureKind,
+    /// Choice indices taken at every multi-option schedule point — the
+    /// replayable schedule.
+    pub schedule: Vec<usize>,
+    /// Human-readable schedule-point log of the failing run.
+    pub trace: Vec<String>,
+    /// Which iteration of the search hit the failure (0-based).
+    pub iteration: usize,
+    /// The per-iteration seed, for [`Search::Random`] searches.
+    pub seed: Option<u64>,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            FailureKind::Deadlock { blocked } => {
+                writeln!(f, "DEADLOCK: all live threads blocked on untimed waits")?;
+                for (tid, op) in blocked {
+                    writeln!(f, "  thread {tid} blocked in {op}")?;
+                }
+            }
+            FailureKind::Panic { thread, message } => {
+                writeln!(f, "PANIC in model thread {thread}: {message}")?;
+            }
+            FailureKind::StepLimit => {
+                writeln!(f, "STEP LIMIT exceeded (possible livelock / unbounded spin)")?;
+            }
+        }
+        writeln!(f, "iteration {}", self.iteration)?;
+        if let Some(seed) = self.seed {
+            writeln!(f, "seed {seed}")?;
+        }
+        let csv: Vec<String> = self.schedule.iter().map(ToString::to_string).collect();
+        writeln!(f, "replayable schedule: [{}]", csv.join(","))?;
+        writeln!(f, "last schedule points:")?;
+        let tail = self.trace.len().saturating_sub(20);
+        for step in &self.trace[tail..] {
+            writeln!(f, "  {step}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of an [`explore`] search.
+#[derive(Debug)]
+pub struct Report {
+    /// Schedules actually run.
+    pub iterations: usize,
+    /// Whether exhaustive search covered the whole (bounded) space.
+    pub exhausted: bool,
+    /// The first failure found, if any.
+    pub failure: Option<Failure>,
+}
+
+impl Report {
+    /// True when no schedule failed.
+    pub fn passed(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+/// Panic payload used to unwind model threads out of a failed run; never
+/// reported as a user panic.
+struct ModelAbort;
+
+/// SplitMix64 — a tiny deterministic generator for [`Search::Random`].
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// How the scheduler resolves multi-option schedule points.
+enum Picker {
+    /// Replay a DFS path prefix, extending it with first-choice defaults.
+    Exhaustive { path: Vec<PathEntry>, cursor: usize },
+    /// Seeded random choices; also fires timeouts adversarially.
+    Random { state: u64 },
+    /// Follow a recorded schedule exactly (clamping if it runs out).
+    Replay { schedule: Vec<usize>, cursor: usize },
+}
+
+/// One branch point of the exhaustive DFS: how many options existed and
+/// which is taken on the current run.
+#[derive(Debug, Clone)]
+struct PathEntry {
+    options: usize,
+    index: usize,
+}
+
+/// Why a blocked thread woke up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Wake {
+    Notified,
+    TimedOut,
+}
+
+/// What a blocked thread is waiting on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Block {
+    Mutex(ResourceId),
+    Condvar(ResourceId),
+    Channel(ResourceId),
+    Join(ThreadId),
+    /// The root thread waiting for every spawned thread to finish.
+    AllDone,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    Blocked { on: Block, timed: bool },
+    Finished,
+}
+
+struct ThreadSlot {
+    status: Status,
+    wake: Option<Wake>,
+    last_op: String,
+}
+
+struct ExecState {
+    threads: Vec<ThreadSlot>,
+    current: ThreadId,
+    steps: u64,
+    preemptions: u32,
+    next_resource: ResourceId,
+    mutex_owner: HashMap<ResourceId, ThreadId>,
+    cv_waiters: HashMap<ResourceId, Vec<ThreadId>>,
+    picker: Picker,
+    chosen: Vec<usize>,
+    trace: Vec<String>,
+    failure: Option<FailureKind>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    config: Config,
+}
+
+/// One run's scheduler: the shared state all model threads coordinate
+/// through, plus the condvar they park on.
+pub struct Execution {
+    state: StdMutex<ExecState>,
+    parked: StdCondvar,
+    /// Distinguishes executions so shim objects re-register their
+    /// resource ids when reused across runs.
+    generation: u64,
+}
+
+static GENERATION: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Execution>, ThreadId)>> = const { RefCell::new(None) };
+}
+
+/// The active execution and model thread id of the calling thread, if
+/// this thread is running inside an exploration.
+pub(crate) fn current() -> Option<(Arc<Execution>, ThreadId)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+fn set_current(value: Option<(Arc<Execution>, ThreadId)>) {
+    CURRENT.with(|c| *c.borrow_mut() = value);
+}
+
+/// Lazily assigned per-execution resource id, embedded in every shim
+/// object. Packs `(generation, id + 1)` into one atomic so shim types
+/// stay `Send + Sync` without extra locking; only the single running
+/// model thread ever reassigns it.
+#[derive(Debug, Default)]
+pub(crate) struct ResourceCell {
+    packed: AtomicU64,
+}
+
+impl ResourceCell {
+    pub(crate) const fn new() -> Self {
+        Self { packed: AtomicU64::new(0) }
+    }
+
+    /// The resource id of this object under `exec`, registering it on
+    /// first use.
+    pub(crate) fn id(&self, exec: &Arc<Execution>) -> ResourceId {
+        let packed = self.packed.load(Ordering::Relaxed);
+        let (generation, id) = (packed >> 24, packed & 0xff_ffff);
+        if generation == exec.generation && id != 0 {
+            return (id - 1) as ResourceId;
+        }
+        let fresh = exec.allocate_resource();
+        self.packed.store((exec.generation << 24) | (fresh as u64 + 1), Ordering::Relaxed);
+        fresh
+    }
+}
+
+fn lock_state(exec: &Execution) -> std::sync::MutexGuard<'_, ExecState> {
+    exec.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Execution {
+    fn new(config: Config, picker: Picker) -> Self {
+        let root =
+            ThreadSlot { status: Status::Runnable, wake: None, last_op: "start".to_string() };
+        Self {
+            state: StdMutex::new(ExecState {
+                threads: vec![root],
+                current: 0,
+                steps: 0,
+                preemptions: 0,
+                next_resource: 0,
+                mutex_owner: HashMap::new(),
+                cv_waiters: HashMap::new(),
+                picker,
+                chosen: Vec::new(),
+                trace: Vec::new(),
+                failure: None,
+                handles: Vec::new(),
+                config,
+            }),
+            parked: StdCondvar::new(),
+            generation: GENERATION.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    fn allocate_resource(&self) -> ResourceId {
+        let mut st = lock_state(self);
+        let id = st.next_resource;
+        st.next_resource += 1;
+        id
+    }
+
+    /// Parks the calling model thread until it holds the scheduling
+    /// token again (or aborts the whole run on failure).
+    fn park<'a>(
+        &'a self,
+        mut st: std::sync::MutexGuard<'a, ExecState>,
+        tid: ThreadId,
+    ) -> std::sync::MutexGuard<'a, ExecState> {
+        loop {
+            if st.failure.is_some() {
+                drop(st);
+                std::panic::panic_any(ModelAbort);
+            }
+            if st.current == tid && st.threads[tid].status == Status::Runnable {
+                return st;
+            }
+            st = self.parked.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Picks the next thread to run and hands the token over.
+    /// `from` is the calling thread; its slot has already been updated
+    /// (still runnable, blocked, or finished).
+    fn switch(&self, st: &mut ExecState, from: ThreadId) {
+        let runnable: Vec<ThreadId> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status == Status::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        let timed: Vec<ThreadId> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| matches!(t.status, Status::Blocked { timed: true, .. }))
+            .map(|(i, _)| i)
+            .collect();
+
+        let mut candidates = runnable;
+        let fire_timeouts = candidates.is_empty()
+            || (matches!(st.picker, Picker::Random { .. }) && !timed.is_empty());
+        let timeout_start = candidates.len();
+        if fire_timeouts {
+            candidates.extend(timed.iter().copied());
+        }
+
+        if candidates.is_empty() {
+            if st.threads.iter().all(|t| t.status == Status::Finished) {
+                return; // run is over; nothing left to schedule
+            }
+            let blocked = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| matches!(t.status, Status::Blocked { .. }))
+                .map(|(i, t)| (i, t.last_op.clone()))
+                .collect();
+            self.fail(st, FailureKind::Deadlock { blocked });
+            return;
+        }
+
+        // Preemption bounding: once the budget is spent, a thread that
+        // could keep running does keep running.
+        let me_runnable = st.threads[from].status == Status::Runnable;
+        if let Some(bound) = st.config.preemption_bound {
+            if me_runnable && st.preemptions >= bound && candidates.contains(&from) {
+                candidates = vec![from];
+            }
+        }
+
+        let index = if candidates.len() == 1 {
+            0
+        } else {
+            let n = candidates.len();
+            let idx = match &mut st.picker {
+                Picker::Exhaustive { path, cursor } => {
+                    let idx = if *cursor < path.len() {
+                        path[*cursor].index.min(n - 1)
+                    } else {
+                        path.push(PathEntry { options: n, index: 0 });
+                        0
+                    };
+                    *cursor += 1;
+                    idx
+                }
+                Picker::Random { state } => (splitmix(state) % n as u64) as usize,
+                Picker::Replay { schedule, cursor } => {
+                    let idx = schedule.get(*cursor).copied().unwrap_or(0).min(n - 1);
+                    *cursor += 1;
+                    idx
+                }
+            };
+            st.chosen.push(idx);
+            idx
+        };
+        let next = candidates[index];
+
+        if me_runnable && next != from {
+            st.preemptions += 1;
+        }
+        if fire_timeouts && index >= timeout_start {
+            // Chose a timed-out thread: wake it with the timeout verdict.
+            st.threads[next].status = Status::Runnable;
+            st.threads[next].wake = Some(Wake::TimedOut);
+        }
+        st.current = next;
+        self.parked.notify_all();
+    }
+
+    /// Records a failure and aborts every thread in the run.
+    fn fail(&self, st: &mut ExecState, kind: FailureKind) {
+        if st.failure.is_none() {
+            st.failure = Some(kind);
+        }
+        self.parked.notify_all();
+    }
+
+    /// Whether this run already failed (shims use this to degrade to
+    /// plain pass-through during unwinding, where raising [`ModelAbort`]
+    /// from a destructor would abort the process).
+    pub(crate) fn failed(&self) -> bool {
+        lock_state(self).failure.is_some()
+    }
+
+    /// The universal schedule point: every shim operation calls this
+    /// before taking effect. May switch to another thread.
+    pub(crate) fn schedule_point(self: &Arc<Self>, tid: ThreadId, op: &str) {
+        let mut st = lock_state(self);
+        if st.failure.is_some() {
+            drop(st);
+            if std::thread::panicking() {
+                return; // unwinding already; do not panic out of a Drop
+            }
+            std::panic::panic_any(ModelAbort);
+        }
+        st.steps += 1;
+        if st.steps > st.config.max_steps {
+            self.fail(&mut st, FailureKind::StepLimit);
+            drop(st);
+            std::panic::panic_any(ModelAbort);
+        }
+        let step = st.steps;
+        st.threads[tid].last_op = op.to_string();
+        st.trace.push(format!("#{step} t{tid} {op}"));
+        self.switch(&mut st, tid);
+        let st = self.park(st, tid);
+        drop(st);
+    }
+
+    /// Blocks the calling thread on `on`, hands the token over, and
+    /// parks until woken. Returns why it woke.
+    fn block(self: &Arc<Self>, tid: ThreadId, on: Block, timed: bool, op: &str) -> Wake {
+        let mut st = lock_state(self);
+        st.threads[tid].status = Status::Blocked { on, timed };
+        st.threads[tid].wake = None;
+        st.threads[tid].last_op = op.to_string();
+        self.switch(&mut st, tid);
+        let mut st = self.park(st, tid);
+        let wake = st.threads[tid].wake.take().unwrap_or(Wake::Notified);
+        drop(st);
+        wake
+    }
+
+    fn wake_where(&self, st: &mut ExecState, pred: impl Fn(&Block) -> bool) {
+        for slot in &mut st.threads {
+            if let Status::Blocked { on, .. } = &slot.status {
+                if pred(on) {
+                    slot.status = Status::Runnable;
+                    slot.wake = Some(Wake::Notified);
+                }
+            }
+        }
+    }
+
+    // ---- mutex -------------------------------------------------------
+
+    pub(crate) fn acquire_mutex(self: &Arc<Self>, tid: ThreadId, rid: ResourceId, op: &str) {
+        self.schedule_point(tid, op);
+        loop {
+            let mut st = lock_state(self);
+            if st.failure.is_some() {
+                drop(st);
+                std::panic::panic_any(ModelAbort);
+            }
+            if let std::collections::hash_map::Entry::Vacant(slot) = st.mutex_owner.entry(rid) {
+                slot.insert(tid);
+                return;
+            }
+            drop(st);
+            self.block(tid, Block::Mutex(rid), false, op);
+        }
+    }
+
+    /// Releases `rid` and wakes its waiters. Never panics and never
+    /// yields: it runs from guard destructors, possibly mid-unwind.
+    pub(crate) fn release_mutex(&self, rid: ResourceId) {
+        let mut st = lock_state(self);
+        st.mutex_owner.remove(&rid);
+        self.wake_where(&mut st, |on| *on == Block::Mutex(rid));
+        self.parked.notify_all();
+    }
+
+    // ---- condvar -----------------------------------------------------
+
+    /// Releases `mutex_rid`, waits on condvar `cv_rid` (timed or not),
+    /// then re-acquires the mutex. Returns whether the wait timed out.
+    pub(crate) fn condvar_wait(
+        self: &Arc<Self>,
+        tid: ThreadId,
+        cv_rid: ResourceId,
+        mutex_rid: ResourceId,
+        timed: bool,
+        op: &str,
+    ) -> bool {
+        {
+            let mut st = lock_state(self);
+            st.mutex_owner.remove(&mutex_rid);
+            self.wake_where(&mut st, |on| *on == Block::Mutex(mutex_rid));
+            st.cv_waiters.entry(cv_rid).or_default().push(tid);
+        }
+        let wake = self.block(tid, Block::Condvar(cv_rid), timed, op);
+        if wake == Wake::TimedOut {
+            let mut st = lock_state(self);
+            if let Some(waiters) = st.cv_waiters.get_mut(&cv_rid) {
+                waiters.retain(|&t| t != tid);
+            }
+        }
+        self.acquire_mutex(tid, mutex_rid, "Mutex::lock (condvar reacquire)");
+        wake == Wake::TimedOut
+    }
+
+    /// Wakes waiters of condvar `rid` (`all`, or the longest-waiting
+    /// one). A notify with no waiters is lost, exactly like `std`.
+    pub(crate) fn notify(self: &Arc<Self>, tid: ThreadId, rid: ResourceId, all: bool, op: &str) {
+        self.schedule_point(tid, op);
+        let mut st = lock_state(self);
+        let woken: Vec<ThreadId> = match st.cv_waiters.get_mut(&rid) {
+            Some(waiters) if all => std::mem::take(waiters),
+            Some(waiters) if !waiters.is_empty() => vec![waiters.remove(0)],
+            _ => Vec::new(),
+        };
+        for t in woken {
+            st.threads[t].status = Status::Runnable;
+            st.threads[t].wake = Some(Wake::Notified);
+        }
+        self.parked.notify_all();
+    }
+
+    // ---- channels ----------------------------------------------------
+
+    /// Wakes threads blocked receiving on channel `rid` (new message or
+    /// disconnect). Never yields: called from `Sender` drops too.
+    pub(crate) fn wake_channel(&self, rid: ResourceId) {
+        let mut st = lock_state(self);
+        self.wake_where(&mut st, |on| *on == Block::Channel(rid));
+        self.parked.notify_all();
+    }
+
+    /// Blocks until channel `rid` is woken; returns whether a timed wait
+    /// timed out instead.
+    pub(crate) fn block_channel(
+        self: &Arc<Self>,
+        tid: ThreadId,
+        rid: ResourceId,
+        timed: bool,
+        op: &str,
+    ) -> bool {
+        self.block(tid, Block::Channel(rid), timed, op) == Wake::TimedOut
+    }
+
+    // ---- threads -----------------------------------------------------
+
+    /// Spawns a model thread running `f`; its result lands in the
+    /// returned slot once it finishes.
+    pub(crate) fn spawn_model<T: Send + 'static>(
+        self: &Arc<Self>,
+        parent: ThreadId,
+        f: impl FnOnce() -> T + Send + 'static,
+    ) -> (ThreadId, Arc<StdMutex<Option<T>>>) {
+        let tid = {
+            let mut st = lock_state(self);
+            st.threads.push(ThreadSlot {
+                status: Status::Runnable,
+                wake: None,
+                last_op: "spawned".to_string(),
+            });
+            st.threads.len() - 1
+        };
+        let slot: Arc<StdMutex<Option<T>>> = Arc::new(StdMutex::new(None));
+        let exec = Arc::clone(self);
+        let result = Arc::clone(&slot);
+        let handle = std::thread::spawn(move || {
+            set_current(Some((Arc::clone(&exec), tid)));
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                // Wait for the scheduler to hand this thread the token
+                // for the first time, then run the body.
+                let st = lock_state(&exec);
+                let st = exec.park(st, tid);
+                drop(st);
+                f()
+            }));
+            let panic_message = match outcome {
+                Ok(value) => {
+                    *result.lock().unwrap_or_else(PoisonError::into_inner) = Some(value);
+                    None
+                }
+                Err(payload) => {
+                    if payload.is::<ModelAbort>() {
+                        None // run already failed; this is teardown
+                    } else {
+                        Some(panic_message(payload.as_ref()))
+                    }
+                }
+            };
+            exec.finish_thread(tid, panic_message);
+            set_current(None);
+        });
+        let mut st = lock_state(self);
+        st.handles.push(handle);
+        drop(st);
+        self.schedule_point(parent, "thread::spawn");
+        (tid, slot)
+    }
+
+    /// Marks `tid` finished, reports its panic (if any), wakes joiners,
+    /// and hands the scheduling token onward.
+    fn finish_thread(self: &Arc<Self>, tid: ThreadId, panic: Option<String>) {
+        let mut st = lock_state(self);
+        st.threads[tid].status = Status::Finished;
+        if let Some(message) = panic {
+            self.fail(&mut st, FailureKind::Panic { thread: tid, message });
+            return;
+        }
+        if st.failure.is_some() {
+            self.parked.notify_all();
+            return;
+        }
+        self.wake_where(&mut st, |on| *on == Block::Join(tid));
+        let all_others_done =
+            st.threads.iter().enumerate().all(|(i, t)| i == 0 || t.status == Status::Finished);
+        if all_others_done {
+            self.wake_where(&mut st, |on| *on == Block::AllDone);
+        }
+        self.switch(&mut st, tid);
+    }
+
+    /// Blocks the caller until model thread `target` finishes.
+    pub(crate) fn join_thread(self: &Arc<Self>, tid: ThreadId, target: ThreadId) {
+        self.schedule_point(tid, "JoinHandle::join");
+        loop {
+            let st = lock_state(self);
+            if st.failure.is_some() {
+                drop(st);
+                std::panic::panic_any(ModelAbort);
+            }
+            if st.threads[target].status == Status::Finished {
+                return;
+            }
+            drop(st);
+            self.block(tid, Block::Join(target), false, "JoinHandle::join");
+        }
+    }
+
+    /// Root-thread teardown: waits (non-panicking) for every spawned
+    /// thread to finish or the run to fail.
+    fn wait_all_finished(self: &Arc<Self>) {
+        loop {
+            let st = lock_state(self);
+            if st.failure.is_some() {
+                return;
+            }
+            let done =
+                st.threads.iter().enumerate().all(|(i, t)| i == 0 || t.status == Status::Finished);
+            if done {
+                return;
+            }
+            drop(st);
+            self.block(0, Block::AllDone, false, "waiting for spawned threads");
+            let st = lock_state(self);
+            if st.failure.is_some() {
+                return;
+            }
+        }
+    }
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// What one run produced.
+struct RunResult {
+    failure: Option<FailureKind>,
+    chosen: Vec<usize>,
+    trace: Vec<String>,
+    path: Option<Vec<PathEntry>>,
+}
+
+/// Runs `f` once under `picker`, tearing the execution down completely
+/// (all OS threads joined) before returning.
+fn run_once(config: &Config, picker: Picker, f: &impl Fn()) -> RunResult {
+    let exec = Arc::new(Execution::new(config.clone(), picker));
+    set_current(Some((Arc::clone(&exec), 0)));
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    match outcome {
+        Ok(()) => {
+            // Waiting for stragglers can itself abort (e.g. spawned
+            // threads deadlock after the closure returns).
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                exec.wait_all_finished();
+            }));
+        }
+        Err(payload) => {
+            let mut st = lock_state(&exec);
+            if !payload.is::<ModelAbort>() && st.failure.is_none() {
+                st.failure = Some(FailureKind::Panic {
+                    thread: 0,
+                    message: panic_message(payload.as_ref()),
+                });
+            }
+            exec.parked.notify_all();
+        }
+    }
+    // Join every spawned OS thread; a recorded failure has already woken
+    // them all, and a clean finish means they have exited their bodies.
+    let handles: Vec<_> = {
+        let mut st = lock_state(&exec);
+        std::mem::take(&mut st.handles)
+    };
+    exec.parked.notify_all(); // re-notify any straggler parked mid-wake
+    for handle in handles {
+        let _ = handle.join();
+    }
+    set_current(None);
+    let mut st = lock_state(&exec);
+    RunResult {
+        failure: st.failure.take(),
+        chosen: std::mem::take(&mut st.chosen),
+        trace: std::mem::take(&mut st.trace),
+        path: match &mut st.picker {
+            Picker::Exhaustive { path, .. } => Some(std::mem::take(path)),
+            _ => None,
+        },
+    }
+}
+
+/// Explores interleavings of `f` under `search`, within `config`'s
+/// bounds. Returns the first failure found, or a clean report.
+///
+/// `f` must be self-contained: it creates its shim objects, spawns its
+/// model threads, asserts its invariants, and (ideally) joins what it
+/// spawned. It runs once per schedule.
+pub fn explore(config: &Config, search: Search, f: impl Fn()) -> Report {
+    match search {
+        Search::Exhaustive => {
+            let mut path: Vec<PathEntry> = Vec::new();
+            let mut iterations = 0;
+            loop {
+                let picker = Picker::Exhaustive { path: path.clone(), cursor: 0 };
+                let result = run_once(config, picker, &f);
+                iterations += 1;
+                if let Some(kind) = result.failure {
+                    return Report {
+                        iterations,
+                        exhausted: false,
+                        failure: Some(Failure {
+                            kind,
+                            schedule: result.chosen,
+                            trace: result.trace,
+                            iteration: iterations - 1,
+                            seed: None,
+                        }),
+                    };
+                }
+                path = result.path.unwrap_or_default();
+                // Depth-first backtrack: advance the deepest branch point
+                // with options left, dropping everything beneath it.
+                while path.last().is_some_and(|e| e.index + 1 >= e.options) {
+                    path.pop();
+                }
+                match path.last_mut() {
+                    Some(entry) => entry.index += 1,
+                    None => return Report { iterations, exhausted: true, failure: None },
+                }
+                if iterations >= config.max_iterations {
+                    return Report { iterations, exhausted: false, failure: None };
+                }
+            }
+        }
+        Search::Random { seed } => {
+            for iteration in 0..config.max_iterations {
+                let mut derive = seed ^ (iteration as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                let run_seed = splitmix(&mut derive);
+                let picker = Picker::Random { state: run_seed };
+                let result = run_once(config, picker, &f);
+                if let Some(kind) = result.failure {
+                    return Report {
+                        iterations: iteration + 1,
+                        exhausted: false,
+                        failure: Some(Failure {
+                            kind,
+                            schedule: result.chosen,
+                            trace: result.trace,
+                            iteration,
+                            seed: Some(run_seed),
+                        }),
+                    };
+                }
+            }
+            Report { iterations: config.max_iterations, exhausted: false, failure: None }
+        }
+    }
+}
+
+/// Re-runs `f` once under a schedule recorded in a [`Failure`],
+/// returning the failure it reproduces (or `None` if it passes, which
+/// means the closure is not deterministic modulo scheduling).
+pub fn replay(schedule: &[usize], f: impl Fn()) -> Option<Failure> {
+    let config = Config { max_iterations: 1, ..Config::default() };
+    let picker = Picker::Replay { schedule: schedule.to_vec(), cursor: 0 };
+    let result = run_once(&config, picker, &f);
+    result.failure.map(|kind| Failure {
+        kind,
+        schedule: result.chosen,
+        trace: result.trace,
+        iteration: 0,
+        seed: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sync::{thread, Mutex};
+
+    #[test]
+    fn exhaustive_counter_covers_all_interleavings_and_passes() {
+        let report = explore(&Config::default(), Search::Exhaustive, || {
+            let counter = Arc::new(Mutex::new(0u32));
+            let c1 = Arc::clone(&counter);
+            let h = thread::spawn(move || {
+                *c1.lock().unwrap_or_else(PoisonError::into_inner) += 1;
+            });
+            *counter.lock().unwrap_or_else(PoisonError::into_inner) += 1;
+            h.join().expect("model thread joins");
+            assert_eq!(*counter.lock().unwrap_or_else(PoisonError::into_inner), 2);
+        });
+        assert!(report.passed(), "{:?}", report.failure);
+        assert!(report.exhausted, "small space must be fully explored");
+        assert!(report.iterations > 1, "must try more than one schedule");
+    }
+
+    #[test]
+    fn lock_order_inversion_is_caught_and_replayable() {
+        let inversion = || {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let h = thread::spawn(move || {
+                let _ga = a2.lock().unwrap_or_else(PoisonError::into_inner);
+                let _gb = b2.lock().unwrap_or_else(PoisonError::into_inner);
+            });
+            {
+                let _gb = b.lock().unwrap_or_else(PoisonError::into_inner);
+                let _ga = a.lock().unwrap_or_else(PoisonError::into_inner);
+            }
+            let _ = h.join();
+        };
+        let report = explore(&Config::default(), Search::Exhaustive, inversion);
+        let failure = report.failure.expect("AB/BA inversion must deadlock some schedule");
+        assert!(matches!(failure.kind, FailureKind::Deadlock { .. }), "{failure}");
+        // The printed schedule replays to the same deadlock.
+        let replayed = replay(&failure.schedule, inversion).expect("replay reproduces");
+        assert!(matches!(replayed.kind, FailureKind::Deadlock { .. }), "{replayed}");
+    }
+
+    #[test]
+    fn random_search_is_deterministic_per_seed() {
+        let buggy = || {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let h = thread::spawn(move || {
+                let _ga = a2.lock().unwrap_or_else(PoisonError::into_inner);
+                let _gb = b2.lock().unwrap_or_else(PoisonError::into_inner);
+            });
+            let _gb = b.lock().unwrap_or_else(PoisonError::into_inner);
+            let _ga = a.lock().unwrap_or_else(PoisonError::into_inner);
+            drop((_ga, _gb));
+            let _ = h.join();
+        };
+        let config = Config { max_iterations: 500, ..Config::default() };
+        let first = explore(&config, Search::Random { seed: 42 }, buggy);
+        let second = explore(&config, Search::Random { seed: 42 }, buggy);
+        let (f1, f2) = (first.failure.expect("found"), second.failure.expect("found"));
+        assert_eq!(f1.iteration, f2.iteration);
+        assert_eq!(f1.schedule, f2.schedule);
+        assert_eq!(f1.seed, f2.seed);
+    }
+
+    #[test]
+    fn assertion_failures_surface_as_panic_failures() {
+        let report = explore(&Config::default(), Search::Exhaustive, || {
+            let h = thread::spawn(|| panic!("invariant violated"));
+            let _ = h.join();
+        });
+        let failure = report.failure.expect("panic must be reported");
+        match failure.kind {
+            FailureKind::Panic { message, .. } => assert!(message.contains("invariant violated")),
+            other => panic!("expected panic failure, got {other:?}"),
+        }
+    }
+}

@@ -24,10 +24,6 @@
 
 use std::collections::VecDeque;
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
-use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{mpsc, Arc, Mutex, PoisonError};
-use std::thread::JoinHandle;
 
 use dagrider_core::{NodeMessage, VerifiedInput};
 use dagrider_crypto::{sha256, CoinPublicKeys, CoinShare, Digest};
@@ -35,6 +31,10 @@ use dagrider_rbc::ReliableBroadcast;
 use dagrider_types::{Decode, ProcessId};
 
 use crate::runtime::Event;
+use crate::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use crate::sync::mpsc::{self, Receiver, Sender};
+use crate::sync::thread::{self, JoinHandle};
+use crate::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use crate::wire::WireMsg;
 
 /// Payloads hashed most recently, kept for byte-compare reuse. A Bracha
@@ -80,6 +80,10 @@ pub(crate) trait PoolControl: Send + Sync + std::fmt::Debug {
     fn shutdown_pool(&self);
     /// Coin shares dropped for failing DLEQ verification.
     fn rejected_shares(&self) -> u64;
+    /// Largest batch any worker has drained in one wake-up — a
+    /// saturation gauge: pinned at 1 the pool is keeping up, at
+    /// [`MAX_BATCH`] inbound verification is backlogged.
+    fn batch_high_water(&self) -> u64;
 }
 
 /// The worker pool. Generic over the reliable-broadcast instantiation so
@@ -89,6 +93,7 @@ pub(crate) struct VerifyPool<B> {
     jobs: Mutex<Option<Sender<Job>>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     rejected: Arc<AtomicU64>,
+    batch_high_water: Arc<AtomicU64>,
     _rbc: PhantomData<fn() -> B>,
 }
 
@@ -98,7 +103,7 @@ impl<B> std::fmt::Debug for VerifyPool<B> {
     }
 }
 
-fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -109,19 +114,24 @@ impl<B: ReliableBroadcast + 'static> VerifyPool<B> {
         let (tx, rx) = mpsc::channel::<Job>();
         let shared_rx = Arc::new(Mutex::new(rx));
         let rejected = Arc::new(AtomicU64::new(0));
+        let batch_high_water = Arc::new(AtomicU64::new(0));
         let handles = (0..workers)
             .map(|_| {
                 let rx = Arc::clone(&shared_rx);
                 let events = events.clone();
                 let public = public.clone();
                 let rejected = Arc::clone(&rejected);
-                std::thread::spawn(move || worker_loop::<B>(&rx, &public, &events, &rejected))
+                let high_water = Arc::clone(&batch_high_water);
+                thread::spawn(move || {
+                    worker_loop::<B>(&rx, &public, &events, &rejected, &high_water);
+                })
             })
             .collect();
         Self {
             jobs: Mutex::new(Some(tx)),
             workers: Mutex::new(handles),
             rejected,
+            batch_high_water,
             _rbc: PhantomData,
         }
     }
@@ -146,6 +156,10 @@ impl<B: ReliableBroadcast + 'static> PoolControl for VerifyPool<B> {
 
     fn rejected_shares(&self) -> u64 {
         self.rejected.load(AtomicOrdering::Relaxed)
+    }
+
+    fn batch_high_water(&self) -> u64 {
+        self.batch_high_water.load(AtomicOrdering::Relaxed)
     }
 }
 
@@ -175,6 +189,7 @@ fn worker_loop<B: ReliableBroadcast>(
     public: &CoinPublicKeys,
     events: &Sender<Event>,
     rejected: &AtomicU64,
+    batch_high_water: &AtomicU64,
 ) {
     let mut memo = DigestMemo::default();
     loop {
@@ -194,6 +209,7 @@ fn worker_loop<B: ReliableBroadcast>(
                 }
             }
         }
+        batch_high_water.fetch_max(batch.len() as u64, AtomicOrdering::Relaxed);
 
         let mut items = Vec::with_capacity(batch.len());
         let mut shares = Vec::new();
@@ -278,6 +294,7 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+        assert!(pool.batch_high_water() >= 1, "draining a job must move the high-water mark");
         pool.shutdown_pool();
         assert!(!pool.submit(ProcessId::new(1), Vec::new()), "submit after shutdown");
     }

@@ -1,0 +1,41 @@
+//! The lint rule engine: named rules, findings, and the runner.
+//!
+//! Each rule is a pure function from the workspace root to a list of
+//! [`Finding`]s. Rules are registered by name in
+//! [`crate::rules::registry`] so `cargo xtask lint --rule NAME` can run
+//! one in isolation and `--list` can enumerate them.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One finding, pointing at a file and (1-based) line.
+pub struct Finding {
+    pub path: PathBuf,
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.path.display(), self.line, self.message)
+    }
+}
+
+/// A named lint pass over the workspace sources.
+pub struct Rule {
+    /// Stable kebab-case identifier, used by `lint --rule NAME`.
+    pub name: &'static str,
+    /// One-line description shown by `lint --list`.
+    pub summary: &'static str,
+    /// The pass itself: appends findings for the workspace at `root`.
+    pub run: fn(&Path, &mut Vec<Finding>),
+}
+
+/// Runs every rule in `rules` and returns the combined findings.
+pub fn run_rules(root: &Path, rules: &[&Rule]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for rule in rules {
+        (rule.run)(root, &mut findings);
+    }
+    findings
+}

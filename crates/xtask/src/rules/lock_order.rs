@@ -1,0 +1,507 @@
+//! Rule `lock-order`: builds the lock-acquisition graph of `crates/net`
+//! and fails on cycles.
+//!
+//! Two threads that take the same pair of locks in opposite orders can
+//! deadlock; the classic defense is a global acquisition order. This
+//! pass extracts, per source line, which locks are acquired while which
+//! guards are still live, aggregates the resulting `held → acquired`
+//! edges across every file in `crates/net/src`, and reports any cycle —
+//! including the cross-file ones a per-file reviewer cannot see.
+//!
+//! The extractor is deliberately a line-level heuristic, not a type
+//! checker:
+//!
+//! - an acquisition is a `.lock(` method call, or a call to the
+//!   workspace's poison-stripping helpers (`lock_unpoisoned(&x)`,
+//!   `lock(&x)`);
+//! - a lock is named by its receiver path; `self.field` resolves against
+//!   the enclosing `impl` block to `Type::field` so the same field gets
+//!   the same name in every file;
+//! - a `let`-bound guard stays live until its block ends or `drop(g)`
+//!   runs; an unbound (temporary) guard lives only for its statement;
+//! - passing a guard to `Condvar::wait`/`wait_timeout` releases and
+//!   reacquires the same lock, which cannot change the edge set, so the
+//!   guard is simply treated as continuously held.
+//!
+//! What a static scan cannot see: acquisitions hidden behind `Drop`
+//! impls (e.g. `FrameBuf` returning its buffer to the pool takes the
+//! pool lock). Those orderings are exercised dynamically by
+//! `dagrider-check`; the two tools are complementary (see DESIGN.md,
+//! "Concurrency discipline").
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+
+use crate::engine::Finding;
+use crate::source::{code_lines, read, rust_files};
+
+/// `held lock → acquired lock → first site where the edge was observed`.
+type Graph = BTreeMap<String, BTreeMap<String, (PathBuf, usize)>>;
+
+/// Entry point registered with the rule engine. The `sync/` shim module
+/// is exempt: it *is* the scheduler, and its internal std locks are
+/// serialized by the model token, not by the runtime's lock order.
+pub fn check(root: &Path, findings: &mut Vec<Finding>) {
+    let sync_dir = root.join("crates/net/src/sync");
+    let mut graph = Graph::new();
+    for file in rust_files(&root.join("crates/net/src")) {
+        if file.starts_with(&sync_dir) {
+            continue;
+        }
+        extract(&read(&file), &file, &mut graph);
+    }
+    report_cycles(&graph, findings);
+}
+
+/// One lock-related event on a source line, ordered by column so
+/// `drop(g); other.lock()` releases before it acquires.
+enum Event {
+    Acquire { at: usize, lock: String, binds: bool },
+    Release { at: usize, var: String },
+}
+
+/// A live guard: the lock it holds, the variable it is bound to (if
+/// any), and the brace depth its scope closes at.
+struct Guard {
+    lock: String,
+    var: Option<String>,
+    depth: usize,
+}
+
+/// Scans one file and adds its `held → acquired` edges to `graph`.
+fn extract(source: &str, path: &Path, graph: &mut Graph) {
+    let mut depth = 0usize;
+    // Stack of enclosing `impl` blocks as (type name, depth at `impl`).
+    let mut impls: Vec<(String, usize)> = Vec::new();
+    let mut guards: Vec<Guard> = Vec::new();
+
+    for (number, line) in code_lines(source) {
+        let entry_depth = depth;
+        if let Some(type_name) = impl_type(&line) {
+            if line.contains('{') {
+                impls.push((type_name, entry_depth));
+            }
+        }
+
+        let self_type = impls.last().map(|(t, _)| t.as_str());
+        let mut events = Vec::new();
+        collect_acquisitions(&line, self_type, &mut events);
+        collect_releases(&line, &mut events);
+        events.sort_by_key(|e| match e {
+            Event::Acquire { at, .. } | Event::Release { at, .. } => *at,
+        });
+
+        depth = (depth + line.matches('{').count()).saturating_sub(line.matches('}').count());
+
+        for event in events {
+            match event {
+                Event::Release { var, .. } => guards.retain(|g| g.var.as_deref() != Some(&var)),
+                Event::Acquire { lock, binds, .. } => {
+                    for guard in &guards {
+                        graph
+                            .entry(guard.lock.clone())
+                            .or_default()
+                            .entry(lock.clone())
+                            .or_insert_with(|| (path.to_path_buf(), number));
+                    }
+                    if binds {
+                        guards.push(Guard { lock, var: binding_var(&line), depth });
+                    }
+                }
+            }
+        }
+
+        guards.retain(|g| g.depth <= depth);
+        while impls.last().is_some_and(|(_, d)| depth <= *d) {
+            impls.pop();
+        }
+    }
+}
+
+/// The type an `impl` line introduces (`impl Foo`, `impl Trait for Foo`,
+/// generics stripped), or `None` for non-impl lines.
+fn impl_type(line: &str) -> Option<String> {
+    let trimmed = line.trim_start();
+    let rest = trimmed.strip_prefix("impl")?;
+    let rest = skip_generics(rest);
+    let (first, after) = read_type_path(rest.trim_start());
+    let target = match after.trim_start().strip_prefix("for ") {
+        Some(tail) => read_type_path(tail.trim_start()).0,
+        None => first,
+    };
+    if target.is_empty() {
+        None
+    } else {
+        // `fmt::Display` → `Display`; the short name is what `self.x`
+        // sites resolve against.
+        Some(target.rsplit("::").next().unwrap_or(&target).to_string())
+    }
+}
+
+/// Skips a leading `<...>` generics list, tracking nesting.
+fn skip_generics(rest: &str) -> &str {
+    if !rest.starts_with('<') {
+        return rest;
+    }
+    let mut nesting = 0usize;
+    for (i, c) in rest.char_indices() {
+        match c {
+            '<' => nesting += 1,
+            '>' => {
+                nesting -= 1;
+                if nesting == 0 {
+                    return &rest[i + 1..];
+                }
+            }
+            _ => {}
+        }
+    }
+    ""
+}
+
+/// Reads a type path (`a::b::C`, generics dropped) off the front of
+/// `rest`; returns it and the remainder.
+fn read_type_path(rest: &str) -> (String, &str) {
+    let mut end = 0;
+    let bytes = rest.as_bytes();
+    while end < bytes.len() {
+        let c = bytes[end] as char;
+        if c.is_alphanumeric() || c == '_' || c == ':' {
+            end += 1;
+        } else if c == '<' {
+            return (rest[..end].to_string(), skip_generics(&rest[end..]));
+        } else {
+            break;
+        }
+    }
+    (rest[..end].to_string(), &rest[end..])
+}
+
+/// Finds every lock acquisition on `line` and appends `Acquire` events.
+fn collect_acquisitions(line: &str, self_type: Option<&str>, events: &mut Vec<Event>) {
+    // Method form: `receiver.lock(`.
+    for (at, _) in line.match_indices(".lock(") {
+        if is_fn_definition(line, at) {
+            continue;
+        }
+        let receiver = path_before(line, at);
+        if receiver.is_empty() {
+            continue;
+        }
+        push_acquire(line, at, &receiver, self_type, events);
+    }
+    // Free-helper forms: `lock_unpoisoned(&receiver)`, `lock(&receiver)`.
+    for helper in ["lock_unpoisoned(", "lock("] {
+        for (at, _) in line.match_indices(helper) {
+            let preceded = line[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_' || c == '.');
+            if preceded || is_fn_definition(line, at) {
+                continue;
+            }
+            let argument = &line[at + helper.len()..];
+            let receiver = path_at_front(argument);
+            if receiver.is_empty() {
+                continue;
+            }
+            push_acquire(line, at, &receiver, self_type, events);
+        }
+    }
+}
+
+fn push_acquire(
+    line: &str,
+    at: usize,
+    receiver: &str,
+    self_type: Option<&str>,
+    events: &mut Vec<Event>,
+) {
+    let lock = resolve(receiver, self_type);
+    // A `let` with `=` before the call binds the guard; otherwise the
+    // guard is a temporary that dies at the statement's end.
+    let binds = line[..at].contains("let ") && line[..at].contains('=');
+    events.push(Event::Acquire { at, lock, binds });
+}
+
+/// Appends a `Release` event for each `drop(ident)` on the line.
+fn collect_releases(line: &str, events: &mut Vec<Event>) {
+    for (at, _) in line.match_indices("drop(") {
+        let preceded = line[..at]
+            .chars()
+            .next_back()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_' || c == '.');
+        if preceded {
+            continue;
+        }
+        let argument = &line[at + "drop(".len()..];
+        let var = path_at_front(argument);
+        if !var.is_empty() && !var.contains('.') {
+            events.push(Event::Release { at, var });
+        }
+    }
+}
+
+/// `true` when the match at `at` sits in a `fn` signature (a parameter
+/// or method named `lock`), which is a definition, not an acquisition.
+fn is_fn_definition(line: &str, at: usize) -> bool {
+    line[..at].contains("fn ")
+}
+
+/// The `a.b.c`-style path immediately before byte offset `at`.
+fn path_before(line: &str, at: usize) -> String {
+    let bytes = line.as_bytes();
+    let mut start = at;
+    while start > 0 {
+        let c = bytes[start - 1] as char;
+        if c.is_alphanumeric() || c == '_' || c == '.' || c == ':' {
+            start -= 1;
+        } else {
+            break;
+        }
+    }
+    line[start..at].trim_matches('.').to_string()
+}
+
+/// The `a.b.c`-style path at the front of `rest`, after `&`/`mut `/`*`.
+fn path_at_front(rest: &str) -> String {
+    let rest = rest
+        .trim_start_matches('&')
+        .trim_start_matches("mut ")
+        .trim_start_matches('*')
+        .trim_start();
+    let mut end = 0;
+    let bytes = rest.as_bytes();
+    while end < bytes.len() {
+        let c = bytes[end] as char;
+        if c.is_alphanumeric() || c == '_' || c == '.' || c == ':' {
+            end += 1;
+        } else {
+            break;
+        }
+    }
+    rest[..end].to_string()
+}
+
+/// The variable a `let` statement binds: the last identifier before the
+/// `=`, which handles `let g`, `let mut g`, and `if let Ok(g)` alike.
+fn binding_var(line: &str) -> Option<String> {
+    let at = line.find("let ")?;
+    let pattern = line[at + "let ".len()..].split('=').next()?;
+    let mut last = None;
+    let mut current = String::new();
+    for c in pattern.chars() {
+        if c.is_alphanumeric() || c == '_' {
+            current.push(c);
+        } else if !current.is_empty() {
+            last = Some(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        last = Some(current);
+    }
+    last.filter(|name| name != "mut")
+}
+
+/// Resolves a receiver path to a lock name: `self` → the impl type,
+/// `self.field` → `Type::field`, anything else names itself.
+fn resolve(receiver: &str, self_type: Option<&str>) -> String {
+    let context = self_type.unwrap_or("self");
+    if receiver == "self" {
+        context.to_string()
+    } else if let Some(field) = receiver.strip_prefix("self.") {
+        format!("{context}::{field}")
+    } else {
+        receiver.to_string()
+    }
+}
+
+/// Reports one finding per distinct cycle in `graph`.
+fn report_cycles(graph: &Graph, findings: &mut Vec<Finding>) {
+    let mut seen: BTreeSet<Vec<String>> = BTreeSet::new();
+    let mut visiting: Vec<String> = Vec::new();
+    let mut done: BTreeSet<String> = BTreeSet::new();
+    for start in graph.keys() {
+        dfs(graph, start, &mut visiting, &mut done, &mut seen, findings);
+    }
+}
+
+fn dfs(
+    graph: &Graph,
+    node: &str,
+    visiting: &mut Vec<String>,
+    done: &mut BTreeSet<String>,
+    seen: &mut BTreeSet<Vec<String>>,
+    findings: &mut Vec<Finding>,
+) {
+    if done.contains(node) {
+        return;
+    }
+    if let Some(pos) = visiting.iter().position(|n| n == node) {
+        let cycle: Vec<String> = visiting[pos..].to_vec();
+        record_cycle(graph, cycle, seen, findings);
+        return;
+    }
+    visiting.push(node.to_string());
+    if let Some(edges) = graph.get(node) {
+        for next in edges.keys() {
+            dfs(graph, next, visiting, done, seen, findings);
+        }
+    }
+    visiting.pop();
+    done.insert(node.to_string());
+}
+
+fn record_cycle(
+    graph: &Graph,
+    cycle: Vec<String>,
+    seen: &mut BTreeSet<Vec<String>>,
+    findings: &mut Vec<Finding>,
+) {
+    // Canonicalize by rotating the smallest lock name to the front so the
+    // same cycle entered from different nodes reports once.
+    let smallest =
+        cycle.iter().enumerate().min_by_key(|(_, name)| name.as_str()).map_or(0, |(i, _)| i);
+    let mut canonical = cycle.clone();
+    canonical.rotate_left(smallest);
+    if !seen.insert(canonical.clone()) {
+        return;
+    }
+    let mut sites = Vec::new();
+    for (i, held) in canonical.iter().enumerate() {
+        let acquired = &canonical[(i + 1) % canonical.len()];
+        if let Some((path, line)) = graph.get(held).and_then(|e| e.get(acquired)) {
+            sites.push(format!("{held} → {acquired} at {}:{line}", path.display()));
+        }
+    }
+    let (path, line) = canonical
+        .first()
+        .and_then(|held| graph.get(held))
+        .and_then(|edges| canonical.get(1 % canonical.len()).and_then(|a| edges.get(a)))
+        .cloned()
+        .unwrap_or_else(|| (PathBuf::from("crates/net/src"), 1));
+    findings.push(Finding {
+        path,
+        line,
+        message: format!(
+            "lock-order cycle: {} — pick one global order and acquire in it everywhere \
+             [{}]",
+            canonical.join(" → "),
+            sites.join("; ")
+        ),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph_of(sources: &[&str]) -> Graph {
+        let mut graph = Graph::new();
+        for (i, source) in sources.iter().enumerate() {
+            extract(source, Path::new(&format!("synthetic{i}.rs")), &mut graph);
+        }
+        graph
+    }
+
+    fn findings_of(sources: &[&str]) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        report_cycles(&graph_of(sources), &mut findings);
+        findings
+    }
+
+    #[test]
+    fn cross_file_inversion_is_a_cycle() {
+        let forward = "fn f() {\n    let a = alpha.lock();\n    let b = beta.lock();\n}\n";
+        let backward = "fn g() {\n    let b = beta.lock();\n    let a = alpha.lock();\n}\n";
+        let findings = findings_of(&[forward, backward]);
+        assert_eq!(
+            findings.len(),
+            1,
+            "{:?}",
+            findings.iter().map(ToString::to_string).collect::<Vec<_>>()
+        );
+        assert!(findings[0].message.contains("alpha → beta"), "{}", findings[0].message);
+        assert!(findings[0].message.contains("beta → alpha"), "{}", findings[0].message);
+    }
+
+    #[test]
+    fn consistent_order_across_files_is_clean() {
+        let one = "fn f() {\n    let a = alpha.lock();\n    let b = beta.lock();\n}\n";
+        let two = "fn g() {\n    let a = alpha.lock();\n    if x {\n        let b = beta.lock();\n    }\n}\n";
+        assert!(findings_of(&[one, two]).is_empty());
+    }
+
+    #[test]
+    fn guard_dropped_before_reacquire_breaks_the_edge() {
+        // Without `drop` handling this would read as alpha → beta AND
+        // beta → alpha — a false-positive cycle.
+        let source = "fn f() {\n\
+                      \x20   let a = alpha.lock();\n\
+                      \x20   drop(a);\n\
+                      \x20   let b = beta.lock();\n\
+                      \x20   let a2 = alpha.lock();\n\
+                      }\n";
+        let graph = graph_of(&[source]);
+        assert!(!graph.contains_key("alpha"), "alpha held nothing: {graph:?}");
+        assert!(graph.get("beta").is_some_and(|e| e.contains_key("alpha")));
+        assert!(findings_of(&[source]).is_empty());
+    }
+
+    #[test]
+    fn self_fields_resolve_against_the_impl_type() {
+        let source = "impl Pool {\n\
+                      \x20   fn f(&self) {\n\
+                      \x20       let a = self.frames.lock();\n\
+                      \x20       let b = self.stats.lock();\n\
+                      \x20   }\n\
+                      }\n\
+                      impl Other {\n\
+                      \x20   fn g(&self) {\n\
+                      \x20       let a = self.frames.lock();\n\
+                      \x20   }\n\
+                      }\n";
+        let graph = graph_of(&[source]);
+        assert!(
+            graph.get("Pool::frames").is_some_and(|e| e.contains_key("Pool::stats")),
+            "{graph:?}"
+        );
+        assert!(!graph.contains_key("Other::frames"), "Other::g nests nothing: {graph:?}");
+    }
+
+    #[test]
+    fn scope_exit_releases_guards() {
+        // The beta guard dies with its block, so the later alpha
+        // acquisition only sees the outer alpha guard (self-edges from
+        // re-acquiring alpha would be a cycle; a fresh lock is not).
+        let source = "fn f() {\n\
+                      \x20   {\n\
+                      \x20       let b = beta.lock();\n\
+                      \x20   }\n\
+                      \x20   let a = alpha.lock();\n\
+                      }\n";
+        let graph = graph_of(&[source]);
+        assert!(!graph.contains_key("beta"), "{graph:?}");
+    }
+
+    #[test]
+    fn reacquiring_a_held_lock_is_a_self_cycle() {
+        let source = "fn f() {\n    let a = m.lock();\n    let b = m.lock();\n}\n";
+        let findings = findings_of(&[source]);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains('m'), "{}", findings[0].message);
+    }
+
+    #[test]
+    fn helper_calls_name_the_mutex_argument() {
+        let source = "fn f() {\n\
+                      \x20   let a = lock_unpoisoned(&published.ordered);\n\
+                      \x20   let b = lock(&queue.inner);\n\
+                      }\n";
+        let graph = graph_of(&[source]);
+        assert!(
+            graph.get("published.ordered").is_some_and(|e| e.contains_key("queue.inner")),
+            "{graph:?}"
+        );
+    }
+}

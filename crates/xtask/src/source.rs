@@ -1,0 +1,198 @@
+//! Source-tree helpers shared by the lint rules: file discovery and the
+//! comment/string/test-code stripper every textual rule builds on.
+
+use std::path::{Path, PathBuf};
+
+/// The repository root: two levels above this crate's manifest.
+pub fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/xtask sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+/// Root source file (`src/lib.rs`, else `src/main.rs`) of every workspace
+/// member: the root package, `crates/*`, and `vendor/*`.
+pub fn crate_roots(root: &Path) -> Vec<PathBuf> {
+    let mut out = vec![root.join("src/lib.rs")];
+    for group in ["crates", "vendor"] {
+        let Ok(entries) = std::fs::read_dir(root.join(group)) else { continue };
+        let mut dirs: Vec<PathBuf> = entries
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.join("Cargo.toml").is_file())
+            .collect();
+        dirs.sort();
+        for dir in dirs {
+            let lib = dir.join("src/lib.rs");
+            let main = dir.join("src/main.rs");
+            if lib.is_file() {
+                out.push(lib);
+            } else if main.is_file() {
+                out.push(main);
+            }
+        }
+    }
+    out
+}
+
+/// Every `.rs` file under `dir`, recursively, sorted for stable output.
+pub fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(current) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&current) else { continue };
+        for entry in entries.filter_map(Result::ok) {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+pub fn read(path: &Path) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+}
+
+/// Yields `(line_number, code)` for the non-test, non-comment portion of
+/// a source file: `#[cfg(test)]` items are dropped wholesale, line/block
+/// comments and string-literal contents are blanked so panics named in
+/// prose or messages don't trip the rules.
+pub fn code_lines(source: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let mut in_block_comment = false;
+    // Once a `#[cfg(test)]` attribute is seen, the next item's braces are
+    // tracked and everything until they balance is skipped.
+    let mut pending_test_attr = false;
+    let mut test_depth = 0usize;
+    for (index, raw) in source.lines().enumerate() {
+        let code = strip_line(raw, &mut in_block_comment);
+        let trimmed = raw.trim_start();
+        if test_depth == 0 && trimmed.starts_with("#[cfg(test)]") {
+            pending_test_attr = true;
+            continue;
+        }
+        let opens = code.matches('{').count();
+        let closes = code.matches('}').count();
+        if pending_test_attr {
+            if opens > 0 {
+                pending_test_attr = false;
+                test_depth = opens.saturating_sub(closes).max(1);
+            } else if trimmed.starts_with("#[") || trimmed.is_empty() {
+                // More attributes (or blanks) before the item itself.
+            } else if code.contains(';') {
+                pending_test_attr = false; // braceless item, e.g. `use`
+            }
+            continue;
+        }
+        if test_depth > 0 {
+            test_depth = (test_depth + opens).saturating_sub(closes);
+            continue;
+        }
+        out.push((index + 1, code));
+    }
+    out
+}
+
+/// Blanks comments and string/char literal contents from one line,
+/// carrying block-comment state across lines. String delimiters are kept
+/// and non-empty contents collapse to a single `s`, so rules can still
+/// distinguish `.expect("")` from `.expect("msg")`. Escapes inside
+/// strings are honored; multi-line and raw strings are treated
+/// conservatively (the remainder of the line is dropped).
+pub fn strip_line(line: &str, in_block_comment: &mut bool) -> String {
+    let mut out = String::with_capacity(line.len());
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    let mut in_string = false;
+    let mut string_had_content = false;
+    while i < bytes.len() {
+        if *in_block_comment {
+            if bytes[i..].starts_with(b"*/") {
+                *in_block_comment = false;
+                i += 2;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        if in_string {
+            match bytes[i] {
+                b'\\' => {
+                    string_had_content = true;
+                    i += 2;
+                }
+                b'"' => {
+                    if string_had_content {
+                        out.push('s');
+                    }
+                    out.push('"');
+                    in_string = false;
+                    i += 1;
+                }
+                _ => {
+                    string_had_content = true;
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        if bytes[i..].starts_with(b"//") {
+            break; // line comment: rest of line is prose
+        }
+        if bytes[i..].starts_with(b"/*") {
+            *in_block_comment = true;
+            i += 2;
+            continue;
+        }
+        match bytes[i] {
+            b'"' => {
+                out.push('"');
+                in_string = true;
+                string_had_content = false;
+                i += 1;
+            }
+            // Char literal like '{' — blank it; lifetimes ('a) have no
+            // closing quote within two chars and fall through harmlessly.
+            b'\'' if i + 2 < bytes.len() && bytes[i + 2] == b'\'' => i += 3,
+            byte => {
+                out.push(byte as char);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_lines_skips_test_modules() {
+        let source = "fn a() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn b() { y.unwrap(); }\n}\nfn c() {}\n";
+        let lines = code_lines(source);
+        let joined: String = lines.iter().map(|(_, l)| l.as_str()).collect();
+        assert!(joined.contains("fn a"));
+        assert!(joined.contains("fn c"));
+        assert!(!joined.contains("fn b"));
+    }
+
+    #[test]
+    fn strip_line_blanks_strings_and_comments() {
+        let mut block = false;
+        assert_eq!(strip_line("let x = \"{\"; // }", &mut block), "let x = \"s\"; ");
+        assert!(!block);
+        assert_eq!(strip_line("a /* open", &mut block), "a ");
+        assert!(block);
+        assert_eq!(strip_line("still */ b", &mut block), " b");
+        assert!(!block);
+    }
+}
