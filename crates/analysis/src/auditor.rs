@@ -5,7 +5,7 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use dagrider_core::{CommitEvent, Dag, WaveOutcome};
 use dagrider_trace::{TraceEvent, TraceRecord};
-use dagrider_types::{Committee, ProcessId, Round, Vertex, VertexRef, Wave};
+use dagrider_types::{BatchDigest, Committee, ProcessId, Round, Vertex, VertexRef, Wave};
 
 use crate::snapshot::DagSnapshot;
 use crate::violation::InvariantViolation;
@@ -236,6 +236,9 @@ impl DagAuditor {
             coins: BTreeSet<Wave>,
             committed: BTreeSet<Wave>,
             max_round: Option<Round>,
+            // Batch digests this process ordered but has not (yet) resolved
+            // to a stored batch; leftovers at end-of-trace are violations.
+            unresolved_digests: BTreeSet<BatchDigest>,
         }
         let mut violations = Vec::new();
         let mut states: BTreeMap<ProcessId, ProcessState> = BTreeMap::new();
@@ -282,11 +285,30 @@ impl DagAuditor {
                     }
                     state.max_round = Some(state.max_round.map_or(round, |p| p.max(round)));
                 }
+                TraceEvent::DigestOrdered { digest } => {
+                    state.unresolved_digests.insert(digest);
+                }
+                TraceEvent::BatchResolved { digest, .. } => {
+                    state.unresolved_digests.remove(&digest);
+                }
                 TraceEvent::VertexCreated { .. }
                 | TraceEvent::VertexRbcDelivered { .. }
                 | TraceEvent::WaveReady { .. }
                 | TraceEvent::Pruned { .. }
-                | TraceEvent::RbcPhase { .. } => {}
+                | TraceEvent::RbcPhase { .. }
+                | TraceEvent::BatchCreated { .. }
+                | TraceEvent::BatchDisseminated { .. }
+                | TraceEvent::BatchAcked { .. }
+                | TraceEvent::BatchStored { .. }
+                | TraceEvent::BatchFetchRequested { .. } => {}
+            }
+        }
+        // A digest ordered into the log but never resolved means the
+        // process's delivered payload is incomplete (fetch path failed
+        // or the trace ended mid-resolution — either way, flag it).
+        for (&process, state) in &states {
+            for &digest in &state.unresolved_digests {
+                violations.push(InvariantViolation::UnresolvedOrderedDigest { process, digest });
             }
         }
         sort_report(&mut violations);

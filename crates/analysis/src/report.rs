@@ -73,6 +73,10 @@ pub struct ProcessTraffic {
     /// the pool kept up; larger = decode/verify backlogs formed). Zero
     /// in simulation.
     pub verify_batch_depth: u64,
+    /// Missing-batch fetch requests this process issued: it ordered a
+    /// digest whose batch never arrived by dissemination and had to ask
+    /// a peer. Zero when worker push streams keep up.
+    pub batch_fetches: u64,
 }
 
 /// The full observability report for one run.
@@ -82,6 +86,11 @@ pub struct TraceReport {
     pub waves: Vec<WaveLatency>,
     /// Ordering-lag distribution across all processes.
     pub ordering_lag: LagStats,
+    /// Batch-resolve wait distribution: for every ordered digest, ticks
+    /// between `DigestOrdered` and its `BatchResolved` (0 = the batch
+    /// was already local when its digest reached the front of the
+    /// order; larger = `a_deliver` stalled on dissemination or fetch).
+    pub batch_resolve: LagStats,
     /// Per-process traffic, ascending by id.
     pub per_process: Vec<ProcessTraffic>,
     /// The §3 time-unit denominator (max delivered correct-to-correct
@@ -115,6 +124,8 @@ impl TraceReport {
         let mut record_counts: BTreeMap<ProcessId, u64> = BTreeMap::new();
         let mut wave_latencies: BTreeMap<Wave, Vec<(u64, u64, bool)>> = BTreeMap::new();
         let mut lags: Vec<u64> = Vec::new();
+        let mut resolve_waits: Vec<u64> = Vec::new();
+        let mut fetch_counts: BTreeMap<ProcessId, u64> = BTreeMap::new();
 
         let mut sorted: Vec<&TraceRecord> = records.iter().collect();
         sorted.sort_by_key(|r| (r.process, r.seq));
@@ -137,6 +148,12 @@ impl TraceReport {
                     if let Some(&at) = inserted_at.get(&(record.process, vertex)) {
                         lags.push(record.at.ticks().saturating_sub(at.ticks()));
                     }
+                }
+                TraceEvent::BatchResolved { waited, .. } => {
+                    resolve_waits.push(waited);
+                }
+                TraceEvent::BatchFetchRequested { .. } => {
+                    *fetch_counts.entry(record.process).or_default() += 1;
                 }
                 TraceEvent::LeaderCommitted { wave, direct, .. } => {
                     let entered = round_entered
@@ -186,12 +203,14 @@ impl TraceReport {
                 records,
                 dropped_frames: 0,
                 verify_batch_depth: 0,
+                batch_fetches: fetch_counts.get(&process).copied().unwrap_or(0),
             })
             .collect();
 
         Self {
             waves,
             ordering_lag: lag_stats(&lags),
+            batch_resolve: lag_stats(&resolve_waits),
             per_process,
             max_correct_delay: denominator,
             elapsed: now,
@@ -225,6 +244,7 @@ impl TraceReport {
                         records: 0,
                         dropped_frames: 0,
                         verify_batch_depth: 0,
+                        batch_fetches: 0,
                     },
                 );
                 &mut self.per_process[at]
@@ -312,17 +332,31 @@ impl fmt::Display for TraceReport {
             let bar = "#".repeat(((n * 40).div_ceil(tallest)) as usize);
             writeln!(f, "  [{:>6}, {:>6}) {:>6} {bar}", 1u64 << i, 1u64 << (i + 1), n)?;
         }
+        let resolve = &self.batch_resolve;
+        if resolve.count > 0 {
+            writeln!(
+                f,
+                "batch resolve wait ({} digests): min {} mean {:.1} max {} ticks",
+                resolve.count, resolve.min, resolve.mean, resolve.max
+            )?;
+        }
         writeln!(f, "per-process traffic:")?;
         writeln!(
             f,
-            "  {:>4} {:>9} {:>11} {:>8} {:>8} {:>8}",
-            "proc", "messages", "bytes", "records", "dropped", "vdepth"
+            "  {:>4} {:>9} {:>11} {:>8} {:>8} {:>8} {:>8}",
+            "proc", "messages", "bytes", "records", "dropped", "vdepth", "fetches"
         )?;
         for p in &self.per_process {
             writeln!(
                 f,
-                "  {:>4} {:>9} {:>11} {:>8} {:>8} {:>8}",
-                p.process, p.messages, p.bytes, p.records, p.dropped_frames, p.verify_batch_depth
+                "  {:>4} {:>9} {:>11} {:>8} {:>8} {:>8} {:>8}",
+                p.process,
+                p.messages,
+                p.bytes,
+                p.records,
+                p.dropped_frames,
+                p.verify_batch_depth,
+                p.batch_fetches
             )?;
         }
         Ok(())
@@ -402,6 +436,29 @@ mod tests {
         let rendered = report.to_string();
         assert!(rendered.contains("dropped"), "{rendered}");
         assert!(rendered.contains("vdepth"), "{rendered}");
+    }
+
+    #[test]
+    fn batch_resolve_waits_and_fetch_counts_are_tallied() {
+        use dagrider_types::BatchDigest;
+        let d = BatchDigest::new([7u8; 32]);
+        let mut tracer = Tracer::new(ProcessId::new(2), 64);
+        tracer.set_now(Time::new(10));
+        tracer.record(TraceEvent::DigestOrdered { digest: d });
+        tracer.record(TraceEvent::BatchFetchRequested { digest: d, from: ProcessId::new(0) });
+        tracer.set_now(Time::new(18));
+        tracer.record(TraceEvent::BatchResolved { digest: d, waited: 8 });
+        let metrics = Metrics::new(4);
+        let report = TraceReport::build(&tracer.records(), &metrics, Time::new(20));
+        assert_eq!(report.batch_resolve.count, 1);
+        assert_eq!(report.batch_resolve.min, 8);
+        assert_eq!(report.batch_resolve.max, 8);
+        assert_eq!(report.per_process.len(), 1);
+        assert_eq!(report.per_process[0].batch_fetches, 1);
+
+        let rendered = report.to_string();
+        assert!(rendered.contains("batch resolve wait (1 digests)"), "{rendered}");
+        assert!(rendered.contains("fetches"), "{rendered}");
     }
 
     #[test]

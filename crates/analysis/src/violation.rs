@@ -6,7 +6,7 @@
 
 use std::fmt;
 
-use dagrider_types::{ProcessId, Round, VertexRef, Wave};
+use dagrider_types::{BatchDigest, ProcessId, Round, VertexRef, Wave};
 
 /// One violated protocol invariant, found by
 /// [`DagAuditor`](crate::DagAuditor).
@@ -191,6 +191,18 @@ pub enum InvariantViolation {
         /// The doubly-ordered vertex.
         vertex: VertexRef,
     },
+    /// A trace orders a batch digest that never resolves to a stored
+    /// batch — with digest-carrying vertices, `a_deliver` of the
+    /// transactions requires the batch itself, so an unresolved ordered
+    /// digest means the total order's payload is incomplete (§5,
+    /// Algorithm 3 lines 51-57; dissemination per the Narwhal
+    /// decoupling, PAPERS.md "Bullshark").
+    UnresolvedOrderedDigest {
+        /// The process whose trace ordered the digest.
+        process: ProcessId,
+        /// The digest that never resolved.
+        digest: BatchDigest,
+    },
 }
 
 impl InvariantViolation {
@@ -214,7 +226,8 @@ impl InvariantViolation {
             InvariantViolation::UnjustifiedCommit { .. } => "§5, Algorithm 3 line 36",
             InvariantViolation::BrokenLeaderChain { .. } => "§5, Algorithm 3 lines 39-43 / Lemma 1",
             InvariantViolation::OrderedBeforeDelivered { .. }
-            | InvariantViolation::DuplicateOrdered { .. } => "§5, Algorithm 3 lines 51-57",
+            | InvariantViolation::DuplicateOrdered { .. }
+            | InvariantViolation::UnresolvedOrderedDigest { .. } => "§5, Algorithm 3 lines 51-57",
             InvariantViolation::DuplicateWaveCommit { .. } => "§5, Algorithm 3 line 44",
             InvariantViolation::CommitWithoutCoin { .. } => "§5, Algorithm 3 lines 34-35",
             InvariantViolation::NonMonotoneRound { .. } => "§4, Algorithm 2 lines 10-13",
@@ -244,7 +257,8 @@ impl InvariantViolation {
             InvariantViolation::OrderedBeforeDelivered { vertex }
             | InvariantViolation::DuplicateOrdered { vertex } => Some(*vertex),
             InvariantViolation::DuplicateWaveCommit { leader, .. } => Some(*leader),
-            InvariantViolation::NonMonotoneRound { .. } => None,
+            InvariantViolation::NonMonotoneRound { .. }
+            | InvariantViolation::UnresolvedOrderedDigest { .. } => None,
         }
     }
 
@@ -333,6 +347,12 @@ impl fmt::Display for InvariantViolation {
             }
             InvariantViolation::DuplicateOrdered { vertex } => {
                 write!(f, "{vertex} appears twice in the ordered log")
+            }
+            InvariantViolation::UnresolvedOrderedDigest { process, digest } => {
+                write!(
+                    f,
+                    "{process} ordered batch digest {digest} that never resolved to a stored batch"
+                )
             }
         }?;
         write!(f, " [{}]", self.citation())

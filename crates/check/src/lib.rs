@@ -20,6 +20,13 @@
 //! 4. **Worker-pool shutdown** — the `VerifyPool` dismantling protocol
 //!    (workers `recv` while holding the shared receiver lock; shutdown
 //!    drops the sender, then joins), checked for lost-wakeup hangs.
+//! 5. **Batch-store insert/resolve** — a batch reader and a fetch
+//!    responder racing to insert the same batch (plus an unrelated one)
+//!    against a concurrent resolver; duplicate inserts must be counted
+//!    exactly once and resolution must see whole batches.
+//! 6. **Batcher shutdown** — the worker batcher's `recv_timeout`
+//!    assemble loop against a client-sender drop: the tail batch must
+//!    be sealed and pushed, never lost or duplicated.
 //!
 //! Run everything via the `dagrider-check` binary, or call
 //! [`check_surface`] from tests.
@@ -31,7 +38,8 @@ use std::time::Duration;
 use dagrider_net::sync::atomic::{AtomicU64, Ordering};
 use dagrider_net::sync::model::{explore, Config, Report, Search};
 use dagrider_net::sync::{mpsc, thread, Arc, Mutex, PoisonError};
-use dagrider_net::{Backoff, Frame, FramePool, Pop, SendQueue, Shutdown};
+use dagrider_net::{Backoff, BatchStore, Frame, FramePool, Pop, SendQueue, Shutdown};
+use dagrider_types::{Batch, ProcessId, Transaction};
 
 /// One model-checked concurrency scenario.
 #[derive(Clone, Copy)]
@@ -76,6 +84,19 @@ pub fn surfaces() -> Vec<Surface> {
             description: "worker-pool dismantling (recv under a shared receiver \
                           lock, sender drop, join) must not lose wakeups",
             body: worker_pool_shutdown,
+        },
+        Surface {
+            name: "batch-store",
+            description: "BatchStore insert/resolve race: duplicate inserts from \
+                          the push and fetch paths must count once, and resolution \
+                          must never see a torn batch",
+            body: batch_store_insert_resolve,
+        },
+        Surface {
+            name: "batcher-shutdown",
+            description: "worker batcher recv_timeout loop under client-sender \
+                          drop: the tail batch must be sealed, not lost",
+            body: batcher_shutdown,
         },
     ]
 }
@@ -262,6 +283,92 @@ fn worker_pool_shutdown() {
         worker.join().expect("worker must observe the disconnect"); // ...and join
     }
     assert_eq!(processed.load(Ordering::Relaxed), 2, "a job was lost in shutdown");
+}
+
+/// Surface 5: the duplicate-insert race from the real runtime — a batch
+/// reader storing a pushed batch races a fetch response storing the very
+/// same batch (plus an unrelated batch from a third path), while the
+/// fetch path immediately resolves what it stored. Invariants: exactly
+/// one of the duplicate inserts reports fresh, accounting counts each
+/// distinct batch once, and a resolved batch is always whole.
+fn batch_store_insert_resolve() {
+    let store = Arc::new(BatchStore::new());
+    let pushed = Batch::new(ProcessId::new(0), 0, vec![Transaction::synthetic(1, 8)]);
+    let fetched = pushed.clone();
+    let other = Batch::new(ProcessId::new(1), 1, vec![Transaction::synthetic(2, 16)]);
+
+    let store_reader = Arc::clone(&store);
+    let reader = thread::spawn(move || store_reader.insert(pushed).1);
+    let store_fetcher = Arc::clone(&store);
+    let fetcher = thread::spawn(move || {
+        let (digest, fresh) = store_fetcher.insert(fetched);
+        // Resolution must see the whole batch the moment insert returns,
+        // whichever insert won the race.
+        let resolved = store_fetcher.get(digest).expect("inserted batch must resolve");
+        assert_eq!(resolved.payload_bytes(), 8, "resolved batch is torn");
+        fresh
+    });
+    let (_, fresh_other) = store.insert(other);
+    assert!(fresh_other, "the unrelated batch has no competitor");
+
+    let fresh_push = reader.join().expect("reader thread");
+    let fresh_fetch = fetcher.join().expect("fetcher thread");
+    assert!(fresh_push != fresh_fetch, "duplicate inserts must report fresh exactly once");
+    assert_eq!(store.len(), 2, "duplicate insert created a phantom entry");
+    assert_eq!(store.payload_bytes(), 8 + 16, "payload accounting double- or under-counted");
+}
+
+/// Surface 6: the worker batcher shape — a `recv_timeout` assemble loop
+/// that seals on size, on interval expiry, and on disconnect — against
+/// the shutdown path dropping the client sender. Every accepted
+/// transaction must reach the send queue in exactly one sealed batch;
+/// losing the disconnect (or the tail batch) deadlocks or fails the
+/// accounting below.
+fn batcher_shutdown() {
+    let (client, jobs) = mpsc::channel::<u8>();
+    let queue = Arc::new(SendQueue::new(4));
+
+    let out = Arc::clone(&queue);
+    let batcher = thread::spawn(move || {
+        let mut buf: Vec<u8> = Vec::new();
+        let seal = |buf: &mut Vec<u8>| {
+            out.push(Frame::from_payload(buf));
+            buf.clear();
+        };
+        loop {
+            match jobs.recv_timeout(Duration::from_millis(10)) {
+                Ok(tx) => {
+                    buf.push(tx);
+                    if buf.len() >= 2 {
+                        seal(&mut buf); // size bound reached
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if !buf.is_empty() {
+                        seal(&mut buf); // batch interval expired
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    if !buf.is_empty() {
+                        seal(&mut buf); // shutdown: flush the tail
+                    }
+                    return;
+                }
+            }
+        }
+    });
+
+    for tx in [1u8, 2, 3] {
+        client.send(tx).expect("send while the batcher lives");
+    }
+    drop(client); // NetNode::shutdown drops the worker senders...
+    batcher.join().expect("batcher must observe the disconnect");
+    let mut delivered = 0u64;
+    while let Pop::Frame(frame) = queue.pop_timeout(Duration::from_millis(10)) {
+        delivered += frame.payload().len() as u64;
+    }
+    assert_eq!(delivered, 3, "a transaction was lost or duplicated in shutdown");
+    queue.close(); // ...then closes the writer queues
 }
 
 // `lock_count` is used by the deliberately-buggy self-test scenarios in

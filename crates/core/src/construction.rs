@@ -20,7 +20,8 @@ use std::collections::VecDeque;
 use dagrider_rbc::RbcDelivery;
 use dagrider_trace::{SharedTracer, TraceEvent};
 use dagrider_types::{
-    Block, Committee, Decode, ProcessId, Round, SeqNum, Vertex, VertexBuilder, Wave,
+    BatchDigest, Block, Committee, Decode, Payload, ProcessId, Round, SeqNum, Vertex,
+    VertexBuilder, Wave,
 };
 
 use crate::dag::Dag;
@@ -35,6 +36,15 @@ pub enum DagEvent {
     WaveReady(Wave),
 }
 
+/// One entry of the proposal queue: an inline client block, or the
+/// digest list of worker-disseminated batches (proposer and sequence
+/// number get stamped when the vertex is created).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum QueuedPayload {
+    Block(Block),
+    Digests(Vec<BatchDigest>),
+}
+
 /// The construction state of one process (Algorithm 2).
 #[derive(Debug)]
 pub struct DagCore {
@@ -45,8 +55,9 @@ pub struct DagCore {
     buffer: Vec<Vertex>,
     /// The current round `r`.
     round: Round,
-    /// Client blocks awaiting a vertex (`blocksToPropose`).
-    blocks_to_propose: VecDeque<Block>,
+    /// Client payloads awaiting a vertex (`blocksToPropose`, generalized
+    /// to also carry batch-digest lists in worker-dissemination mode).
+    blocks_to_propose: VecDeque<QueuedPayload>,
     next_seq: SeqNum,
     /// When the queue is empty, propose an empty block instead of stalling
     /// (the paper assumes an infinite supply of blocks; real systems send
@@ -122,7 +133,25 @@ impl DagCore {
     /// Enqueues a client block (`a_bcast` pushes here, Algorithm 3
     /// line 33).
     pub fn enqueue_block(&mut self, block: Block) {
-        self.blocks_to_propose.push_back(block);
+        self.blocks_to_propose.push_back(QueuedPayload::Block(block));
+    }
+
+    /// Enqueues a digest-list payload: the worker layer finished
+    /// disseminating these batches, so the next vertex can carry their
+    /// 32-byte names instead of the transaction bytes. The proposer and
+    /// sequence number are stamped at vertex-creation time.
+    ///
+    /// Consecutive digest submissions coalesce into one queue entry:
+    /// rounds advance far slower than workers seal batches, and a vertex
+    /// can carry any number of 32-byte digests, so folding them together
+    /// keeps the proposal backlog bounded by round progress instead of
+    /// batch rate.
+    pub fn enqueue_digests(&mut self, digests: Vec<BatchDigest>) {
+        if let Some(QueuedPayload::Digests(tail)) = self.blocks_to_propose.back_mut() {
+            tail.extend(digests);
+        } else {
+            self.blocks_to_propose.push_back(QueuedPayload::Digests(digests));
+        }
     }
 
     /// Number of enqueued blocks not yet proposed.
@@ -258,9 +287,12 @@ impl DagCore {
 
     /// `create_new_vertex(round)` (lines 16–21 and 27–31).
     fn create_new_vertex(&mut self, round: Round) -> Option<Vertex> {
-        let block = match self.blocks_to_propose.pop_front() {
-            Some(block) => block,
-            None if self.auto_empty_blocks => Block::empty(self.me, self.next_seq),
+        let payload: Payload = match self.blocks_to_propose.pop_front() {
+            Some(QueuedPayload::Block(block)) => Payload::Block(block),
+            Some(QueuedPayload::Digests(digests)) => {
+                Payload::Digests { proposer: self.me, seq: self.next_seq, digests }
+            }
+            None if self.auto_empty_blocks => Payload::Block(Block::empty(self.me, self.next_seq)),
             None => return None,
         };
         self.next_seq = self.next_seq.next();
@@ -278,7 +310,7 @@ impl DagCore {
         } else {
             self.dag.orphans_below(&strong_set, orphan_cutoff)
         };
-        let vertex = VertexBuilder::new(self.me, round, block)
+        let vertex = VertexBuilder::new(self.me, round, payload)
             .strong_edges(strong)
             .weak_edges(weak)
             .build(&self.committee)
@@ -472,7 +504,7 @@ mod tests {
         c.enqueue_block(block2);
         let events = c.start();
         let v = broadcast_vertex(&events).unwrap();
-        assert_eq!(v.block(), &block1);
+        assert_eq!(v.block(), Some(&block1));
         assert_eq!(c.pending_blocks(), 1);
     }
 

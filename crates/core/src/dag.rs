@@ -29,9 +29,11 @@ pub struct Dag {
     committee: Committee,
     /// `rounds[r]` = the vertices of round `r`, keyed by source.
     rounds: Vec<BTreeMap<ProcessId, Vertex>>,
-    /// `closures[r]` = the closure bitsets of the vertices of round `r`,
-    /// keyed by source — parallel to `rounds`.
-    closures: Vec<BTreeMap<ProcessId, VertexClosures>>,
+    /// `closures[r][source]` = the closure bitsets of the vertex of round
+    /// `r` broadcast by `source` — parallel to `rounds`, but indexed by
+    /// source so the insert-time composition loop resolves each edge's
+    /// closures with two array indexes instead of a tree lookup.
+    closures: Vec<Vec<Option<VertexClosures>>>,
     /// The `(round, source) -> bit` mapping shared by every closure.
     slots: SlotSpace,
     /// Rounds `1..pruned_floor` have been garbage-collected: their
@@ -51,8 +53,8 @@ impl Dag {
     pub fn new(committee: Committee) -> Self {
         let genesis: BTreeMap<ProcessId, Vertex> =
             committee.members().map(|p| (p, Vertex::genesis(p))).collect();
-        let genesis_closures: BTreeMap<ProcessId, VertexClosures> =
-            committee.members().map(|p| (p, VertexClosures::default())).collect();
+        let genesis_closures: Vec<Option<VertexClosures>> =
+            vec![Some(VertexClosures::default()); committee.n()];
         Self {
             committee,
             rounds: vec![genesis],
@@ -132,16 +134,17 @@ impl Dag {
             return false;
         }
         let index = v.round().number() as usize;
+        let n = self.committee.n();
         while self.rounds.len() <= index {
             self.rounds.push(BTreeMap::new());
-            self.closures.push(BTreeMap::new());
+            self.closures.push(vec![None; n]);
         }
         if self.rounds[index].contains_key(&v.source()) {
             return false;
         }
         let closures = self.close_over(&v);
         let reference = v.reference();
-        self.closures[index].insert(v.source(), closures);
+        self.closures[index][v.source().as_usize()] = Some(closures);
         self.rounds[index].insert(v.source(), v);
         self.tracer.record(TraceEvent::VertexInserted { vertex: reference });
         true
@@ -157,7 +160,10 @@ impl Dag {
 
     /// The closure bitsets of the referenced vertex, if present.
     fn closures_of(&self, reference: VertexRef) -> Option<&VertexClosures> {
-        self.closures.get(reference.round.number() as usize).and_then(|m| m.get(&reference.source))
+        self.closures
+            .get(reference.round.number() as usize)
+            .and_then(|row| row.get(reference.source.as_usize()))
+            .and_then(Option::as_ref)
     }
 
     /// `path(v, u)` of Algorithm 1: is there a path from `from` down to
@@ -260,10 +266,11 @@ impl Dag {
         let mut dropped = 0;
         // Round 0 (genesis) is kept: new joiners' round-1 vertices verify
         // against it and it costs O(n).
+        let n = self.committee.n();
         for index in 1..self.rounds.len().min(keep_from.number() as usize) {
             dropped += self.rounds[index].len();
             self.rounds[index] = BTreeMap::new();
-            self.closures[index] = BTreeMap::new();
+            self.closures[index] = vec![None; n];
         }
         self.pruned_floor = self.pruned_floor.max(keep_from);
         if self.slots.advance_base(self.pruned_floor.number().max(1)) > 0 {
@@ -285,20 +292,25 @@ impl Dag {
     /// edges strictly descend in round, so a path between two retained
     /// non-genesis vertices can never dip below the floor.
     fn rebuild_closures(&mut self) {
-        let mut rebuilt: Vec<BTreeMap<ProcessId, VertexClosures>> =
-            Vec::with_capacity(self.rounds.len());
-        rebuilt.push(self.rounds[0].keys().map(|&p| (p, VertexClosures::default())).collect());
+        let n = self.committee.n();
+        let mut rebuilt: Vec<Vec<Option<VertexClosures>>> = Vec::with_capacity(self.rounds.len());
+        let mut genesis_row = vec![None; n];
+        for &p in self.rounds[0].keys() {
+            genesis_row[p.as_usize()] = Some(VertexClosures::default());
+        }
+        rebuilt.push(genesis_row);
         for index in 1..self.rounds.len() {
-            let round: BTreeMap<ProcessId, VertexClosures> = self.rounds[index]
-                .iter()
-                .map(|(&source, v)| {
-                    let closures = crate::reach::compose(&self.slots, v, |edge| {
-                        rebuilt.get(edge.round.number() as usize).and_then(|m| m.get(&edge.source))
-                    });
-                    (source, closures)
-                })
-                .collect();
-            rebuilt.push(round);
+            let mut row = vec![None; n];
+            for (&source, v) in &self.rounds[index] {
+                let closures = crate::reach::compose(&self.slots, v, |edge| {
+                    rebuilt
+                        .get(edge.round.number() as usize)
+                        .and_then(|r| r.get(edge.source.as_usize()))
+                        .and_then(Option::as_ref)
+                });
+                row[source.as_usize()] = Some(closures);
+            }
+            rebuilt.push(row);
         }
         self.closures = rebuilt;
     }
@@ -486,8 +498,11 @@ impl Dag {
         let Some(slot) = self.slots.slot(target) else {
             return false;
         };
-        let Some(closures) =
-            self.closures.get_mut(of.round.number() as usize).and_then(|m| m.get_mut(&of.source))
+        let Some(closures) = self
+            .closures
+            .get_mut(of.round.number() as usize)
+            .and_then(|row| row.get_mut(of.source.as_usize()))
+            .and_then(Option::as_mut)
         else {
             return false;
         };

@@ -31,16 +31,33 @@
 use std::collections::VecDeque;
 
 use bytes::Bytes;
-use dagrider_crypto::{Coin, CoinKeys, CoinShare, Digest};
+use dagrider_crypto::{sha256, Coin, CoinKeys, CoinShare, Digest};
 use dagrider_rbc::{RbcAction, ReliableBroadcast};
 use dagrider_trace::{SharedTracer, TraceEvent, TraceRecord};
 use dagrider_types::{
-    Block, Committee, Decode, DecodeError, Encode, ProcessId, Round, Time, Vertex, VertexRef, Wave,
+    Batch, BatchDigest, Block, Committee, Decode, DecodeError, Encode, Payload, ProcessId, Round,
+    Time, Vertex, VertexRef, Wave,
 };
 
 use crate::construction::{DagCore, DagEvent};
 use crate::dag::Dag;
-use crate::ordering::{CommitEvent, OrderedVertex, Ordering};
+use crate::ordering::{CommitEvent, Delivery, OrderedVertex, Ordering};
+
+/// The content address of a batch: SHA-256 over its encoded bytes. Wire
+/// types live in `dagrider-types` (which cannot depend on the crypto
+/// crate), so the digest function lives here, next to its main consumer.
+pub fn batch_digest(batch: &Batch) -> BatchDigest {
+    BatchDigest::new(*sha256(batch.to_bytes()).as_bytes())
+}
+
+/// Timer tag reserved for the missing-batch fetch retry loop.
+pub const FETCH_TIMER_TAG: u64 = u64::MAX;
+/// Ticks between fetch retries while the head delivery is blocked.
+pub const FETCH_RETRY_DELAY: u64 = 16;
+/// Fetch rounds per peer before the engine stops re-requesting and waits
+/// for a pushed batch (mirrors the sync shortfall protocol's bounded
+/// retries).
+pub const FETCH_RETRIES: usize = 3;
 
 /// Wire envelope multiplexing the broadcast layer's traffic with the tiny
 /// coin-share messages (§5 footnote 1: the coin can piggyback on the DAG;
@@ -222,6 +239,13 @@ pub enum EngineInput {
     /// `(source, round)` is taken as attested (a production deployment
     /// would verify a signature here).
     SyncVertex(Vertex),
+    /// `a_bcast` in digest mode: batch digests the worker layer finished
+    /// disseminating, ready to ride the next vertex as its payload.
+    SubmitDigests(Vec<BatchDigest>),
+    /// A batch became available in the local batch store (own assembly, a
+    /// peer's dissemination stream, or a completed fetch). Unblocks any
+    /// pending deliveries waiting on its digest.
+    BatchStored(Batch),
     /// Wire input whose expensive checks (SHA-256 payload digests, coin
     /// DLEQ proofs) a *trusted driver* already performed off the consensus
     /// thread. The engine skips re-verification, so only drivers that
@@ -256,6 +280,17 @@ pub enum VerifiedInput {
         /// The verified share.
         share: CoinShare,
     },
+    /// A batch whose content digest was already computed off-thread (by
+    /// the worker that sealed it or the reader that stored it), sparing
+    /// the consensus thread the serialize-and-hash pass that
+    /// [`EngineInput::BatchStored`] performs. `digest` must equal
+    /// [`batch_digest`]`(&batch)`.
+    Batch {
+        /// The batch's content digest.
+        digest: BatchDigest,
+        /// The batch now available for resolution.
+        batch: Batch,
+    },
 }
 
 /// A typed effect returned by the engine. Drivers must route outputs in
@@ -283,8 +318,19 @@ pub enum EngineOutput {
         /// Tag to echo back.
         tag: u64,
     },
-    /// `a_deliver`: the next vertex (block) of the total order.
+    /// `a_deliver`: the next vertex (block) of the total order, batch
+    /// digests resolved to the transactions they named.
     Ordered(OrderedVertex),
+    /// Ask the driver to request the listed batches from peer `from`:
+    /// the total order reached a digest whose batch is not in the local
+    /// store. Retried (rotating peers) via [`FETCH_TIMER_TAG`] timers, at
+    /// most [`FETCH_RETRIES`] rounds per peer.
+    FetchBatches {
+        /// The peer to ask.
+        from: ProcessId,
+        /// The missing digests.
+        digests: Vec<BatchDigest>,
+    },
 }
 
 /// One entry of the engine's optional I/O log (see
@@ -332,11 +378,32 @@ pub struct DagRiderEngine<B> {
     /// When each of our own vertices was handed to the broadcast layer
     /// (for a_bcast → a_deliver latency measurements).
     broadcast_at: std::collections::BTreeMap<Round, Time>,
+    /// The local batch store's engine-side view: every batch whose bytes
+    /// this process holds, by content digest.
+    batches: std::collections::BTreeMap<BatchDigest, Batch>,
+    /// Ordered deliveries whose payloads are not yet fully resolved — the
+    /// head blocks the total order until its batches arrive.
+    pending: VecDeque<PendingDelivery>,
+    /// The resolved `a_deliver` log (what [`DagRiderEngine::ordered`]
+    /// serves).
+    resolved: Vec<OrderedVertex>,
+    /// Fetch requests issued for missing batches (metric).
+    fetches_sent: u64,
+    /// Whether a [`FETCH_TIMER_TAG`] timer is outstanding.
+    fetch_timer_armed: bool,
     decode_failures: usize,
     vertices_pruned: usize,
     tracer: SharedTracer,
     started: bool,
     io_log: Option<Vec<IoRecord>>,
+}
+
+/// One ordered delivery waiting for its batches, with its fetch budget.
+#[derive(Debug)]
+struct PendingDelivery {
+    delivery: Delivery,
+    /// Fetch requests issued while this delivery headed the queue.
+    attempts: usize,
 }
 
 impl<B: ReliableBroadcast> DagRiderEngine<B> {
@@ -367,6 +434,11 @@ impl<B: ReliableBroadcast> DagRiderEngine<B> {
             coin: Coin::new(coin_keys),
             pending_shares: Vec::new(),
             broadcast_at: std::collections::BTreeMap::new(),
+            batches: std::collections::BTreeMap::new(),
+            pending: VecDeque::new(),
+            resolved: Vec::new(),
+            fetches_sent: 0,
+            fetch_timer_armed: false,
             decode_failures: 0,
             vertices_pruned: 0,
             tracer,
@@ -401,10 +473,46 @@ impl<B: ReliableBroadcast> DagRiderEngine<B> {
         self.core.enqueue_block(block);
     }
 
+    /// Enqueues a digest-list payload for atomic broadcast **without**
+    /// driving the protocol — the digest-mode counterpart of
+    /// [`DagRiderEngine::enqueue_block`]. Consecutive pre-start calls
+    /// coalesce into one payload; prefer
+    /// [`EngineInput::SubmitDigests`] through [`DagRiderEngine::handle`]
+    /// in live drivers.
+    pub fn enqueue_digests(&mut self, digests: Vec<BatchDigest>) {
+        self.core.enqueue_digests(digests);
+    }
+
+    /// Makes a batch resolvable **without** driving the protocol — the
+    /// harness counterpart of [`EngineInput::BatchStored`], for drivers
+    /// that pre-stage batches before a run.
+    pub fn store_batch(&mut self, batch: Batch) {
+        let digest = batch_digest(&batch);
+        if self.batches.insert(digest, batch).is_none() {
+            self.tracer.record(TraceEvent::BatchStored { digest });
+        }
+    }
+
     /// The `a_deliver` log: every vertex (block) in its final total-order
-    /// position.
+    /// position, batch digests resolved to their transactions.
     pub fn ordered(&self) -> &[OrderedVertex] {
-        self.ordering.log()
+        &self.resolved
+    }
+
+    /// Ordered deliveries still waiting for their batches (the head
+    /// blocks the total order until it resolves).
+    pub fn pending_deliveries(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Batches held in the engine's local store view.
+    pub fn batches_stored(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// Fetch requests issued for missing batches so far.
+    pub fn fetches_sent(&self) -> u64 {
+        self.fetches_sent
     }
 
     /// Per-wave commit outcomes (experiment bookkeeping).
@@ -455,8 +563,7 @@ impl<B: ReliableBroadcast> DagRiderEngine<B> {
     /// This is the client-visible commit latency the §6.2 time-complexity
     /// analysis bounds.
     pub fn own_vertex_latencies(&self) -> Vec<(Round, u64)> {
-        self.ordering
-            .log()
+        self.resolved
             .iter()
             .filter(|o| o.vertex.source == self.me)
             .filter_map(|o| {
@@ -545,8 +652,14 @@ impl<B: ReliableBroadcast> DagRiderEngine<B> {
             EngineInput::Message { from, payload } => {
                 self.on_message(from, &payload, &mut out, now, rng);
             }
-            EngineInput::Timer { tag: _ } => {
-                // No engine timers yet: a timer turn is housekeeping only.
+            EngineInput::Timer { tag } => {
+                if tag == FETCH_TIMER_TAG {
+                    // Fetch-retry turn: the head delivery may re-request
+                    // its missing batches from the next peer in rotation.
+                    self.fetch_timer_armed = false;
+                    self.drain_pending(&mut out, now, true);
+                }
+                // Other timer turns are end-of-turn housekeeping only.
             }
             EngineInput::SubmitBlock(block) => {
                 self.core.enqueue_block(block);
@@ -565,6 +678,20 @@ impl<B: ReliableBroadcast> DagRiderEngine<B> {
                 self.handle_dag_events(events, &mut out, &mut queue, now, rng);
                 self.drive(queue, &mut out, now, rng);
             }
+            EngineInput::SubmitDigests(digests) => {
+                self.core.enqueue_digests(digests);
+                let events = self.core.retry_propose();
+                let mut queue = VecDeque::new();
+                self.handle_dag_events(events, &mut out, &mut queue, now, rng);
+                self.drive(queue, &mut out, now, rng);
+            }
+            EngineInput::BatchStored(batch) => {
+                let digest = batch_digest(&batch);
+                if self.batches.insert(digest, batch).is_none() {
+                    self.tracer.record(TraceEvent::BatchStored { digest });
+                }
+                self.drain_pending(&mut out, now, false);
+            }
             EngineInput::PreVerified(verified) => match verified {
                 VerifiedInput::Message { from, payload, digest } => {
                     self.on_verified_message(from, &payload, digest, &mut out, now, rng);
@@ -575,6 +702,12 @@ impl<B: ReliableBroadcast> DagRiderEngine<B> {
                     } else {
                         self.decode_failures += 1;
                     }
+                }
+                VerifiedInput::Batch { digest, batch } => {
+                    if self.batches.insert(digest, batch).is_none() {
+                        self.tracer.record(TraceEvent::BatchStored { digest });
+                    }
+                    self.drain_pending(&mut out, now, false);
                 }
             },
         }
@@ -614,7 +747,7 @@ impl<B: ReliableBroadcast> DagRiderEngine<B> {
                 let res = self.coin.add_share(share);
                 if let Ok(Some(leader)) = res {
                     let delivered = self.ordering.on_leader(wave, leader, self.core.dag(), now);
-                    out.extend(delivered.into_iter().map(EngineOutput::Ordered));
+                    self.deliver(delivered, out, now);
                 }
             }
             Err(_) => self.decode_failures += 1,
@@ -650,7 +783,7 @@ impl<B: ReliableBroadcast> DagRiderEngine<B> {
                 let res = self.coin.add_share(share);
                 if let Ok(Some(leader)) = res {
                     let delivered = self.ordering.on_leader(wave, leader, self.core.dag(), now);
-                    out.extend(delivered.into_iter().map(EngineOutput::Ordered));
+                    self.deliver(delivered, out, now);
                 }
             }
             Err(_) => self.decode_failures += 1,
@@ -664,7 +797,115 @@ impl<B: ReliableBroadcast> DagRiderEngine<B> {
         let res = self.coin.add_verified_share(share);
         if let Ok(Some(leader)) = res {
             let delivered = self.ordering.on_leader(wave, leader, self.core.dag(), now);
-            out.extend(delivered.into_iter().map(EngineOutput::Ordered));
+            self.deliver(delivered, out, now);
+        }
+    }
+
+    /// Queues ordering-layer deliveries for payload resolution and emits
+    /// every delivery now resolvable, preserving the total order.
+    fn deliver(&mut self, deliveries: Vec<Delivery>, out: &mut Vec<EngineOutput>, now: Time) {
+        for delivery in deliveries {
+            if self.tracer.is_enabled() {
+                for &digest in delivery.payload.digests() {
+                    self.tracer.record(TraceEvent::DigestOrdered { digest });
+                }
+            }
+            self.pending.push_back(PendingDelivery { delivery, attempts: 0 });
+        }
+        self.drain_pending(out, now, false);
+    }
+
+    /// Resolves pending deliveries head-first: a head whose batches are
+    /// all local becomes an [`EngineOutput::Ordered`]; a blocked head
+    /// halts the drain (later deliveries must not overtake it) and
+    /// triggers the bounded fetch path. `retry` marks a fetch-timer turn,
+    /// which may re-request from the next peer in rotation; a head that
+    /// exhausts its budget waits silently for a pushed batch.
+    fn drain_pending(&mut self, out: &mut Vec<EngineOutput>, now: Time, mut retry: bool) {
+        while let Some(head) = self.pending.front() {
+            let missing: Vec<BatchDigest> = head
+                .delivery
+                .payload
+                .digests()
+                .iter()
+                .filter(|d| !self.batches.contains_key(d))
+                .copied()
+                .collect();
+            if missing.is_empty() {
+                let head = self.pending.pop_front().expect("front() was Some");
+                let resolved = self.resolve(head.delivery, now);
+                self.resolved.push(resolved.clone());
+                out.push(EngineOutput::Ordered(resolved));
+                // Progress was made: a fired retry timer is spent.
+                retry = false;
+                continue;
+            }
+            let first_block = head.attempts == 0;
+            let peers = self.committee.n() - 1;
+            let budget = FETCH_RETRIES * peers.max(1);
+            if (first_block || retry) && head.attempts < budget {
+                let source = head.delivery.vertex.source;
+                let attempt = head.attempts;
+                let from = self.fetch_target(source, attempt);
+                let head = self.pending.front_mut().expect("front() was Some");
+                head.attempts += 1;
+                self.fetches_sent += 1;
+                if self.tracer.is_enabled() {
+                    for &digest in &missing {
+                        self.tracer.record(TraceEvent::BatchFetchRequested { digest, from });
+                    }
+                }
+                out.push(EngineOutput::FetchBatches { from, digests: missing });
+                if !self.fetch_timer_armed {
+                    self.fetch_timer_armed = true;
+                    out.push(EngineOutput::SetTimer {
+                        delay: FETCH_RETRY_DELAY,
+                        tag: FETCH_TIMER_TAG,
+                    });
+                }
+            }
+            break;
+        }
+    }
+
+    /// The peer to ask on fetch round `attempt`: the vertex's proposer
+    /// first (its workers assembled or at least named the batches), then
+    /// the remaining peers in id order, wrapping.
+    fn fetch_target(&self, source: ProcessId, attempt: usize) -> ProcessId {
+        let mut peers = Vec::with_capacity(self.committee.n() - 1);
+        if source != self.me {
+            peers.push(source);
+        }
+        for p in self.committee.others(self.me) {
+            if p != source {
+                peers.push(p);
+            }
+        }
+        peers[attempt % peers.len()]
+    }
+
+    /// Materializes a delivery whose batches are all local: inline blocks
+    /// pass through; digest payloads concatenate their batches'
+    /// transactions in digest-list order into one block.
+    fn resolve(&mut self, delivery: Delivery, now: Time) -> OrderedVertex {
+        let block = match delivery.payload {
+            Payload::Block(block) => block,
+            Payload::Digests { proposer, seq, digests } => {
+                let waited = now.ticks().saturating_sub(delivery.ordered_at.ticks());
+                let mut transactions = Vec::new();
+                for digest in &digests {
+                    let batch = self.batches.get(digest).expect("drain checked availability");
+                    transactions.extend_from_slice(batch.transactions());
+                    self.tracer.record(TraceEvent::BatchResolved { digest: *digest, waited });
+                }
+                Block::new(proposer, seq, transactions)
+            }
+        };
+        OrderedVertex {
+            vertex: delivery.vertex,
+            block,
+            committed_in_wave: delivery.committed_in_wave,
+            delivered_at: now,
         }
     }
 
@@ -704,7 +945,7 @@ impl<B: ReliableBroadcast> DagRiderEngine<B> {
                         if let Ok(Some(leader)) = res {
                             let delivered =
                                 self.ordering.on_leader(wave, leader, self.core.dag(), now);
-                            out.extend(delivered.into_iter().map(EngineOutput::Ordered));
+                            self.deliver(delivered, out, now);
                         }
                     }
                     let events =
@@ -750,10 +991,10 @@ impl<B: ReliableBroadcast> DagRiderEngine<B> {
                         out.push(EngineOutput::Broadcast { payload: Bytes::from(msg.to_bytes()) });
                     }
                     let delivered = self.ordering.on_wave_complete(wave, self.core.dag(), now);
-                    out.extend(delivered.into_iter().map(EngineOutput::Ordered));
+                    self.deliver(delivered, out, now);
                     if let Some(leader) = self.coin.leader(wave.number()) {
                         let delivered = self.ordering.on_leader(wave, leader, self.core.dag(), now);
-                        out.extend(delivered.into_iter().map(EngineOutput::Ordered));
+                        self.deliver(delivered, out, now);
                     }
                 }
             }
@@ -891,7 +1132,9 @@ mod tests {
                             wire.push_back((from, to, payload.to_vec()));
                         }
                     }
-                    EngineOutput::SetTimer { .. } | EngineOutput::Ordered(_) => {}
+                    EngineOutput::SetTimer { .. }
+                    | EngineOutput::Ordered(_)
+                    | EngineOutput::FetchBatches { .. } => {}
                 }
             }
         };
@@ -957,7 +1200,7 @@ mod tests {
                         }
                     }
                     EngineOutput::Ordered(o) => ordered[from.as_usize()].push(o),
-                    EngineOutput::SetTimer { .. } => {}
+                    EngineOutput::SetTimer { .. } | EngineOutput::FetchBatches { .. } => {}
                 }
             }
         };

@@ -64,7 +64,7 @@ pub mod render;
 pub use construction::{DagCore, DagEvent};
 pub use dag::Dag;
 pub use engine::{
-    DagRiderEngine, EngineInput, EngineOutput, IoRecord, NodeConfig, NodeMessage, VerifiedInput,
-    VertexPayload,
+    batch_digest, DagRiderEngine, EngineInput, EngineOutput, IoRecord, NodeConfig, NodeMessage,
+    VerifiedInput, VertexPayload, FETCH_RETRIES, FETCH_RETRY_DELAY, FETCH_TIMER_TAG,
 };
-pub use ordering::{CommitEvent, OrderedVertex, Ordering, WaveOutcome};
+pub use ordering::{CommitEvent, Delivery, OrderedVertex, Ordering, WaveOutcome};

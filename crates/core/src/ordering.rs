@@ -20,17 +20,36 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use dagrider_trace::{SharedTracer, TraceEvent};
 use dagrider_types::Time;
-use dagrider_types::{Block, ProcessId, Round, Vertex, VertexRef, Wave};
+use dagrider_types::{Block, Payload, ProcessId, Round, Vertex, VertexRef, Wave};
 
 use crate::dag::Dag;
 
+/// One vertex in its final total-order position, as emitted by the
+/// ordering layer: the payload is whatever the vertex carried — an
+/// inline [`Block`] or a list of batch digests still to be resolved
+/// against the local batch store (see `DagRiderEngine`'s pending-delivery
+/// queue). `a_deliver` completes only once the payload bytes are in hand,
+/// which is when a [`Delivery`] becomes an [`OrderedVertex`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// The delivered vertex's identity.
+    pub vertex: VertexRef,
+    /// The payload it carried (inline block or batch digests).
+    pub payload: Payload,
+    /// The wave whose leader's causal history delivered it.
+    pub committed_in_wave: Wave,
+    /// Virtual time at which ordering placed it (coin + commit rule).
+    pub ordered_at: Time,
+}
+
 /// One `a_deliver` output: a vertex (hence its block) in its final
-/// position of the total order.
+/// position of the total order, with any batch digests resolved to the
+/// transactions they named.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OrderedVertex {
     /// The delivered vertex's identity.
     pub vertex: VertexRef,
-    /// The block it carried (`a_deliver`'s `m`).
+    /// The block it carried (`a_deliver`'s `m`), digests resolved.
     pub block: Block,
     /// The wave whose leader's causal history delivered it.
     pub committed_in_wave: Wave,
@@ -80,8 +99,8 @@ pub struct Ordering {
     /// Next wave to interpret (waves are interpreted in order; see module
     /// docs — out-of-order interpretation would break Claim 5).
     cursor: u64,
-    /// The `a_deliver` log.
-    log: Vec<OrderedVertex>,
+    /// The ordered-delivery log (payloads as carried, unresolved).
+    log: Vec<Delivery>,
     /// Per-wave outcomes (experiment bookkeeping, not protocol state).
     commits: Vec<CommitEvent>,
     /// Records coin/commit/ordering transitions; disabled (free) by
@@ -118,8 +137,9 @@ impl Ordering {
         self.tracer = tracer;
     }
 
-    /// The `a_deliver` log so far, in total order.
-    pub fn log(&self) -> &[OrderedVertex] {
+    /// The ordered-delivery log so far, in total order. Payloads are as
+    /// carried by the vertices; digest resolution happens downstream.
+    pub fn log(&self) -> &[Delivery] {
         &self.log
     }
 
@@ -149,20 +169,14 @@ impl Ordering {
 
     /// Signal from the construction layer: wave `w` completed locally.
     /// Returns any deliveries unlocked.
-    pub fn on_wave_complete(&mut self, w: Wave, dag: &Dag, now: Time) -> Vec<OrderedVertex> {
+    pub fn on_wave_complete(&mut self, w: Wave, dag: &Dag, now: Time) -> Vec<Delivery> {
         self.completed.insert(w.number());
         self.try_interpret(dag, now)
     }
 
     /// Signal from the coin: instance `w` opened with `leader`. Returns
     /// any deliveries unlocked.
-    pub fn on_leader(
-        &mut self,
-        w: Wave,
-        leader: ProcessId,
-        dag: &Dag,
-        now: Time,
-    ) -> Vec<OrderedVertex> {
+    pub fn on_leader(&mut self, w: Wave, leader: ProcessId, dag: &Dag, now: Time) -> Vec<Delivery> {
         if self.leaders.insert(w.number(), leader).is_none() {
             self.tracer.record(TraceEvent::CoinFlipped { wave: w, leader });
         }
@@ -171,7 +185,7 @@ impl Ordering {
 
     /// Interprets every wave that is both locally complete and has an
     /// opened coin, in increasing order (Algorithm 3 lines 34–45).
-    fn try_interpret(&mut self, dag: &Dag, now: Time) -> Vec<OrderedVertex> {
+    fn try_interpret(&mut self, dag: &Dag, now: Time) -> Vec<Delivery> {
         let mut newly_delivered = Vec::new();
         while self.completed.contains(&self.cursor) && self.leaders.contains_key(&self.cursor) {
             let w = self.cursor;
@@ -190,7 +204,7 @@ impl Ordering {
     }
 
     /// The body of `wave_ready(w)` (lines 34–45).
-    fn interpret_wave(&mut self, w: Wave, dag: &Dag, now: Time) -> Vec<OrderedVertex> {
+    fn interpret_wave(&mut self, w: Wave, dag: &Dag, now: Time) -> Vec<Delivery> {
         let leader_process = *self
             .leaders
             .get(&w.number())
@@ -275,7 +289,7 @@ impl Ordering {
         leader: VertexRef,
         dag: &Dag,
         now: Time,
-    ) -> Vec<OrderedVertex> {
+    ) -> Vec<Delivery> {
         let history: Vec<VertexRef> = dag
             .causal_history(leader)
             .into_iter()
@@ -288,15 +302,15 @@ impl Ordering {
                 let position = self.next_position;
                 self.next_position += 1;
                 self.tracer.record(TraceEvent::VertexOrdered { vertex: reference, wave, position });
-                OrderedVertex {
+                Delivery {
                     vertex: reference,
-                    block: dag
+                    payload: dag
                         .get(reference)
                         .expect("causal history is in the DAG")
-                        .block()
+                        .payload()
                         .clone(),
                     committed_in_wave: wave,
-                    delivered_at: now,
+                    ordered_at: now,
                 }
             })
             .collect()
@@ -354,7 +368,7 @@ mod tests {
         // leader is p1@r1; history = itself + genesis (pre-delivered).
         assert_eq!(delivered.len(), 1);
         assert_eq!(delivered[0].vertex, VertexRef::new(Round::new(1), ProcessId::new(1)));
-        assert_eq!(delivered[0].delivered_at, Time::new(5));
+        assert_eq!(delivered[0].ordered_at, Time::new(5));
     }
 
     #[test]

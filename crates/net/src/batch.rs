@@ -1,0 +1,123 @@
+//! The in-memory batch store shared across runtime threads.
+//!
+//! Every transaction batch a node sees — sealed by its own workers or
+//! received on a peer's worker connection — lands here, keyed by
+//! digest. The consensus thread serves [`WireMsg::BatchRequest`]
+//! lookups from this store, so a peer that missed a batch's
+//! dissemination can resolve an ordered digest through the bounded
+//! re-request path.
+//!
+//! Concurrency: a single [`crate::sync::Mutex`] around the map.
+//! Writers are the worker batcher threads (own batches), the worker
+//! reader threads (peer batches), and the consensus thread (fetch
+//! responses); readers are the consensus thread (request serving) and
+//! cross-thread stat queries. No method acquires any other lock while
+//! holding the map lock, keeping the store a leaf in the runtime's
+//! lock order (`cargo xtask lint` checks the graph; the
+//! `batch-store` surface of `dagrider-check` explores the
+//! insert/lookup/stat interleavings).
+//!
+//! [`WireMsg::BatchRequest`]: crate::wire::WireMsg::BatchRequest
+
+use std::collections::BTreeMap;
+
+use dagrider_core::batch_digest;
+use dagrider_types::{Batch, BatchDigest};
+
+use crate::sync::{Mutex, PoisonError};
+
+/// Digest-keyed storage for disseminated transaction batches.
+#[derive(Debug, Default)]
+pub struct BatchStore {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    batches: BTreeMap<BatchDigest, Batch>,
+    payload_bytes: u64,
+}
+
+impl BatchStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts `batch`, keyed by its computed digest. Returns the digest
+    /// and whether the batch was new (re-insertion is a no-op — batches
+    /// are content-addressed, so a digest collision is the same batch).
+    pub fn insert(&self, batch: Batch) -> (BatchDigest, bool) {
+        let digest = batch_digest(&batch);
+        let bytes = batch.payload_bytes() as u64;
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let new = !inner.batches.contains_key(&digest);
+        if new {
+            inner.batches.insert(digest, batch);
+            inner.payload_bytes += bytes;
+        }
+        (digest, new)
+    }
+
+    /// The stored batch for `digest`, if present.
+    pub fn get(&self, digest: BatchDigest) -> Option<Batch> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner).batches.get(&digest).cloned()
+    }
+
+    /// Whether `digest` is present.
+    pub fn contains(&self, digest: BatchDigest) -> bool {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner).batches.contains_key(&digest)
+    }
+
+    /// Number of batches stored.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner).batches.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total transaction payload bytes across all stored batches.
+    pub fn payload_bytes(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner).payload_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use dagrider_types::{ProcessId, Transaction};
+
+    use super::*;
+
+    fn batch(tag: u64) -> Batch {
+        Batch::new(ProcessId::new(0), 0, vec![Transaction::synthetic(tag, 32)])
+    }
+
+    #[test]
+    fn insert_is_content_addressed_and_idempotent() {
+        let store = BatchStore::new();
+        let (digest, new) = store.insert(batch(1));
+        assert!(new);
+        assert_eq!(digest, batch_digest(&batch(1)));
+        let (again, new) = store.insert(batch(1));
+        assert_eq!(again, digest);
+        assert!(!new, "re-inserting the same content is a no-op");
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.payload_bytes(), 32);
+        assert_eq!(store.get(digest), Some(batch(1)));
+    }
+
+    #[test]
+    fn distinct_batches_store_separately() {
+        let store = BatchStore::new();
+        let (a, _) = store.insert(batch(1));
+        let (b, _) = store.insert(batch(2));
+        assert_ne!(a, b);
+        assert_eq!(store.len(), 2);
+        assert!(store.contains(a) && store.contains(b));
+        assert!(!store.contains(BatchDigest::new([9; 32])));
+        assert_eq!(store.get(BatchDigest::new([9; 32])), None);
+    }
+}

@@ -10,6 +10,11 @@
 //! and relaunches it; the replacement must rejoin through the sync
 //! protocol (and reconnect backoff) and still produce the same log.
 //!
+//! With `--workers N` (N > 0), each child runs N worker channels and
+//! submits its marker as a raw transaction: it is batched, disseminated
+//! peer-to-peer over worker connections, and ordered by digest —
+//! exercising the full decoupled data path end to end.
+//!
 //! Children are invoked as `cluster --child <i> --addrs ... --out FILE`;
 //! they write one line per ordered vertex followed by a `DONE` marker,
 //! then linger to serve sync requests until the parent kills them.
@@ -77,6 +82,7 @@ fn parent_main(args: &[String]) -> Result<(), String> {
     let max_round: u64 = parse_arg(args, "--max-round", DEFAULT_MAX_ROUND)?;
     let timeout = Duration::from_secs(parse_arg(args, "--timeout-secs", 120u64)?);
     let restart = args.iter().any(|a| a == "--restart");
+    let workers: usize = parse_arg(args, "--workers", 0)?;
 
     let dir = match arg_value(args, "--dir") {
         Some(d) => PathBuf::from(d),
@@ -102,13 +108,15 @@ fn parent_main(args: &[String]) -> Result<(), String> {
                 &max_round.to_string(),
                 "--out",
                 &out_path(i).display().to_string(),
+                "--workers",
+                &workers.to_string(),
             ])
             .spawn()
             .map_err(|e| format!("spawn child {i}: {e}"))
     };
 
     eprintln!(
-        "cluster: n={n} seed={seed} max_round={max_round} restart={restart} dir={}",
+        "cluster: n={n} seed={seed} max_round={max_round} restart={restart} workers={workers} dir={}",
         dir.display()
     );
     let mut children: Vec<Child> = (0..n).map(spawn_child).collect::<Result<_, _>>()?;
@@ -236,6 +244,7 @@ fn child_main(args: &[String]) -> Result<(), String> {
     let index: usize = parse_arg(args, "--child", usize::MAX)?;
     let seed: u64 = parse_arg(args, "--seed", DEFAULT_SEED)?;
     let max_round: u64 = parse_arg(args, "--max-round", DEFAULT_MAX_ROUND)?;
+    let workers: usize = parse_arg(args, "--workers", 0)?;
     let out = arg_value(args, "--out").ok_or("--out is required")?;
     let addrs: Vec<SocketAddr> = arg_value(args, "--addrs")
         .ok_or("--addrs is required")?
@@ -258,7 +267,8 @@ fn child_main(args: &[String]) -> Result<(), String> {
 
     let node_config = NodeConfig::default().with_max_round(max_round);
     let process_seed = seed.wrapping_mul(0x9e37_79b9).wrapping_add(index as u64);
-    let config = NetConfig::new(committee, me, addrs.clone(), node_config, my_keys, process_seed);
+    let config = NetConfig::new(committee, me, addrs.clone(), node_config, my_keys, process_seed)
+        .with_workers(workers);
 
     // A restarted process can race the kernel's teardown of its
     // predecessor's socket, so retry the bind briefly.
@@ -266,11 +276,17 @@ fn child_main(args: &[String]) -> Result<(), String> {
     let node =
         NetNode::start::<BrachaRbc>(config, Some(listener)).map_err(|e| format!("start: {e}"))?;
 
-    // Submit our marker block immediately: the engine queues it until its
+    // Submit our marker immediately: the engine queues it until its
     // first proposal, so it rides the earliest possible vertex (on
     // localhost the whole run can finish in under a second — waiting for
     // the sync phase could miss the last proposal round entirely).
-    node.submit(Block::new(me, SeqNum::new(1), vec![marker_tx(index)]));
+    // With workers enabled the marker goes through a worker channel:
+    // batched, disseminated peer-to-peer, and ordered by digest.
+    if workers > 0 {
+        node.submit_tx(marker_tx(index));
+    } else {
+        node.submit(Block::new(me, SeqNum::new(1), vec![marker_tx(index)]));
+    }
 
     // Wait for quiescence: rounds exhausted and the log stable.
     let mut last_len = 0;

@@ -11,6 +11,10 @@
 //! * [`backoff`] — capped exponential reconnect delays.
 //! * [`queue`] — bounded per-peer outbound queues with drop-oldest
 //!   backpressure.
+//! * [`batch`] — [`BatchStore`], the digest-keyed in-memory store for
+//!   disseminated transaction batches.
+//! * `worker` (crate-private) — worker channels: transaction batching
+//!   and peer-to-peer batch dissemination off the consensus path.
 //! * [`runtime`] — [`NetNode`]: one DAG-Rider process as a thread-per-peer
 //!   TCP runtime with graceful shutdown.
 //! * [`sync`] — the shimmed concurrency primitives every module above
@@ -32,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod backoff;
+pub mod batch;
 pub mod frame;
 pub mod queue;
 pub mod runtime;
@@ -39,8 +44,10 @@ pub mod signal;
 pub mod sync;
 pub(crate) mod verify;
 pub mod wire;
+pub(crate) mod worker;
 
 pub use backoff::Backoff;
+pub use batch::BatchStore;
 pub use frame::{read_frame, write_frame, Frame, FramePool, MAX_FRAME_LEN};
 pub use queue::{Pop, SendQueue};
 pub use runtime::{NetConfig, NetNode};

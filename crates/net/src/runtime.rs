@@ -30,9 +30,13 @@ use dagrider_core::{
 };
 use dagrider_crypto::CoinKeys;
 use dagrider_rbc::ReliableBroadcast;
-use dagrider_types::{Block, Committee, Decode, Encode, ProcessId, Round, Time, Wave};
+use dagrider_trace::TraceEvent;
+use dagrider_types::{
+    Batch, BatchDigest, Block, Committee, Decode, Encode, ProcessId, Round, Time, Transaction, Wave,
+};
 
 use crate::backoff::Backoff;
+use crate::batch::BatchStore;
 use crate::frame::{read_frame, write_frame, FramePool};
 use crate::queue::{Pop, SendQueue};
 use crate::signal::Shutdown;
@@ -42,6 +46,9 @@ use crate::sync::thread::{self, JoinHandle};
 use crate::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use crate::verify::{PoolControl, VerifyPool};
 use crate::wire::WireMsg;
+use crate::worker::{
+    batch_loop, batch_reader_loop, worker_writer_loop, BatchLane, BatchPolicy, PendingAck,
+};
 
 /// Configuration for one cluster process.
 #[derive(Debug, Clone)]
@@ -69,6 +76,27 @@ pub struct NetConfig {
     /// Verification worker threads (digest + DLEQ checks off the
     /// consensus thread). At least one.
     pub verify_workers: usize,
+    /// Batch-dissemination worker channels. Zero disables the batch
+    /// layer entirely (inline [`NetNode::submit`] still works).
+    pub workers: usize,
+    /// A worker seals its pending batch once transaction payload
+    /// reaches this size.
+    pub batch_max_bytes: usize,
+    /// ... or once the oldest pending transaction is this old, so a
+    /// trickle of traffic still reaches consensus promptly.
+    pub batch_interval: Duration,
+    /// How long consensus waits for peer [`BatchAck`]s before releasing
+    /// a sealed digest into a vertex payload anyway (the engine's
+    /// bounded fetch path covers peers that missed the push).
+    ///
+    /// [`BatchAck`]: crate::wire::WireMsg::BatchAck
+    pub ack_timeout: Duration,
+    /// Listen addresses the *worker* connections dial, indexed by
+    /// process id; `None` means the consensus addresses ([`NetConfig::addrs`]).
+    /// A deployment would point this at a data-plane NIC; tests point
+    /// individual entries at a black hole to force the missing-batch
+    /// fetch path.
+    pub worker_addrs: Option<Vec<SocketAddr>>,
 }
 
 impl NetConfig {
@@ -96,6 +124,11 @@ impl NetConfig {
             // cores to spare; a single worker otherwise.
             verify_workers: thread::available_parallelism()
                 .map_or(1, |n| n.get().saturating_sub(1).clamp(1, 4)),
+            workers: 1,
+            batch_max_bytes: 64 * 1024,
+            batch_interval: Duration::from_millis(10),
+            ack_timeout: Duration::from_secs(1),
+            worker_addrs: None,
         }
     }
 
@@ -112,6 +145,43 @@ impl NetConfig {
         self.verify_workers = workers.max(1);
         self
     }
+
+    /// Overrides the batch-dissemination worker channel count (0
+    /// disables the batch layer).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Overrides the batch size bound.
+    #[must_use]
+    pub fn with_batch_max_bytes(mut self, bytes: usize) -> Self {
+        self.batch_max_bytes = bytes.max(1);
+        self
+    }
+
+    /// Overrides the batch age bound.
+    #[must_use]
+    pub fn with_batch_interval(mut self, interval: Duration) -> Self {
+        self.batch_interval = interval;
+        self
+    }
+
+    /// Overrides the ack-quorum wait for sealed digests.
+    #[must_use]
+    pub fn with_ack_timeout(mut self, timeout: Duration) -> Self {
+        self.ack_timeout = timeout;
+        self
+    }
+
+    /// Overrides the addresses worker connections dial (fault-injection
+    /// seam; defaults to the consensus addresses).
+    #[must_use]
+    pub fn with_worker_addrs(mut self, addrs: Vec<SocketAddr>) -> Self {
+        self.worker_addrs = Some(addrs);
+        self
+    }
 }
 
 /// Everything that can wake the consensus thread.
@@ -123,6 +193,24 @@ pub(crate) enum Event {
     Verified(VerifiedInput),
     /// A client block submission.
     Submit(Block),
+    /// A local worker sealed and disseminated a batch: hand it to the
+    /// engine's batch map and start the ack-quorum wait on its digest.
+    OwnBatch {
+        /// The batch's digest (computed off-thread by the worker).
+        digest: BatchDigest,
+        /// The sealed batch.
+        batch: Batch,
+    },
+    /// A peer's worker connection pushed a batch (already in the
+    /// [`BatchStore`]): hand it to the engine and acknowledge.
+    PeerBatch {
+        /// The pushing peer.
+        from: ProcessId,
+        /// The batch's digest (computed off-thread by the reader).
+        digest: BatchDigest,
+        /// The received batch.
+        batch: Batch,
+    },
     /// A writer (re-)established its connection to `peer`.
     LinkUp(ProcessId),
     /// Stop the consensus loop.
@@ -162,6 +250,10 @@ pub struct NetNode {
     queues: Vec<Arc<SendQueue>>,
     reader_socks: Arc<Mutex<Vec<TcpStream>>>,
     verify: Arc<dyn PoolControl>,
+    store: Arc<BatchStore>,
+    worker_txs: Vec<Sender<Transaction>>,
+    worker_queues: Vec<Arc<SendQueue>>,
+    next_worker: AtomicU64,
     stop: Arc<Shutdown>,
     threads: Vec<JoinHandle<()>>,
 }
@@ -185,6 +277,12 @@ impl NetNode {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
                 "need one address per committee member",
+            ));
+        }
+        if config.worker_addrs.as_ref().is_some_and(|a| a.len() != committee.n()) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "need one worker address per committee member",
             ));
         }
         let listener = match listener {
@@ -216,25 +314,97 @@ impl NetNode {
                 writer_loop(me, peer, peer_addr, &queue, &writer_tx, &writer_stop);
             }));
         }
+        let store = Arc::new(BatchStore::new());
         {
             let accept_tx = tx.clone();
             let accept_stop = Arc::clone(&stop);
             let socks = Arc::clone(&reader_socks);
             let accept_verify = Arc::clone(&verify);
+            let accept_store = Arc::clone(&store);
             threads.push(thread::spawn(move || {
-                accept_loop(&listener, committee, &accept_tx, &accept_stop, &socks, &accept_verify);
+                accept_loop(
+                    &listener,
+                    committee,
+                    &accept_tx,
+                    &accept_stop,
+                    &socks,
+                    &accept_verify,
+                    &accept_store,
+                );
             }));
         }
+
+        // The batch-dissemination workers: per worker channel, one
+        // batcher plus one dedicated writer connection per peer.
+        let policy =
+            BatchPolicy { max_bytes: config.batch_max_bytes, max_delay: config.batch_interval };
+        let dial_addrs = config.worker_addrs.clone().unwrap_or_else(|| config.addrs.clone());
+        let mut worker_txs = Vec::new();
+        let mut worker_queues = Vec::new();
+        for worker in 0..config.workers {
+            let worker = u32::try_from(worker).unwrap_or(u32::MAX);
+            let (batch_tx, batch_rx) = mpsc::channel::<Transaction>();
+            worker_txs.push(batch_tx);
+            let mut peer_queues = Vec::new();
+            for peer in committee.others(me) {
+                let queue = Arc::new(SendQueue::new(config.queue_capacity));
+                let peer_addr = dial_addrs[peer.as_usize()];
+                let writer_queue = Arc::clone(&queue);
+                let writer_stop = Arc::clone(&stop);
+                threads.push(thread::spawn(move || {
+                    worker_writer_loop(me, worker, peer_addr, &writer_queue, &writer_stop);
+                }));
+                peer_queues.push(queue);
+            }
+            worker_queues.extend(peer_queues.iter().cloned());
+            let batcher_store = Arc::clone(&store);
+            let batcher_consensus = tx.clone();
+            let batcher_stop = Arc::clone(&stop);
+            threads.push(thread::spawn(move || {
+                let lane = BatchLane {
+                    me,
+                    worker,
+                    store: &batcher_store,
+                    peer_queues: &peer_queues,
+                    consensus: &batcher_consensus,
+                };
+                batch_loop(&lane, &batch_rx, policy, &batcher_stop);
+            }));
+        }
+
         {
             let state = Arc::clone(&published);
             let consensus_queues = queues.clone();
             let consensus_stop = Arc::clone(&stop);
+            let consensus_store = Arc::clone(&store);
             threads.push(thread::spawn(move || {
-                consensus_loop::<B>(config, rx, &consensus_queues, &state, &consensus_stop);
+                consensus_loop::<B>(
+                    config,
+                    rx,
+                    &consensus_queues,
+                    &state,
+                    &consensus_stop,
+                    &consensus_store,
+                );
             }));
         }
 
-        Ok(Self { me, committee, addr, tx, published, queues, reader_socks, verify, stop, threads })
+        Ok(Self {
+            me,
+            committee,
+            addr,
+            tx,
+            published,
+            queues,
+            reader_socks,
+            verify,
+            store,
+            worker_txs,
+            worker_queues,
+            next_worker: AtomicU64::new(0),
+            stop,
+            threads,
+        })
     }
 
     /// This process's identity.
@@ -254,8 +424,40 @@ impl NetNode {
 
     /// Submits a block of transactions for atomic broadcast. Returns
     /// `false` after shutdown.
+    ///
+    /// The inline path: the block's bytes ride a vertex payload through
+    /// reliable broadcast. For throughput, prefer [`NetNode::submit_tx`],
+    /// which disseminates transaction bytes over worker connections and
+    /// hands consensus only a digest.
     pub fn submit(&self, block: Block) -> bool {
         self.tx.send(Event::Submit(block)).is_ok()
+    }
+
+    /// Submits one transaction to a batch-dissemination worker channel
+    /// (round-robin). Returns `false` when the batch layer is disabled
+    /// (`workers == 0`) or the node is shutting down.
+    pub fn submit_tx(&self, tx: Transaction) -> bool {
+        if self.worker_txs.is_empty() {
+            return false;
+        }
+        let at = self.next_worker.fetch_add(1, AtomicOrdering::Relaxed) as usize;
+        self.worker_txs[at % self.worker_txs.len()].send(tx).is_ok()
+    }
+
+    /// Number of batch-dissemination worker channels.
+    pub fn workers(&self) -> usize {
+        self.worker_txs.len()
+    }
+
+    /// Batches currently held in the shared [`BatchStore`] (own and
+    /// received).
+    pub fn batches_stored(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Total transaction payload bytes across stored batches.
+    pub fn batch_payload_bytes(&self) -> u64 {
+        self.store.payload_bytes()
     }
 
     /// Snapshot of the ordered log so far.
@@ -291,9 +493,10 @@ impl NetNode {
         self.published.synced.load(AtomicOrdering::Relaxed)
     }
 
-    /// Total outbound frames dropped to queue overflow, across all peers.
+    /// Total outbound frames dropped to queue overflow, across all
+    /// consensus and worker queues.
     pub fn dropped_frames(&self) -> u64 {
-        self.queues.iter().map(|q| q.dropped()).sum()
+        self.queues.iter().chain(&self.worker_queues).map(|q| q.dropped()).sum()
     }
 
     /// Coin shares the verification pool dropped for invalid proofs.
@@ -314,7 +517,10 @@ impl NetNode {
     pub fn shutdown(&mut self) {
         self.stop.signal();
         let _ = self.tx.send(Event::Shutdown);
-        for queue in &self.queues {
+        // Dropping the transaction senders disconnects the batcher
+        // threads' channels; each flushes its pending batch and exits.
+        self.worker_txs.clear();
+        for queue in self.queues.iter().chain(&self.worker_queues) {
             queue.close();
         }
         for sock in lock_unpoisoned(&self.reader_socks).drain(..) {
@@ -403,6 +609,7 @@ fn accept_loop<B: ReliableBroadcast + 'static>(
     stop: &Shutdown,
     socks: &Mutex<Vec<TcpStream>>,
     verify: &Arc<VerifyPool<B>>,
+    store: &Arc<BatchStore>,
 ) {
     while !stop.is_signalled() {
         match listener.accept() {
@@ -416,10 +623,11 @@ fn accept_loop<B: ReliableBroadcast + 'static>(
                 }
                 let reader_tx = tx.clone();
                 let reader_verify = Arc::clone(verify);
+                let reader_store = Arc::clone(store);
                 // Detached: exits on EOF/error (peer gone or our shutdown
                 // closed the socket) or when consensus hangs up the channel.
                 drop(thread::spawn(move || {
-                    reader_loop(stream, committee, &reader_tx, &reader_verify);
+                    reader_loop(stream, committee, &reader_tx, &reader_verify, &reader_store);
                 }));
             }
             Err(_) => {
@@ -434,18 +642,28 @@ fn accept_loop<B: ReliableBroadcast + 'static>(
 }
 
 /// Reads frames off one inbound connection. The first frame must be a
-/// valid `Hello` from a committee member; anything malformed closes the
-/// connection (the peer's writer will redial and re-identify). Engine
-/// payloads detour through the verification pool; transport/sync messages
-/// go straight to consensus.
+/// valid `Hello` (consensus connection) or `WorkerHello` (batch push
+/// stream) from a committee member; anything malformed closes the
+/// connection (the peer's writer will redial and re-identify). Worker
+/// connections hand off to [`batch_reader_loop`]; on the consensus
+/// connection, engine payloads detour through the verification pool
+/// while transport/sync/batch messages go straight to consensus.
 fn reader_loop<B: ReliableBroadcast + 'static>(
     mut stream: TcpStream,
     committee: Committee,
     tx: &Sender<Event>,
     verify: &VerifyPool<B>,
+    store: &BatchStore,
 ) {
     let hello = read_frame(&mut stream).ok().and_then(|b| WireMsg::from_bytes(&b).ok());
-    let Some(WireMsg::Hello(from)) = hello else { return };
+    let from = match hello {
+        Some(WireMsg::Hello(from)) => from,
+        Some(WireMsg::WorkerHello { from, worker: _ }) if committee.contains(from) => {
+            batch_reader_loop(stream, from, store, tx);
+            return;
+        }
+        _ => return,
+    };
     if !committee.contains(from) {
         return;
     }
@@ -476,6 +694,7 @@ fn consensus_loop<B: ReliableBroadcast>(
     queues: &[Arc<SendQueue>],
     published: &Published,
     stop: &Shutdown,
+    store: &BatchStore,
 ) {
     let committee = config.committee;
     let me = config.me;
@@ -509,6 +728,12 @@ fn consensus_loop<B: ReliableBroadcast>(
                 EngineOutput::SetTimer { delay, tag } => {
                     timers.push((Instant::now() + Duration::from_millis(delay), tag));
                 }
+                EngineOutput::FetchBatches { from, digests } => {
+                    // The engine ordered a digest whose batch never
+                    // arrived: ask `from` on the consensus connection
+                    // (mirrors the sync shortfall re-request).
+                    queues[from.as_usize()].push(frames.encode(&WireMsg::BatchRequest { digests }));
+                }
                 // Ordered vertices are published from the engine's own log
                 // below; nothing to route.
                 EngineOutput::Ordered(_) => {}
@@ -531,6 +756,16 @@ fn consensus_loop<B: ReliableBroadcast>(
     let mut sync_deadline = Instant::now() + config.sync_timeout;
     let mut live = false;
     let mut published_len = 0usize;
+
+    // Digests sealed by our own workers, awaiting peer acks before the
+    // engine may propose them. Lives entirely on this thread — acks
+    // arrive as consensus-connection frames, so no lock is needed. A
+    // digest is released into `SubmitDigests` once `quorum() - 1` peers
+    // acknowledge (our own store is the implicit quorum member) or the
+    // ack deadline passes; the engine's bounded fetch path covers any
+    // peer that missed the push.
+    let ack_quorum = committee.quorum().saturating_sub(1);
+    let mut acks: Vec<PendingAck> = Vec::new();
 
     loop {
         let event = rx.recv_timeout(config.tick);
@@ -568,7 +803,32 @@ fn consensus_loop<B: ReliableBroadcast>(
                         awaiting_sync.remove(&from);
                     }
                 }
-                WireMsg::Hello(_) => {}
+                WireMsg::BatchRequest { digests } => {
+                    serve_batches(store, &digests, &queues[from.as_usize()], &frames);
+                }
+                WireMsg::Batch(batch) => {
+                    // A fetch response on the consensus connection (the
+                    // steady-state push stream lands on worker
+                    // connections, not here). Store it, then let the
+                    // engine resolve whatever deliveries wait on it.
+                    let (digest, _) = store.insert(batch.clone());
+                    let input = EngineInput::PreVerified(VerifiedInput::Batch { digest, batch });
+                    let outs = engine.handle(engine_now(epoch), input, &mut rng);
+                    route(outs, &mut timers);
+                }
+                WireMsg::BatchAck { digest } => {
+                    engine.tracer().set_now(engine_now(epoch));
+                    engine.tracer().record(TraceEvent::BatchAcked { digest, by: from });
+                    if let Some(at) = acks.iter().position(|p| p.digest == digest) {
+                        if acks[at].record(from) >= ack_quorum {
+                            let released = acks.swap_remove(at).digest;
+                            let input = EngineInput::SubmitDigests(vec![released]);
+                            let outs = engine.handle(engine_now(epoch), input, &mut rng);
+                            route(outs, &mut timers);
+                        }
+                    }
+                }
+                WireMsg::Hello(_) | WireMsg::WorkerHello { .. } => {}
             },
             Ok(Event::Verified(verified)) => {
                 let input = EngineInput::PreVerified(verified);
@@ -578,6 +838,36 @@ fn consensus_loop<B: ReliableBroadcast>(
             Ok(Event::Submit(block)) => {
                 let outs =
                     engine.handle(engine_now(epoch), EngineInput::SubmitBlock(block), &mut rng);
+                route(outs, &mut timers);
+            }
+            Ok(Event::OwnBatch { digest, batch }) => {
+                // A local worker sealed and disseminated this batch.
+                // Trace its lifecycle, make it resolvable locally, and
+                // hold the digest until enough peers acknowledge.
+                let tracer = engine.tracer();
+                tracer.set_now(engine_now(epoch));
+                tracer.record(TraceEvent::BatchCreated {
+                    digest,
+                    bytes: batch.payload_bytes() as u64,
+                });
+                tracer.record(TraceEvent::BatchDisseminated { digest });
+                acks.push(PendingAck {
+                    digest,
+                    acked: Vec::new(),
+                    deadline: Instant::now() + config.ack_timeout,
+                });
+                let input = EngineInput::PreVerified(VerifiedInput::Batch { digest, batch });
+                let outs = engine.handle(engine_now(epoch), input, &mut rng);
+                route(outs, &mut timers);
+            }
+            Ok(Event::PeerBatch { from, digest, batch }) => {
+                // A peer's worker pushed this batch to us; acknowledge on
+                // the consensus connection so the creator can count us
+                // toward its release quorum. The reader already hashed
+                // the batch, so hand the engine the pre-verified route.
+                queues[from.as_usize()].push(frames.encode(&WireMsg::BatchAck { digest }));
+                let input = EngineInput::PreVerified(VerifiedInput::Batch { digest, batch });
+                let outs = engine.handle(engine_now(epoch), input, &mut rng);
                 route(outs, &mut timers);
             }
             Ok(Event::LinkUp(peer)) => {
@@ -597,6 +887,21 @@ fn consensus_loop<B: ReliableBroadcast>(
             if timers[i].0 <= now_instant {
                 let (_, tag) = timers.swap_remove(i);
                 let outs = engine.handle(engine_now(epoch), EngineInput::Timer { tag }, &mut rng);
+                route(outs, &mut timers);
+            } else {
+                i += 1;
+            }
+        }
+
+        // Release digests whose ack deadline passed without a quorum:
+        // laggards resolve them through the engine's fetch path instead
+        // of holding up the pipeline.
+        let mut i = 0;
+        while i < acks.len() {
+            if acks[i].deadline <= now_instant {
+                let released = acks.swap_remove(i).digest;
+                let input = EngineInput::SubmitDigests(vec![released]);
+                let outs = engine.handle(engine_now(epoch), input, &mut rng);
                 route(outs, &mut timers);
             } else {
                 i += 1;
@@ -633,6 +938,23 @@ fn consensus_loop<B: ReliableBroadcast>(
 /// regeneration equals re-send; `f + 1` peers answering reconstructs
 /// every coin), then `SyncEnd` carrying the vertex count so the
 /// requester can detect in-flight loss and re-request.
+/// Serves a peer's missing-batch fetch from the shared store: one
+/// [`WireMsg::Batch`] frame per digest we hold. Digests we lack are
+/// skipped — the requester's engine rotates to another peer on its
+/// fetch timer, so silence is a valid answer.
+fn serve_batches(
+    store: &BatchStore,
+    digests: &[BatchDigest],
+    queue: &SendQueue,
+    frames: &FramePool,
+) {
+    for &digest in digests {
+        if let Some(batch) = store.get(digest) {
+            queue.push(frames.encode_with(|buf| WireMsg::encode_batch_into(&batch, buf)));
+        }
+    }
+}
+
 fn serve_sync<B: ReliableBroadcast>(
     engine: &mut DagRiderEngine<B>,
     rng: &mut rand::rngs::StdRng,

@@ -7,7 +7,8 @@
 //! the exact byte format the sans-I/O engine emits.
 
 use dagrider_types::{
-    bytes_encoded_len, decode_bytes, encode_bytes, Decode, DecodeError, Encode, ProcessId, Vertex,
+    bytes_encoded_len, decode_bytes, encode_bytes, Batch, BatchDigest, Decode, DecodeError, Encode,
+    ProcessId, Vertex,
 };
 
 /// One message on a cluster TCP connection.
@@ -34,6 +35,37 @@ pub enum WireMsg {
         /// How many `SyncVertex` frames preceded this one.
         served: u64,
     },
+    /// Asks the peer to send the named batches (consensus connection):
+    /// the requester ordered a vertex carrying these digests but never
+    /// received the batches' dissemination. The peer answers with one
+    /// [`WireMsg::Batch`] per digest it holds; missing digests are
+    /// silently skipped — the requester's engine rotates to another
+    /// peer on its fetch timer.
+    BatchRequest {
+        /// The digests to resolve.
+        digests: Vec<BatchDigest>,
+    },
+    /// One transaction batch: the steady-state payload of a worker
+    /// connection's push stream, and the reply to a
+    /// [`WireMsg::BatchRequest`] on the consensus connection.
+    Batch(Batch),
+    /// First frame on a worker connection: identifies the dialing
+    /// process and which of its worker channels this stream carries.
+    /// Like [`WireMsg::Hello`], an authentication stand-in.
+    WorkerHello {
+        /// The dialing process.
+        from: ProcessId,
+        /// Its worker channel index.
+        worker: u32,
+    },
+    /// Acknowledges a disseminated batch by digest. Sent on the
+    /// *consensus* connection back to the batch's creator, which counts
+    /// acks toward the quorum that releases the digest into a vertex
+    /// payload (worker connections stay one-directional push streams).
+    BatchAck {
+        /// Digest of the batch being acknowledged.
+        digest: BatchDigest,
+    },
 }
 
 impl WireMsg {
@@ -44,6 +76,16 @@ impl WireMsg {
     pub fn encode_engine_into(payload: &[u8], buf: &mut Vec<u8>) {
         1u8.encode(buf);
         encode_bytes(payload, buf);
+    }
+
+    /// Encodes a `Batch(batch)` envelope straight from a borrowed batch —
+    /// byte-identical to `WireMsg::Batch(batch.clone())`'s encoding,
+    /// minus the clone. Worker fan-out pairs this with
+    /// `FramePool::encode_with` so each sealed batch is encoded exactly
+    /// once for all peers.
+    pub fn encode_batch_into(batch: &Batch, buf: &mut Vec<u8>) {
+        6u8.encode(buf);
+        batch.encode(buf);
     }
 }
 
@@ -67,6 +109,23 @@ impl Encode for WireMsg {
                 4u8.encode(buf);
                 served.encode(buf);
             }
+            WireMsg::BatchRequest { digests } => {
+                5u8.encode(buf);
+                digests.encode(buf);
+            }
+            WireMsg::Batch(batch) => {
+                6u8.encode(buf);
+                batch.encode(buf);
+            }
+            WireMsg::WorkerHello { from, worker } => {
+                7u8.encode(buf);
+                from.encode(buf);
+                worker.encode(buf);
+            }
+            WireMsg::BatchAck { digest } => {
+                8u8.encode(buf);
+                digest.encode(buf);
+            }
         }
     }
 
@@ -77,6 +136,10 @@ impl Encode for WireMsg {
             WireMsg::SyncRequest => 0,
             WireMsg::SyncVertex(v) => v.encoded_len(),
             WireMsg::SyncEnd { served } => served.encoded_len(),
+            WireMsg::BatchRequest { digests } => digests.encoded_len(),
+            WireMsg::Batch(batch) => batch.encoded_len(),
+            WireMsg::WorkerHello { from, worker } => from.encoded_len() + worker.encoded_len(),
+            WireMsg::BatchAck { digest } => digest.encoded_len(),
         }
     }
 }
@@ -89,6 +152,13 @@ impl Decode for WireMsg {
             2 => Ok(WireMsg::SyncRequest),
             3 => Ok(WireMsg::SyncVertex(Vertex::decode(buf)?)),
             4 => Ok(WireMsg::SyncEnd { served: u64::decode(buf)? }),
+            5 => Ok(WireMsg::BatchRequest { digests: Vec::decode(buf)? }),
+            6 => Ok(WireMsg::Batch(Batch::decode(buf)?)),
+            7 => Ok(WireMsg::WorkerHello {
+                from: ProcessId::decode(buf)?,
+                worker: u32::decode(buf)?,
+            }),
+            8 => Ok(WireMsg::BatchAck { digest: BatchDigest::decode(buf)? }),
             _ => Err(DecodeError::Invalid("unknown wire message tag")),
         }
     }
@@ -97,7 +167,7 @@ impl Decode for WireMsg {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dagrider_types::{Block, Round, SeqNum, VertexBuilder, VertexRef};
+    use dagrider_types::{Block, Round, SeqNum, Transaction, VertexBuilder, VertexRef};
 
     #[test]
     fn every_variant_roundtrips() {
@@ -108,6 +178,11 @@ mod tests {
         )
         .strong_edges((0..3).map(|p| VertexRef::new(Round::new(2), ProcessId::new(p))))
         .build_unchecked();
+        let batch = Batch::new(
+            ProcessId::new(1),
+            2,
+            vec![Transaction::synthetic(7, 16), Transaction::synthetic(8, 0)],
+        );
         let msgs = [
             WireMsg::Hello(ProcessId::new(3)),
             WireMsg::Engine(vec![9, 8, 7]),
@@ -116,6 +191,14 @@ mod tests {
             WireMsg::SyncVertex(vertex),
             WireMsg::SyncEnd { served: 0 },
             WireMsg::SyncEnd { served: u64::MAX },
+            WireMsg::BatchRequest { digests: Vec::new() },
+            WireMsg::BatchRequest {
+                digests: vec![BatchDigest::new([7; 32]), BatchDigest::new([0; 32])],
+            },
+            WireMsg::Batch(batch),
+            WireMsg::Batch(Batch::new(ProcessId::new(0), 0, Vec::new())),
+            WireMsg::WorkerHello { from: ProcessId::new(2), worker: 3 },
+            WireMsg::BatchAck { digest: BatchDigest::new([0xaa; 32]) },
         ];
         for msg in msgs {
             let bytes = msg.to_bytes();
@@ -146,6 +229,114 @@ mod tests {
         let bytes = WireMsg::Engine(vec![1, 2, 3, 4]).to_bytes();
         for cut in 0..bytes.len() {
             assert!(WireMsg::from_bytes(&bytes[..cut]).is_err(), "cut at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn encode_batch_into_matches_the_owned_encoding() {
+        let batch = Batch::new(ProcessId::new(3), 1, vec![Transaction::synthetic(5, 64)]);
+        let mut fast = Vec::new();
+        WireMsg::encode_batch_into(&batch, &mut fast);
+        assert_eq!(fast, WireMsg::Batch(batch).to_bytes());
+    }
+
+    mod props {
+        use proptest::collection;
+        use proptest::prelude::*;
+
+        use super::*;
+
+        /// Deterministically derives a digest from a seed (the codec does
+        /// not care that it is not a real hash).
+        fn digest_from(seed: u64) -> BatchDigest {
+            let mut bytes = [0u8; 32];
+            for (i, byte) in bytes.iter_mut().enumerate() {
+                *byte = (seed
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(i as u64)
+                    .rotate_left((i % 61) as u32)
+                    & 0xff) as u8;
+            }
+            BatchDigest::new(bytes)
+        }
+
+        fn batch_from(creator: u32, worker: u32, ntx: usize, size: usize, tag: u64) -> Batch {
+            let txs: Vec<Transaction> = (0..ntx)
+                .map(|i| Transaction::synthetic(tag.wrapping_add(i as u64), size))
+                .collect();
+            Batch::new(ProcessId::new(creator), worker, txs)
+        }
+
+        /// One of the four batch-layer wire messages, chosen by `kind`.
+        fn msg_from(
+            kind: u8,
+            creator: u32,
+            worker: u32,
+            ntx: usize,
+            size: usize,
+            tag: u64,
+        ) -> WireMsg {
+            match kind % 4 {
+                0 => WireMsg::BatchRequest {
+                    digests: (0..ntx).map(|i| digest_from(tag.wrapping_add(i as u64))).collect(),
+                },
+                1 => WireMsg::Batch(batch_from(creator, worker, ntx, size, tag)),
+                2 => WireMsg::WorkerHello { from: ProcessId::new(creator), worker },
+                _ => WireMsg::BatchAck { digest: digest_from(tag) },
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Round-trip: every batch-layer wire message decodes back to
+            /// itself, and `encoded_len` matches the bytes produced.
+            #[test]
+            fn batch_wire_roundtrip(
+                kind in any::<u8>(),
+                creator in 0u32..64,
+                worker in 0u32..8,
+                ntx in 0usize..8,
+                size in 0usize..64,
+                tag in any::<u64>(),
+            ) {
+                let msg = msg_from(kind, creator, worker, ntx, size, tag);
+                let bytes = msg.to_bytes();
+                prop_assert_eq!(bytes.len(), msg.encoded_len());
+                prop_assert_eq!(WireMsg::from_bytes(&bytes), Ok(msg));
+            }
+
+            /// Strict prefix: no truncation of a valid encoding decodes.
+            #[test]
+            fn batch_wire_rejects_strict_prefixes(
+                kind in any::<u8>(),
+                creator in 0u32..64,
+                worker in 0u32..8,
+                ntx in 0usize..8,
+                size in 0usize..64,
+                tag in any::<u64>(),
+                cut in 0usize..4096,
+            ) {
+                let msg = msg_from(kind, creator, worker, ntx, size, tag);
+                let bytes = msg.to_bytes();
+                let cut = cut % bytes.len().max(1);
+                prop_assert!(WireMsg::from_bytes(&bytes[..cut]).is_err());
+            }
+
+            /// Unknown leading tags never decode, whatever follows them.
+            #[test]
+            fn unknown_wire_tags_are_rejected(
+                raw in any::<u8>(),
+                rest in collection::vec(any::<u8>(), 0..64),
+            ) {
+                let tag = 9u8.wrapping_add(raw % 247); // 9..=255: above every known tag
+                let mut bytes = vec![tag];
+                bytes.extend_from_slice(&rest);
+                prop_assert_eq!(
+                    WireMsg::from_bytes(&bytes),
+                    Err(DecodeError::Invalid("unknown wire message tag"))
+                );
+            }
         }
     }
 }

@@ -1,0 +1,313 @@
+//! Worker channels: transaction batching and peer-to-peer dissemination.
+//!
+//! This is the Narwhal-style decoupling of data dissemination from
+//! consensus (PAPERS.md, "Bullshark"): client transactions go to worker
+//! channels, never to the consensus thread. Each worker runs
+//!
+//! * a **batcher** thread that drains its transaction channel,
+//!   assembles size/time-bounded [`Batch`]es, stores them in the shared
+//!   [`BatchStore`], and fans each sealed batch out to every peer over
+//!   the worker's own TCP connections (one frame encoding shared by all
+//!   peers via [`FramePool`]);
+//! * one **worker writer** thread per peer, draining that peer's
+//!   bounded [`SendQueue`] into a dedicated connection announced with
+//!   [`WireMsg::WorkerHello`] — the same dial/backoff/requeue shape as
+//!   the consensus writer.
+//!
+//! Inbound, the accept loop routes `WorkerHello` connections to
+//! [`batch_reader_loop`], which stores received batches and notifies
+//! the consensus thread; consensus acknowledges on the consensus
+//! connection ([`WireMsg::BatchAck`]) and releases the digest into a
+//! vertex payload once a quorum has acknowledged (or an ack timeout
+//! expires — the engine's bounded fetch path covers stragglers).
+//!
+//! Consensus therefore carries a 32-byte digest per batch regardless of
+//! transaction size; throughput scales with worker count and network
+//! bandwidth instead of the consensus thread.
+
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use dagrider_types::{Batch, BatchDigest, Decode, Encode, ProcessId, Transaction};
+
+use crate::backoff::Backoff;
+use crate::batch::BatchStore;
+use crate::frame::{read_frame, write_frame, FramePool};
+use crate::queue::{Pop, SendQueue};
+use crate::runtime::Event;
+use crate::signal::Shutdown;
+use crate::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use crate::sync::Arc;
+use crate::wire::WireMsg;
+
+/// Batch assembly bounds for one worker channel.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BatchPolicy {
+    /// Seal as soon as pending transaction payload reaches this size.
+    pub max_bytes: usize,
+    /// Seal at this age even if underfull, so a trickle of transactions
+    /// still reaches consensus promptly.
+    pub max_delay: Duration,
+}
+
+/// Accumulates transactions and decides when a batch is due.
+#[derive(Debug)]
+pub(crate) struct Assembler {
+    policy: BatchPolicy,
+    pending: Vec<Transaction>,
+    pending_bytes: usize,
+    oldest: Option<Instant>,
+}
+
+impl Assembler {
+    pub(crate) fn new(policy: BatchPolicy) -> Self {
+        Self { policy, pending: Vec::new(), pending_bytes: 0, oldest: None }
+    }
+
+    /// Adds one transaction; returns `true` when the batch is now full
+    /// and should seal immediately.
+    pub(crate) fn push(&mut self, tx: Transaction, now: Instant) -> bool {
+        self.oldest.get_or_insert(now);
+        self.pending_bytes += tx.len();
+        self.pending.push(tx);
+        self.pending_bytes >= self.policy.max_bytes
+    }
+
+    /// Whether the pending batch's age bound has expired at `now`.
+    pub(crate) fn overdue(&self, now: Instant) -> bool {
+        self.oldest.is_some_and(|at| now.duration_since(at) >= self.policy.max_delay)
+    }
+
+    /// How long the batcher may sleep before the age bound fires.
+    pub(crate) fn nap(&self, now: Instant) -> Duration {
+        match self.oldest {
+            None => self.policy.max_delay,
+            Some(at) => (at + self.policy.max_delay).saturating_duration_since(now),
+        }
+    }
+
+    /// Takes the pending transactions, resetting the assembler. Empty
+    /// when nothing is pending — workers never seal empty batches.
+    pub(crate) fn take(&mut self) -> Vec<Transaction> {
+        self.pending_bytes = 0;
+        self.oldest = None;
+        std::mem::take(&mut self.pending)
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+/// Everything a batcher needs to seal and publish a batch: its identity
+/// plus the store, fan-out queues, and consensus channel it writes to.
+pub(crate) struct BatchLane<'a> {
+    pub me: ProcessId,
+    pub worker: u32,
+    pub store: &'a BatchStore,
+    pub peer_queues: &'a [Arc<SendQueue>],
+    pub consensus: &'a Sender<Event>,
+}
+
+/// The batcher thread body for worker channel `lane.worker` of process
+/// `lane.me`: drain the transaction channel, seal size/time-bounded
+/// batches, store and fan them out, and hand each sealed batch to
+/// consensus (which traces its lifecycle and releases the digest after
+/// ack quorum).
+pub(crate) fn batch_loop(
+    lane: &BatchLane<'_>,
+    rx: &Receiver<Transaction>,
+    policy: BatchPolicy,
+    stop: &Shutdown,
+) {
+    let frames = FramePool::new();
+    let mut assembler =
+        Assembler::new(BatchPolicy { max_bytes: policy.max_bytes.max(1), ..policy });
+    loop {
+        let now = Instant::now();
+        if stop.is_signalled() {
+            return;
+        }
+        if assembler.overdue(now) {
+            seal(lane, &mut assembler, &frames);
+        }
+        // Cap the nap so a signalled shutdown is noticed promptly even
+        // with an idle channel and a long age bound.
+        let nap = assembler.nap(now).clamp(Duration::from_millis(1), Duration::from_millis(50));
+        match rx.recv_timeout(nap) {
+            Ok(tx) => {
+                if assembler.push(tx, Instant::now()) {
+                    seal(lane, &mut assembler, &frames);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => {
+                // Shutdown: flush what is pending, then exit.
+                seal(lane, &mut assembler, &frames);
+                return;
+            }
+        }
+    }
+}
+
+/// Seals the pending transactions into a batch: store it, encode one
+/// frame shared by every peer queue, and notify consensus.
+fn seal(lane: &BatchLane<'_>, assembler: &mut Assembler, frames: &FramePool) {
+    if assembler.is_empty() {
+        return;
+    }
+    let batch = Batch::new(lane.me, lane.worker, assembler.take());
+    let (digest, _) = lane.store.insert(batch.clone());
+    let frame = frames.encode_with(|buf| WireMsg::encode_batch_into(&batch, buf));
+    for queue in lane.peer_queues {
+        queue.push(frame.clone());
+    }
+    let _ = lane.consensus.send(Event::OwnBatch { digest, batch });
+}
+
+/// One worker connection's writer: dial `peer`'s listener forever with
+/// capped jittered backoff, announce with [`WireMsg::WorkerHello`], and
+/// drain the queue — the consensus writer's shape, minus the link-up
+/// notification (worker links carry no sync protocol).
+pub(crate) fn worker_writer_loop(
+    me: ProcessId,
+    worker: u32,
+    addr: SocketAddr,
+    queue: &SendQueue,
+    stop: &Shutdown,
+) {
+    let jitter_seed =
+        (me.as_usize() as u64) << 48 | u64::from(worker) << 32 | u64::from(addr.port());
+    let mut backoff = Backoff::new(Duration::from_millis(50), Duration::from_secs(2))
+        .with_jitter(30, jitter_seed);
+    'reconnect: while !stop.is_signalled() {
+        let Ok(mut stream) = TcpStream::connect(addr) else {
+            if stop.wait_timeout(backoff.next_delay()) {
+                return;
+            }
+            continue 'reconnect;
+        };
+        let _ = stream.set_nodelay(true);
+        let hello = WireMsg::WorkerHello { from: me, worker }.to_bytes();
+        if write_frame(&mut stream, &hello).is_err() {
+            if stop.wait_timeout(backoff.next_delay()) {
+                return;
+            }
+            continue 'reconnect;
+        }
+        backoff.reset();
+        loop {
+            match queue.pop_timeout(Duration::from_millis(100)) {
+                Pop::Frame(frame) => {
+                    use std::io::Write as _;
+                    if stream.write_all(frame.wire_bytes()).and_then(|()| stream.flush()).is_err() {
+                        queue.requeue_front(frame);
+                        continue 'reconnect;
+                    }
+                }
+                Pop::TimedOut => {
+                    if stop.is_signalled() {
+                        return;
+                    }
+                }
+                Pop::Closed => return,
+            }
+        }
+    }
+}
+
+/// Reads one inbound worker connection after its `WorkerHello`: every
+/// subsequent frame must be a [`WireMsg::Batch`] created by the peer
+/// that dialed (workers push only their own batches; anything else is
+/// protocol abuse and closes the connection). Batches are stored and
+/// consensus is notified — it acknowledges on the consensus connection.
+pub(crate) fn batch_reader_loop(
+    mut stream: TcpStream,
+    from: ProcessId,
+    store: &BatchStore,
+    tx: &Sender<Event>,
+) {
+    loop {
+        let Ok(bytes) = read_frame(&mut stream) else { return };
+        let Ok(msg) = WireMsg::from_bytes(&bytes) else { return };
+        let WireMsg::Batch(batch) = msg else { return };
+        if batch.creator() != from {
+            return;
+        }
+        let (digest, _) = store.insert(batch.clone());
+        if tx.send(Event::PeerBatch { from, digest, batch }).is_err() {
+            return; // consensus hung up: the node is stopping
+        }
+    }
+}
+
+/// A digest sealed by a local worker, awaiting peer acknowledgements
+/// before consensus proposes it. Tracked by the consensus thread.
+#[derive(Debug)]
+pub(crate) struct PendingAck {
+    /// The digest being acknowledged.
+    pub digest: BatchDigest,
+    /// Peers that have acknowledged so far.
+    pub acked: Vec<ProcessId>,
+    /// When the ack wait expires and the digest is released anyway —
+    /// the engine's fetch path covers any peer that missed the push.
+    pub deadline: Instant,
+}
+
+impl PendingAck {
+    /// Records an ack from `peer`; returns the total distinct acks.
+    pub(crate) fn record(&mut self, peer: ProcessId) -> usize {
+        if !self.acked.contains(&peer) {
+            self.acked.push(peer);
+        }
+        self.acked.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx(tag: u64, size: usize) -> Transaction {
+        Transaction::synthetic(tag, size)
+    }
+
+    #[test]
+    fn assembler_seals_on_size() {
+        let mut a =
+            Assembler::new(BatchPolicy { max_bytes: 64, max_delay: Duration::from_secs(10) });
+        let now = Instant::now();
+        assert!(!a.push(tx(1, 32), now), "32 of 64 bytes: not full");
+        assert!(a.push(tx(2, 32), now), "64 of 64 bytes: full");
+        let txs = a.take();
+        assert_eq!(txs.len(), 2);
+        assert!(a.is_empty());
+        assert!(!a.overdue(now + Duration::from_secs(60)), "empty assembler is never overdue");
+    }
+
+    #[test]
+    fn assembler_seals_on_age() {
+        let mut a = Assembler::new(BatchPolicy {
+            max_bytes: 1 << 20,
+            max_delay: Duration::from_millis(10),
+        });
+        let start = Instant::now();
+        a.push(tx(1, 8), start);
+        assert!(!a.overdue(start));
+        assert!(a.overdue(start + Duration::from_millis(10)));
+        assert!(a.nap(start) <= Duration::from_millis(10));
+        assert_eq!(a.take().len(), 1);
+    }
+
+    #[test]
+    fn pending_ack_counts_distinct_peers() {
+        let mut pending = PendingAck {
+            digest: BatchDigest::new([1; 32]),
+            acked: Vec::new(),
+            deadline: Instant::now(),
+        };
+        assert_eq!(pending.record(ProcessId::new(1)), 1);
+        assert_eq!(pending.record(ProcessId::new(1)), 1, "duplicate ack does not double-count");
+        assert_eq!(pending.record(ProcessId::new(2)), 2);
+    }
+}

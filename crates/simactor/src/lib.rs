@@ -111,6 +111,11 @@ impl<B: ReliableBroadcast> SimActor<B> {
                 EngineOutput::Send { to, payload } => ctx.send(to, payload),
                 EngineOutput::Broadcast { payload } => ctx.broadcast_to_others(payload),
                 EngineOutput::SetTimer { delay, tag } => ctx.schedule(delay, tag),
+                // Simulation drivers submit inline payloads, never bare
+                // digests, so a missing-batch fetch can only fire if a
+                // test feeds digests directly — and then it drives the
+                // engine itself, not through this actor.
+                EngineOutput::FetchBatches { .. } => {}
                 EngineOutput::Ordered(_) => {}
             }
         }

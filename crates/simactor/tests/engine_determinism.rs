@@ -70,7 +70,9 @@ fn direct_harness_run_replays_byte_identically() {
                         wire.push_back((from, to, payload.to_vec()));
                     }
                 }
-                EngineOutput::SetTimer { .. } | EngineOutput::Ordered(_) => {}
+                EngineOutput::SetTimer { .. }
+                | EngineOutput::Ordered(_)
+                | EngineOutput::FetchBatches { .. } => {}
             }
         }
     };
@@ -102,6 +104,124 @@ fn direct_harness_run_replays_byte_identically() {
         assert_eq!(fresh.io_log(), engines[i].io_log(), "{p}: I/O streams diverge on replay");
         assert_eq!(fresh.ordered(), engines[i].ordered(), "{p}: ordered logs diverge on replay");
         assert_eq!(fresh.decided_wave(), engines[i].decided_wave());
+    }
+}
+
+#[test]
+#[allow(clippy::type_complexity)] // the `submit` injector's signature is the test's whole point
+fn digest_payloads_order_identically_to_inline_payloads() {
+    // Decoupling data from consensus must not change consensus: a
+    // cluster whose processes propose digest-list payloads (batches
+    // pre-stored everywhere, as after worker dissemination) must order
+    // the same vertex sequence as one proposing the same transactions
+    // inline — and resolve each delivery to the same transactions.
+    use dagrider_core::batch_digest;
+    use dagrider_types::{Batch, Block, SeqNum, Transaction};
+
+    let committee = Committee::new(4).unwrap();
+    let mut key_rng = StdRng::seed_from_u64(313);
+    let keys = deal_coin_keys(&committee, &mut key_rng);
+    let config = NodeConfig::default().with_max_round(16);
+    let txs_of = |p: ProcessId| -> Vec<Transaction> {
+        vec![Transaction::synthetic(40 + p.as_usize() as u64, 32)]
+    };
+
+    // Runs a 4-engine FIFO-wire cluster to quiescence; `submit` injects
+    // each process's payload before start.
+    let run = |submit: &dyn Fn(
+        &mut DagRiderEngine<BrachaRbc>,
+        ProcessId,
+        &mut StdRng,
+    ) -> Vec<EngineOutput>| {
+        let mut engines: Vec<DagRiderEngine<BrachaRbc>> = committee
+            .members()
+            .zip(keys.clone())
+            .map(|(p, k)| DagRiderEngine::new(committee, p, k, config.clone()))
+            .collect();
+        let mut rngs: Vec<StdRng> = (0..4).map(|i| StdRng::seed_from_u64(700 + i)).collect();
+        let mut wire: VecDeque<(ProcessId, ProcessId, Vec<u8>)> = VecDeque::new();
+        let route = |from: ProcessId,
+                     outs: &[EngineOutput],
+                     wire: &mut VecDeque<(ProcessId, ProcessId, Vec<u8>)>| {
+            for out in outs {
+                match out {
+                    EngineOutput::Send { to, payload } => {
+                        wire.push_back((from, *to, payload.to_vec()));
+                    }
+                    EngineOutput::Broadcast { payload } => {
+                        for to in committee.others(from) {
+                            wire.push_back((from, to, payload.to_vec()));
+                        }
+                    }
+                    EngineOutput::SetTimer { .. }
+                    | EngineOutput::Ordered(_)
+                    | EngineOutput::FetchBatches { .. } => {}
+                }
+            }
+        };
+        for p in committee.members() {
+            // Pre-start submissions self-start the engine (the first
+            // proposal fires off the genesis quorum), so collect their
+            // outputs too and only call start() if it is still pending —
+            // the same gate the TCP runtime applies after sync.
+            let outs = submit(&mut engines[p.as_usize()], p, &mut rngs[p.as_usize()]);
+            route(p, &outs, &mut wire);
+            if engines[p.as_usize()].current_round() == dagrider_types::Round::GENESIS
+                && !engines[p.as_usize()].is_started()
+            {
+                let outs = engines[p.as_usize()].start(Time::ZERO, &mut rngs[p.as_usize()]);
+                route(p, &outs, &mut wire);
+            }
+        }
+        let mut t = 0u64;
+        while let Some((from, to, payload)) = wire.pop_front() {
+            t += 1;
+            let outs = engines[to.as_usize()].handle(
+                Time::new(t),
+                EngineInput::Message { from, payload },
+                &mut rngs[to.as_usize()],
+            );
+            route(to, &outs, &mut wire);
+        }
+        engines
+    };
+
+    // Inline: each process proposes its transactions as a block.
+    let inline = run(&|engine, p, rng| {
+        let block = Block::new(p, SeqNum::new(1), txs_of(p));
+        engine.handle(Time::ZERO, EngineInput::SubmitBlock(block), rng)
+    });
+    // Digest: every batch is pre-stored on every engine (the post-
+    // dissemination state), then each process proposes its digest.
+    let batches: Vec<Batch> = committee.members().map(|p| Batch::new(p, 0, txs_of(p))).collect();
+    let digest = run(&|engine, p, rng| {
+        let mut outs = Vec::new();
+        for batch in &batches {
+            outs.extend(engine.handle(Time::ZERO, EngineInput::BatchStored(batch.clone()), rng));
+        }
+        let digest = batch_digest(&batches[p.as_usize()]);
+        outs.extend(engine.handle(Time::ZERO, EngineInput::SubmitDigests(vec![digest]), rng));
+        outs
+    });
+
+    for p in committee.members() {
+        let i = p.as_usize();
+        let a = inline[i].ordered();
+        let b = digest[i].ordered();
+        assert!(!a.is_empty(), "{p}: inline cluster ordered nothing");
+        assert_eq!(a.len(), b.len(), "{p}: ordered log lengths diverge");
+        for (ea, eb) in a.iter().zip(b.iter()) {
+            assert_eq!(ea.vertex, eb.vertex, "{p}: vertex order diverges");
+            assert_eq!(ea.committed_in_wave, eb.committed_in_wave, "{p}: wave diverges");
+            assert_eq!(
+                ea.block.transactions(),
+                eb.block.transactions(),
+                "{p}: resolved transactions diverge at {:?}",
+                ea.vertex
+            );
+        }
+        assert_eq!(inline[i].decided_wave(), digest[i].decided_wave());
+        assert_eq!(digest[i].fetches_sent(), 0, "{p}: pre-stored batches must never fetch");
     }
 }
 
@@ -179,7 +299,9 @@ fn verified_and_unverified_routes_produce_identical_state() {
                                 wire.push_back((from, to, payload.to_vec()));
                             }
                         }
-                        EngineOutput::SetTimer { .. } | EngineOutput::Ordered(_) => {}
+                        EngineOutput::SetTimer { .. }
+                        | EngineOutput::Ordered(_)
+                        | EngineOutput::FetchBatches { .. } => {}
                     }
                 }
                 outputs[from.as_usize()].extend(outs);

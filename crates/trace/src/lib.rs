@@ -35,7 +35,7 @@ use std::fmt;
 use std::rc::Rc;
 
 use dagrider_types::Time;
-use dagrider_types::{Decode, DecodeError, Encode, ProcessId, Round, VertexRef, Wave};
+use dagrider_types::{BatchDigest, Decode, DecodeError, Encode, ProcessId, Round, VertexRef, Wave};
 
 /// Which reliable-broadcast primitive emitted an [`TraceEvent::RbcPhase`]
 /// event (the three instantiations of Table 1).
@@ -154,6 +154,56 @@ pub enum TraceEvent {
         primitive: RbcPrimitive,
         /// The phase reached.
         phase: RbcPhase,
+    },
+    /// A worker channel sealed a transaction batch (batch dissemination
+    /// happens off the consensus path; vertices carry only the digest).
+    BatchCreated {
+        /// The sealed batch's digest.
+        digest: BatchDigest,
+        /// Total transaction payload bytes in the batch.
+        bytes: u64,
+    },
+    /// A sealed batch was handed to the worker's peer connections for
+    /// streaming.
+    BatchDisseminated {
+        /// The disseminated batch's digest.
+        digest: BatchDigest,
+    },
+    /// A peer acknowledged receipt of a batch on the worker channel.
+    BatchAcked {
+        /// The acknowledged batch's digest.
+        digest: BatchDigest,
+        /// The acknowledging peer.
+        by: ProcessId,
+    },
+    /// A batch became available in this process's local batch store
+    /// (own assembly, peer dissemination, or a completed fetch).
+    BatchStored {
+        /// The stored batch's digest.
+        digest: BatchDigest,
+    },
+    /// The total order reached a vertex naming this digest; `a_deliver`
+    /// is pending until the batch resolves locally.
+    DigestOrdered {
+        /// The ordered digest.
+        digest: BatchDigest,
+    },
+    /// An ordered digest resolved against the local batch store,
+    /// completing `a_deliver` for its vertex.
+    BatchResolved {
+        /// The resolved batch's digest.
+        digest: BatchDigest,
+        /// Ticks between ordering the digest and resolving it (0 when the
+        /// batch was already local).
+        waited: u64,
+    },
+    /// The engine asked a peer for a batch missing at resolution time
+    /// (the bounded re-request path).
+    BatchFetchRequested {
+        /// The missing batch's digest.
+        digest: BatchDigest,
+        /// The peer asked.
+        from: ProcessId,
     },
 }
 
@@ -421,6 +471,38 @@ impl Encode for TraceEvent {
                 primitive.encode(buf);
                 phase.encode(buf);
             }
+            TraceEvent::BatchCreated { digest, bytes } => {
+                11u8.encode(buf);
+                digest.encode(buf);
+                bytes.encode(buf);
+            }
+            TraceEvent::BatchDisseminated { digest } => {
+                12u8.encode(buf);
+                digest.encode(buf);
+            }
+            TraceEvent::BatchAcked { digest, by } => {
+                13u8.encode(buf);
+                digest.encode(buf);
+                by.encode(buf);
+            }
+            TraceEvent::BatchStored { digest } => {
+                14u8.encode(buf);
+                digest.encode(buf);
+            }
+            TraceEvent::DigestOrdered { digest } => {
+                15u8.encode(buf);
+                digest.encode(buf);
+            }
+            TraceEvent::BatchResolved { digest, waited } => {
+                16u8.encode(buf);
+                digest.encode(buf);
+                waited.encode(buf);
+            }
+            TraceEvent::BatchFetchRequested { digest, from } => {
+                17u8.encode(buf);
+                digest.encode(buf);
+                from.encode(buf);
+            }
         }
     }
 
@@ -444,6 +526,19 @@ impl Encode for TraceEvent {
             TraceEvent::Pruned { floor, dropped } => floor.encoded_len() + dropped.encoded_len(),
             TraceEvent::RbcPhase { instance, primitive, phase } => {
                 instance.encoded_len() + primitive.encoded_len() + phase.encoded_len()
+            }
+            TraceEvent::BatchCreated { digest, bytes } => {
+                digest.encoded_len() + bytes.encoded_len()
+            }
+            TraceEvent::BatchDisseminated { digest }
+            | TraceEvent::BatchStored { digest }
+            | TraceEvent::DigestOrdered { digest } => digest.encoded_len(),
+            TraceEvent::BatchAcked { digest, by } => digest.encoded_len() + by.encoded_len(),
+            TraceEvent::BatchResolved { digest, waited } => {
+                digest.encoded_len() + waited.encoded_len()
+            }
+            TraceEvent::BatchFetchRequested { digest, from } => {
+                digest.encoded_len() + from.encoded_len()
             }
         }
     }
@@ -480,6 +575,25 @@ impl Decode for TraceEvent {
                 instance: VertexRef::decode(buf)?,
                 primitive: RbcPrimitive::decode(buf)?,
                 phase: RbcPhase::decode(buf)?,
+            }),
+            11 => Ok(TraceEvent::BatchCreated {
+                digest: BatchDigest::decode(buf)?,
+                bytes: u64::decode(buf)?,
+            }),
+            12 => Ok(TraceEvent::BatchDisseminated { digest: BatchDigest::decode(buf)? }),
+            13 => Ok(TraceEvent::BatchAcked {
+                digest: BatchDigest::decode(buf)?,
+                by: ProcessId::decode(buf)?,
+            }),
+            14 => Ok(TraceEvent::BatchStored { digest: BatchDigest::decode(buf)? }),
+            15 => Ok(TraceEvent::DigestOrdered { digest: BatchDigest::decode(buf)? }),
+            16 => Ok(TraceEvent::BatchResolved {
+                digest: BatchDigest::decode(buf)?,
+                waited: u64::decode(buf)?,
+            }),
+            17 => Ok(TraceEvent::BatchFetchRequested {
+                digest: BatchDigest::decode(buf)?,
+                from: ProcessId::decode(buf)?,
             }),
             _ => Err(DecodeError::Invalid("unknown trace event tag")),
         }
@@ -534,6 +648,16 @@ mod tests {
                 instance: v,
                 primitive: RbcPrimitive::Avid,
                 phase: RbcPhase::Commit,
+            },
+            TraceEvent::BatchCreated { digest: BatchDigest::new([7; 32]), bytes: 4096 },
+            TraceEvent::BatchDisseminated { digest: BatchDigest::new([8; 32]) },
+            TraceEvent::BatchAcked { digest: BatchDigest::new([9; 32]), by: ProcessId::new(2) },
+            TraceEvent::BatchStored { digest: BatchDigest::new([10; 32]) },
+            TraceEvent::DigestOrdered { digest: BatchDigest::new([11; 32]) },
+            TraceEvent::BatchResolved { digest: BatchDigest::new([12; 32]), waited: 17 },
+            TraceEvent::BatchFetchRequested {
+                digest: BatchDigest::new([13; 32]),
+                from: ProcessId::new(1),
             },
         ]
     }

@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 pub mod codec;
 mod committee;
 mod id;
@@ -41,9 +42,10 @@ mod time;
 mod transaction;
 mod vertex;
 
+pub use batch::{Batch, BatchDigest};
 pub use codec::{bytes_encoded_len, decode_bytes, encode_bytes, Decode, DecodeError, Encode};
 pub use committee::{Committee, CommitteeError};
 pub use id::{ProcessId, Round, SeqNum, Wave, WAVE_LENGTH};
 pub use time::Time;
 pub use transaction::{Block, Transaction};
-pub use vertex::{Vertex, VertexBuilder, VertexError, VertexRef};
+pub use vertex::{Payload, Vertex, VertexBuilder, VertexError, VertexRef};

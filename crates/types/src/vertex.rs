@@ -5,7 +5,128 @@ use std::error::Error;
 use std::fmt;
 
 use crate::codec::{Decode, DecodeError, Encode};
-use crate::{Block, Committee, ProcessId, Round, SeqNum};
+use crate::{BatchDigest, Block, Committee, ProcessId, Round, SeqNum};
+
+/// What a vertex carries as its client payload (Algorithm 1: `v.block`).
+///
+/// The original protocol inlines a full [`Block`] of transactions in every
+/// vertex, so each transaction byte rides through reliable broadcast on
+/// the consensus path. The Narwhal/Bullshark-style decoupling instead
+/// disseminates transaction bytes in worker [`Batch`](crate::Batch)es and
+/// has vertices name them by digest — the consensus path then pays 32
+/// bytes per batch regardless of batch size, and `a_deliver` resolves
+/// digests back to transactions at ordering time.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Payload {
+    /// A full block of transactions, inlined (the paper's original form).
+    Block(Block),
+    /// Digests of worker-disseminated batches; the referenced transaction
+    /// bytes travel outside the consensus path.
+    Digests {
+        /// The process that proposed this payload.
+        proposer: ProcessId,
+        /// The proposer-local sequence number (the `r` of `a_bcast(b, r)`).
+        seq: SeqNum,
+        /// The batches this payload orders, by digest.
+        digests: Vec<BatchDigest>,
+    },
+}
+
+impl Payload {
+    /// The process that proposed this payload.
+    pub fn proposer(&self) -> ProcessId {
+        match self {
+            Payload::Block(block) => block.proposer(),
+            Payload::Digests { proposer, .. } => *proposer,
+        }
+    }
+
+    /// The proposer-local sequence number.
+    pub fn seq(&self) -> SeqNum {
+        match self {
+            Payload::Block(block) => block.seq(),
+            Payload::Digests { seq, .. } => *seq,
+        }
+    }
+
+    /// The batch digests this payload references (empty for inline blocks).
+    pub fn digests(&self) -> &[BatchDigest] {
+        match self {
+            Payload::Block(_) => &[],
+            Payload::Digests { digests, .. } => digests,
+        }
+    }
+
+    /// Whether the payload inlines its transactions.
+    pub const fn is_inline(&self) -> bool {
+        matches!(self, Payload::Block(_))
+    }
+
+    /// Whether the payload carries neither transactions nor digests.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            Payload::Block(block) => block.is_empty(),
+            Payload::Digests { digests, .. } => digests.is_empty(),
+        }
+    }
+}
+
+impl From<Block> for Payload {
+    fn from(block: Block) -> Self {
+        Payload::Block(block)
+    }
+}
+
+impl fmt::Display for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Payload::Block(block) => write!(f, "{block}"),
+            Payload::Digests { proposer, seq, digests } => {
+                write!(f, "digests({proposer}{seq}: {} batches)", digests.len())
+            }
+        }
+    }
+}
+
+impl Encode for Payload {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Payload::Block(block) => {
+                0u8.encode(buf);
+                block.encode(buf);
+            }
+            Payload::Digests { proposer, seq, digests } => {
+                1u8.encode(buf);
+                proposer.encode(buf);
+                seq.encode(buf);
+                digests.encode(buf);
+            }
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            Payload::Block(block) => block.encoded_len(),
+            Payload::Digests { proposer, seq, digests } => {
+                proposer.encoded_len() + seq.encoded_len() + digests.encoded_len()
+            }
+        }
+    }
+}
+
+impl Decode for Payload {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        match u8::decode(buf)? {
+            0 => Ok(Payload::Block(Block::decode(buf)?)),
+            1 => Ok(Payload::Digests {
+                proposer: ProcessId::decode(buf)?,
+                seq: SeqNum::decode(buf)?,
+                digests: Vec::<BatchDigest>::decode(buf)?,
+            }),
+            _ => Err(DecodeError::Invalid("unknown payload tag")),
+        }
+    }
+}
 
 /// A reference to a vertex by `(round, source)`.
 ///
@@ -122,7 +243,7 @@ impl Error for VertexError {}
 pub struct Vertex {
     source: ProcessId,
     round: Round,
-    block: Block,
+    payload: Payload,
     strong_edges: BTreeSet<VertexRef>,
     weak_edges: BTreeSet<VertexRef>,
 }
@@ -135,7 +256,7 @@ impl Vertex {
         Self {
             source,
             round: Round::GENESIS,
-            block: Block::empty(source, SeqNum::new(0)),
+            payload: Payload::Block(Block::empty(source, SeqNum::new(0))),
             strong_edges: BTreeSet::new(),
             weak_edges: BTreeSet::new(),
         }
@@ -151,14 +272,23 @@ impl Vertex {
         self.round
     }
 
-    /// The block of transactions the vertex carries.
-    pub const fn block(&self) -> &Block {
-        &self.block
+    /// The client payload the vertex carries: an inline block or a list
+    /// of worker-batch digests.
+    pub const fn payload(&self) -> &Payload {
+        &self.payload
     }
 
-    /// Consumes the vertex, returning its block.
-    pub fn into_block(self) -> Block {
-        self.block
+    /// The inline block of transactions, when the payload is inline.
+    pub const fn block(&self) -> Option<&Block> {
+        match &self.payload {
+            Payload::Block(block) => Some(block),
+            Payload::Digests { .. } => None,
+        }
+    }
+
+    /// Consumes the vertex, returning its payload.
+    pub fn into_payload(self) -> Payload {
+        self.payload
     }
 
     /// The `(round, source)` reference identifying this vertex.
@@ -230,7 +360,7 @@ impl fmt::Display for Vertex {
             self.reference(),
             self.strong_edges.len(),
             self.weak_edges.len(),
-            self.block
+            self.payload
         )
     }
 }
@@ -239,7 +369,7 @@ impl Encode for Vertex {
     fn encode(&self, buf: &mut Vec<u8>) {
         self.source.encode(buf);
         self.round.encode(buf);
-        self.block.encode(buf);
+        self.payload.encode(buf);
         self.strong_edges.encode(buf);
         self.weak_edges.encode(buf);
     }
@@ -247,7 +377,7 @@ impl Encode for Vertex {
     fn encoded_len(&self) -> usize {
         self.source.encoded_len()
             + self.round.encoded_len()
-            + self.block.encoded_len()
+            + self.payload.encoded_len()
             + self.strong_edges.encoded_len()
             + self.weak_edges.encoded_len()
     }
@@ -258,7 +388,7 @@ impl Decode for Vertex {
         Ok(Self {
             source: ProcessId::decode(buf)?,
             round: Round::decode(buf)?,
-            block: Block::decode(buf)?,
+            payload: Payload::decode(buf)?,
             strong_edges: BTreeSet::<VertexRef>::decode(buf)?,
             weak_edges: BTreeSet::<VertexRef>::decode(buf)?,
         })
@@ -286,13 +416,15 @@ pub struct VertexBuilder {
 }
 
 impl VertexBuilder {
-    /// Starts building a vertex for `source` in `round` carrying `block`.
-    pub fn new(source: ProcessId, round: Round, block: Block) -> Self {
+    /// Starts building a vertex for `source` in `round` carrying
+    /// `payload` (a [`Block`] or a digest list — anything
+    /// `Into<Payload>`).
+    pub fn new(source: ProcessId, round: Round, payload: impl Into<Payload>) -> Self {
         Self {
             vertex: Vertex {
                 source,
                 round,
-                block,
+                payload: payload.into(),
                 strong_edges: BTreeSet::new(),
                 weak_edges: BTreeSet::new(),
             },
@@ -362,7 +494,42 @@ mod tests {
         let v = Vertex::genesis(ProcessId::new(1));
         assert_eq!(v.round(), Round::GENESIS);
         assert!(v.validate(&committee()).is_ok());
-        assert!(v.block().is_empty());
+        assert!(v.payload().is_empty());
+        assert!(v.block().is_some_and(Block::is_empty));
+    }
+
+    #[test]
+    fn digest_payloads_roundtrip_and_expose_metadata() {
+        let payload = Payload::Digests {
+            proposer: ProcessId::new(2),
+            seq: SeqNum::new(5),
+            digests: vec![BatchDigest::new([1; 32]), BatchDigest::new([2; 32])],
+        };
+        assert_eq!(payload.proposer(), ProcessId::new(2));
+        assert_eq!(payload.seq(), SeqNum::new(5));
+        assert_eq!(payload.digests().len(), 2);
+        assert!(!payload.is_inline());
+        assert!(!payload.is_empty());
+        let bytes = payload.to_bytes();
+        assert_eq!(bytes.len(), payload.encoded_len());
+        assert_eq!(Payload::from_bytes(&bytes).unwrap(), payload);
+
+        let v = VertexBuilder::new(ProcessId::new(0), Round::new(1), payload.clone())
+            .strong_edges(genesis_refs(3))
+            .build(&committee())
+            .unwrap();
+        assert!(v.block().is_none());
+        assert_eq!(v.payload(), &payload);
+        let encoded = v.to_bytes();
+        assert_eq!(Vertex::from_bytes(&encoded).unwrap(), v);
+    }
+
+    #[test]
+    fn unknown_payload_tag_is_rejected() {
+        assert!(matches!(
+            Payload::from_bytes(&[9]),
+            Err(DecodeError::Invalid("unknown payload tag"))
+        ));
     }
 
     #[test]

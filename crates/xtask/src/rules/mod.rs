@@ -250,8 +250,11 @@ fn check_sync_discipline(root: &Path, findings: &mut Vec<Finding>) {
 
 /// The event-loop functions the `consensus-blocking` rule patrols, as
 /// `(file, function)` pairs relative to the workspace root.
-const EVENT_LOOP_FNS: &[(&str, &str)] =
-    &[("crates/net/src/runtime.rs", "consensus_loop"), ("crates/net/src/runtime.rs", "serve_sync")];
+const EVENT_LOOP_FNS: &[(&str, &str)] = &[
+    ("crates/net/src/runtime.rs", "consensus_loop"),
+    ("crates/net/src/runtime.rs", "serve_sync"),
+    ("crates/net/src/runtime.rs", "serve_batches"),
+];
 
 /// Calls that can stall the consensus thread indefinitely. `.recv()` is
 /// the exact untimed form — `.recv_timeout(` does not match.

@@ -152,7 +152,9 @@ fn dag_level_equivocation_is_neutralized() {
         let survivors: Vec<Option<Block>> = committee
             .members()
             .filter(|&p| p != byz)
-            .map(|p| sim.actor(p).as_left().unwrap().dag().get(byz_ref).map(|v| v.block().clone()))
+            .map(|p| {
+                sim.actor(p).as_left().unwrap().dag().get(byz_ref).and_then(|v| v.block().cloned())
+            })
             .collect();
         let present: Vec<&Block> = survivors.iter().flatten().collect();
         if let Some(first) = present.first() {

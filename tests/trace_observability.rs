@@ -206,6 +206,156 @@ fn tracing_is_off_by_default() {
     }
 }
 
+/// Batch-lifecycle observability: a digest-payload cluster — including a
+/// straggler that must fetch a batch it never received — emits traces the
+/// auditor accepts, and a trace whose resolution record is missing is
+/// flagged as `UnresolvedOrderedDigest`.
+#[test]
+fn digest_lifecycle_traces_audit_clean_and_flag_missing_resolution() {
+    use std::collections::VecDeque;
+
+    use dag_rider::analysis::InvariantViolation;
+    use dag_rider::core::{batch_digest, DagRiderEngine, EngineInput, EngineOutput};
+    use dag_rider::types::{Batch, ProcessId, Round, Time, Transaction};
+
+    let committee = Committee::new(4).unwrap();
+    let keys = deal_coin_keys(&committee, &mut StdRng::seed_from_u64(414));
+    let config = NodeConfig::default().with_max_round(MAX_ROUND).with_trace(8192);
+    let mut engines: Vec<DagRiderEngine<BrachaRbc>> = committee
+        .members()
+        .zip(keys)
+        .map(|(p, k)| DagRiderEngine::new(committee, p, k, config.clone()))
+        .collect();
+    let mut rngs: Vec<StdRng> = (0..4).map(|i| StdRng::seed_from_u64(600 + i)).collect();
+    let batches: Vec<Batch> = committee
+        .members()
+        .map(|p| Batch::new(p, 0, vec![Transaction::synthetic(90 + p.as_usize() as u64, 32)]))
+        .collect();
+    // Process 3 never receives process 0's batch by dissemination: once
+    // that digest reaches the front of its order it must go through the
+    // missing-batch fetch path.
+    let straggler = ProcessId::new(3);
+
+    let mut wire: VecDeque<(ProcessId, ProcessId, Vec<u8>)> = VecDeque::new();
+    let mut fetches: VecDeque<(ProcessId, Vec<dag_rider::types::BatchDigest>)> = VecDeque::new();
+    let route =
+        |from: ProcessId,
+         outs: &[EngineOutput],
+         wire: &mut VecDeque<(ProcessId, ProcessId, Vec<u8>)>,
+         fetches: &mut VecDeque<(ProcessId, Vec<dag_rider::types::BatchDigest>)>| {
+            for out in outs {
+                match out {
+                    EngineOutput::Send { to, payload } => {
+                        wire.push_back((from, *to, payload.to_vec()));
+                    }
+                    EngineOutput::Broadcast { payload } => {
+                        for to in committee.others(from) {
+                            wire.push_back((from, to, payload.to_vec()));
+                        }
+                    }
+                    EngineOutput::FetchBatches { digests, .. } => {
+                        fetches.push_back((from, digests.clone()));
+                    }
+                    EngineOutput::SetTimer { .. } | EngineOutput::Ordered(_) => {}
+                }
+            }
+        };
+    for p in committee.members() {
+        let i = p.as_usize();
+        let mut outs = Vec::new();
+        for (b, batch) in batches.iter().enumerate() {
+            if p == straggler && b == 0 {
+                continue;
+            }
+            outs.extend(engines[i].handle(
+                Time::ZERO,
+                EngineInput::BatchStored(batch.clone()),
+                &mut rngs[i],
+            ));
+        }
+        outs.extend(engines[i].handle(
+            Time::ZERO,
+            EngineInput::SubmitDigests(vec![batch_digest(&batches[i])]),
+            &mut rngs[i],
+        ));
+        route(p, &outs, &mut wire, &mut fetches);
+        if engines[i].current_round() == Round::GENESIS && !engines[i].is_started() {
+            let outs = engines[i].start(Time::ZERO, &mut rngs[i]);
+            route(p, &outs, &mut wire, &mut fetches);
+        }
+    }
+    let mut t = 0u64;
+    while !wire.is_empty() || !fetches.is_empty() {
+        while let Some((from, to, payload)) = wire.pop_front() {
+            t += 1;
+            let i = to.as_usize();
+            let outs = engines[i].handle(
+                Time::new(t),
+                EngineInput::Message { from, payload },
+                &mut rngs[i],
+            );
+            route(to, &outs, &mut wire, &mut fetches);
+        }
+        // Serve the fetch requests the drained wire produced: deliver the
+        // requested batches to the requester at a strictly later tick.
+        while let Some((requester, digests)) = fetches.pop_front() {
+            let i = requester.as_usize();
+            for digest in digests {
+                let Some(batch) = batches.iter().find(|b| batch_digest(b) == digest).cloned()
+                else {
+                    continue;
+                };
+                t += 1;
+                let outs =
+                    engines[i].handle(Time::new(t), EngineInput::BatchStored(batch), &mut rngs[i]);
+                route(requester, &outs, &mut wire, &mut fetches);
+            }
+        }
+    }
+
+    let auditor = DagAuditor::new(committee);
+    for p in committee.members() {
+        let i = p.as_usize();
+        assert!(!engines[i].ordered().is_empty(), "{p}: ordered nothing");
+        assert_eq!(engines[i].ordered().len(), engines[0].ordered().len());
+        let records: Vec<TraceRecord> = engines[i].tracer().records();
+        assert!(engines[i].tracer().is_enabled());
+        let ordered_digests =
+            records.iter().filter(|r| matches!(r.event, TraceEvent::DigestOrdered { .. })).count();
+        assert!(ordered_digests >= 4, "{p}: only {ordered_digests} digests ordered in trace");
+        let violations = auditor.audit_trace(&records);
+        assert!(violations.is_empty(), "{p}: digest trace audit failed: {violations:?}");
+    }
+    assert!(engines[straggler.as_usize()].fetches_sent() > 0, "straggler never fetched");
+    let straggler_records = engines[straggler.as_usize()].tracer().records();
+    assert!(
+        straggler_records.iter().any(|r| matches!(r.event, TraceEvent::BatchFetchRequested { .. })),
+        "straggler trace has no fetch request"
+    );
+    assert!(
+        straggler_records
+            .iter()
+            .any(|r| matches!(r.event, TraceEvent::BatchResolved { waited, .. } if waited > 0)),
+        "straggler trace shows no waited resolution"
+    );
+
+    // Strip the resolution records: every digest the straggler ordered now
+    // dangles, and the auditor must say so.
+    let tampered: Vec<TraceRecord> = straggler_records
+        .iter()
+        .filter(|r| !matches!(r.event, TraceEvent::BatchResolved { .. }))
+        .cloned()
+        .collect();
+    let violations = auditor.audit_trace(&tampered);
+    assert!(
+        violations.iter().any(|v| matches!(
+            v,
+            InvariantViolation::UnresolvedOrderedDigest { process, .. } if *process == straggler
+        )),
+        "tampered trace not flagged: {violations:?}"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
