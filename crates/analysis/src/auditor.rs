@@ -3,7 +3,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-use dagrider_core::{CommitEvent, Dag, WaveOutcome};
+use dagrider_core::{CommitEvent, Dag, OrderedVertex, WaveOutcome};
 use dagrider_trace::{TraceEvent, TraceRecord};
 use dagrider_types::{BatchDigest, Committee, ProcessId, Round, Vertex, VertexRef, Wave};
 
@@ -215,6 +215,63 @@ impl DagAuditor {
                 });
             }
         }
+        violations
+    }
+
+    /// Audits a crash recovery: the recovered process's DAG must pass
+    /// the full structural audit, and its rebuilt ordered log must be
+    /// **prefix-consistent** with the log it had delivered before the
+    /// crash — same vertices at the same positions
+    /// ([`InvariantViolation::RecoveryLogDivergence`]) carrying the same
+    /// block bytes ([`InvariantViolation::RecoveryPayloadMismatch`]),
+    /// with no vertex delivered twice. Wall-clock fields
+    /// (`delivered_at`) and direct-vs-indirect bookkeeping
+    /// (`committed_in_wave`) may legitimately differ across the crash
+    /// and are not compared.
+    ///
+    /// With `expect_complete` (a node audited *after* it finished
+    /// replay + rejoin sync), a recovered log shorter than the
+    /// pre-crash log is a lost committed delivery
+    /// ([`InvariantViolation::RecoveryLostDelivery`]). Without it (a
+    /// store replayed in isolation, where losing an unsynced WAL suffix
+    /// is the documented contract), a shorter-but-consistent prefix
+    /// audits clean.
+    pub fn audit_recovery(
+        &self,
+        dag: &Dag,
+        pre_crash: &[OrderedVertex],
+        recovered: &[OrderedVertex],
+        expect_complete: bool,
+    ) -> Vec<InvariantViolation> {
+        let mut violations = self.audit_dag(dag);
+        let mut seen: BTreeSet<VertexRef> = BTreeSet::new();
+        for entry in recovered {
+            if !seen.insert(entry.vertex) {
+                violations.push(InvariantViolation::DuplicateOrdered { vertex: entry.vertex });
+            }
+        }
+        for (position, (expected, found)) in pre_crash.iter().zip(recovered.iter()).enumerate() {
+            if expected.vertex != found.vertex {
+                violations.push(InvariantViolation::RecoveryLogDivergence {
+                    position,
+                    expected: expected.vertex,
+                    found: found.vertex,
+                });
+            } else if expected.block != found.block {
+                violations.push(InvariantViolation::RecoveryPayloadMismatch {
+                    position,
+                    vertex: expected.vertex,
+                });
+            }
+        }
+        if expect_complete && recovered.len() < pre_crash.len() {
+            let position = recovered.len();
+            violations.push(InvariantViolation::RecoveryLostDelivery {
+                position,
+                vertex: pre_crash[position].vertex,
+            });
+        }
+        sort_report(&mut violations);
         violations
     }
 

@@ -203,6 +203,39 @@ pub enum InvariantViolation {
         /// The digest that never resolved.
         digest: BatchDigest,
     },
+    /// A recovered process's rebuilt ordered log names a different vertex
+    /// than its pre-crash log at the same position — replay delivered a
+    /// history the process never had, breaking Total Order for the
+    /// process against itself (§5, Algorithm 3 lines 51-57: the order is
+    /// a deterministic function of the delivered DAG).
+    RecoveryLogDivergence {
+        /// Position in the ordered log where the two runs part ways.
+        position: usize,
+        /// The vertex the pre-crash log delivered there.
+        expected: VertexRef,
+        /// The vertex the recovered log delivered there.
+        found: VertexRef,
+    },
+    /// A recovered process re-delivered the same vertex at the same log
+    /// position but with different block bytes — the payload bound to a
+    /// position in the total order changed across the crash (§5,
+    /// Algorithm 3 lines 51-57: `a_deliver(m, ...)` fixes `m`).
+    RecoveryPayloadMismatch {
+        /// Position in the ordered log.
+        position: usize,
+        /// The vertex whose payload changed.
+        vertex: VertexRef,
+    },
+    /// A recovery that was expected to be complete ends before
+    /// re-delivering everything the pre-crash run had already delivered
+    /// — a committed delivery was lost (§5, Algorithm 3 lines 51-57;
+    /// durably delivered means delivered forever).
+    RecoveryLostDelivery {
+        /// First pre-crash log position the recovered log lacks.
+        position: usize,
+        /// The vertex delivered there before the crash.
+        vertex: VertexRef,
+    },
 }
 
 impl InvariantViolation {
@@ -227,7 +260,10 @@ impl InvariantViolation {
             InvariantViolation::BrokenLeaderChain { .. } => "§5, Algorithm 3 lines 39-43 / Lemma 1",
             InvariantViolation::OrderedBeforeDelivered { .. }
             | InvariantViolation::DuplicateOrdered { .. }
-            | InvariantViolation::UnresolvedOrderedDigest { .. } => "§5, Algorithm 3 lines 51-57",
+            | InvariantViolation::UnresolvedOrderedDigest { .. }
+            | InvariantViolation::RecoveryLogDivergence { .. }
+            | InvariantViolation::RecoveryPayloadMismatch { .. }
+            | InvariantViolation::RecoveryLostDelivery { .. } => "§5, Algorithm 3 lines 51-57",
             InvariantViolation::DuplicateWaveCommit { .. } => "§5, Algorithm 3 line 44",
             InvariantViolation::CommitWithoutCoin { .. } => "§5, Algorithm 3 lines 34-35",
             InvariantViolation::NonMonotoneRound { .. } => "§4, Algorithm 2 lines 10-13",
@@ -256,6 +292,9 @@ impl InvariantViolation {
             }
             InvariantViolation::OrderedBeforeDelivered { vertex }
             | InvariantViolation::DuplicateOrdered { vertex } => Some(*vertex),
+            InvariantViolation::RecoveryLogDivergence { found, .. } => Some(*found),
+            InvariantViolation::RecoveryPayloadMismatch { vertex, .. }
+            | InvariantViolation::RecoveryLostDelivery { vertex, .. } => Some(*vertex),
             InvariantViolation::DuplicateWaveCommit { leader, .. } => Some(*leader),
             InvariantViolation::NonMonotoneRound { .. }
             | InvariantViolation::UnresolvedOrderedDigest { .. } => None,
@@ -352,6 +391,26 @@ impl fmt::Display for InvariantViolation {
                 write!(
                     f,
                     "{process} ordered batch digest {digest} that never resolved to a stored batch"
+                )
+            }
+            InvariantViolation::RecoveryLogDivergence { position, expected, found } => {
+                write!(
+                    f,
+                    "recovered log delivers {found} at position {position} where the pre-crash \
+                     log delivered {expected}"
+                )
+            }
+            InvariantViolation::RecoveryPayloadMismatch { position, vertex } => {
+                write!(
+                    f,
+                    "recovered log re-delivers {vertex} at position {position} with different \
+                     block bytes"
+                )
+            }
+            InvariantViolation::RecoveryLostDelivery { position, vertex } => {
+                write!(
+                    f,
+                    "recovery lost {vertex}, delivered at position {position} before the crash"
                 )
             }
         }?;

@@ -19,9 +19,16 @@
 //! tx sizes {256 B, 1 KiB, 4 KiB} × worker counts {inline, 1, 2, 4} and
 //! reports ordered tx/s and ordered bytes/s for each cell.
 //!
+//! With `--durable` every node keeps a durable store (checksummed WAL +
+//! periodic snapshots) under a scratch directory, using the default
+//! batched fsync policy — the cost of crash durability on the ordering
+//! hot path. The acceptance bar is ≥ 0.85× of the non-durable
+//! `BENCH_net_throughput.json` medians.
+//!
 //! ```sh
 //! cargo run --release -p dagrider-bench --bin net_throughput -- --json out.json
 //! cargo run --release -p dagrider-bench --bin net_throughput -- --workers 4
+//! cargo run --release -p dagrider-bench --bin net_throughput -- --durable
 //! cargo run --release -p dagrider-bench --bin net_throughput -- --matrix
 //! cargo run --release -p dagrider-bench --bin net_throughput -- --smoke
 //! ```
@@ -32,7 +39,7 @@ use std::time::{Duration, Instant};
 
 use dagrider_core::{batch_digest, NodeConfig};
 use dagrider_crypto::deal_coin_keys;
-use dagrider_net::{NetConfig, NetNode};
+use dagrider_net::{NetConfig, NetNode, StoreConfig};
 use dagrider_rbc::BrachaRbc;
 use dagrider_simactor::DagRiderNode;
 use dagrider_simnet::{Simulation, UniformScheduler};
@@ -50,6 +57,7 @@ struct Config {
     tx_size: usize,
     sim_rounds: u64,
     workers: usize,
+    durable: bool,
     matrix: bool,
     json: Option<String>,
 }
@@ -65,6 +73,7 @@ impl Config {
             tx_size: 256,
             sim_rounds: 64,
             workers: 0,
+            durable: false,
             matrix: false,
             json: None,
         };
@@ -89,6 +98,7 @@ impl Config {
                 "--tx-size" => cfg.tx_size = value("--tx-size").parse().expect("usize"),
                 "--sim-rounds" => cfg.sim_rounds = value("--sim-rounds").parse().expect("u64"),
                 "--workers" => cfg.workers = value("--workers").parse().expect("--workers: usize"),
+                "--durable" => cfg.durable = true,
                 "--matrix" => cfg.matrix = true,
                 "--json" => cfg.json = Some(value("--json")),
                 "--smoke" => {
@@ -148,6 +158,25 @@ fn payload_bytes(block: &Block) -> u64 {
     block.transactions().iter().map(|t| t.len() as u64).sum()
 }
 
+/// Scratch store directory for one node of a `--durable` run, keyed by
+/// process id so concurrent invocations never collide.
+fn store_dir(node: usize) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "dagrider-net-throughput-{}-node{}",
+        std::process::id(),
+        node
+    ))
+}
+
+/// Removes the scratch store directories left by a `--durable` run.
+fn cleanup_store_dirs(cfg: &Config) {
+    if cfg.durable {
+        for i in 0..cfg.nodes {
+            let _ = std::fs::remove_dir_all(store_dir(i));
+        }
+    }
+}
+
 /// Starts an n-node localhost cluster and waits for it to go live.
 fn start_cluster(cfg: &Config) -> Vec<NetNode> {
     let n = cfg.nodes;
@@ -171,6 +200,13 @@ fn start_cluster(cfg: &Config) -> Vec<NetNode> {
         .with_sync_timeout(Duration::from_millis(500));
         if cfg.workers > 0 {
             config = config.with_workers(cfg.workers);
+        }
+        if cfg.durable {
+            // Default store policy: batched fsync (EveryN), periodic
+            // snapshots — the production durability configuration.
+            let dir = store_dir(i);
+            let _ = std::fs::remove_dir_all(&dir);
+            config = config.with_store(StoreConfig::new(dir));
         }
         nodes.push(NetNode::start::<BrachaRbc>(config, Some(listener)).expect("start node"));
     }
@@ -262,6 +298,7 @@ fn run_tcp(cfg: &Config) -> TcpResult {
     for mut node in nodes {
         node.shutdown();
     }
+    cleanup_store_dirs(cfg);
     result
 }
 
@@ -359,6 +396,7 @@ fn run_tcp_workers(cfg: &Config) -> TcpResult {
     for mut node in nodes {
         node.shutdown();
     }
+    cleanup_store_dirs(cfg);
     result
 }
 
@@ -477,9 +515,16 @@ fn main() {
         return;
     }
     println!(
-        "net_throughput: n={} window={} txs/block={} tx_size={}B workers={} warmup={:?} \
-         measure={:?}",
-        cfg.nodes, cfg.window, cfg.txs_per_block, cfg.tx_size, cfg.workers, cfg.warmup, cfg.measure
+        "net_throughput: n={} window={} txs/block={} tx_size={}B workers={} durable={} \
+         warmup={:?} measure={:?}",
+        cfg.nodes,
+        cfg.window,
+        cfg.txs_per_block,
+        cfg.tx_size,
+        cfg.workers,
+        cfg.durable,
+        cfg.warmup,
+        cfg.measure
     );
 
     let tcp = run_tcp(&cfg);
@@ -535,7 +580,7 @@ fn main() {
             concat!(
                 "{{\n",
                 "  \"config\": {{\"nodes\": {}, \"window\": {}, \"txs_per_block\": {}, ",
-                "\"tx_size\": {}, \"workers\": {}, \"measure_secs\": {:.1}}},\n",
+                "\"tx_size\": {}, \"workers\": {}, \"durable\": {}, \"measure_secs\": {:.1}}},\n",
                 "  \"tcp\": {{\"vertices_per_sec\": {:.1}, \"blocks_per_sec\": {:.1}, ",
                 "\"txs_per_sec\": {:.1}, \"bytes_per_sec\": {:.1}, ",
                 "\"p50_ms\": {:.1}, \"p99_ms\": {:.1}, ",
@@ -549,6 +594,7 @@ fn main() {
             cfg.txs_per_block,
             cfg.tx_size,
             cfg.workers,
+            cfg.durable,
             cfg.measure.as_secs_f64(),
             vertices_per_sec,
             blocks_per_sec,

@@ -27,6 +27,13 @@
 //! 6. **Batcher shutdown** — the worker batcher's `recv_timeout`
 //!    assemble loop against a client-sender drop: the tail batch must
 //!    be sealed and pushed, never lost or duplicated.
+//! 7. **WAL writer** — the durability flusher's group-drain loop
+//!    (`wal_flush_loop`) against a producer and shutdown: every
+//!    persisted event must land in the sink exactly once, in order,
+//!    inside a committed group, and the final sync must run.
+//! 8. **WAL compaction** — snapshot installation interleaved with
+//!    appends on the same channel: the snapshot must supersede exactly
+//!    the events queued before it and never swallow those after.
 //!
 //! Run everything via the `dagrider-check` binary, or call
 //! [`check_surface`] from tests.
@@ -35,11 +42,15 @@
 
 use std::time::Duration;
 
+use dagrider_analysis::DagSnapshot;
+use dagrider_core::{Dag, DurableEvent};
 use dagrider_net::sync::atomic::{AtomicU64, Ordering};
 use dagrider_net::sync::model::{explore, Config, Report, Search};
 use dagrider_net::sync::{mpsc, thread, Arc, Mutex, PoisonError};
+use dagrider_net::wal::{wal_channel, wal_flush_loop, WalSink};
 use dagrider_net::{Backoff, BatchStore, Frame, FramePool, Pop, SendQueue, Shutdown};
-use dagrider_types::{Batch, ProcessId, Transaction};
+use dagrider_store::StoreSnapshot;
+use dagrider_types::{Batch, Committee, ProcessId, Transaction};
 
 /// One model-checked concurrency scenario.
 #[derive(Clone, Copy)]
@@ -97,6 +108,20 @@ pub fn surfaces() -> Vec<Surface> {
             description: "worker batcher recv_timeout loop under client-sender \
                           drop: the tail batch must be sealed, not lost",
             body: batcher_shutdown,
+        },
+        Surface {
+            name: "wal-writer",
+            description: "durability flusher group-drain loop under producer \
+                          and shutdown: every event lands exactly once, in \
+                          order, inside a committed group",
+            body: wal_writer,
+        },
+        Surface {
+            name: "wal-compaction",
+            description: "snapshot install racing appends on the durability \
+                          channel: the snapshot supersedes exactly the events \
+                          queued before it",
+            body: wal_compaction,
         },
     ]
 }
@@ -369,6 +394,131 @@ fn batcher_shutdown() {
     }
     assert_eq!(delivered, 3, "a transaction was lost or duplicated in shutdown");
     queue.close(); // ...then closes the writer queues
+}
+
+/// An in-memory [`WalSink`] with shared, lock-guarded observation
+/// state, so the surfaces below can assert on what the flusher did
+/// after joining it. `install_snapshot` mirrors the real store: it
+/// truncates the log (the snapshot supersedes everything before it).
+#[derive(Clone)]
+struct MemSink {
+    log: Arc<Mutex<Vec<DurableEvent>>>,
+    commits: Arc<Mutex<u64>>,
+    snapshots: Arc<Mutex<u64>>,
+    synced: Arc<Mutex<bool>>,
+}
+
+impl MemSink {
+    fn new() -> Self {
+        Self {
+            log: Arc::new(Mutex::new(Vec::new())),
+            commits: Arc::new(Mutex::new(0)),
+            snapshots: Arc::new(Mutex::new(0)),
+            synced: Arc::new(Mutex::new(false)),
+        }
+    }
+}
+
+impl WalSink for MemSink {
+    fn append(&mut self, event: &DurableEvent) -> std::io::Result<()> {
+        self.log.lock().unwrap_or_else(PoisonError::into_inner).push(event.clone());
+        Ok(())
+    }
+
+    fn commit(&mut self) -> std::io::Result<()> {
+        *self.commits.lock().unwrap_or_else(PoisonError::into_inner) += 1;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> std::io::Result<()> {
+        *self.synced.lock().unwrap_or_else(PoisonError::into_inner) = true;
+        Ok(())
+    }
+
+    fn install_snapshot(&mut self, _snapshot: &StoreSnapshot) -> std::io::Result<()> {
+        self.log.lock().unwrap_or_else(PoisonError::into_inner).clear();
+        *self.snapshots.lock().unwrap_or_else(PoisonError::into_inner) += 1;
+        Ok(())
+    }
+}
+
+/// A durable event distinguishable by `tag` without any crypto.
+fn durable_event(tag: u32) -> DurableEvent {
+    DurableEvent::Batch(Batch::new(ProcessId::new(0), tag, Vec::new()))
+}
+
+/// An empty compacted snapshot, enough to drive the install path.
+fn empty_snapshot() -> StoreSnapshot {
+    let committee = Committee::new(4).expect("4 is a valid committee size");
+    StoreSnapshot::from_parts(DagSnapshot::capture(&Dag::new(committee)), Vec::new(), Vec::new())
+}
+
+/// Surface 7: the durability flusher in miniature — a consensus-shaped
+/// producer persisting groups of events while the flusher drains
+/// whatever has accumulated into single commit groups, then shutdown by
+/// handle drop. Invariants: every event lands exactly once and in
+/// append order regardless of how the groups interleave, at least one
+/// commit boundary covers them, and the disconnect path runs the final
+/// hard sync (losing it would strand the tail on a real disk).
+fn wal_writer() {
+    let (handle, jobs) = wal_channel();
+    let sink = MemSink::new();
+    let observed = sink.clone();
+
+    let flusher = thread::spawn(move || {
+        let mut sink = sink;
+        wal_flush_loop(&mut sink, &jobs);
+    });
+    let producer = thread::spawn(move || {
+        handle.persist(vec![durable_event(1), durable_event(2)]);
+        handle.persist(vec![durable_event(3)]);
+        // The handle drops here: the flusher must drain both groups,
+        // commit them, and exit through the final sync.
+    });
+    producer.join().expect("producer exits cleanly");
+    flusher.join().expect("flusher must observe the disconnect");
+
+    let log = observed.log.lock().unwrap_or_else(PoisonError::into_inner).clone();
+    let expected: Vec<DurableEvent> = (1..=3).map(durable_event).collect();
+    assert_eq!(log, expected, "events lost, duplicated, or reordered");
+    let commits = lock_count(&observed.commits);
+    assert!((1..=2).contains(&commits), "3 events in 2 jobs need 1-2 commits, got {commits}");
+    assert!(
+        *observed.synced.lock().unwrap_or_else(PoisonError::into_inner),
+        "the shutdown path must hard-sync the tail"
+    );
+}
+
+/// Surface 8: compaction on the durability channel — append, snapshot,
+/// append, in the single-producer order the consensus loop guarantees
+/// (drain-then-capture). Invariant: however the flusher groups the
+/// jobs, the snapshot supersedes exactly the events queued before it,
+/// so the final log holds exactly the post-snapshot events.
+fn wal_compaction() {
+    let (handle, jobs) = wal_channel();
+    let sink = MemSink::new();
+    let observed = sink.clone();
+
+    let flusher = thread::spawn(move || {
+        let mut sink = sink;
+        wal_flush_loop(&mut sink, &jobs);
+    });
+    let producer = thread::spawn(move || {
+        handle.persist(vec![durable_event(1)]);
+        handle.snapshot(empty_snapshot());
+        handle.persist(vec![durable_event(2), durable_event(3)]);
+    });
+    producer.join().expect("producer exits cleanly");
+    flusher.join().expect("flusher must observe the disconnect");
+
+    let log = observed.log.lock().unwrap_or_else(PoisonError::into_inner).clone();
+    let expected: Vec<DurableEvent> = (2..=3).map(durable_event).collect();
+    assert_eq!(log, expected, "snapshot must supersede exactly the events before it");
+    assert_eq!(lock_count(&observed.snapshots), 1, "exactly one snapshot install");
+    assert!(
+        *observed.synced.lock().unwrap_or_else(PoisonError::into_inner),
+        "the shutdown path must hard-sync the tail"
+    );
 }
 
 // `lock_count` is used by the deliberately-buggy self-test scenarios in

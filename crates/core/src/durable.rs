@@ -1,0 +1,139 @@
+//! The durable-event taxonomy: what a driver must persist to restart a
+//! process from local state.
+//!
+//! The sans-I/O engine never touches a disk, so durability is a driver
+//! concern — but *what* is worth persisting is a protocol question, and
+//! it lives here. A [`DurableEvent`] is one engine-visible fact that,
+//! replayed into a fresh [`DagRiderEngine`](crate::DagRiderEngine) in log
+//! order, deterministically rebuilds the protocol state that produced the
+//! ordered log:
+//!
+//! * [`DurableEvent::Vertex`] — a vertex the broadcast layer delivered
+//!   (or a sync stream replayed). Re-inserting it through the DAG's
+//!   buffered path rebuilds the causally-closed DAG without re-running
+//!   the original broadcasts, exactly like the rejoin-sync stream.
+//! * [`DurableEvent::CoinShare`] — an accepted threshold-coin share.
+//!   Any `f + 1` valid shares for a wave combine to the same leader
+//!   (§3.4: the coin is *unpredictable but deterministic*), so replaying
+//!   the accepted shares re-elects every leader the crashed process knew.
+//! * [`DurableEvent::Batch`] — a transaction batch stored for digest
+//!   resolution; without it an ordered digest payload could not resolve
+//!   to its transactions after restart.
+//! * [`DurableEvent::Commit`] — a wave commit `(wave, leader)` from the
+//!   ordering layer (Algorithm 3 lines 51–57). Strictly an accelerator:
+//!   the vertex + share events already imply every commit, but replaying
+//!   commits directly covers waves whose share threshold straddles a
+//!   snapshot boundary (the snapshot stores opened leaders, not the
+//!   shares that opened them).
+//!
+//! The encoding is the workspace's strict protocol codec: a one-byte
+//! tag, then the event body. Unknown tags and trailing bytes are decode
+//! errors, which the store's checksummed framing turns into a truncation
+//! point rather than a misparse.
+
+use dagrider_crypto::CoinShare;
+use dagrider_types::{Batch, Decode, DecodeError, Encode, ProcessId, Vertex, Wave};
+
+/// One engine-visible durable fact. See the module docs for the role of
+/// each variant in crash recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DurableEvent {
+    /// A delivered (or synced) non-genesis vertex.
+    Vertex(Vertex),
+    /// An accepted threshold-coin share.
+    CoinShare(CoinShare),
+    /// A batch stored for digest resolution.
+    Batch(Batch),
+    /// A wave commit: `leader` was elected and committed for `wave`.
+    Commit {
+        /// The committed wave.
+        wave: Wave,
+        /// The elected leader process.
+        leader: ProcessId,
+    },
+}
+
+impl Encode for DurableEvent {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            DurableEvent::Vertex(v) => {
+                1u8.encode(buf);
+                v.encode(buf);
+            }
+            DurableEvent::CoinShare(s) => {
+                2u8.encode(buf);
+                s.encode(buf);
+            }
+            DurableEvent::Batch(b) => {
+                3u8.encode(buf);
+                b.encode(buf);
+            }
+            DurableEvent::Commit { wave, leader } => {
+                4u8.encode(buf);
+                wave.encode(buf);
+                leader.encode(buf);
+            }
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            DurableEvent::Vertex(v) => v.encoded_len(),
+            DurableEvent::CoinShare(s) => s.encoded_len(),
+            DurableEvent::Batch(b) => b.encoded_len(),
+            DurableEvent::Commit { wave, leader } => wave.encoded_len() + leader.encoded_len(),
+        }
+    }
+}
+
+impl Decode for DurableEvent {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        match u8::decode(buf)? {
+            1 => Ok(DurableEvent::Vertex(Vertex::decode(buf)?)),
+            2 => Ok(DurableEvent::CoinShare(CoinShare::decode(buf)?)),
+            3 => Ok(DurableEvent::Batch(Batch::decode(buf)?)),
+            4 => Ok(DurableEvent::Commit {
+                wave: Wave::decode(buf)?,
+                leader: ProcessId::decode(buf)?,
+            }),
+            _ => Err(DecodeError::Invalid("unknown durable event tag")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use dagrider_types::Transaction;
+
+    use super::*;
+
+    #[test]
+    fn durable_event_codec_roundtrip() {
+        let events = vec![
+            DurableEvent::Vertex(Vertex::genesis(ProcessId::new(2))),
+            DurableEvent::Batch(Batch::new(
+                ProcessId::new(1),
+                3,
+                vec![Transaction::synthetic(9, 16)],
+            )),
+            DurableEvent::Commit { wave: Wave::new(5), leader: ProcessId::new(3) },
+        ];
+        for event in events {
+            let bytes = event.to_bytes();
+            assert_eq!(bytes.len(), event.encoded_len());
+            assert_eq!(DurableEvent::from_bytes(&bytes).expect("roundtrip decodes"), event);
+        }
+    }
+
+    #[test]
+    fn unknown_tag_and_trailing_bytes_are_rejected() {
+        let mut bytes =
+            DurableEvent::Commit { wave: Wave::new(1), leader: ProcessId::new(0) }.to_bytes();
+        bytes[0] = 9;
+        assert!(DurableEvent::from_bytes(&bytes).is_err(), "unknown tag must not decode");
+        let mut ok =
+            DurableEvent::Commit { wave: Wave::new(1), leader: ProcessId::new(0) }.to_bytes();
+        ok.push(0);
+        assert!(DurableEvent::from_bytes(&ok).is_err(), "trailing bytes must not decode");
+    }
+}

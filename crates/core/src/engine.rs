@@ -28,7 +28,7 @@
 //!   [`EngineInput::Timer`] runs end-of-turn housekeeping (share flush +
 //!   garbage collection), so drivers may safely deliver spurious timers.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 
 use bytes::Bytes;
 use dagrider_crypto::{sha256, Coin, CoinKeys, CoinShare, Digest};
@@ -41,6 +41,7 @@ use dagrider_types::{
 
 use crate::construction::{DagCore, DagEvent};
 use crate::dag::Dag;
+use crate::durable::DurableEvent;
 use crate::ordering::{CommitEvent, Delivery, OrderedVertex, Ordering};
 
 /// The content address of a batch: SHA-256 over its encoded bytes. Wire
@@ -396,6 +397,17 @@ pub struct DagRiderEngine<B> {
     tracer: SharedTracer,
     started: bool,
     io_log: Option<Vec<IoRecord>>,
+    /// Durable events accumulated this turn (`None` = recording off; see
+    /// [`DagRiderEngine::set_durable_recording`]).
+    durable_log: Option<Vec<DurableEvent>>,
+    /// How many entries of `ordering.commits()` have been recorded as
+    /// [`DurableEvent::Commit`]s already.
+    durable_commits_logged: usize,
+    /// Vertices already recorded (or replayed), so a sync duplicate after
+    /// recovery is not re-logged. Pruned with the DAG.
+    logged_vertices: BTreeSet<VertexRef>,
+    /// Coin shares already recorded (or replayed), by (instance, issuer).
+    logged_shares: BTreeSet<(u64, ProcessId)>,
 }
 
 /// One ordered delivery waiting for its batches, with its fetch budget.
@@ -444,6 +456,10 @@ impl<B: ReliableBroadcast> DagRiderEngine<B> {
             tracer,
             started: false,
             io_log: None,
+            durable_log: None,
+            durable_commits_logged: 0,
+            logged_vertices: BTreeSet::new(),
+            logged_shares: BTreeSet::new(),
             config,
         }
     }
@@ -488,8 +504,67 @@ impl<B: ReliableBroadcast> DagRiderEngine<B> {
     /// that pre-stage batches before a run.
     pub fn store_batch(&mut self, batch: Batch) {
         let digest = batch_digest(&batch);
+        self.insert_batch(digest, batch);
+    }
+
+    /// The single batch-insert point: stores the batch, traces a fresh
+    /// insert, and records it durably (first sighting only).
+    fn insert_batch(&mut self, digest: BatchDigest, batch: Batch) {
+        if let Some(log) = self.durable_log.as_mut() {
+            if !self.batches.contains_key(&digest) {
+                log.push(DurableEvent::Batch(batch.clone()));
+            }
+        }
         if self.batches.insert(digest, batch).is_none() {
             self.tracer.record(TraceEvent::BatchStored { digest });
+        }
+    }
+
+    /// Records a delivered or synced vertex durably (first sighting only;
+    /// genesis is never logged — every fresh engine already has it).
+    fn record_durable_vertex(&mut self, vertex: &Vertex) {
+        if self.durable_log.is_some()
+            && vertex.round() != Round::GENESIS
+            && self.logged_vertices.insert(vertex.reference())
+        {
+            if let Some(log) = self.durable_log.as_mut() {
+                log.push(DurableEvent::Vertex(vertex.clone()));
+            }
+        }
+    }
+
+    /// Records an accepted coin share durably (first sighting only).
+    fn record_durable_share(&mut self, share: &CoinShare) {
+        if self.durable_log.is_some()
+            && self.logged_shares.insert((share.instance(), share.issuer()))
+        {
+            if let Some(log) = self.durable_log.as_mut() {
+                log.push(DurableEvent::CoinShare(*share));
+            }
+        }
+    }
+
+    /// The single coin-share acceptance point: inserts the share (via the
+    /// verifying or pre-verified path), records it durably on acceptance,
+    /// and delivers whatever a completed election unlocks.
+    fn accept_share(
+        &mut self,
+        share: CoinShare,
+        proof_checked: bool,
+        out: &mut Vec<EngineOutput>,
+        now: Time,
+    ) {
+        let wave = Wave::new(share.instance());
+        let res = if proof_checked {
+            self.coin.add_verified_share(share)
+        } else {
+            self.coin.add_share(share)
+        };
+        let Ok(outcome) = res else { return };
+        self.record_durable_share(&share);
+        if let Some(leader) = outcome {
+            let delivered = self.ordering.on_leader(wave, leader, self.core.dag(), now);
+            self.deliver(delivered, out, now);
         }
     }
 
@@ -592,6 +667,91 @@ impl<B: ReliableBroadcast> DagRiderEngine<B> {
         self.io_log.as_deref().unwrap_or(&[])
     }
 
+    /// Turns durable-event recording on or off. While on, every newly
+    /// accepted vertex, coin share, batch, and wave commit is appended
+    /// (deduplicated) to an internal queue the driver drains with
+    /// [`DagRiderEngine::drain_durable_events`] after each turn — the
+    /// write-ahead-log feed of `dagrider-store`. Enable *after* replaying
+    /// recovered state: replayed events count as already logged.
+    pub fn set_durable_recording(&mut self, on: bool) {
+        if on {
+            if self.durable_log.is_none() {
+                self.durable_log = Some(Vec::new());
+                self.durable_commits_logged = self.ordering.commits().len();
+            }
+        } else {
+            self.durable_log = None;
+        }
+    }
+
+    /// Drains the durable events recorded since the last drain (empty
+    /// unless [`DagRiderEngine::set_durable_recording`] enabled it). The
+    /// driver must persist these *before* acting on the outputs of the
+    /// turn that produced them.
+    pub fn drain_durable_events(&mut self) -> Vec<DurableEvent> {
+        self.durable_log.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    /// Every batch held in the engine's local store view — the batch
+    /// section of a durable snapshot.
+    pub fn stored_batches(&self) -> Vec<Batch> {
+        self.batches.values().cloned().collect()
+    }
+
+    /// Every coin instance whose leader this process has opened, with the
+    /// elected leader, ascending by instance — the leader section of a
+    /// durable snapshot. The coin aggregators retain only combined group
+    /// elements (proofs are dropped on acceptance), so a snapshot stores
+    /// the *outcome* of each election; waves whose threshold was not yet
+    /// reached at snapshot time are covered by the WAL's share records.
+    pub fn coin_leaders(&self) -> Vec<(u64, ProcessId)> {
+        self.coin.opened_leaders()
+    }
+
+    /// Replays one recovered durable event into the engine — the restart
+    /// path. Events must be fed in log order, before
+    /// [`DagRiderEngine::start`] and before recording is (re-)enabled;
+    /// each replayed event is marked as already logged so the
+    /// post-recovery sync stream does not re-record it. Identical event
+    /// sequences rebuild byte-identical ordered logs (the determinism
+    /// contract of the module docs); outputs are returned for uniformity
+    /// but a recovering driver normally discards them — peers already
+    /// processed the originals.
+    pub fn replay_durable(
+        &mut self,
+        event: DurableEvent,
+        now: Time,
+        rng: &mut rand::rngs::StdRng,
+    ) -> Vec<EngineOutput> {
+        self.tracer.set_now(now);
+        let mut out = Vec::new();
+        match event {
+            DurableEvent::Vertex(vertex) => {
+                self.logged_vertices.insert(vertex.reference());
+                let source = vertex.source();
+                let round = vertex.round();
+                let events = self.core.on_vertex(vertex, source, round);
+                let mut queue = VecDeque::new();
+                self.handle_dag_events(events, &mut out, &mut queue, now, rng);
+                self.drive(queue, &mut out, now, rng);
+            }
+            DurableEvent::CoinShare(share) => {
+                self.logged_shares.insert((share.instance(), share.issuer()));
+                self.on_verified_share(share, &mut out, now);
+            }
+            DurableEvent::Batch(batch) => {
+                self.store_batch(batch);
+                self.drain_pending(&mut out, now, false);
+            }
+            DurableEvent::Commit { wave, leader } => {
+                let delivered = self.ordering.on_leader(wave, leader, self.core.dag(), now);
+                self.deliver(delivered, &mut out, now);
+            }
+        }
+        self.finish_turn(&mut out);
+        out
+    }
+
     /// All non-genesis vertices of the local DAG in ascending
     /// `(round, source)` order — the replay stream served to a restarted
     /// peer (each becomes an [`EngineInput::SyncVertex`] there).
@@ -671,6 +831,7 @@ impl<B: ReliableBroadcast> DagRiderEngine<B> {
                 self.drive(queue, &mut out, now, rng);
             }
             EngineInput::SyncVertex(vertex) => {
+                self.record_durable_vertex(&vertex);
                 let source = vertex.source();
                 let round = vertex.round();
                 let events = self.core.on_vertex(vertex, source, round);
@@ -687,9 +848,7 @@ impl<B: ReliableBroadcast> DagRiderEngine<B> {
             }
             EngineInput::BatchStored(batch) => {
                 let digest = batch_digest(&batch);
-                if self.batches.insert(digest, batch).is_none() {
-                    self.tracer.record(TraceEvent::BatchStored { digest });
-                }
+                self.insert_batch(digest, batch);
                 self.drain_pending(&mut out, now, false);
             }
             EngineInput::PreVerified(verified) => match verified {
@@ -704,9 +863,7 @@ impl<B: ReliableBroadcast> DagRiderEngine<B> {
                     }
                 }
                 VerifiedInput::Batch { digest, batch } => {
-                    if self.batches.insert(digest, batch).is_none() {
-                        self.tracer.record(TraceEvent::BatchStored { digest });
-                    }
+                    self.insert_batch(digest, batch);
                     self.drain_pending(&mut out, now, false);
                 }
             },
@@ -743,12 +900,7 @@ impl<B: ReliableBroadcast> DagRiderEngine<B> {
                     self.decode_failures += 1;
                     return;
                 }
-                let wave = Wave::new(share.instance());
-                let res = self.coin.add_share(share);
-                if let Ok(Some(leader)) = res {
-                    let delivered = self.ordering.on_leader(wave, leader, self.core.dag(), now);
-                    self.deliver(delivered, out, now);
-                }
+                self.accept_share(share, false, out, now);
             }
             Err(_) => self.decode_failures += 1,
         }
@@ -779,12 +931,7 @@ impl<B: ReliableBroadcast> DagRiderEngine<B> {
                     self.decode_failures += 1;
                     return;
                 }
-                let wave = Wave::new(share.instance());
-                let res = self.coin.add_share(share);
-                if let Ok(Some(leader)) = res {
-                    let delivered = self.ordering.on_leader(wave, leader, self.core.dag(), now);
-                    self.deliver(delivered, out, now);
-                }
+                self.accept_share(share, false, out, now);
             }
             Err(_) => self.decode_failures += 1,
         }
@@ -793,12 +940,7 @@ impl<B: ReliableBroadcast> DagRiderEngine<B> {
     /// The PreVerified-CoinShare body: insert a share whose proof the
     /// driver already verified.
     fn on_verified_share(&mut self, share: CoinShare, out: &mut Vec<EngineOutput>, now: Time) {
-        let wave = Wave::new(share.instance());
-        let res = self.coin.add_verified_share(share);
-        if let Ok(Some(leader)) = res {
-            let delivered = self.ordering.on_leader(wave, leader, self.core.dag(), now);
-            self.deliver(delivered, out, now);
-        }
+        self.accept_share(share, true, out, now);
     }
 
     /// Queues ordering-layer deliveries for payload resolution and emits
@@ -940,14 +1082,9 @@ impl<B: ReliableBroadcast> DagRiderEngine<B> {
                             self.decode_failures += 1;
                             continue;
                         }
-                        let wave = Wave::new(share.instance());
-                        let res = self.coin.add_share(share);
-                        if let Ok(Some(leader)) = res {
-                            let delivered =
-                                self.ordering.on_leader(wave, leader, self.core.dag(), now);
-                            self.deliver(delivered, out, now);
-                        }
+                        self.accept_share(share, false, out, now);
                     }
+                    self.record_durable_vertex(&payload.vertex);
                     let events =
                         self.core.on_vertex(payload.vertex, delivery.source, delivery.round);
                     self.handle_dag_events(events, out, &mut queue, now, rng);
@@ -982,6 +1119,7 @@ impl<B: ReliableBroadcast> DagRiderEngine<B> {
                     // (line 35 — unpredictability requires revealing the
                     // share no earlier).
                     let share = self.coin.my_share(wave.number(), rng);
+                    self.record_durable_share(&share);
                     if self.config.piggyback_coin {
                         // Ride the next vertex (the round 4w+1 broadcast,
                         // which immediately follows this event).
@@ -1008,6 +1146,15 @@ impl<B: ReliableBroadcast> DagRiderEngine<B> {
         for share in std::mem::take(&mut self.pending_shares) {
             let msg: NodeMessage<B::Message> = NodeMessage::Coin(share);
             out.push(EngineOutput::Broadcast { payload: Bytes::from(msg.to_bytes()) });
+        }
+        // Record wave commits decided this turn, after the vertex and
+        // share events that caused them (log order is causal order).
+        if let Some(log) = self.durable_log.as_mut() {
+            let commits = self.ordering.commits();
+            for commit in commits.get(self.durable_commits_logged..).unwrap_or(&[]) {
+                log.push(DurableEvent::Commit { wave: commit.wave, leader: commit.leader });
+            }
+            self.durable_commits_logged = commits.len();
         }
         self.maybe_gc();
     }
@@ -1042,7 +1189,11 @@ impl<B: ReliableBroadcast> DagRiderEngine<B> {
             self.ordering.prune_delivered_below(keep_from);
             self.rbc.prune(keep_from);
             // Coin aggregators for waves entirely below the floor.
-            self.coin.prune(keep_from.wave().number().saturating_sub(1));
+            let keep_wave = keep_from.wave().number().saturating_sub(1);
+            self.coin.prune(keep_wave);
+            // The durable dedupe sets follow the same floors.
+            self.logged_vertices.retain(|r| r.round >= keep_from);
+            self.logged_shares.retain(|&(instance, _)| instance >= keep_wave);
         }
     }
 }

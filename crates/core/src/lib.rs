@@ -56,6 +56,7 @@
 
 mod construction;
 mod dag;
+mod durable;
 mod engine;
 mod ordering;
 mod reach;
@@ -63,6 +64,7 @@ pub mod render;
 
 pub use construction::{DagCore, DagEvent};
 pub use dag::Dag;
+pub use durable::DurableEvent;
 pub use engine::{
     batch_digest, DagRiderEngine, EngineInput, EngineOutput, IoRecord, NodeConfig, NodeMessage,
     VerifiedInput, VertexPayload, FETCH_RETRIES, FETCH_RETRY_DELAY, FETCH_TIMER_TAG,

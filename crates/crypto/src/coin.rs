@@ -504,6 +504,18 @@ impl Coin {
         self.aggregators.get(&instance).and_then(CoinAggregator::opened)
     }
 
+    /// Every opened instance with its elected leader, ascending by
+    /// instance — the recoverable outcome of past elections. Aggregators
+    /// keep only combined group elements (proofs are dropped on
+    /// acceptance), so this, not the share set, is what a durable
+    /// snapshot can persist.
+    pub fn opened_leaders(&self) -> Vec<(u64, ProcessId)> {
+        self.aggregators
+            .iter()
+            .filter_map(|(&instance, agg)| agg.opened().map(|leader| (instance, leader)))
+            .collect()
+    }
+
     /// Drops aggregator state for instances `< before` (garbage
     /// collection for long runs).
     pub fn prune(&mut self, before: u64) {

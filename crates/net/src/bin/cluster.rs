@@ -10,6 +10,11 @@
 //! and relaunches it; the replacement must rejoin through the sync
 //! protocol (and reconnect backoff) and still produce the same log.
 //!
+//! With `--store`, each child persists a durable store (WAL + snapshots)
+//! under the run directory. Combined with `--restart`, the relaunched
+//! child replays its predecessor's store first and syncs only the suffix
+//! it missed — the kill-and-restart recovery path over real processes.
+//!
 //! With `--workers N` (N > 0), each child runs N worker channels and
 //! submits its marker as a raw transaction: it is batched, disseminated
 //! peer-to-peer over worker connections, and ordered by digest —
@@ -33,8 +38,9 @@ use std::time::{Duration, Instant};
 
 use dagrider_core::NodeConfig;
 use dagrider_crypto::deal_coin_keys;
-use dagrider_net::{NetConfig, NetNode};
+use dagrider_net::{NetConfig, NetNode, StoreConfig};
 use dagrider_rbc::BrachaRbc;
+use dagrider_store::FsyncPolicy;
 use dagrider_types::{Block, Committee, ProcessId, SeqNum, Transaction};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -82,6 +88,7 @@ fn parent_main(args: &[String]) -> Result<(), String> {
     let max_round: u64 = parse_arg(args, "--max-round", DEFAULT_MAX_ROUND)?;
     let timeout = Duration::from_secs(parse_arg(args, "--timeout-secs", 120u64)?);
     let restart = args.iter().any(|a| a == "--restart");
+    let store = args.iter().any(|a| a == "--store");
     let workers: usize = parse_arg(args, "--workers", 0)?;
 
     let dir = match arg_value(args, "--dir") {
@@ -96,27 +103,32 @@ fn parent_main(args: &[String]) -> Result<(), String> {
 
     let out_path = |i: usize| dir.join(format!("node{i}.log"));
     let spawn_child = |i: usize| -> Result<Child, String> {
-        Command::new(&exe)
-            .args([
-                "--child",
-                &i.to_string(),
-                "--addrs",
-                &addr_list,
-                "--seed",
-                &seed.to_string(),
-                "--max-round",
-                &max_round.to_string(),
-                "--out",
-                &out_path(i).display().to_string(),
-                "--workers",
-                &workers.to_string(),
-            ])
-            .spawn()
-            .map_err(|e| format!("spawn child {i}: {e}"))
+        let mut child_args = vec![
+            "--child".to_owned(),
+            i.to_string(),
+            "--addrs".to_owned(),
+            addr_list.clone(),
+            "--seed".to_owned(),
+            seed.to_string(),
+            "--max-round".to_owned(),
+            max_round.to_string(),
+            "--out".to_owned(),
+            out_path(i).display().to_string(),
+            "--workers".to_owned(),
+            workers.to_string(),
+        ];
+        if store {
+            // A fixed per-index path: a restarted child reopens its
+            // predecessor's store and recovers from it.
+            child_args.push("--store-dir".to_owned());
+            child_args.push(dir.join(format!("store-node{i}")).display().to_string());
+        }
+        Command::new(&exe).args(child_args).spawn().map_err(|e| format!("spawn child {i}: {e}"))
     };
 
     eprintln!(
-        "cluster: n={n} seed={seed} max_round={max_round} restart={restart} workers={workers} dir={}",
+        "cluster: n={n} seed={seed} max_round={max_round} restart={restart} store={store} \
+         workers={workers} dir={}",
         dir.display()
     );
     let mut children: Vec<Child> = (0..n).map(spawn_child).collect::<Result<_, _>>()?;
@@ -267,8 +279,18 @@ fn child_main(args: &[String]) -> Result<(), String> {
 
     let node_config = NodeConfig::default().with_max_round(max_round);
     let process_seed = seed.wrapping_mul(0x9e37_79b9).wrapping_add(index as u64);
-    let config = NetConfig::new(committee, me, addrs.clone(), node_config, my_keys, process_seed)
-        .with_workers(workers);
+    let mut config =
+        NetConfig::new(committee, me, addrs.clone(), node_config, my_keys, process_seed)
+            .with_workers(workers);
+    if let Some(store_dir) = arg_value(args, "--store-dir") {
+        // Sync every group commit: a SIGKILLed child must find its full
+        // pre-kill state on disk. Snapshot often so short runs compact.
+        config = config.with_store(
+            StoreConfig::new(PathBuf::from(store_dir))
+                .with_fsync(FsyncPolicy::Always)
+                .with_snapshot_every(64),
+        );
+    }
 
     // A restarted process can race the kernel's teardown of its
     // predecessor's socket, so retry the bind briefly.
@@ -330,12 +352,16 @@ fn child_main(args: &[String]) -> Result<(), String> {
     std::fs::write(&out, text).map_err(|e| format!("write {out}: {e}"))?;
     eprintln!(
         "node {index}: ordered {} vertices, decided wave {}, {} frames dropped, \
-         verify batch depth {}",
+         verify batch depth {}, {} events replayed from store",
         node.ordered_len(),
         node.decided_wave().number(),
         node.dropped_frames(),
-        node.verify_batch_depth()
+        node.verify_batch_depth(),
+        node.recovered_events()
     );
+    if !node.store_healthy() {
+        return Err(format!("node {index}: durable store reported write failures"));
+    }
 
     // Linger: keep serving sync requests (a restarted peer rebuilds its
     // DAG from us) until the parent kills this process.

@@ -17,6 +17,11 @@
 //!   and peer-to-peer batch dissemination off the consensus path.
 //! * [`runtime`] — [`NetNode`]: one DAG-Rider process as a thread-per-peer
 //!   TCP runtime with graceful shutdown.
+//! * [`wal`] — off-thread durability: the consensus loop hands durable
+//!   events to a flusher thread that appends them to a
+//!   `dagrider-store` write-ahead log and installs compacted
+//!   snapshots; on restart the node replays its store before syncing
+//!   only the missed suffix from peers.
 //! * [`sync`] — the shimmed concurrency primitives every module above
 //!   must use (enforced by `cargo xtask lint`), plus [`sync::model`],
 //!   the deterministic interleaving explorer behind `dagrider-check`.
@@ -43,6 +48,7 @@ pub mod runtime;
 pub mod signal;
 pub mod sync;
 pub(crate) mod verify;
+pub mod wal;
 pub mod wire;
 pub(crate) mod worker;
 
@@ -50,6 +56,7 @@ pub use backoff::Backoff;
 pub use batch::BatchStore;
 pub use frame::{read_frame, write_frame, Frame, FramePool, MAX_FRAME_LEN};
 pub use queue::{Pop, SendQueue};
-pub use runtime::{NetConfig, NetNode};
+pub use runtime::{NetConfig, NetNode, StoreConfig};
 pub use signal::Shutdown;
+pub use wal::{wal_channel, wal_flush_loop, WalHandle, WalJob, WalJobs, WalSink};
 pub use wire::WireMsg;

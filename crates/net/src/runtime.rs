@@ -12,24 +12,33 @@
 //!   exponential [`Backoff`] and re-dialing forever on failure.
 //! * **accept** — polls the listener and spawns a **reader** per inbound
 //!   connection; readers decode frames and push events to consensus.
+//! * **flusher** (when a [`StoreConfig`] is set) — owns the
+//!   [`DurableStore`]: drains groups of durable events off a channel,
+//!   appends them to the write-ahead log, fsyncs per policy, and
+//!   installs compacted snapshots — every disk wait lives here, never
+//!   on the consensus thread (see [`crate::wal`]).
 //!
-//! A (re)starting node first asks every peer for its retained DAG
-//! ([`WireMsg::SyncRequest`]) and only calls `engine.start()` if, after
-//! the sync phase, it is still at the genesis round — a rejoining process
-//! resumes organically from the synced vertices instead, which keeps its
+//! A (re)starting node first replays its durable store (snapshot + WAL
+//! tail) into the fresh engine, then asks every peer for its retained
+//! DAG ([`WireMsg::SyncRequest`]) — covering just the suffix it missed
+//! — and only calls `engine.start()` if, after the sync phase, it is
+//! still at the genesis round — a rejoining process resumes organically
+//! from the replayed and synced vertices instead, which keeps its
 //! pre-crash proposals from being equivocated where peers would notice.
 
 use std::collections::BTreeSet;
 use std::io;
 use std::net::{Shutdown as SocketShutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use dagrider_core::{
-    DagRiderEngine, EngineInput, EngineOutput, NodeConfig, NodeMessage, OrderedVertex,
-    VerifiedInput,
+    DagRiderEngine, DurableEvent, EngineInput, EngineOutput, NodeConfig, NodeMessage,
+    OrderedVertex, VerifiedInput,
 };
 use dagrider_crypto::CoinKeys;
 use dagrider_rbc::ReliableBroadcast;
+use dagrider_store::{replay_into, DurableStore, FsyncPolicy, Recovered, StoreSnapshot};
 use dagrider_trace::TraceEvent;
 use dagrider_types::{
     Batch, BatchDigest, Block, Committee, Decode, Encode, ProcessId, Round, Time, Transaction, Wave,
@@ -45,6 +54,7 @@ use crate::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use crate::sync::thread::{self, JoinHandle};
 use crate::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use crate::verify::{PoolControl, VerifyPool};
+use crate::wal::{wal_channel, wal_flush_loop, WalHandle};
 use crate::wire::WireMsg;
 use crate::worker::{
     batch_loop, batch_reader_loop, worker_writer_loop, BatchLane, BatchPolicy, PendingAck,
@@ -97,6 +107,46 @@ pub struct NetConfig {
     /// individual entries at a black hole to force the missing-batch
     /// fetch path.
     pub worker_addrs: Option<Vec<SocketAddr>>,
+    /// Durable store configuration; `None` runs the node ephemeral (a
+    /// crash recovers over peer sync alone, as before PR 8).
+    pub store: Option<StoreConfig>,
+}
+
+/// Where and how a node persists its durable state (see
+/// [`crate::wal`] and the `dagrider-store` crate).
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Directory holding this node's WAL and snapshot. Must be private
+    /// to the node (one store directory per process identity).
+    pub dir: PathBuf,
+    /// When appended records are fsynced (group-commit policy).
+    pub fsync: FsyncPolicy,
+    /// Install a compacted snapshot (and truncate the WAL) every this
+    /// many persisted vertex events; `0` disables compaction.
+    pub snapshot_every: u64,
+}
+
+impl StoreConfig {
+    /// A store rooted at `dir` with batched fsync (every 64 records)
+    /// and compaction every 512 vertices.
+    #[must_use]
+    pub fn new(dir: PathBuf) -> Self {
+        Self { dir, fsync: FsyncPolicy::EveryN(64), snapshot_every: 512 }
+    }
+
+    /// Overrides the fsync policy.
+    #[must_use]
+    pub fn with_fsync(mut self, fsync: FsyncPolicy) -> Self {
+        self.fsync = fsync;
+        self
+    }
+
+    /// Overrides the snapshot cadence (`0` disables compaction).
+    #[must_use]
+    pub fn with_snapshot_every(mut self, vertices: u64) -> Self {
+        self.snapshot_every = vertices;
+        self
+    }
 }
 
 impl NetConfig {
@@ -129,6 +179,7 @@ impl NetConfig {
             batch_interval: Duration::from_millis(10),
             ack_timeout: Duration::from_secs(1),
             worker_addrs: None,
+            store: None,
         }
     }
 
@@ -182,6 +233,14 @@ impl NetConfig {
         self.worker_addrs = Some(addrs);
         self
     }
+
+    /// Enables the durable store: WAL appends off-thread, periodic
+    /// snapshots, and replay-from-store on restart.
+    #[must_use]
+    pub fn with_store(mut self, store: StoreConfig) -> Self {
+        self.store = Some(store);
+        self
+    }
 }
 
 /// Everything that can wake the consensus thread.
@@ -224,6 +283,16 @@ struct Published {
     round: AtomicU64,
     decided_wave: AtomicU64,
     synced: AtomicBool,
+    recovered: AtomicU64,
+}
+
+/// Consensus-side durability state: the flusher handle, what the store
+/// recovered at open, and the snapshot-cadence counter.
+struct DurableCtx {
+    handle: WalHandle,
+    recovered: Option<Recovered>,
+    snapshot_every: u64,
+    vertices_since_snapshot: u64,
 }
 
 fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -254,6 +323,7 @@ pub struct NetNode {
     worker_txs: Vec<Sender<Transaction>>,
     worker_queues: Vec<Arc<SendQueue>>,
     next_worker: AtomicU64,
+    store_healthy: Option<Arc<AtomicBool>>,
     stop: Arc<Shutdown>,
     threads: Vec<JoinHandle<()>>,
 }
@@ -372,6 +442,28 @@ impl NetNode {
             }));
         }
 
+        // The durable store and its flusher thread. Opened here (not in
+        // the consensus thread) so a broken store directory fails
+        // `start` loudly instead of killing the node mid-protocol, and
+        // so every fsync lives on the flusher, never on consensus.
+        let mut durable = None;
+        let mut store_healthy = None;
+        if let Some(store_cfg) = config.store.clone() {
+            let (wal_store, recovered) = DurableStore::open(&store_cfg.dir, store_cfg.fsync)?;
+            let (handle, jobs) = wal_channel();
+            store_healthy = Some(handle.health());
+            threads.push(thread::spawn(move || {
+                let mut sink = wal_store;
+                wal_flush_loop(&mut sink, &jobs);
+            }));
+            durable = Some(DurableCtx {
+                handle,
+                recovered: Some(recovered),
+                snapshot_every: store_cfg.snapshot_every,
+                vertices_since_snapshot: 0,
+            });
+        }
+
         {
             let state = Arc::clone(&published);
             let consensus_queues = queues.clone();
@@ -385,6 +477,7 @@ impl NetNode {
                     &state,
                     &consensus_stop,
                     &consensus_store,
+                    durable,
                 );
             }));
         }
@@ -402,6 +495,7 @@ impl NetNode {
             worker_txs,
             worker_queues,
             next_worker: AtomicU64::new(0),
+            store_healthy,
             stop,
             threads,
         })
@@ -491,6 +585,20 @@ impl NetNode {
     /// live.
     pub fn is_live(&self) -> bool {
         self.published.synced.load(AtomicOrdering::Relaxed)
+    }
+
+    /// Events replayed from the local durable store at startup (0 when
+    /// no store is configured or the directory was fresh).
+    pub fn recovered_events(&self) -> u64 {
+        self.published.recovered.load(AtomicOrdering::Relaxed)
+    }
+
+    /// Whether the durable store is still writing cleanly. `true` when
+    /// no store is configured; latched `false` forever on the first
+    /// flusher I/O error (the node keeps running — recovery falls back
+    /// to peer sync).
+    pub fn store_healthy(&self) -> bool {
+        self.store_healthy.as_ref().is_none_or(|h| h.load(AtomicOrdering::Relaxed))
     }
 
     /// Total outbound frames dropped to queue overflow, across all
@@ -695,6 +803,7 @@ fn consensus_loop<B: ReliableBroadcast>(
     published: &Published,
     stop: &Shutdown,
     store: &BatchStore,
+    durable: Option<DurableCtx>,
 ) {
     let committee = config.committee;
     let me = config.me;
@@ -702,6 +811,9 @@ fn consensus_loop<B: ReliableBroadcast>(
         DagRiderEngine::new(committee, me, config.coin_keys, config.node);
     let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(config.seed);
     let epoch = Instant::now();
+    let mut durable = durable;
+    let durable_enabled = durable.is_some();
+    let mut recovered_state = durable.as_mut().and_then(|ctx| ctx.recovered.take());
 
     // Pending engine timers as (fire-at, tag), unordered (few and coarse).
     let mut timers: Vec<(Instant, u64)> = Vec::new();
@@ -741,6 +853,63 @@ fn consensus_loop<B: ReliableBroadcast>(
         }
     };
 
+    // Every engine call goes through `emit`: first group-persist what
+    // the call recorded (a channel send to the flusher — the fsync
+    // happens off-thread), *then* route the outputs to the wire, so a
+    // WAL append always precedes the network effects it justifies.
+    // Snapshot cadence counts persisted vertex events; the capture is a
+    // cheap clone on this thread, the tmp-write/fsync/rename/truncate
+    // sequence runs on the flusher.
+    let mut emit = |engine: &mut DagRiderEngine<B>,
+                    outs: Vec<EngineOutput>,
+                    timers: &mut Vec<(Instant, u64)>| {
+        if let Some(ctx) = durable.as_mut() {
+            let events = engine.drain_durable_events();
+            if !events.is_empty() {
+                let vertices =
+                    events.iter().filter(|e| matches!(e, DurableEvent::Vertex(_))).count() as u64;
+                ctx.handle.persist(events);
+                if ctx.snapshot_every > 0 {
+                    ctx.vertices_since_snapshot += vertices;
+                    if ctx.vertices_since_snapshot >= ctx.snapshot_every {
+                        ctx.vertices_since_snapshot = 0;
+                        ctx.handle.snapshot(StoreSnapshot::capture(engine));
+                    }
+                }
+            }
+        }
+        route(outs, timers);
+    };
+
+    // Replay the local store into the fresh engine before anything
+    // touches the network. The recovered prefix re-derives silently —
+    // `Send`/`Broadcast` are dropped (peers saw the original traffic
+    // long ago) and `Ordered` re-deliveries surface through the
+    // engine's log in the publish step like any other progress — then
+    // recording turns on so only *new* events reach the WAL. The sync
+    // phase below then fetches just the suffix missed while down.
+    if let Some(rec) = recovered_state.take() {
+        let mut replay_outs = Vec::new();
+        let stats = replay_into(
+            &mut engine,
+            rec.snapshot.as_ref(),
+            &rec.tail,
+            engine_now(epoch),
+            &mut rng,
+            |out| match out {
+                EngineOutput::Send { .. }
+                | EngineOutput::Broadcast { .. }
+                | EngineOutput::Ordered(_) => {}
+                other => replay_outs.push(other),
+            },
+        );
+        emit(&mut engine, replay_outs, &mut timers);
+        published.recovered.store(stats.total() as u64, AtomicOrdering::Relaxed);
+    }
+    if durable_enabled {
+        engine.set_durable_recording(true);
+    }
+
     // Sync phase: ask every peer for its retained DAG as links come up;
     // go live once all have answered or the timeout expires. A sync
     // stream can arrive with holes — a TCP write "succeeds" into the
@@ -777,7 +946,7 @@ fn consensus_loop<B: ReliableBroadcast>(
                 WireMsg::Engine(payload) => {
                     let input = EngineInput::Message { from, payload };
                     let outs = engine.handle(engine_now(epoch), input, &mut rng);
-                    route(outs, &mut timers);
+                    emit(&mut engine, outs, &mut timers);
                 }
                 WireMsg::SyncRequest => {
                     serve_sync(&mut engine, &mut rng, &queues[from.as_usize()], &frames);
@@ -786,7 +955,7 @@ fn consensus_loop<B: ReliableBroadcast>(
                     sync_received[from.as_usize()] += 1;
                     let input = EngineInput::SyncVertex(vertex);
                     let outs = engine.handle(engine_now(epoch), input, &mut rng);
-                    route(outs, &mut timers);
+                    emit(&mut engine, outs, &mut timers);
                 }
                 WireMsg::SyncEnd { served } => {
                     if sync_received[from.as_usize()] >= served {
@@ -814,7 +983,7 @@ fn consensus_loop<B: ReliableBroadcast>(
                     let (digest, _) = store.insert(batch.clone());
                     let input = EngineInput::PreVerified(VerifiedInput::Batch { digest, batch });
                     let outs = engine.handle(engine_now(epoch), input, &mut rng);
-                    route(outs, &mut timers);
+                    emit(&mut engine, outs, &mut timers);
                 }
                 WireMsg::BatchAck { digest } => {
                     engine.tracer().set_now(engine_now(epoch));
@@ -824,7 +993,7 @@ fn consensus_loop<B: ReliableBroadcast>(
                             let released = acks.swap_remove(at).digest;
                             let input = EngineInput::SubmitDigests(vec![released]);
                             let outs = engine.handle(engine_now(epoch), input, &mut rng);
-                            route(outs, &mut timers);
+                            emit(&mut engine, outs, &mut timers);
                         }
                     }
                 }
@@ -833,12 +1002,12 @@ fn consensus_loop<B: ReliableBroadcast>(
             Ok(Event::Verified(verified)) => {
                 let input = EngineInput::PreVerified(verified);
                 let outs = engine.handle(engine_now(epoch), input, &mut rng);
-                route(outs, &mut timers);
+                emit(&mut engine, outs, &mut timers);
             }
             Ok(Event::Submit(block)) => {
                 let outs =
                     engine.handle(engine_now(epoch), EngineInput::SubmitBlock(block), &mut rng);
-                route(outs, &mut timers);
+                emit(&mut engine, outs, &mut timers);
             }
             Ok(Event::OwnBatch { digest, batch }) => {
                 // A local worker sealed and disseminated this batch.
@@ -858,7 +1027,7 @@ fn consensus_loop<B: ReliableBroadcast>(
                 });
                 let input = EngineInput::PreVerified(VerifiedInput::Batch { digest, batch });
                 let outs = engine.handle(engine_now(epoch), input, &mut rng);
-                route(outs, &mut timers);
+                emit(&mut engine, outs, &mut timers);
             }
             Ok(Event::PeerBatch { from, digest, batch }) => {
                 // A peer's worker pushed this batch to us; acknowledge on
@@ -868,7 +1037,7 @@ fn consensus_loop<B: ReliableBroadcast>(
                 queues[from.as_usize()].push(frames.encode(&WireMsg::BatchAck { digest }));
                 let input = EngineInput::PreVerified(VerifiedInput::Batch { digest, batch });
                 let outs = engine.handle(engine_now(epoch), input, &mut rng);
-                route(outs, &mut timers);
+                emit(&mut engine, outs, &mut timers);
             }
             Ok(Event::LinkUp(peer)) => {
                 if !live {
@@ -887,7 +1056,7 @@ fn consensus_loop<B: ReliableBroadcast>(
             if timers[i].0 <= now_instant {
                 let (_, tag) = timers.swap_remove(i);
                 let outs = engine.handle(engine_now(epoch), EngineInput::Timer { tag }, &mut rng);
-                route(outs, &mut timers);
+                emit(&mut engine, outs, &mut timers);
             } else {
                 i += 1;
             }
@@ -902,7 +1071,7 @@ fn consensus_loop<B: ReliableBroadcast>(
                 let released = acks.swap_remove(i).digest;
                 let input = EngineInput::SubmitDigests(vec![released]);
                 let outs = engine.handle(engine_now(epoch), input, &mut rng);
-                route(outs, &mut timers);
+                emit(&mut engine, outs, &mut timers);
             } else {
                 i += 1;
             }
@@ -917,7 +1086,7 @@ fn consensus_loop<B: ReliableBroadcast>(
             published.synced.store(true, AtomicOrdering::Relaxed);
             if engine.current_round() == Round::GENESIS && !engine.is_started() {
                 let outs = engine.start(engine_now(epoch), &mut rng);
-                route(outs, &mut timers);
+                emit(&mut engine, outs, &mut timers);
             }
         }
 

@@ -1,0 +1,174 @@
+//! Off-thread durability: the consensus loop hands batches of durable
+//! events to a dedicated **flusher** thread, which appends them to the
+//! node's [`DurableStore`] and fsyncs at group boundaries.
+//!
+//! The split exists so the PR 5 hot path is never re-serialized on the
+//! disk: the consensus thread's only durability work is a non-blocking
+//! channel send ([`WalHandle::persist`]) *before* it routes the
+//! corresponding outputs to the wire. The flusher drains whatever has
+//! accumulated since its last wake-up into one group
+//! ([`wal_flush_loop`]), appends, and lets the store's
+//! [`FsyncPolicy`](dagrider_store::FsyncPolicy) decide whether the
+//! group boundary forces an fsync. Snapshots ride the same channel
+//! ([`WalJob::Snapshot`]) so compaction — including its fsyncs and the
+//! WAL truncation — also happens off-thread, strictly ordered with the
+//! appends around it: events drained before the capture are superseded
+//! by the snapshot, events recorded after it land in the fresh log.
+//!
+//! A flusher I/O error latches the shared health flag false and the
+//! store degrades to a no-op: the node keeps running (durability is a
+//! recovery accelerator, not the safety root — a node that loses its
+//! store rejoins over peer sync), and operators observe
+//! [`NetNode::store_healthy`](crate::NetNode::store_healthy).
+//!
+//! The whole surface is built on the [`crate::sync`] shims and the
+//! flusher logic is exported, so `dagrider-check` explores the
+//! append-batching / snapshot-compaction / shutdown interleavings
+//! against an in-memory sink.
+
+use std::io;
+
+use dagrider_core::DurableEvent;
+use dagrider_store::{DurableStore, StoreSnapshot};
+
+use crate::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+use crate::sync::mpsc::{self, Receiver, Sender};
+use crate::sync::Arc;
+
+/// Where the flusher writes. [`DurableStore`] in production; the model
+/// checker substitutes an in-memory sink to explore interleavings
+/// without touching a filesystem.
+pub trait WalSink: Send {
+    /// Appends one event (buffered until the next commit boundary).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's write error.
+    fn append(&mut self, event: &DurableEvent) -> io::Result<()>;
+
+    /// Marks a group-commit boundary (the fsync decision point).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's sync error.
+    fn commit(&mut self) -> io::Result<()>;
+
+    /// Forces everything to stable storage (shutdown barrier).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's sync error.
+    fn sync(&mut self) -> io::Result<()>;
+
+    /// Atomically installs a compacted snapshot, truncating the log.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's filesystem error.
+    fn install_snapshot(&mut self, snapshot: &StoreSnapshot) -> io::Result<()>;
+}
+
+impl WalSink for DurableStore {
+    fn append(&mut self, event: &DurableEvent) -> io::Result<()> {
+        DurableStore::append(self, event)
+    }
+
+    fn commit(&mut self) -> io::Result<()> {
+        DurableStore::commit(self)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        DurableStore::sync(self)
+    }
+
+    fn install_snapshot(&mut self, snapshot: &StoreSnapshot) -> io::Result<()> {
+        DurableStore::install_snapshot(self, snapshot)
+    }
+}
+
+/// One unit of work for the flusher thread.
+#[derive(Debug)]
+pub enum WalJob {
+    /// Append these events (one drained group from the consensus loop).
+    Append(Vec<DurableEvent>),
+    /// Install this compacted snapshot and truncate the log.
+    Snapshot(Box<StoreSnapshot>),
+}
+
+/// The consensus side of the durability channel. Dropping the last
+/// handle disconnects the flusher, which drains remaining jobs, fsyncs,
+/// and exits.
+#[derive(Debug)]
+pub struct WalHandle {
+    tx: Sender<WalJob>,
+    healthy: Arc<AtomicBool>,
+}
+
+impl WalHandle {
+    /// Queues a group of events for appending. Non-blocking; a no-op
+    /// for an empty group or after the flusher is gone.
+    pub fn persist(&self, events: Vec<DurableEvent>) {
+        if events.is_empty() {
+            return;
+        }
+        let _ = self.tx.send(WalJob::Append(events));
+    }
+
+    /// Queues a compacted snapshot for installation.
+    pub fn snapshot(&self, snapshot: StoreSnapshot) {
+        let _ = self.tx.send(WalJob::Snapshot(Box::new(snapshot)));
+    }
+
+    /// Shared health flag: latched `false` forever on the first flusher
+    /// I/O error.
+    #[must_use]
+    pub fn health(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.healthy)
+    }
+}
+
+/// The flusher side of the durability channel.
+#[derive(Debug)]
+pub struct WalJobs {
+    rx: Receiver<WalJob>,
+    healthy: Arc<AtomicBool>,
+}
+
+/// Creates the consensus↔flusher durability channel.
+#[must_use]
+pub fn wal_channel() -> (WalHandle, WalJobs) {
+    let (tx, rx) = mpsc::channel();
+    let healthy = Arc::new(AtomicBool::new(true));
+    (WalHandle { tx, healthy: Arc::clone(&healthy) }, WalJobs { rx, healthy })
+}
+
+/// The flusher thread body: block for the next job, then drain
+/// everything else already queued into the same group, apply it all,
+/// and mark one commit boundary. Exits when every [`WalHandle`] is
+/// gone, after a final hard sync. Errors latch the health flag false
+/// and further work is still drained (the sink is expected to degrade
+/// to no-ops — a dead [`DurableStore`] does) so senders never block on
+/// a broken disk.
+pub fn wal_flush_loop<S: WalSink>(sink: &mut S, jobs: &WalJobs) {
+    while let Ok(first) = jobs.rx.recv() {
+        let mut group = vec![first];
+        while let Ok(job) = jobs.rx.try_recv() {
+            group.push(job);
+        }
+        let mut failed = false;
+        for job in group {
+            let step = match job {
+                WalJob::Append(events) => events.iter().try_for_each(|event| sink.append(event)),
+                WalJob::Snapshot(snapshot) => sink.install_snapshot(&snapshot),
+            };
+            failed |= step.is_err();
+        }
+        failed |= sink.commit().is_err();
+        if failed {
+            jobs.healthy.store(false, AtomicOrdering::Relaxed);
+        }
+    }
+    if sink.sync().is_err() {
+        jobs.healthy.store(false, AtomicOrdering::Relaxed);
+    }
+}

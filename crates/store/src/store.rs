@@ -1,0 +1,294 @@
+//! The on-disk store directory: one WAL plus at most one snapshot,
+//! with group-commit fsync policies and a crash-point fault hook.
+//!
+//! # Directory layout
+//!
+//! ```text
+//! <dir>/dag.wal       append-only record log (see crate::wal)
+//! <dir>/dag.snap      latest compacted StoreSnapshot, atomically renamed
+//! <dir>/dag.snap.tmp  in-flight snapshot write (discarded on recovery)
+//! ```
+//!
+//! # Durability protocol
+//!
+//! Appends buffer in the OS page cache; [`DurableStore::commit`] marks a
+//! group boundary and fsyncs per the configured [`FsyncPolicy`].
+//! Snapshots are installed crash-safely: write to `dag.snap.tmp`, fsync
+//! the file, `rename` over `dag.snap`, fsync the directory, then reset
+//! the WAL. A crash at any point leaves either the old snapshot + old
+//! WAL or the new snapshot + (old or empty) WAL — both replayable,
+//! because the snapshot strictly supersedes every WAL record that
+//! preceded its capture and replaying superseded records is idempotent.
+//!
+//! # Fault injection
+//!
+//! [`DurableStore::set_fault`] arms a [`FaultPlan`] that fires at a
+//! chosen append index: the store simulates a crash at that exact
+//! boundary (optionally leaving a torn or bit-flipped record behind)
+//! and goes **dead** — every later operation is a silent no-op, exactly
+//! as if the process had been SIGKILLed with the file in that state.
+//! Tests then reopen the directory and assert recovery invariants.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use dagrider_core::DurableEvent;
+use dagrider_types::{Decode, Encode};
+
+use crate::snapshot::StoreSnapshot;
+use crate::wal::{encode_record, Wal, WalDefect};
+
+/// File name of the WAL inside a store directory.
+pub const WAL_FILE: &str = "dag.wal";
+/// File name of the installed snapshot inside a store directory.
+pub const SNAPSHOT_FILE: &str = "dag.snap";
+/// Scratch name a snapshot is written to before the atomic rename.
+const SNAPSHOT_TMP_FILE: &str = "dag.snap.tmp";
+
+/// When appended records are forced to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Fsync at every group-commit boundary. Safest, slowest.
+    Always,
+    /// Fsync once at least this many records accumulated since the last
+    /// sync. Bounds the loss window to `n` records without serializing
+    /// every commit on the disk.
+    EveryN(u64),
+    /// Never fsync (the OS flushes eventually). The whole unflushed
+    /// suffix may vanish on a crash; recovery still works because a
+    /// missing WAL suffix is equivalent to an earlier crash.
+    Never,
+}
+
+/// What the injected fault leaves behind at the chosen append boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The record is never written: a crash just before the append.
+    Crash,
+    /// Only the first `keep` bytes of the framed record reach the file:
+    /// a torn write.
+    Torn {
+        /// Framed-record bytes that survive (clamped to the record).
+        keep: usize,
+    },
+    /// The whole record is written but one bit is flipped: silent media
+    /// corruption the checksum must catch.
+    BitFlip {
+        /// Bit index into the framed record (taken modulo its length).
+        bit: usize,
+    },
+}
+
+/// A one-shot fault armed on a store: fires when the `at_append`-th
+/// append (0-based) is attempted, then the store plays dead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// 0-based index of the append at which the fault fires.
+    pub at_append: u64,
+    /// The damage left behind.
+    pub kind: FaultKind,
+}
+
+/// Everything recovered from a store directory at open time.
+#[derive(Debug)]
+pub struct Recovered {
+    /// The installed snapshot, if one exists and decodes cleanly.
+    pub snapshot: Option<StoreSnapshot>,
+    /// Why the snapshot was discarded, when present but undecodable.
+    /// The node falls back to peer sync: the WAL was reset when the
+    /// snapshot was installed, so the snapshot's contents exist on
+    /// `2f + 1` correct peers by quorum intersection.
+    pub snapshot_defect: Option<String>,
+    /// The valid WAL suffix beyond the snapshot, in append order.
+    pub tail: Vec<DurableEvent>,
+    /// The defect (if any) at which the WAL was truncated.
+    pub wal_defect: Option<WalDefect>,
+}
+
+impl Recovered {
+    /// Whether nothing at all was recovered (fresh directory).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.snapshot.is_none() && self.tail.is_empty()
+    }
+}
+
+/// An open store directory. See the module docs for the protocol.
+#[derive(Debug)]
+pub struct DurableStore {
+    dir: PathBuf,
+    wal: Wal,
+    policy: FsyncPolicy,
+    unsynced: u64,
+    appended: u64,
+    fault: Option<FaultPlan>,
+    dead: bool,
+}
+
+impl DurableStore {
+    /// Opens (creating if needed) the store at `dir`, recovering any
+    /// snapshot and WAL tail left by a previous run. A corrupt snapshot
+    /// is discarded (reported via [`Recovered::snapshot_defect`]) rather
+    /// than refused, and a leftover `dag.snap.tmp` from a crash
+    /// mid-install is deleted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors other than "not found".
+    pub fn open(dir: &Path, policy: FsyncPolicy) -> io::Result<(Self, Recovered)> {
+        fs::create_dir_all(dir)?;
+        match fs::remove_file(dir.join(SNAPSHOT_TMP_FILE)) {
+            Ok(()) => {}
+            Err(error) if error.kind() == io::ErrorKind::NotFound => {}
+            Err(error) => return Err(error),
+        }
+        let (snapshot, snapshot_defect) = match fs::read(dir.join(SNAPSHOT_FILE)) {
+            Ok(bytes) => match StoreSnapshot::from_bytes(&bytes) {
+                Ok(snapshot) => (Some(snapshot), None),
+                Err(error) => (None, Some(error.to_string())),
+            },
+            Err(error) if error.kind() == io::ErrorKind::NotFound => (None, None),
+            Err(error) => return Err(error),
+        };
+        let (wal, scan) = Wal::open(&dir.join(WAL_FILE))?;
+        let store = Self {
+            dir: dir.to_path_buf(),
+            wal,
+            policy,
+            unsynced: 0,
+            appended: 0,
+            fault: None,
+            dead: false,
+        };
+        let recovered =
+            Recovered { snapshot, snapshot_defect, tail: scan.events, wal_defect: scan.defect };
+        Ok((store, recovered))
+    }
+
+    /// Appends one event to the WAL (buffered; see
+    /// [`DurableStore::commit`]). Fires the armed fault if this is its
+    /// append index; a dead store ignores the call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying write error.
+    pub fn append(&mut self, event: &DurableEvent) -> io::Result<()> {
+        if self.dead {
+            return Ok(());
+        }
+        let index = self.appended;
+        self.appended += 1;
+        if let Some(plan) = self.fault {
+            if plan.at_append == index {
+                self.apply_fault(plan.kind, event)?;
+                self.dead = true;
+                return Ok(());
+            }
+        }
+        self.wal.append(event)?;
+        self.unsynced += 1;
+        Ok(())
+    }
+
+    /// Marks a group-commit boundary: fsyncs if the policy says so.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying sync error.
+    pub fn commit(&mut self) -> io::Result<()> {
+        if self.dead {
+            return Ok(());
+        }
+        let due = match self.policy {
+            FsyncPolicy::Always => self.unsynced > 0,
+            FsyncPolicy::EveryN(n) => self.unsynced >= n,
+            FsyncPolicy::Never => false,
+        };
+        if due {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Unconditionally fsyncs the WAL (shutdown, or a hard barrier).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying sync error.
+    pub fn sync(&mut self) -> io::Result<()> {
+        if self.dead {
+            return Ok(());
+        }
+        self.wal.sync()?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Atomically installs `snapshot` and truncates the WAL: tmp write,
+    /// file fsync, rename, directory fsync, WAL reset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem errors.
+    pub fn install_snapshot(&mut self, snapshot: &StoreSnapshot) -> io::Result<()> {
+        if self.dead {
+            return Ok(());
+        }
+        let tmp = self.dir.join(SNAPSHOT_TMP_FILE);
+        let dst = self.dir.join(SNAPSHOT_FILE);
+        {
+            let mut file = OpenOptions::new().write(true).create(true).truncate(true).open(&tmp)?;
+            file.write_all(&snapshot.to_bytes())?;
+            file.sync_data()?;
+        }
+        fs::rename(&tmp, &dst)?;
+        File::open(&self.dir)?.sync_all()?;
+        self.wal.reset()?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Arms a one-shot crash-point fault (replacing any previous plan).
+    pub fn set_fault(&mut self, plan: FaultPlan) {
+        self.fault = Some(plan);
+    }
+
+    /// Total appends attempted (including the one that fired a fault).
+    #[must_use]
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// Whether an injected fault has fired, turning the store into a
+    /// black hole.
+    #[must_use]
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// The directory this store lives in.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn apply_fault(&mut self, kind: FaultKind, event: &DurableEvent) -> io::Result<()> {
+        let mut record = Vec::new();
+        encode_record(event, &mut record);
+        match kind {
+            FaultKind::Crash => Ok(()),
+            FaultKind::Torn { keep } => {
+                let keep = keep.min(record.len());
+                self.wal.append_raw(&record[..keep])?;
+                self.wal.sync()
+            }
+            FaultKind::BitFlip { bit } => {
+                let bit = bit % (record.len() * 8);
+                record[bit / 8] ^= 1 << (bit % 8);
+                self.wal.append_raw(&record)?;
+                self.wal.sync()
+            }
+        }
+    }
+}

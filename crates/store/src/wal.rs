@@ -1,0 +1,325 @@
+//! Append-only write-ahead log of [`DurableEvent`]s.
+//!
+//! # On-disk format
+//!
+//! The log is a flat sequence of self-delimiting records:
+//!
+//! ```text
+//! ┌────────────┬─────────────────┬───────────────────┐
+//! │ len  (u32) │ crc32   (u32)   │ payload (len B)   │
+//! │ little-end │ of the payload  │ DurableEvent codec│
+//! └────────────┴─────────────────┴───────────────────┘
+//! ```
+//!
+//! The payload is the canonical [`DurableEvent`] encoding and is decoded
+//! with the strict `from_bytes` entry point, so trailing garbage inside
+//! a record is rejected just like a checksum mismatch.
+//!
+//! # Recovery contract
+//!
+//! [`scan_wal`] walks the file front to back and stops at the **first**
+//! defect: everything before it is returned as the replayable tail,
+//! everything at and after it is discarded ([`Wal::open`] truncates the
+//! file there). A torn header or torn record is the expected artifact of
+//! a crash mid-append ([`WalDefect::is_torn_tail`]); a checksum mismatch
+//! or malformed payload indicates corruption and is surfaced distinctly
+//! so tests and operators can tell the two apart. Records after a defect
+//! are unrecoverable by design — without a valid length prefix there is
+//! no resynchronization point — which is exactly the semantics the
+//! crash-safety argument needs: losing a suffix of the log is equivalent
+//! to having crashed slightly earlier.
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use dagrider_core::DurableEvent;
+use dagrider_types::{Decode, DecodeError, Encode};
+
+use crate::crc::crc32;
+
+/// Bytes of framing before each record payload: `len: u32` + `crc: u32`.
+pub const RECORD_HEADER_LEN: usize = 8;
+
+/// Upper bound on a single record payload. Mirrors the codec's own
+/// `MAX_DECODED_LEN` guard: a length prefix above this is classified as
+/// [`WalDefect::LengthOverflow`] rather than attempted.
+pub const MAX_RECORD_LEN: usize = 1 << 28;
+
+/// The first defect found while scanning a WAL, with the byte offset of
+/// the record that exhibits it. The log is valid strictly before the
+/// offset and discarded from it onward.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalDefect {
+    /// The file ends inside a record header (`found < 8` bytes left).
+    TornHeader {
+        /// Offset of the truncated header.
+        offset: u64,
+        /// Header bytes actually present.
+        found: usize,
+    },
+    /// The header is intact but the file ends inside the payload.
+    TornRecord {
+        /// Offset of the truncated record.
+        offset: u64,
+        /// Payload length the header promised.
+        expected: usize,
+        /// Payload bytes actually present.
+        found: usize,
+    },
+    /// The length prefix exceeds [`MAX_RECORD_LEN`] — a corrupt header,
+    /// not a plausibly torn one.
+    LengthOverflow {
+        /// Offset of the offending record.
+        offset: u64,
+        /// The advertised payload length.
+        length: u64,
+    },
+    /// The payload is complete but its CRC-32 does not match the header.
+    ChecksumMismatch {
+        /// Offset of the offending record.
+        offset: u64,
+    },
+    /// The checksum matches but the payload is not a valid
+    /// [`DurableEvent`] encoding (including trailing bytes).
+    Malformed {
+        /// Offset of the offending record.
+        offset: u64,
+        /// The codec error.
+        error: DecodeError,
+    },
+}
+
+impl WalDefect {
+    /// Byte offset at which the log stops being valid.
+    #[must_use]
+    pub fn offset(&self) -> u64 {
+        match *self {
+            Self::TornHeader { offset, .. }
+            | Self::TornRecord { offset, .. }
+            | Self::LengthOverflow { offset, .. }
+            | Self::ChecksumMismatch { offset }
+            | Self::Malformed { offset, .. } => offset,
+        }
+    }
+
+    /// Whether the defect is the benign signature of a crash mid-append
+    /// (a truncated final record) rather than corruption of previously
+    /// synced data.
+    #[must_use]
+    pub fn is_torn_tail(&self) -> bool {
+        matches!(self, Self::TornHeader { .. } | Self::TornRecord { .. })
+    }
+}
+
+impl fmt::Display for WalDefect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::TornHeader { offset, found } => {
+                write!(
+                    f,
+                    "torn record header at byte {offset} ({found} of {RECORD_HEADER_LEN} bytes)"
+                )
+            }
+            Self::TornRecord { offset, expected, found } => {
+                write!(f, "torn record at byte {offset} ({found} of {expected} payload bytes)")
+            }
+            Self::LengthOverflow { offset, length } => {
+                write!(
+                    f,
+                    "record at byte {offset} advertises {length} bytes (max {MAX_RECORD_LEN})"
+                )
+            }
+            Self::ChecksumMismatch { offset } => {
+                write!(f, "checksum mismatch in record at byte {offset}")
+            }
+            Self::Malformed { offset, error } => {
+                write!(f, "malformed record payload at byte {offset}: {error}")
+            }
+        }
+    }
+}
+
+/// The result of scanning a WAL byte image: the decoded events, how many
+/// leading bytes were valid, and the first defect (if any) that stopped
+/// the scan.
+#[derive(Debug)]
+pub struct WalScan {
+    /// Every intact record, in append order.
+    pub events: Vec<DurableEvent>,
+    /// Length of the valid prefix in bytes; the file is truncated here.
+    pub valid_len: u64,
+    /// The defect that ended the scan, or `None` for a clean log.
+    pub defect: Option<WalDefect>,
+}
+
+/// Appends the framed encoding of `event` to `buf`.
+pub fn encode_record(event: &DurableEvent, buf: &mut Vec<u8>) {
+    let start = buf.len();
+    buf.extend_from_slice(&[0u8; RECORD_HEADER_LEN]);
+    event.encode(buf);
+    let payload_len = buf.len() - start - RECORD_HEADER_LEN;
+    let crc = crc32(&buf[start + RECORD_HEADER_LEN..]);
+    let len_bytes = u32::try_from(payload_len)
+        .expect("DurableEvent encodings are bounded far below u32::MAX")
+        .to_le_bytes();
+    buf[start..start + 4].copy_from_slice(&len_bytes);
+    buf[start + 4..start + RECORD_HEADER_LEN].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Scans a WAL byte image front to back, stopping at the first defect.
+#[must_use]
+pub fn scan_wal(bytes: &[u8]) -> WalScan {
+    let mut events = Vec::new();
+    let mut offset = 0usize;
+    let mut defect = None;
+    while offset < bytes.len() {
+        let remaining = &bytes[offset..];
+        if remaining.len() < RECORD_HEADER_LEN {
+            defect = Some(WalDefect::TornHeader { offset: offset as u64, found: remaining.len() });
+            break;
+        }
+        let mut len_bytes = [0u8; 4];
+        len_bytes.copy_from_slice(&remaining[..4]);
+        let length = u32::from_le_bytes(len_bytes) as usize;
+        if length > MAX_RECORD_LEN {
+            defect =
+                Some(WalDefect::LengthOverflow { offset: offset as u64, length: length as u64 });
+            break;
+        }
+        let mut crc_bytes = [0u8; 4];
+        crc_bytes.copy_from_slice(&remaining[4..RECORD_HEADER_LEN]);
+        let expected_crc = u32::from_le_bytes(crc_bytes);
+        let body = &remaining[RECORD_HEADER_LEN..];
+        if body.len() < length {
+            defect = Some(WalDefect::TornRecord {
+                offset: offset as u64,
+                expected: length,
+                found: body.len(),
+            });
+            break;
+        }
+        let payload = &body[..length];
+        if crc32(payload) != expected_crc {
+            defect = Some(WalDefect::ChecksumMismatch { offset: offset as u64 });
+            break;
+        }
+        match DurableEvent::from_bytes(payload) {
+            Ok(event) => events.push(event),
+            Err(error) => {
+                defect = Some(WalDefect::Malformed { offset: offset as u64, error });
+                break;
+            }
+        }
+        offset += RECORD_HEADER_LEN + length;
+    }
+    WalScan { events, valid_len: offset as u64, defect }
+}
+
+/// An open WAL file positioned for appending.
+///
+/// Created by [`Wal::open`], which scans any existing contents and
+/// truncates the file at the first defect so the append position is
+/// always the end of a fully valid prefix.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    len: u64,
+}
+
+impl Wal {
+    /// Opens (creating if absent) the WAL at `path`, returning the file
+    /// handle positioned at the end of the valid prefix plus the scan of
+    /// that prefix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from reading, opening, or truncating
+    /// the file.
+    pub fn open(path: &Path) -> io::Result<(Self, WalScan)> {
+        let bytes = match std::fs::read(path) {
+            Ok(bytes) => bytes,
+            Err(error) if error.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(error) => return Err(error),
+        };
+        let scan = scan_wal(&bytes);
+        // Keep existing contents: the valid prefix is preserved and any
+        // defective tail is cut explicitly via `set_len` below.
+        let mut file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
+        if scan.valid_len < bytes.len() as u64 {
+            file.set_len(scan.valid_len)?;
+            file.sync_data()?;
+        }
+        file.seek(SeekFrom::Start(scan.valid_len))?;
+        let wal = Self { file, path: path.to_path_buf(), len: scan.valid_len };
+        Ok((wal, scan))
+    }
+
+    /// Appends one framed record. The write reaches the OS but is not
+    /// fsynced; call [`Wal::sync`] to make it durable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying write error.
+    pub fn append(&mut self, event: &DurableEvent) -> io::Result<()> {
+        let mut record = Vec::new();
+        encode_record(event, &mut record);
+        self.append_raw(&record)
+    }
+
+    /// Appends raw bytes with no framing — the fault-injection escape
+    /// hatch used to plant torn and bit-flipped records.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying write error.
+    pub fn append_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.file.write_all(bytes)?;
+        self.len += bytes.len() as u64;
+        Ok(())
+    }
+
+    /// Forces appended records to stable storage (`fdatasync`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying sync error.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+
+    /// Discards the entire log: truncates to zero, fsyncs, and rewinds
+    /// the append position. Called when a snapshot supersedes the tail.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying truncate/sync error.
+    pub fn reset(&mut self) -> io::Result<()> {
+        self.file.set_len(0)?;
+        self.file.sync_data()?;
+        self.file.seek(SeekFrom::Start(0))?;
+        self.len = 0;
+        Ok(())
+    }
+
+    /// Bytes of valid log currently on disk (plus unsynced appends).
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the log holds no records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The file path backing this log.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}

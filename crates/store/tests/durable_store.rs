@@ -1,0 +1,266 @@
+//! File-level semantics of [`DurableStore`]: open/append/reopen
+//! persistence, WAL tail truncation on open, atomic snapshot install,
+//! corrupt-snapshot fallback, and the crash-point fault injector.
+
+use std::fs;
+use std::path::PathBuf;
+
+use dagrider_analysis::DagSnapshot;
+use dagrider_core::{Dag, DurableEvent};
+use dagrider_store::{
+    scan_wal, DurableStore, FaultKind, FaultPlan, FsyncPolicy, StoreSnapshot, Wal, WalDefect,
+    SNAPSHOT_FILE, WAL_FILE,
+};
+use dagrider_types::{Batch, Committee, Decode, Encode, ProcessId, Transaction, Wave};
+
+/// A unique, disposable store directory for one test.
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("dagrider-durable-store-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Durable events that need no crypto to construct.
+fn plain_events(count: usize) -> Vec<DurableEvent> {
+    (0..count)
+        .map(|i| {
+            let pid = ProcessId::new((i % 4) as u32);
+            if i % 2 == 0 {
+                DurableEvent::Batch(Batch::new(
+                    pid,
+                    i as u32,
+                    vec![Transaction::synthetic(i as u64, 10)],
+                ))
+            } else {
+                DurableEvent::Commit { wave: Wave::new(i as u64), leader: pid }
+            }
+        })
+        .collect()
+}
+
+/// An (empty-DAG) snapshot good enough for install/decode tests.
+fn empty_snapshot() -> StoreSnapshot {
+    let committee = Committee::new(4).expect("valid committee");
+    let dag = Dag::new(committee);
+    StoreSnapshot::from_parts(
+        DagSnapshot::capture(&dag),
+        vec![(1, ProcessId::new(2))],
+        vec![Batch::new(ProcessId::new(0), 7, vec![Transaction::synthetic(3, 8)])],
+    )
+}
+
+#[test]
+fn appended_events_survive_reopen() {
+    let dir = scratch_dir("reopen");
+    let events = plain_events(6);
+    {
+        let (mut store, recovered) =
+            DurableStore::open(&dir, FsyncPolicy::Always).expect("open fresh");
+        assert!(recovered.is_empty(), "fresh directory recovered state");
+        for event in &events {
+            store.append(event).expect("append");
+        }
+        store.commit().expect("commit");
+    }
+    let (_, recovered) = DurableStore::open(&dir, FsyncPolicy::Always).expect("reopen");
+    assert_eq!(recovered.tail, events);
+    assert!(recovered.snapshot.is_none());
+    assert!(recovered.wal_defect.is_none());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unsynced_appends_still_land_without_a_process_crash() {
+    // FsyncPolicy::Never defers fsync, not the write itself: absent a
+    // power failure the bytes are in the file when the process exits.
+    let dir = scratch_dir("never-sync");
+    let events = plain_events(3);
+    {
+        let (mut store, _) = DurableStore::open(&dir, FsyncPolicy::Never).expect("open");
+        for event in &events {
+            store.append(event).expect("append");
+        }
+        store.commit().expect("commit is a no-op under Never");
+    }
+    let (_, recovered) = DurableStore::open(&dir, FsyncPolicy::Never).expect("reopen");
+    assert_eq!(recovered.tail, events);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wal_open_truncates_a_torn_tail() {
+    let dir = scratch_dir("torn-tail");
+    let events = plain_events(4);
+    {
+        let (mut store, _) = DurableStore::open(&dir, FsyncPolicy::Always).expect("open");
+        for event in &events {
+            store.append(event).expect("append");
+        }
+        store.sync().expect("sync");
+    }
+    // Simulate a crash mid-append: garbage half-record at the tail.
+    let wal_path = dir.join(WAL_FILE);
+    let mut bytes = fs::read(&wal_path).expect("read wal");
+    let intact_len = bytes.len();
+    bytes.extend_from_slice(&[0x17, 0x00, 0x00]);
+    fs::write(&wal_path, &bytes).expect("write torn wal");
+
+    let (wal, scan) = Wal::open(&wal_path).expect("open torn wal");
+    assert_eq!(scan.events, events);
+    assert!(matches!(scan.defect, Some(WalDefect::TornHeader { .. })));
+    assert_eq!(wal.len() as usize, intact_len, "torn bytes must be truncated away");
+    drop(wal);
+    assert_eq!(
+        fs::metadata(&wal_path).expect("stat wal").len() as usize,
+        intact_len,
+        "truncation must be durable on disk"
+    );
+    // A second open of the repaired file is clean.
+    let (_, rescan) = Wal::open(&wal_path).expect("reopen repaired wal");
+    assert_eq!(rescan.events, events);
+    assert!(rescan.defect.is_none());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn install_snapshot_truncates_the_wal() {
+    let dir = scratch_dir("install");
+    let before = plain_events(5);
+    let after = plain_events(8)[5..].to_vec();
+    let snapshot = empty_snapshot();
+    {
+        let (mut store, _) = DurableStore::open(&dir, FsyncPolicy::EveryN(2)).expect("open");
+        for event in &before {
+            store.append(event).expect("append pre-snapshot");
+        }
+        store.install_snapshot(&snapshot).expect("install");
+        for event in &after {
+            store.append(event).expect("append post-snapshot");
+        }
+        store.sync().expect("sync");
+    }
+    let (_, recovered) = DurableStore::open(&dir, FsyncPolicy::EveryN(2)).expect("reopen");
+    let restored = recovered.snapshot.expect("snapshot must be recovered");
+    assert_eq!(restored.to_bytes(), snapshot.to_bytes(), "snapshot must round-trip bytewise");
+    assert_eq!(recovered.tail, after, "WAL must hold only post-snapshot events");
+    assert!(recovered.wal_defect.is_none());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_corrupt_snapshot_is_discarded_not_fatal() {
+    let dir = scratch_dir("bad-snap");
+    fs::create_dir_all(&dir).expect("mkdir");
+    fs::write(dir.join(SNAPSHOT_FILE), b"definitely not a snapshot").expect("write junk");
+    let (_, recovered) = DurableStore::open(&dir, FsyncPolicy::Always).expect("open");
+    assert!(recovered.snapshot.is_none());
+    assert!(recovered.snapshot_defect.is_some(), "the defect must be reported");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn store_snapshot_codec_rejects_bad_magic() {
+    let snapshot = empty_snapshot();
+    let bytes = snapshot.to_bytes();
+    let decoded = StoreSnapshot::from_bytes(&bytes).expect("roundtrip");
+    assert_eq!(decoded.to_bytes(), bytes);
+    let mut bad = bytes;
+    bad[0] ^= 0xFF;
+    assert!(StoreSnapshot::from_bytes(&bad).is_err(), "bad magic must not decode");
+}
+
+#[test]
+fn crash_fault_loses_exactly_the_suffix() {
+    let events = plain_events(6);
+    for crash_at in 0..events.len() as u64 {
+        let dir = scratch_dir(&format!("crash-{crash_at}"));
+        {
+            let (mut store, _) = DurableStore::open(&dir, FsyncPolicy::Always).expect("open");
+            store.set_fault(FaultPlan { at_append: crash_at, kind: FaultKind::Crash });
+            for event in &events {
+                store.append(event).expect("append");
+                store.commit().expect("commit");
+            }
+            assert!(store.is_dead(), "fault must have fired");
+        }
+        let (_, recovered) = DurableStore::open(&dir, FsyncPolicy::Always).expect("reopen");
+        assert_eq!(
+            recovered.tail,
+            events[..crash_at as usize],
+            "crash at append {crash_at} must keep exactly the prefix"
+        );
+        assert!(recovered.wal_defect.is_none(), "a clean crash leaves no torn bytes");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn torn_and_bitflip_faults_are_classified_and_truncated() {
+    let events = plain_events(5);
+    let cases: [(FaultKind, &str); 3] = [
+        (FaultKind::Torn { keep: 3 }, "torn3"),
+        (FaultKind::Torn { keep: 9 }, "torn9"),
+        // Bit 32 is the first bit of the stored checksum field.
+        (FaultKind::BitFlip { bit: 32 }, "bitflip"),
+    ];
+    for (kind, name) in cases {
+        let dir = scratch_dir(&format!("fault-{name}"));
+        {
+            let (mut store, _) = DurableStore::open(&dir, FsyncPolicy::Always).expect("open");
+            store.set_fault(FaultPlan { at_append: 3, kind });
+            for event in &events {
+                store.append(event).expect("append");
+            }
+        }
+        // The raw file shows the damage...
+        let scan = scan_wal(&fs::read(dir.join(WAL_FILE)).expect("read wal"));
+        assert_eq!(scan.events, events[..3], "{name}: prefix must survive");
+        let defect = scan.defect.expect("damaged tail must scan a defect");
+        match kind {
+            FaultKind::Torn { .. } => assert!(defect.is_torn_tail(), "{name}: got {defect}"),
+            FaultKind::BitFlip { .. } => assert!(
+                matches!(defect, WalDefect::ChecksumMismatch { .. }),
+                "{name}: got {defect}"
+            ),
+            FaultKind::Crash => unreachable!(),
+        }
+        // ...and a reopen repairs it back to the intact prefix.
+        let (_, recovered) = DurableStore::open(&dir, FsyncPolicy::Always).expect("reopen");
+        assert_eq!(recovered.tail, events[..3]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn a_dead_store_ignores_every_operation() {
+    let dir = scratch_dir("dead");
+    let events = plain_events(4);
+    let (mut store, _) = DurableStore::open(&dir, FsyncPolicy::Always).expect("open");
+    store.set_fault(FaultPlan { at_append: 1, kind: FaultKind::Crash });
+    for event in &events {
+        store.append(event).expect("append");
+    }
+    assert!(store.is_dead());
+    assert_eq!(store.appended(), 2, "counting stops with the append that fired the fault");
+    store.commit().expect("commit on dead store is a no-op");
+    store.sync().expect("sync on dead store is a no-op");
+    store.install_snapshot(&empty_snapshot()).expect("install on dead store is a no-op");
+    drop(store);
+    let (_, recovered) = DurableStore::open(&dir, FsyncPolicy::Always).expect("reopen");
+    assert_eq!(recovered.tail, events[..1], "nothing after the fault may land");
+    assert!(recovered.snapshot.is_none(), "dead install_snapshot must not write");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_stale_snapshot_tmp_file_is_removed_at_open() {
+    let dir = scratch_dir("stale-tmp");
+    fs::create_dir_all(&dir).expect("mkdir");
+    let tmp = dir.join("dag.snap.tmp");
+    fs::write(&tmp, b"half-written snapshot").expect("write tmp");
+    let (_, recovered) = DurableStore::open(&dir, FsyncPolicy::Always).expect("open");
+    assert!(recovered.is_empty());
+    assert!(!tmp.exists(), "crash-mid-install leftovers must be cleaned up");
+    let _ = fs::remove_dir_all(&dir);
+}

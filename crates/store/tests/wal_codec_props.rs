@@ -1,0 +1,229 @@
+//! Property tests for the WAL record framing.
+//!
+//! The write-ahead log is the one place where bytes cross a crash
+//! boundary, so its decoder carries the recovery contract: an intact
+//! log round-trips exactly, any truncation recovers exactly the intact
+//! record prefix (classified as a benign torn tail), and corruption —
+//! bit flips, inflated length prefixes, well-checksummed garbage — is
+//! detected and truncates the log instead of misparsing it.
+
+use dagrider_core::DurableEvent;
+use dagrider_crypto::deal_coin_keys;
+use dagrider_store::{
+    crc32, encode_record, scan_wal, WalDefect, MAX_RECORD_LEN, RECORD_HEADER_LEN,
+};
+use dagrider_types::{
+    Batch, Block, Committee, Encode, ProcessId, Round, SeqNum, Transaction, VertexBuilder, Wave,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A deterministic mixed-kind event sequence: every variant of
+/// [`DurableEvent`] appears, including real threshold-coin shares.
+fn sample_events(seed: u64, count: usize) -> Vec<DurableEvent> {
+    let committee = Committee::new(4).expect("4 is a valid committee size");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut keys = deal_coin_keys(&committee, &mut rng);
+    let keys = keys.remove((seed % 4) as usize);
+    (0..count)
+        .map(|i| {
+            let pid = ProcessId::new(((seed as usize + i) % 4) as u32);
+            match seed.wrapping_add(i as u64) % 4 {
+                0 => {
+                    let block = Block::new(
+                        pid,
+                        SeqNum::new(i as u64),
+                        vec![Transaction::synthetic(seed ^ i as u64, 12)],
+                    );
+                    DurableEvent::Vertex(
+                        VertexBuilder::new(pid, Round::new(i as u64 + 1), block).build_unchecked(),
+                    )
+                }
+                1 => DurableEvent::CoinShare(keys.share(i as u64 + 1, &mut rng)),
+                2 => DurableEvent::Batch(Batch::new(
+                    pid,
+                    i as u32,
+                    vec![Transaction::synthetic(seed.wrapping_mul(31) ^ i as u64, 16)],
+                )),
+                _ => DurableEvent::Commit { wave: Wave::new(i as u64 + 1), leader: pid },
+            }
+        })
+        .collect()
+}
+
+/// The framed byte image of a record sequence.
+fn image(events: &[DurableEvent]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    for event in events {
+        encode_record(event, &mut buf);
+    }
+    buf
+}
+
+/// Record boundaries: `boundaries[i]` is the byte offset where record
+/// `i` starts; the final entry is the image length.
+fn boundaries(events: &[DurableEvent]) -> Vec<usize> {
+    let mut at = 0;
+    let mut out = vec![0];
+    for event in events {
+        at += RECORD_HEADER_LEN + event.encoded_len();
+        out.push(at);
+    }
+    out
+}
+
+/// Frames an arbitrary payload with a *correct* checksum — the
+/// well-checksummed-garbage case the codec layer must still reject.
+fn frame_raw(payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&crc32(payload).to_le_bytes());
+    buf.extend_from_slice(payload);
+    buf
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn intact_logs_roundtrip(seed in any::<u64>(), count in 0usize..8) {
+        let events = sample_events(seed, count);
+        let bytes = image(&events);
+        let scan = scan_wal(&bytes);
+        prop_assert!(scan.defect.is_none(), "clean log scanned a defect: {:?}", scan.defect);
+        prop_assert_eq!(scan.valid_len as usize, bytes.len());
+        prop_assert_eq!(&scan.events, &events);
+    }
+
+    #[test]
+    fn truncation_recovers_exactly_the_intact_prefix(
+        seed in any::<u64>(),
+        count in 1usize..7,
+        cut_pick in any::<u64>(),
+    ) {
+        let events = sample_events(seed, count);
+        let bytes = image(&events);
+        let bounds = boundaries(&events);
+        let cut = (cut_pick as usize) % (bytes.len() + 1);
+        let scan = scan_wal(&bytes[..cut]);
+        // The valid prefix is the last record boundary at or below the
+        // cut, and exactly the records before it decode.
+        let intact = bounds.iter().filter(|&&b| b <= cut).count() - 1;
+        prop_assert_eq!(scan.valid_len as usize, bounds[intact]);
+        prop_assert_eq!(&scan.events[..], &events[..intact]);
+        if cut == bounds[intact] {
+            prop_assert!(scan.defect.is_none());
+        } else {
+            let defect = scan.defect.expect("mid-record cut must scan a defect");
+            prop_assert!(defect.is_torn_tail(), "expected torn tail, got {defect}");
+            prop_assert_eq!(defect.offset() as usize, bounds[intact]);
+        }
+    }
+
+    #[test]
+    fn payload_bit_flips_are_detected(
+        seed in any::<u64>(),
+        count in 1usize..6,
+        victim_pick in any::<u64>(),
+        bit_pick in any::<u64>(),
+    ) {
+        let events = sample_events(seed, count);
+        let mut bytes = image(&events);
+        let bounds = boundaries(&events);
+        let victim = (victim_pick as usize) % count;
+        let payload_at = bounds[victim] + RECORD_HEADER_LEN;
+        let payload_len = bounds[victim + 1] - payload_at;
+        let bit = (bit_pick as usize) % (payload_len * 8);
+        bytes[payload_at + bit / 8] ^= 1 << (bit % 8);
+        let scan = scan_wal(&bytes);
+        prop_assert_eq!(&scan.events[..], &events[..victim]);
+        prop_assert_eq!(scan.valid_len as usize, bounds[victim]);
+        prop_assert_eq!(
+            scan.defect,
+            Some(WalDefect::ChecksumMismatch { offset: bounds[victim] as u64 })
+        );
+    }
+
+    #[test]
+    fn inflated_length_prefixes_are_rejected(
+        seed in any::<u64>(),
+        inflate in 1u32..64,
+    ) {
+        // A single record whose length prefix promises more bytes than
+        // the file holds: classified as a torn record, never over-read.
+        let events = sample_events(seed, 1);
+        let mut bytes = image(&events);
+        let true_len = (bytes.len() - RECORD_HEADER_LEN) as u32;
+        bytes[..4].copy_from_slice(&(true_len + inflate).to_le_bytes());
+        let scan = scan_wal(&bytes);
+        prop_assert!(scan.events.is_empty());
+        prop_assert_eq!(scan.valid_len, 0);
+        prop_assert_eq!(
+            scan.defect,
+            Some(WalDefect::TornRecord {
+                offset: 0,
+                expected: (true_len + inflate) as usize,
+                found: true_len as usize,
+            })
+        );
+    }
+
+    #[test]
+    fn absurd_length_prefixes_overflow(
+        seed in any::<u64>(),
+        beyond in 1u64..1024,
+    ) {
+        let events = sample_events(seed, 1);
+        let mut bytes = image(&events);
+        let absurd = (MAX_RECORD_LEN as u64 + beyond) as u32;
+        bytes[..4].copy_from_slice(&absurd.to_le_bytes());
+        let scan = scan_wal(&bytes);
+        prop_assert!(scan.events.is_empty());
+        prop_assert_eq!(
+            scan.defect,
+            Some(WalDefect::LengthOverflow { offset: 0, length: u64::from(absurd) })
+        );
+    }
+
+    #[test]
+    fn well_checksummed_garbage_is_malformed(
+        seed in any::<u64>(),
+        count in 0usize..4,
+        tag in 5u8..=255,
+        junk in proptest::collection::vec(any::<u8>(), 0..24),
+    ) {
+        // A record whose checksum is *correct* but whose payload is not
+        // a DurableEvent (unknown tag): the codec layer must reject it,
+        // and the scan truncates there.
+        let events = sample_events(seed, count);
+        let mut bytes = image(&events);
+        let mut payload = vec![tag];
+        payload.extend_from_slice(&junk);
+        bytes.extend_from_slice(&frame_raw(&payload));
+        let end = boundaries(&events)[count];
+        let scan = scan_wal(&bytes);
+        prop_assert_eq!(&scan.events[..], &events[..]);
+        prop_assert_eq!(scan.valid_len as usize, end);
+        prop_assert!(
+            matches!(scan.defect, Some(WalDefect::Malformed { offset, .. }) if offset as usize == end),
+            "expected Malformed at {end}, got {:?}",
+            scan.defect
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_inside_a_record_are_malformed(
+        seed in any::<u64>(),
+        extra in 1usize..8,
+    ) {
+        // A valid event payload padded with junk, reframed with a
+        // correct checksum: strict decoding must refuse the padding.
+        let events = sample_events(seed, 1);
+        let mut payload = events[0].to_bytes();
+        payload.extend(std::iter::repeat_n(0xAA, extra));
+        let scan = scan_wal(&frame_raw(&payload));
+        prop_assert!(scan.events.is_empty());
+        prop_assert!(matches!(scan.defect, Some(WalDefect::Malformed { offset: 0, .. })));
+    }
+}

@@ -87,7 +87,13 @@ fn check_crate_root(path: &Path, findings: &mut Vec<Finding>) {
 /// Rule `panic-discipline`: no `.unwrap()`, and only message-bearing
 /// `.expect("...")`, in non-test code of the protocol-critical crates.
 fn check_panic_discipline_tree(root: &Path, findings: &mut Vec<Finding>) {
-    for dir in ["crates/core/src", "crates/rbc/src", "crates/net/src", "crates/check/src"] {
+    for dir in [
+        "crates/core/src",
+        "crates/rbc/src",
+        "crates/net/src",
+        "crates/store/src",
+        "crates/check/src",
+    ] {
         for file in rust_files(&root.join(dir)) {
             check_panic_discipline(&file, findings);
         }

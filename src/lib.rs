@@ -23,6 +23,9 @@
 //! * [`net`] — the real TCP cluster runtime: thread-per-peer transport,
 //!   length-prefixed framing, reconnect backoff, and the `cluster` binary
 //!   for multi-process localhost runs.
+//! * [`store`] — the durable DAG store: a checksummed write-ahead log of
+//!   engine-visible events plus compacted snapshots, so a killed process
+//!   restarts from local state and syncs only the suffix it missed.
 //! * [`trace`] — structured protocol event tracing: typed, time-stamped
 //!   records of every vertex, round, coin and commit transition.
 //! * [`baselines`] — VABA-based and Dumbo-based SMR for comparison.
@@ -67,5 +70,6 @@ pub use dagrider_net as net;
 pub use dagrider_rbc as rbc;
 pub use dagrider_simactor as simactor;
 pub use dagrider_simnet as simnet;
+pub use dagrider_store as store;
 pub use dagrider_trace as trace;
 pub use dagrider_types as types;
