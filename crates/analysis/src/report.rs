@@ -77,6 +77,17 @@ pub struct ProcessTraffic {
     /// digest whose batch never arrived by dissemination and had to ask
     /// a peer. Zero when worker push streams keep up.
     pub batch_fetches: u64,
+    /// Client transactions this process's front end admitted (final
+    /// `ClientAdmission` sample; zero in simulation and for nodes
+    /// serving no clients).
+    pub client_accepted: u64,
+    /// Admitted transactions coalesced into dissemination batches.
+    pub client_coalesced: u64,
+    /// Client submissions shed with a typed reject (queue full,
+    /// oversized, or node not ready).
+    pub client_shed: u64,
+    /// High-water mark of any single client's pending-submission queue.
+    pub client_queue_high_water: u64,
 }
 
 /// The full observability report for one run.
@@ -126,6 +137,7 @@ impl TraceReport {
         let mut lags: Vec<u64> = Vec::new();
         let mut resolve_waits: Vec<u64> = Vec::new();
         let mut fetch_counts: BTreeMap<ProcessId, u64> = BTreeMap::new();
+        let mut admission: BTreeMap<ProcessId, [u64; 4]> = BTreeMap::new();
 
         let mut sorted: Vec<&TraceRecord> = records.iter().collect();
         sorted.sort_by_key(|r| (r.process, r.seq));
@@ -154,6 +166,11 @@ impl TraceReport {
                 }
                 TraceEvent::BatchFetchRequested { .. } => {
                     *fetch_counts.entry(record.process).or_default() += 1;
+                }
+                TraceEvent::ClientAdmission { accepted, coalesced, shed, queue_high_water } => {
+                    // Counters are cumulative; the last sample in seq
+                    // order is the run's total.
+                    admission.insert(record.process, [accepted, coalesced, shed, queue_high_water]);
                 }
                 TraceEvent::LeaderCommitted { wave, direct, .. } => {
                     let entered = round_entered
@@ -196,14 +213,21 @@ impl TraceReport {
 
         let per_process = record_counts
             .iter()
-            .map(|(&process, &records)| ProcessTraffic {
-                process,
-                messages: metrics.messages_sent_by(process),
-                bytes: metrics.bytes_sent_by(process),
-                records,
-                dropped_frames: 0,
-                verify_batch_depth: 0,
-                batch_fetches: fetch_counts.get(&process).copied().unwrap_or(0),
+            .map(|(&process, &records)| {
+                let adm = admission.get(&process).copied().unwrap_or_default();
+                ProcessTraffic {
+                    process,
+                    messages: metrics.messages_sent_by(process),
+                    bytes: metrics.bytes_sent_by(process),
+                    records,
+                    dropped_frames: 0,
+                    verify_batch_depth: 0,
+                    batch_fetches: fetch_counts.get(&process).copied().unwrap_or(0),
+                    client_accepted: adm[0],
+                    client_coalesced: adm[1],
+                    client_shed: adm[2],
+                    client_queue_high_water: adm[3],
+                }
             })
             .collect();
 
@@ -245,6 +269,10 @@ impl TraceReport {
                         dropped_frames: 0,
                         verify_batch_depth: 0,
                         batch_fetches: 0,
+                        client_accepted: 0,
+                        client_coalesced: 0,
+                        client_shed: 0,
+                        client_queue_high_water: 0,
                     },
                 );
                 &mut self.per_process[at]
@@ -343,20 +371,34 @@ impl fmt::Display for TraceReport {
         writeln!(f, "per-process traffic:")?;
         writeln!(
             f,
-            "  {:>4} {:>9} {:>11} {:>8} {:>8} {:>8} {:>8}",
-            "proc", "messages", "bytes", "records", "dropped", "vdepth", "fetches"
+            "  {:>4} {:>9} {:>11} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9} {:>6} {:>5}",
+            "proc",
+            "messages",
+            "bytes",
+            "records",
+            "dropped",
+            "vdepth",
+            "fetches",
+            "accepted",
+            "coalesced",
+            "shed",
+            "qhw"
         )?;
         for p in &self.per_process {
             writeln!(
                 f,
-                "  {:>4} {:>9} {:>11} {:>8} {:>8} {:>8} {:>8}",
+                "  {:>4} {:>9} {:>11} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9} {:>6} {:>5}",
                 p.process,
                 p.messages,
                 p.bytes,
                 p.records,
                 p.dropped_frames,
                 p.verify_batch_depth,
-                p.batch_fetches
+                p.batch_fetches,
+                p.client_accepted,
+                p.client_coalesced,
+                p.client_shed,
+                p.client_queue_high_water
             )?;
         }
         Ok(())
@@ -459,6 +501,37 @@ mod tests {
         let rendered = report.to_string();
         assert!(rendered.contains("batch resolve wait (1 digests)"), "{rendered}");
         assert!(rendered.contains("fetches"), "{rendered}");
+    }
+
+    #[test]
+    fn admission_columns_report_the_last_cumulative_sample() {
+        let mut tracer = Tracer::new(ProcessId::new(0), 64);
+        tracer.set_now(Time::new(5));
+        tracer.record(TraceEvent::ClientAdmission {
+            accepted: 10,
+            coalesced: 8,
+            shed: 0,
+            queue_high_water: 3,
+        });
+        tracer.set_now(Time::new(9));
+        tracer.record(TraceEvent::ClientAdmission {
+            accepted: 120,
+            coalesced: 118,
+            shed: 3,
+            queue_high_water: 42,
+        });
+        let metrics = Metrics::new(4);
+        let report = TraceReport::build(&tracer.records(), &metrics, Time::new(10));
+        assert_eq!(report.per_process.len(), 1);
+        let p = &report.per_process[0];
+        assert_eq!(p.client_accepted, 120, "later sample wins");
+        assert_eq!(p.client_coalesced, 118);
+        assert_eq!(p.client_shed, 3);
+        assert_eq!(p.client_queue_high_water, 42);
+
+        let rendered = report.to_string();
+        assert!(rendered.contains("accepted"), "{rendered}");
+        assert!(rendered.contains("qhw"), "{rendered}");
     }
 
     #[test]

@@ -1,0 +1,63 @@
+//! One-off profiling split of the `dag/insert_40_rounds` bench: how much
+//! of the loop is vertex construction vs `Dag::insert` (closure compose).
+//! Run with `cargo test -p dagrider-bench --release -- --ignored`.
+
+use std::collections::BTreeSet;
+use std::hint::black_box;
+use std::time::Instant;
+
+use dagrider_core::Dag;
+use dagrider_types::{
+    Block, Committee, ProcessId, Round, SeqNum, Vertex, VertexBuilder, VertexRef,
+};
+
+fn build_vertices(n: usize, active: usize, rounds: u64) -> Vec<Vertex> {
+    let committee = Committee::new(n).unwrap();
+    let mut out = Vec::new();
+    for r in 1..=rounds {
+        for p in 0..active as u32 {
+            let source = ProcessId::new(p);
+            let strong: BTreeSet<VertexRef> = if r == 1 {
+                (0..n as u32).map(|s| VertexRef::new(Round::GENESIS, ProcessId::new(s))).collect()
+            } else {
+                (0..active as u32)
+                    .map(|s| VertexRef::new(Round::new(r - 1), ProcessId::new(s)))
+                    .collect()
+            };
+            let v = VertexBuilder::new(source, Round::new(r), Block::empty(source, SeqNum::new(r)))
+                .strong_edges(strong)
+                .build(&committee)
+                .unwrap();
+            out.push(v);
+        }
+    }
+    out
+}
+
+#[test]
+#[ignore = "profiling helper, not a correctness test"]
+fn profile_insert_split() {
+    let (n, active, rounds, iters) = (31usize, 21usize, 40u64, 200u32);
+    let committee = Committee::new(n).unwrap();
+
+    let t = Instant::now();
+    for _ in 0..iters {
+        black_box(build_vertices(n, active, rounds));
+    }
+    let build_only = t.elapsed() / iters;
+
+    let batches: Vec<Vec<Vertex>> = (0..iters).map(|_| build_vertices(n, active, rounds)).collect();
+    let t = Instant::now();
+    for batch in batches {
+        let mut dag = Dag::new(committee);
+        for v in batch {
+            dag.insert(v);
+        }
+        black_box(&dag);
+    }
+    let insert_only = t.elapsed() / iters;
+
+    eprintln!("n={n} active={active} rounds={rounds}");
+    eprintln!("vertex build only: {build_only:?}/iter");
+    eprintln!("insert only:       {insert_only:?}/iter");
+}

@@ -34,6 +34,12 @@
 //! 8. **WAL compaction** — snapshot installation interleaved with
 //!    appends on the same channel: the snapshot must supersede exactly
 //!    the events queued before it and never swallow those after.
+//! 9. **Reactor wakeup** — the reactor's park/unpark protocol: racing
+//!    producers push work and ring the `Waker`; the surface parks
+//!    untimed so a lost wake is a deadlock, not a slow sweep.
+//! 10. **Reactor shutdown** — shutdown signalled (twice, concurrently)
+//!     while the reactor is mid-sweep, about to park, or parked: the
+//!     signal-then-wake pair must terminate the loop on every schedule.
 //!
 //! Run everything via the `dagrider-check` binary, or call
 //! [`check_surface`] from tests.
@@ -48,7 +54,7 @@ use dagrider_net::sync::atomic::{AtomicU64, Ordering};
 use dagrider_net::sync::model::{explore, Config, Report, Search};
 use dagrider_net::sync::{mpsc, thread, Arc, Mutex, PoisonError};
 use dagrider_net::wal::{wal_channel, wal_flush_loop, WalSink};
-use dagrider_net::{Backoff, BatchStore, Frame, FramePool, Pop, SendQueue, Shutdown};
+use dagrider_net::{Backoff, BatchStore, Frame, FramePool, Pop, SendQueue, Shutdown, Waker};
 use dagrider_store::StoreSnapshot;
 use dagrider_types::{Batch, Committee, ProcessId, Transaction};
 
@@ -122,6 +128,21 @@ pub fn surfaces() -> Vec<Surface> {
                           channel: the snapshot supersedes exactly the events \
                           queued before it",
             body: wal_compaction,
+        },
+        Surface {
+            name: "reactor-wakeup",
+            description: "reactor park/unpark against racing producers: the \
+                          Waker's pending latch must never lose a wake (the \
+                          surface parks untimed, so a lost wake is a deadlock)",
+            body: reactor_wakeup,
+        },
+        Surface {
+            name: "reactor-shutdown",
+            description: "shutdown signalled twice, concurrently, against a \
+                          parked (or about-to-park) reactor: the \
+                          signal-then-wake pair must terminate the loop on \
+                          every schedule",
+            body: reactor_shutdown,
         },
     ]
 }
@@ -521,6 +542,85 @@ fn wal_compaction() {
     );
 }
 
+/// Surface 9: the reactor's park/unpark protocol — producers push work
+/// and ring the [`Waker`]; the reactor drains with non-blocking
+/// `try_pop` and parks between sweeps. The real loop parks with a
+/// timeout as a belt-and-braces fallback; the surface strips the
+/// timeout so a wake landing between the last empty poll and the park
+/// (the classic lost-wakeup window) turns into a deadlock the explorer
+/// reports, instead of a silently late sweep.
+fn reactor_wakeup() {
+    let waker = Arc::new(Waker::new());
+    let queue = Arc::new(SendQueue::new(4));
+
+    let producers: Vec<_> = [1u8, 2]
+        .into_iter()
+        .map(|tag| {
+            let queue = Arc::clone(&queue);
+            let waker = Arc::clone(&waker);
+            thread::spawn(move || {
+                queue.push(frame(tag));
+                waker.wake();
+            })
+        })
+        .collect();
+
+    let mut drained = 0u64;
+    while drained < 2 {
+        while let Pop::Frame(_) = queue.try_pop() {
+            drained += 1;
+        }
+        if drained < 2 {
+            waker.wait(); // untimed on purpose: a lost wake deadlocks here
+        }
+    }
+    for producer in producers {
+        producer.join().expect("producer exits cleanly");
+    }
+    assert_eq!(drained, 2, "the reactor must observe every pushed frame");
+}
+
+/// Surface 10: shutdown during poll — `NetNode::shutdown` signals the
+/// latch and then rings the waker, and a racing second shutdown does
+/// the same (the double-call path). Whether the reactor is mid-sweep,
+/// between the signal check and the park, or already parked, it must
+/// terminate: the pending latch makes a signal-then-wake pair visible
+/// to a park that has not happened yet.
+fn reactor_shutdown() {
+    let waker = Arc::new(Waker::new());
+    let stop = Arc::new(Shutdown::new());
+    let queue = Arc::new(SendQueue::new(2));
+    queue.push(frame(9));
+
+    let reactor_stop = Arc::clone(&stop);
+    let reactor_waker = Arc::clone(&waker);
+    let reactor_queue = Arc::clone(&queue);
+    let reactor = thread::spawn(move || {
+        let mut drained = 0u64;
+        loop {
+            if reactor_stop.is_signalled() {
+                return drained;
+            }
+            while let Pop::Frame(_) = reactor_queue.try_pop() {
+                drained += 1;
+            }
+            reactor_waker.wait(); // untimed: shutdown must ring through
+        }
+    });
+
+    let second_stop = Arc::clone(&stop);
+    let second_waker = Arc::clone(&waker);
+    let second = thread::spawn(move || {
+        second_stop.signal();
+        second_waker.wake();
+    });
+    stop.signal();
+    waker.wake();
+    second.join().expect("second signaller exits cleanly");
+    let drained = reactor.join().expect("reactor must terminate under every schedule");
+    assert!(drained <= 1, "only one frame was ever pushed, drained {drained}");
+}
+
 // `lock_count` is used by the deliberately-buggy self-test scenarios in
 // tests/model_suite.rs via the public helpers below.
 
@@ -568,6 +668,38 @@ pub fn seeded_lost_wakeup() {
         let guard = bad.gate.lock().unwrap_or_else(PoisonError::into_inner);
         // Re-check inside the lock is "forgotten": untimed wait.
         let _guard = bad.cv.wait(guard).unwrap_or_else(PoisonError::into_inner);
+    }
+    let _ = producer.join();
+}
+
+/// A deliberately broken reactor waker for self-testing: `wake` is a
+/// naked notify with no pending latch, so a wake landing between the
+/// reactor's last empty poll and its park vanishes. The explorer must
+/// find the schedule where the producer pushes and notifies in that
+/// window, leaving the reactor parked forever — the exact bug the real
+/// [`Waker`] latch exists to rule out.
+pub fn seeded_reactor_wakeup_bug() {
+    use dagrider_net::sync::Condvar;
+
+    let gate = Arc::new((Mutex::new(()), Condvar::new()));
+    let queue = Arc::new(SendQueue::new(2));
+
+    let producer_gate = Arc::clone(&gate);
+    let producer_queue = Arc::clone(&queue);
+    let producer = thread::spawn(move || {
+        producer_queue.push(frame(1));
+        producer_gate.1.notify_all(); // no latch: this wake can be lost
+    });
+
+    let mut drained = 0u64;
+    while drained < 1 {
+        while let Pop::Frame(_) = queue.try_pop() {
+            drained += 1;
+        }
+        if drained < 1 {
+            let guard = gate.0.lock().unwrap_or_else(PoisonError::into_inner);
+            let _guard = gate.1.wait(guard).unwrap_or_else(PoisonError::into_inner);
+        }
     }
     let _ = producer.join();
 }

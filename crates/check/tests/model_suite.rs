@@ -8,7 +8,8 @@
 //! find them and to replay the failure from its recorded schedule.
 
 use dagrider_check::{
-    check_surface, seeded_lock_order_inversion, seeded_lost_wakeup, surface, surfaces,
+    check_surface, seeded_lock_order_inversion, seeded_lost_wakeup, seeded_reactor_wakeup_bug,
+    surface, surfaces,
 };
 use dagrider_net::sync::model::{explore, replay, Config, FailureKind, Search};
 
@@ -64,6 +65,26 @@ fn verify_worker_shutdown_survives_bounded_exhaustive_search() {
 }
 
 #[test]
+fn reactor_wakeup_survives_bounded_exhaustive_search() {
+    let report = check_surface(
+        &surface("reactor-wakeup").expect("registered"),
+        &budget(),
+        Search::Exhaustive,
+    );
+    assert!(report.passed(), "reactor-wakeup failed: {:?}", report.failure);
+}
+
+#[test]
+fn reactor_shutdown_survives_bounded_exhaustive_search() {
+    let report = check_surface(
+        &surface("reactor-shutdown").expect("registered"),
+        &budget(),
+        Search::Exhaustive,
+    );
+    assert!(report.passed(), "reactor-shutdown failed: {:?}", report.failure);
+}
+
+#[test]
 fn surfaces_survive_seeded_random_schedules() {
     let config = Config { max_iterations: 150, max_steps: 20_000, preemption_bound: None };
     for s in surfaces() {
@@ -114,6 +135,24 @@ fn seeded_lost_wakeup_is_caught_as_a_deadlock() {
         matches!(failure.kind, FailureKind::Deadlock { .. }),
         "expected the consumer to hang, got {:?}",
         failure.kind
+    );
+}
+
+#[test]
+fn seeded_reactor_wakeup_bug_is_caught_and_replays() {
+    let report = explore(&budget(), Search::Exhaustive, seeded_reactor_wakeup_bug);
+    let failure = report.failure.expect("the latch-less wake must be found");
+    assert!(
+        matches!(failure.kind, FailureKind::Deadlock { .. }),
+        "expected the reactor to park forever, got {:?}",
+        failure.kind
+    );
+    let replayed = replay(&failure.schedule, seeded_reactor_wakeup_bug)
+        .expect("replaying the recorded schedule must fail again");
+    assert!(
+        matches!(replayed.kind, FailureKind::Deadlock { .. }),
+        "replay diverged: {:?}",
+        replayed.kind
     );
 }
 

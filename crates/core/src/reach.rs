@@ -61,20 +61,6 @@ impl Closure {
         }
     }
 
-    /// Grows the word vector to `words` entries in one allocation, so a
-    /// following sequence of `insert`/`union_with` calls bounded by that
-    /// width never reallocates.
-    fn grow_words(&mut self, words: usize) {
-        if self.words.len() < words {
-            self.words.resize(words, 0);
-        }
-    }
-
-    /// The current word count (for pre-sizing a union target).
-    fn word_len(&self) -> usize {
-        self.words.len()
-    }
-
     /// Iterates the set slots in ascending order.
     pub fn ones(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(index, &word)| WordBits { word, base: index * 64 })
@@ -125,46 +111,36 @@ pub(crate) fn compose<'a>(
     v: &Vertex,
     lookup: impl Fn(VertexRef) -> Option<&'a VertexClosures>,
 ) -> VertexClosures {
-    // First pass: size both bitsets once. The widest predecessor closure
-    // and the highest contributed slot bound the word count, so the
-    // compose loop below never reallocates mid-union — the per-insert
-    // cost is two exact allocations plus pure word OR-ing, which is what
-    // keeps insert incremental-cheap at small n.
-    let mut strong_words = 0;
-    let mut all_words = 0;
+    // Resolution is two array probes plus slot arithmetic — cheap enough
+    // to run once per edge in a single pass. The first resolved strong
+    // predecessor *seeds* each bitset by cloning (one exact-sized memcpy
+    // allocation); later predecessors OR in place, growing only when a
+    // wider closure or higher slot arrives. This keeps the insert hot
+    // path at large n free of intermediate collections and sizing
+    // passes: roughly two allocations and pure word OR-ing per vertex.
+    let mut closures: Option<VertexClosures> = None;
     for &edge in v.strong_edges() {
-        let (Some(slot), Some(pred)) = (slots.slot(edge), lookup(edge)) else {
-            continue;
-        };
-        let own = slot / 64 + 1;
-        strong_words = strong_words.max(own).max(pred.strong.word_len());
-        all_words = all_words.max(own).max(pred.all.word_len());
+        let (Some(slot), Some(pred)) = (slots.slot(edge), lookup(edge)) else { continue };
+        match &mut closures {
+            None => {
+                let mut seeded = pred.clone();
+                seeded.strong.insert(slot);
+                seeded.all.insert(slot);
+                closures = Some(seeded);
+            }
+            Some(c) => {
+                c.strong.union_with(&pred.strong);
+                c.strong.insert(slot);
+                c.all.union_with(&pred.all);
+                c.all.insert(slot);
+            }
+        }
     }
+    let mut closures = closures.unwrap_or_default();
     for &edge in v.weak_edges() {
-        let (Some(slot), Some(pred)) = (slots.slot(edge), lookup(edge)) else {
-            continue;
-        };
-        all_words = all_words.max(slot / 64 + 1).max(pred.all.word_len());
-    }
-    let mut closures = VertexClosures::default();
-    closures.strong.grow_words(strong_words);
-    closures.all.grow_words(all_words);
-    // Second pass: every insert and union fits the pre-sized words.
-    for &edge in v.strong_edges() {
-        let (Some(slot), Some(pred)) = (slots.slot(edge), lookup(edge)) else {
-            continue;
-        };
-        closures.strong.insert(slot);
-        closures.strong.union_with(&pred.strong);
-        closures.all.insert(slot);
+        let (Some(slot), Some(pred)) = (slots.slot(edge), lookup(edge)) else { continue };
         closures.all.union_with(&pred.all);
-    }
-    for &edge in v.weak_edges() {
-        let (Some(slot), Some(pred)) = (slots.slot(edge), lookup(edge)) else {
-            continue;
-        };
         closures.all.insert(slot);
-        closures.all.union_with(&pred.all);
     }
     closures
 }

@@ -20,6 +20,14 @@
 //! peer-to-peer over worker connections, and ordered by digest —
 //! exercising the full decoupled data path end to end.
 //!
+//! With `--serve`, the parent instead brings up a **long-lived** cluster
+//! for external clients: children run with an effectively unbounded round
+//! horizon, the parent prints `SERVING addr1,addr2,...` once the ports
+//! are known, and everything stays up until the parent is killed. This is
+//! the deployment target for the `loadgen` client front-end bench — each
+//! child process carries only its own share of accepted client sockets,
+//! so a 10 000-connection run never hits a single process's fd limit.
+//!
 //! Children are invoked as `cluster --child <i> --addrs ... --out FILE`;
 //! they write one line per ordered vertex followed by a `DONE` marker,
 //! then linger to serve sync requests until the parent kills them.
@@ -27,6 +35,7 @@
 //! ```text
 //! cargo run --release -p dagrider-net --bin cluster
 //! cargo run --release -p dagrider-net --bin cluster -- --restart
+//! cargo run --release -p dagrider-net --bin cluster -- --serve --workers 2
 //! ```
 
 #![forbid(unsafe_code)]
@@ -85,10 +94,13 @@ fn marker_tx(i: usize) -> Transaction {
 fn parent_main(args: &[String]) -> Result<(), String> {
     let n: usize = parse_arg(args, "--n", 4)?;
     let seed: u64 = parse_arg(args, "--seed", DEFAULT_SEED)?;
-    let max_round: u64 = parse_arg(args, "--max-round", DEFAULT_MAX_ROUND)?;
-    let timeout = Duration::from_secs(parse_arg(args, "--timeout-secs", 120u64)?);
     let restart = args.iter().any(|a| a == "--restart");
     let store = args.iter().any(|a| a == "--store");
+    let serve = args.iter().any(|a| a == "--serve");
+    // A serving cluster has no round horizon: it runs until killed.
+    let default_round = if serve { u64::MAX / 2 } else { DEFAULT_MAX_ROUND };
+    let max_round: u64 = parse_arg(args, "--max-round", default_round)?;
+    let timeout = Duration::from_secs(parse_arg(args, "--timeout-secs", 120u64)?);
     let workers: usize = parse_arg(args, "--workers", 0)?;
 
     let dir = match arg_value(args, "--dir") {
@@ -117,13 +129,28 @@ fn parent_main(args: &[String]) -> Result<(), String> {
             "--workers".to_owned(),
             workers.to_string(),
         ];
+        if serve {
+            child_args.push("--serve".to_owned());
+        }
+        let stdin = if serve {
+            // Serving children watch their stdin: when this parent dies
+            // (killed by any signal), the pipe EOFs and they exit too,
+            // instead of lingering as orphans that keep burning CPU.
+            std::process::Stdio::piped()
+        } else {
+            std::process::Stdio::inherit()
+        };
         if store {
             // A fixed per-index path: a restarted child reopens its
             // predecessor's store and recovers from it.
             child_args.push("--store-dir".to_owned());
             child_args.push(dir.join(format!("store-node{i}")).display().to_string());
         }
-        Command::new(&exe).args(child_args).spawn().map_err(|e| format!("spawn child {i}: {e}"))
+        Command::new(&exe)
+            .args(child_args)
+            .stdin(stdin)
+            .spawn()
+            .map_err(|e| format!("spawn child {i}: {e}"))
     };
 
     eprintln!(
@@ -132,6 +159,27 @@ fn parent_main(args: &[String]) -> Result<(), String> {
         dir.display()
     );
     let mut children: Vec<Child> = (0..n).map(spawn_child).collect::<Result<_, _>>()?;
+
+    // Serving mode: announce the addresses and stay up until killed,
+    // failing loudly if any child dies underneath the clients.
+    if serve {
+        use std::io::Write as _;
+        println!("SERVING {addr_list}");
+        let _ = std::io::stdout().flush();
+        let dead = 'watch: loop {
+            for (i, child) in children.iter_mut().enumerate() {
+                if let Ok(Some(status)) = child.try_wait() {
+                    break 'watch format!("serving child {i} exited: {status}");
+                }
+            }
+            dagrider_net::sync::thread::sleep(Duration::from_millis(500));
+        };
+        for mut child in children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        return Err(dead);
+    }
 
     // Mid-run crash: SIGKILL the last process, then bring up a fresh
     // replacement that must catch up purely through the sync protocol.
@@ -256,6 +304,7 @@ fn child_main(args: &[String]) -> Result<(), String> {
     let index: usize = parse_arg(args, "--child", usize::MAX)?;
     let seed: u64 = parse_arg(args, "--seed", DEFAULT_SEED)?;
     let max_round: u64 = parse_arg(args, "--max-round", DEFAULT_MAX_ROUND)?;
+    let serve = args.iter().any(|a| a == "--serve");
     let workers: usize = parse_arg(args, "--workers", 0)?;
     let out = arg_value(args, "--out").ok_or("--out is required")?;
     let addrs: Vec<SocketAddr> = arg_value(args, "--addrs")
@@ -277,7 +326,11 @@ fn child_main(args: &[String]) -> Result<(), String> {
     let mut keys = deal_coin_keys(&committee, &mut key_rng);
     let my_keys = keys.swap_remove(index);
 
-    let node_config = NodeConfig::default().with_max_round(max_round);
+    let mut node_config = NodeConfig::default().with_max_round(max_round);
+    if serve {
+        // Unbounded horizon: prune aggressively so memory stays flat.
+        node_config = node_config.with_gc_depth(64);
+    }
     let process_seed = seed.wrapping_mul(0x9e37_79b9).wrapping_add(index as u64);
     let mut config =
         NetConfig::new(committee, me, addrs.clone(), node_config, my_keys, process_seed)
@@ -308,6 +361,21 @@ fn child_main(args: &[String]) -> Result<(), String> {
         node.submit_tx(marker_tx(index));
     } else {
         node.submit(Block::new(me, SeqNum::new(1), vec![marker_tx(index)]));
+    }
+
+    // Serving mode: no quiescence, no log dump — run until the parent
+    // goes away, ordering whatever the client front end feeds us. The
+    // parent holds our stdin pipe; EOF means it died (however it died)
+    // and we must not linger as an orphan.
+    if serve {
+        use std::io::Read as _;
+        let mut sink = [0u8; 64];
+        loop {
+            match std::io::stdin().lock().read(&mut sink) {
+                Ok(0) | Err(_) => return Ok(()),
+                Ok(_) => {}
+            }
+        }
     }
 
     // Wait for quiescence: rounds exhausted and the log stable.

@@ -55,6 +55,107 @@ pub fn read_frame<R: Read>(reader: &mut R) -> io::Result<Vec<u8>> {
     Ok(payload)
 }
 
+/// Outcome of one [`FrameReader::fill_from`] call against a
+/// non-blocking stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fill {
+    /// This many bytes were appended to the reader's buffer.
+    Read(usize),
+    /// The socket has no bytes ready right now (`WouldBlock`); try
+    /// again after the next readiness sweep.
+    WouldBlock,
+    /// The peer closed the stream in an orderly way. Any buffered
+    /// partial frame is a truncation the caller should treat as a dead
+    /// connection.
+    Eof,
+}
+
+/// Incremental frame parser for non-blocking sockets.
+///
+/// [`read_frame`] blocks until a whole frame arrives, which only works
+/// with a dedicated reader thread per connection. The reactor instead
+/// keeps one `FrameReader` per connection: [`FrameReader::fill_from`]
+/// appends whatever bytes the socket has ready (never blocking), and
+/// [`FrameReader::next_frame`] yields completed frames as the bytes
+/// accumulate — a frame split across any number of reads reassembles
+/// transparently. Consumed bytes are compacted away so a long-lived
+/// connection's buffer stays bounded by its largest in-flight frame.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    /// Bytes before this offset belong to already-returned frames.
+    start: usize,
+}
+
+/// Compact the consumed prefix away once it exceeds this many bytes
+/// (cheaper than compacting after every frame).
+const COMPACT_THRESHOLD: usize = 64 * 1024;
+
+impl FrameReader {
+    /// Creates an empty reader.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads one chunk from `reader` into the buffer without blocking
+    /// (the stream must be in non-blocking mode for `WouldBlock` to be
+    /// distinguishable). Returns the fatal I/O error for anything other
+    /// than `WouldBlock`/`Interrupted`.
+    pub fn fill_from<R: Read>(&mut self, reader: &mut R) -> io::Result<Fill> {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match reader.read(&mut chunk) {
+                Ok(0) => return Ok(Fill::Eof),
+                Ok(n) => {
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    return Ok(Fill::Read(n));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(Fill::WouldBlock),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Returns the next complete frame's payload, or `None` if more
+    /// bytes are needed. An advertised length beyond [`MAX_FRAME_LEN`]
+    /// is `InvalidData` — the caller should drop the connection.
+    pub fn next_frame(&mut self) -> io::Result<Option<Vec<u8>>> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < 4 {
+            self.maybe_compact();
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "frame exceeds MAX_FRAME_LEN"));
+        }
+        if avail.len() < 4 + len {
+            self.maybe_compact();
+            return Ok(None);
+        }
+        let payload = avail[4..4 + len].to_vec();
+        self.start += 4 + len;
+        self.maybe_compact();
+        Ok(Some(payload))
+    }
+
+    /// Bytes buffered but not yet returned as frames (a partial frame).
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    fn maybe_compact(&mut self) {
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start >= COMPACT_THRESHOLD {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
 /// The backing store of a [`Frame`]: the wire bytes plus a route back to
 /// the pool that lent the buffer.
 #[derive(Debug)]
@@ -255,5 +356,91 @@ mod tests {
         let frame = pool.encode(&1u64);
         drop(pool);
         drop(frame); // Weak upgrade fails; buffer simply frees.
+    }
+
+    /// A `Read` impl that feeds bytes in fixed-size dribbles and then
+    /// reports `WouldBlock`, like a non-blocking socket under load.
+    struct Dribble {
+        bytes: Vec<u8>,
+        at: usize,
+        step: usize,
+    }
+
+    impl Read for Dribble {
+        fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+            if self.at == self.bytes.len() {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "drained"));
+            }
+            let n = self.step.min(self.bytes.len() - self.at).min(out.len());
+            out[..n].copy_from_slice(&self.bytes[self.at..self.at + n]);
+            self.at += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn frame_reader_reassembles_frames_split_across_reads() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"alpha").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        write_frame(&mut wire, &[3u8; 1000]).unwrap();
+        // Every dribble granularity, including one that splits the
+        // length prefix itself, must reassemble the same three frames.
+        for step in [1, 2, 3, 7, 64, 4096] {
+            let mut src = Dribble { bytes: wire.clone(), at: 0, step };
+            let mut reader = FrameReader::new();
+            let mut frames = Vec::new();
+            loop {
+                while let Some(frame) = reader.next_frame().unwrap() {
+                    frames.push(frame);
+                }
+                match reader.fill_from(&mut src).unwrap() {
+                    Fill::Read(_) => {}
+                    Fill::WouldBlock => break,
+                    Fill::Eof => unreachable!("dribble never closes"),
+                }
+            }
+            assert_eq!(frames.len(), 3, "step {step}");
+            assert_eq!(frames[0], b"alpha");
+            assert_eq!(frames[1], b"");
+            assert_eq!(frames[2], vec![3u8; 1000]);
+            assert_eq!(reader.buffered(), 0);
+        }
+    }
+
+    #[test]
+    fn frame_reader_flags_oversized_frames_and_eof() {
+        let mut reader = FrameReader::new();
+        let mut src = io::Cursor::new((u32::MAX).to_le_bytes().to_vec());
+        assert!(matches!(reader.fill_from(&mut src).unwrap(), Fill::Read(4)));
+        assert_eq!(reader.next_frame().unwrap_err().kind(), io::ErrorKind::InvalidData);
+        // An exhausted blocking source reads as EOF.
+        assert_eq!(reader.fill_from(&mut src).unwrap(), Fill::Eof);
+    }
+
+    #[test]
+    fn frame_reader_compacts_consumed_bytes() {
+        let mut reader = FrameReader::new();
+        let payload = vec![9u8; 48 * 1024];
+        let mut wire = Vec::new();
+        for _ in 0..4 {
+            write_frame(&mut wire, &payload).unwrap();
+        }
+        let mut src = io::Cursor::new(wire);
+        let mut seen = 0;
+        loop {
+            match reader.fill_from(&mut src).unwrap() {
+                Fill::Eof => break,
+                Fill::Read(_) | Fill::WouldBlock => {}
+            }
+            while let Some(frame) = reader.next_frame().unwrap() {
+                assert_eq!(frame, payload);
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, 4);
+        assert_eq!(reader.buffered(), 0);
+        // The consumed prefix was compacted, not accumulated.
+        assert!(reader.buf.len() < 2 * (payload.len() + 4), "buffer never compacted");
     }
 }

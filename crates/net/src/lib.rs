@@ -5,9 +5,12 @@
 //! sockets with OS threads — nothing protocol-level lives here, which
 //! is the point of the engine/driver split:
 //!
-//! * [`frame`] — length-prefixed framing with a hard size bound.
+//! * [`frame`] — length-prefixed framing with a hard size bound, both
+//!   blocking ([`read_frame`]) and incremental ([`FrameReader`], for
+//!   non-blocking sockets).
 //! * [`wire`] — the [`WireMsg`] envelope (peer handshake, opaque engine
-//!   payloads, and the DAG sync stream for rejoining processes).
+//!   payloads, the DAG sync stream for rejoining processes, and the
+//!   client submit/subscribe protocol).
 //! * [`backoff`] — capped exponential reconnect delays.
 //! * [`queue`] — bounded per-peer outbound queues with drop-oldest
 //!   backpressure.
@@ -15,8 +18,14 @@
 //!   disseminated transaction batches.
 //! * `worker` (crate-private) — worker channels: transaction batching
 //!   and peer-to-peer batch dissemination off the consensus path.
-//! * [`runtime`] — [`NetNode`]: one DAG-Rider process as a thread-per-peer
-//!   TCP runtime with graceful shutdown.
+//! * `reactor` (crate-private) — the readiness-based event loop: one
+//!   thread owns every peer, worker, and client socket, so the node's
+//!   thread count is O(1) + O(workers) regardless of cluster or client
+//!   size.
+//! * [`client`] — the client submission front end: admission counters
+//!   and the ordered-notification matcher behind the reactor.
+//! * [`runtime`] — [`NetNode`]: one DAG-Rider process as an
+//!   event-driven TCP runtime with graceful shutdown.
 //! * [`wal`] — off-thread durability: the consensus loop hands durable
 //!   events to a flusher thread that appends them to a
 //!   `dagrider-store` write-ahead log and installs compacted
@@ -25,7 +34,8 @@
 //! * [`sync`] — the shimmed concurrency primitives every module above
 //!   must use (enforced by `cargo xtask lint`), plus [`sync::model`],
 //!   the deterministic interleaving explorer behind `dagrider-check`.
-//! * [`signal`] — [`Shutdown`], the interruptible shutdown latch.
+//! * [`signal`] — [`Shutdown`], the interruptible shutdown latch, and
+//!   [`Waker`], the reactor's lost-wakeup-proof readiness bell.
 //!
 //! The `cluster` binary launches an `n = 4` cluster as real OS processes
 //! on localhost, submits transactions, and checks that every process
@@ -42,8 +52,10 @@
 
 pub mod backoff;
 pub mod batch;
+pub mod client;
 pub mod frame;
 pub mod queue;
+pub(crate) mod reactor;
 pub mod runtime;
 pub mod signal;
 pub mod sync;
@@ -54,9 +66,10 @@ pub(crate) mod worker;
 
 pub use backoff::Backoff;
 pub use batch::BatchStore;
-pub use frame::{read_frame, write_frame, Frame, FramePool, MAX_FRAME_LEN};
+pub use client::{AdmissionSnapshot, AdmissionStats};
+pub use frame::{read_frame, write_frame, Fill, Frame, FramePool, FrameReader, MAX_FRAME_LEN};
 pub use queue::{Pop, SendQueue};
 pub use runtime::{NetConfig, NetNode, StoreConfig};
-pub use signal::Shutdown;
+pub use signal::{Shutdown, Waker};
 pub use wal::{wal_channel, wal_flush_loop, WalHandle, WalJob, WalJobs, WalSink};
-pub use wire::WireMsg;
+pub use wire::{RejectReason, WireMsg};

@@ -113,6 +113,19 @@ impl SendQueue {
         }
     }
 
+    /// Pops a frame without blocking: [`Pop::TimedOut`] when the queue
+    /// is open but empty. The reactor drains queues with this and parks
+    /// on its waker instead of inside the queue, so one idle link never
+    /// stalls the sweep over every other socket.
+    pub fn try_pop(&self) -> Pop {
+        let mut inner = self.lock();
+        match inner.frames.pop_front() {
+            Some(frame) => Pop::Frame(frame),
+            None if inner.closed => Pop::Closed,
+            None => Pop::TimedOut,
+        }
+    }
+
     /// Closes the queue: `push` starts failing and writers drain what is
     /// left, then see [`Pop::Closed`].
     pub fn close(&self) {
@@ -196,6 +209,19 @@ mod tests {
         }
         assert_eq!(q.dropped(), pushes - capacity as u64 + 1);
         assert_eq!(q.len(), capacity);
+    }
+
+    #[test]
+    fn try_pop_never_blocks() {
+        let q = SendQueue::new(4);
+        assert_eq!(q.try_pop(), Pop::TimedOut);
+        q.push(frame(b"a"));
+        assert_eq!(q.try_pop(), Pop::Frame(frame(b"a")));
+        assert_eq!(q.try_pop(), Pop::TimedOut);
+        q.push(frame(b"b"));
+        q.close();
+        assert_eq!(q.try_pop(), Pop::Frame(frame(b"b")), "close still drains");
+        assert_eq!(q.try_pop(), Pop::Closed);
     }
 
     #[test]

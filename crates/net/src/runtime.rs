@@ -1,22 +1,33 @@
 //! The TCP cluster runtime: threads, sockets, and the consensus loop.
 //!
-//! One [`NetNode`] is one DAG-Rider process on a real network. Its thread
-//! layout:
+//! One [`NetNode`] is one DAG-Rider process on a real network. Its
+//! steady-state thread count is O(1) + O(workers) — independent of both
+//! peer count and client count:
 //!
 //! * **consensus** — owns the sans-I/O [`DagRiderEngine`] (constructed
 //!   inside the thread: the engine holds a non-`Send` tracer slot) and is
 //!   the only thread that touches protocol state. It drains one event
 //!   channel fed by everything else.
-//! * **writer × (n − 1)** — one per peer, draining that peer's bounded
-//!   [`SendQueue`] into a TCP connection it owns, dialing with capped
-//!   exponential [`Backoff`] and re-dialing forever on failure.
-//! * **accept** — polls the listener and spawns a **reader** per inbound
-//!   connection; readers decode frames and push events to consensus.
+//! * **reactor** — owns *every* socket: the listener, all inbound peer
+//!   and worker connections, all outbound links, and all client
+//!   sessions, swept in non-blocking readiness loops (see
+//!   [`crate::reactor`]). Client admission, load shedding, and
+//!   round-robin fairness live here, at the socket edge.
+//! * **dialer** — the one place TCP `connect` happens; hands connected,
+//!   handshaken, non-blocking links to the reactor and redials dead
+//!   ones with capped jittered [`Backoff`].
+//! * **frontend** — matches ordered transactions back to subscribed
+//!   clients' submissions (see [`crate::client`]).
+//! * **batcher × workers** — per worker channel, assembling and sealing
+//!   transaction batches ([`crate::worker`]); the reactor writes the
+//!   fan-out.
 //! * **flusher** (when a [`StoreConfig`] is set) — owns the
 //!   [`DurableStore`]: drains groups of durable events off a channel,
 //!   appends them to the write-ahead log, fsyncs per policy, and
 //!   installs compacted snapshots — every disk wait lives here, never
 //!   on the consensus thread (see [`crate::wal`]).
+//!
+//! (Plus the bounded verification pool, [`crate::verify`].)
 //!
 //! A (re)starting node first replays its durable store (snapshot + WAL
 //! tail) into the fresh engine, then asks every peer for its retained
@@ -28,7 +39,7 @@
 
 use std::collections::BTreeSet;
 use std::io;
-use std::net::{Shutdown as SocketShutdown, SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
@@ -41,14 +52,15 @@ use dagrider_rbc::ReliableBroadcast;
 use dagrider_store::{replay_into, DurableStore, FsyncPolicy, Recovered, StoreSnapshot};
 use dagrider_trace::TraceEvent;
 use dagrider_types::{
-    Batch, BatchDigest, Block, Committee, Decode, Encode, ProcessId, Round, Time, Transaction, Wave,
+    Batch, BatchDigest, Block, Committee, Encode, ProcessId, Round, Time, Transaction, Wave,
 };
 
-use crate::backoff::Backoff;
 use crate::batch::BatchStore;
-use crate::frame::{read_frame, write_frame, FramePool};
-use crate::queue::{Pop, SendQueue};
-use crate::signal::Shutdown;
+use crate::client::{frontend_loop, AdmissionSnapshot, AdmissionStats};
+use crate::frame::FramePool;
+use crate::queue::SendQueue;
+use crate::reactor::{dialer_loop, reactor_main, DialRequest, LinkKind, ReactorConfig};
+use crate::signal::{Shutdown, Waker};
 use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtomicOrdering};
 use crate::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use crate::sync::thread::{self, JoinHandle};
@@ -56,9 +68,7 @@ use crate::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use crate::verify::{PoolControl, VerifyPool};
 use crate::wal::{wal_channel, wal_flush_loop, WalHandle};
 use crate::wire::WireMsg;
-use crate::worker::{
-    batch_loop, batch_reader_loop, worker_writer_loop, BatchLane, BatchPolicy, PendingAck,
-};
+use crate::worker::{batch_loop, BatchLane, BatchPolicy, PendingAck};
 
 /// Configuration for one cluster process.
 #[derive(Debug, Clone)]
@@ -110,6 +120,12 @@ pub struct NetConfig {
     /// Durable store configuration; `None` runs the node ephemeral (a
     /// crash recovers over peer sync alone, as before PR 8).
     pub store: Option<StoreConfig>,
+    /// Admitted-but-undrained submissions buffered per client
+    /// connection; a submission past this depth is refused with a typed
+    /// [`WireMsg::ClientReject`] (queue full) instead of admitted.
+    ///
+    /// [`WireMsg::ClientReject`]: crate::wire::WireMsg::ClientReject
+    pub client_queue_capacity: usize,
 }
 
 /// Where and how a node persists its durable state (see
@@ -180,6 +196,7 @@ impl NetConfig {
             ack_timeout: Duration::from_secs(1),
             worker_addrs: None,
             store: None,
+            client_queue_capacity: 1024,
         }
     }
 
@@ -241,6 +258,14 @@ impl NetConfig {
         self.store = Some(store);
         self
     }
+
+    /// Overrides the per-client admission queue depth (clamped to at
+    /// least 1).
+    #[must_use]
+    pub fn with_client_queue_capacity(mut self, capacity: usize) -> Self {
+        self.client_queue_capacity = capacity.max(1);
+        self
+    }
 }
 
 /// Everything that can wake the consensus thread.
@@ -276,14 +301,16 @@ pub(crate) enum Event {
     Shutdown,
 }
 
-/// State the consensus thread publishes for cross-thread queries.
+/// State the consensus thread publishes for cross-thread queries (the
+/// reactor's admission gate and the client frontend's ordered-log tail
+/// read it too).
 #[derive(Debug, Default)]
-struct Published {
-    ordered: Mutex<Vec<OrderedVertex>>,
-    round: AtomicU64,
-    decided_wave: AtomicU64,
-    synced: AtomicBool,
-    recovered: AtomicU64,
+pub(crate) struct Published {
+    pub(crate) ordered: Mutex<Vec<OrderedVertex>>,
+    pub(crate) round: AtomicU64,
+    pub(crate) decided_wave: AtomicU64,
+    pub(crate) synced: AtomicBool,
+    pub(crate) recovered: AtomicU64,
 }
 
 /// Consensus-side durability state: the flusher handle, what the store
@@ -295,7 +322,7 @@ struct DurableCtx {
     vertices_since_snapshot: u64,
 }
 
-fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -307,8 +334,8 @@ fn engine_now(epoch: Instant) -> Time {
 /// One DAG-Rider process on real TCP sockets.
 ///
 /// Dropping (or [`NetNode::shutdown`]) stops every thread gracefully:
-/// queues are closed and drained, the listener stops accepting, reader
-/// sockets are shut down, and all owned threads are joined.
+/// queues are closed and drained, the reactor drops every socket it
+/// owns, and all owned threads are joined.
 #[derive(Debug)]
 pub struct NetNode {
     me: ProcessId,
@@ -317,7 +344,8 @@ pub struct NetNode {
     tx: Sender<Event>,
     published: Arc<Published>,
     queues: Vec<Arc<SendQueue>>,
-    reader_socks: Arc<Mutex<Vec<TcpStream>>>,
+    waker: Arc<Waker>,
+    admission: Arc<AdmissionStats>,
     verify: Arc<dyn PoolControl>,
     store: Arc<BatchStore>,
     worker_txs: Vec<Sender<Transaction>>,
@@ -365,47 +393,28 @@ impl NetNode {
         let (tx, rx) = mpsc::channel::<Event>();
         let stop = Arc::new(Shutdown::new());
         let published = Arc::new(Published::default());
+        let waker = Arc::new(Waker::new());
+        let admission = Arc::new(AdmissionStats::default());
         let queues: Vec<Arc<SendQueue>> =
             (0..committee.n()).map(|_| Arc::new(SendQueue::new(config.queue_capacity))).collect();
-        let reader_socks = Arc::new(Mutex::new(Vec::new()));
         let verify: Arc<VerifyPool<B>> = Arc::new(VerifyPool::new(
             config.verify_workers,
             config.coin_keys.public().clone(),
             tx.clone(),
         ));
+        let store = Arc::new(BatchStore::new());
+
+        // The reactor's feeds: commands (registered links, client
+        // notifications), redial requests, and frontend match traffic.
+        let (cmd_tx, cmd_rx) = mpsc::channel();
+        let (redial_tx, redial_rx) = mpsc::channel::<DialRequest>();
+        let (frontend_tx, frontend_rx) = mpsc::channel();
 
         let mut threads = Vec::new();
-        for peer in committee.others(me) {
-            let peer_addr = config.addrs[peer.as_usize()];
-            let queue = Arc::clone(&queues[peer.as_usize()]);
-            let writer_tx = tx.clone();
-            let writer_stop = Arc::clone(&stop);
-            threads.push(thread::spawn(move || {
-                writer_loop(me, peer, peer_addr, &queue, &writer_tx, &writer_stop);
-            }));
-        }
-        let store = Arc::new(BatchStore::new());
-        {
-            let accept_tx = tx.clone();
-            let accept_stop = Arc::clone(&stop);
-            let socks = Arc::clone(&reader_socks);
-            let accept_verify = Arc::clone(&verify);
-            let accept_store = Arc::clone(&store);
-            threads.push(thread::spawn(move || {
-                accept_loop(
-                    &listener,
-                    committee,
-                    &accept_tx,
-                    &accept_stop,
-                    &socks,
-                    &accept_verify,
-                    &accept_store,
-                );
-            }));
-        }
 
-        // The batch-dissemination workers: per worker channel, one
-        // batcher plus one dedicated writer connection per peer.
+        // The batch-dissemination workers: one batcher per worker
+        // channel. Fan-out queues are drained by the reactor over links
+        // the dialer establishes — no per-(worker, peer) threads.
         let policy =
             BatchPolicy { max_bytes: config.batch_max_bytes, max_delay: config.batch_interval };
         let dial_addrs = config.worker_addrs.clone().unwrap_or_else(|| config.addrs.clone());
@@ -418,18 +427,18 @@ impl NetNode {
             let mut peer_queues = Vec::new();
             for peer in committee.others(me) {
                 let queue = Arc::new(SendQueue::new(config.queue_capacity));
-                let peer_addr = dial_addrs[peer.as_usize()];
-                let writer_queue = Arc::clone(&queue);
-                let writer_stop = Arc::clone(&stop);
-                threads.push(thread::spawn(move || {
-                    worker_writer_loop(me, worker, peer_addr, &writer_queue, &writer_stop);
-                }));
+                let _ = redial_tx.send(DialRequest {
+                    kind: LinkKind::Worker { peer, worker },
+                    addr: dial_addrs[peer.as_usize()],
+                    queue: Arc::clone(&queue),
+                });
                 peer_queues.push(queue);
             }
             worker_queues.extend(peer_queues.iter().cloned());
             let batcher_store = Arc::clone(&store);
             let batcher_consensus = tx.clone();
             let batcher_stop = Arc::clone(&stop);
+            let batcher_waker = Arc::clone(&waker);
             threads.push(thread::spawn(move || {
                 let lane = BatchLane {
                     me,
@@ -437,8 +446,63 @@ impl NetNode {
                     store: &batcher_store,
                     peer_queues: &peer_queues,
                     consensus: &batcher_consensus,
+                    waker: &batcher_waker,
                 };
                 batch_loop(&lane, &batch_rx, policy, &batcher_stop);
+            }));
+        }
+
+        // Seed the consensus links; the dialer (re)establishes them.
+        for peer in committee.others(me) {
+            let _ = redial_tx.send(DialRequest {
+                kind: LinkKind::Consensus { peer },
+                addr: config.addrs[peer.as_usize()],
+                queue: Arc::clone(&queues[peer.as_usize()]),
+            });
+        }
+        {
+            let dial_cmds = cmd_tx.clone();
+            let dial_waker = Arc::clone(&waker);
+            let dial_consensus = tx.clone();
+            let dial_stop = Arc::clone(&stop);
+            threads.push(thread::spawn(move || {
+                dialer_loop(me, &redial_rx, &dial_cmds, &dial_waker, &dial_consensus, &dial_stop);
+            }));
+        }
+
+        // The reactor: every socket lives on this one thread.
+        {
+            let reactor_config = ReactorConfig {
+                me,
+                committee,
+                listener,
+                cmds: cmd_rx,
+                waker: Arc::clone(&waker),
+                consensus: tx.clone(),
+                verify: Arc::clone(&verify) as Arc<dyn PoolControl>,
+                batch_store: Arc::clone(&store),
+                worker_txs: worker_txs.clone(),
+                frontend: frontend_tx,
+                redial: redial_tx,
+                stats: Arc::clone(&admission),
+                published: Arc::clone(&published),
+                stop: Arc::clone(&stop),
+                client_queue_capacity: config.client_queue_capacity.max(1),
+                // A transaction that cannot fit one batch can never be
+                // disseminated; refuse it at admission.
+                max_tx_bytes: config.batch_max_bytes,
+            };
+            threads.push(thread::spawn(move || reactor_main(reactor_config)));
+        }
+
+        // The client frontend: ordered-notification matching.
+        {
+            let fe_published = Arc::clone(&published);
+            let fe_cmds = cmd_tx;
+            let fe_waker = Arc::clone(&waker);
+            let fe_stop = Arc::clone(&stop);
+            threads.push(thread::spawn(move || {
+                frontend_loop(&frontend_rx, &fe_published, &fe_cmds, &fe_waker, &fe_stop);
             }));
         }
 
@@ -469,6 +533,8 @@ impl NetNode {
             let consensus_queues = queues.clone();
             let consensus_stop = Arc::clone(&stop);
             let consensus_store = Arc::clone(&store);
+            let consensus_waker = Arc::clone(&waker);
+            let consensus_admission = Arc::clone(&admission);
             threads.push(thread::spawn(move || {
                 consensus_loop::<B>(
                     config,
@@ -478,6 +544,8 @@ impl NetNode {
                     &consensus_stop,
                     &consensus_store,
                     durable,
+                    &consensus_waker,
+                    &consensus_admission,
                 );
             }));
         }
@@ -489,7 +557,8 @@ impl NetNode {
             tx,
             published,
             queues,
-            reader_socks,
+            waker,
+            admission,
             verify,
             store,
             worker_txs,
@@ -618,21 +687,28 @@ impl NetNode {
         self.verify.batch_high_water()
     }
 
+    /// Cumulative client admission counters: accepted, drained, shed,
+    /// and the deepest any single client queue has been.
+    pub fn admission_stats(&self) -> AdmissionSnapshot {
+        self.admission.snapshot()
+    }
+
     /// Stops every thread and joins them. Idempotent — signalling is a
     /// one-shot latch and every drain below tolerates repetition; the
     /// double-shutdown and shutdown-during-backoff paths are model-checked
     /// by `dagrider-check`. Also runs on drop.
     pub fn shutdown(&mut self) {
         self.stop.signal();
+        // Unpark the reactor so it observes the signal immediately and
+        // drops every socket it owns.
+        self.waker.wake();
         let _ = self.tx.send(Event::Shutdown);
         // Dropping the transaction senders disconnects the batcher
         // threads' channels; each flushes its pending batch and exits.
+        // (The reactor's clones die when its thread returns.)
         self.worker_txs.clear();
         for queue in self.queues.iter().chain(&self.worker_queues) {
             queue.close();
-        }
-        for sock in lock_unpoisoned(&self.reader_socks).drain(..) {
-            let _ = sock.shutdown(SocketShutdown::Both);
         }
         self.verify.shutdown_pool();
         for handle in self.threads.drain(..) {
@@ -647,155 +723,11 @@ impl Drop for NetNode {
     }
 }
 
-/// Dials `peer` forever (capped exponential backoff with jitter so a
-/// cluster-wide peer death does not redial in lockstep), announcing with
-/// a `Hello` frame after every (re)connect and then draining the peer's
-/// send queue into the socket. A frame that fails mid-write is requeued
-/// at the front and retried on the next connection. The backoff wait is
-/// interruptible: shutdown cuts it short instead of waiting it out.
-fn writer_loop(
-    me: ProcessId,
-    peer: ProcessId,
-    addr: SocketAddr,
-    queue: &SendQueue,
-    tx: &Sender<Event>,
-    stop: &Shutdown,
-) {
-    let jitter_seed = (me.as_usize() as u64) << 32 | peer.as_usize() as u64;
-    let mut backoff = Backoff::new(Duration::from_millis(50), Duration::from_secs(2))
-        .with_jitter(30, jitter_seed);
-    'reconnect: while !stop.is_signalled() {
-        let Ok(mut stream) = TcpStream::connect(addr) else {
-            if stop.wait_timeout(backoff.next_delay()) {
-                return;
-            }
-            continue 'reconnect;
-        };
-        let _ = stream.set_nodelay(true);
-        if write_frame(&mut stream, &WireMsg::Hello(me).to_bytes()).is_err() {
-            if stop.wait_timeout(backoff.next_delay()) {
-                return;
-            }
-            continue 'reconnect;
-        }
-        backoff.reset();
-        let _ = tx.send(Event::LinkUp(peer));
-        loop {
-            match queue.pop_timeout(Duration::from_millis(100)) {
-                Pop::Frame(frame) => {
-                    // One write_all of the pre-built `[len | payload]`
-                    // buffer: a single syscall per frame. A successful
-                    // write is *not* a delivery — bytes can vanish in the
-                    // socket buffer of a connection that is already dying,
-                    // and only the next write observes the error — so
-                    // loss-intolerant exchanges (the sync stream) detect
-                    // and retry at the protocol layer instead.
-                    use std::io::Write as _;
-                    if stream.write_all(frame.wire_bytes()).and_then(|()| stream.flush()).is_err() {
-                        queue.requeue_front(frame);
-                        continue 'reconnect;
-                    }
-                }
-                Pop::TimedOut => {
-                    if stop.is_signalled() {
-                        return;
-                    }
-                }
-                Pop::Closed => return,
-            }
-        }
-    }
-}
-
-/// Polls the listener, spawning a detached reader thread per inbound
-/// connection. Reader sockets are also parked in `socks` so shutdown can
-/// unblock them.
-fn accept_loop<B: ReliableBroadcast + 'static>(
-    listener: &TcpListener,
-    committee: Committee,
-    tx: &Sender<Event>,
-    stop: &Shutdown,
-    socks: &Mutex<Vec<TcpStream>>,
-    verify: &Arc<VerifyPool<B>>,
-    store: &Arc<BatchStore>,
-) {
-    while !stop.is_signalled() {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                let _ = stream.set_nodelay(true);
-                if stream.set_nonblocking(false).is_err() {
-                    continue;
-                }
-                if let Ok(clone) = stream.try_clone() {
-                    lock_unpoisoned(socks).push(clone);
-                }
-                let reader_tx = tx.clone();
-                let reader_verify = Arc::clone(verify);
-                let reader_store = Arc::clone(store);
-                // Detached: exits on EOF/error (peer gone or our shutdown
-                // closed the socket) or when consensus hangs up the channel.
-                drop(thread::spawn(move || {
-                    reader_loop(stream, committee, &reader_tx, &reader_verify, &reader_store);
-                }));
-            }
-            Err(_) => {
-                // The listener is non-blocking; park until the next poll
-                // or exit immediately on shutdown.
-                if stop.wait_timeout(Duration::from_millis(20)) {
-                    return;
-                }
-            }
-        }
-    }
-}
-
-/// Reads frames off one inbound connection. The first frame must be a
-/// valid `Hello` (consensus connection) or `WorkerHello` (batch push
-/// stream) from a committee member; anything malformed closes the
-/// connection (the peer's writer will redial and re-identify). Worker
-/// connections hand off to [`batch_reader_loop`]; on the consensus
-/// connection, engine payloads detour through the verification pool
-/// while transport/sync/batch messages go straight to consensus.
-fn reader_loop<B: ReliableBroadcast + 'static>(
-    mut stream: TcpStream,
-    committee: Committee,
-    tx: &Sender<Event>,
-    verify: &VerifyPool<B>,
-    store: &BatchStore,
-) {
-    let hello = read_frame(&mut stream).ok().and_then(|b| WireMsg::from_bytes(&b).ok());
-    let from = match hello {
-        Some(WireMsg::Hello(from)) => from,
-        Some(WireMsg::WorkerHello { from, worker: _ }) if committee.contains(from) => {
-            batch_reader_loop(stream, from, store, tx);
-            return;
-        }
-        _ => return,
-    };
-    if !committee.contains(from) {
-        return;
-    }
-    loop {
-        let Ok(bytes) = read_frame(&mut stream) else { return };
-        let Ok(msg) = WireMsg::from_bytes(&bytes) else { return };
-        match msg {
-            WireMsg::Hello(_) => {}
-            WireMsg::Engine(payload) => {
-                if !verify.submit(from, payload) {
-                    return; // pool shut down: the node is stopping
-                }
-            }
-            other => {
-                if tx.send(Event::Net { from, msg: other }).is_err() {
-                    return;
-                }
-            }
-        }
-    }
-}
-
 /// The consensus thread: sync phase, then the event loop driving the
-/// engine until shutdown.
+/// engine until shutdown. Every iteration ends by ringing the reactor's
+/// waker, so frames the engine pushed this iteration hit the wire
+/// without waiting for the reactor's idle tick.
+#[allow(clippy::too_many_arguments)]
 fn consensus_loop<B: ReliableBroadcast>(
     config: NetConfig,
     rx: Receiver<Event>,
@@ -804,6 +736,8 @@ fn consensus_loop<B: ReliableBroadcast>(
     stop: &Shutdown,
     store: &BatchStore,
     durable: Option<DurableCtx>,
+    waker: &Waker,
+    admission: &AdmissionStats,
 ) {
     let committee = config.committee;
     let me = config.me;
@@ -936,6 +870,10 @@ fn consensus_loop<B: ReliableBroadcast>(
     let ack_quorum = committee.quorum().saturating_sub(1);
     let mut acks: Vec<PendingAck> = Vec::new();
 
+    // Last client-admission sample, so the trace records one event per
+    // *change* rather than one per tick.
+    let mut last_admission = AdmissionSnapshot::default();
+
     loop {
         let event = rx.recv_timeout(config.tick);
         if stop.is_signalled() {
@@ -997,7 +935,17 @@ fn consensus_loop<B: ReliableBroadcast>(
                         }
                     }
                 }
-                WireMsg::Hello(_) | WireMsg::WorkerHello { .. } => {}
+                // Handshake frames are consumed by the reactor; client
+                // frames never reach consensus (admission happens at
+                // the socket edge).
+                WireMsg::Hello(_)
+                | WireMsg::WorkerHello { .. }
+                | WireMsg::ClientHello
+                | WireMsg::ClientSubmit { .. }
+                | WireMsg::ClientSubmitAck { .. }
+                | WireMsg::ClientReject { .. }
+                | WireMsg::ClientSubscribe
+                | WireMsg::ClientOrdered { .. } => {}
             },
             Ok(Event::Verified(verified)) => {
                 let input = EngineInput::PreVerified(verified);
@@ -1090,6 +1038,22 @@ fn consensus_loop<B: ReliableBroadcast>(
             }
         }
 
+        // Sample the reactor's admission counters into the trace when
+        // they moved (cumulative values, so the auditor can check
+        // monotonicity per process).
+        let snap = admission.snapshot();
+        if snap != last_admission {
+            last_admission = snap;
+            let tracer = engine.tracer();
+            tracer.set_now(engine_now(epoch));
+            tracer.record(TraceEvent::ClientAdmission {
+                accepted: snap.accepted,
+                coalesced: snap.coalesced,
+                shed: snap.shed,
+                queue_high_water: snap.queue_high_water,
+            });
+        }
+
         // Publish progress for cross-thread queries.
         let log = engine.ordered();
         if log.len() > published_len {
@@ -1098,6 +1062,10 @@ fn consensus_loop<B: ReliableBroadcast>(
         }
         published.round.store(engine.current_round().number(), AtomicOrdering::Relaxed);
         published.decided_wave.store(engine.decided_wave().number(), AtomicOrdering::Relaxed);
+
+        // Anything this iteration queued is on the wire after one
+        // reactor sweep — ring the bell rather than wait for its tick.
+        waker.wake();
     }
 }
 

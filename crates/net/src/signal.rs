@@ -75,10 +75,109 @@ impl Shutdown {
     }
 }
 
+/// The reactor's readiness bell: a level-latched wakeup with the same
+/// lost-wakeup-proof shape as [`Shutdown`].
+///
+/// Producers (the consensus loop after pushing frames, batchers after
+/// sealing, the dialer after registering a link, the client frontend)
+/// call [`Waker::wake`]; the reactor parks in [`Waker::wait_timeout`]
+/// between sweeps. The pending flag is flipped *under the mutex* before
+/// notifying, so a wake that races the reactor's park is latched, never
+/// lost — a wake issued while the reactor is mid-sweep is consumed by
+/// the next park instead of vanishing. `crates/check` explores the
+/// wake/park handshake exhaustively (`reactor-wakeup`,
+/// `reactor-shutdown` surfaces).
+#[derive(Debug, Default)]
+pub struct Waker {
+    /// Wakes issued but not yet consumed, guarded so a waiter cannot
+    /// check-then-park across a producer's wake.
+    pending: Mutex<bool>,
+    bell: Condvar,
+}
+
+impl Waker {
+    /// Creates a waker with no pending wake.
+    pub const fn new() -> Self {
+        Self { pending: Mutex::new(false), bell: Condvar::new() }
+    }
+
+    /// Latches a wake and rings the bell. Coalescing: any number of
+    /// wakes before the next wait collapse into one.
+    pub fn wake(&self) {
+        let mut pending = self.pending.lock().unwrap_or_else(PoisonError::into_inner);
+        *pending = true;
+        drop(pending);
+        self.bell.notify_one();
+    }
+
+    /// Parks until a wake arrives (consuming it). Returns immediately
+    /// if a wake is already latched.
+    pub fn wait(&self) {
+        let mut pending = self.pending.lock().unwrap_or_else(PoisonError::into_inner);
+        while !*pending {
+            pending = self.bell.wait(pending).unwrap_or_else(PoisonError::into_inner);
+        }
+        *pending = false;
+    }
+
+    /// Parks up to `timeout` for a wake. Returns `true` if a wake was
+    /// consumed, `false` on timeout — either way the reactor sweeps
+    /// again, so a timeout is pacing, not an error.
+    pub fn wait_timeout(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut pending = self.pending.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if *pending {
+                *pending = false;
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, result) = self
+                .bell
+                .wait_timeout(pending, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            pending = guard;
+            if result.timed_out() && !*pending {
+                return false;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::sync::{thread, Arc};
+
+    #[test]
+    fn waker_latches_a_wake_issued_before_the_wait() {
+        let waker = Waker::new();
+        waker.wake();
+        waker.wake(); // coalesces
+        let start = Instant::now();
+        assert!(waker.wait_timeout(Duration::from_secs(5)), "latched wake must be consumed");
+        assert!(start.elapsed() < Duration::from_secs(1));
+        // Consumed: the next wait times out.
+        assert!(!waker.wait_timeout(Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn waker_wakes_a_parked_thread() {
+        let waker = Arc::new(Waker::new());
+        let parked = Arc::clone(&waker);
+        let start = Instant::now();
+        let handle = thread::spawn(move || {
+            parked.wait();
+            true
+        });
+        thread::sleep(Duration::from_millis(20));
+        waker.wake();
+        assert!(handle.join().expect("waiter thread"));
+        assert!(start.elapsed() < Duration::from_secs(5), "wake did not unpark the waiter");
+    }
 
     #[test]
     fn signalled_latch_returns_immediately() {

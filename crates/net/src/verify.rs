@@ -74,8 +74,12 @@ impl DigestMemo {
     }
 }
 
-/// Type-erased handle the non-generic [`NetNode`](crate::NetNode) keeps.
+/// Type-erased handle the non-generic [`NetNode`](crate::NetNode) and
+/// reactor keep.
 pub(crate) trait PoolControl: Send + Sync + std::fmt::Debug {
+    /// Queues an inbound engine payload for verification. Returns
+    /// `false` once the pool is shut down.
+    fn submit_job(&self, from: ProcessId, payload: Vec<u8>) -> bool;
     /// Closes the job queue and joins the workers. Idempotent.
     fn shutdown_pool(&self);
     /// Coin shares dropped for failing DLEQ verification.
@@ -135,18 +139,16 @@ impl<B: ReliableBroadcast + 'static> VerifyPool<B> {
             _rbc: PhantomData,
         }
     }
+}
 
-    /// Queues an inbound engine payload for verification. Returns `false`
-    /// once the pool is shut down.
-    pub fn submit(&self, from: ProcessId, payload: Vec<u8>) -> bool {
+impl<B: ReliableBroadcast + 'static> PoolControl for VerifyPool<B> {
+    fn submit_job(&self, from: ProcessId, payload: Vec<u8>) -> bool {
         match &*lock(&self.jobs) {
             Some(tx) => tx.send(Job { from, payload }).is_ok(),
             None => false,
         }
     }
-}
 
-impl<B: ReliableBroadcast + 'static> PoolControl for VerifyPool<B> {
     fn shutdown_pool(&self) {
         drop(lock(&self.jobs).take());
         for handle in lock(&self.workers).drain(..) {
@@ -285,7 +287,7 @@ mod tests {
             kind: BrachaKind::Echo(b"vertex bytes".to_vec()),
         };
         let payload = NodeMessage::Rbc(msg).to_bytes();
-        assert!(pool.submit(ProcessId::new(1), payload.clone()));
+        assert!(pool.submit_job(ProcessId::new(1), payload.clone()));
         match recv_verified(&rx) {
             VerifiedInput::Message { from, payload: got, digest } => {
                 assert_eq!(from, ProcessId::new(1));
@@ -296,7 +298,7 @@ mod tests {
         }
         assert!(pool.batch_high_water() >= 1, "draining a job must move the high-water mark");
         pool.shutdown_pool();
-        assert!(!pool.submit(ProcessId::new(1), Vec::new()), "submit after shutdown");
+        assert!(!pool.submit_job(ProcessId::new(1), Vec::new()), "submit after shutdown");
     }
 
     #[test]
@@ -308,7 +310,7 @@ mod tests {
         let pool = VerifyPool::<BrachaRbc>::new(1, keys[0].public().clone(), tx);
 
         let good = keys[1].share(3, &mut rng);
-        pool.submit(ProcessId::new(1), NodeMessage::<BrachaMessage>::Coin(good).to_bytes());
+        pool.submit_job(ProcessId::new(1), NodeMessage::<BrachaMessage>::Coin(good).to_bytes());
         match recv_verified(&rx) {
             VerifiedInput::CoinShare { from, share } => {
                 assert_eq!(from, ProcessId::new(1));
@@ -324,7 +326,7 @@ mod tests {
         // encoded share so it still decodes but fails verification: flip
         // the instance (proof binds it).
         bytes[1] ^= 1; // instance varint byte inside the share
-        pool.submit(ProcessId::new(2), bytes);
+        pool.submit_job(ProcessId::new(2), bytes);
         // The drop is asynchronous; poll the counter.
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         while pool.rejected_shares() == 0 && std::time::Instant::now() < deadline {
@@ -341,7 +343,7 @@ mod tests {
         let keys = deal_coin_keys(&committee, &mut rng);
         let (tx, rx) = mpsc::channel();
         let pool = VerifyPool::<BrachaRbc>::new(1, keys[0].public().clone(), tx);
-        pool.submit(ProcessId::new(2), vec![0xff, 0xee]);
+        pool.submit_job(ProcessId::new(2), vec![0xff, 0xee]);
         match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
             Event::Net { from, msg: WireMsg::Engine(payload) } => {
                 assert_eq!(from, ProcessId::new(2));

@@ -8,7 +8,7 @@
 
 use dagrider_types::{
     bytes_encoded_len, decode_bytes, encode_bytes, Batch, BatchDigest, Decode, DecodeError, Encode,
-    ProcessId, Vertex,
+    ProcessId, Transaction, Vertex,
 };
 
 /// One message on a cluster TCP connection.
@@ -66,6 +66,96 @@ pub enum WireMsg {
         /// Digest of the batch being acknowledged.
         digest: BatchDigest,
     },
+    /// First frame on a client connection: marks the stream as a client
+    /// session (submit/subscribe RPC) rather than a peer link. Like
+    /// [`WireMsg::Hello`], an authentication stand-in.
+    ClientHello,
+    /// One client transaction submission. `seq` is a client-chosen
+    /// correlation number echoed back in the ack, reject, and ordered
+    /// notifications — the client's only bookkeeping handle.
+    ClientSubmit {
+        /// Client-side correlation number for this submission.
+        seq: u64,
+        /// The transaction to admit.
+        tx: Transaction,
+    },
+    /// The node admitted submission `seq` into its bounded client queue.
+    /// Admission is not ordering: the matching [`WireMsg::ClientOrdered`]
+    /// arrives (on a subscribed connection) once the transaction lands
+    /// in the committed total order.
+    ClientSubmitAck {
+        /// The acknowledged submission.
+        seq: u64,
+    },
+    /// The node *refused* submission `seq` — typed load shedding, never a
+    /// silent drop. The client may retry after backoff (`QueueFull`,
+    /// `NotReady`) or must not retry at all (`Oversized`).
+    ClientReject {
+        /// The refused submission.
+        seq: u64,
+        /// Why admission failed.
+        reason: RejectReason,
+    },
+    /// Asks the node to push a [`WireMsg::ClientOrdered`] notification
+    /// for each of this connection's admitted submissions once it is
+    /// committed in the total order.
+    ClientSubscribe,
+    /// Submission `seq` (previously acknowledged on this connection) has
+    /// been committed in the cluster's total order.
+    ClientOrdered {
+        /// The ordered submission.
+        seq: u64,
+    },
+}
+
+/// Why a [`WireMsg::ClientSubmit`] was refused (see
+/// [`WireMsg::ClientReject`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The client's bounded admission queue is full — backpressure.
+    /// Retry after a delay; the queue drains at the node's batch rate.
+    QueueFull,
+    /// The transaction exceeds the node's batch size bound and can never
+    /// be admitted. Do not retry.
+    Oversized,
+    /// The node is still syncing and not yet proposing. Retry after the
+    /// node goes live.
+    NotReady,
+}
+
+impl RejectReason {
+    fn code(self) -> u8 {
+        match self {
+            RejectReason::QueueFull => 0,
+            RejectReason::Oversized => 1,
+            RejectReason::NotReady => 2,
+        }
+    }
+
+    fn from_code(code: u8) -> Result<Self, DecodeError> {
+        match code {
+            0 => Ok(RejectReason::QueueFull),
+            1 => Ok(RejectReason::Oversized),
+            2 => Ok(RejectReason::NotReady),
+            _ => Err(DecodeError::Invalid("unknown client reject reason")),
+        }
+    }
+}
+
+impl Encode for RejectReason {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.code().encode(buf);
+    }
+
+    fn encoded_len(&self) -> usize {
+        1
+    }
+}
+
+impl Decode for RejectReason {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        Self::from_code(u8::decode(buf)?)
+    }
 }
 
 impl WireMsg {
@@ -126,6 +216,26 @@ impl Encode for WireMsg {
                 8u8.encode(buf);
                 digest.encode(buf);
             }
+            WireMsg::ClientHello => 9u8.encode(buf),
+            WireMsg::ClientSubmit { seq, tx } => {
+                10u8.encode(buf);
+                seq.encode(buf);
+                tx.encode(buf);
+            }
+            WireMsg::ClientSubmitAck { seq } => {
+                11u8.encode(buf);
+                seq.encode(buf);
+            }
+            WireMsg::ClientReject { seq, reason } => {
+                12u8.encode(buf);
+                seq.encode(buf);
+                reason.encode(buf);
+            }
+            WireMsg::ClientSubscribe => 13u8.encode(buf),
+            WireMsg::ClientOrdered { seq } => {
+                14u8.encode(buf);
+                seq.encode(buf);
+            }
         }
     }
 
@@ -140,6 +250,10 @@ impl Encode for WireMsg {
             WireMsg::Batch(batch) => batch.encoded_len(),
             WireMsg::WorkerHello { from, worker } => from.encoded_len() + worker.encoded_len(),
             WireMsg::BatchAck { digest } => digest.encoded_len(),
+            WireMsg::ClientHello | WireMsg::ClientSubscribe => 0,
+            WireMsg::ClientSubmit { seq, tx } => seq.encoded_len() + tx.encoded_len(),
+            WireMsg::ClientSubmitAck { seq } | WireMsg::ClientOrdered { seq } => seq.encoded_len(),
+            WireMsg::ClientReject { seq, reason } => seq.encoded_len() + reason.encoded_len(),
         }
     }
 }
@@ -159,6 +273,17 @@ impl Decode for WireMsg {
                 worker: u32::decode(buf)?,
             }),
             8 => Ok(WireMsg::BatchAck { digest: BatchDigest::decode(buf)? }),
+            9 => Ok(WireMsg::ClientHello),
+            10 => {
+                Ok(WireMsg::ClientSubmit { seq: u64::decode(buf)?, tx: Transaction::decode(buf)? })
+            }
+            11 => Ok(WireMsg::ClientSubmitAck { seq: u64::decode(buf)? }),
+            12 => Ok(WireMsg::ClientReject {
+                seq: u64::decode(buf)?,
+                reason: RejectReason::decode(buf)?,
+            }),
+            13 => Ok(WireMsg::ClientSubscribe),
+            14 => Ok(WireMsg::ClientOrdered { seq: u64::decode(buf)? }),
             _ => Err(DecodeError::Invalid("unknown wire message tag")),
         }
     }
@@ -199,6 +324,15 @@ mod tests {
             WireMsg::Batch(Batch::new(ProcessId::new(0), 0, Vec::new())),
             WireMsg::WorkerHello { from: ProcessId::new(2), worker: 3 },
             WireMsg::BatchAck { digest: BatchDigest::new([0xaa; 32]) },
+            WireMsg::ClientHello,
+            WireMsg::ClientSubmit { seq: 0, tx: Transaction::synthetic(1, 0) },
+            WireMsg::ClientSubmit { seq: u64::MAX, tx: Transaction::synthetic(2, 300) },
+            WireMsg::ClientSubmitAck { seq: 17 },
+            WireMsg::ClientReject { seq: 3, reason: RejectReason::QueueFull },
+            WireMsg::ClientReject { seq: 4, reason: RejectReason::Oversized },
+            WireMsg::ClientReject { seq: u64::MAX, reason: RejectReason::NotReady },
+            WireMsg::ClientSubscribe,
+            WireMsg::ClientOrdered { seq: 9 },
         ];
         for msg in msgs {
             let bytes = msg.to_bytes();
@@ -221,6 +355,17 @@ mod tests {
         assert_eq!(
             WireMsg::from_bytes(&[250]),
             Err(DecodeError::Invalid("unknown wire message tag"))
+        );
+    }
+
+    #[test]
+    fn unknown_reject_reason_is_rejected() {
+        let mut bytes =
+            WireMsg::ClientReject { seq: 1, reason: RejectReason::QueueFull }.to_bytes();
+        *bytes.last_mut().unwrap() = 9; // reason code is the final byte
+        assert_eq!(
+            WireMsg::from_bytes(&bytes),
+            Err(DecodeError::Invalid("unknown client reject reason"))
         );
     }
 
@@ -267,7 +412,8 @@ mod tests {
             Batch::new(ProcessId::new(creator), worker, txs)
         }
 
-        /// One of the four batch-layer wire messages, chosen by `kind`.
+        /// One of the batch- or client-layer wire messages, chosen by
+        /// `kind`.
         fn msg_from(
             kind: u8,
             creator: u32,
@@ -276,13 +422,24 @@ mod tests {
             size: usize,
             tag: u64,
         ) -> WireMsg {
-            match kind % 4 {
+            let reason = match tag % 3 {
+                0 => RejectReason::QueueFull,
+                1 => RejectReason::Oversized,
+                _ => RejectReason::NotReady,
+            };
+            match kind % 10 {
                 0 => WireMsg::BatchRequest {
                     digests: (0..ntx).map(|i| digest_from(tag.wrapping_add(i as u64))).collect(),
                 },
                 1 => WireMsg::Batch(batch_from(creator, worker, ntx, size, tag)),
                 2 => WireMsg::WorkerHello { from: ProcessId::new(creator), worker },
-                _ => WireMsg::BatchAck { digest: digest_from(tag) },
+                3 => WireMsg::BatchAck { digest: digest_from(tag) },
+                4 => WireMsg::ClientHello,
+                5 => WireMsg::ClientSubmit { seq: tag, tx: Transaction::synthetic(tag, size) },
+                6 => WireMsg::ClientSubmitAck { seq: tag },
+                7 => WireMsg::ClientReject { seq: tag, reason },
+                8 => WireMsg::ClientSubscribe,
+                _ => WireMsg::ClientOrdered { seq: tag },
             }
         }
 
@@ -329,7 +486,7 @@ mod tests {
                 raw in any::<u8>(),
                 rest in collection::vec(any::<u8>(), 0..64),
             ) {
-                let tag = 9u8.wrapping_add(raw % 247); // 9..=255: above every known tag
+                let tag = 15u8.wrapping_add(raw % 241); // 15..=255: above every known tag
                 let mut bytes = vec![tag];
                 bytes.extend_from_slice(&rest);
                 prop_assert_eq!(

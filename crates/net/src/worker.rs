@@ -4,38 +4,36 @@
 //! consensus (PAPERS.md, "Bullshark"): client transactions go to worker
 //! channels, never to the consensus thread. Each worker runs
 //!
-//! * a **batcher** thread that drains its transaction channel,
-//!   assembles size/time-bounded [`Batch`]es, stores them in the shared
-//!   [`BatchStore`], and fans each sealed batch out to every peer over
-//!   the worker's own TCP connections (one frame encoding shared by all
-//!   peers via [`FramePool`]);
-//! * one **worker writer** thread per peer, draining that peer's
-//!   bounded [`SendQueue`] into a dedicated connection announced with
-//!   [`WireMsg::WorkerHello`] — the same dial/backoff/requeue shape as
-//!   the consensus writer.
+//! Each worker runs a **batcher** thread that drains its transaction
+//! channel, assembles size/time-bounded [`Batch`]es, stores them in the
+//! shared [`BatchStore`], and fans each sealed batch out to every peer
+//! through that peer's bounded [`SendQueue`] (one frame encoding shared
+//! by all peers via [`FramePool`]). The queues themselves are drained by
+//! the reactor (`crate::reactor`), which owns the dedicated worker-lane
+//! connections announced with [`WireMsg::WorkerHello`] — sealing rings
+//! the reactor's waker so the fan-out hits the wire without waiting for
+//! the next sweep tick.
 //!
-//! Inbound, the accept loop routes `WorkerHello` connections to
-//! [`batch_reader_loop`], which stores received batches and notifies
-//! the consensus thread; consensus acknowledges on the consensus
-//! connection ([`WireMsg::BatchAck`]) and releases the digest into a
-//! vertex payload once a quorum has acknowledged (or an ack timeout
-//! expires — the engine's bounded fetch path covers stragglers).
+//! Inbound, the reactor classifies `WorkerHello` connections and stores
+//! each pushed batch before notifying the consensus thread; consensus
+//! acknowledges on the consensus connection ([`WireMsg::BatchAck`]) and
+//! releases the digest into a vertex payload once a quorum has
+//! acknowledged (or an ack timeout expires — the engine's bounded fetch
+//! path covers stragglers).
 //!
 //! Consensus therefore carries a 32-byte digest per batch regardless of
 //! transaction size; throughput scales with worker count and network
 //! bandwidth instead of the consensus thread.
 
-use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
-use dagrider_types::{Batch, BatchDigest, Decode, Encode, ProcessId, Transaction};
+use dagrider_types::{Batch, BatchDigest, ProcessId, Transaction};
 
-use crate::backoff::Backoff;
 use crate::batch::BatchStore;
-use crate::frame::{read_frame, write_frame, FramePool};
-use crate::queue::{Pop, SendQueue};
+use crate::frame::FramePool;
+use crate::queue::SendQueue;
 use crate::runtime::Event;
-use crate::signal::Shutdown;
+use crate::signal::{Shutdown, Waker};
 use crate::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use crate::sync::Arc;
 use crate::wire::WireMsg;
@@ -107,6 +105,9 @@ pub(crate) struct BatchLane<'a> {
     pub store: &'a BatchStore,
     pub peer_queues: &'a [Arc<SendQueue>],
     pub consensus: &'a Sender<Event>,
+    /// Rung after a seal fans out, so the reactor drains the peer
+    /// queues immediately instead of on its next sweep tick.
+    pub waker: &'a Waker,
 }
 
 /// The batcher thread body for worker channel `lane.worker` of process
@@ -162,83 +163,8 @@ fn seal(lane: &BatchLane<'_>, assembler: &mut Assembler, frames: &FramePool) {
     for queue in lane.peer_queues {
         queue.push(frame.clone());
     }
+    lane.waker.wake();
     let _ = lane.consensus.send(Event::OwnBatch { digest, batch });
-}
-
-/// One worker connection's writer: dial `peer`'s listener forever with
-/// capped jittered backoff, announce with [`WireMsg::WorkerHello`], and
-/// drain the queue — the consensus writer's shape, minus the link-up
-/// notification (worker links carry no sync protocol).
-pub(crate) fn worker_writer_loop(
-    me: ProcessId,
-    worker: u32,
-    addr: SocketAddr,
-    queue: &SendQueue,
-    stop: &Shutdown,
-) {
-    let jitter_seed =
-        (me.as_usize() as u64) << 48 | u64::from(worker) << 32 | u64::from(addr.port());
-    let mut backoff = Backoff::new(Duration::from_millis(50), Duration::from_secs(2))
-        .with_jitter(30, jitter_seed);
-    'reconnect: while !stop.is_signalled() {
-        let Ok(mut stream) = TcpStream::connect(addr) else {
-            if stop.wait_timeout(backoff.next_delay()) {
-                return;
-            }
-            continue 'reconnect;
-        };
-        let _ = stream.set_nodelay(true);
-        let hello = WireMsg::WorkerHello { from: me, worker }.to_bytes();
-        if write_frame(&mut stream, &hello).is_err() {
-            if stop.wait_timeout(backoff.next_delay()) {
-                return;
-            }
-            continue 'reconnect;
-        }
-        backoff.reset();
-        loop {
-            match queue.pop_timeout(Duration::from_millis(100)) {
-                Pop::Frame(frame) => {
-                    use std::io::Write as _;
-                    if stream.write_all(frame.wire_bytes()).and_then(|()| stream.flush()).is_err() {
-                        queue.requeue_front(frame);
-                        continue 'reconnect;
-                    }
-                }
-                Pop::TimedOut => {
-                    if stop.is_signalled() {
-                        return;
-                    }
-                }
-                Pop::Closed => return,
-            }
-        }
-    }
-}
-
-/// Reads one inbound worker connection after its `WorkerHello`: every
-/// subsequent frame must be a [`WireMsg::Batch`] created by the peer
-/// that dialed (workers push only their own batches; anything else is
-/// protocol abuse and closes the connection). Batches are stored and
-/// consensus is notified — it acknowledges on the consensus connection.
-pub(crate) fn batch_reader_loop(
-    mut stream: TcpStream,
-    from: ProcessId,
-    store: &BatchStore,
-    tx: &Sender<Event>,
-) {
-    loop {
-        let Ok(bytes) = read_frame(&mut stream) else { return };
-        let Ok(msg) = WireMsg::from_bytes(&bytes) else { return };
-        let WireMsg::Batch(batch) = msg else { return };
-        if batch.creator() != from {
-            return;
-        }
-        let (digest, _) = store.insert(batch.clone());
-        if tx.send(Event::PeerBatch { from, digest, batch }).is_err() {
-            return; // consensus hung up: the node is stopping
-        }
-    }
 }
 
 /// A digest sealed by a local worker, awaiting peer acknowledgements

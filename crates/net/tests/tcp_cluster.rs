@@ -238,6 +238,73 @@ fn a_killed_node_restarts_from_its_local_store() {
     let _ = std::fs::remove_dir_all(&store_dir);
 }
 
+/// OS threads in this process, per `/proc/self/task` (Linux).
+fn os_thread_count() -> usize {
+    std::fs::read_dir("/proc/self/task").map_or(0, |entries| entries.count())
+}
+
+/// The reactor runtime's headline resource claim: every peer, worker,
+/// and client socket is served by the same poll loop, so connecting
+/// clients — however many — spawns no threads. The four in-process
+/// nodes here hold a steady O(1) + O(workers) thread count per node
+/// while 48 client connections handshake, submit, and get answered.
+#[test]
+fn thread_count_is_independent_of_client_connections() {
+    use std::net::TcpStream;
+
+    use dagrider_net::{read_frame, write_frame, WireMsg};
+    use dagrider_types::{Decode, Encode};
+
+    let max_round = 16;
+    let (cluster, listeners) = Cluster::prepare(4, 808, max_round);
+    let mut nodes: Vec<NetNode> = Vec::new();
+    for (i, listener) in listeners.into_iter().enumerate() {
+        nodes.push(cluster.start(i, Some(listener)));
+    }
+    // Progress implies the full mesh is dialed and every per-node
+    // thread (consensus, reactor, dialer, frontend, verify pool,
+    // batchers) is up: the steady state to measure against.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while nodes.iter().any(|n| n.current_round().number() < 1) && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let before = os_thread_count();
+    assert!(before > 1, "/proc/self/task must be readable on Linux");
+
+    let mut clients: Vec<TcpStream> = Vec::new();
+    for i in 0..48u64 {
+        let mut stream = TcpStream::connect(cluster.addrs[(i % 4) as usize]).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(20))).unwrap();
+        write_frame(&mut stream, &WireMsg::ClientHello.to_bytes()).unwrap();
+        let submit = WireMsg::ClientSubmit { seq: 1, tx: Transaction::synthetic(1_000 + i, 16) };
+        write_frame(&mut stream, &submit.to_bytes()).unwrap();
+        clients.push(stream);
+    }
+    // Every connection is served — admission answers with an ack or a
+    // typed reject, never silence — without a single thread appearing.
+    for stream in &mut clients {
+        let frame = read_frame(stream).unwrap();
+        let msg = WireMsg::from_bytes(&frame).unwrap();
+        assert!(
+            matches!(
+                msg,
+                WireMsg::ClientSubmitAck { seq: 1 } | WireMsg::ClientReject { seq: 1, .. }
+            ),
+            "unexpected reply to a client submit: {msg:?}"
+        );
+    }
+    let after = os_thread_count();
+    assert_eq!(
+        before, after,
+        "48 client connections changed the process thread count ({before} -> {after})"
+    );
+
+    drop(clients);
+    for mut node in nodes {
+        node.shutdown();
+    }
+}
+
 #[test]
 fn shutdown_is_prompt_and_idempotent() {
     let (cluster, mut listeners) = Cluster::prepare(4, 606, 8);

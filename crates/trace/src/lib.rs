@@ -205,6 +205,20 @@ pub enum TraceEvent {
         /// The peer asked.
         from: ProcessId,
     },
+    /// A sample of the node's cumulative client-admission counters,
+    /// recorded by the consensus thread whenever they moved. All four
+    /// values are monotone over a process's trace — the auditor checks
+    /// exactly that.
+    ClientAdmission {
+        /// Submissions admitted into a client queue so far.
+        accepted: u64,
+        /// Admitted transactions drained toward consensus so far.
+        coalesced: u64,
+        /// Submissions refused with a typed reject so far.
+        shed: u64,
+        /// Deepest any single client queue has ever been.
+        queue_high_water: u64,
+    },
 }
 
 /// A [`TraceEvent`] stamped with when and where it happened.
@@ -503,6 +517,13 @@ impl Encode for TraceEvent {
                 digest.encode(buf);
                 from.encode(buf);
             }
+            TraceEvent::ClientAdmission { accepted, coalesced, shed, queue_high_water } => {
+                18u8.encode(buf);
+                accepted.encode(buf);
+                coalesced.encode(buf);
+                shed.encode(buf);
+                queue_high_water.encode(buf);
+            }
         }
     }
 
@@ -539,6 +560,12 @@ impl Encode for TraceEvent {
             }
             TraceEvent::BatchFetchRequested { digest, from } => {
                 digest.encoded_len() + from.encoded_len()
+            }
+            TraceEvent::ClientAdmission { accepted, coalesced, shed, queue_high_water } => {
+                accepted.encoded_len()
+                    + coalesced.encoded_len()
+                    + shed.encoded_len()
+                    + queue_high_water.encoded_len()
             }
         }
     }
@@ -594,6 +621,12 @@ impl Decode for TraceEvent {
             17 => Ok(TraceEvent::BatchFetchRequested {
                 digest: BatchDigest::decode(buf)?,
                 from: ProcessId::decode(buf)?,
+            }),
+            18 => Ok(TraceEvent::ClientAdmission {
+                accepted: u64::decode(buf)?,
+                coalesced: u64::decode(buf)?,
+                shed: u64::decode(buf)?,
+                queue_high_water: u64::decode(buf)?,
             }),
             _ => Err(DecodeError::Invalid("unknown trace event tag")),
         }
@@ -658,6 +691,12 @@ mod tests {
             TraceEvent::BatchFetchRequested {
                 digest: BatchDigest::new([13; 32]),
                 from: ProcessId::new(1),
+            },
+            TraceEvent::ClientAdmission {
+                accepted: 120,
+                coalesced: 118,
+                shed: 3,
+                queue_high_water: 42,
             },
         ]
     }

@@ -89,10 +89,11 @@ proptest! {
         tag in 0u8..11,
         a in 0u64..1_000_000,
         b in 0u32..1_000,
-        bad in 11u8..=255,
+        bad in 19u8..=255,
     ) {
         // The event tag sits right after the (seq, at, process) header;
-        // overwriting it with any out-of-range value must fail cleanly.
+        // overwriting it with any unassigned value (19 is the first tag
+        // above every known variant) must fail cleanly.
         let record = TraceRecord {
             seq: 7,
             at: Time::new(40),

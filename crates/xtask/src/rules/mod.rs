@@ -48,7 +48,7 @@ pub fn registry() -> Vec<Rule> {
         },
         Rule {
             name: "consensus-blocking",
-            summary: "no blocking calls inside the consensus-thread event loop",
+            summary: "no blocking calls inside the consensus-thread or reactor event loops",
             run: check_consensus_blocking,
         },
     ]
@@ -255,11 +255,20 @@ fn check_sync_discipline(root: &Path, findings: &mut Vec<Finding>) {
 }
 
 /// The event-loop functions the `consensus-blocking` rule patrols, as
-/// `(file, function)` pairs relative to the workspace root.
+/// `(file, function)` pairs relative to the workspace root. The reactor
+/// sweep functions are held to the same standard as consensus: the
+/// reactor thread owns every peer, worker, and client socket, so one
+/// blocking call there stalls all of them at once. Accepting is budgeted
+/// into `accept_pending` (the listener is non-blocking) and dialing
+/// lives on the dialer thread — neither may creep into the sweeps.
 const EVENT_LOOP_FNS: &[(&str, &str)] = &[
     ("crates/net/src/runtime.rs", "consensus_loop"),
     ("crates/net/src/runtime.rs", "serve_sync"),
     ("crates/net/src/runtime.rs", "serve_batches"),
+    ("crates/net/src/reactor.rs", "reactor_loop"),
+    ("crates/net/src/reactor.rs", "flush_links"),
+    ("crates/net/src/reactor.rs", "sweep_conns"),
+    ("crates/net/src/reactor.rs", "drain_admission"),
 ];
 
 /// Calls that can stall the consensus thread indefinitely. `.recv()` is
@@ -452,6 +461,18 @@ mod tests {
         let source = "fn other() {\n    x();\n}\n\nfn target(a: u32) {\n    if a > 0 {\n        y();\n    }\n}\n\nfn target_helper() {}\n";
         assert_eq!(function_region(source, "target"), Some((5, 9)));
         assert_eq!(function_region(source, "missing"), None);
+    }
+
+    #[test]
+    fn event_loop_fns_exist_in_the_tree() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        for (relative, function) in EVENT_LOOP_FNS {
+            let source = read(&root.join(relative));
+            assert!(
+                function_region(&source, function).is_some(),
+                "{relative} no longer contains `fn {function}`; update EVENT_LOOP_FNS"
+            );
+        }
     }
 
     #[test]
