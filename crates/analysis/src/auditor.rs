@@ -5,7 +5,9 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use dagrider_core::{CommitEvent, Dag, OrderedVertex, WaveOutcome};
 use dagrider_trace::{TraceEvent, TraceRecord};
-use dagrider_types::{BatchDigest, Committee, ProcessId, Round, Vertex, VertexRef, Wave};
+use dagrider_types::{
+    BatchDigest, Committee, ProcessId, Round, SparseEdgeConfig, Vertex, VertexRef, Wave,
+};
 
 use crate::snapshot::DagSnapshot;
 use crate::violation::InvariantViolation;
@@ -30,6 +32,10 @@ use crate::violation::InvariantViolation;
 #[derive(Debug, Clone, Copy)]
 pub struct DagAuditor {
     committee: Committee,
+    /// Sparse-edge mode under audit: vertices legitimately carry only
+    /// `min(k, quorum)` strong edges and direct commits clear the
+    /// adjusted `max(f + 1, n - k + 1)` threshold. `None` = dense paper rules.
+    sparse: Option<SparseEdgeConfig>,
 }
 
 /// An indexed, read-only view of a vertex set: the common shape behind
@@ -73,9 +79,9 @@ impl<'a> View<'a> {
 }
 
 impl DagAuditor {
-    /// Creates an auditor for the given committee.
+    /// Creates an auditor for the given committee (dense paper rules).
     pub fn new(committee: Committee) -> Self {
-        Self { committee }
+        Self { committee, sparse: None }
     }
 
     /// Creates an auditor for the committee `dag` was built over.
@@ -83,9 +89,23 @@ impl DagAuditor {
         Self::new(dag.committee())
     }
 
+    /// Audits against sparse-edge-mode rules: the strong-edge minimum
+    /// drops to `min(k, quorum)` and direct commits are checked against
+    /// the adjusted sampled-support threshold (as
+    /// [`InvariantViolation::SparseSupportViolation`]).
+    pub fn with_sparse_edges(mut self, sparse: SparseEdgeConfig) -> Self {
+        self.sparse = Some(sparse);
+        self
+    }
+
     /// The committee the auditor checks against.
     pub fn committee(&self) -> Committee {
         self.committee
+    }
+
+    /// The strong-edge minimum in force (mode-dependent).
+    fn min_strong_edges(&self) -> usize {
+        self.sparse.map_or(self.committee.quorum(), |s| s.min_strong_edges(&self.committee))
     }
 
     /// Audits a live DAG's structural invariants, plus a differential
@@ -163,7 +183,11 @@ impl DagAuditor {
     /// processes order divergent histories).
     pub fn audit_commits(&self, dag: &Dag, commits: &[CommitEvent]) -> Vec<InvariantViolation> {
         let mut violations = Vec::new();
-        let quorum = self.committee.quorum();
+        // The bar direct commits must clear: the 2f + 1 quorum dense, or
+        // the adjusted sampled-support threshold in sparse-edge mode.
+        let quorum =
+            self.sparse.map_or(self.committee.quorum(), |s| s.commit_threshold(&self.committee));
+        let sparse_mode = self.sparse.is_some_and(|s| !s.is_degenerate(&self.committee));
         // Committed leaders by wave; a wave may appear twice in the record
         // (Skipped at interpretation, Indirect later) — only commits count.
         let mut committed: BTreeMap<Wave, VertexRef> = BTreeMap::new();
@@ -192,11 +216,20 @@ impl DagAuditor {
                     .filter(|u| dag.strong_path(u.reference(), leader))
                     .count();
                 if supporters < quorum {
-                    violations.push(InvariantViolation::UnjustifiedCommit {
-                        wave: commit.wave,
-                        leader,
-                        supporters,
-                        required: quorum,
+                    violations.push(if sparse_mode {
+                        InvariantViolation::SparseSupportViolation {
+                            wave: commit.wave,
+                            leader,
+                            supporters,
+                            required: quorum,
+                        }
+                    } else {
+                        InvariantViolation::UnjustifiedCommit {
+                            wave: commit.wave,
+                            leader,
+                            supporters,
+                            required: quorum,
+                        }
                     });
                 }
             }
@@ -396,7 +429,7 @@ impl DagAuditor {
     /// The structural checks shared by the live and snapshot paths.
     fn audit_view(&self, view: &View<'_>) -> Vec<InvariantViolation> {
         let mut violations = Vec::new();
-        let quorum = self.committee.quorum();
+        let min_strong = self.min_strong_edges();
         for (&reference, vertex) in &view.vertices {
             if !self.committee.contains(reference.source) {
                 violations.push(InvariantViolation::UnknownSource {
@@ -419,11 +452,11 @@ impl DagAuditor {
                         .push(InvariantViolation::StrongEdgeWrongRound { vertex: reference, edge });
                 }
             }
-            if vertex.strong_edges().len() < quorum {
+            if vertex.strong_edges().len() < min_strong {
                 violations.push(InvariantViolation::InsufficientStrongEdges {
                     vertex: reference,
                     found: vertex.strong_edges().len(),
-                    required: quorum,
+                    required: min_strong,
                 });
             }
             // Weak edges: strictly below round r - 1 (Algorithm 1).

@@ -3,8 +3,9 @@
 //! time units, rounds), ordering-lag distribution, per-process traffic.
 //!
 //! ```text
-//! trace-dag [n] [seed] [max-round]   # defaults: 7 processes, seed 7,
-//!                                    # 24 rounds
+//! trace-dag [n] [seed] [max-round] [sparse-k]
+//!     # defaults: 7 processes, seed 7, 24 rounds, sparse-k 0 (dense);
+//!     # sparse-k > 0 runs Clownfish-style sparse-edge mode with that k
 //! ```
 //!
 //! Every honest node's trace is also audited against the §4–§5 invariant
@@ -26,17 +27,17 @@ use rand::SeedableRng;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut values = [7u64, 7, 24];
+    let mut values = [7u64, 7, 24, 0];
     for (i, arg) in args.iter().enumerate() {
         match (i < values.len(), arg.parse::<u64>()) {
             (true, Ok(v)) => values[i] = v,
             _ => {
-                eprintln!("usage: trace-dag [n] [seed] [max-round]");
+                eprintln!("usage: trace-dag [n] [seed] [max-round] [sparse-k]");
                 return ExitCode::from(2);
             }
         }
     }
-    let [n, seed, max_round] = values;
+    let [n, seed, max_round, sparse_k] = values;
     let Ok(committee) = Committee::new(n as usize) else {
         eprintln!("trace-dag: n must be at least 4 (n = 3f + 1)");
         return ExitCode::from(2);
@@ -47,7 +48,10 @@ fn main() -> ExitCode {
     // Ring sized generously: a full run of R rounds emits a handful of
     // records per vertex per process, far under 64 per round per peer.
     let capacity = (max_round as usize + 1) * committee.n() * 64;
-    let config = NodeConfig::default().with_max_round(max_round).with_trace(capacity);
+    let mut config = NodeConfig::default().with_max_round(max_round).with_trace(capacity);
+    if sparse_k > 0 {
+        config = config.with_sparse_edges(sparse_k as usize, seed);
+    }
     let nodes: Vec<DagRiderNode<BrachaRbc>> = committee
         .members()
         .zip(keys)
@@ -62,17 +66,25 @@ fn main() -> ExitCode {
         merged.extend(sim.actor(p).trace_records());
         dropped += sim.actor(p).tracer().dropped();
     }
+    let mode = match config.sparse_edges {
+        Some(s) => format!("sparse k={}", s.k()),
+        None => "dense".to_string(),
+    };
     println!(
-        "trace-dag: {committee}, seed {seed}, max round {max_round}: {} records ({dropped} dropped)",
+        "trace-dag: {committee}, seed {seed}, max round {max_round}, {mode}: {} records ({dropped} dropped)",
         merged.len(),
     );
     let report = TraceReport::build(&merged, sim.metrics(), sim.now());
     print!("{report}");
 
-    let auditor = DagAuditor::new(committee);
+    let mut auditor = DagAuditor::new(committee);
+    if let Some(sparse) = config.sparse_edges {
+        auditor = auditor.with_sparse_edges(sparse);
+    }
     let mut violations = auditor.audit_trace(&merged);
     for p in committee.members() {
         violations.extend(auditor.audit_dag(sim.actor(p).dag()));
+        violations.extend(auditor.audit_commits(sim.actor(p).dag(), sim.actor(p).commits()));
     }
     if violations.is_empty() {
         println!("audit clean");

@@ -180,7 +180,7 @@ mod tests {
         let snapshot = DagSnapshot::capture(&sample_dag());
         let mut bytes = Vec::new();
         MAGIC.encode(&mut bytes);
-        5u32.encode(&mut bytes); // 5 is not 3f + 1
+        3u32.encode(&mut bytes); // 3 is below the minimum committee size
         snapshot.pruned_floor.encode(&mut bytes);
         snapshot.entries.encode(&mut bytes);
         assert!(matches!(DagSnapshot::from_bytes(&bytes), Err(DecodeError::Invalid(_))));

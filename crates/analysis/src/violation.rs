@@ -120,6 +120,21 @@ pub enum InvariantViolation {
         /// The `2f + 1` quorum required.
         required: usize,
     },
+    /// In sparse-edge mode, a directly committed leader lacks the
+    /// adjusted sampled-support threshold `max(f + 1, n - k + 1)` of last-round
+    /// vertices with strong paths to it — the commit was claimed without
+    /// sufficient sampled support (§5, Algorithm 3 line 36, adapted per
+    /// Clownfish's sparse sampling; see DESIGN.md "Sparse edges").
+    SparseSupportViolation {
+        /// The wave that claimed a direct commit.
+        wave: Wave,
+        /// The leader vertex.
+        leader: VertexRef,
+        /// Last-round vertices with strong (sampled) paths to the leader.
+        supporters: usize,
+        /// The adjusted threshold `max(f + 1, n - k + 1)` required.
+        required: usize,
+    },
     /// The incremental reachability engine disagrees with the BFS oracle:
     /// a `path`/`strong_path` bit probe returned one answer, a traversal
     /// of the actual edges returned the other. Every commit decision and
@@ -274,6 +289,9 @@ impl InvariantViolation {
                 "§4, Algorithm 1 (path / strong_path)"
             }
             InvariantViolation::UnjustifiedCommit { .. } => "§5, Algorithm 3 line 36",
+            InvariantViolation::SparseSupportViolation { .. } => {
+                "§5, Algorithm 3 line 36 (sparse-adjusted; Clownfish)"
+            }
             InvariantViolation::BrokenLeaderChain { .. } => "§5, Algorithm 3 lines 39-43 / Lemma 1",
             InvariantViolation::OrderedBeforeDelivered { .. }
             | InvariantViolation::DuplicateOrdered { .. }
@@ -304,7 +322,8 @@ impl InvariantViolation {
             | InvariantViolation::DigestMismatch { vertex } => Some(*vertex),
             InvariantViolation::DuplicateVertex { slot } => Some(*slot),
             InvariantViolation::ReachabilityDivergence { from, .. } => Some(*from),
-            InvariantViolation::UnjustifiedCommit { leader, .. } => Some(*leader),
+            InvariantViolation::UnjustifiedCommit { leader, .. }
+            | InvariantViolation::SparseSupportViolation { leader, .. } => Some(*leader),
             InvariantViolation::BrokenLeaderChain { later_leader, .. } => Some(*later_leader),
             InvariantViolation::MissingLeaderVertex { wave, leader }
             | InvariantViolation::CommitWithoutCoin { wave, leader } => {
@@ -379,6 +398,13 @@ impl fmt::Display for InvariantViolation {
                 write!(
                     f,
                     "wave {wave} directly committed {leader} with {supporters} supporters, needs >= {required}"
+                )
+            }
+            InvariantViolation::SparseSupportViolation { wave, leader, supporters, required } => {
+                write!(
+                    f,
+                    "wave {wave} directly committed {leader} with {supporters} sampled supporters, \
+                     needs >= {required}"
                 )
             }
             InvariantViolation::BrokenLeaderChain {

@@ -375,6 +375,41 @@ fn detects_unjustified_commit() {
 }
 
 #[test]
+fn detects_sparse_support_violation_in_doctored_trace() {
+    // Sparse-mode twin of `detects_unjustified_commit`: the same doctored
+    // commit record — a direct commit of a leader nothing links back to —
+    // must be reported as a `SparseSupportViolation` naming the adjusted
+    // `max(f + 1, n − k + 1)` threshold when the auditor runs with the
+    // cluster's sparse config, and as a plain `UnjustifiedCommit` when it
+    // runs dense.
+    let avoided = VertexRef::new(Round::new(1), ProcessId::new(0));
+    let dag = dag_avoiding(4, avoided);
+    // n = 4, k = 2: threshold max(f + 1, n − k + 1) = 3.
+    let sparse = dagrider_types::SparseEdgeConfig::new(2, 7);
+    let auditor = DagAuditor::for_dag(&dag).with_sparse_edges(sparse);
+    let doctored = [commit(1, 0, WaveOutcome::Direct)];
+    assert_eq!(
+        auditor.audit_commits(&dag, &doctored),
+        vec![InvariantViolation::SparseSupportViolation {
+            wave: Wave::new(1),
+            leader: avoided,
+            supporters: 0,
+            required: 3
+        }]
+    );
+    // The dense auditor classifies the same corruption under the paper's
+    // rule, so the two violation classes stay distinguishable in reports.
+    assert!(matches!(
+        DagAuditor::for_dag(&dag).audit_commits(&dag, &doctored)[..],
+        [InvariantViolation::UnjustifiedCommit { .. }]
+    ));
+    // Soundness: a genuinely supported commit passes the sparse check —
+    // every round-4 vertex retains a strong path to wave 1's leader p1.
+    let honest = [commit(1, 1, WaveOutcome::Direct)];
+    assert_eq!(auditor.audit_commits(&dag, &honest), Vec::new());
+}
+
+#[test]
 fn detects_broken_leader_chain() {
     // Indirect outcomes skip the supporter check, isolating the chain
     // rule: wave 2's leader has no strong path to wave 1's, which is the

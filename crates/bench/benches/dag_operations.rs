@@ -2,40 +2,50 @@
 //! `path` / `strong_path` reachability queries of Algorithm 1, the commit
 //! rule's support count, causal-history collection, and the weak-edge
 //! orphan scan — the per-wave CPU work of the ordering layer, swept over
-//! committee sizes n ∈ {4, 16, 31}.
+//! committee sizes n ∈ {4, 16, 31} plus large-committee rows at
+//! n ∈ {64, 128, 256} in dense and sparse-edge (k = 24) modes.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dagrider_core::Dag;
 use dagrider_types::{
-    Block, Committee, ProcessId, Round, SeqNum, Vertex, VertexBuilder, VertexRef, Wave,
+    Block, Committee, ProcessId, Round, SeqNum, SparseEdgeConfig, Vertex, VertexBuilder, VertexRef,
+    Wave,
 };
-use std::collections::BTreeSet;
 use std::hint::black_box;
 
 /// Builds a fully connected DAG over `active` processes, `rounds` deep.
-fn build_dag(n: usize, active: usize, rounds: u64) -> Dag {
+/// With `sparse` set, each vertex's strong edges are the config's
+/// deterministic k-sample of the previous round (as in sparse mode).
+fn build_dag_with(n: usize, active: usize, rounds: u64, sparse: Option<SparseEdgeConfig>) -> Dag {
     let committee = Committee::new(n).unwrap();
+    let min_strong = sparse.map_or(committee.quorum(), |s| s.min_strong_edges(&committee));
     let mut dag = Dag::new(committee);
     for r in 1..=rounds {
         for p in 0..active as u32 {
             let source = ProcessId::new(p);
-            let strong = if r == 1 {
-                (0..n as u32)
-                    .map(|s| VertexRef::new(Round::GENESIS, ProcessId::new(s)))
-                    .collect::<Vec<_>>()
+            let mut strong: Vec<VertexRef> = if r == 1 {
+                (0..n as u32).map(|s| VertexRef::new(Round::GENESIS, ProcessId::new(s))).collect()
             } else {
                 (0..active as u32)
                     .map(|s| VertexRef::new(Round::new(r - 1), ProcessId::new(s)))
                     .collect()
             };
+            if let Some(s) = sparse {
+                strong = s.sample(&committee, source, Round::new(r), strong);
+            }
             let v = VertexBuilder::new(source, Round::new(r), Block::empty(source, SeqNum::new(r)))
                 .strong_edges(strong)
-                .build(&committee)
+                .build_with_min_strong(&committee, min_strong)
                 .unwrap();
             dag.insert(v);
         }
     }
     dag
+}
+
+/// Dense variant (all previous-round vertices referenced).
+fn build_dag(n: usize, active: usize, rounds: u64) -> Dag {
+    build_dag_with(n, active, rounds, None)
 }
 
 /// The committee sizes swept by every benchmark: the paper's minimum
@@ -87,12 +97,64 @@ fn bench_queries(c: &mut Criterion) {
         });
 
         // The weak-edge orphan scan of Algorithm 2 line 27.
-        let frontier: BTreeSet<VertexRef> =
+        let frontier: Vec<VertexRef> =
             (0..active as u32).map(|s| VertexRef::new(Round::new(40), ProcessId::new(s))).collect();
         c.bench_function(&format!("dag/orphans_below/depth=38/n={n}"), |b| {
             b.iter(|| black_box(dag.orphans_below(black_box(&frontier), Round::new(38))).len());
         });
     }
+}
+
+/// Sample size of the sparse-edge k used by the large-committee rows
+/// (the experiment default; threshold `n - k + 1` keeps commits safe).
+const SPARSE_K: usize = 24;
+
+/// Large-committee sweeps, dense vs sparse k = 24: per-vertex insert
+/// cost and the query families at n ∈ {64, 128, 256}. Dense insert
+/// closure work grows O(n) per vertex; the sparse rows are the
+/// sub-linear counterpart the acceptance criteria compare against.
+fn bench_large_committees(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dag");
+    group.sample_size(10);
+    for n in [64usize, 128, 256] {
+        let active = active(n);
+        for (mode, sparse) in
+            [("dense", None), ("sparse_k24", Some(SparseEdgeConfig::new(SPARSE_K, 7)))]
+        {
+            group.bench_function(&format!("insert_40_rounds/n={n}/{mode}"), |b| {
+                b.iter(|| black_box(build_dag_with(n, active, 40, sparse)));
+            });
+        }
+    }
+    for n in [64usize, 128] {
+        let active = active(n);
+        for (mode, sparse) in
+            [("dense", None), ("sparse_k24", Some(SparseEdgeConfig::new(SPARSE_K, 7)))]
+        {
+            let dag = build_dag_with(n, active, 40, sparse);
+            let top = VertexRef::new(Round::new(40), ProcessId::new(0));
+            let bottom = VertexRef::new(Round::new(1), ProcessId::new(active as u32 - 1));
+            group.bench_function(&format!("strong_path/depth=39/n={n}/{mode}"), |b| {
+                // Not asserted: a sparse DAG may legitimately lack this
+                // specific deep path; the query cost is what's measured.
+                b.iter(|| black_box(dag.strong_path(black_box(top), black_box(bottom))));
+            });
+            group.bench_function(&format!("causal_history/depth=40/n={n}/{mode}"), |b| {
+                b.iter(|| black_box(dag.causal_history(top)).len());
+            });
+            let wave = Wave::new(9);
+            let leader = VertexRef::new(wave.first_round(), ProcessId::new(1));
+            group.bench_function(&format!("commit_rule_support/n={n}/{mode}"), |b| {
+                b.iter(|| {
+                    dag.round_vertices(wave.last_round())
+                        .values()
+                        .filter(|v: &&Vertex| dag.strong_path(v.reference(), black_box(leader)))
+                        .count()
+                });
+            });
+        }
+    }
+    group.finish();
 }
 
 /// The acceptance-criteria benchmark: a 64-round (16-wave) DAG at n = 31,
@@ -121,5 +183,5 @@ fn bench_deep_queries(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_insert, bench_queries, bench_deep_queries);
+criterion_group!(benches, bench_insert, bench_queries, bench_deep_queries, bench_large_committees);
 criterion_main!(benches);

@@ -20,8 +20,8 @@ use std::collections::VecDeque;
 use dagrider_rbc::RbcDelivery;
 use dagrider_trace::{SharedTracer, TraceEvent};
 use dagrider_types::{
-    BatchDigest, Block, Committee, Decode, Payload, ProcessId, Round, SeqNum, Vertex,
-    VertexBuilder, Wave,
+    BatchDigest, Block, Committee, Decode, Payload, ProcessId, Round, SeqNum, SparseEdgeConfig,
+    Vertex, VertexBuilder, Wave,
 };
 
 use crate::dag::Dag;
@@ -70,6 +70,10 @@ pub struct DagCore {
     /// Disable weak edges (ablation only — breaks the Validity property;
     /// see `bench/bin/ablation_weak_edges`).
     disable_weak_edges: bool,
+    /// Sparse-edge mode: sample `k` strong edges per vertex instead of
+    /// all of round `r - 1`, and accept peers' vertices down to the
+    /// sampled minimum. `None` (or a degenerate config) is dense mode.
+    sparse: Option<SparseEdgeConfig>,
     /// Records round/vertex/wave transitions; disabled (free) by default.
     tracer: SharedTracer,
 }
@@ -96,6 +100,7 @@ impl DagCore {
             max_round,
             last_wave_signalled: 0,
             disable_weak_edges: false,
+            sparse: None,
             tracer: SharedTracer::disabled(),
         }
     }
@@ -113,6 +118,20 @@ impl DagCore {
     /// ordered) and exists to measure exactly that in the benches.
     pub fn set_disable_weak_edges(&mut self, disable: bool) {
         self.disable_weak_edges = disable;
+    }
+
+    /// Enables sparse-edge mode: new vertices carry a deterministic
+    /// k-sample of strong edges and delivered vertices are accepted down
+    /// to `min(k, quorum)` strong edges. A degenerate config
+    /// (`k ≥ quorum`) leaves behavior byte-identical to dense mode.
+    pub fn set_sparse_edges(&mut self, sparse: Option<SparseEdgeConfig>) {
+        self.sparse = sparse;
+    }
+
+    /// The minimum strong edges a delivered vertex must carry in the
+    /// current mode.
+    fn min_strong_edges(&self) -> usize {
+        self.sparse.map_or(self.committee.quorum(), |s| s.min_strong_edges(&self.committee))
     }
 
     /// The local DAG view.
@@ -197,8 +216,9 @@ impl DagCore {
             return Vec::new();
         }
         // Line 25: structural validation (≥ 2f+1 strong edges into the
-        // previous round, weak edges strictly below).
-        if vertex.validate(&self.committee).is_err() {
+        // previous round — or the sampled minimum in sparse mode — and
+        // weak edges strictly below).
+        if vertex.validate_with_min_strong(&self.committee, self.min_strong_edges()).is_err() {
             return Vec::new();
         }
         if vertex.round() == Round::GENESIS {
@@ -297,10 +317,15 @@ impl DagCore {
         };
         self.next_seq = self.next_seq.next();
         let prev = round.prev().expect("proposals are never in round 0");
-        // Line 19: strong edges to *everything* we have in round - 1.
-        let strong: Vec<_> =
+        // Line 19: strong edges to *everything* we have in round - 1 —
+        // or, in sparse mode, a deterministic k-sample of it that always
+        // keeps the self-parent. `round_vertices` iterates sources in
+        // ascending order, so `strong` is already sorted.
+        let mut strong: Vec<_> =
             self.dag.round_vertices(prev).values().map(Vertex::reference).collect();
-        let strong_set = strong.iter().copied().collect();
+        if let Some(sparse) = self.sparse {
+            strong = sparse.sample(&self.committee, self.me, round, strong);
+        }
         // Lines 27–31: weak edges to orphans in rounds < round - 1. The
         // scan is closure-subtraction over the strong set's reachability
         // bitsets, so proposing stays cheap even with a deep DAG.
@@ -308,12 +333,12 @@ impl DagCore {
         let weak = if self.disable_weak_edges {
             Vec::new()
         } else {
-            self.dag.orphans_below(&strong_set, orphan_cutoff)
+            self.dag.orphans_below(&strong, orphan_cutoff)
         };
         let vertex = VertexBuilder::new(self.me, round, payload)
             .strong_edges(strong)
             .weak_edges(weak)
-            .build(&self.committee)
+            .build_with_min_strong(&self.committee, self.min_strong_edges())
             .expect("a correct process builds valid vertices");
         Some(vertex)
     }

@@ -220,11 +220,7 @@ impl Dag {
     /// given strong-edge frontier — the orphans that `set_weak_edges`
     /// (Algorithm 2 line 27) must point to. Computed by OR-ing the
     /// frontier's closures and subtracting from the retained rounds.
-    pub fn orphans_below(
-        &self,
-        strong_edges: &BTreeSet<VertexRef>,
-        below: Round,
-    ) -> Vec<VertexRef> {
+    pub fn orphans_below(&self, strong_edges: &[VertexRef], below: Round) -> Vec<VertexRef> {
         // Everything reachable from the strong frontier, as one union of
         // the frontier members' full closures (plus the members themselves)…
         let mut reachable = Closure::default();
@@ -453,11 +449,7 @@ impl Dag {
     }
 
     /// BFS reference implementation of [`Dag::orphans_below`].
-    pub fn oracle_orphans_below(
-        &self,
-        strong_edges: &BTreeSet<VertexRef>,
-        below: Round,
-    ) -> Vec<VertexRef> {
+    pub fn oracle_orphans_below(&self, strong_edges: &[VertexRef], below: Round) -> Vec<VertexRef> {
         // Everything reachable from the strong frontier…
         let mut reachable: BTreeSet<VertexRef> = BTreeSet::new();
         let mut frontier: VecDeque<VertexRef> = strong_edges.iter().copied().collect();
@@ -649,7 +641,7 @@ mod tests {
         let mut dag = two_round_dag();
         // p3's round-1 vertex exists but no round-2 vertex points to it.
         assert!(dag.insert(vertex(3, 1, &[0, 1, 2], &[])));
-        let strong: BTreeSet<VertexRef> =
+        let strong: Vec<VertexRef> =
             (0..3).map(|s| VertexRef::new(Round::new(2), ProcessId::new(s))).collect();
         let orphans = dag.orphans_below(&strong, Round::new(1));
         assert_eq!(orphans, vec![VertexRef::new(Round::new(1), ProcessId::new(3))]);
@@ -658,7 +650,7 @@ mod tests {
     #[test]
     fn orphans_below_empty_when_fully_connected() {
         let dag = two_round_dag();
-        let strong: BTreeSet<VertexRef> =
+        let strong: Vec<VertexRef> =
             (0..3).map(|s| VertexRef::new(Round::new(2), ProcessId::new(s))).collect();
         assert!(dag.orphans_below(&strong, Round::new(1)).is_empty());
     }
@@ -671,7 +663,7 @@ mod tests {
         let v = vertex(0, 3, &[0, 1, 2], &[(1, 3)]);
         assert!(dag.insert(v.clone()));
         // …and now nothing below round 2 is orphaned from it.
-        let orphans = dag.orphans_below(&v.strong_edges().clone(), Round::new(1));
+        let orphans = dag.orphans_below(v.strong_edges(), Round::new(1));
         // orphans_below works on the strong frontier only, so p3@r1 is
         // still orphaned from the *frontier*; from the vertex itself the
         // weak edge covers it:

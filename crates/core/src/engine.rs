@@ -36,7 +36,7 @@ use dagrider_rbc::{RbcAction, ReliableBroadcast};
 use dagrider_trace::{SharedTracer, TraceEvent, TraceRecord};
 use dagrider_types::{
     Batch, BatchDigest, Block, Committee, Decode, DecodeError, Encode, Payload, ProcessId, Round,
-    Time, Vertex, VertexRef, Wave,
+    SparseEdgeConfig, Time, Vertex, VertexRef, Wave,
 };
 
 use crate::construction::{DagCore, DagEvent};
@@ -130,6 +130,11 @@ pub struct NodeConfig {
     /// Ring capacity for the structured event tracer (`None` = tracing
     /// off, the default: the hot path then pays a single branch).
     pub trace_capacity: Option<usize>,
+    /// Sparse-edge mode (Clownfish-style): vertices carry a deterministic
+    /// `k`-sample of strong edges and direct commits clear the adjusted
+    /// `max(f + 1, n - k + 1)` threshold. Must be uniform across the committee.
+    /// `None` — or `k ≥ quorum` — is the dense paper protocol.
+    pub sparse_edges: Option<SparseEdgeConfig>,
 }
 
 impl Default for NodeConfig {
@@ -142,6 +147,7 @@ impl Default for NodeConfig {
             piggyback_coin: false,
             gc_depth: None,
             trace_capacity: None,
+            sparse_edges: None,
         }
     }
 }
@@ -176,6 +182,14 @@ impl NodeConfig {
     /// records per node.
     pub fn with_trace(mut self, capacity: usize) -> Self {
         self.trace_capacity = Some(capacity);
+        self
+    }
+
+    /// Enables sparse-edge mode: each vertex samples `k` strong edges
+    /// deterministically under `seed`. Must be uniform across the
+    /// committee.
+    pub fn with_sparse_edges(mut self, k: usize, seed: u64) -> Self {
+        self.sparse_edges = Some(SparseEdgeConfig::new(k, seed));
         self
     }
 }
@@ -428,7 +442,11 @@ impl<B: ReliableBroadcast> DagRiderEngine<B> {
     ) -> Self {
         let mut core = DagCore::new(committee, me, config.auto_empty_blocks, config.max_round);
         core.set_disable_weak_edges(config.disable_weak_edges);
+        core.set_sparse_edges(config.sparse_edges);
         let mut ordering = Ordering::new(core.dag());
+        if let Some(sparse) = config.sparse_edges {
+            ordering.set_commit_threshold(sparse.commit_threshold(&committee));
+        }
         let mut rbc = B::new(committee, me, config.rbc_seed);
         let tracer = match config.trace_capacity {
             Some(capacity) => SharedTracer::new(me, capacity),

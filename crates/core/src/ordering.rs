@@ -87,6 +87,9 @@ pub enum WaveOutcome {
 /// The ordering state of one process (Algorithm 3's local variables).
 #[derive(Debug)]
 pub struct Ordering {
+    /// Direct-commit support threshold: the `2f + 1` quorum dense, or the
+    /// adjusted `max(f + 1, n - k + 1)` bar in sparse-edge mode (see
+    /// `SparseEdgeConfig::commit_threshold`).
     quorum: usize,
     /// `decidedWave`.
     decided_wave: u64,
@@ -135,6 +138,18 @@ impl Ordering {
     /// `a_deliver` are recorded through it.
     pub fn set_tracer(&mut self, tracer: SharedTracer) {
         self.tracer = tracer;
+    }
+
+    /// Overrides the direct-commit support threshold (sparse-edge mode:
+    /// sampled support clears a lower, adjusted bar). Dense mode keeps
+    /// the constructor's `2f + 1`.
+    pub fn set_commit_threshold(&mut self, threshold: usize) {
+        self.quorum = threshold;
+    }
+
+    /// The direct-commit support threshold currently in force.
+    pub fn commit_threshold(&self) -> usize {
+        self.quorum
     }
 
     /// The ordered-delivery log so far, in total order. Payloads are as

@@ -61,6 +61,22 @@ impl Closure {
         }
     }
 
+    /// Current width in 64-bit words.
+    pub fn width_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Clones this closure at a width of at least `words` zero-filled
+    /// entries, in one exact-sized allocation, so a following sequence of
+    /// `union_with`/`insert` calls up to that width cannot reallocate.
+    pub fn clone_with_width(&self, words: usize) -> Closure {
+        let width = words.max(self.words.len());
+        let mut out = Vec::with_capacity(width);
+        out.extend_from_slice(&self.words);
+        out.resize(width, 0);
+        Closure { words: out }
+    }
+
     /// Iterates the set slots in ascending order.
     pub fn ones(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(index, &word)| WordBits { word, base: index * 64 })
@@ -112,18 +128,27 @@ pub(crate) fn compose<'a>(
     lookup: impl Fn(VertexRef) -> Option<&'a VertexClosures>,
 ) -> VertexClosures {
     // Resolution is two array probes plus slot arithmetic — cheap enough
-    // to run once per edge in a single pass. The first resolved strong
-    // predecessor *seeds* each bitset by cloning (one exact-sized memcpy
-    // allocation); later predecessors OR in place, growing only when a
-    // wider closure or higher slot arrives. This keeps the insert hot
-    // path at large n free of intermediate collections and sizing
-    // passes: roughly two allocations and pure word OR-ing per vertex.
+    // to run once per edge. A first sizing pass over the (short, in
+    // sparse mode) strong-edge list finds the widest predecessor closure
+    // and highest edge slot; the first resolved predecessor then *seeds*
+    // each bitset by cloning and immediately growing to that final width,
+    // so every later `union_with`/`insert` is pure word OR-ing with zero
+    // reallocations. Per vertex: two allocations, no sizing churn.
+    let mut max_words = 0usize;
+    for &edge in v.strong_edges() {
+        let (Some(slot), Some(pred)) = (slots.slot(edge), lookup(edge)) else { continue };
+        max_words =
+            max_words.max(slot / 64 + 1).max(pred.strong.width_words()).max(pred.all.width_words());
+    }
     let mut closures: Option<VertexClosures> = None;
     for &edge in v.strong_edges() {
         let (Some(slot), Some(pred)) = (slots.slot(edge), lookup(edge)) else { continue };
         match &mut closures {
             None => {
-                let mut seeded = pred.clone();
+                let mut seeded = VertexClosures {
+                    strong: pred.strong.clone_with_width(max_words),
+                    all: pred.all.clone_with_width(max_words),
+                };
                 seeded.strong.insert(slot);
                 seeded.all.insert(slot);
                 closures = Some(seeded);

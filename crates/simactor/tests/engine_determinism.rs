@@ -351,6 +351,42 @@ fn verified_and_unverified_routes_produce_identical_state() {
 }
 
 #[test]
+fn degenerate_sparse_config_is_byte_identical_to_dense() {
+    // Sparse-edge mode with k ≥ quorum is the documented degenerate case:
+    // the sampler never removes an edge and the commit threshold is the
+    // paper's 2f + 1, so a cluster configured that way must record a
+    // byte-identical I/O stream — vertices, RBC traffic, coin shares,
+    // ordered log — to a dense cluster under the same simulation seed.
+    let run = |sparse: bool| {
+        let committee = Committee::new(7).unwrap();
+        let mut key_rng = StdRng::seed_from_u64(23);
+        let keys = deal_coin_keys(&committee, &mut key_rng);
+        let mut config = NodeConfig::default().with_max_round(16);
+        if sparse {
+            config = config.with_sparse_edges(committee.quorum(), 23);
+        }
+        let nodes: Vec<DagRiderNode<BrachaRbc>> = committee
+            .members()
+            .zip(keys)
+            .map(|(p, k)| {
+                let mut node = DagRiderNode::new(committee, p, k, config.clone());
+                node.set_io_recording(true);
+                node
+            })
+            .collect();
+        let mut sim = Simulation::new(committee, nodes, UniformScheduler::new(1, 10), 23);
+        sim.run();
+        committee
+            .members()
+            .map(|p| (sim.actor(p).io_log().to_vec(), sim.actor(p).ordered().to_vec()))
+            .collect::<Vec<_>>()
+    };
+    let (dense, sparse) = (run(false), run(true));
+    assert_eq!(dense, sparse, "degenerate sparse mode must be byte-identical to dense");
+    assert!(dense.iter().all(|(io, ordered)| !io.is_empty() && !ordered.is_empty()));
+}
+
+#[test]
 fn two_identically_seeded_sim_runs_record_identical_io() {
     let run = || {
         let committee = Committee::new(4).unwrap();

@@ -1,0 +1,133 @@
+//! Differential properties of sparse-edge mode against dense DAG-Rider.
+//!
+//! Sparse mode (Clownfish-style k-sampled strong edges) changes how many
+//! edges a vertex carries and when the commit rule fires, but with the
+//! `max(f + 1, n − k + 1)` threshold it must **never** change what the
+//! protocol agrees on: every honest-k run must reach pairwise agreement
+//! on the ordered vertex/block sequence, stay live, and honour the
+//! configured edge budget. Swept over (n, k, seed) with proptest.
+
+use dagrider_core::NodeConfig;
+use dagrider_crypto::deal_coin_keys;
+use dagrider_rbc::BrachaRbc;
+use dagrider_simactor::DagRiderNode;
+use dagrider_simnet::{Simulation, UniformScheduler};
+use dagrider_types::{Committee, Round, SparseEdgeConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs an n-process sparse cluster to quiescence and returns the sim.
+fn run_sparse(
+    n: usize,
+    k: usize,
+    seed: u64,
+    max_round: u64,
+) -> Simulation<DagRiderNode<BrachaRbc>, UniformScheduler> {
+    let committee = Committee::new(n).expect("n >= 4");
+    let mut key_rng = StdRng::seed_from_u64(seed);
+    let keys = deal_coin_keys(&committee, &mut key_rng);
+    let config = NodeConfig::default().with_max_round(max_round).with_sparse_edges(k, seed);
+    let nodes: Vec<DagRiderNode<BrachaRbc>> = committee
+        .members()
+        .zip(keys)
+        .map(|(p, kk)| DagRiderNode::new(committee, p, kk, config.clone()))
+        .collect();
+    let mut sim = Simulation::new(committee, nodes, UniformScheduler::new(1, 10), seed);
+    sim.run();
+    sim
+}
+
+/// Agreement, liveness, and edge-budget checks on a finished run.
+fn assert_sparse_run_is_consistent(
+    sim: &Simulation<DagRiderNode<BrachaRbc>, UniformScheduler>,
+    n: usize,
+    k: usize,
+) {
+    let committee = Committee::new(n).expect("n >= 4");
+    let sparse = SparseEdgeConfig::new(k, 0);
+    let min_strong = sparse.min_strong_edges(&committee);
+
+    // Liveness: every process orders something within the bounded run.
+    let p0 = committee.members().next().expect("non-empty committee");
+    assert!(!sim.actor(p0).ordered().is_empty(), "sparse run ordered nothing");
+
+    // Agreement: ordered logs must agree pairwise on their common prefix
+    // — same vertices, same resolved blocks. (Delivery timestamps are
+    // local clocks and legitimately differ.)
+    let reference = sim.actor(p0).ordered();
+    for p in committee.members().skip(1) {
+        let other = sim.actor(p).ordered();
+        let common = reference.len().min(other.len());
+        for i in 0..common {
+            assert_eq!(
+                reference[i].vertex, other[i].vertex,
+                "{p0} and {p} diverge at ordered position {i}"
+            );
+            assert_eq!(
+                reference[i].block.transactions(),
+                other[i].block.transactions(),
+                "{p0} and {p} resolve different blocks at position {i}"
+            );
+        }
+    }
+
+    // Edge budget: every non-genesis vertex in every view carries at
+    // least the validation floor and — above round 1, where a correct
+    // process samples from a full-size candidate set — no more than the
+    // larger of k and the quorum (dense candidate sets can exceed the
+    // quorum only when more than 2f + 1 processes produced the round).
+    for p in committee.members() {
+        for v in sim.actor(p).dag().iter().filter(|v| v.round() != Round::GENESIS) {
+            let strong = v.strong_edges().len();
+            assert!(strong >= min_strong.min(committee.quorum()), "vertex under edge floor");
+            if !sparse.is_degenerate(&committee) {
+                assert!(
+                    strong <= k,
+                    "sparse vertex {} carries {strong} strong edges, budget is {k}",
+                    v.reference()
+                );
+            }
+        }
+    }
+
+    // View consistency: any vertex present in two views must be the
+    // same vertex byte-for-byte (RBC non-equivocation survives the edge
+    // refactor and the sampling path).
+    let p_last = committee.members().last().expect("non-empty committee");
+    for v in sim.actor(p0).dag().iter() {
+        if let Some(other) = sim.actor(p_last).dag().get(v.reference()) {
+            assert_eq!(v, other, "views disagree on vertex {}", v.reference());
+        }
+    }
+}
+
+#[test]
+fn honest_k_sparse_runs_agree_across_nodes() {
+    // The experiment defaults: n = 16 at the honest-k floor f + 1 = 6
+    // and a mid-range k; deterministic smoke before the proptest sweep.
+    for (n, k) in [(16, 6), (16, 9), (7, 3)] {
+        let sim = run_sparse(n, k, 7, 16);
+        assert_sparse_run_is_consistent(&sim, n, k);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Pairwise agreement and edge budgets hold for any honest-k sparse
+    /// configuration (k from the liveness floor f + 1 up to the quorum,
+    /// where sparse degenerates to dense) under randomized scheduling.
+    #[test]
+    fn sparse_agreement_over_random_k_and_seeds(
+        seed in 0u64..1_000,
+        n_idx in 0usize..3,
+        k_off in 0usize..6,
+    ) {
+        let n = [7usize, 10, 16][n_idx];
+        let committee = Committee::new(n).expect("n >= 4");
+        let k = (committee.small_quorum() + k_off).min(committee.quorum());
+        let sim = run_sparse(n, k, seed, 12);
+        assert_sparse_run_is_consistent(&sim, n, k);
+    }
+}

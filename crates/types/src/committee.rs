@@ -1,4 +1,4 @@
-//! The committee of `n = 3f + 1` processes and its quorum arithmetic.
+//! The committee of `n ≥ 3f + 1` processes and its quorum arithmetic.
 
 use std::error::Error;
 use std::fmt;
@@ -8,8 +8,8 @@ use crate::ProcessId;
 /// Error building a [`Committee`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CommitteeError {
-    /// The committee size is not of the form `3f + 1` with `f ≥ 1`
-    /// (the paper assumes exactly `n = 3f + 1`, §2).
+    /// The committee size is too small to tolerate a single Byzantine
+    /// process (the paper assumes `n = 3f + 1` with `f ≥ 1`, §2).
     InvalidSize(usize),
 }
 
@@ -17,7 +17,7 @@ impl fmt::Display for CommitteeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CommitteeError::InvalidSize(n) => {
-                write!(f, "committee size {n} is not 3f + 1 for some f >= 1")
+                write!(f, "committee size {n} is below 3f + 1 for f >= 1 (minimum 4)")
             }
         }
     }
@@ -25,12 +25,18 @@ impl fmt::Display for CommitteeError {
 
 impl Error for CommitteeError {}
 
-/// The static membership `Π = {p_0, …, p_{n-1}}` with `n = 3f + 1`.
+/// The static membership `Π = {p_0, …, p_{n-1}}` with `n ≥ 3f + 1`.
 ///
 /// Exposes the two quorum sizes the protocol relies on:
-/// [`Committee::quorum`] (`2f + 1`, used for round advancement and the
+/// [`Committee::quorum`] (`n - f`, used for round advancement and the
 /// commit rule) and [`Committee::small_quorum`] (`f + 1`, used for the coin
-/// threshold and READY amplification).
+/// threshold and READY amplification). When `n = 3f + 1` exactly — the
+/// paper's assumption and every canonical deployment size — `n - f`
+/// reduces to the familiar `2f + 1`. For sizes between `3f + 1` and
+/// `3(f+1) + 1` (e.g. `n = 128`), `f` is floored at `(n - 1) / 3` and the
+/// quorum `n - f` still intersects pairwise in `≥ f + 1` processes
+/// (`2(n - f) - n = n - 2f ≥ f + 1`), so quorum-intersection arguments
+/// (Claim 3) carry over unchanged.
 ///
 /// ```
 /// use dagrider_types::Committee;
@@ -48,10 +54,10 @@ impl Committee {
     ///
     /// # Errors
     ///
-    /// Returns [`CommitteeError::InvalidSize`] unless `n = 3f + 1` for some
-    /// `f ≥ 1` (so the smallest committee is 4).
+    /// Returns [`CommitteeError::InvalidSize`] unless `n ≥ 4` (the smallest
+    /// committee tolerating one fault).
     pub fn new(n: usize) -> Result<Self, CommitteeError> {
-        if n >= 4 && n % 3 == 1 {
+        if n >= 4 {
             Ok(Self { n })
         } else {
             Err(CommitteeError::InvalidSize(n))
@@ -78,10 +84,11 @@ impl Committee {
         (self.n - 1) / 3
     }
 
-    /// The large quorum `2f + 1`: round advancement (Alg. 2 line 10),
-    /// strong-edge minimum, and the commit rule (Alg. 3 line 36).
+    /// The large quorum `n - f` (`= 2f + 1` when `n = 3f + 1`): round
+    /// advancement (Alg. 2 line 10), strong-edge minimum, and the commit
+    /// rule (Alg. 3 line 36).
     pub const fn quorum(&self) -> usize {
-        2 * self.f() + 1
+        self.n - self.f()
     }
 
     /// The small quorum `f + 1`: coin combination threshold and the
@@ -117,10 +124,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn accepts_only_three_f_plus_one() {
+    fn accepts_any_n_of_at_least_four() {
         for n in 0..40 {
-            let ok = n >= 4 && n % 3 == 1;
-            assert_eq!(Committee::new(n).is_ok(), ok, "n = {n}");
+            assert_eq!(Committee::new(n).is_ok(), n >= 4, "n = {n}");
         }
     }
 
@@ -135,6 +141,23 @@ mod tests {
             // Quorum intersection: two quorums overlap in ≥ f + 1 processes.
             assert!(2 * c.quorum() - c.n() >= c.small_quorum());
         }
+    }
+
+    #[test]
+    fn off_form_sizes_keep_quorum_intersection() {
+        // Sizes that are not 3f + 1 (e.g. n = 128) floor f and widen the
+        // quorum to n - f; pairwise intersection must still cover f + 1.
+        for n in 4..300 {
+            let c = Committee::new(n).unwrap();
+            assert_eq!(c.f(), (n - 1) / 3);
+            assert_eq!(c.quorum(), n - c.f());
+            assert!(2 * c.quorum() - c.n() >= c.small_quorum(), "n = {n}");
+            if n % 3 == 1 {
+                assert_eq!(c.quorum(), 2 * c.f() + 1);
+            }
+        }
+        let c = Committee::new(128).unwrap();
+        assert_eq!((c.f(), c.quorum(), c.small_quorum()), (42, 86, 43));
     }
 
     #[test]

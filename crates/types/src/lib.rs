@@ -4,7 +4,9 @@
 //!
 //! * [`ProcessId`], [`Round`], [`Wave`] — identities and protocol time,
 //!   including the paper's wave arithmetic `round(w, k) = 4(w-1) + k`.
-//! * [`Committee`] — the `n = 3f + 1` membership with its quorum sizes.
+//! * [`Committee`] — the `n ≥ 3f + 1` membership with its quorum sizes.
+//! * [`SparseEdgeConfig`] — deterministic strong-edge sampling for
+//!   large committees (Clownfish-style sparse mode).
 //! * [`Transaction`], [`Block`] — the client payload carried by vertices.
 //! * [`Vertex`], [`VertexRef`] — the DAG nodes of Algorithm 1, with strong
 //!   and weak edge sets.
@@ -38,6 +40,7 @@ mod batch;
 pub mod codec;
 mod committee;
 mod id;
+mod sparse;
 mod time;
 mod transaction;
 mod vertex;
@@ -46,6 +49,7 @@ pub use batch::{Batch, BatchDigest};
 pub use codec::{bytes_encoded_len, decode_bytes, encode_bytes, Decode, DecodeError, Encode};
 pub use committee::{Committee, CommitteeError};
 pub use id::{ProcessId, Round, SeqNum, Wave, WAVE_LENGTH};
+pub use sparse::SparseEdgeConfig;
 pub use time::Time;
 pub use transaction::{Block, Transaction};
 pub use vertex::{Payload, Vertex, VertexBuilder, VertexError, VertexRef};

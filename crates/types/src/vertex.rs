@@ -1,6 +1,5 @@
 //! DAG vertices and vertex references (Algorithm 1).
 
-use std::collections::BTreeSet;
 use std::error::Error;
 use std::fmt;
 
@@ -190,12 +189,13 @@ pub enum VertexError {
         /// The offending edge.
         edge: VertexRef,
     },
-    /// Fewer than `2f + 1` strong edges (Algorithm 2 line 25 discards such
-    /// vertices at delivery).
+    /// Fewer strong edges than the mode's minimum — `2f + 1` dense
+    /// (Algorithm 2 line 25 discards such vertices at delivery), or
+    /// `min(k, quorum)` in sparse-edge mode.
     TooFewStrongEdges {
         /// Strong edges present.
         found: usize,
-        /// Required minimum, `2f + 1`.
+        /// Required minimum.
         required: usize,
     },
     /// The vertex's source is not a committee member.
@@ -244,8 +244,12 @@ pub struct Vertex {
     source: ProcessId,
     round: Round,
     payload: Payload,
-    strong_edges: BTreeSet<VertexRef>,
-    weak_edges: BTreeSet<VertexRef>,
+    // Both edge lists are kept sorted ascending and deduplicated — the
+    // canonical order a `BTreeSet` would yield, so the wire encoding is
+    // unchanged, `has_strong_edge_to` can binary-search, and builders
+    // avoid per-edge tree rebalancing on the construction hot path.
+    strong_edges: Vec<VertexRef>,
+    weak_edges: Vec<VertexRef>,
 }
 
 impl Vertex {
@@ -257,8 +261,8 @@ impl Vertex {
             source,
             round: Round::GENESIS,
             payload: Payload::Block(Block::empty(source, SeqNum::new(0))),
-            strong_edges: BTreeSet::new(),
-            weak_edges: BTreeSet::new(),
+            strong_edges: Vec::new(),
+            weak_edges: Vec::new(),
         }
     }
 
@@ -296,13 +300,13 @@ impl Vertex {
         VertexRef { round: self.round, source: self.source }
     }
 
-    /// Strong edges: references into round `round - 1`.
-    pub const fn strong_edges(&self) -> &BTreeSet<VertexRef> {
+    /// Strong edges: references into round `round - 1`, sorted ascending.
+    pub fn strong_edges(&self) -> &[VertexRef] {
         &self.strong_edges
     }
 
-    /// Weak edges: references into rounds `< round - 1`.
-    pub const fn weak_edges(&self) -> &BTreeSet<VertexRef> {
+    /// Weak edges: references into rounds `< round - 1`, sorted ascending.
+    pub fn weak_edges(&self) -> &[VertexRef] {
         &self.weak_edges
     }
 
@@ -313,7 +317,15 @@ impl Vertex {
 
     /// Whether this vertex has a strong edge to `target`.
     pub fn has_strong_edge_to(&self, target: VertexRef) -> bool {
-        self.strong_edges.contains(&target)
+        self.strong_edges.binary_search(&target).is_ok()
+    }
+
+    /// Restores the sorted-and-deduplicated edge-list invariant.
+    fn normalize_edges(&mut self) {
+        self.strong_edges.sort_unstable();
+        self.strong_edges.dedup();
+        self.weak_edges.sort_unstable();
+        self.weak_edges.dedup();
     }
 
     /// Validates the structural invariants the DAG layer checks at delivery
@@ -325,6 +337,22 @@ impl Vertex {
     ///
     /// Returns the first violated invariant as a [`VertexError`].
     pub fn validate(&self, committee: &Committee) -> Result<(), VertexError> {
+        self.validate_with_min_strong(committee, committee.quorum())
+    }
+
+    /// [`Vertex::validate`] with an explicit strong-edge minimum, for
+    /// sparse-edge mode where vertices legitimately carry only
+    /// `min(k, quorum)` strong edges (see
+    /// [`SparseEdgeConfig::min_strong_edges`](crate::SparseEdgeConfig::min_strong_edges)).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as a [`VertexError`].
+    pub fn validate_with_min_strong(
+        &self,
+        committee: &Committee,
+        min_strong: usize,
+    ) -> Result<(), VertexError> {
         if !committee.contains(self.source) {
             return Err(VertexError::UnknownSource(self.source));
         }
@@ -342,10 +370,10 @@ impl Vertex {
                 return Err(VertexError::WeakEdgeWrongRound { round: self.round, edge });
             }
         }
-        if self.strong_edges.len() < committee.quorum() {
+        if self.strong_edges.len() < min_strong {
             return Err(VertexError::TooFewStrongEdges {
                 found: self.strong_edges.len(),
-                required: committee.quorum(),
+                required: min_strong,
             });
         }
         Ok(())
@@ -385,13 +413,18 @@ impl Encode for Vertex {
 
 impl Decode for Vertex {
     fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
-        Ok(Self {
+        let mut vertex = Self {
             source: ProcessId::decode(buf)?,
             round: Round::decode(buf)?,
             payload: Payload::decode(buf)?,
-            strong_edges: BTreeSet::<VertexRef>::decode(buf)?,
-            weak_edges: BTreeSet::<VertexRef>::decode(buf)?,
-        })
+            strong_edges: Vec::<VertexRef>::decode(buf)?,
+            weak_edges: Vec::<VertexRef>::decode(buf)?,
+        };
+        // A correct process encodes edges sorted and deduplicated (the
+        // canonical order); normalizing here makes a Byzantine permutation
+        // of the same edge set decode to the identical vertex.
+        vertex.normalize_edges();
+        Ok(vertex)
     }
 }
 
@@ -425,8 +458,8 @@ impl VertexBuilder {
                 source,
                 round,
                 payload: payload.into(),
-                strong_edges: BTreeSet::new(),
-                weak_edges: BTreeSet::new(),
+                strong_edges: Vec::new(),
+                weak_edges: Vec::new(),
             },
         }
     }
@@ -450,10 +483,27 @@ impl VertexBuilder {
     /// Returns a [`VertexError`] if any structural invariant is violated;
     /// additionally rejects proposals in round 0.
     pub fn build(self, committee: &Committee) -> Result<Vertex, VertexError> {
+        self.build_with_min_strong(committee, committee.quorum())
+    }
+
+    /// [`VertexBuilder::build`] with an explicit strong-edge minimum, for
+    /// sparse-edge mode (see
+    /// [`Vertex::validate_with_min_strong`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VertexError`] if any structural invariant is violated;
+    /// additionally rejects proposals in round 0.
+    pub fn build_with_min_strong(
+        mut self,
+        committee: &Committee,
+        min_strong: usize,
+    ) -> Result<Vertex, VertexError> {
         if self.vertex.round == Round::GENESIS {
             return Err(VertexError::RoundZeroProposal);
         }
-        self.vertex.validate(committee)?;
+        self.vertex.normalize_edges();
+        self.vertex.validate_with_min_strong(committee, min_strong)?;
         Ok(self.vertex)
     }
 
@@ -461,7 +511,8 @@ impl VertexBuilder {
     ///
     /// Exists so tests and Byzantine actors can craft malformed vertices;
     /// correct-process code paths always use [`VertexBuilder::build`].
-    pub fn build_unchecked(self) -> Vertex {
+    pub fn build_unchecked(mut self) -> Vertex {
+        self.vertex.normalize_edges();
         self.vertex
     }
 }

@@ -103,7 +103,7 @@ fn assert_equivalent(dag: &Dag) {
     // Orphan scans from every round's frontier, at every cutoff the
     // construction layer could pass.
     for r in 1..=dag.highest_round().number() {
-        let frontier: BTreeSet<VertexRef> = dag
+        let frontier: Vec<VertexRef> = dag
             .round_vertices(Round::new(r))
             .keys()
             .map(|&p| VertexRef::new(Round::new(r), p))
